@@ -1,0 +1,85 @@
+//! Ablation benches for the design choices called out in `DESIGN.md`:
+//!
+//! * GP interior-point backend vs the analytic bisection backend for the
+//!   continuous relaxation,
+//! * MINLP symmetry breaking on vs off,
+//! * the effect of the allocator's `T` relaxation on runtime.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use mfa_alloc::cases::PaperCase;
+use mfa_alloc::exact::{self, ExactMode, ExactOptions};
+use mfa_alloc::gp_step::{self, RelaxationBackend};
+use mfa_alloc::gpa::{self, GpaOptions};
+use mfa_alloc::greedy::GreedyOptions;
+use mfa_minlp::SolverOptions;
+
+fn print_ablation_summary() {
+    println!();
+    println!("=== Ablation: relaxation backend agreement");
+    for case in PaperCase::all() {
+        let problem = case.problem(0.70).expect("feasible");
+        let gp = gp_step::solve(&problem, RelaxationBackend::GeometricProgram).expect("solves");
+        let bis = gp_step::solve(&problem, RelaxationBackend::Bisection).expect("solves");
+        println!(
+            "{:<22} GP II = {:.4} ms, bisection II = {:.4} ms, relative diff = {:.2e}",
+            case.label(),
+            gp.initiation_interval_ms,
+            bis.initiation_interval_ms,
+            (gp.initiation_interval_ms - bis.initiation_interval_ms).abs()
+                / bis.initiation_interval_ms
+        );
+    }
+
+    println!();
+    println!("=== Ablation: MINLP symmetry breaking (Alex-16 on 2 FPGAs, 65% constraint)");
+    let problem = PaperCase::Alex16OnTwoFpgas.problem(0.65).expect("feasible");
+    for symmetry in [true, false] {
+        let options = ExactOptions {
+            mode: ExactMode::IiOnly,
+            solver: SolverOptions::with_budget(800, 15.0),
+            symmetry_breaking: symmetry,
+        };
+        match exact::solve(&problem, &options) {
+            Ok(outcome) => println!(
+                "symmetry breaking {:>5}: II = {:.3} ms, nodes = {}, proven optimal = {}",
+                symmetry,
+                outcome.allocation.initiation_interval(&problem),
+                outcome.nodes_explored,
+                outcome.proven_optimal
+            ),
+            Err(err) => println!("symmetry breaking {symmetry}: failed: {err}"),
+        }
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_ablation_summary();
+    let problem = PaperCase::Alex16OnTwoFpgas.problem(0.70).expect("feasible");
+
+    let mut group = c.benchmark_group("relaxation_backend");
+    group.sample_size(20);
+    group.bench_function("gp_interior_point", |b| {
+        b.iter(|| gp_step::solve(&problem, RelaxationBackend::GeometricProgram).expect("solves"))
+    });
+    group.bench_function("bisection", |b| {
+        b.iter(|| gp_step::solve(&problem, RelaxationBackend::Bisection).expect("solves"))
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("allocator_t_parameter");
+    group.sample_size(10);
+    for t in [0.0, 0.10, 0.30] {
+        group.bench_function(format!("gpa_t_{:.0}pct", t * 100.0), |b| {
+            let options = GpaOptions {
+                greedy: GreedyOptions::with_t_delta(t, 0.01),
+                ..GpaOptions::fast()
+            };
+            b.iter(|| gpa::solve(&problem, &options).expect("solves"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Fig. 2 — effect of the allocator's `T` parameter on the achieved II for
+//! Alex-16 on 2 FPGAs (Δ = 1 %), across resource constraints from 40 % to
+//! 90 %.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use mfa_alloc::cases::PaperCase;
+use mfa_alloc::explore::{constraint_grid, sweep_t_parameter};
+use mfa_alloc::gpa::{self, GpaOptions};
+
+fn print_fig2() {
+    let case = PaperCase::Alex16OnTwoFpgas;
+    let problem = case.problem(0.65).expect("feasible");
+    let constraints = constraint_grid(0.40, 0.90, 11);
+    let t_values = [0.0, 0.025, 0.05, 0.10, 0.15, 0.20, 0.25, 0.30];
+    let series =
+        sweep_t_parameter(&problem, &constraints, &t_values, 0.01).expect("sweep succeeds");
+
+    println!();
+    println!("=== Fig. 2: Alex-16 on 2 FPGAs, II (ms) vs resource constraint for several T");
+    print!("{:>12}", "constraint");
+    for (t, _) in &series {
+        print!(" {:>7}", format!("T{:.1}%", t * 100.0));
+    }
+    println!();
+    for (i, &constraint) in constraints.iter().enumerate() {
+        print!("{:>11.0}%", constraint * 100.0);
+        for (_, points) in &series {
+            match points.iter().find(|p| (p.resource_constraint - constraint).abs() < 1e-9) {
+                Some(p) => print!(" {:>7.3}", p.initiation_interval_ms),
+                None => print!(" {:>7}", "-"),
+            }
+        }
+        println!();
+        let _ = i;
+    }
+    println!("(as in the paper, T has little effect on II; the following figures use T = 0)");
+}
+
+fn bench(c: &mut Criterion) {
+    print_fig2();
+    let problem = PaperCase::Alex16OnTwoFpgas.problem(0.65).expect("feasible");
+    let mut group = c.benchmark_group("fig2_t_sweep");
+    group.sample_size(10);
+    group.bench_function("gpa_alex16_single_point", |b| {
+        b.iter(|| gpa::solve(&problem, &GpaOptions::fast()).expect("solves"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Fig. 3 — AlexNet 16-bit fixed point on 2 FPGAs: II vs resource constraint
+//! (a) and II vs average FPGA utilization (b), for GP+A, MINLP and MINLP+G.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use mfa_alloc::cases::PaperCase;
+use mfa_alloc::exact::{self, ExactMode};
+use mfa_alloc::explore::constraint_grid;
+use mfa_alloc::gpa::{self, GpaOptions};
+use mfa_bench::{compare_methods, print_comparison, MinlpBudget};
+
+fn print_fig3() {
+    let case = PaperCase::Alex16OnTwoFpgas;
+    let problem = case.problem(0.70).expect("feasible");
+    let constraints = constraint_grid(0.55, 0.85, 7);
+    let rows = compare_methods(&problem, &constraints, MinlpBudget::alexnet());
+    print_comparison(
+        "Fig. 3: Alex-16 on 2 FPGAs — II vs resource constraint / average resource",
+        &rows,
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    print_fig3();
+    let problem = PaperCase::Alex16OnTwoFpgas.problem(0.70).expect("feasible");
+    let mut group = c.benchmark_group("fig3_alex16");
+    group.sample_size(10);
+    group.bench_function("gpa", |b| {
+        b.iter(|| gpa::solve(&problem, &GpaOptions::paper_defaults()).expect("solves"))
+    });
+    group.bench_function("minlp_budgeted", |b| {
+        b.iter(|| {
+            exact::solve(
+                &problem,
+                &MinlpBudget {
+                    max_nodes: 200,
+                    time_limit_seconds: 5.0,
+                }
+                .options(ExactMode::IiOnly),
+            )
+            .expect("solves")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Fig. 4 — AlexNet 32-bit floating point on 4 FPGAs: II vs resource
+//! constraint (a) and vs average FPGA utilization (b).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use mfa_alloc::cases::PaperCase;
+use mfa_alloc::explore::constraint_grid;
+use mfa_alloc::gpa::{self, GpaOptions};
+use mfa_bench::{compare_methods, print_comparison, MinlpBudget};
+
+fn print_fig4() {
+    let case = PaperCase::Alex32OnFourFpgas;
+    let problem = case.problem(0.70).expect("feasible");
+    let constraints = constraint_grid(0.65, 0.75, 3);
+    let rows = compare_methods(&problem, &constraints, MinlpBudget::alexnet());
+    print_comparison(
+        "Fig. 4: Alex-32 on 4 FPGAs — II vs resource constraint / average resource",
+        &rows,
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    print_fig4();
+    let problem = PaperCase::Alex32OnFourFpgas.problem(0.70).expect("feasible");
+    let mut group = c.benchmark_group("fig4_alex32");
+    group.sample_size(10);
+    group.bench_function("gpa", |b| {
+        b.iter(|| gpa::solve(&problem, &GpaOptions::paper_defaults()).expect("solves"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

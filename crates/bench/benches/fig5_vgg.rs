@@ -1,0 +1,38 @@
+//! Fig. 5 — VGG 16-bit fixed point on 8 FPGAs: II vs resource constraint (a)
+//! and vs average FPGA utilization (b).
+//!
+//! The exact MINLP at this size (136 integer variables) took the paper's
+//! authors hours with Couenne; here each exact solve gets a small node/time
+//! budget and reports its best incumbent (see `EXPERIMENTS.md`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use mfa_alloc::cases::PaperCase;
+use mfa_alloc::explore::constraint_grid;
+use mfa_alloc::gpa::{self, GpaOptions};
+use mfa_bench::{compare_methods, print_comparison, MinlpBudget};
+
+fn print_fig5() {
+    let case = PaperCase::VggOnEightFpgas;
+    let problem = case.problem(0.61).expect("feasible");
+    let constraints = constraint_grid(0.55, 0.80, 6);
+    let rows = compare_methods(&problem, &constraints, MinlpBudget::vgg());
+    print_comparison(
+        "Fig. 5: VGG on 8 FPGAs — II vs resource constraint / average resource",
+        &rows,
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    print_fig5();
+    let problem = PaperCase::VggOnEightFpgas.problem(0.61).expect("feasible");
+    let mut group = c.benchmark_group("fig5_vgg");
+    group.sample_size(10);
+    group.bench_function("gpa", |b| {
+        b.iter(|| gpa::solve(&problem, &GpaOptions::paper_defaults()).expect("solves"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

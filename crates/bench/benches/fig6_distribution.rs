@@ -1,0 +1,78 @@
+//! Fig. 6 — per-FPGA resource distribution of the VGG kernels at a 61 %
+//! resource constraint, for GP+A, MINLP and MINLP+G.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use mfa_alloc::cases::PaperCase;
+use mfa_alloc::exact::{self, ExactMode};
+use mfa_alloc::gpa::{self, GpaOptions};
+use mfa_alloc::report::{critical_class, utilization_breakdown};
+use mfa_alloc::{Allocation, AllocationProblem};
+use mfa_bench::MinlpBudget;
+
+fn print_distribution(title: &str, problem: &AllocationProblem, allocation: &Allocation) {
+    println!();
+    println!("--- {title}");
+    println!("{:<10} {}", "kernel", "CUs per FPGA (F1..F8) and share of the FPGA's critical resource");
+    let breakdown = utilization_breakdown(problem, allocation);
+    let class = critical_class(problem);
+    for (k, kernel) in problem.kernels().iter().enumerate() {
+        print!("{:<10}", kernel.name());
+        for fpga in &breakdown {
+            let cus = allocation.cus(k, fpga.fpga);
+            if cus > 0 {
+                print!(
+                    " F{}:{}({:.0}%)",
+                    fpga.fpga + 1,
+                    cus,
+                    100.0 * class(kernel.resources()) * cus as f64
+                );
+            }
+        }
+        println!();
+    }
+    print!("{:<10}", "SLACK");
+    for fpga in &breakdown {
+        print!(" F{}:{:.0}%", fpga.fpga + 1, 100.0 * fpga.slack);
+    }
+    println!();
+    println!(
+        "II = {:.2} ms, spreading = {:.2}, FPGAs used = {}",
+        allocation.initiation_interval(problem),
+        allocation.spreading(),
+        allocation.fpgas_used()
+    );
+}
+
+fn print_fig6() {
+    let problem = PaperCase::VggOnEightFpgas.problem(0.61).expect("feasible");
+    println!();
+    println!("=== Fig. 6: VGG resource usage per FPGA for a 61% resource constraint");
+    if let Ok(outcome) = gpa::solve(&problem, &GpaOptions::paper_defaults()) {
+        print_distribution("GP+A", &problem, &outcome.allocation);
+    }
+    let budget = MinlpBudget::vgg();
+    if let Ok(outcome) = exact::solve(&problem, &budget.options(ExactMode::IiOnly)) {
+        print_distribution("MINLP (budgeted incumbent)", &problem, &outcome.allocation);
+    }
+    if let Ok(outcome) = exact::solve(&problem, &budget.options(ExactMode::IiAndSpreading)) {
+        print_distribution("MINLP+G (budgeted incumbent)", &problem, &outcome.allocation);
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_fig6();
+    let problem = PaperCase::VggOnEightFpgas.problem(0.61).expect("feasible");
+    let mut group = c.benchmark_group("fig6_distribution");
+    group.sample_size(10);
+    group.bench_function("gpa_plus_breakdown", |b| {
+        b.iter(|| {
+            let outcome = gpa::solve(&problem, &GpaOptions::fast()).expect("solves");
+            utilization_breakdown(&problem, &outcome.allocation)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

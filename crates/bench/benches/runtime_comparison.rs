@@ -1,0 +1,96 @@
+//! CPU-time comparison (Sec. 4, last paragraph): GP+A against the exact MINLP
+//! on the three representative cases.
+//!
+//! The paper reports GP+A between 0.78 s (Alex-16 / 2 FPGAs) and 4.4 s
+//! (VGG / 8 FPGAs) against minutes-to-hours for MINLP — a 100×–1000× speedup.
+//! Here the exact solver runs with a node/time budget, so the printed MINLP
+//! times are lower bounds on a full exact solve (it did not finish), which is
+//! exactly the paper's point.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use mfa_alloc::cases::PaperCase;
+use mfa_alloc::exact::{self, ExactMode};
+use mfa_alloc::gpa::{self, GpaOptions};
+use mfa_bench::MinlpBudget;
+
+fn print_runtime_table() {
+    println!();
+    println!("=== CPU-time comparison (GP+A vs budgeted MINLP)");
+    println!(
+        "{:<22} {:>12} {:>16} {:>14} {:>10}",
+        "case", "GP+A (s)", "MINLP budget (s)", "MINLP proved?", "speedup ≥"
+    );
+    for case in PaperCase::all() {
+        let (lo, hi) = case.constraint_range();
+        let constraint = 0.5 * (lo + hi);
+        let problem = case.problem(constraint).expect("feasible");
+        let budget = match case {
+            PaperCase::VggOnEightFpgas => MinlpBudget::vgg(),
+            _ => MinlpBudget::alexnet(),
+        };
+
+        let start = Instant::now();
+        let gpa_result = gpa::solve(&problem, &GpaOptions::paper_defaults());
+        let gpa_seconds = start.elapsed().as_secs_f64();
+
+        let start = Instant::now();
+        let exact_result = exact::solve(&problem, &budget.options(ExactMode::IiAndSpreading));
+        let exact_seconds = start.elapsed().as_secs_f64();
+
+        let proved = exact_result
+            .as_ref()
+            .map(|o| o.proven_optimal)
+            .unwrap_or(false);
+        let speedup = if gpa_seconds > 0.0 {
+            exact_seconds / gpa_seconds
+        } else {
+            f64::INFINITY
+        };
+        println!(
+            "{:<22} {:>12.3} {:>16.2} {:>14} {:>9.0}x",
+            case.label(),
+            gpa_seconds,
+            exact_seconds,
+            if proved { "yes" } else { "no (capped)" },
+            speedup
+        );
+        if let (Ok(g), Ok(e)) = (&gpa_result, &exact_result) {
+            println!(
+                "    II: GP+A {:.3} ms, MINLP+G incumbent {:.3} ms (lower bound {:.3})",
+                g.allocation.initiation_interval(&problem),
+                e.allocation.initiation_interval(&problem),
+                e.best_bound
+            );
+        }
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_runtime_table();
+    let problem = PaperCase::Alex16OnTwoFpgas.problem(0.70).expect("feasible");
+    let mut group = c.benchmark_group("runtime_comparison");
+    group.sample_size(10);
+    group.bench_function("gpa_alex16", |b| {
+        b.iter(|| gpa::solve(&problem, &GpaOptions::paper_defaults()).expect("solves"))
+    });
+    group.bench_function("minlp_alex16_small_budget", |b| {
+        b.iter(|| {
+            exact::solve(
+                &problem,
+                &MinlpBudget {
+                    max_nodes: 100,
+                    time_limit_seconds: 3.0,
+                }
+                .options(ExactMode::IiOnly),
+            )
+            .expect("solves")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

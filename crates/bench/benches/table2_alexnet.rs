@@ -1,0 +1,43 @@
+//! Table 2 — per-kernel characterization of Alex-32 and Alex-16.
+//!
+//! Prints the embedded measured table (the optimization inputs) next to the
+//! analytic estimator's output for the same kernels, then times the
+//! characterization flow.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use mfa_bench::print_characterization;
+use mfa_cnn::characterize::{characterize_network, CuConfig};
+use mfa_cnn::{paper_data, CnnNetwork, Precision};
+use mfa_platform::FpgaDevice;
+
+fn print_table2() {
+    print_characterization("Table 2 (paper, measured): Alex-32", &paper_data::alexnet_32bit());
+    print_characterization("Table 2 (paper, measured): Alex-16", &paper_data::alexnet_16bit());
+
+    let device = FpgaDevice::vu9p();
+    let network = CnnNetwork::alexnet();
+    for (label, precision) in [("fp32", Precision::Float32), ("fx16", Precision::Fixed16)] {
+        let kernels = characterize_network(&network, precision, &CuConfig::default(), &device);
+        let app = mfa_cnn::Application::new(format!("AlexNet {label} (estimated)"), kernels);
+        print_characterization(
+            &format!("Table 2 (this repo, analytic estimator): AlexNet {label}"),
+            &app,
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_table2();
+    let device = FpgaDevice::vu9p();
+    let network = CnnNetwork::alexnet();
+    let mut group = c.benchmark_group("table2_characterization");
+    group.sample_size(20);
+    group.bench_function("characterize_alexnet_fx16", |b| {
+        b.iter(|| characterize_network(&network, Precision::Fixed16, &CuConfig::default(), &device))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Table 3 — per-kernel characterization of VGG (16-bit fixed point).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use mfa_bench::print_characterization;
+use mfa_cnn::characterize::{characterize_network, CuConfig};
+use mfa_cnn::{paper_data, CnnNetwork, Precision};
+use mfa_platform::FpgaDevice;
+
+fn print_table3() {
+    print_characterization("Table 3 (paper, measured): VGG fx16", &paper_data::vgg_16bit());
+    let device = FpgaDevice::vu9p();
+    let network = CnnNetwork::vgg16();
+    let kernels = characterize_network(&network, Precision::Fixed16, &CuConfig::default(), &device);
+    let app = mfa_cnn::Application::new("VGG16 fx16 (estimated)", kernels);
+    print_characterization("Table 3 (this repo, analytic estimator): VGG16 fx16", &app);
+}
+
+fn bench(c: &mut Criterion) {
+    print_table3();
+    let device = FpgaDevice::vu9p();
+    let network = CnnNetwork::vgg16();
+    let mut group = c.benchmark_group("table3_characterization");
+    group.sample_size(20);
+    group.bench_function("characterize_vgg16_fx16", |b| {
+        b.iter(|| characterize_network(&network, Precision::Fixed16, &CuConfig::default(), &device))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

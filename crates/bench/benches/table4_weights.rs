@@ -1,0 +1,54 @@
+//! Table 4 — the α/β weights of the spreading objective for the three
+//! representative cases, and the goal values they produce.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use mfa_alloc::cases::PaperCase;
+use mfa_alloc::gpa::{self, GpaOptions};
+
+fn print_table4() {
+    println!();
+    println!("=== Table 4: parameters for the spreading function");
+    println!("{:<22} {:>6} {:>6}", "application", "alpha", "beta");
+    for case in PaperCase::all() {
+        let w = case.weights();
+        println!("{:<22} {:>6.1} {:>6.1}", case.label(), w.alpha, w.beta);
+    }
+    println!();
+    println!("goal values g = alpha*II + beta*phi at the middle of each case's constraint range (GP+A):");
+    for case in PaperCase::all() {
+        let (lo, hi) = case.constraint_range();
+        let problem = case.problem(0.5 * (lo + hi)).expect("paper cases are feasible");
+        match gpa::solve(&problem, &GpaOptions::paper_defaults()) {
+            Ok(outcome) => {
+                let metrics = outcome.allocation.metrics(&problem);
+                println!(
+                    "  {:<22} II = {:>7.3} ms   phi = {:>6.3}   g = {:>8.3}",
+                    case.label(),
+                    metrics.initiation_interval_ms,
+                    metrics.spreading,
+                    metrics.goal
+                );
+            }
+            Err(err) => println!("  {:<22} failed: {err}", case.label()),
+        }
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_table4();
+    let mut group = c.benchmark_group("table4_problem_construction");
+    group.sample_size(20);
+    group.bench_function("build_all_three_cases", |b| {
+        b.iter(|| {
+            PaperCase::all()
+                .iter()
+                .map(|case| case.problem(0.70).expect("feasible"))
+                .count()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

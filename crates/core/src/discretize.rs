@@ -1,0 +1,284 @@
+//! Second step of the heuristic, part one: discretizing the fractional CU
+//! counts `N̂_k` into integers `N_k` with a small branch-and-bound
+//! (Sec. 3.2.2 of the paper).
+//!
+//! Two subproblems are generated per fractional variable — `N_k ≤ ⌊N̂_k⌋` and
+//! `N_k ≥ ⌈N̂_k⌉` — and the search is pruned whenever a subproblem's relaxed
+//! `ÎI` is no better than the best integer solution found so far. Node
+//! relaxations reuse [`crate::gp_step::solve_bounded`]; the fast bisection
+//! backend is the default engine (the GP backend gives identical results and
+//! is exercised in tests and by the ablation bench).
+
+use crate::gp_step::{self, RelaxationBackend};
+use crate::problem::AllocationProblem;
+use crate::AllocError;
+
+/// Options for the discretization search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiscretizeOptions {
+    /// Relaxation engine used at every node.
+    pub backend: RelaxationBackend,
+    /// Tolerance within which a fractional count is taken as integral.
+    pub integer_tolerance: f64,
+    /// Safety cap on explored nodes (the tree is tiny in practice because
+    /// only kernels with fractional counts are branched on).
+    pub max_nodes: usize,
+}
+
+impl Default for DiscretizeOptions {
+    fn default() -> Self {
+        DiscretizeOptions {
+            backend: RelaxationBackend::Bisection,
+            integer_tolerance: 1e-6,
+            max_nodes: 20_000,
+        }
+    }
+}
+
+/// Result of the discretization.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiscreteCounts {
+    /// Integer CU count `N_k` per kernel.
+    pub cu_counts: Vec<u32>,
+    /// Initiation interval implied by the integer counts, in milliseconds.
+    pub initiation_interval_ms: f64,
+    /// Branch-and-bound nodes explored.
+    pub nodes_explored: usize,
+}
+
+/// Discretizes the relaxed counts for `problem`.
+///
+/// # Errors
+///
+/// Propagates relaxation errors; returns [`AllocError::Infeasible`] if no
+/// integer assignment satisfies the aggregated budgets.
+pub fn solve(
+    problem: &AllocationProblem,
+    options: &DiscretizeOptions,
+) -> Result<DiscreteCounts, AllocError> {
+    let root_bounds: Vec<(f64, f64)> = (0..problem.num_kernels())
+        .map(|k| (1.0, problem.max_total_cus(k).max(1) as f64))
+        .collect();
+
+    let mut best: Option<(Vec<u32>, f64)> = None;
+    let mut nodes = 0usize;
+    let mut stack = vec![root_bounds];
+
+    while let Some(bounds) = stack.pop() {
+        if nodes >= options.max_nodes {
+            break;
+        }
+        nodes += 1;
+        let relaxation = match gp_step::solve_bounded(problem, &bounds, options.backend) {
+            Ok(r) => r,
+            Err(AllocError::Infeasible(_)) => continue,
+            Err(other) => return Err(other),
+        };
+        if let Some((_, best_ii)) = &best {
+            // Prune: the relaxation is a lower bound on any integer solution
+            // in this subtree. A small relative margin keeps the pruning sound
+            // when the GP backend returns its optimum only to solver tolerance.
+            if relaxation.initiation_interval_ms >= *best_ii * (1.0 + 1e-7) - 1e-12 {
+                continue;
+            }
+        }
+        // Find the most fractional count.
+        let fractional = relaxation
+            .cu_counts
+            .iter()
+            .enumerate()
+            .filter_map(|(k, &n)| {
+                let frac = (n - n.round()).abs();
+                if frac > options.integer_tolerance {
+                    Some((k, n, (n - n.floor() - 0.5).abs()))
+                } else {
+                    None
+                }
+            })
+            .min_by(|a, b| a.2.total_cmp(&b.2));
+
+        match fractional {
+            None => {
+                // Integral: the exact II of the rounded counts.
+                let counts: Vec<u32> = relaxation
+                    .cu_counts
+                    .iter()
+                    .map(|&n| n.round().max(1.0) as u32)
+                    .collect();
+                let ii = implied_ii(problem, &counts);
+                if best.as_ref().map_or(true, |(_, b)| ii < *b) {
+                    best = Some((counts, ii));
+                }
+            }
+            Some((k, value, _)) => {
+                let (lo, hi) = bounds[k];
+                let mut left = bounds.clone();
+                left[k] = (lo, value.floor());
+                let mut right = bounds.clone();
+                right[k] = (value.ceil(), hi);
+                if left[k].0 <= left[k].1 {
+                    stack.push(left);
+                }
+                if right[k].0 <= right[k].1 {
+                    stack.push(right);
+                }
+            }
+        }
+    }
+
+    match best {
+        Some((cu_counts, initiation_interval_ms)) => Ok(DiscreteCounts {
+            cu_counts,
+            initiation_interval_ms,
+            nodes_explored: nodes,
+        }),
+        None => Err(AllocError::Infeasible(
+            "no integer CU assignment satisfies the aggregated budgets".into(),
+        )),
+    }
+}
+
+/// `max_k WCET_k / N_k` for integer counts.
+fn implied_ii(problem: &AllocationProblem, counts: &[u32]) -> f64 {
+    problem
+        .kernels()
+        .iter()
+        .zip(counts)
+        .map(|(kernel, &n)| kernel.wcet_ms() / n.max(1) as f64)
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{GoalWeights, Kernel};
+    use mfa_cnn::paper_data;
+    use mfa_platform::{MultiFpgaPlatform, ResourceBudget, ResourceVec};
+    use proptest::prelude::*;
+
+    fn toy_problem(budget: f64) -> AllocationProblem {
+        AllocationProblem::builder()
+            .kernels(vec![
+                Kernel::new("a", 3.0, ResourceVec::bram_dsp(0.01, 0.2), 0.01).unwrap(),
+                Kernel::new("b", 5.0, ResourceVec::bram_dsp(0.01, 0.3), 0.01).unwrap(),
+            ])
+            // Two FPGAs (f1.4xlarge), so the aggregated DSP budget is 2·budget.
+            .platform(MultiFpgaPlatform::aws_f1_4xlarge())
+            .budget(ResourceBudget::uniform(budget))
+            .weights(GoalWeights::ii_only())
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn integer_counts_beat_naive_rounding_down() {
+        // Continuous optimum (budget 1.0): N_a = 1.43, N_b = 2.38, II = 2.1.
+        // Best integer point under 0.2·N_a + 0.3·N_b ≤ 2 (two FPGAs):
+        // enumerate: (2,4): 0.4+1.2=1.6 ok → II = max(1.5, 1.25) = 1.5;
+        // (3,4): 0.6+1.2=1.8 ok → II = max(1.0,1.25) = 1.25;
+        // (3,5): 0.6+1.5=2.1 > 2 no; (4,4): 0.8+1.2=2.0 ok → II = 1.25;
+        // (4,5): 2.3 no. So optimum II = 1.25.
+        let p = toy_problem(1.0);
+        let d = solve(&p, &DiscretizeOptions::default()).unwrap();
+        assert!((d.initiation_interval_ms - 1.25).abs() < 1e-9, "II = {}", d.initiation_interval_ms);
+        assert!(d.nodes_explored >= 1);
+    }
+
+    #[test]
+    fn gp_and_bisection_backends_agree() {
+        let p = toy_problem(0.8);
+        let bis = solve(&p, &DiscretizeOptions::default()).unwrap();
+        let gp = solve(
+            &p,
+            &DiscretizeOptions {
+                backend: RelaxationBackend::GeometricProgram,
+                ..DiscretizeOptions::default()
+            },
+        )
+        .unwrap();
+        // The GP backend solves each node only to interior-point tolerance, so
+        // allow a small relative slack when comparing against bisection.
+        let tol = 1e-4 * bis.initiation_interval_ms;
+        assert!(
+            (bis.initiation_interval_ms - gp.initiation_interval_ms).abs() < tol,
+            "bisection {} vs GP {}",
+            bis.initiation_interval_ms,
+            gp.initiation_interval_ms
+        );
+    }
+
+    #[test]
+    fn every_kernel_keeps_at_least_one_cu() {
+        let app = paper_data::alexnet_16bit();
+        let p = AllocationProblem::from_application(&app, 2, 0.60, GoalWeights::ii_only()).unwrap();
+        let d = solve(&p, &DiscretizeOptions::default()).unwrap();
+        assert_eq!(d.cu_counts.len(), 8);
+        assert!(d.cu_counts.iter().all(|&n| n >= 1));
+        // Discretized II can only be ≥ the continuous relaxation.
+        let relaxed = gp_step::solve(&p, RelaxationBackend::Bisection).unwrap();
+        assert!(d.initiation_interval_ms >= relaxed.initiation_interval_ms - 1e-9);
+    }
+
+    #[test]
+    fn infeasible_problems_are_reported() {
+        // Two kernels that each need more than half of the single FPGA's DSPs
+        // can coexist only if the budget allows both lower bounds; shrink the
+        // budget below one kernel's need.
+        let p = AllocationProblem::builder()
+            .kernels(vec![
+                Kernel::new("a", 3.0, ResourceVec::bram_dsp(0.01, 0.4), 0.01).unwrap(),
+                Kernel::new("b", 5.0, ResourceVec::bram_dsp(0.01, 0.4), 0.01).unwrap(),
+            ])
+            .platform(MultiFpgaPlatform::aws_f1_2xlarge())
+            .budget(ResourceBudget::uniform(0.3))
+            .build()
+            .unwrap();
+        assert!(matches!(
+            solve(&p, &DiscretizeOptions::default()),
+            Err(AllocError::Infeasible(_))
+        ));
+    }
+
+    proptest! {
+        /// The discretized counts always satisfy the aggregated budgets and the
+        /// implied II is never better than the continuous relaxation.
+        #[test]
+        fn discretization_is_sound(
+            wcets in proptest::collection::vec(1.0..20.0f64, 2..6),
+            dsp in 0.05..0.25f64,
+            budget in 0.5..1.0f64
+        ) {
+            let kernels: Vec<Kernel> = wcets
+                .iter()
+                .enumerate()
+                .map(|(i, &w)| {
+                    Kernel::new(format!("k{i}"), w, ResourceVec::bram_dsp(0.02, dsp), 0.01).unwrap()
+                })
+                .collect();
+            let p = AllocationProblem::builder()
+                .kernels(kernels)
+                .platform(MultiFpgaPlatform::aws_f1_4xlarge())
+                .budget(ResourceBudget::uniform(budget))
+                .build()
+                .unwrap();
+            // Random instances may be infeasible (one CU per kernel already
+            // exceeding the aggregated budget); those are not interesting here.
+            let relaxed = match gp_step::solve(&p, RelaxationBackend::Bisection) {
+                Ok(r) => r,
+                Err(AllocError::Infeasible(_)) => return Ok(()),
+                Err(other) => panic!("unexpected error: {other}"),
+            };
+            let d = solve(&p, &DiscretizeOptions::default()).unwrap();
+            prop_assert!(d.initiation_interval_ms >= relaxed.initiation_interval_ms - 1e-9);
+            // Aggregated budget check.
+            let f = p.num_fpgas() as f64;
+            let total_dsp: f64 = d
+                .cu_counts
+                .iter()
+                .zip(p.kernels())
+                .map(|(&n, k)| n as f64 * k.resources().dsp)
+                .sum();
+            prop_assert!(total_dsp <= f * budget + 1e-6);
+        }
+    }
+}

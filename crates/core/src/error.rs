@@ -1,0 +1,93 @@
+//! Error type of the allocation crate.
+
+use std::error::Error;
+use std::fmt;
+
+use mfa_gp::GpError;
+use mfa_minlp::MinlpError;
+
+/// Error returned by problem construction and the allocation algorithms.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum AllocError {
+    /// A kernel, weight, budget or other argument was invalid.
+    InvalidArgument(String),
+    /// The problem is infeasible: even the cheapest legal configuration
+    /// (one CU per kernel) cannot be placed within the per-FPGA budgets.
+    Infeasible(String),
+    /// The greedy allocator could not place every CU within `R + T`.
+    AllocationFailed {
+        /// CUs left unplaced per kernel (kernel name, remaining CUs).
+        unplaced: Vec<(String, u32)>,
+    },
+    /// The geometric-programming relaxation failed.
+    Gp(GpError),
+    /// The MINLP solver failed.
+    Minlp(MinlpError),
+}
+
+impl fmt::Display for AllocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AllocError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+            AllocError::Infeasible(msg) => write!(f, "infeasible problem: {msg}"),
+            AllocError::AllocationFailed { unplaced } => {
+                write!(f, "greedy allocation failed; unplaced CUs:")?;
+                for (name, cus) in unplaced {
+                    write!(f, " {name}×{cus}")?;
+                }
+                Ok(())
+            }
+            AllocError::Gp(err) => write!(f, "geometric-programming step failed: {err}"),
+            AllocError::Minlp(err) => write!(f, "minlp step failed: {err}"),
+        }
+    }
+}
+
+impl Error for AllocError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            AllocError::Gp(err) => Some(err),
+            AllocError::Minlp(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<GpError> for AllocError {
+    fn from(err: GpError) -> Self {
+        AllocError::Gp(err)
+    }
+}
+
+impl From<MinlpError> for AllocError {
+    fn from(err: MinlpError) -> Self {
+        AllocError::Minlp(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_variants() {
+        let err = AllocError::AllocationFailed {
+            unplaced: vec![("CONV1".into(), 2)],
+        };
+        assert!(err.to_string().contains("CONV1"));
+        assert!(AllocError::Infeasible("too big".into())
+            .to_string()
+            .contains("too big"));
+        let gp = AllocError::from(GpError::Infeasible);
+        assert!(Error::source(&gp).is_some());
+        let minlp = AllocError::from(MinlpError::UnknownVariable(1));
+        assert!(minlp.to_string().contains("minlp"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<AllocError>();
+    }
+}

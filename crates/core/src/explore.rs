@@ -1,0 +1,180 @@
+//! Design-space exploration sweeps (the data behind Figs. 2–5).
+
+use crate::exact::{self, ExactOptions};
+use crate::gpa::{self, GpaOptions};
+use crate::greedy::GreedyOptions;
+use crate::problem::AllocationProblem;
+use crate::AllocError;
+
+/// One point of a resource-constraint sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepPoint {
+    /// Per-FPGA resource constraint (fraction).
+    pub resource_constraint: f64,
+    /// Achieved initiation interval in milliseconds.
+    pub initiation_interval_ms: f64,
+    /// Average per-FPGA utilization of the critical resource.
+    pub average_utilization: f64,
+    /// Global spreading of the allocation.
+    pub spreading: f64,
+    /// Wall-clock solve time in seconds.
+    pub solve_seconds: f64,
+}
+
+/// The constraint values swept for a case: `count` evenly spaced points
+/// between `lo` and `hi` inclusive.
+pub fn constraint_grid(lo: f64, hi: f64, count: usize) -> Vec<f64> {
+    assert!(count >= 2 && hi > lo, "need at least two sweep points");
+    (0..count)
+        .map(|i| lo + (hi - lo) * i as f64 / (count - 1) as f64)
+        .collect()
+}
+
+/// Sweeps the GP+A heuristic over resource constraints.
+///
+/// Infeasible constraint points (too tight for the application) are skipped,
+/// mirroring how the paper's figures simply do not show those points.
+///
+/// # Errors
+///
+/// Propagates unexpected solver failures (infeasibility is not an error here).
+pub fn sweep_gpa(
+    problem: &AllocationProblem,
+    constraints: &[f64],
+    options: &GpaOptions,
+) -> Result<Vec<SweepPoint>, AllocError> {
+    let mut points = Vec::with_capacity(constraints.len());
+    for &constraint in constraints {
+        let instance = problem.with_resource_constraint(constraint);
+        match gpa::solve(&instance, options) {
+            Ok(outcome) => {
+                let metrics = outcome.allocation.metrics(&instance);
+                points.push(SweepPoint {
+                    resource_constraint: constraint,
+                    initiation_interval_ms: metrics.initiation_interval_ms,
+                    average_utilization: metrics.average_utilization,
+                    spreading: metrics.spreading,
+                    solve_seconds: outcome.elapsed.as_secs_f64(),
+                });
+            }
+            Err(AllocError::Infeasible(_)) | Err(AllocError::AllocationFailed { .. }) => continue,
+            Err(other) => return Err(other),
+        }
+    }
+    Ok(points)
+}
+
+/// Sweeps the exact MINLP solver over resource constraints.
+///
+/// # Errors
+///
+/// Propagates unexpected solver failures (infeasibility is not an error here).
+pub fn sweep_exact(
+    problem: &AllocationProblem,
+    constraints: &[f64],
+    options: &ExactOptions,
+) -> Result<Vec<SweepPoint>, AllocError> {
+    let mut points = Vec::with_capacity(constraints.len());
+    for &constraint in constraints {
+        let instance = problem.with_resource_constraint(constraint);
+        match exact::solve(&instance, options) {
+            Ok(outcome) => {
+                let metrics = outcome.allocation.metrics(&instance);
+                points.push(SweepPoint {
+                    resource_constraint: constraint,
+                    initiation_interval_ms: metrics.initiation_interval_ms,
+                    average_utilization: metrics.average_utilization,
+                    spreading: metrics.spreading,
+                    solve_seconds: outcome.elapsed.as_secs_f64(),
+                });
+            }
+            Err(AllocError::Infeasible(_)) => continue,
+            Err(other) => return Err(other),
+        }
+    }
+    Ok(points)
+}
+
+/// Sweeps the GP+A heuristic over the `T` parameter (the data of Fig. 2).
+///
+/// # Errors
+///
+/// Propagates unexpected solver failures.
+pub fn sweep_t_parameter(
+    problem: &AllocationProblem,
+    constraints: &[f64],
+    t_values: &[f64],
+    delta: f64,
+) -> Result<Vec<(f64, Vec<SweepPoint>)>, AllocError> {
+    let mut series = Vec::with_capacity(t_values.len());
+    for &t in t_values {
+        let options = GpaOptions {
+            greedy: GreedyOptions::with_t_delta(t, delta),
+            ..GpaOptions::fast()
+        };
+        let points = sweep_gpa(problem, constraints, &options)?;
+        series.push((t, points));
+    }
+    Ok(series)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cases::PaperCase;
+
+    #[test]
+    fn constraint_grid_is_inclusive_and_even() {
+        let grid = constraint_grid(0.5, 0.9, 5);
+        assert_eq!(grid.len(), 5);
+        assert!((grid[0] - 0.5).abs() < 1e-12);
+        assert!((grid[4] - 0.9).abs() < 1e-12);
+        assert!((grid[2] - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "two sweep points")]
+    fn degenerate_grid_is_rejected() {
+        let _ = constraint_grid(0.5, 0.5, 1);
+    }
+
+    #[test]
+    fn gpa_sweep_is_monotone_in_the_constraint() {
+        let problem = PaperCase::Alex16OnTwoFpgas.problem(0.65).unwrap();
+        let grid = constraint_grid(0.55, 0.85, 4);
+        let points = sweep_gpa(&problem, &grid, &GpaOptions::fast()).unwrap();
+        assert!(points.len() >= 3);
+        // Looser constraints can only improve (not worsen) the II, up to the
+        // small non-monotonicities the greedy step may introduce.
+        let first = points.first().unwrap().initiation_interval_ms;
+        let last = points.last().unwrap().initiation_interval_ms;
+        assert!(last <= first + 1e-9);
+        for p in &points {
+            assert!(p.average_utilization > 0.0 && p.average_utilization <= 1.0);
+            assert!(p.solve_seconds >= 0.0);
+        }
+    }
+
+    #[test]
+    fn t_sweep_produces_one_series_per_t() {
+        let problem = PaperCase::Alex16OnTwoFpgas.problem(0.65).unwrap();
+        let grid = constraint_grid(0.60, 0.80, 3);
+        let series = sweep_t_parameter(&problem, &grid, &[0.0, 0.10], 0.01).unwrap();
+        assert_eq!(series.len(), 2);
+        assert!((series[0].0 - 0.0).abs() < 1e-12);
+        assert!((series[1].0 - 0.10).abs() < 1e-12);
+        // The paper observes little effect of T; check the curves stay close.
+        for (a, b) in series[0].1.iter().zip(&series[1].1) {
+            assert!((a.initiation_interval_ms - b.initiation_interval_ms).abs() < 0.5);
+        }
+    }
+
+    #[test]
+    fn infeasible_points_are_skipped_not_fatal() {
+        let problem = PaperCase::Alex32OnFourFpgas.problem(0.70).unwrap();
+        // 30 % cannot host CONV2 (37.6 % DSP); 75 % can.
+        let points = sweep_gpa(&problem, &[0.30, 0.75], &GpaOptions::fast()).unwrap();
+        assert_eq!(points.len(), 1);
+        assert!((points[0].resource_constraint - 0.75).abs() < 1e-12);
+    }
+}

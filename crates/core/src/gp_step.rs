@@ -1,0 +1,428 @@
+//! First step of the heuristic: the symmetric continuous relaxation
+//! (Eqs. 14–18), solved as a geometric program.
+//!
+//! With the spreading objective dropped (`β = 0`) and `n_{k,f}` allowed to be
+//! real, the problem becomes symmetric across the `F` identical FPGAs, so only
+//! the totals `N̂_k = F·n̂_k` matter:
+//!
+//! ```text
+//! minimize  ÎI
+//! s.t.      ÎI ≥ WCET_k / N̂_k            ∀k
+//!           N̂_k ≥ 1                      ∀k
+//!           Σ_k (N̂_k / F) · R_k ≤ R        (per resource class)
+//!           Σ_k (N̂_k / F) · B_k ≤ B
+//! ```
+//!
+//! Two interchangeable backends solve it:
+//!
+//! * [`RelaxationBackend::GeometricProgram`] — the faithful route: the model
+//!   is expressed in posynomial form and handed to the [`mfa_gp`]
+//!   interior-point solver (the paper used GPkit here).
+//! * [`RelaxationBackend::Bisection`] — an analytic route exploiting the
+//!   problem's structure: for a trial `ÎI` the cheapest feasible counts are
+//!   `N̂_k(ÎI) = max(1, WCET_k / ÎI)`, and resource use is monotone in `1/ÎI`,
+//!   so the optimal `ÎI` is found by bisection. Used as a fast cross-check
+//!   and as the default engine inside the discretization branch-and-bound.
+//!
+//! Both return the same optimum (verified by unit and property tests); the
+//! GP backend is the default for the top-level heuristic to stay close to the
+//! paper's toolchain.
+
+use mfa_gp::{GpProblem, Monomial, Posynomial};
+
+use crate::problem::AllocationProblem;
+use crate::AllocError;
+
+/// Which engine solves the continuous relaxation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RelaxationBackend {
+    /// Posynomial model solved with the `mfa-gp` interior-point solver.
+    #[default]
+    GeometricProgram,
+    /// Analytic bisection on `ÎI` (fast path).
+    Bisection,
+}
+
+/// Result of the continuous relaxation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Relaxation {
+    /// Fractional total CU count `N̂_k` per kernel.
+    pub cu_counts: Vec<f64>,
+    /// Relaxed initiation interval `ÎI` in milliseconds.
+    pub initiation_interval_ms: f64,
+}
+
+/// Per-kernel bounds `lo_k ≤ N̂_k ≤ hi_k` imposed by the discretization
+/// branch-and-bound on top of the base relaxation.
+pub type CuBounds = [(f64, f64)];
+
+/// Solves the unbounded relaxation (Eqs. 14–18).
+///
+/// # Errors
+///
+/// Returns [`AllocError::Infeasible`] if even one CU per kernel violates a
+/// platform-wide budget, and propagates GP solver failures.
+pub fn solve(
+    problem: &AllocationProblem,
+    backend: RelaxationBackend,
+) -> Result<Relaxation, AllocError> {
+    let unbounded: Vec<(f64, f64)> = (0..problem.num_kernels())
+        .map(|k| (1.0, problem.max_total_cus(k) as f64))
+        .collect();
+    solve_bounded(problem, &unbounded, backend)
+}
+
+/// Solves the relaxation with explicit per-kernel bounds on `N̂_k` (used by
+/// the discretization branch-and-bound).
+///
+/// # Errors
+///
+/// Returns [`AllocError::Infeasible`] if the bounds admit no feasible point
+/// and propagates GP solver failures.
+pub fn solve_bounded(
+    problem: &AllocationProblem,
+    bounds: &CuBounds,
+    backend: RelaxationBackend,
+) -> Result<Relaxation, AllocError> {
+    if bounds.len() != problem.num_kernels() {
+        return Err(AllocError::InvalidArgument(format!(
+            "expected {} bounds, got {}",
+            problem.num_kernels(),
+            bounds.len()
+        )));
+    }
+    for (k, kernel) in problem.kernels().iter().enumerate() {
+        // A kernel that cannot fit even one CU on an FPGA makes the whole
+        // problem infeasible regardless of the bounds.
+        if problem.max_cus_per_fpga(k) == 0 {
+            return Err(AllocError::Infeasible(format!(
+                "kernel {} does not fit a single CU within the per-FPGA budget",
+                kernel.name()
+            )));
+        }
+        let (lo, hi) = bounds[k];
+        if !(lo >= 1.0 && hi >= lo) {
+            return Err(AllocError::InvalidArgument(format!(
+                "invalid CU bounds [{lo}, {hi}] for kernel {}",
+                kernel.name()
+            )));
+        }
+    }
+    // Quick infeasibility check: the cheapest configuration takes the lower
+    // bound everywhere.
+    if !budgets_allow(problem, &bounds.iter().map(|&(lo, _)| lo).collect::<Vec<_>>()) {
+        return Err(AllocError::Infeasible(
+            "the minimum CU counts already exceed a platform-wide budget".into(),
+        ));
+    }
+    match backend {
+        RelaxationBackend::GeometricProgram => solve_gp(problem, bounds),
+        RelaxationBackend::Bisection => Ok(solve_bisection(problem, bounds)),
+    }
+}
+
+/// Checks the aggregated budgets `Σ_k N_k·R_k ≤ F·R` and `Σ_k N_k·B_k ≤ F·B`.
+fn budgets_allow(problem: &AllocationProblem, cu_counts: &[f64]) -> bool {
+    let f = problem.num_fpgas() as f64;
+    let budget = problem.budget();
+    let limit = *budget.resource_fraction() * f;
+    let total: mfa_platform::ResourceVec = problem
+        .kernels()
+        .iter()
+        .zip(cu_counts)
+        .map(|(k, &n)| *k.resources() * n)
+        .sum();
+    if !total.fits_within(&limit, 1e-9) {
+        return false;
+    }
+    let bw: f64 = problem
+        .kernels()
+        .iter()
+        .zip(cu_counts)
+        .map(|(k, &n)| k.bandwidth() * n)
+        .sum();
+    bw <= budget.bandwidth_fraction() * f + 1e-9
+}
+
+fn solve_gp(problem: &AllocationProblem, bounds: &CuBounds) -> Result<Relaxation, AllocError> {
+    let mut gp = GpProblem::new();
+    let ii = gp.add_var("II")?;
+    let mut n_vars = Vec::with_capacity(problem.num_kernels());
+    for kernel in problem.kernels() {
+        n_vars.push(gp.add_var(format!("N_{}", kernel.name()))?);
+    }
+    gp.set_objective(Posynomial::monomial(1.0, &[(ii, 1.0)]));
+
+    for (k, kernel) in problem.kernels().iter().enumerate() {
+        // ÎI ≥ WCET_k / N̂_k  ⇔  WCET_k · N̂_k⁻¹ · ÎI⁻¹ ≤ 1.
+        gp.add_le_constraint(
+            format!("latency_{}", kernel.name()),
+            Posynomial::monomial(kernel.wcet_ms(), &[(n_vars[k], -1.0), (ii, -1.0)]),
+        )?;
+        // The interior-point solver needs a non-empty interior, so collapsed
+        // or boundary-tight bound pairs are widened by a relative epsilon;
+        // the discretization rounds the result anyway.
+        let (lo, hi) = bounds[k];
+        let lo = lo * (1.0 - 1e-7);
+        let hi = hi * (1.0 + 1e-7);
+        // N̂_k ≥ lo  ⇔  lo · N̂_k⁻¹ ≤ 1 (lo ≥ 1 covers Eq. 16).
+        gp.add_le_constraint(
+            format!("lower_{}", kernel.name()),
+            Posynomial::monomial(lo, &[(n_vars[k], -1.0)]),
+        )?;
+        // N̂_k ≤ hi  ⇔  N̂_k / hi ≤ 1.
+        gp.add_le_constraint(
+            format!("upper_{}", kernel.name()),
+            Posynomial::monomial(1.0 / hi, &[(n_vars[k], 1.0)]),
+        )?;
+    }
+
+    let f = problem.num_fpgas() as f64;
+    let budget = problem.budget();
+    let resource_budget = budget.resource_fraction();
+    // One posynomial budget row per resource class that is actually used.
+    let class_rows: [(&str, fn(&mfa_platform::ResourceVec) -> f64, f64); 4] = [
+        ("lut", |r| r.lut, resource_budget.lut),
+        ("ff", |r| r.ff, resource_budget.ff),
+        ("bram", |r| r.bram, resource_budget.bram),
+        ("dsp", |r| r.dsp, resource_budget.dsp),
+    ];
+    for (class, accessor, limit) in class_rows {
+        let mut row = Posynomial::new();
+        for (k, kernel) in problem.kernels().iter().enumerate() {
+            let use_per_cu = accessor(kernel.resources());
+            if use_per_cu > 0.0 {
+                row.push(Monomial::new(use_per_cu / (f * limit), &[(n_vars[k], 1.0)]));
+            }
+        }
+        if !row.is_empty() {
+            gp.add_le_constraint(format!("budget_{class}"), row)?;
+        }
+    }
+    let mut bw_row = Posynomial::new();
+    for (k, kernel) in problem.kernels().iter().enumerate() {
+        if kernel.bandwidth() > 0.0 {
+            bw_row.push(Monomial::new(
+                kernel.bandwidth() / (f * budget.bandwidth_fraction()),
+                &[(n_vars[k], 1.0)],
+            ));
+        }
+    }
+    if !bw_row.is_empty() {
+        gp.add_le_constraint("budget_bandwidth", bw_row)?;
+    }
+
+    let solution = gp.solve().map_err(|err| match err {
+        mfa_gp::GpError::Infeasible => {
+            AllocError::Infeasible("the GP relaxation has no feasible point".into())
+        }
+        other => AllocError::from(other),
+    })?;
+    Ok(Relaxation {
+        cu_counts: n_vars.iter().map(|&v| solution.value(v)).collect(),
+        initiation_interval_ms: solution.value(ii),
+    })
+}
+
+/// Analytic solution by bisection on `ÎI`.
+fn solve_bisection(problem: &AllocationProblem, bounds: &CuBounds) -> Relaxation {
+    // For a target II the cheapest feasible counts are the WCET-driven counts
+    // clamped into the node bounds; feasibility of the aggregated budgets is
+    // monotone in II (larger II → fewer CUs → less resource use).
+    let counts_for = |ii: f64| -> Vec<f64> {
+        problem
+            .kernels()
+            .iter()
+            .zip(bounds)
+            .map(|(kernel, &(lo, hi))| (kernel.wcet_ms() / ii).max(lo).min(hi))
+            .collect()
+    };
+    // The largest II anyone needs is when every kernel sits at its lower
+    // bound; that configuration is feasible (checked by the caller).
+    let mut hi = problem
+        .kernels()
+        .iter()
+        .zip(bounds)
+        .map(|(kernel, &(lo, _))| kernel.wcet_ms() / lo)
+        .fold(0.0_f64, f64::max);
+    // Lower limit: every kernel at its upper bound.
+    let mut lo = problem
+        .kernels()
+        .iter()
+        .zip(bounds)
+        .map(|(kernel, &(_, hi_k))| kernel.wcet_ms() / hi_k)
+        .fold(0.0_f64, f64::max);
+    if budgets_allow(problem, &counts_for(lo)) {
+        let counts = counts_for(lo);
+        return Relaxation {
+            cu_counts: counts,
+            initiation_interval_ms: lo,
+        };
+    }
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if budgets_allow(problem, &counts_for(mid)) {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+        if (hi - lo) <= 1e-12 * hi.max(1.0) {
+            break;
+        }
+    }
+    Relaxation {
+        cu_counts: counts_for(hi),
+        initiation_interval_ms: hi,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{GoalWeights, Kernel};
+    use mfa_cnn::paper_data;
+    use mfa_platform::{MultiFpgaPlatform, ResourceBudget, ResourceVec};
+    use proptest::prelude::*;
+
+    fn two_kernel_problem() -> AllocationProblem {
+        AllocationProblem::builder()
+            .kernels(vec![
+                Kernel::new("a", 3.0, ResourceVec::bram_dsp(0.0, 0.2), 0.0).unwrap(),
+                Kernel::new("b", 5.0, ResourceVec::bram_dsp(0.0, 0.3), 0.0).unwrap(),
+            ])
+            .platform(MultiFpgaPlatform::aws_f1_2xlarge())
+            .budget(ResourceBudget::uniform(1.0))
+            .weights(GoalWeights::ii_only())
+            .build()
+            .unwrap()
+    }
+
+    /// The toy problem has the closed-form optimum II = 2.1 (both kernels
+    /// critical, DSP budget tight): 0.2·3/II + 0.3·5/II = 1.
+    #[test]
+    fn backends_agree_on_closed_form_optimum() {
+        let p = two_kernel_problem();
+        let gp = solve(&p, RelaxationBackend::GeometricProgram).unwrap();
+        let bis = solve(&p, RelaxationBackend::Bisection).unwrap();
+        assert!((gp.initiation_interval_ms - 2.1).abs() < 1e-3, "GP: {}", gp.initiation_interval_ms);
+        assert!((bis.initiation_interval_ms - 2.1).abs() < 1e-6);
+        for (a, b) in gp.cu_counts.iter().zip(&bis.cu_counts) {
+            assert!((a - b).abs() < 1e-2, "counts differ: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn bounded_relaxation_respects_bounds() {
+        let p = two_kernel_problem();
+        let bounds = vec![(1.0, 1.0), (1.0, 10.0)];
+        let r = solve_bounded(&p, &bounds, RelaxationBackend::Bisection).unwrap();
+        assert!((r.cu_counts[0] - 1.0).abs() < 1e-9);
+        // Kernel a fixed at one CU → II at least 3.
+        assert!(r.initiation_interval_ms >= 3.0 - 1e-9);
+    }
+
+    #[test]
+    fn invalid_bounds_are_rejected() {
+        let p = two_kernel_problem();
+        assert!(solve_bounded(&p, &[(1.0, 2.0)], RelaxationBackend::Bisection).is_err());
+        assert!(
+            solve_bounded(&p, &[(0.0, 2.0), (1.0, 2.0)], RelaxationBackend::Bisection).is_err()
+        );
+        assert!(
+            solve_bounded(&p, &[(3.0, 2.0), (1.0, 2.0)], RelaxationBackend::Bisection).is_err()
+        );
+    }
+
+    #[test]
+    fn infeasible_budget_is_detected() {
+        let p = AllocationProblem::builder()
+            .kernels(vec![
+                Kernel::new("a", 3.0, ResourceVec::bram_dsp(0.0, 0.6), 0.0).unwrap(),
+                Kernel::new("b", 5.0, ResourceVec::bram_dsp(0.0, 0.6), 0.0).unwrap(),
+            ])
+            .platform(MultiFpgaPlatform::aws_f1_2xlarge())
+            .budget(ResourceBudget::uniform(0.5))
+            .build()
+            .unwrap();
+        assert!(matches!(
+            solve(&p, RelaxationBackend::Bisection),
+            Err(AllocError::Infeasible(_))
+        ));
+    }
+
+    /// Paper case: Alex-16 on 2 FPGAs. The relaxed II must lie below the
+    /// single-CU bottleneck (6.7 ms) and above the fully replicated bound.
+    #[test]
+    fn alex16_relaxation_is_sensible() {
+        let app = paper_data::alexnet_16bit();
+        let p = AllocationProblem::from_application(&app, 2, 0.65, GoalWeights::ii_only()).unwrap();
+        let r = solve(&p, RelaxationBackend::Bisection).unwrap();
+        assert!(r.initiation_interval_ms < 6.7);
+        assert!(r.initiation_interval_ms > 0.3);
+        // Every kernel gets at least one CU.
+        assert!(r.cu_counts.iter().all(|&n| n >= 1.0 - 1e-9));
+        // The aggregate budget is respected.
+        let gp = solve(&p, RelaxationBackend::GeometricProgram).unwrap();
+        assert!(
+            (gp.initiation_interval_ms - r.initiation_interval_ms).abs()
+                < 0.02 * r.initiation_interval_ms,
+            "GP {} vs bisection {}",
+            gp.initiation_interval_ms,
+            r.initiation_interval_ms
+        );
+    }
+
+    proptest! {
+        /// On random two-kernel problems the two backends agree.
+        #[test]
+        fn backends_agree_on_random_problems(
+            wcet_a in 1.0..20.0f64,
+            wcet_b in 1.0..20.0f64,
+            dsp_a in 0.05..0.3f64,
+            dsp_b in 0.05..0.3f64,
+            budget in 0.5..1.0f64
+        ) {
+            let p = AllocationProblem::builder()
+                .kernels(vec![
+                    Kernel::new("a", wcet_a, ResourceVec::bram_dsp(0.01, dsp_a), 0.01).unwrap(),
+                    Kernel::new("b", wcet_b, ResourceVec::bram_dsp(0.01, dsp_b), 0.01).unwrap(),
+                ])
+                .platform(MultiFpgaPlatform::aws_f1_4xlarge())
+                .budget(ResourceBudget::uniform(budget))
+                .build()
+                .unwrap();
+            let gp = solve(&p, RelaxationBackend::GeometricProgram).unwrap();
+            let bis = solve(&p, RelaxationBackend::Bisection).unwrap();
+            let tol = 0.02 * bis.initiation_interval_ms.max(0.1);
+            prop_assert!((gp.initiation_interval_ms - bis.initiation_interval_ms).abs() < tol,
+                "GP {} vs bisection {}", gp.initiation_interval_ms, bis.initiation_interval_ms);
+        }
+
+        /// The relaxed II never exceeds the single-CU bottleneck and never
+        /// goes below the everything-maximally-replicated bound.
+        #[test]
+        fn relaxation_is_bracketed(
+            wcets in proptest::collection::vec(1.0..30.0f64, 2..6),
+            budget in 0.4..1.0f64
+        ) {
+            let kernels: Vec<Kernel> = wcets
+                .iter()
+                .enumerate()
+                .map(|(i, &w)| {
+                    Kernel::new(format!("k{i}"), w, ResourceVec::bram_dsp(0.02, 0.1), 0.01)
+                        .unwrap()
+                })
+                .collect();
+            let p = AllocationProblem::builder()
+                .kernels(kernels)
+                .platform(MultiFpgaPlatform::aws_f1_4xlarge())
+                .budget(ResourceBudget::uniform(budget))
+                .build()
+                .unwrap();
+            let r = solve(&p, RelaxationBackend::Bisection).unwrap();
+            let bottleneck = wcets.iter().cloned().fold(0.0f64, f64::max);
+            prop_assert!(r.initiation_interval_ms <= bottleneck + 1e-9);
+            prop_assert!(r.initiation_interval_ms > 0.0);
+        }
+    }
+}

@@ -1,0 +1,480 @@
+//! Problem formulation: kernels, platform, budgets and objective weights.
+
+use serde::{Deserialize, Serialize};
+
+use mfa_cnn::{Application, KernelCharacterization};
+use mfa_platform::{MultiFpgaPlatform, ResourceBudget, ResourceVec};
+
+use crate::AllocError;
+
+/// One pipeline kernel: the constants the optimization model needs
+/// (`WCET_k`, `R_k`, `B_k` in the paper's notation).
+///
+/// Resource and bandwidth figures are fractions of one FPGA.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Kernel {
+    name: String,
+    wcet_ms: f64,
+    resources: ResourceVec,
+    bandwidth: f64,
+}
+
+impl Kernel {
+    /// Creates a kernel description.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AllocError::InvalidArgument`] if `wcet_ms` is not strictly
+    /// positive, a resource fraction is invalid or outside `[0, 1]`, or the
+    /// bandwidth fraction is outside `[0, 1]`.
+    pub fn new(
+        name: impl Into<String>,
+        wcet_ms: f64,
+        resources: ResourceVec,
+        bandwidth: f64,
+    ) -> Result<Self, AllocError> {
+        let name = name.into();
+        if !(wcet_ms.is_finite() && wcet_ms > 0.0) {
+            return Err(AllocError::InvalidArgument(format!(
+                "kernel {name}: WCET must be positive, got {wcet_ms}"
+            )));
+        }
+        if !resources.is_valid() || resources.max_component() > 1.0 {
+            return Err(AllocError::InvalidArgument(format!(
+                "kernel {name}: per-CU resources must be fractions in [0, 1]"
+            )));
+        }
+        if !(0.0..=1.0).contains(&bandwidth) || !bandwidth.is_finite() {
+            return Err(AllocError::InvalidArgument(format!(
+                "kernel {name}: bandwidth must be a fraction in [0, 1], got {bandwidth}"
+            )));
+        }
+        Ok(Kernel {
+            name,
+            wcet_ms,
+            resources,
+            bandwidth,
+        })
+    }
+
+    /// Kernel name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Worst-case execution time of a single CU, in milliseconds.
+    pub fn wcet_ms(&self) -> f64 {
+        self.wcet_ms
+    }
+
+    /// Per-CU resources as fractions of one FPGA.
+    pub fn resources(&self) -> &ResourceVec {
+        &self.resources
+    }
+
+    /// Per-CU DRAM bandwidth as a fraction of one FPGA's bandwidth.
+    pub fn bandwidth(&self) -> f64 {
+        self.bandwidth
+    }
+}
+
+impl From<&KernelCharacterization> for Kernel {
+    fn from(k: &KernelCharacterization) -> Self {
+        Kernel {
+            name: k.name().to_owned(),
+            wcet_ms: k.wcet_ms(),
+            resources: *k.resources(),
+            bandwidth: k.bandwidth(),
+        }
+    }
+}
+
+/// The weights `α` (initiation interval) and `β` (spreading) of the goal
+/// function `g = α·II + β·ϕ` (paper Eq. 5 and Table 4).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GoalWeights {
+    /// Weight of the initiation interval.
+    pub alpha: f64,
+    /// Weight of the spreading penalty.
+    pub beta: f64,
+}
+
+impl GoalWeights {
+    /// Creates a weight pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either weight is negative or non-finite.
+    pub fn new(alpha: f64, beta: f64) -> Self {
+        assert!(
+            alpha.is_finite() && alpha >= 0.0 && beta.is_finite() && beta >= 0.0,
+            "goal weights must be nonnegative and finite"
+        );
+        GoalWeights { alpha, beta }
+    }
+
+    /// Weights that optimize the initiation interval only (`β = 0`), the
+    /// setting the paper calls plain "MINLP".
+    pub fn ii_only() -> Self {
+        GoalWeights::new(1.0, 0.0)
+    }
+}
+
+impl Default for GoalWeights {
+    fn default() -> Self {
+        GoalWeights::ii_only()
+    }
+}
+
+/// A complete allocation problem instance: the kernel pipeline, the platform,
+/// the per-FPGA budget and the objective weights.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AllocationProblem {
+    kernels: Vec<Kernel>,
+    platform: MultiFpgaPlatform,
+    budget: ResourceBudget,
+    weights: GoalWeights,
+}
+
+impl AllocationProblem {
+    /// Starts building a problem.
+    pub fn builder() -> AllocationProblemBuilder {
+        AllocationProblemBuilder::default()
+    }
+
+    /// Convenience constructor for the common case: a characterized
+    /// application on `num_fpgas` FPGAs under a uniform resource constraint.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the same validation errors as the [builder](Self::builder).
+    pub fn from_application(
+        application: &Application,
+        num_fpgas: usize,
+        resource_constraint: f64,
+        weights: GoalWeights,
+    ) -> Result<Self, AllocError> {
+        AllocationProblem::builder()
+            .kernels(
+                application
+                    .kernels()
+                    .iter()
+                    .map(Kernel::from)
+                    .collect::<Vec<_>>(),
+            )
+            .platform(MultiFpgaPlatform::aws_f1_16xlarge().with_num_fpgas(num_fpgas))
+            .budget(ResourceBudget::uniform(resource_constraint))
+            .weights(weights)
+            .build()
+    }
+
+    /// The kernels, in pipeline order.
+    pub fn kernels(&self) -> &[Kernel] {
+        &self.kernels
+    }
+
+    /// Number of kernels `|K|`.
+    pub fn num_kernels(&self) -> usize {
+        self.kernels.len()
+    }
+
+    /// The platform.
+    pub fn platform(&self) -> &MultiFpgaPlatform {
+        &self.platform
+    }
+
+    /// Number of FPGAs `F`.
+    pub fn num_fpgas(&self) -> usize {
+        self.platform.num_fpgas()
+    }
+
+    /// The per-FPGA budget (resource constraint and bandwidth cap).
+    pub fn budget(&self) -> &ResourceBudget {
+        &self.budget
+    }
+
+    /// The objective weights.
+    pub fn weights(&self) -> &GoalWeights {
+        &self.weights
+    }
+
+    /// Returns a copy of the problem with a different uniform resource
+    /// constraint (used by the constraint sweeps of Figs. 2–5).
+    #[must_use]
+    pub fn with_resource_constraint(&self, fraction: f64) -> Self {
+        AllocationProblem {
+            budget: ResourceBudget::new(
+                ResourceVec::uniform(fraction),
+                self.budget.bandwidth_fraction(),
+            ),
+            ..self.clone()
+        }
+    }
+
+    /// Returns a copy of the problem with different objective weights.
+    #[must_use]
+    pub fn with_weights(&self, weights: GoalWeights) -> Self {
+        AllocationProblem {
+            weights,
+            ..self.clone()
+        }
+    }
+
+    /// Returns a copy of the problem on a different number of FPGAs.
+    #[must_use]
+    pub fn with_num_fpgas(&self, num_fpgas: usize) -> Self {
+        AllocationProblem {
+            platform: self.platform.with_num_fpgas(num_fpgas),
+            ..self.clone()
+        }
+    }
+
+    /// Largest number of CUs of kernel `k` that fit on a single FPGA under
+    /// the current budget (resource classes and bandwidth combined).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range.
+    pub fn max_cus_per_fpga(&self, k: usize) -> u32 {
+        let kernel = &self.kernels[k];
+        let resource_bound = kernel
+            .resources()
+            .max_copies_within(self.budget.resource_fraction());
+        let bandwidth_bound = if kernel.bandwidth() > 0.0 {
+            Some((self.budget.bandwidth_fraction() / kernel.bandwidth() + 1e-9).floor() as u32)
+        } else {
+            None
+        };
+        match (resource_bound, bandwidth_bound) {
+            (Some(r), Some(b)) => r.min(b),
+            (Some(r), None) => r,
+            (None, Some(b)) => b,
+            // A kernel with zero resources and zero bandwidth can be
+            // replicated arbitrarily; cap it at something sane.
+            (None, None) => u32::MAX / 2,
+        }
+    }
+
+    /// Largest useful total CU count for kernel `k` across the whole platform.
+    pub fn max_total_cus(&self, k: usize) -> u32 {
+        self.max_cus_per_fpga(k)
+            .saturating_mul(self.num_fpgas() as u32)
+    }
+
+    /// Checks that at least one CU of every kernel can be placed somewhere.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AllocError::Infeasible`] naming the first kernel that cannot
+    /// fit a single CU within the per-FPGA budget, or whose one-CU-per-kernel
+    /// baseline cannot be packed onto the platform by a simple first-fit.
+    pub fn validate_feasibility(&self) -> Result<(), AllocError> {
+        for (k, kernel) in self.kernels.iter().enumerate() {
+            if self.max_cus_per_fpga(k) == 0 {
+                return Err(AllocError::Infeasible(format!(
+                    "kernel {} does not fit a single CU within the per-FPGA budget",
+                    kernel.name()
+                )));
+            }
+        }
+        // First-fit-decreasing packing of one CU per kernel.
+        let mut slack: Vec<(ResourceVec, f64)> = vec![
+            (
+                *self.budget.resource_fraction(),
+                self.budget.bandwidth_fraction()
+            );
+            self.num_fpgas()
+        ];
+        let mut order: Vec<usize> = (0..self.kernels.len()).collect();
+        order.sort_by(|&a, &b| {
+            self.kernels[b]
+                .resources()
+                .max_component()
+                .total_cmp(&self.kernels[a].resources().max_component())
+        });
+        for k in order {
+            let kernel = &self.kernels[k];
+            let placed = slack.iter_mut().find(|(res, bw)| {
+                kernel.resources().fits_within(res, 1e-9) && kernel.bandwidth() <= *bw + 1e-9
+            });
+            match placed {
+                Some((res, bw)) => {
+                    *res = *res - *kernel.resources();
+                    *bw -= kernel.bandwidth();
+                }
+                None => {
+                    return Err(AllocError::Infeasible(format!(
+                        "one CU per kernel does not fit on {} FPGAs under the budget \
+                         (kernel {} could not be placed)",
+                        self.num_fpgas(),
+                        kernel.name()
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`AllocationProblem`].
+#[derive(Debug, Clone, Default)]
+pub struct AllocationProblemBuilder {
+    kernels: Vec<Kernel>,
+    platform: Option<MultiFpgaPlatform>,
+    budget: Option<ResourceBudget>,
+    weights: Option<GoalWeights>,
+}
+
+impl AllocationProblemBuilder {
+    /// Sets the kernel pipeline (replaces any previously set kernels).
+    #[must_use]
+    pub fn kernels(mut self, kernels: Vec<Kernel>) -> Self {
+        self.kernels = kernels;
+        self
+    }
+
+    /// Adds one kernel to the pipeline.
+    #[must_use]
+    pub fn kernel(mut self, kernel: Kernel) -> Self {
+        self.kernels.push(kernel);
+        self
+    }
+
+    /// Sets the platform.
+    #[must_use]
+    pub fn platform(mut self, platform: MultiFpgaPlatform) -> Self {
+        self.platform = Some(platform);
+        self
+    }
+
+    /// Sets the per-FPGA budget.
+    #[must_use]
+    pub fn budget(mut self, budget: ResourceBudget) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// Sets the objective weights.
+    #[must_use]
+    pub fn weights(mut self, weights: GoalWeights) -> Self {
+        self.weights = Some(weights);
+        self
+    }
+
+    /// Builds the problem.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AllocError::InvalidArgument`] if no kernels were provided.
+    /// Platform, budget and weights default to an 8-FPGA AWS F1 instance,
+    /// a 100 % budget and `α = 1, β = 0`.
+    pub fn build(self) -> Result<AllocationProblem, AllocError> {
+        if self.kernels.is_empty() {
+            return Err(AllocError::InvalidArgument(
+                "an allocation problem needs at least one kernel".into(),
+            ));
+        }
+        Ok(AllocationProblem {
+            kernels: self.kernels,
+            platform: self
+                .platform
+                .unwrap_or_else(MultiFpgaPlatform::aws_f1_16xlarge),
+            budget: self.budget.unwrap_or_default(),
+            weights: self.weights.unwrap_or_default(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mfa_cnn::paper_data;
+
+    fn toy_kernel(name: &str, wcet: f64, dsp: f64) -> Kernel {
+        Kernel::new(name, wcet, ResourceVec::bram_dsp(0.05, dsp), 0.02).unwrap()
+    }
+
+    #[test]
+    fn kernel_validation() {
+        assert!(Kernel::new("k", 0.0, ResourceVec::zero(), 0.0).is_err());
+        assert!(Kernel::new("k", 1.0, ResourceVec::uniform(1.5), 0.0).is_err());
+        assert!(Kernel::new("k", 1.0, ResourceVec::zero(), 1.5).is_err());
+        let k = toy_kernel("CONV", 2.0, 0.3);
+        assert_eq!(k.name(), "CONV");
+        assert_eq!(k.wcet_ms(), 2.0);
+        assert_eq!(k.bandwidth(), 0.02);
+    }
+
+    #[test]
+    fn builder_requires_kernels_and_applies_defaults() {
+        assert!(AllocationProblem::builder().build().is_err());
+        let p = AllocationProblem::builder()
+            .kernel(toy_kernel("a", 1.0, 0.1))
+            .build()
+            .unwrap();
+        assert_eq!(p.num_fpgas(), 8);
+        assert_eq!(p.weights().beta, 0.0);
+        assert_eq!(p.budget().resource_fraction().dsp, 1.0);
+        assert_eq!(p.num_kernels(), 1);
+    }
+
+    #[test]
+    fn from_application_uses_paper_data() {
+        let app = paper_data::alexnet_16bit();
+        let p =
+            AllocationProblem::from_application(&app, 2, 0.65, GoalWeights::new(1.0, 0.7)).unwrap();
+        assert_eq!(p.num_kernels(), 8);
+        assert_eq!(p.num_fpgas(), 2);
+        assert!((p.budget().resource_fraction().dsp - 0.65).abs() < 1e-12);
+        assert!(p.validate_feasibility().is_ok());
+    }
+
+    #[test]
+    fn max_cus_respects_all_constraints() {
+        let p = AllocationProblem::builder()
+            .kernel(Kernel::new("k", 1.0, ResourceVec::bram_dsp(0.1, 0.2), 0.3).unwrap())
+            .budget(ResourceBudget::uniform(0.65))
+            .platform(MultiFpgaPlatform::aws_f1_4xlarge())
+            .build()
+            .unwrap();
+        // Resource bound: floor(0.65/0.2) = 3; bandwidth bound: floor(1/0.3) = 3.
+        assert_eq!(p.max_cus_per_fpga(0), 3);
+        assert_eq!(p.max_total_cus(0), 6);
+    }
+
+    #[test]
+    fn infeasibility_is_detected() {
+        // A kernel that needs 80 % DSP under a 60 % budget cannot fit.
+        let p = AllocationProblem::builder()
+            .kernel(Kernel::new("big", 1.0, ResourceVec::bram_dsp(0.1, 0.8), 0.1).unwrap())
+            .budget(ResourceBudget::uniform(0.6))
+            .build()
+            .unwrap();
+        assert!(matches!(
+            p.validate_feasibility(),
+            Err(AllocError::Infeasible(_))
+        ));
+        // Too many kernels for one FPGA at one CU each.
+        let p = AllocationProblem::builder()
+            .kernels((0..5).map(|i| toy_kernel(&format!("k{i}"), 1.0, 0.4)).collect())
+            .platform(MultiFpgaPlatform::aws_f1_2xlarge())
+            .budget(ResourceBudget::uniform(0.9))
+            .build()
+            .unwrap();
+        assert!(p.validate_feasibility().is_err());
+    }
+
+    #[test]
+    fn with_modifiers_return_updated_copies() {
+        let app = paper_data::alexnet_32bit();
+        let p = AllocationProblem::from_application(&app, 4, 0.70, GoalWeights::ii_only()).unwrap();
+        let tighter = p.with_resource_constraint(0.5);
+        assert!((tighter.budget().resource_fraction().bram - 0.5).abs() < 1e-12);
+        let weighted = p.with_weights(GoalWeights::new(1.0, 6.0));
+        assert_eq!(weighted.weights().beta, 6.0);
+        let bigger = p.with_num_fpgas(8);
+        assert_eq!(bigger.num_fpgas(), 8);
+        // Original unchanged.
+        assert_eq!(p.num_fpgas(), 4);
+    }
+}

@@ -1,0 +1,161 @@
+//! Reporting: per-FPGA, per-kernel utilization breakdowns (the data of
+//! Fig. 6) and plain-text allocation summaries.
+
+use std::fmt::Write as _;
+
+use crate::problem::AllocationProblem;
+use crate::solution::Allocation;
+
+/// Per-FPGA breakdown of who uses which share of the critical resource.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FpgaBreakdown {
+    /// FPGA index.
+    pub fpga: usize,
+    /// `(kernel name, CUs, fraction of the FPGA's critical resource)` for
+    /// every kernel present on this FPGA.
+    pub kernels: Vec<(String, u32, f64)>,
+    /// Unused fraction of the critical resource ("SLACK" in Fig. 6).
+    pub slack: f64,
+}
+
+/// The resource class whose aggregate demand is largest for this application
+/// (DSPs for every paper workload) — the class whose stacked per-kernel shares
+/// Fig. 6 plots.
+pub fn critical_class(problem: &AllocationProblem) -> fn(&mfa_platform::ResourceVec) -> f64 {
+    let totals = problem
+        .kernels()
+        .iter()
+        .fold(mfa_platform::ResourceVec::zero(), |acc, k| acc + *k.resources());
+    let classes: [(f64, fn(&mfa_platform::ResourceVec) -> f64); 4] = [
+        (totals.lut, |r| r.lut),
+        (totals.ff, |r| r.ff),
+        (totals.bram, |r| r.bram),
+        (totals.dsp, |r| r.dsp),
+    ];
+    classes
+        .into_iter()
+        .max_by(|a, b| a.0.total_cmp(&b.0))
+        .map(|(_, accessor)| accessor)
+        .expect("there are always four classes")
+}
+
+/// Computes the per-FPGA utilization breakdown of an allocation for the
+/// application's [`critical_class`] (DSPs for every paper workload), exactly
+/// like the stacked bars of Fig. 6.
+pub fn utilization_breakdown(
+    problem: &AllocationProblem,
+    allocation: &Allocation,
+) -> Vec<FpgaBreakdown> {
+    let class = critical_class(problem);
+    (0..problem.num_fpgas())
+        .map(|f| {
+            let mut kernels = Vec::new();
+            let mut used = 0.0;
+            for (k, kernel) in problem.kernels().iter().enumerate() {
+                let cus = allocation.cus(k, f);
+                if cus > 0 {
+                    let share = class(kernel.resources()) * cus as f64;
+                    used += share;
+                    kernels.push((kernel.name().to_owned(), cus, share));
+                }
+            }
+            FpgaBreakdown {
+                fpga: f,
+                kernels,
+                slack: (1.0 - used).max(0.0),
+            }
+        })
+        .collect()
+}
+
+/// Renders a plain-text summary of an allocation: per-kernel CU counts and
+/// execution times, per-FPGA utilization, and the headline metrics.
+pub fn render_summary(problem: &AllocationProblem, allocation: &Allocation) -> String {
+    let mut out = String::new();
+    let metrics = allocation.metrics(problem);
+    let _ = writeln!(
+        out,
+        "II = {:.3} ms   throughput = {:.1}/s   spreading = {:.3}   goal = {:.3}",
+        metrics.initiation_interval_ms,
+        allocation.throughput_per_second(problem),
+        metrics.spreading,
+        metrics.goal
+    );
+    let _ = writeln!(out, "kernel            N_k   ET_k (ms)   placement");
+    for (k, kernel) in problem.kernels().iter().enumerate() {
+        let placement: Vec<String> = (0..problem.num_fpgas())
+            .filter(|&f| allocation.cus(k, f) > 0)
+            .map(|f| format!("F{}×{}", f + 1, allocation.cus(k, f)))
+            .collect();
+        let _ = writeln!(
+            out,
+            "{:<16} {:>4}   {:>9.3}   {}",
+            kernel.name(),
+            allocation.total_cus(k),
+            allocation.execution_time(problem, k),
+            placement.join(" ")
+        );
+    }
+    let _ = writeln!(out, "fpga   critical-use   bandwidth");
+    for f in 0..problem.num_fpgas() {
+        let _ = writeln!(
+            out,
+            "F{:<5} {:>11.1}%   {:>8.1}%",
+            f + 1,
+            100.0 * allocation.fpga_resources(problem, f).max_component(),
+            100.0 * allocation.fpga_bandwidth(problem, f)
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cases::PaperCase;
+    use crate::gpa::{self, GpaOptions};
+
+    #[test]
+    fn breakdown_accounts_for_every_cu_and_slack() {
+        let problem = PaperCase::Alex16OnTwoFpgas.problem(0.70).unwrap();
+        let outcome = gpa::solve(&problem, &GpaOptions::fast()).unwrap();
+        let breakdown = utilization_breakdown(&problem, &outcome.allocation);
+        assert_eq!(breakdown.len(), 2);
+        let total_cus: u32 = breakdown
+            .iter()
+            .flat_map(|b| b.kernels.iter().map(|&(_, cus, _)| cus))
+            .sum();
+        let expected: u32 = (0..problem.num_kernels())
+            .map(|k| outcome.allocation.total_cus(k))
+            .sum();
+        assert_eq!(total_cus, expected);
+        for fpga in &breakdown {
+            let used: f64 = fpga.kernels.iter().map(|&(_, _, share)| share).sum();
+            assert!((used + fpga.slack - 1.0).abs() < 1e-9 || fpga.slack == 0.0);
+            assert!(used <= 1.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn critical_class_is_dsp_for_the_paper_workloads() {
+        for case in [PaperCase::Alex32OnFourFpgas, PaperCase::VggOnEightFpgas] {
+            let problem = case.problem(0.70).unwrap();
+            let class = critical_class(&problem);
+            let probe = mfa_platform::ResourceVec::new(1.0, 2.0, 3.0, 4.0);
+            assert_eq!(class(&probe), 4.0, "{}", case.label());
+        }
+    }
+
+    #[test]
+    fn summary_mentions_every_kernel_and_fpga() {
+        let problem = PaperCase::Alex16OnTwoFpgas.problem(0.70).unwrap();
+        let outcome = gpa::solve(&problem, &GpaOptions::fast()).unwrap();
+        let text = render_summary(&problem, &outcome.allocation);
+        for kernel in problem.kernels() {
+            assert!(text.contains(kernel.name()), "missing {}", kernel.name());
+        }
+        assert!(text.contains("F1"));
+        assert!(text.contains("F2"));
+        assert!(text.contains("II ="));
+    }
+}

@@ -1,0 +1,622 @@
+//! Log-barrier interior-point solver for geometric programs.
+//!
+//! The GP is transformed to its convex log-space form: with `y = ln x`, every
+//! posynomial `Σ c_t Π x^{a_t}` becomes the log-sum-exp function
+//! `F(y) = log Σ exp(a_t·y + ln c_t)`, which is convex. The problem
+//! `min F₀(y) s.t. F_i(y) ≤ 0` is then solved with a standard barrier method
+//! (Newton inner iterations with backtracking line search, geometric increase
+//! of the barrier parameter), preceded by a phase-I search for a strictly
+//! feasible point.
+
+use mfa_linalg::{Matrix, Vector};
+
+use crate::expr::Posynomial;
+use crate::model::{GpProblem, GpVarId};
+use crate::GpError;
+
+/// Options controlling the interior-point solver.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolverOptions {
+    /// Target duality-gap tolerance (`m / t < tolerance` stops the outer loop).
+    pub tolerance: f64,
+    /// Newton decrement threshold for the inner iteration.
+    pub newton_tolerance: f64,
+    /// Multiplicative increase of the barrier parameter per outer iteration.
+    pub barrier_growth: f64,
+    /// Initial barrier parameter.
+    pub initial_barrier: f64,
+    /// Maximum Newton steps per centering problem.
+    pub max_newton_iterations: usize,
+    /// Maximum outer (barrier) iterations.
+    pub max_outer_iterations: usize,
+    /// Implicit lower bound applied to every variable.
+    ///
+    /// GP variables are strictly positive but otherwise unbounded, which can
+    /// make the barrier subproblems unbounded along directions that only
+    /// increase constraint slack. The solver therefore restricts every
+    /// variable to `[variable_lower, variable_upper]`; the defaults
+    /// (`1e-9`, `1e9`) are far outside the value range of any model in this
+    /// workspace. Widen them if your optimum genuinely lies outside.
+    pub variable_lower: f64,
+    /// Implicit upper bound applied to every variable (see
+    /// [`variable_lower`](SolverOptions::variable_lower)).
+    pub variable_upper: f64,
+}
+
+impl Default for SolverOptions {
+    fn default() -> Self {
+        SolverOptions {
+            tolerance: 1e-8,
+            newton_tolerance: 1e-10,
+            barrier_growth: 20.0,
+            initial_barrier: 1.0,
+            max_newton_iterations: 80,
+            max_outer_iterations: 60,
+            variable_lower: 1e-9,
+            variable_upper: 1e9,
+        }
+    }
+}
+
+/// Solution of a [`GpProblem`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpSolution {
+    values: Vec<f64>,
+    objective: f64,
+    newton_iterations: usize,
+}
+
+impl GpSolution {
+    /// Optimal value of a variable (in the original, positive space).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` does not belong to the solved problem.
+    pub fn value(&self, var: GpVarId) -> f64 {
+        self.values[var.index()]
+    }
+
+    /// All variable values, in creation order.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Optimal objective value.
+    pub fn objective(&self) -> f64 {
+        self.objective
+    }
+
+    /// Total number of Newton steps across phase I and phase II.
+    pub fn newton_iterations(&self) -> usize {
+        self.newton_iterations
+    }
+}
+
+/// A posynomial in log-space: `F(y) = log Σ_t exp(a_t · y + b_t)`.
+#[derive(Debug, Clone)]
+struct LogSumExp {
+    /// One row per monomial term: sparse exponent vector and `ln(coeff)`.
+    terms: Vec<(Vec<(usize, f64)>, f64)>,
+}
+
+impl LogSumExp {
+    fn from_posynomial(p: &Posynomial) -> Self {
+        let terms = p
+            .terms()
+            .iter()
+            .map(|m| {
+                let a: Vec<(usize, f64)> =
+                    m.exponents().iter().map(|&(v, e)| (v.index(), e)).collect();
+                (a, m.coeff().ln())
+            })
+            .collect();
+        LogSumExp { terms }
+    }
+
+    /// `true` if the function is affine in `y` (single monomial).
+    fn is_affine(&self) -> bool {
+        self.terms.len() == 1
+    }
+
+    fn value(&self, y: &Vector) -> f64 {
+        let zs: Vec<f64> = self
+            .terms
+            .iter()
+            .map(|(a, b)| a.iter().map(|&(j, e)| e * y.get(j)).sum::<f64>() + b)
+            .collect();
+        log_sum_exp(&zs)
+    }
+
+    /// Evaluates value, gradient and (optionally) Hessian contributions at `y`.
+    ///
+    /// The gradient buffer receives `grad_scale · ∇F`; the Hessian buffer (if
+    /// provided) receives `curvature_scale · ∇²F + rank_one_scale · ∇F ∇Fᵀ`.
+    /// Accumulating lets callers assemble barrier combinations without
+    /// temporaries.
+    fn accumulate(
+        &self,
+        y: &Vector,
+        grad_scale: f64,
+        grad: &mut Vector,
+        hess: Option<(&mut Matrix, f64, f64)>,
+    ) -> f64 {
+        let zs: Vec<f64> = self
+            .terms
+            .iter()
+            .map(|(a, b)| a.iter().map(|&(j, e)| e * y.get(j)).sum::<f64>() + b)
+            .collect();
+        let value = log_sum_exp(&zs);
+        // Softmax weights.
+        let weights: Vec<f64> = zs.iter().map(|z| (z - value).exp()).collect();
+
+        // g = Σ w_t a_t.
+        let n = y.len();
+        let mut local_grad = vec![0.0; n];
+        for ((a, _), w) in self.terms.iter().zip(weights.iter()) {
+            for &(j, e) in a {
+                local_grad[j] += w * e;
+            }
+        }
+        if grad_scale != 0.0 {
+            for j in 0..n {
+                grad[j] += grad_scale * local_grad[j];
+            }
+        }
+        if let Some((h, curvature_scale, rank_one_scale)) = hess {
+            // ∇²F = Σ w_t a_t a_tᵀ − g gᵀ for log-sum-exp (zero when affine).
+            if curvature_scale != 0.0 && !self.is_affine() {
+                for ((a, _), w) in self.terms.iter().zip(weights.iter()) {
+                    for &(j1, e1) in a {
+                        for &(j2, e2) in a {
+                            h.add_to(j1, j2, curvature_scale * w * e1 * e2);
+                        }
+                    }
+                }
+            }
+            // Combined g gᵀ coefficient: −curvature (from ∇²F) + rank-one.
+            let combined = rank_one_scale
+                - if self.is_affine() { 0.0 } else { curvature_scale };
+            if combined != 0.0 {
+                for j1 in 0..n {
+                    if local_grad[j1] == 0.0 {
+                        continue;
+                    }
+                    for j2 in 0..n {
+                        h.add_to(j1, j2, combined * local_grad[j1] * local_grad[j2]);
+                    }
+                }
+            }
+        }
+        value
+    }
+}
+
+fn log_sum_exp(zs: &[f64]) -> f64 {
+    let max = zs.iter().fold(f64::NEG_INFINITY, |a, &b| a.max(b));
+    if !max.is_finite() {
+        return max;
+    }
+    max + zs.iter().map(|z| (z - max).exp()).sum::<f64>().ln()
+}
+
+/// Internal convex problem: minimize `objective(y)` subject to
+/// `constraints[i](y) ≤ 0`, all functions log-sum-exp (affine allowed).
+struct ConvexProgram {
+    objective: LogSumExp,
+    constraints: Vec<LogSumExp>,
+    n: usize,
+}
+
+impl ConvexProgram {
+    /// Barrier centering: minimize `t·f0(y) − Σ log(−f_i(y))` by Newton.
+    /// Returns the number of Newton steps. `y` must be strictly feasible.
+    fn center(
+        &self,
+        y: &mut Vector,
+        t: f64,
+        options: &SolverOptions,
+    ) -> Result<usize, GpError> {
+        let mut steps = 0;
+        for _ in 0..options.max_newton_iterations {
+            let (phi, grad, hess) = self.barrier_derivatives(y, t)?;
+            // Solve H Δ = −g with a ridge fallback for near-singular Hessians.
+            let step = match hess.cholesky() {
+                Ok(chol) => chol.solve(&(-&grad)).map_err(to_numerical)?,
+                Err(_) => {
+                    let mut ridged = hess.clone();
+                    for i in 0..self.n {
+                        ridged.add_to(i, i, 1e-8 + 1e-8 * ridged.get(i, i).abs());
+                    }
+                    ridged
+                        .cholesky()
+                        .map_err(to_numerical)?
+                        .solve(&(-&grad))
+                        .map_err(to_numerical)?
+                }
+            };
+            let decrement_sq = grad.dot(&(-&step)).map_err(to_numerical)?;
+            if decrement_sq * 0.5 <= options.newton_tolerance {
+                break;
+            }
+            // Backtracking line search (Armijo on the barrier function,
+            // restricted to the domain where all constraints stay negative).
+            let mut alpha = 1.0;
+            let slope = grad.dot(&step).map_err(to_numerical)?;
+            let mut accepted = false;
+            for _ in 0..60 {
+                let mut candidate = y.clone();
+                candidate.axpy(alpha, &step).map_err(to_numerical)?;
+                if self.strictly_feasible(&candidate) {
+                    let phi_candidate = self.barrier_value(&candidate, t);
+                    if phi_candidate <= phi + 1e-4 * alpha * slope {
+                        *y = candidate;
+                        accepted = true;
+                        break;
+                    }
+                }
+                alpha *= 0.5;
+            }
+            steps += 1;
+            if !accepted {
+                // The step is too small to make progress; we are at numerical
+                // precision for this centering problem.
+                break;
+            }
+        }
+        Ok(steps)
+    }
+
+    fn strictly_feasible(&self, y: &Vector) -> bool {
+        self.constraints.iter().all(|c| c.value(y) < 0.0)
+    }
+
+    fn barrier_value(&self, y: &Vector, t: f64) -> f64 {
+        let mut phi = t * self.objective.value(y);
+        for c in &self.constraints {
+            let v = c.value(y);
+            if v >= 0.0 {
+                return f64::INFINITY;
+            }
+            phi -= (-v).ln();
+        }
+        phi
+    }
+
+    fn barrier_derivatives(
+        &self,
+        y: &Vector,
+        t: f64,
+    ) -> Result<(f64, Vector, Matrix), GpError> {
+        let n = self.n;
+        let mut grad = Vector::zeros(n);
+        let mut hess = Matrix::zeros(n, n).map_err(to_numerical)?;
+        // Objective contributes t·∇F₀ and t·∇²F₀.
+        let f0 = self
+            .objective
+            .accumulate(y, t, &mut grad, Some((&mut hess, t, 0.0)));
+        let mut phi = t * f0;
+        for c in &self.constraints {
+            let value = c.value(y);
+            if value >= 0.0 {
+                return Err(GpError::Numerical(
+                    "barrier evaluated at an infeasible point".into(),
+                ));
+            }
+            let inv = 1.0 / (-value);
+            // −log(−f): gradient ∇f/(−f), Hessian ∇²f/(−f) + ∇f∇fᵀ/f².
+            c.accumulate(y, inv, &mut grad, Some((&mut hess, inv, inv * inv)));
+            phi -= (-value).ln();
+        }
+        Ok((phi, grad, hess))
+    }
+}
+
+fn to_numerical<E: std::fmt::Display>(err: E) -> GpError {
+    GpError::Numerical(err.to_string())
+}
+
+/// Solves a validated [`GpProblem`]; entry point used by [`GpProblem::solve_with`].
+pub(crate) fn solve(problem: &GpProblem, options: &SolverOptions) -> Result<GpSolution, GpError> {
+    let n = problem.num_vars();
+    let objective = problem
+        .objective
+        .as_ref()
+        .ok_or(GpError::MissingObjective)?;
+    if n == 0 {
+        // No variables: the objective is a constant.
+        return Ok(GpSolution {
+            values: Vec::new(),
+            objective: objective.eval(&[]),
+            newton_iterations: 0,
+        });
+    }
+
+    if !(options.variable_lower > 0.0 && options.variable_upper > options.variable_lower) {
+        return Err(GpError::InvalidArgument(
+            "solver variable bounds must satisfy 0 < lower < upper".into(),
+        ));
+    }
+    let mut constraints: Vec<LogSumExp> = problem
+        .constraints
+        .iter()
+        .map(|c| LogSumExp::from_posynomial(&c.posy))
+        .collect();
+    // Implicit box constraints keep every barrier subproblem bounded; see
+    // `SolverOptions::variable_lower`.
+    let lower_log = options.variable_lower.ln();
+    let upper_log = options.variable_upper.ln();
+    for j in 0..n {
+        // x_j ≤ upper  ⇔  y_j − ln(upper) ≤ 0.
+        constraints.push(LogSumExp {
+            terms: vec![(vec![(j, 1.0)], -upper_log)],
+        });
+        // x_j ≥ lower  ⇔  −y_j + ln(lower) ≤ 0.
+        constraints.push(LogSumExp {
+            terms: vec![(vec![(j, -1.0)], lower_log)],
+        });
+    }
+    let program = ConvexProgram {
+        objective: LogSumExp::from_posynomial(objective),
+        constraints,
+        n,
+    };
+
+    let mut total_newton = 0usize;
+    // Phase I: find a strictly feasible y (all F_i(y) < 0).
+    let mut y = Vector::zeros(n);
+    if !program.constraints.is_empty() && !program.strictly_feasible(&y) {
+        let (feasible_y, steps) = phase_one(&program, options)?;
+        total_newton += steps;
+        y = feasible_y;
+        if !program.strictly_feasible(&y) {
+            return Err(GpError::Infeasible);
+        }
+    }
+
+    // Phase II: barrier path following.
+    let m = program.constraints.len();
+    let mut t = options.initial_barrier;
+    if m == 0 {
+        // Purely unconstrained: a single centering with large t is a plain
+        // Newton minimization of the objective.
+        t = 1.0;
+        total_newton += program.center(&mut y, t, options)?;
+    } else {
+        for _ in 0..options.max_outer_iterations {
+            total_newton += program.center(&mut y, t, options)?;
+            if (m as f64) / t < options.tolerance {
+                break;
+            }
+            t *= options.barrier_growth;
+        }
+    }
+
+    let values: Vec<f64> = (0..n).map(|j| y.get(j).exp()).collect();
+    let objective_value = objective.eval(&values);
+    Ok(GpSolution {
+        values,
+        objective: objective_value,
+        newton_iterations: total_newton,
+    })
+}
+
+/// Phase I: minimize `s` over `(y, s)` subject to `F_i(y) ≤ s`, stopping as
+/// soon as a strictly feasible `y` is found.
+fn phase_one(
+    program: &ConvexProgram,
+    options: &SolverOptions,
+) -> Result<(Vector, usize), GpError> {
+    let n = program.n;
+    // Extended problem over (y, s): objective = s (affine), constraints
+    // F_i(y) − s ≤ 0. We reuse ConvexProgram by expressing everything as
+    // LogSumExp over n+1 variables, where the objective is exp(s') with
+    // s' = s (a single affine term) — but s can be negative, which is exactly
+    // what log-space variables allow (s here is already a log-space value).
+    let mut ext_constraints = Vec::with_capacity(program.constraints.len());
+    for c in &program.constraints {
+        let mut terms = c.terms.clone();
+        for (a, _) in &mut terms {
+            a.push((n, -1.0));
+        }
+        ext_constraints.push(LogSumExp { terms });
+    }
+    let ext = ConvexProgram {
+        objective: LogSumExp {
+            terms: vec![(vec![(n, 1.0)], 0.0)],
+        },
+        constraints: ext_constraints,
+        n: n + 1,
+    };
+
+    // Start at y = 0, s = max F_i(0) + 1 (strictly feasible for the extended
+    // problem by construction).
+    let mut y_ext = Vector::zeros(n + 1);
+    let worst = program
+        .constraints
+        .iter()
+        .map(|c| c.value(&Vector::zeros(n)))
+        .fold(f64::NEG_INFINITY, f64::max);
+    y_ext.set(n, worst + 1.0);
+
+    let mut steps = 0usize;
+    let mut t = options.initial_barrier;
+    for _ in 0..options.max_outer_iterations {
+        steps += ext.center(&mut y_ext, t, options)?;
+        let y_candidate: Vector = (0..n).map(|j| y_ext.get(j)).collect();
+        if program
+            .constraints
+            .iter()
+            .all(|c| c.value(&y_candidate) < -1e-9)
+        {
+            return Ok((y_candidate, steps));
+        }
+        if (ext.constraints.len() as f64) / t < options.tolerance {
+            break;
+        }
+        t *= options.barrier_growth;
+    }
+    // Converged without reaching negative slack: infeasible.
+    let y_candidate: Vector = (0..n).map(|j| y_ext.get(j)).collect();
+    if program.strictly_feasible(&y_candidate) {
+        Ok((y_candidate, steps))
+    } else {
+        Err(GpError::Infeasible)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GpProblem, Monomial, Posynomial};
+
+    fn close(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() <= tol * (1.0 + b.abs())
+    }
+
+    #[test]
+    fn minimize_x_with_lower_bound() {
+        // minimize x s.t. 1/x ≤ 1  →  x = 1.
+        let mut gp = GpProblem::new();
+        let x = gp.add_var("x").unwrap();
+        gp.set_objective(Posynomial::monomial(1.0, &[(x, 1.0)]));
+        gp.add_le_constraint("x ≥ 1", Posynomial::monomial(1.0, &[(x, -1.0)]))
+            .unwrap();
+        let sol = gp.solve().unwrap();
+        assert!(close(sol.value(x), 1.0, 1e-4), "x = {}", sol.value(x));
+        assert!(close(sol.objective(), 1.0, 1e-4));
+    }
+
+    #[test]
+    fn maximize_product_under_upper_bounds() {
+        // minimize 1/(xy) s.t. x ≤ 2, y ≤ 3 → objective 1/6 at (2, 3).
+        let mut gp = GpProblem::new();
+        let x = gp.add_var("x").unwrap();
+        let y = gp.add_var("y").unwrap();
+        gp.set_objective(Posynomial::monomial(1.0, &[(x, -1.0), (y, -1.0)]));
+        gp.add_le_constraint("x ≤ 2", Posynomial::monomial(0.5, &[(x, 1.0)]))
+            .unwrap();
+        gp.add_le_constraint("y ≤ 3", Posynomial::monomial(1.0 / 3.0, &[(y, 1.0)]))
+            .unwrap();
+        let sol = gp.solve().unwrap();
+        assert!(close(sol.value(x), 2.0, 1e-3));
+        assert!(close(sol.value(y), 3.0, 1e-3));
+        assert!(close(sol.objective(), 1.0 / 6.0, 1e-3));
+    }
+
+    #[test]
+    fn box_design_problem() {
+        // Classic GP: maximize volume hwd subject to wall area and floor area
+        // limits: 2(hw + hd) ≤ 100, wd ≤ 10. Minimize h⁻¹w⁻¹d⁻¹.
+        let mut gp = GpProblem::new();
+        let h = gp.add_var("h").unwrap();
+        let w = gp.add_var("w").unwrap();
+        let d = gp.add_var("d").unwrap();
+        gp.set_objective(Posynomial::monomial(
+            1.0,
+            &[(h, -1.0), (w, -1.0), (d, -1.0)],
+        ));
+        let wall = Posynomial::monomial(2.0 / 100.0, &[(h, 1.0), (w, 1.0)])
+            .with_term(Monomial::new(2.0 / 100.0, &[(h, 1.0), (d, 1.0)]));
+        gp.add_le_constraint("wall", wall).unwrap();
+        gp.add_le_constraint(
+            "floor",
+            Posynomial::monomial(1.0 / 10.0, &[(w, 1.0), (d, 1.0)]),
+        )
+        .unwrap();
+        let sol = gp.solve().unwrap();
+        // Analytic optimum: w = d = √10, h = 100/(4√10), volume = 250/√10.
+        let w_star = 10.0_f64.sqrt();
+        let h_star = 100.0 / (4.0 * w_star);
+        assert!(close(sol.value(w), w_star, 1e-2), "w = {}", sol.value(w));
+        assert!(close(sol.value(d), w_star, 1e-2), "d = {}", sol.value(d));
+        assert!(close(sol.value(h), h_star, 1e-2), "h = {}", sol.value(h));
+        let volume = sol.value(h) * sol.value(w) * sol.value(d);
+        assert!(close(volume, 250.0 / w_star, 1e-2));
+    }
+
+    #[test]
+    fn infeasible_problem_is_reported() {
+        // x ≤ 1 and x ≥ 2 simultaneously.
+        let mut gp = GpProblem::new();
+        let x = gp.add_var("x").unwrap();
+        gp.set_objective(Posynomial::monomial(1.0, &[(x, 1.0)]));
+        gp.add_le_constraint("x ≤ 1", Posynomial::monomial(1.0, &[(x, 1.0)]))
+            .unwrap();
+        gp.add_le_constraint("x ≥ 2", Posynomial::monomial(2.0, &[(x, -1.0)]))
+            .unwrap();
+        assert_eq!(gp.solve().unwrap_err(), GpError::Infeasible);
+    }
+
+    #[test]
+    fn posynomial_constraint_with_shared_budget() {
+        // minimize II s.t. 3/(N1·II) ≤ 1, 5/(N2·II) ≤ 1, 0.2·N1 + 0.3·N2 ≤ 1.
+        // This is the shape of the paper's GP (two kernels, one resource).
+        // At the optimum the budget is tight and both kernels are critical:
+        // N1 = 3/II, N2 = 5/II → 0.2·3/II + 0.3·5/II = 1 → II = 2.1.
+        let mut gp = GpProblem::new();
+        let ii = gp.add_var("II").unwrap();
+        let n1 = gp.add_var("N1").unwrap();
+        let n2 = gp.add_var("N2").unwrap();
+        gp.set_objective(Posynomial::monomial(1.0, &[(ii, 1.0)]));
+        gp.add_le_constraint(
+            "k1",
+            Posynomial::monomial(3.0, &[(n1, -1.0), (ii, -1.0)]),
+        )
+        .unwrap();
+        gp.add_le_constraint(
+            "k2",
+            Posynomial::monomial(5.0, &[(n2, -1.0), (ii, -1.0)]),
+        )
+        .unwrap();
+        let budget = Posynomial::monomial(0.2, &[(n1, 1.0)])
+            .with_term(Monomial::new(0.3, &[(n2, 1.0)]));
+        gp.add_le_constraint("budget", budget).unwrap();
+        let sol = gp.solve().unwrap();
+        assert!(close(sol.objective(), 2.1, 1e-3), "II = {}", sol.objective());
+        assert!(close(sol.value(n1), 3.0 / 2.1, 1e-2));
+        assert!(close(sol.value(n2), 5.0 / 2.1, 1e-2));
+    }
+
+    #[test]
+    fn unconstrained_problem_with_interior_minimum() {
+        // minimize x + 1/x → minimum 2 at x = 1.
+        let mut gp = GpProblem::new();
+        let x = gp.add_var("x").unwrap();
+        let obj = Posynomial::monomial(1.0, &[(x, 1.0)])
+            .with_term(Monomial::new(1.0, &[(x, -1.0)]));
+        gp.set_objective(obj);
+        let sol = gp.solve().unwrap();
+        assert!(close(sol.value(x), 1.0, 1e-4));
+        assert!(close(sol.objective(), 2.0, 1e-6));
+    }
+
+    #[test]
+    fn constant_problem_with_no_variables() {
+        let mut gp = GpProblem::new();
+        gp.set_objective(Posynomial::constant(4.2));
+        let sol = gp.solve().unwrap();
+        assert_eq!(sol.objective(), 4.2);
+        assert!(sol.values().is_empty());
+    }
+
+    #[test]
+    fn solver_options_are_respected() {
+        let mut gp = GpProblem::new();
+        let x = gp.add_var("x").unwrap();
+        gp.set_objective(Posynomial::monomial(1.0, &[(x, 1.0)]));
+        gp.add_le_constraint("lb", Posynomial::monomial(1.0, &[(x, -1.0)]))
+            .unwrap();
+        let loose = SolverOptions {
+            tolerance: 1e-2,
+            ..SolverOptions::default()
+        };
+        let tight = SolverOptions {
+            tolerance: 1e-10,
+            ..SolverOptions::default()
+        };
+        let sol_loose = gp.solve_with(&loose).unwrap();
+        let sol_tight = gp.solve_with(&tight).unwrap();
+        assert!(sol_loose.newton_iterations() <= sol_tight.newton_iterations());
+        assert!((sol_tight.value(x) - 1.0).abs() <= (sol_loose.value(x) - 1.0).abs() + 1e-9);
+    }
+}

@@ -1,0 +1,3 @@
+//! Integration-test crate: the library target is intentionally empty; all
+//! content lives in `tests/`.
+#![forbid(unsafe_code)]

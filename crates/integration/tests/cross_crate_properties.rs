@@ -1,0 +1,97 @@
+//! Property-based integration tests: the solver stack stays consistent on
+//! randomly generated pipelines.
+
+use proptest::prelude::*;
+
+use mfa_alloc::exact::{self, ExactMode, ExactOptions};
+use mfa_alloc::gp_step::{self, RelaxationBackend};
+use mfa_alloc::gpa::{self, GpaOptions};
+use mfa_alloc::{AllocationProblem, GoalWeights, Kernel};
+use mfa_minlp::SolverOptions;
+use mfa_platform::{MultiFpgaPlatform, ResourceBudget, ResourceVec};
+use mfa_sim::{simulate, SimConfig};
+
+/// Strategy: a random feasible pipeline of 2–5 kernels on 2–4 FPGAs.
+fn random_problem() -> impl Strategy<Value = AllocationProblem> {
+    (
+        proptest::collection::vec((1.0..20.0f64, 0.03..0.15f64, 0.01..0.06f64, 0.005..0.04f64), 2..6),
+        2usize..5,
+        0.6..0.95f64,
+    )
+        .prop_map(|(specs, num_fpgas, budget)| {
+            let kernels: Vec<Kernel> = specs
+                .iter()
+                .enumerate()
+                .map(|(i, &(wcet, dsp, bram, bw))| {
+                    Kernel::new(format!("k{i}"), wcet, ResourceVec::bram_dsp(bram, dsp), bw)
+                        .expect("generated kernels are valid")
+                })
+                .collect();
+            AllocationProblem::builder()
+                .kernels(kernels)
+                .platform(MultiFpgaPlatform::aws_f1_16xlarge().with_num_fpgas(num_fpgas))
+                .budget(ResourceBudget::uniform(budget))
+                .weights(GoalWeights::new(1.0, 1.0))
+                .build()
+                .expect("generated problems are valid")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 12,
+        ..ProptestConfig::default()
+    })]
+
+    /// GP+A always returns a feasible allocation whose II is bracketed by the
+    /// continuous relaxation and the single-CU bottleneck, and the simulator
+    /// confirms the predicted II.
+    #[test]
+    fn heuristic_allocations_are_feasible_and_simulate_correctly(problem in random_problem()) {
+        let outcome = match gpa::solve(&problem, &GpaOptions::fast()) {
+            Ok(outcome) => outcome,
+            Err(mfa_alloc::AllocError::Infeasible(_)) => return Ok(()),
+            Err(other) => panic!("unexpected error: {other}"),
+        };
+        prop_assert!(outcome.allocation.validate(&problem, 1e-9).is_ok());
+        let ii = outcome.allocation.initiation_interval(&problem);
+        let relaxation = gp_step::solve(&problem, RelaxationBackend::Bisection)
+            .expect("relaxation solves when the heuristic did");
+        let bottleneck = problem.kernels().iter().map(Kernel::wcet_ms).fold(0.0_f64, f64::max);
+        prop_assert!(ii >= relaxation.initiation_interval_ms - 1e-9);
+        prop_assert!(ii <= bottleneck + 1e-9);
+
+        let result = simulate(&problem, &outcome.allocation, &SimConfig {
+            num_items: 200,
+            ..SimConfig::default()
+        });
+        prop_assert!(result.ii_error_vs(ii) < 0.10,
+            "simulated {} vs predicted {}", result.initiation_interval_ms, ii);
+    }
+
+    /// The budgeted exact solver never returns anything infeasible, never
+    /// beats the continuous relaxation, and its proven bound is below the
+    /// heuristic's value.
+    #[test]
+    fn exact_solver_is_sound_on_random_problems(problem in random_problem()) {
+        let heuristic = match gpa::solve(&problem, &GpaOptions::fast()) {
+            Ok(outcome) => outcome,
+            Err(_) => return Ok(()),
+        };
+        let exact_outcome = match exact::solve(&problem, &ExactOptions {
+            mode: ExactMode::IiOnly,
+            solver: SolverOptions::with_budget(150, 5.0),
+            symmetry_breaking: true,
+        }) {
+            Ok(outcome) => outcome,
+            Err(_) => return Ok(()),
+        };
+        prop_assert!(exact_outcome.allocation.validate(&problem, 1e-6).is_ok());
+        let relaxation = gp_step::solve(&problem, RelaxationBackend::Bisection)
+            .expect("relaxation solves");
+        let ii_exact = exact_outcome.allocation.initiation_interval(&problem);
+        prop_assert!(ii_exact >= relaxation.initiation_interval_ms - 1e-6);
+        let ii_heuristic = heuristic.allocation.initiation_interval(&problem);
+        prop_assert!(ii_heuristic >= exact_outcome.best_bound - 1e-6);
+    }
+}

@@ -1,0 +1,79 @@
+//! Error type shared by all linear-algebra operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by fallible linear-algebra operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum LinalgError {
+    /// Two operands have incompatible dimensions.
+    ///
+    /// Carries a human-readable description of the mismatch.
+    DimensionMismatch(String),
+    /// A factorization or solve hit a (numerically) singular matrix.
+    Singular {
+        /// Pivot index at which singularity was detected.
+        pivot: usize,
+    },
+    /// Cholesky factorization was attempted on a matrix that is not
+    /// symmetric positive definite.
+    NotPositiveDefinite {
+        /// Row/column index at which the leading minor failed.
+        index: usize,
+    },
+    /// An argument was invalid (empty matrix, zero dimension, NaN entry, …).
+    InvalidArgument(String),
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::DimensionMismatch(msg) => write!(f, "dimension mismatch: {msg}"),
+            LinalgError::Singular { pivot } => {
+                write!(f, "matrix is singular (zero pivot at index {pivot})")
+            }
+            LinalgError::NotPositiveDefinite { index } => {
+                write!(f, "matrix is not positive definite (failure at index {index})")
+            }
+            LinalgError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let cases: Vec<(LinalgError, &str)> = vec![
+            (
+                LinalgError::DimensionMismatch("3x3 vs 2".into()),
+                "dimension mismatch",
+            ),
+            (LinalgError::Singular { pivot: 4 }, "singular"),
+            (
+                LinalgError::NotPositiveDefinite { index: 1 },
+                "not positive definite",
+            ),
+            (
+                LinalgError::InvalidArgument("empty".into()),
+                "invalid argument",
+            ),
+        ];
+        for (err, needle) in cases {
+            let text = err.to_string();
+            assert!(text.contains(needle), "{text} should contain {needle}");
+            assert!(!text.ends_with('.'), "no trailing punctuation: {text}");
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<LinalgError>();
+    }
+}

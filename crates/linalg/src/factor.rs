@@ -1,0 +1,368 @@
+//! Matrix factorizations: LU with partial pivoting and Cholesky.
+
+use crate::{LinalgError, Matrix, Vector};
+
+/// LU factorization with partial pivoting of a square matrix.
+///
+/// Computed by [`Matrix::lu`]; used to solve linear systems `A x = b`.
+///
+/// # Example
+///
+/// ```
+/// use mfa_linalg::{Matrix, Vector};
+///
+/// # fn main() -> Result<(), mfa_linalg::LinalgError> {
+/// let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]])?;
+/// let b = Vector::from(vec![3.0, 5.0]);
+/// let x = a.lu()?.solve(&b)?;
+/// let r = &a.mul_vec(&x)? - &b;
+/// assert!(r.norm_inf() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Lu {
+    /// Combined L (strict lower, unit diagonal implied) and U (upper) factors.
+    lu: Matrix,
+    /// Row permutation: row `i` of the factored matrix came from `perm[i]` of
+    /// the original.
+    perm: Vec<usize>,
+    /// Sign of the permutation, used for the determinant.
+    sign: f64,
+}
+
+impl Lu {
+    /// Factors the matrix.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::InvalidArgument`] if the matrix is not square or has
+    ///   non-finite entries.
+    /// * [`LinalgError::Singular`] if a pivot is (numerically) zero.
+    pub fn factor(a: &Matrix) -> Result<Self, LinalgError> {
+        if !a.is_square() {
+            return Err(LinalgError::InvalidArgument(format!(
+                "LU requires a square matrix, got {}x{}",
+                a.rows(),
+                a.cols()
+            )));
+        }
+        if !a.is_finite() {
+            return Err(LinalgError::InvalidArgument(
+                "LU input contains non-finite entries".into(),
+            ));
+        }
+        let n = a.rows();
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut sign = 1.0;
+
+        for col in 0..n {
+            // Partial pivoting: pick the row with the largest magnitude in
+            // this column at or below the diagonal.
+            let mut pivot_row = col;
+            let mut pivot_val = lu.get(col, col).abs();
+            for r in (col + 1)..n {
+                let v = lu.get(r, col).abs();
+                if v > pivot_val {
+                    pivot_val = v;
+                    pivot_row = r;
+                }
+            }
+            if pivot_val < 1e-14 {
+                return Err(LinalgError::Singular { pivot: col });
+            }
+            if pivot_row != col {
+                for j in 0..n {
+                    let tmp = lu.get(col, j);
+                    lu.set(col, j, lu.get(pivot_row, j));
+                    lu.set(pivot_row, j, tmp);
+                }
+                perm.swap(col, pivot_row);
+                sign = -sign;
+            }
+            let pivot = lu.get(col, col);
+            for r in (col + 1)..n {
+                let factor = lu.get(r, col) / pivot;
+                lu.set(r, col, factor);
+                for j in (col + 1)..n {
+                    lu.add_to(r, j, -factor * lu.get(col, j));
+                }
+            }
+        }
+        Ok(Lu { lu, perm, sign })
+    }
+
+    /// Solves `A x = b` using the stored factorization.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `b` has the wrong length.
+    pub fn solve(&self, b: &Vector) -> Result<Vector, LinalgError> {
+        let n = self.lu.rows();
+        if b.len() != n {
+            return Err(LinalgError::DimensionMismatch(format!(
+                "system is {n}x{n} but right-hand side has length {}",
+                b.len()
+            )));
+        }
+        // Apply the permutation, then forward- and back-substitute.
+        let mut x = Vector::zeros(n);
+        for i in 0..n {
+            x.set(i, b.get(self.perm[i]));
+        }
+        for i in 0..n {
+            let mut acc = x.get(i);
+            for j in 0..i {
+                acc -= self.lu.get(i, j) * x.get(j);
+            }
+            x.set(i, acc);
+        }
+        for i in (0..n).rev() {
+            let mut acc = x.get(i);
+            for j in (i + 1)..n {
+                acc -= self.lu.get(i, j) * x.get(j);
+            }
+            x.set(i, acc / self.lu.get(i, i));
+        }
+        Ok(x)
+    }
+
+    /// Determinant of the original matrix.
+    pub fn determinant(&self) -> f64 {
+        let n = self.lu.rows();
+        let mut det = self.sign;
+        for i in 0..n {
+            det *= self.lu.get(i, i);
+        }
+        det
+    }
+}
+
+/// Cholesky factorization `A = L Lᵀ` of a symmetric positive-definite matrix.
+///
+/// Computed by [`Matrix::cholesky`]; the factorization of the Newton system
+/// Hessian is the inner kernel of the GP interior-point solver.
+///
+/// # Example
+///
+/// ```
+/// use mfa_linalg::{Matrix, Vector};
+///
+/// # fn main() -> Result<(), mfa_linalg::LinalgError> {
+/// let a = Matrix::from_rows(&[&[4.0, 2.0], &[2.0, 3.0]])?;
+/// let chol = a.cholesky()?;
+/// let x = chol.solve(&Vector::from(vec![2.0, 1.0]))?;
+/// assert!((&a.mul_vec(&x)? - &Vector::from(vec![2.0, 1.0])).norm_inf() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    /// Lower-triangular factor, stored densely.
+    l: Matrix,
+}
+
+impl Cholesky {
+    /// Factors a symmetric positive-definite matrix.
+    ///
+    /// Only the lower triangle of `a` is read; symmetry of the upper triangle
+    /// is the caller's responsibility (checked loosely).
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::InvalidArgument`] if the matrix is not square or has
+    ///   non-finite entries.
+    /// * [`LinalgError::NotPositiveDefinite`] if a leading minor is not
+    ///   positive definite.
+    pub fn factor(a: &Matrix) -> Result<Self, LinalgError> {
+        if !a.is_square() {
+            return Err(LinalgError::InvalidArgument(format!(
+                "Cholesky requires a square matrix, got {}x{}",
+                a.rows(),
+                a.cols()
+            )));
+        }
+        if !a.is_finite() {
+            return Err(LinalgError::InvalidArgument(
+                "Cholesky input contains non-finite entries".into(),
+            ));
+        }
+        let n = a.rows();
+        let mut l = Matrix::zeros(n, n)?;
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = a.get(i, j);
+                for k in 0..j {
+                    sum -= l.get(i, k) * l.get(j, k);
+                }
+                if i == j {
+                    if sum <= 0.0 || !sum.is_finite() {
+                        return Err(LinalgError::NotPositiveDefinite { index: i });
+                    }
+                    l.set(i, j, sum.sqrt());
+                } else {
+                    l.set(i, j, sum / l.get(j, j));
+                }
+            }
+        }
+        Ok(Cholesky { l })
+    }
+
+    /// Solves `A x = b` using the stored factorization.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `b` has the wrong length.
+    pub fn solve(&self, b: &Vector) -> Result<Vector, LinalgError> {
+        let n = self.l.rows();
+        if b.len() != n {
+            return Err(LinalgError::DimensionMismatch(format!(
+                "system is {n}x{n} but right-hand side has length {}",
+                b.len()
+            )));
+        }
+        // Forward substitution: L y = b.
+        let mut y = Vector::zeros(n);
+        for i in 0..n {
+            let mut acc = b.get(i);
+            for j in 0..i {
+                acc -= self.l.get(i, j) * y.get(j);
+            }
+            y.set(i, acc / self.l.get(i, i));
+        }
+        // Back substitution: Lᵀ x = y.
+        let mut x = Vector::zeros(n);
+        for i in (0..n).rev() {
+            let mut acc = y.get(i);
+            for j in (i + 1)..n {
+                acc -= self.l.get(j, i) * x.get(j);
+            }
+            x.set(i, acc / self.l.get(i, i));
+        }
+        Ok(x)
+    }
+
+    /// Borrows the lower-triangular factor `L`.
+    pub fn l(&self) -> &Matrix {
+        &self.l
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn random_spd(n: usize, entries: &[f64]) -> Matrix {
+        // Build A = Bᵀ B + n·I which is symmetric positive definite.
+        let rows: Vec<&[f64]> = entries.chunks(n).take(n).collect();
+        let b = Matrix::from_rows(&rows).unwrap();
+        let mut a = b.transposed().mul(&b).unwrap();
+        for i in 0..n {
+            a.add_to(i, i, n as f64);
+        }
+        a
+    }
+
+    #[test]
+    fn lu_solves_small_system() {
+        let a = Matrix::from_rows(&[&[3.0, 2.0, -1.0], &[2.0, -2.0, 4.0], &[-1.0, 0.5, -1.0]])
+            .unwrap();
+        let b = Vector::from(vec![1.0, -2.0, 0.0]);
+        let x = a.solve(&b).unwrap();
+        let expected = Vector::from(vec![1.0, -2.0, -2.0]);
+        assert!((&x - &expected).norm_inf() < 1e-10);
+    }
+
+    #[test]
+    fn lu_rejects_singular() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]).unwrap();
+        assert!(matches!(a.lu(), Err(LinalgError::Singular { .. })));
+    }
+
+    #[test]
+    fn lu_rejects_non_square_and_nan() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0]]).unwrap();
+        assert!(a.lu().is_err());
+        let b = Matrix::from_rows(&[&[1.0, f64::NAN], &[0.0, 1.0]]).unwrap();
+        assert!(b.lu().is_err());
+    }
+
+    #[test]
+    fn lu_determinant_of_identity_is_one() {
+        let a = Matrix::identity(5);
+        assert!((a.lu().unwrap().determinant() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lu_determinant_matches_2x2_formula() {
+        let a = Matrix::from_rows(&[&[3.0, 7.0], &[2.0, 5.0]]).unwrap();
+        assert!((a.lu().unwrap().determinant() - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn cholesky_solves_spd_system() {
+        let a = Matrix::from_rows(&[&[4.0, 2.0, 0.0], &[2.0, 5.0, 1.0], &[0.0, 1.0, 3.0]])
+            .unwrap();
+        let b = Vector::from(vec![1.0, 2.0, 3.0]);
+        let x = a.cholesky().unwrap().solve(&b).unwrap();
+        assert!((&a.mul_vec(&x).unwrap() - &b).norm_inf() < 1e-10);
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite_matrix() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]).unwrap();
+        assert!(matches!(
+            a.cholesky(),
+            Err(LinalgError::NotPositiveDefinite { .. })
+        ));
+    }
+
+    #[test]
+    fn cholesky_factor_reconstructs_matrix() {
+        let a = Matrix::from_rows(&[&[6.0, 2.0], &[2.0, 4.0]]).unwrap();
+        let chol = a.cholesky().unwrap();
+        let l = chol.l();
+        let reconstructed = l.mul(&l.transposed()).unwrap();
+        for i in 0..2 {
+            for j in 0..2 {
+                assert!((reconstructed.get(i, j) - a.get(i, j)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn solve_checks_rhs_length() {
+        let a = Matrix::identity(3);
+        let b = Vector::zeros(2);
+        assert!(a.lu().unwrap().solve(&b).is_err());
+        assert!(a.cholesky().unwrap().solve(&b).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn lu_and_cholesky_agree_on_spd_systems(
+            entries in proptest::collection::vec(-3.0..3.0f64, 16..=16),
+            rhs in proptest::collection::vec(-5.0..5.0f64, 4..=4)
+        ) {
+            let a = random_spd(4, &entries);
+            let b = Vector::from(rhs);
+            let x_lu = a.lu().unwrap().solve(&b).unwrap();
+            let x_ch = a.cholesky().unwrap().solve(&b).unwrap();
+            prop_assert!((&x_lu - &x_ch).norm_inf() < 1e-8);
+        }
+
+        #[test]
+        fn lu_solution_residual_is_small(
+            entries in proptest::collection::vec(-3.0..3.0f64, 9..=9),
+            rhs in proptest::collection::vec(-5.0..5.0f64, 3..=3)
+        ) {
+            let a = random_spd(3, &entries);
+            let b = Vector::from(rhs);
+            let x = a.solve(&b).unwrap();
+            let residual = (&a.mul_vec(&x).unwrap() - &b).norm_inf();
+            prop_assert!(residual < 1e-8, "residual {residual}");
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! Small, dependency-free dense linear algebra used by the optimization
+//! solvers in this workspace.
+//!
+//! The geometric-programming interior-point solver in [`mfa-gp`] needs dense
+//! symmetric solves (Newton systems of a few dozen unknowns), and the simplex
+//! implementation in [`mfa-linprog`] needs basic vector/matrix plumbing. This
+//! crate provides exactly that: a [`Vector`] and a row-major [`Matrix`],
+//! LU factorization with partial pivoting, and Cholesky factorization for
+//! symmetric positive-definite systems.
+//!
+//! The API is intentionally small and allocation-friendly rather than
+//! performance-tuned: problem sizes in this workspace are tens of variables,
+//! not thousands.
+//!
+//! # Example
+//!
+//! ```
+//! use mfa_linalg::{Matrix, Vector};
+//!
+//! # fn main() -> Result<(), mfa_linalg::LinalgError> {
+//! let a = Matrix::from_rows(&[&[4.0, 1.0], &[1.0, 3.0]])?;
+//! let b = Vector::from(vec![1.0, 2.0]);
+//! let x = a.cholesky()?.solve(&b)?;
+//! assert!((a.mul_vec(&x)?.get(0) - 1.0).abs() < 1e-12);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! [`mfa-gp`]: https://example.invalid/multi-fpga-alloc
+//! [`mfa-linprog`]: https://example.invalid/multi-fpga-alloc
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod factor;
+mod matrix;
+mod vector;
+
+pub use error::LinalgError;
+pub use factor::{Cholesky, Lu};
+pub use matrix::Matrix;
+pub use vector::Vector;

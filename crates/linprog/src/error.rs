@@ -1,0 +1,70 @@
+//! Error type for LP model construction and solving.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by LP model construction or the simplex solver.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum LpError {
+    /// A variable or constraint referenced an id that does not belong to the
+    /// problem.
+    UnknownId(String),
+    /// A bound, coefficient or right-hand side was NaN or otherwise invalid.
+    InvalidArgument(String),
+    /// Variable bounds are contradictory (`lower > upper`).
+    InvalidBounds {
+        /// Name of the offending variable.
+        name: String,
+        /// Lower bound.
+        lower: f64,
+        /// Upper bound.
+        upper: f64,
+    },
+    /// The simplex iteration limit was exceeded (numerical trouble).
+    IterationLimit {
+        /// Number of iterations performed before giving up.
+        iterations: usize,
+    },
+}
+
+impl fmt::Display for LpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LpError::UnknownId(what) => write!(f, "unknown id: {what}"),
+            LpError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+            LpError::InvalidBounds { name, lower, upper } => write!(
+                f,
+                "invalid bounds for variable {name}: lower {lower} exceeds upper {upper}"
+            ),
+            LpError::IterationLimit { iterations } => {
+                write!(f, "simplex iteration limit exceeded after {iterations} pivots")
+            }
+        }
+    }
+}
+
+impl Error for LpError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_mention_context() {
+        let err = LpError::InvalidBounds {
+            name: "x1".into(),
+            lower: 2.0,
+            upper: 1.0,
+        };
+        assert!(err.to_string().contains("x1"));
+        let err = LpError::IterationLimit { iterations: 10 };
+        assert!(err.to_string().contains("10"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<LpError>();
+    }
+}

@@ -1,0 +1,719 @@
+//! Dense two-phase tableau simplex.
+//!
+//! The solver first rewrites the user model into standard form
+//! `min cᵀx  s.t.  A x = b, x ≥ 0, b ≥ 0` by shifting/splitting bounded
+//! variables and adding slack, surplus and artificial columns, then runs the
+//! classic two-phase tableau method. Dantzig's rule is used for speed with a
+//! switch to Bland's rule after a pivot budget to guarantee termination.
+
+use crate::model::{LpProblem, Relation, Sense};
+use crate::solution::{LpSolution, SolverStatus};
+use crate::LpError;
+
+const EPS: f64 = 1e-9;
+/// Pivot budget after which the solver switches to Bland's rule.
+const DANTZIG_PIVOTS: usize = 5_000;
+/// Hard pivot limit (both phases combined).
+const MAX_PIVOTS: usize = 50_000;
+
+/// How a user variable was mapped into standard-form columns.
+#[derive(Debug, Clone, Copy)]
+enum VarMap {
+    /// `x = lower + column`, optional upper-bound row added separately.
+    Shifted { col: usize, lower: f64 },
+    /// `x = upper − column` (used when only an upper bound is finite).
+    Reflected { col: usize, upper: f64 },
+    /// `x = plus − minus` (free variable).
+    Split { plus: usize, minus: usize },
+}
+
+/// A single standard-form row `Σ a_j x_j (≤,≥,=) rhs` with `rhs ≥ 0` ensured
+/// later during tableau construction.
+#[derive(Debug, Clone)]
+struct StdRow {
+    coeffs: Vec<(usize, f64)>,
+    relation: Relation,
+    rhs: f64,
+}
+
+/// Standard-form representation of a user problem.
+#[derive(Debug)]
+struct StandardForm {
+    /// Number of structural (non-slack) columns.
+    num_cols: usize,
+    /// Objective coefficients for structural columns (minimization).
+    costs: Vec<f64>,
+    rows: Vec<StdRow>,
+    var_map: Vec<VarMap>,
+}
+
+fn build_standard_form(problem: &LpProblem) -> StandardForm {
+    let sign = match problem.sense() {
+        Sense::Minimize => 1.0,
+        Sense::Maximize => -1.0,
+    };
+    let mut var_map = Vec::with_capacity(problem.vars.len());
+    let mut costs: Vec<f64> = Vec::new();
+    let mut extra_rows: Vec<StdRow> = Vec::new();
+
+    for v in &problem.vars {
+        let c = sign * v.objective;
+        if v.lower.is_finite() {
+            let col = costs.len();
+            costs.push(c);
+            var_map.push(VarMap::Shifted { col, lower: v.lower });
+            if v.upper.is_finite() {
+                extra_rows.push(StdRow {
+                    coeffs: vec![(col, 1.0)],
+                    relation: Relation::LessEq,
+                    rhs: v.upper - v.lower,
+                });
+            }
+        } else if v.upper.is_finite() {
+            // Only an upper bound: reflect so the new column is nonnegative.
+            let col = costs.len();
+            costs.push(-c);
+            var_map.push(VarMap::Reflected { col, upper: v.upper });
+        } else {
+            let plus = costs.len();
+            costs.push(c);
+            let minus = costs.len();
+            costs.push(-c);
+            var_map.push(VarMap::Split { plus, minus });
+        }
+    }
+
+    let mut rows: Vec<StdRow> = Vec::with_capacity(problem.constraints.len() + extra_rows.len());
+    for c in &problem.constraints {
+        let mut coeffs: Vec<(usize, f64)> = Vec::with_capacity(c.terms.len() + 1);
+        let mut rhs = c.rhs;
+        for &(j, a) in &c.terms {
+            match var_map[j] {
+                VarMap::Shifted { col, lower } => {
+                    rhs -= a * lower;
+                    push_coeff(&mut coeffs, col, a);
+                }
+                VarMap::Reflected { col, upper } => {
+                    rhs -= a * upper;
+                    push_coeff(&mut coeffs, col, -a);
+                }
+                VarMap::Split { plus, minus } => {
+                    push_coeff(&mut coeffs, plus, a);
+                    push_coeff(&mut coeffs, minus, -a);
+                }
+            }
+        }
+        rows.push(StdRow {
+            coeffs,
+            relation: c.relation,
+            rhs,
+        });
+    }
+    rows.extend(extra_rows);
+
+    StandardForm {
+        num_cols: costs.len(),
+        costs,
+        rows,
+        var_map,
+    }
+}
+
+fn push_coeff(coeffs: &mut Vec<(usize, f64)>, col: usize, a: f64) {
+    if a == 0.0 {
+        return;
+    }
+    match coeffs.iter_mut().find(|(j, _)| *j == col) {
+        Some((_, existing)) => *existing += a,
+        None => coeffs.push((col, a)),
+    }
+}
+
+/// Dense tableau with an explicit basis.
+struct Tableau {
+    /// `rows × (total_cols + 1)`; last column is the right-hand side.
+    data: Vec<Vec<f64>>,
+    /// Basic column index per row.
+    basis: Vec<usize>,
+    total_cols: usize,
+    /// Indices of artificial columns (never allowed to re-enter in phase 2).
+    artificial: Vec<bool>,
+    pivots: usize,
+}
+
+impl Tableau {
+    fn rhs(&self, row: usize) -> f64 {
+        self.data[row][self.total_cols]
+    }
+
+    fn pivot(&mut self, row: usize, col: usize) {
+        let pivot_val = self.data[row][col];
+        let width = self.total_cols + 1;
+        for j in 0..width {
+            self.data[row][j] /= pivot_val;
+        }
+        for r in 0..self.data.len() {
+            if r == row {
+                continue;
+            }
+            let factor = self.data[r][col];
+            if factor.abs() < EPS {
+                continue;
+            }
+            for j in 0..width {
+                self.data[r][j] -= factor * self.data[row][j];
+            }
+        }
+        self.basis[row] = col;
+        self.pivots += 1;
+    }
+
+    /// Runs the simplex iteration on the current tableau for the given cost
+    /// vector (length `total_cols`). Returns `None` if the LP is unbounded.
+    fn optimize(&mut self, costs: &[f64], forbid_artificial: bool) -> Result<Option<()>, LpError> {
+        loop {
+            if self.pivots >= MAX_PIVOTS {
+                return Err(LpError::IterationLimit {
+                    iterations: self.pivots,
+                });
+            }
+            let reduced = self.reduced_costs(costs);
+            let use_bland = self.pivots >= DANTZIG_PIVOTS;
+            let entering = self.pick_entering(&reduced, forbid_artificial, use_bland);
+            let Some(col) = entering else {
+                return Ok(Some(()));
+            };
+            // Ratio test.
+            let mut best_row: Option<usize> = None;
+            let mut best_ratio = f64::INFINITY;
+            for r in 0..self.data.len() {
+                let a = self.data[r][col];
+                if a > EPS {
+                    let ratio = self.rhs(r) / a;
+                    let better = match best_row {
+                        None => true,
+                        Some(br) => {
+                            ratio < best_ratio - EPS
+                                || ((ratio - best_ratio).abs() <= EPS
+                                    && self.basis[r] < self.basis[br])
+                        }
+                    };
+                    if better {
+                        best_ratio = ratio;
+                        best_row = Some(r);
+                    }
+                }
+            }
+            let Some(row) = best_row else {
+                return Ok(None); // unbounded direction
+            };
+            self.pivot(row, col);
+        }
+    }
+
+    fn reduced_costs(&self, costs: &[f64]) -> Vec<f64> {
+        // reduced_j = c_j − c_Bᵀ B⁻¹ A_j; with a full tableau, B⁻¹A_j is just
+        // the current column, and c_B are costs of basic columns.
+        let m = self.data.len();
+        let mut reduced = vec![0.0; self.total_cols];
+        for (j, red) in reduced.iter_mut().enumerate() {
+            let mut acc = costs[j];
+            for r in 0..m {
+                let cb = costs[self.basis[r]];
+                if cb != 0.0 {
+                    acc -= cb * self.data[r][j];
+                }
+            }
+            *red = acc;
+        }
+        reduced
+    }
+
+    fn pick_entering(
+        &self,
+        reduced: &[f64],
+        forbid_artificial: bool,
+        use_bland: bool,
+    ) -> Option<usize> {
+        if use_bland {
+            for (j, &rc) in reduced.iter().enumerate() {
+                if forbid_artificial && self.artificial[j] {
+                    continue;
+                }
+                if rc < -EPS {
+                    return Some(j);
+                }
+            }
+            None
+        } else {
+            let mut best: Option<(usize, f64)> = None;
+            for (j, &rc) in reduced.iter().enumerate() {
+                if forbid_artificial && self.artificial[j] {
+                    continue;
+                }
+                if rc < -EPS {
+                    match best {
+                        None => best = Some((j, rc)),
+                        Some((_, b)) if rc < b => best = Some((j, rc)),
+                        _ => {}
+                    }
+                }
+            }
+            best.map(|(j, _)| j)
+        }
+    }
+}
+
+/// Solves the problem; the public entry point used by [`LpProblem::solve`].
+pub(crate) fn solve(problem: &LpProblem) -> Result<LpSolution, LpError> {
+    let std_form = build_standard_form(problem);
+    let n = std_form.num_cols;
+    let m = std_form.rows.len();
+
+    if m == 0 {
+        return solve_unconstrained(problem, &std_form);
+    }
+
+    // Column layout: [structural | slack/surplus | artificial].
+    let mut num_slack = 0usize;
+    for row in &std_form.rows {
+        // A slack/surplus column is needed unless the row is an equality.
+        let rhs_nonneg = row.rhs >= 0.0;
+        match (row.relation, rhs_nonneg) {
+            (Relation::Equal, _) => {}
+            _ => num_slack += 1,
+        }
+    }
+    let total_cols_estimate = n + num_slack + m;
+
+    let mut data: Vec<Vec<f64>> = Vec::with_capacity(m);
+    let mut basis: Vec<usize> = vec![usize::MAX; m];
+    let mut artificial_flags = vec![false; total_cols_estimate];
+    let mut next_slack = n;
+    let mut next_artificial = n + num_slack;
+    let mut artificial_used = 0usize;
+
+    for (r, row) in std_form.rows.iter().enumerate() {
+        let mut dense = vec![0.0; total_cols_estimate + 1];
+        let mut sign = 1.0;
+        let mut relation = row.relation;
+        let mut rhs = row.rhs;
+        if rhs < 0.0 {
+            sign = -1.0;
+            rhs = -rhs;
+            relation = match relation {
+                Relation::LessEq => Relation::GreaterEq,
+                Relation::GreaterEq => Relation::LessEq,
+                Relation::Equal => Relation::Equal,
+            };
+        }
+        for &(j, a) in &row.coeffs {
+            dense[j] += sign * a;
+        }
+        dense[total_cols_estimate] = rhs;
+        match relation {
+            Relation::LessEq => {
+                let s = next_slack;
+                next_slack += 1;
+                dense[s] = 1.0;
+                basis[r] = s;
+            }
+            Relation::GreaterEq => {
+                let s = next_slack;
+                next_slack += 1;
+                dense[s] = -1.0;
+                let a = next_artificial;
+                next_artificial += 1;
+                artificial_used += 1;
+                dense[a] = 1.0;
+                artificial_flags[a] = true;
+                basis[r] = a;
+            }
+            Relation::Equal => {
+                let a = next_artificial;
+                next_artificial += 1;
+                artificial_used += 1;
+                dense[a] = 1.0;
+                artificial_flags[a] = true;
+                basis[r] = a;
+            }
+        }
+        data.push(dense);
+    }
+
+    // Trim unused artificial columns (keep indexing consistent by only
+    // trimming the tail, which is always the unused part).
+    let total_cols = n + (next_slack - n) + artificial_used;
+    for row in &mut data {
+        let rhs = row[total_cols_estimate];
+        row.truncate(total_cols);
+        row.push(rhs);
+    }
+    artificial_flags.truncate(total_cols);
+
+    let mut tableau = Tableau {
+        data,
+        basis,
+        total_cols,
+        artificial: artificial_flags,
+        pivots: 0,
+    };
+
+    // Phase 1: minimize the sum of artificial variables.
+    if artificial_used > 0 {
+        let mut phase1_costs = vec![0.0; total_cols];
+        for (j, flag) in tableau.artificial.iter().enumerate() {
+            if *flag {
+                phase1_costs[j] = 1.0;
+            }
+        }
+        let outcome = tableau.optimize(&phase1_costs, false)?;
+        if outcome.is_none() {
+            // Phase 1 objective is bounded below by zero, so this cannot
+            // happen; treat defensively as infeasible.
+            return Ok(LpSolution::new(
+                SolverStatus::Infeasible,
+                0.0,
+                vec![0.0; problem.num_vars()],
+                tableau.pivots,
+            ));
+        }
+        let phase1_value: f64 = (0..m)
+            .map(|r| {
+                if tableau.artificial[tableau.basis[r]] {
+                    tableau.rhs(r)
+                } else {
+                    0.0
+                }
+            })
+            .sum();
+        if phase1_value > 1e-7 {
+            return Ok(LpSolution::new(
+                SolverStatus::Infeasible,
+                0.0,
+                vec![0.0; problem.num_vars()],
+                tableau.pivots,
+            ));
+        }
+        // Drive remaining artificial variables out of the basis when possible.
+        for r in 0..m {
+            if tableau.artificial[tableau.basis[r]] {
+                let col = (0..n + (next_slack - n))
+                    .find(|&j| tableau.data[r][j].abs() > 1e-7 && !tableau.artificial[j]);
+                if let Some(col) = col {
+                    tableau.pivot(r, col);
+                }
+                // If no pivot column exists the row is redundant; the
+                // artificial stays basic at value ~0, which is harmless.
+            }
+        }
+    }
+
+    // Phase 2: original (minimization) costs on structural columns.
+    let mut phase2_costs = vec![0.0; total_cols];
+    phase2_costs[..n].copy_from_slice(&std_form.costs);
+    let outcome = tableau.optimize(&phase2_costs, true)?;
+    if outcome.is_none() {
+        return Ok(LpSolution::new(
+            SolverStatus::Unbounded,
+            0.0,
+            vec![0.0; problem.num_vars()],
+            tableau.pivots,
+        ));
+    }
+
+    // Read structural column values from the basis.
+    let mut col_values = vec![0.0; total_cols];
+    for r in 0..m {
+        col_values[tableau.basis[r]] = tableau.rhs(r);
+    }
+    let mut user_values = vec![0.0; problem.num_vars()];
+    for (i, vm) in std_form.var_map.iter().enumerate() {
+        user_values[i] = match *vm {
+            VarMap::Shifted { col, lower } => lower + col_values[col],
+            VarMap::Reflected { col, upper } => upper - col_values[col],
+            VarMap::Split { plus, minus } => col_values[plus] - col_values[minus],
+        };
+    }
+    let objective = problem
+        .objective_value(&user_values)
+        .expect("solver produced values for every variable");
+    Ok(LpSolution::new(
+        SolverStatus::Optimal,
+        objective,
+        user_values,
+        tableau.pivots,
+    ))
+}
+
+/// Handles the degenerate case of a problem with no constraint rows: each
+/// variable independently moves to whichever bound its cost prefers.
+fn solve_unconstrained(
+    problem: &LpProblem,
+    std_form: &StandardForm,
+) -> Result<LpSolution, LpError> {
+    let _ = std_form;
+    let sign = match problem.sense() {
+        Sense::Minimize => 1.0,
+        Sense::Maximize => -1.0,
+    };
+    let mut values = vec![0.0; problem.num_vars()];
+    for (i, v) in problem.vars.iter().enumerate() {
+        let c = sign * v.objective;
+        let target = if c > 0.0 {
+            v.lower
+        } else if c < 0.0 {
+            v.upper
+        } else if v.lower.is_finite() {
+            v.lower
+        } else if v.upper.is_finite() {
+            v.upper
+        } else {
+            0.0
+        };
+        if !target.is_finite() && c != 0.0 {
+            return Ok(LpSolution::new(
+                SolverStatus::Unbounded,
+                0.0,
+                vec![0.0; problem.num_vars()],
+                0,
+            ));
+        }
+        values[i] = if target.is_finite() { target } else { 0.0 };
+    }
+    let objective = problem.objective_value(&values)?;
+    Ok(LpSolution::new(SolverStatus::Optimal, objective, values, 0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{LpProblem, Relation, Sense};
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "expected {b}, got {a}");
+    }
+
+    #[test]
+    fn textbook_maximization() {
+        // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18.
+        let mut lp = LpProblem::new(Sense::Maximize);
+        let x = lp.add_var("x", 0.0, f64::INFINITY).unwrap();
+        let y = lp.add_var("y", 0.0, f64::INFINITY).unwrap();
+        lp.set_objective_coefficient(x, 3.0).unwrap();
+        lp.set_objective_coefficient(y, 5.0).unwrap();
+        lp.add_constraint("c1", &[(x, 1.0)], Relation::LessEq, 4.0)
+            .unwrap();
+        lp.add_constraint("c2", &[(y, 2.0)], Relation::LessEq, 12.0)
+            .unwrap();
+        lp.add_constraint("c3", &[(x, 3.0), (y, 2.0)], Relation::LessEq, 18.0)
+            .unwrap();
+        let s = lp.solve().unwrap();
+        assert!(s.is_optimal());
+        assert_close(s.objective(), 36.0, 1e-8);
+        assert_close(s.value(x), 2.0, 1e-8);
+        assert_close(s.value(y), 6.0, 1e-8);
+    }
+
+    #[test]
+    fn minimization_with_geq_rows_needs_phase_one() {
+        // min 2x + 3y s.t. x + y >= 4, x + 3y >= 6, x,y >= 0 — optimum at (3,1): 9.
+        let mut lp = LpProblem::new(Sense::Minimize);
+        let x = lp.add_var("x", 0.0, f64::INFINITY).unwrap();
+        let y = lp.add_var("y", 0.0, f64::INFINITY).unwrap();
+        lp.set_objective_coefficient(x, 2.0).unwrap();
+        lp.set_objective_coefficient(y, 3.0).unwrap();
+        lp.add_constraint("c1", &[(x, 1.0), (y, 1.0)], Relation::GreaterEq, 4.0)
+            .unwrap();
+        lp.add_constraint("c2", &[(x, 1.0), (y, 3.0)], Relation::GreaterEq, 6.0)
+            .unwrap();
+        let s = lp.solve().unwrap();
+        assert!(s.is_optimal());
+        assert_close(s.objective(), 9.0, 1e-8);
+        assert_close(s.value(x), 3.0, 1e-8);
+        assert_close(s.value(y), 1.0, 1e-8);
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // min x + y s.t. x + y = 10, x - y = 2 → x=6, y=4, obj 10.
+        let mut lp = LpProblem::new(Sense::Minimize);
+        let x = lp.add_var("x", 0.0, f64::INFINITY).unwrap();
+        let y = lp.add_var("y", 0.0, f64::INFINITY).unwrap();
+        lp.set_objective_coefficient(x, 1.0).unwrap();
+        lp.set_objective_coefficient(y, 1.0).unwrap();
+        lp.add_constraint("sum", &[(x, 1.0), (y, 1.0)], Relation::Equal, 10.0)
+            .unwrap();
+        lp.add_constraint("diff", &[(x, 1.0), (y, -1.0)], Relation::Equal, 2.0)
+            .unwrap();
+        let s = lp.solve().unwrap();
+        assert!(s.is_optimal());
+        assert_close(s.value(x), 6.0, 1e-8);
+        assert_close(s.value(y), 4.0, 1e-8);
+    }
+
+    #[test]
+    fn detects_infeasible() {
+        let mut lp = LpProblem::new(Sense::Minimize);
+        let x = lp.add_var("x", 0.0, f64::INFINITY).unwrap();
+        lp.set_objective_coefficient(x, 1.0).unwrap();
+        lp.add_constraint("lo", &[(x, 1.0)], Relation::GreaterEq, 5.0)
+            .unwrap();
+        lp.add_constraint("hi", &[(x, 1.0)], Relation::LessEq, 3.0)
+            .unwrap();
+        let s = lp.solve().unwrap();
+        assert_eq!(s.status(), SolverStatus::Infeasible);
+    }
+
+    #[test]
+    fn detects_unbounded() {
+        let mut lp = LpProblem::new(Sense::Maximize);
+        let x = lp.add_var("x", 0.0, f64::INFINITY).unwrap();
+        let y = lp.add_var("y", 0.0, f64::INFINITY).unwrap();
+        lp.set_objective_coefficient(x, 1.0).unwrap();
+        lp.set_objective_coefficient(y, 1.0).unwrap();
+        lp.add_constraint("c", &[(x, 1.0), (y, -1.0)], Relation::LessEq, 1.0)
+            .unwrap();
+        let s = lp.solve().unwrap();
+        assert_eq!(s.status(), SolverStatus::Unbounded);
+    }
+
+    #[test]
+    fn respects_variable_upper_bounds() {
+        // max x + y with x,y in [0, 2] and x + y <= 3.5 → 3.5.
+        let mut lp = LpProblem::new(Sense::Maximize);
+        let x = lp.add_var("x", 0.0, 2.0).unwrap();
+        let y = lp.add_var("y", 0.0, 2.0).unwrap();
+        lp.set_objective_coefficient(x, 1.0).unwrap();
+        lp.set_objective_coefficient(y, 1.0).unwrap();
+        lp.add_constraint("cap", &[(x, 1.0), (y, 1.0)], Relation::LessEq, 3.5)
+            .unwrap();
+        let s = lp.solve().unwrap();
+        assert!(s.is_optimal());
+        assert_close(s.objective(), 3.5, 1e-8);
+        assert!(s.value(x) <= 2.0 + 1e-9);
+        assert!(s.value(y) <= 2.0 + 1e-9);
+    }
+
+    #[test]
+    fn handles_nonzero_lower_bounds() {
+        // min x + y with x >= 2, y >= 3, x + y >= 7 → 7.
+        let mut lp = LpProblem::new(Sense::Minimize);
+        let x = lp.add_var("x", 2.0, f64::INFINITY).unwrap();
+        let y = lp.add_var("y", 3.0, f64::INFINITY).unwrap();
+        lp.set_objective_coefficient(x, 1.0).unwrap();
+        lp.set_objective_coefficient(y, 1.0).unwrap();
+        lp.add_constraint("c", &[(x, 1.0), (y, 1.0)], Relation::GreaterEq, 7.0)
+            .unwrap();
+        let s = lp.solve().unwrap();
+        assert!(s.is_optimal());
+        assert_close(s.objective(), 7.0, 1e-8);
+        assert!(s.value(x) >= 2.0 - 1e-9);
+        assert!(s.value(y) >= 3.0 - 1e-9);
+    }
+
+    #[test]
+    fn handles_free_variables() {
+        // min |style| problem: min x s.t. x >= -5 as a free var with a >= row.
+        let mut lp = LpProblem::new(Sense::Minimize);
+        let x = lp.add_var("x", f64::NEG_INFINITY, f64::INFINITY).unwrap();
+        lp.set_objective_coefficient(x, 1.0).unwrap();
+        lp.add_constraint("c", &[(x, 1.0)], Relation::GreaterEq, -5.0)
+            .unwrap();
+        let s = lp.solve().unwrap();
+        assert!(s.is_optimal());
+        assert_close(s.value(x), -5.0, 1e-8);
+    }
+
+    #[test]
+    fn handles_upper_bounded_only_variable() {
+        // max x with x <= 7 (no lower bound) → 7.
+        let mut lp = LpProblem::new(Sense::Maximize);
+        let x = lp.add_var("x", f64::NEG_INFINITY, 7.0).unwrap();
+        lp.set_objective_coefficient(x, 1.0).unwrap();
+        lp.add_constraint("c", &[(x, 1.0)], Relation::LessEq, 100.0)
+            .unwrap();
+        let s = lp.solve().unwrap();
+        assert!(s.is_optimal());
+        assert_close(s.value(x), 7.0, 1e-8);
+    }
+
+    #[test]
+    fn no_constraints_moves_to_bounds() {
+        let mut lp = LpProblem::new(Sense::Minimize);
+        let x = lp.add_var("x", 1.0, 4.0).unwrap();
+        let y = lp.add_var("y", -2.0, 2.0).unwrap();
+        lp.set_objective_coefficient(x, 1.0).unwrap();
+        lp.set_objective_coefficient(y, -1.0).unwrap();
+        let s = lp.solve().unwrap();
+        assert!(s.is_optimal());
+        assert_close(s.value(x), 1.0, 1e-12);
+        assert_close(s.value(y), 2.0, 1e-12);
+    }
+
+    #[test]
+    fn negative_rhs_rows_are_normalized() {
+        // min x s.t. -x <= -3  (i.e. x >= 3).
+        let mut lp = LpProblem::new(Sense::Minimize);
+        let x = lp.add_var("x", 0.0, f64::INFINITY).unwrap();
+        lp.set_objective_coefficient(x, 1.0).unwrap();
+        lp.add_constraint("c", &[(x, -1.0)], Relation::LessEq, -3.0)
+            .unwrap();
+        let s = lp.solve().unwrap();
+        assert!(s.is_optimal());
+        assert_close(s.value(x), 3.0, 1e-8);
+    }
+
+    #[test]
+    fn degenerate_problem_terminates() {
+        // A classically degenerate LP; checks anti-cycling protection.
+        let mut lp = LpProblem::new(Sense::Minimize);
+        let x1 = lp.add_var("x1", 0.0, f64::INFINITY).unwrap();
+        let x2 = lp.add_var("x2", 0.0, f64::INFINITY).unwrap();
+        let x3 = lp.add_var("x3", 0.0, f64::INFINITY).unwrap();
+        let x4 = lp.add_var("x4", 0.0, f64::INFINITY).unwrap();
+        lp.set_objective_coefficient(x1, -0.75).unwrap();
+        lp.set_objective_coefficient(x2, 150.0).unwrap();
+        lp.set_objective_coefficient(x3, -0.02).unwrap();
+        lp.set_objective_coefficient(x4, 6.0).unwrap();
+        lp.add_constraint(
+            "r1",
+            &[(x1, 0.25), (x2, -60.0), (x3, -0.04), (x4, 9.0)],
+            Relation::LessEq,
+            0.0,
+        )
+        .unwrap();
+        lp.add_constraint(
+            "r2",
+            &[(x1, 0.5), (x2, -90.0), (x3, -0.02), (x4, 3.0)],
+            Relation::LessEq,
+            0.0,
+        )
+        .unwrap();
+        lp.add_constraint("r3", &[(x3, 1.0)], Relation::LessEq, 1.0)
+            .unwrap();
+        let s = lp.solve().unwrap();
+        assert!(s.is_optimal());
+        assert_close(s.objective(), -0.05, 1e-6);
+    }
+
+    #[test]
+    fn solution_satisfies_original_model() {
+        let mut lp = LpProblem::new(Sense::Maximize);
+        let x = lp.add_var("x", 0.0, 10.0).unwrap();
+        let y = lp.add_var("y", 1.0, 8.0).unwrap();
+        let z = lp.add_var("z", 0.0, f64::INFINITY).unwrap();
+        lp.set_objective_coefficient(x, 1.0).unwrap();
+        lp.set_objective_coefficient(y, 2.0).unwrap();
+        lp.set_objective_coefficient(z, 1.5).unwrap();
+        lp.add_constraint("a", &[(x, 1.0), (y, 1.0), (z, 1.0)], Relation::LessEq, 12.0)
+            .unwrap();
+        lp.add_constraint("b", &[(x, 2.0), (z, 1.0)], Relation::LessEq, 9.0)
+            .unwrap();
+        lp.add_constraint("c", &[(y, 1.0), (z, -1.0)], Relation::GreaterEq, 0.5)
+            .unwrap();
+        let s = lp.solve().unwrap();
+        assert!(s.is_optimal());
+        assert!(lp.is_feasible(s.values(), 1e-6).unwrap());
+    }
+}

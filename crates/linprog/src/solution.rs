@@ -1,0 +1,109 @@
+//! Solution container returned by the simplex solver.
+
+use crate::model::VarId;
+
+/// Outcome status of an LP solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SolverStatus {
+    /// An optimal solution was found.
+    Optimal,
+    /// The constraints admit no feasible point.
+    Infeasible,
+    /// The objective is unbounded over the feasible region.
+    Unbounded,
+}
+
+impl std::fmt::Display for SolverStatus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SolverStatus::Optimal => write!(f, "optimal"),
+            SolverStatus::Infeasible => write!(f, "infeasible"),
+            SolverStatus::Unbounded => write!(f, "unbounded"),
+        }
+    }
+}
+
+/// Result of solving an [`LpProblem`](crate::LpProblem).
+///
+/// For non-[`Optimal`](SolverStatus::Optimal) statuses the variable values and
+/// objective are unspecified placeholders (zeros); check
+/// [`status`](LpSolution::status) before reading them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LpSolution {
+    status: SolverStatus,
+    objective: f64,
+    values: Vec<f64>,
+    iterations: usize,
+}
+
+impl LpSolution {
+    pub(crate) fn new(
+        status: SolverStatus,
+        objective: f64,
+        values: Vec<f64>,
+        iterations: usize,
+    ) -> Self {
+        LpSolution {
+            status,
+            objective,
+            values,
+            iterations,
+        }
+    }
+
+    /// Solver status.
+    pub fn status(&self) -> SolverStatus {
+        self.status
+    }
+
+    /// Returns `true` if the status is [`SolverStatus::Optimal`].
+    pub fn is_optimal(&self) -> bool {
+        self.status == SolverStatus::Optimal
+    }
+
+    /// Optimal objective value (in the problem's original sense).
+    pub fn objective(&self) -> f64 {
+        self.objective
+    }
+
+    /// Value of a variable in the optimal solution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` does not belong to the solved problem.
+    pub fn value(&self, var: VarId) -> f64 {
+        self.values[var.index()]
+    }
+
+    /// All variable values, in order of variable creation.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Number of simplex pivots performed (phase 1 + phase 2).
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn status_display() {
+        assert_eq!(SolverStatus::Optimal.to_string(), "optimal");
+        assert_eq!(SolverStatus::Infeasible.to_string(), "infeasible");
+        assert_eq!(SolverStatus::Unbounded.to_string(), "unbounded");
+    }
+
+    #[test]
+    fn accessors_round_trip() {
+        let s = LpSolution::new(SolverStatus::Optimal, 3.5, vec![1.0, 2.5], 7);
+        assert!(s.is_optimal());
+        assert_eq!(s.objective(), 3.5);
+        assert_eq!(s.value(VarId(1)), 2.5);
+        assert_eq!(s.values(), &[1.0, 2.5]);
+        assert_eq!(s.iterations(), 7);
+    }
+}

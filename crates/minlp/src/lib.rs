@@ -1,0 +1,63 @@
+//! Mixed-integer nonlinear branch-and-bound solver.
+//!
+//! This crate is the in-repo substitute for Couenne, the global MINLP solver
+//! used by the reproduced paper (Shan et al., DAC 2019) to solve the exact
+//! multi-FPGA compute-unit allocation problem. The problem class it targets is
+//! *factorable* models whose nonlinearities come from a small term library:
+//!
+//! * [`Term::Linear`] — `c·x`,
+//! * [`Term::Reciprocal`] — `c/x` (convex for `x > 0`), used for the
+//!   initiation-interval constraints `II ≥ WCET/N`,
+//! * [`Term::Saturation`] — `c·x/(a+x)` (concave for `x ≥ 0`), used for the
+//!   CU-spreading penalty `ϕ_k = Σ_f n_{k,f}/(1+n_{k,f})`.
+//!
+//! Every constraint is a sum of such terms compared to a constant, and the
+//! objective is linear. The solver performs best-first branch-and-bound on
+//! the integer variables; each node is bounded by an LP relaxation built from
+//! Couenne-style convexifications (tangent outer-approximation cuts for convex
+//! terms, secant/chord estimators for concave terms) and solved with the
+//! [`mfa_linprog`] simplex. Because every nonlinear term is univariate and the
+//! estimators are exact once a variable's bounds collapse, integer branching
+//! alone closes the relaxation gap and the returned incumbent is a global
+//! optimum (within tolerances) whenever the search terminates normally.
+//!
+//! # Example
+//!
+//! ```
+//! use mfa_minlp::{MinlpProblem, Relation, Term, MinlpStatus};
+//!
+//! # fn main() -> Result<(), mfa_minlp::MinlpError> {
+//! // minimize II  s.t.  II ≥ 6/N, N integer, 1 ≤ N ≤ 4, 0.3·N ≤ 1.
+//! let mut problem = MinlpProblem::new();
+//! let ii = problem.add_continuous_var("II", 0.0, 100.0, 1.0)?;
+//! let n = problem.add_integer_var("N", 1.0, 4.0, 0.0)?;
+//! problem.add_constraint(
+//!     "latency",
+//!     vec![Term::reciprocal(n, 6.0), Term::linear(ii, -1.0)],
+//!     Relation::LessEq,
+//!     0.0,
+//! )?;
+//! problem.add_constraint("budget", vec![Term::linear(n, 0.3)], Relation::LessEq, 1.0)?;
+//! let solution = problem.solve()?;
+//! assert_eq!(solution.status(), MinlpStatus::Optimal);
+//! assert!((solution.value(n) - 3.0).abs() < 1e-6);
+//! assert!((solution.objective() - 2.0).abs() < 1e-6);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bb;
+mod error;
+mod model;
+mod relax;
+mod solution;
+mod term;
+
+pub use bb::SolverOptions;
+pub use error::MinlpError;
+pub use model::{MinlpProblem, MinlpVarId, Relation};
+pub use solution::{MinlpSolution, MinlpStatus};
+pub use term::Term;

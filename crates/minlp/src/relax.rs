@@ -1,0 +1,230 @@
+//! LP relaxation of a MINLP node.
+//!
+//! Every nonlinear term is replaced by an auxiliary LP variable linked to its
+//! argument through linear estimator rows (tangents for the convex side,
+//! secants for the concave side), yielding a polyhedral outer approximation of
+//! the node's feasible set whose optimum is a valid lower bound.
+
+use mfa_linprog::{LpProblem, Relation as LpRelation, Sense, VarId};
+
+use crate::model::{MinlpProblem, Relation};
+use crate::term::Term;
+use crate::MinlpError;
+
+/// Identifies one nonlinear term occurrence inside the problem.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) struct TermRef {
+    pub(crate) constraint: usize,
+    pub(crate) term: usize,
+}
+
+/// Extra tangent reference points accumulated by the outer-approximation loop.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct CutPool {
+    points: Vec<(TermRef, f64)>,
+}
+
+impl CutPool {
+    pub(crate) fn add(&mut self, term: TermRef, point: f64) {
+        self.points.push((term, point));
+    }
+
+    /// Number of accumulated cut points (used by tests and diagnostics).
+    #[allow(dead_code)]
+    pub(crate) fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    fn points_for(&self, term: TermRef) -> Vec<f64> {
+        self.points
+            .iter()
+            .filter(|(t, _)| *t == term)
+            .map(|&(_, p)| p)
+            .collect()
+    }
+}
+
+/// The LP relaxation of one node together with the bookkeeping needed to map
+/// LP results back to MINLP variables and to generate cuts.
+#[derive(Debug)]
+pub(crate) struct NodeRelaxation {
+    pub(crate) lp: LpProblem,
+    /// LP variable for each MINLP variable (same order).
+    pub(crate) var_ids: Vec<VarId>,
+    /// For every nonlinear term occurrence: its reference, the LP auxiliary
+    /// variable carrying the term value, and the term itself.
+    pub(crate) aux: Vec<(TermRef, VarId, Term)>,
+}
+
+/// Builds the LP relaxation for the node described by `bounds` (one
+/// `(lower, upper)` pair per MINLP variable), using extra tangent points from
+/// `cuts`.
+pub(crate) fn build(
+    problem: &MinlpProblem,
+    bounds: &[(f64, f64)],
+    cuts: &CutPool,
+) -> Result<NodeRelaxation, MinlpError> {
+    let mut lp = LpProblem::new(Sense::Minimize);
+    let mut var_ids = Vec::with_capacity(problem.vars.len());
+    for (data, &(lower, upper)) in problem.vars.iter().zip(bounds) {
+        let id = lp.add_var(data.name.clone(), lower, upper)?;
+        lp.set_objective_coefficient(id, data.objective)?;
+        var_ids.push(id);
+    }
+
+    let mut aux = Vec::new();
+    for (ci, constraint) in problem.constraints.iter().enumerate() {
+        let mut row: Vec<(VarId, f64)> = Vec::new();
+        for (ti, term) in constraint.terms.iter().enumerate() {
+            match *term {
+                Term::Linear { var, coeff } => row.push((var_ids[var.index()], coeff)),
+                _ => {
+                    let term_ref = TermRef {
+                        constraint: ci,
+                        term: ti,
+                    };
+                    let var = term.var();
+                    let (lo, hi) = bounds[var.index()];
+                    let aux_name = format!("aux_{}_{}", ci, ti);
+                    let aux_id = lp.add_var(aux_name, f64::NEG_INFINITY, f64::INFINITY)?;
+                    row.push((aux_id, 1.0));
+                    let reference_points = cuts.points_for(term_ref);
+                    let x_id = var_ids[var.index()];
+                    // Link the auxiliary variable to the argument through the
+                    // estimator rows appropriate for the constraint direction.
+                    let need_under = matches!(
+                        constraint.relation,
+                        Relation::LessEq | Relation::Equal
+                    );
+                    let need_over = matches!(
+                        constraint.relation,
+                        Relation::GreaterEq | Relation::Equal
+                    );
+                    if need_under {
+                        for (k, line) in term
+                            .under_estimators(lo, hi, &reference_points)
+                            .into_iter()
+                            .enumerate()
+                        {
+                            // aux ≥ intercept + slope·x.
+                            lp.add_constraint(
+                                format!("under_{}_{}_{}", ci, ti, k),
+                                &[(aux_id, 1.0), (x_id, -line.slope)],
+                                LpRelation::GreaterEq,
+                                line.intercept,
+                            )?;
+                        }
+                    }
+                    if need_over {
+                        for (k, line) in term
+                            .over_estimators(lo, hi, &reference_points)
+                            .into_iter()
+                            .enumerate()
+                        {
+                            // aux ≤ intercept + slope·x.
+                            lp.add_constraint(
+                                format!("over_{}_{}_{}", ci, ti, k),
+                                &[(aux_id, 1.0), (x_id, -line.slope)],
+                                LpRelation::LessEq,
+                                line.intercept,
+                            )?;
+                        }
+                    }
+                    aux.push((term_ref, aux_id, *term));
+                }
+            }
+        }
+        let relation = match constraint.relation {
+            Relation::LessEq => LpRelation::LessEq,
+            Relation::GreaterEq => LpRelation::GreaterEq,
+            Relation::Equal => LpRelation::Equal,
+        };
+        lp.add_constraint(constraint.name.clone(), &row, relation, constraint.rhs)?;
+    }
+
+    Ok(NodeRelaxation { lp, var_ids, aux })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{MinlpProblem, Relation};
+    use crate::term::Term;
+    use mfa_linprog::SolverStatus;
+
+    /// min II s.t. II ≥ 6/N over N ∈ [1, 4]: the LP relaxation must be a
+    /// valid lower bound on the true optimum (II = 1.5 at N = 4).
+    #[test]
+    fn relaxation_is_a_lower_bound() {
+        let mut p = MinlpProblem::new();
+        let ii = p.add_continuous_var("II", 0.0, 100.0, 1.0).unwrap();
+        let n = p.add_integer_var("N", 1.0, 4.0, 0.0).unwrap();
+        p.add_constraint(
+            "lat",
+            vec![Term::reciprocal(n, 6.0), Term::linear(ii, -1.0)],
+            Relation::LessEq,
+            0.0,
+        )
+        .unwrap();
+        let bounds = vec![(0.0, 100.0), (1.0, 4.0)];
+        let relaxation = build(&p, &bounds, &CutPool::default()).unwrap();
+        let sol = relaxation.lp.solve().unwrap();
+        assert_eq!(sol.status(), SolverStatus::Optimal);
+        assert!(sol.objective() <= 1.5 + 1e-9);
+        assert!(sol.objective() >= 0.0);
+        assert_eq!(relaxation.aux.len(), 1);
+    }
+
+    /// Adding a tangent cut at the relaxation solution tightens the bound.
+    #[test]
+    fn outer_approximation_cut_tightens_bound() {
+        let mut p = MinlpProblem::new();
+        let ii = p.add_continuous_var("II", 0.0, 100.0, 1.0).unwrap();
+        let n = p.add_integer_var("N", 1.0, 4.0, 0.0).unwrap();
+        p.add_constraint(
+            "lat",
+            vec![Term::reciprocal(n, 6.0), Term::linear(ii, -1.0)],
+            Relation::LessEq,
+            0.0,
+        )
+        .unwrap();
+        // Force N ≤ 2 so the true optimum is II = 3.
+        let bounds = vec![(0.0, 100.0), (1.0, 2.0)];
+        let mut cuts = CutPool::default();
+        let first = build(&p, &bounds, &cuts).unwrap();
+        let sol1 = first.lp.solve().unwrap();
+        let n_val = sol1.value(first.var_ids[n.index()]);
+        cuts.add(
+            TermRef {
+                constraint: 0,
+                term: 0,
+            },
+            n_val,
+        );
+        assert_eq!(cuts.len(), 1);
+        let second = build(&p, &bounds, &cuts).unwrap();
+        let sol2 = second.lp.solve().unwrap();
+        assert!(sol2.objective() >= sol1.objective() - 1e-9);
+        assert!(sol2.objective() <= 3.0 + 1e-9);
+    }
+
+    /// With collapsed integer bounds the relaxation is exact.
+    #[test]
+    fn collapsed_bounds_make_relaxation_exact() {
+        let mut p = MinlpProblem::new();
+        let phi = p.add_continuous_var("phi", 0.0, 10.0, 1.0).unwrap();
+        let n = p.add_integer_var("n", 0.0, 8.0, 0.0).unwrap();
+        // phi ≥ n/(1+n).
+        p.add_constraint(
+            "spread",
+            vec![Term::saturation(n, 1.0), Term::linear(phi, -1.0)],
+            Relation::LessEq,
+            0.0,
+        )
+        .unwrap();
+        let bounds = vec![(0.0, 10.0), (3.0, 3.0)];
+        let relaxation = build(&p, &bounds, &CutPool::default()).unwrap();
+        let sol = relaxation.lp.solve().unwrap();
+        assert!((sol.objective() - 0.75).abs() < 1e-9);
+    }
+}

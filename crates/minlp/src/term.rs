@@ -1,0 +1,331 @@
+//! The factorable term library and its linear under-/over-estimators.
+
+use crate::model::MinlpVarId;
+
+/// A line `intercept + slope·x` used as a linear estimator of a nonlinear
+/// term over an interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct EstimatorLine {
+    pub(crate) slope: f64,
+    pub(crate) intercept: f64,
+}
+
+impl EstimatorLine {
+    /// Evaluates the line (used by the estimator property tests).
+    #[allow(dead_code)]
+    pub(crate) fn eval(&self, x: f64) -> f64 {
+        self.intercept + self.slope * x
+    }
+}
+
+/// One term of a factorable constraint: a univariate function of a single
+/// decision variable.
+///
+/// All nonlinear terms used by the multi-FPGA allocation model are covered:
+/// linear terms, convex reciprocals (`II ≥ WCET/N` rows) and concave
+/// saturations (the spreading penalty `n/(1+n)`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum Term {
+    /// `coeff · x`.
+    Linear {
+        /// Variable the term depends on.
+        var: MinlpVarId,
+        /// Multiplier.
+        coeff: f64,
+    },
+    /// `coeff / x`, convex on `x > 0`. Requires the variable's lower bound to
+    /// be strictly positive and `coeff > 0`.
+    Reciprocal {
+        /// Variable the term depends on.
+        var: MinlpVarId,
+        /// Numerator; must be strictly positive.
+        coeff: f64,
+    },
+    /// `coeff · x / (offset + x)`, concave on `x ≥ 0`. Requires `coeff > 0`,
+    /// `offset > 0` and a nonnegative variable lower bound.
+    Saturation {
+        /// Variable the term depends on.
+        var: MinlpVarId,
+        /// Multiplier; must be strictly positive.
+        coeff: f64,
+        /// Additive offset in the denominator; must be strictly positive.
+        offset: f64,
+    },
+}
+
+impl Term {
+    /// Convenience constructor for [`Term::Linear`].
+    pub fn linear(var: MinlpVarId, coeff: f64) -> Self {
+        Term::Linear { var, coeff }
+    }
+
+    /// Convenience constructor for [`Term::Reciprocal`] (`coeff / x`).
+    pub fn reciprocal(var: MinlpVarId, coeff: f64) -> Self {
+        Term::Reciprocal { var, coeff }
+    }
+
+    /// Convenience constructor for [`Term::Saturation`] with unit offset
+    /// (`coeff · x / (1 + x)`), the shape used by the CU-spreading penalty.
+    pub fn saturation(var: MinlpVarId, coeff: f64) -> Self {
+        Term::Saturation {
+            var,
+            coeff,
+            offset: 1.0,
+        }
+    }
+
+    /// The variable this term depends on.
+    pub fn var(&self) -> MinlpVarId {
+        match *self {
+            Term::Linear { var, .. }
+            | Term::Reciprocal { var, .. }
+            | Term::Saturation { var, .. } => var,
+        }
+    }
+
+    /// Returns `true` for [`Term::Linear`].
+    pub fn is_linear(&self) -> bool {
+        matches!(self, Term::Linear { .. })
+    }
+
+    /// Returns `true` for terms that are convex functions of their variable.
+    pub fn is_convex(&self) -> bool {
+        matches!(self, Term::Linear { .. } | Term::Reciprocal { .. })
+    }
+
+    /// Returns `true` for terms that are concave functions of their variable.
+    /// Linear terms are both convex and concave.
+    pub fn is_concave(&self) -> bool {
+        matches!(self, Term::Linear { .. } | Term::Saturation { .. })
+    }
+
+    /// Evaluates the term at `x`.
+    pub fn eval(&self, x: f64) -> f64 {
+        match *self {
+            Term::Linear { coeff, .. } => coeff * x,
+            Term::Reciprocal { coeff, .. } => coeff / x,
+            Term::Saturation { coeff, offset, .. } => coeff * x / (offset + x),
+        }
+    }
+
+    /// Derivative of the term at `x`.
+    pub fn derivative(&self, x: f64) -> f64 {
+        match *self {
+            Term::Linear { coeff, .. } => coeff,
+            Term::Reciprocal { coeff, .. } => -coeff / (x * x),
+            Term::Saturation { coeff, offset, .. } => coeff * offset / ((offset + x) * (offset + x)),
+        }
+    }
+
+    /// Tangent line to the term at `point` (supports the graph from below for
+    /// convex terms and from above for concave terms).
+    pub(crate) fn tangent_at(&self, point: f64) -> EstimatorLine {
+        let value = self.eval(point);
+        let slope = self.derivative(point);
+        EstimatorLine {
+            slope,
+            intercept: value - slope * point,
+        }
+    }
+
+    /// Secant line through the term's graph at the interval endpoints
+    /// (`lower`, `upper`). When the interval is degenerate the line is the
+    /// horizontal line through the single point.
+    pub(crate) fn secant_over(&self, lower: f64, upper: f64) -> EstimatorLine {
+        let f_lower = self.eval(lower);
+        if (upper - lower).abs() < 1e-12 {
+            return EstimatorLine {
+                slope: 0.0,
+                intercept: f_lower,
+            };
+        }
+        let f_upper = self.eval(upper);
+        let slope = (f_upper - f_lower) / (upper - lower);
+        EstimatorLine {
+            slope,
+            intercept: f_lower - slope * lower,
+        }
+    }
+
+    /// Linear lines `ℓ(x)` with `ℓ(x) ≤ term(x)` for all `x ∈ [lower, upper]`
+    /// (under-estimators). `reference_points` are extra tangent points used
+    /// for convex terms (outer approximation).
+    pub(crate) fn under_estimators(
+        &self,
+        lower: f64,
+        upper: f64,
+        reference_points: &[f64],
+    ) -> Vec<EstimatorLine> {
+        match self {
+            Term::Linear { coeff, .. } => vec![EstimatorLine {
+                slope: *coeff,
+                intercept: 0.0,
+            }],
+            Term::Reciprocal { .. } => {
+                // Convex: every tangent is an under-estimator.
+                let mut points = vec![lower, upper, 0.5 * (lower + upper)];
+                points.extend_from_slice(reference_points);
+                points
+                    .into_iter()
+                    .filter(|p| p.is_finite() && *p >= lower - 1e-9 && *p <= upper + 1e-9)
+                    .map(|p| self.tangent_at(p.clamp(lower.max(1e-12), upper.max(1e-12))))
+                    .collect()
+            }
+            Term::Saturation { .. } => {
+                // Concave: the chord is the convex envelope (tight at bounds).
+                vec![self.secant_over(lower, upper)]
+            }
+        }
+    }
+
+    /// Linear lines `ℓ(x)` with `ℓ(x) ≥ term(x)` for all `x ∈ [lower, upper]`
+    /// (over-estimators).
+    pub(crate) fn over_estimators(
+        &self,
+        lower: f64,
+        upper: f64,
+        reference_points: &[f64],
+    ) -> Vec<EstimatorLine> {
+        match self {
+            Term::Linear { coeff, .. } => vec![EstimatorLine {
+                slope: *coeff,
+                intercept: 0.0,
+            }],
+            Term::Reciprocal { .. } => {
+                // Convex: the chord over-estimates.
+                vec![self.secant_over(lower, upper)]
+            }
+            Term::Saturation { .. } => {
+                // Concave: every tangent over-estimates.
+                let mut points = vec![lower, upper, 0.5 * (lower + upper)];
+                points.extend_from_slice(reference_points);
+                points
+                    .into_iter()
+                    .filter(|p| p.is_finite() && *p >= lower - 1e-9 && *p <= upper + 1e-9)
+                    .map(|p| self.tangent_at(p.clamp(lower, upper)))
+                    .collect()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::MinlpVarId;
+    use proptest::prelude::*;
+
+    fn var() -> MinlpVarId {
+        MinlpVarId::from_index(0)
+    }
+
+    #[test]
+    fn eval_and_derivative() {
+        let lin = Term::linear(var(), 2.5);
+        assert_eq!(lin.eval(4.0), 10.0);
+        assert_eq!(lin.derivative(4.0), 2.5);
+
+        let rec = Term::reciprocal(var(), 6.0);
+        assert_eq!(rec.eval(2.0), 3.0);
+        assert_eq!(rec.derivative(2.0), -1.5);
+
+        let sat = Term::saturation(var(), 1.0);
+        assert_eq!(sat.eval(1.0), 0.5);
+        assert!((sat.derivative(1.0) - 0.25).abs() < 1e-12);
+        assert_eq!(sat.eval(0.0), 0.0);
+    }
+
+    #[test]
+    fn convexity_flags() {
+        assert!(Term::linear(var(), 1.0).is_convex());
+        assert!(Term::linear(var(), 1.0).is_concave());
+        assert!(Term::reciprocal(var(), 1.0).is_convex());
+        assert!(!Term::reciprocal(var(), 1.0).is_concave());
+        assert!(Term::saturation(var(), 1.0).is_concave());
+        assert!(!Term::saturation(var(), 1.0).is_convex());
+    }
+
+    #[test]
+    fn tangent_touches_and_secant_interpolates() {
+        let rec = Term::reciprocal(var(), 4.0);
+        let tangent = rec.tangent_at(2.0);
+        assert!((tangent.eval(2.0) - rec.eval(2.0)).abs() < 1e-12);
+        let secant = rec.secant_over(1.0, 4.0);
+        assert!((secant.eval(1.0) - rec.eval(1.0)).abs() < 1e-12);
+        assert!((secant.eval(4.0) - rec.eval(4.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_secant_is_constant() {
+        let sat = Term::saturation(var(), 2.0);
+        let line = sat.secant_over(3.0, 3.0);
+        assert_eq!(line.slope, 0.0);
+        assert!((line.eval(10.0) - sat.eval(3.0)).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn reciprocal_under_estimators_stay_below(
+            lower in 0.5..4.0f64,
+            width in 0.1..10.0f64,
+            sample in 0.0..1.0f64,
+            reference in 0.0..1.0f64
+        ) {
+            let upper = lower + width;
+            let rec = Term::reciprocal(var(), 3.0);
+            let x = lower + sample * width;
+            let reference_point = lower + reference * width;
+            for line in rec.under_estimators(lower, upper, &[reference_point]) {
+                prop_assert!(line.eval(x) <= rec.eval(x) + 1e-7,
+                    "line {} above f {} at {}", line.eval(x), rec.eval(x), x);
+            }
+        }
+
+        #[test]
+        fn reciprocal_over_estimator_stays_above(
+            lower in 0.5..4.0f64,
+            width in 0.1..10.0f64,
+            sample in 0.0..1.0f64
+        ) {
+            let upper = lower + width;
+            let rec = Term::reciprocal(var(), 3.0);
+            let x = lower + sample * width;
+            for line in rec.over_estimators(lower, upper, &[]) {
+                prop_assert!(line.eval(x) >= rec.eval(x) - 1e-7);
+            }
+        }
+
+        #[test]
+        fn saturation_estimators_bracket_function(
+            lower in 0.0..5.0f64,
+            width in 0.1..10.0f64,
+            sample in 0.0..1.0f64,
+            reference in 0.0..1.0f64
+        ) {
+            let upper = lower + width;
+            let sat = Term::saturation(var(), 2.0);
+            let x = lower + sample * width;
+            let reference_point = lower + reference * width;
+            for line in sat.under_estimators(lower, upper, &[]) {
+                prop_assert!(line.eval(x) <= sat.eval(x) + 1e-7);
+            }
+            for line in sat.over_estimators(lower, upper, &[reference_point]) {
+                prop_assert!(line.eval(x) >= sat.eval(x) - 1e-7);
+            }
+        }
+
+        #[test]
+        fn estimators_are_exact_on_collapsed_intervals(point in 0.5..6.0f64) {
+            let rec = Term::reciprocal(var(), 2.0);
+            let sat = Term::saturation(var(), 1.5);
+            for term in [rec, sat] {
+                let unders = term.under_estimators(point, point, &[]);
+                let overs = term.over_estimators(point, point, &[]);
+                for line in unders.iter().chain(overs.iter()) {
+                    prop_assert!((line.eval(point) - term.eval(point)).abs() < 1e-9);
+                }
+            }
+        }
+    }
+}

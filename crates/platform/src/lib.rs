@@ -1,0 +1,42 @@
+//! FPGA device and multi-FPGA platform models.
+//!
+//! The reproduced paper targets AWS EC2 F1 instances: a host CPU attached to
+//! up to eight Xilinx Virtex UltraScale+ VU9P FPGAs, each with its own DDR4
+//! DRAM banks. The allocation algorithms only need two facts about the
+//! platform: the per-FPGA resource capacities (LUT/FF/BRAM/DSP) and the
+//! per-FPGA DRAM bandwidth. This crate provides those models:
+//!
+//! * [`ResourceVec`] — a vector of the four FPGA resource classes with the
+//!   component-wise arithmetic the allocator needs,
+//! * [`FpgaDevice`] — one FPGA (capacities + DRAM bandwidth), with a
+//!   [`FpgaDevice::vu9p`] preset,
+//! * [`MultiFpgaPlatform`] — `F` identical devices orchestrated by a host,
+//!   with AWS F1 instance presets ([`MultiFpgaPlatform::aws_f1_16xlarge`] and
+//!   friends),
+//! * [`ResourceBudget`] — the per-FPGA constraint used in the paper's
+//!   experiments ("resource constraint %" applied to every class plus a
+//!   bandwidth cap).
+//!
+//! # Example
+//!
+//! ```
+//! use mfa_platform::{MultiFpgaPlatform, ResourceBudget};
+//!
+//! let platform = MultiFpgaPlatform::aws_f1_16xlarge();
+//! assert_eq!(platform.num_fpgas(), 8);
+//! let budget = ResourceBudget::uniform(0.61);
+//! assert!((budget.resource_fraction().dsp - 0.61).abs() < 1e-12);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod budget;
+mod device;
+mod platform;
+mod resources;
+
+pub use budget::ResourceBudget;
+pub use device::FpgaDevice;
+pub use platform::MultiFpgaPlatform;
+pub use resources::ResourceVec;

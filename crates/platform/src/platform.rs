@@ -1,0 +1,123 @@
+//! Multi-FPGA platform model (host CPU + `F` identical FPGAs).
+
+use serde::{Deserialize, Serialize};
+
+use crate::FpgaDevice;
+
+/// A host-orchestrated platform of `F` identical FPGA devices, as in the AWS
+/// EC2 F1 family. All inter-kernel communication goes through each FPGA's
+/// DRAM, coordinated by the host (the paper's execution model).
+///
+/// # Example
+///
+/// ```
+/// use mfa_platform::MultiFpgaPlatform;
+///
+/// let f1 = MultiFpgaPlatform::aws_f1_16xlarge();
+/// assert_eq!(f1.num_fpgas(), 8);
+/// let pair = f1.with_num_fpgas(2);
+/// assert_eq!(pair.num_fpgas(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MultiFpgaPlatform {
+    name: String,
+    device: FpgaDevice,
+    num_fpgas: usize,
+}
+
+impl MultiFpgaPlatform {
+    /// Creates a platform of `num_fpgas` identical `device`s.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_fpgas` is zero.
+    pub fn new(name: impl Into<String>, device: FpgaDevice, num_fpgas: usize) -> Self {
+        assert!(num_fpgas > 0, "a platform needs at least one FPGA");
+        MultiFpgaPlatform {
+            name: name.into(),
+            device,
+            num_fpgas,
+        }
+    }
+
+    /// AWS EC2 `f1.2xlarge`: one VU9P FPGA.
+    pub fn aws_f1_2xlarge() -> Self {
+        MultiFpgaPlatform::new("f1.2xlarge", FpgaDevice::vu9p(), 1)
+    }
+
+    /// AWS EC2 `f1.4xlarge`: two VU9P FPGAs.
+    pub fn aws_f1_4xlarge() -> Self {
+        MultiFpgaPlatform::new("f1.4xlarge", FpgaDevice::vu9p(), 2)
+    }
+
+    /// AWS EC2 `f1.16xlarge`: eight VU9P FPGAs (the platform used in the
+    /// paper's experiments).
+    pub fn aws_f1_16xlarge() -> Self {
+        MultiFpgaPlatform::new("f1.16xlarge", FpgaDevice::vu9p(), 8)
+    }
+
+    /// Platform name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The per-FPGA device model.
+    pub fn device(&self) -> &FpgaDevice {
+        &self.device
+    }
+
+    /// Number of FPGAs.
+    pub fn num_fpgas(&self) -> usize {
+        self.num_fpgas
+    }
+
+    /// Returns a copy of this platform with a different FPGA count (used by
+    /// the design-space exploration sweeps, which vary `F` from 2 to 8 on the
+    /// same device).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_fpgas` is zero.
+    #[must_use]
+    pub fn with_num_fpgas(&self, num_fpgas: usize) -> Self {
+        MultiFpgaPlatform::new(
+            format!("{}×{}", num_fpgas, self.device.name()),
+            self.device.clone(),
+            num_fpgas,
+        )
+    }
+}
+
+impl Default for MultiFpgaPlatform {
+    fn default() -> Self {
+        MultiFpgaPlatform::aws_f1_16xlarge()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_have_expected_sizes() {
+        assert_eq!(MultiFpgaPlatform::aws_f1_2xlarge().num_fpgas(), 1);
+        assert_eq!(MultiFpgaPlatform::aws_f1_4xlarge().num_fpgas(), 2);
+        assert_eq!(MultiFpgaPlatform::aws_f1_16xlarge().num_fpgas(), 8);
+        assert_eq!(MultiFpgaPlatform::default().name(), "f1.16xlarge");
+    }
+
+    #[test]
+    fn with_num_fpgas_keeps_device() {
+        let base = MultiFpgaPlatform::aws_f1_16xlarge();
+        let four = base.with_num_fpgas(4);
+        assert_eq!(four.num_fpgas(), 4);
+        assert_eq!(four.device(), base.device());
+        assert!(four.name().contains('4'));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_fpgas_is_rejected() {
+        let _ = MultiFpgaPlatform::new("empty", FpgaDevice::vu9p(), 0);
+    }
+}

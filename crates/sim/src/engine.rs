@@ -1,0 +1,405 @@
+//! The event-driven simulation engine.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::collections::VecDeque;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use mfa_alloc::{Allocation, AllocationProblem};
+
+use crate::stats::{FpgaStats, SimResult};
+
+/// Configuration of a simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimConfig {
+    /// Number of items (e.g. images) pushed through the pipeline.
+    pub num_items: usize,
+    /// Relative service-time jitter: each service time is multiplied by a
+    /// factor drawn uniformly from `[1 − jitter, 1 + jitter]`. Zero gives a
+    /// fully deterministic run.
+    pub service_jitter: f64,
+    /// Seed for the jitter generator (runs are reproducible for a fixed seed).
+    pub seed: u64,
+    /// Model DRAM bandwidth contention (service times stretch when the busy
+    /// CUs on an FPGA demand more than the available bandwidth).
+    pub model_bandwidth_contention: bool,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            num_items: 400,
+            service_jitter: 0.0,
+            seed: 0x5eed,
+            model_bandwidth_contention: true,
+        }
+    }
+}
+
+/// A pending CU completion event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Completion {
+    time: f64,
+    kernel: usize,
+    cu: usize,
+    item: usize,
+}
+
+impl Eq for Completion {}
+impl PartialOrd for Completion {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Completion {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap on time (BinaryHeap is a max-heap).
+        other
+            .time
+            .partial_cmp(&self.time)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.item.cmp(&self.item))
+            .then_with(|| other.kernel.cmp(&self.kernel))
+    }
+}
+
+/// One compute unit instance.
+#[derive(Debug, Clone, Copy)]
+struct ComputeUnit {
+    kernel: usize,
+    fpga: usize,
+    busy_until: f64,
+    busy: bool,
+}
+
+/// Simulates the execution of `allocation` on `problem`'s platform.
+///
+/// # Panics
+///
+/// Panics if the allocation shape does not match the problem or if a kernel
+/// has no CUs (validate the allocation first).
+pub fn simulate(
+    problem: &AllocationProblem,
+    allocation: &Allocation,
+    config: &SimConfig,
+) -> SimResult {
+    assert_eq!(
+        allocation.num_kernels(),
+        problem.num_kernels(),
+        "allocation does not match the problem"
+    );
+    assert_eq!(
+        allocation.num_fpgas(),
+        problem.num_fpgas(),
+        "allocation does not match the platform"
+    );
+    let num_kernels = problem.num_kernels();
+    let num_fpgas = problem.num_fpgas();
+    let num_items = config.num_items.max(2);
+    let mut rng = StdRng::seed_from_u64(config.seed);
+
+    // Instantiate the CUs.
+    let mut cus: Vec<ComputeUnit> = Vec::new();
+    let mut cus_of_kernel: Vec<Vec<usize>> = vec![Vec::new(); num_kernels];
+    for k in 0..num_kernels {
+        assert!(
+            allocation.total_cus(k) > 0,
+            "kernel {} has no CUs",
+            problem.kernels()[k].name()
+        );
+        for f in 0..num_fpgas {
+            for _ in 0..allocation.cus(k, f) {
+                cus_of_kernel[k].push(cus.len());
+                cus.push(ComputeUnit {
+                    kernel: k,
+                    fpga: f,
+                    busy_until: 0.0,
+                    busy: false,
+                });
+            }
+        }
+    }
+
+    // Per-kernel FIFO of items ready to be processed.
+    let mut ready: Vec<VecDeque<usize>> = vec![VecDeque::new(); num_kernels];
+    for item in 0..num_items {
+        ready[0].push_back(item);
+    }
+
+    let mut events: BinaryHeap<Completion> = BinaryHeap::new();
+    let mut now = 0.0_f64;
+    let mut completions: Vec<f64> = Vec::with_capacity(num_items);
+    let mut first_item_done: Option<f64> = None;
+
+    // Statistics accumulators.
+    let mut kernel_busy_time = vec![0.0_f64; num_kernels];
+    let mut fpga_busy_time = vec![0.0_f64; num_fpgas];
+    let mut fpga_bw_time = vec![0.0_f64; num_fpgas];
+    let mut fpga_bw_peak = vec![0.0_f64; num_fpgas];
+    let mut last_time = 0.0_f64;
+
+    // Bandwidth stretch felt by a CU of `kernel` starting on `fpga`: its own
+    // demand plus that of the CUs already busy there, relative to capacity.
+    let bandwidth_factor =
+        |cus: &[ComputeUnit], fpga: usize, kernel: usize, problem: &AllocationProblem| -> f64 {
+            let demand: f64 = problem.kernels()[kernel].bandwidth()
+                + cus
+                    .iter()
+                    .filter(|cu| cu.busy && cu.fpga == fpga)
+                    .map(|cu| problem.kernels()[cu.kernel].bandwidth())
+                    .sum::<f64>();
+            let capacity = problem.budget().bandwidth_fraction();
+            if demand > capacity {
+                demand / capacity
+            } else {
+                1.0
+            }
+        };
+
+    // Dispatch loop: start any idle CU whose kernel has ready items, then
+    // advance to the next completion.
+    loop {
+        // Start work greedily.
+        for k in 0..num_kernels {
+            while !ready[k].is_empty() {
+                let Some(&cu_idx) = cus_of_kernel[k].iter().find(|&&idx| !cus[idx].busy) else {
+                    break;
+                };
+                let item = ready[k].pop_front().expect("queue checked non-empty");
+                let jitter = if config.service_jitter > 0.0 {
+                    1.0 + config.service_jitter * (rng.gen::<f64>() * 2.0 - 1.0)
+                } else {
+                    1.0
+                };
+                let stretch = if config.model_bandwidth_contention {
+                    bandwidth_factor(&cus, cus[cu_idx].fpga, k, problem)
+                } else {
+                    1.0
+                };
+                let service = problem.kernels()[k].wcet_ms() * jitter * stretch;
+                cus[cu_idx].busy = true;
+                cus[cu_idx].busy_until = now + service;
+                kernel_busy_time[k] += service;
+                events.push(Completion {
+                    time: now + service,
+                    kernel: k,
+                    cu: cu_idx,
+                    item,
+                });
+            }
+        }
+
+        let Some(event) = events.pop() else {
+            break;
+        };
+        // Integrate per-FPGA statistics over [now, event.time].
+        let dt = event.time - last_time;
+        if dt > 0.0 {
+            for f in 0..num_fpgas {
+                let demand: f64 = cus
+                    .iter()
+                    .filter(|cu| cu.busy && cu.fpga == f)
+                    .map(|cu| problem.kernels()[cu.kernel].bandwidth())
+                    .sum();
+                if cus.iter().any(|cu| cu.busy && cu.fpga == f) {
+                    fpga_busy_time[f] += dt;
+                }
+                fpga_bw_time[f] += demand * dt;
+                fpga_bw_peak[f] = fpga_bw_peak[f].max(demand);
+            }
+            last_time = event.time;
+        }
+        now = event.time;
+        cus[event.cu].busy = false;
+        if event.kernel + 1 < num_kernels {
+            ready[event.kernel + 1].push_back(event.item);
+        } else {
+            completions.push(now);
+            if event.item == 0 {
+                first_item_done = Some(now);
+            }
+        }
+    }
+
+    let makespan = now;
+    // Steady-state II: average spacing of the completions in the second half
+    // of the run (the warm-up is excluded).
+    let half = completions.len() / 2;
+    let initiation_interval_ms = if completions.len() >= 2 && half + 1 < completions.len() {
+        (completions[completions.len() - 1] - completions[half])
+            / (completions.len() - 1 - half) as f64
+    } else if completions.len() >= 2 {
+        (completions[completions.len() - 1] - completions[0]) / (completions.len() - 1) as f64
+    } else {
+        makespan
+    };
+
+    let kernel_utilization: Vec<f64> = (0..num_kernels)
+        .map(|k| {
+            let capacity = cus_of_kernel[k].len() as f64 * makespan;
+            if capacity > 0.0 {
+                (kernel_busy_time[k] / capacity).min(1.0)
+            } else {
+                0.0
+            }
+        })
+        .collect();
+    let fpga_stats: Vec<FpgaStats> = (0..num_fpgas)
+        .map(|f| FpgaStats {
+            fpga: f,
+            busy_fraction: if makespan > 0.0 {
+                fpga_busy_time[f] / makespan
+            } else {
+                0.0
+            },
+            average_bandwidth_demand: if makespan > 0.0 {
+                fpga_bw_time[f] / makespan
+            } else {
+                0.0
+            },
+            peak_bandwidth_demand: fpga_bw_peak[f],
+        })
+        .collect();
+
+    SimResult {
+        initiation_interval_ms,
+        throughput_per_second: if initiation_interval_ms > 0.0 {
+            1_000.0 / initiation_interval_ms
+        } else {
+            f64::INFINITY
+        },
+        pipeline_latency_ms: first_item_done.unwrap_or(makespan),
+        makespan_ms: makespan,
+        completed_items: completions.len(),
+        kernel_utilization,
+        fpga_stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mfa_alloc::cases::PaperCase;
+    use mfa_alloc::{gpa, AllocationProblem, GoalWeights, Kernel};
+    use mfa_platform::{MultiFpgaPlatform, ResourceBudget, ResourceVec};
+
+    fn two_kernel_problem() -> AllocationProblem {
+        AllocationProblem::builder()
+            .kernels(vec![
+                Kernel::new("front", 4.0, ResourceVec::bram_dsp(0.02, 0.1), 0.01).unwrap(),
+                Kernel::new("back", 8.0, ResourceVec::bram_dsp(0.02, 0.1), 0.01).unwrap(),
+            ])
+            .platform(MultiFpgaPlatform::aws_f1_4xlarge())
+            .budget(ResourceBudget::uniform(0.8))
+            .weights(GoalWeights::ii_only())
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn simulated_ii_matches_analytic_prediction() {
+        let p = two_kernel_problem();
+        // front: 1 CU (ET 4), back: 2 CUs (ET 4) → II = 4 ms.
+        let mut allocation = mfa_alloc::Allocation::zeros(&p);
+        allocation.set_cus(0, 0, 1);
+        allocation.set_cus(1, 0, 2);
+        let result = simulate(&p, &allocation, &SimConfig::default());
+        assert!(result.ii_error_vs(4.0) < 0.02, "II = {}", result.initiation_interval_ms);
+        assert_eq!(result.completed_items, 400);
+        // The bottleneck kernel (front, 1 CU) is saturated.
+        assert!(result.kernel_utilization[0] > 0.95);
+        assert!((result.throughput_per_second - 250.0).abs() / 250.0 < 0.05);
+    }
+
+    #[test]
+    fn adding_cus_to_the_bottleneck_improves_throughput() {
+        let p = two_kernel_problem();
+        let mut one = mfa_alloc::Allocation::zeros(&p);
+        one.set_cus(0, 0, 1);
+        one.set_cus(1, 0, 1);
+        let mut two = one.clone();
+        two.set_cus(1, 1, 1);
+        let slow = simulate(&p, &one, &SimConfig::default());
+        let fast = simulate(&p, &two, &SimConfig::default());
+        assert!(fast.initiation_interval_ms < slow.initiation_interval_ms - 1.0);
+    }
+
+    #[test]
+    fn bandwidth_oversubscription_stretches_service_times() {
+        // Two CUs of a bandwidth-hungry kernel on one FPGA exceed the
+        // bandwidth budget, so the simulated II degrades relative to the
+        // analytic (contention-free) prediction.
+        let p = AllocationProblem::builder()
+            .kernels(vec![
+                Kernel::new("hungry", 4.0, ResourceVec::bram_dsp(0.02, 0.1), 0.60).unwrap(),
+            ])
+            .platform(MultiFpgaPlatform::aws_f1_2xlarge())
+            .budget(ResourceBudget::uniform(0.9))
+            .build()
+            .unwrap();
+        let mut allocation = mfa_alloc::Allocation::zeros(&p);
+        allocation.set_cus(0, 0, 2);
+        let with = simulate(&p, &allocation, &SimConfig::default());
+        let without = simulate(
+            &p,
+            &allocation,
+            &SimConfig {
+                model_bandwidth_contention: false,
+                ..SimConfig::default()
+            },
+        );
+        assert!(with.initiation_interval_ms > without.initiation_interval_ms * 1.05);
+        assert!(with.fpga_stats[0].peak_bandwidth_demand > 1.0);
+    }
+
+    #[test]
+    fn jitter_is_reproducible_for_a_fixed_seed() {
+        let p = two_kernel_problem();
+        let mut allocation = mfa_alloc::Allocation::zeros(&p);
+        allocation.set_cus(0, 0, 1);
+        allocation.set_cus(1, 1, 2);
+        let config = SimConfig {
+            service_jitter: 0.2,
+            ..SimConfig::default()
+        };
+        let a = simulate(&p, &allocation, &config);
+        let b = simulate(&p, &allocation, &config);
+        assert_eq!(a.initiation_interval_ms, b.initiation_interval_ms);
+        let other_seed = simulate(
+            &p,
+            &allocation,
+            &SimConfig {
+                seed: 7,
+                ..config.clone()
+            },
+        );
+        assert!(
+            (a.initiation_interval_ms - other_seed.initiation_interval_ms).abs() > 0.0
+                || a.makespan_ms != other_seed.makespan_ms
+        );
+    }
+
+    #[test]
+    fn gpa_allocation_for_alex16_simulates_close_to_prediction() {
+        let problem = PaperCase::Alex16OnTwoFpgas.problem(0.70).unwrap();
+        let outcome = gpa::solve(&problem, &gpa::GpaOptions::fast()).unwrap();
+        let predicted = outcome.allocation.initiation_interval(&problem);
+        let result = simulate(&problem, &outcome.allocation, &SimConfig::default());
+        assert!(
+            result.ii_error_vs(predicted) < 0.05,
+            "simulated {} vs predicted {predicted}",
+            result.initiation_interval_ms
+        );
+        assert!(result.pipeline_latency_ms >= problem.kernels().iter().map(|k| k.wcet_ms()).sum::<f64>() * 0.99);
+    }
+
+    #[test]
+    #[should_panic(expected = "no CUs")]
+    fn unallocated_kernel_panics() {
+        let p = two_kernel_problem();
+        let allocation = mfa_alloc::Allocation::zeros(&p);
+        let _ = simulate(&p, &allocation, &SimConfig::default());
+    }
+}

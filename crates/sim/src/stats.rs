@@ -1,0 +1,67 @@
+//! Simulation result containers.
+
+/// Per-FPGA statistics collected during a simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FpgaStats {
+    /// FPGA index.
+    pub fpga: usize,
+    /// Fraction of simulated time during which at least one CU on this FPGA
+    /// was busy.
+    pub busy_fraction: f64,
+    /// Time-averaged DRAM bandwidth demand, as a fraction of the device's
+    /// bandwidth (can exceed 1.0 when oversubscribed; service times stretch
+    /// accordingly).
+    pub average_bandwidth_demand: f64,
+    /// Peak instantaneous bandwidth demand observed.
+    pub peak_bandwidth_demand: f64,
+}
+
+/// Result of one simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimResult {
+    /// Steady-state initiation interval in milliseconds (average inter-
+    /// completion time at the last pipeline stage over the second half of the
+    /// measured images).
+    pub initiation_interval_ms: f64,
+    /// Steady-state throughput in items per second.
+    pub throughput_per_second: f64,
+    /// End-to-end latency of a single item through the unloaded pipeline,
+    /// in milliseconds.
+    pub pipeline_latency_ms: f64,
+    /// Total simulated time in milliseconds.
+    pub makespan_ms: f64,
+    /// Number of items that completed the full pipeline.
+    pub completed_items: usize,
+    /// Per-kernel busy fraction of its CUs (kernel utilization).
+    pub kernel_utilization: Vec<f64>,
+    /// Per-FPGA statistics.
+    pub fpga_stats: Vec<FpgaStats>,
+}
+
+impl SimResult {
+    /// Relative difference between the simulated and a predicted initiation
+    /// interval: `|sim − predicted| / predicted`.
+    pub fn ii_error_vs(&self, predicted_ms: f64) -> f64 {
+        (self.initiation_interval_ms - predicted_ms).abs() / predicted_ms.max(1e-12)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ii_error_is_relative() {
+        let result = SimResult {
+            initiation_interval_ms: 2.2,
+            throughput_per_second: 454.5,
+            pipeline_latency_ms: 10.0,
+            makespan_ms: 500.0,
+            completed_items: 200,
+            kernel_utilization: vec![1.0, 0.5],
+            fpga_stats: vec![],
+        };
+        assert!((result.ii_error_vs(2.0) - 0.1).abs() < 1e-12);
+        assert_eq!(result.ii_error_vs(2.2), 0.0);
+    }
+}

@@ -1,0 +1,55 @@
+//! AlexNet on AWS F1: the paper's two AlexNet cases end to end.
+//!
+//! Uses the paper's measured kernel characterizations (Tables 2) as inputs,
+//! runs both the GP+A heuristic and the budgeted exact MINLP+G solver, and
+//! prints the allocations side by side.
+//!
+//! Run with `cargo run --release --example alexnet_f1`.
+
+use mfa_alloc::cases::PaperCase;
+use mfa_alloc::exact::{self, ExactOptions};
+use mfa_alloc::gpa::{self, GpaOptions};
+use mfa_alloc::report::render_summary;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    for case in [PaperCase::Alex16OnTwoFpgas, PaperCase::Alex32OnFourFpgas] {
+        let (lo, hi) = case.constraint_range();
+        let constraint = 0.5 * (lo + hi);
+        let problem = case.problem(constraint)?;
+        println!("==============================================================");
+        println!(
+            "{} at a {:.0}% resource constraint ({} kernels)",
+            case.label(),
+            constraint * 100.0,
+            problem.num_kernels()
+        );
+
+        println!("\n--- GP+A heuristic");
+        let heuristic = gpa::solve(&problem, &GpaOptions::paper_defaults())?;
+        println!(
+            "solved in {:.2} ms (GP {:.2} ms, discretize {:.2} ms, allocate {:.2} ms)",
+            heuristic.elapsed.as_secs_f64() * 1e3,
+            heuristic.relaxation_time.as_secs_f64() * 1e3,
+            heuristic.discretization_time.as_secs_f64() * 1e3,
+            heuristic.allocation_time.as_secs_f64() * 1e3,
+        );
+        println!("{}", render_summary(&problem, &heuristic.allocation));
+
+        println!("--- exact MINLP+G (node/time budgeted)");
+        let options = ExactOptions::with_spreading_and_budget(1_500, 20.0);
+        match exact::solve(&problem, &options) {
+            Ok(outcome) => {
+                println!(
+                    "solved in {:.2} s over {} nodes (proven optimal: {}, gap {:.2}%)",
+                    outcome.elapsed.as_secs_f64(),
+                    outcome.nodes_explored,
+                    outcome.proven_optimal,
+                    100.0 * outcome.gap()
+                );
+                println!("{}", render_summary(&problem, &outcome.allocation));
+            }
+            Err(err) => println!("exact solve failed: {err}"),
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,54 @@
+//! Allocate and then *simulate*: validates the analytic initiation-interval
+//! prediction of the allocation model against the discrete-event simulator,
+//! including the effect of DRAM bandwidth contention.
+//!
+//! Run with `cargo run --release --example simulate_allocation`.
+
+use mfa_alloc::cases::PaperCase;
+use mfa_alloc::gpa::{self, GpaOptions};
+use mfa_sim::{simulate, SimConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!(
+        "{:<22} {:>12} {:>12} {:>9} {:>14} {:>12}",
+        "case", "model II", "sim II", "error", "sim thru/s", "latency (ms)"
+    );
+    for case in PaperCase::all() {
+        let (lo, hi) = case.constraint_range();
+        let problem = case.problem(0.5 * (lo + hi))?;
+        let outcome = gpa::solve(&problem, &GpaOptions::paper_defaults())?;
+        let predicted = outcome.allocation.initiation_interval(&problem);
+
+        let config = SimConfig {
+            num_items: 600,
+            service_jitter: 0.05,
+            seed: 42,
+            model_bandwidth_contention: true,
+        };
+        let result = simulate(&problem, &outcome.allocation, &config);
+        println!(
+            "{:<22} {:>9.3} ms {:>9.3} ms {:>8.1}% {:>14.1} {:>12.1}",
+            case.label(),
+            predicted,
+            result.initiation_interval_ms,
+            100.0 * result.ii_error_vs(predicted),
+            result.throughput_per_second,
+            result.pipeline_latency_ms
+        );
+        for stats in &result.fpga_stats {
+            if stats.busy_fraction > 0.0 {
+                println!(
+                    "    FPGA {}: busy {:.0}% of the time, avg bandwidth demand {:.0}%, peak {:.0}%",
+                    stats.fpga + 1,
+                    100.0 * stats.busy_fraction,
+                    100.0 * stats.average_bandwidth_demand,
+                    100.0 * stats.peak_bandwidth_demand
+                );
+            }
+        }
+    }
+    println!();
+    println!("The simulated II tracks the model prediction closely; small excursions come from");
+    println!("service-time jitter and from bandwidth contention on heavily packed FPGAs.");
+    Ok(())
+}
