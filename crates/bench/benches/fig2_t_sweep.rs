@@ -26,7 +26,10 @@ fn print_fig2() {
     for (i, &constraint) in constraints.iter().enumerate() {
         print!("{:>11.0}%", constraint * 100.0);
         for (_, points) in &series {
-            match points.iter().find(|p| (p.resource_constraint - constraint).abs() < 1e-9) {
+            match points
+                .iter()
+                .find(|p| (p.resource_constraint - constraint).abs() < 1e-9)
+            {
                 Some(p) => print!(" {:>7.3}", p.initiation_interval_ms),
                 None => print!(" {:>7}", "-"),
             }

@@ -21,7 +21,9 @@ fn print_fig4() {
 
 fn bench(c: &mut Criterion) {
     print_fig4();
-    let problem = PaperCase::Alex32OnFourFpgas.problem(0.70).expect("feasible");
+    let problem = PaperCase::Alex32OnFourFpgas
+        .problem(0.70)
+        .expect("feasible");
     let mut group = c.benchmark_group("fig4_alex32");
     group.sample_size(10);
     group.bench_function("gpa", |b| {

@@ -13,7 +13,10 @@ use mfa_bench::MinlpBudget;
 fn print_distribution(title: &str, problem: &AllocationProblem, allocation: &Allocation) {
     println!();
     println!("--- {title}");
-    println!("{:<10} {}", "kernel", "CUs per FPGA (F1..F8) and share of the FPGA's critical resource");
+    println!(
+        "{:<10} CUs per FPGA (F1..F8) and share of the FPGA's critical resource",
+        "kernel"
+    );
     let breakdown = utilization_breakdown(problem, allocation);
     let class = critical_class(problem);
     for (k, kernel) in problem.kernels().iter().enumerate() {
@@ -56,7 +59,11 @@ fn print_fig6() {
         print_distribution("MINLP (budgeted incumbent)", &problem, &outcome.allocation);
     }
     if let Ok(outcome) = exact::solve(&problem, &budget.options(ExactMode::IiAndSpreading)) {
-        print_distribution("MINLP+G (budgeted incumbent)", &problem, &outcome.allocation);
+        print_distribution(
+            "MINLP+G (budgeted incumbent)",
+            &problem,
+            &outcome.allocation,
+        );
     }
 }
 

@@ -12,8 +12,14 @@ use mfa_cnn::{paper_data, CnnNetwork, Precision};
 use mfa_platform::FpgaDevice;
 
 fn print_table2() {
-    print_characterization("Table 2 (paper, measured): Alex-32", &paper_data::alexnet_32bit());
-    print_characterization("Table 2 (paper, measured): Alex-16", &paper_data::alexnet_16bit());
+    print_characterization(
+        "Table 2 (paper, measured): Alex-32",
+        &paper_data::alexnet_32bit(),
+    );
+    print_characterization(
+        "Table 2 (paper, measured): Alex-16",
+        &paper_data::alexnet_16bit(),
+    );
 
     let device = FpgaDevice::vu9p();
     let network = CnnNetwork::alexnet();

@@ -8,7 +8,10 @@ use mfa_cnn::{paper_data, CnnNetwork, Precision};
 use mfa_platform::FpgaDevice;
 
 fn print_table3() {
-    print_characterization("Table 3 (paper, measured): VGG fx16", &paper_data::vgg_16bit());
+    print_characterization(
+        "Table 3 (paper, measured): VGG fx16",
+        &paper_data::vgg_16bit(),
+    );
     let device = FpgaDevice::vu9p();
     let network = CnnNetwork::vgg16();
     let kernels = characterize_network(&network, Precision::Fixed16, &CuConfig::default(), &device);

@@ -15,10 +15,14 @@ fn print_table4() {
         println!("{:<22} {:>6.1} {:>6.1}", case.label(), w.alpha, w.beta);
     }
     println!();
-    println!("goal values g = alpha*II + beta*phi at the middle of each case's constraint range (GP+A):");
+    println!(
+        "goal values g = alpha*II + beta*phi at the middle of each case's constraint range (GP+A):"
+    );
     for case in PaperCase::all() {
         let (lo, hi) = case.constraint_range();
-        let problem = case.problem(0.5 * (lo + hi)).expect("paper cases are feasible");
+        let problem = case
+            .problem(0.5 * (lo + hi))
+            .expect("paper cases are feasible");
         match gpa::solve(&problem, &GpaOptions::paper_defaults()) {
             Ok(outcome) => {
                 let metrics = outcome.allocation.metrics(&problem);
@@ -44,7 +48,7 @@ fn bench(c: &mut Criterion) {
             PaperCase::all()
                 .iter()
                 .map(|case| case.problem(0.70).expect("feasible"))
-                .count()
+                .collect::<Vec<_>>()
         })
     });
     group.finish();

@@ -82,7 +82,14 @@ pub fn compare_methods(
             let instance = problem.with_resource_constraint(constraint);
             let gpa_point = gpa::solve(&instance, &GpaOptions::paper_defaults())
                 .ok()
-                .map(|outcome| to_point(&instance, constraint, outcome.allocation.clone(), outcome.elapsed.as_secs_f64()));
+                .map(|outcome| {
+                    to_point(
+                        &instance,
+                        constraint,
+                        outcome.allocation.clone(),
+                        outcome.elapsed.as_secs_f64(),
+                    )
+                });
             let minlp_point = exact::solve(&instance, &budget.options(ExactMode::IiOnly))
                 .ok()
                 .map(|outcome| exact_to_point(&instance, constraint, &outcome));

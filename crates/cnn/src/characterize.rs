@@ -127,20 +127,19 @@ fn characterize_conv(
     let dsp = config.unroll as f64 * precision.dsp_per_mac() + 8.0;
 
     // BRAM: weight tile + input line buffer + output tile, double buffered.
-    let weight_tile_bytes = (conv.kernel_size * conv.kernel_size
-        * conv.input_channels
-        * config.tile_output_channels) as f64
-        * precision.bytes();
-    let line_buffer_bytes = (conv.input_size
-        * conv.input_channels
-        * (conv.kernel_size + config.tile_rows)) as f64
-        * precision.bytes();
-    let out_tile_bytes =
-        (conv.output_size() * config.tile_rows * config.tile_output_channels) as f64
+    let weight_tile_bytes =
+        (conv.kernel_size * conv.kernel_size * conv.input_channels * config.tile_output_channels)
+            as f64
             * precision.bytes();
-    let bram =
-        bram_blocks_for_bytes(weight_tile_bytes) + bram_blocks_for_bytes(line_buffer_bytes)
-            + bram_blocks_for_bytes(out_tile_bytes);
+    let line_buffer_bytes =
+        (conv.input_size * conv.input_channels * (conv.kernel_size + config.tile_rows)) as f64
+            * precision.bytes();
+    let out_tile_bytes = (conv.output_size() * config.tile_rows * config.tile_output_channels)
+        as f64
+        * precision.bytes();
+    let bram = bram_blocks_for_bytes(weight_tile_bytes)
+        + bram_blocks_for_bytes(line_buffer_bytes)
+        + bram_blocks_for_bytes(out_tile_bytes);
 
     let usage = ResourceVec {
         lut: config.unroll as f64 * 320.0,
@@ -166,7 +165,8 @@ fn characterize_pool(
     let compute_ms = pool.ops() / 16.0 / (config.clock_mhz * 1e3);
     let wcet_ms = memory_ms.max(compute_ms);
 
-    let line_buffer_bytes = (pool.input_size * pool.channels * pool.window) as f64 * precision.bytes();
+    let line_buffer_bytes =
+        (pool.input_size * pool.channels * pool.window) as f64 * precision.bytes();
     let usage = ResourceVec {
         lut: 6_000.0,
         ff: 8_000.0,
@@ -218,8 +218,7 @@ mod tests {
     fn characterizes_all_alexnet_pipeline_layers() {
         let net = CnnNetwork::alexnet();
         let device = FpgaDevice::vu9p();
-        let kernels =
-            characterize_network(&net, Precision::Fixed16, &CuConfig::default(), &device);
+        let kernels = characterize_network(&net, Precision::Fixed16, &CuConfig::default(), &device);
         assert_eq!(kernels.len(), 8);
         for k in &kernels {
             assert!(k.wcet_ms() > 0.0, "{}", k.name());
@@ -235,8 +234,10 @@ mod tests {
             inputs: 4096,
             outputs: 4096,
         });
-        assert!(characterize_layer("FC", &fc, Precision::Fixed16, &CuConfig::default(), &device)
-            .is_none());
+        assert!(
+            characterize_layer("FC", &fc, Precision::Fixed16, &CuConfig::default(), &device)
+                .is_none()
+        );
     }
 
     #[test]
@@ -265,8 +266,7 @@ mod tests {
         // DSPs, every kernel is a single-digit-to-tens-of-ms affair.
         let net = CnnNetwork::alexnet();
         let device = FpgaDevice::vu9p();
-        let kernels =
-            characterize_network(&net, Precision::Fixed16, &CuConfig::default(), &device);
+        let kernels = characterize_network(&net, Precision::Fixed16, &CuConfig::default(), &device);
         let conv1 = kernels.iter().find(|k| k.name() == "CONV1").unwrap();
         let pool1 = kernels.iter().find(|k| k.name() == "POOL1").unwrap();
         assert!(conv1.wcet_ms() > pool1.wcet_ms());

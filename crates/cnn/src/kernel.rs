@@ -100,7 +100,10 @@ impl Application {
     ///
     /// Panics if `kernels` is empty.
     pub fn new(name: impl Into<String>, kernels: Vec<KernelCharacterization>) -> Self {
-        assert!(!kernels.is_empty(), "an application needs at least one kernel");
+        assert!(
+            !kernels.is_empty(),
+            "an application needs at least one kernel"
+        );
         Application {
             name: name.into(),
             kernels,
@@ -125,21 +128,24 @@ impl Application {
     /// Sum of single-CU WCETs (the latency of a fully serialized pipeline with
     /// one CU per kernel), in milliseconds.
     pub fn total_wcet_ms(&self) -> f64 {
-        self.kernels.iter().map(KernelCharacterization::wcet_ms).sum()
+        self.kernels
+            .iter()
+            .map(KernelCharacterization::wcet_ms)
+            .sum()
     }
 
     /// Sum of single-CU resource fractions across all kernels (the paper's
     /// "SUM" row).
     pub fn total_resources(&self) -> ResourceVec {
-        self.kernels
-            .iter()
-            .map(|k| *k.resources())
-            .sum()
+        self.kernels.iter().map(|k| *k.resources()).sum()
     }
 
     /// Sum of single-CU bandwidth fractions across all kernels.
     pub fn total_bandwidth(&self) -> f64 {
-        self.kernels.iter().map(KernelCharacterization::bandwidth).sum()
+        self.kernels
+            .iter()
+            .map(KernelCharacterization::bandwidth)
+            .sum()
     }
 
     /// The kernel with the largest single-CU WCET (the pipeline bottleneck
@@ -179,7 +185,11 @@ mod tests {
     fn application_aggregates() {
         let app = Application::new(
             "toy",
-            vec![kernel("a", 3.0, 0.1), kernel("b", 7.0, 0.2), kernel("c", 5.0, 0.3)],
+            vec![
+                kernel("a", 3.0, 0.1),
+                kernel("b", 7.0, 0.2),
+                kernel("c", 5.0, 0.3),
+            ],
         );
         assert_eq!(app.num_kernels(), 3);
         assert_eq!(app.total_wcet_ms(), 15.0);

@@ -69,7 +69,13 @@ impl CnnNetwork {
     /// matching the eight kernels of Table 2 (fully connected layers are kept
     /// in the description but excluded from the pipeline).
     pub fn alexnet() -> Self {
-        let conv = |input_size, input_channels, output_channels, kernel_size, stride, padding, merged_pool| {
+        let conv = |input_size,
+                    input_channels,
+                    output_channels,
+                    kernel_size,
+                    stride,
+                    padding,
+                    merged_pool| {
             Layer::Conv(ConvLayer {
                 input_size,
                 input_channels,

@@ -11,7 +11,13 @@ use mfa_platform::ResourceVec;
 
 use crate::{Application, KernelCharacterization};
 
-fn kernel(name: &str, bram_pct: f64, dsp_pct: f64, bw_pct: f64, wcet_ms: f64) -> KernelCharacterization {
+fn kernel(
+    name: &str,
+    bram_pct: f64,
+    dsp_pct: f64,
+    bw_pct: f64,
+    wcet_ms: f64,
+) -> KernelCharacterization {
     KernelCharacterization::new(
         name,
         wcet_ms,
@@ -103,7 +109,11 @@ mod tests {
         let app = alexnet_32bit();
         assert_eq!(app.num_kernels(), 8);
         let totals = app.total_resources();
-        assert!((totals.bram - 0.5457).abs() < 1e-4, "BRAM sum {}", totals.bram);
+        assert!(
+            (totals.bram - 0.5457).abs() < 1e-4,
+            "BRAM sum {}",
+            totals.bram
+        );
         assert!((totals.dsp - 1.6618).abs() < 1e-4, "DSP sum {}", totals.dsp);
         assert!((app.total_bandwidth() - 0.331).abs() < 2e-3);
         assert!((app.total_wcet_ms() - 45.32).abs() < 0.01);
@@ -170,7 +180,11 @@ mod tests {
     fn every_kernel_fits_a_single_fpga() {
         for app in all_applications() {
             for k in app.kernels() {
-                assert!(k.resources().max_component() < 1.0, "{} too large", k.name());
+                assert!(
+                    k.resources().max_component() < 1.0,
+                    "{} too large",
+                    k.name()
+                );
                 assert!(k.bandwidth() < 1.0);
             }
         }

@@ -180,7 +180,11 @@ mod tests {
         // (4,5): 2.3 no. So optimum II = 1.25.
         let p = toy_problem(1.0);
         let d = solve(&p, &DiscretizeOptions::default()).unwrap();
-        assert!((d.initiation_interval_ms - 1.25).abs() < 1e-9, "II = {}", d.initiation_interval_ms);
+        assert!(
+            (d.initiation_interval_ms - 1.25).abs() < 1e-9,
+            "II = {}",
+            d.initiation_interval_ms
+        );
         assert!(d.nodes_explored >= 1);
     }
 

@@ -107,7 +107,13 @@ impl ExactOutcome {
 ///
 /// Returns [`AllocError::Infeasible`] when the model has no feasible point and
 /// propagates MINLP solver failures.
-pub fn solve(problem: &AllocationProblem, options: &ExactOptions) -> Result<ExactOutcome, AllocError> {
+// `n_vars` is indexed `[kernel][fpga]`; clippy's enumerate-based rewrite of the
+// `f` loops would iterate the wrong dimension, so the range loops stay.
+#[allow(clippy::needless_range_loop)]
+pub fn solve(
+    problem: &AllocationProblem,
+    options: &ExactOptions,
+) -> Result<ExactOutcome, AllocError> {
     let start = Instant::now();
     problem.validate_feasibility()?;
     let num_kernels = problem.num_kernels();
@@ -161,21 +167,31 @@ pub fn solve(problem: &AllocationProblem, options: &ExactOptions) -> Result<Exac
         let mut terms: Vec<Term> = n_vars[k].iter().map(|&v| Term::linear(v, 1.0)).collect();
         terms.push(Term::linear(total, -1.0));
         model
-            .add_constraint(format!("total_{}", kernel.name()), terms, Relation::Equal, 0.0)
+            .add_constraint(
+                format!("total_{}", kernel.name()),
+                terms,
+                Relation::Equal,
+                0.0,
+            )
             .map_err(AllocError::from)?;
         // II ≥ WCET_k / N_k.
         model
             .add_constraint(
                 format!("latency_{}", kernel.name()),
-                vec![Term::reciprocal(total, kernel.wcet_ms()), Term::linear(ii, -1.0)],
+                vec![
+                    Term::reciprocal(total, kernel.wcet_ms()),
+                    Term::linear(ii, -1.0),
+                ],
                 Relation::LessEq,
                 0.0,
             )
             .map_err(AllocError::from)?;
         // ϕ ≥ Σ_f n_{k,f} / (1 + n_{k,f}).
         if let Some(phi) = phi {
-            let mut spread_terms: Vec<Term> =
-                n_vars[k].iter().map(|&v| Term::saturation(v, 1.0)).collect();
+            let mut spread_terms: Vec<Term> = n_vars[k]
+                .iter()
+                .map(|&v| Term::saturation(v, 1.0))
+                .collect();
             spread_terms.push(Term::linear(phi, -1.0));
             model
                 .add_constraint(
@@ -191,7 +207,7 @@ pub fn solve(problem: &AllocationProblem, options: &ExactOptions) -> Result<Exac
     // Per-FPGA resource and bandwidth rows (Eqs. 9–10), one per class in use.
     let budget = problem.budget();
     for f in 0..num_fpgas {
-        let class_rows: [(&str, fn(&mfa_platform::ResourceVec) -> f64, f64); 4] = [
+        let class_rows: [(&str, crate::report::ResourceAccessor, f64); 4] = [
             ("lut", |r| r.lut, budget.resource_fraction().lut),
             ("ff", |r| r.ff, budget.resource_fraction().ff),
             ("bram", |r| r.bram, budget.resource_fraction().bram),
@@ -239,7 +255,9 @@ pub fn solve(problem: &AllocationProblem, options: &ExactOptions) -> Result<Exac
         }
     }
 
-    let solution = model.solve_with(&options.solver).map_err(AllocError::from)?;
+    let solution = model
+        .solve_with(&options.solver)
+        .map_err(AllocError::from)?;
     if solution.status() == MinlpStatus::Infeasible {
         return Err(AllocError::Infeasible(
             "the MINLP model has no feasible point".into(),
@@ -290,7 +308,11 @@ mod tests {
         // II = 1.25 with counts (3, 4) or (4, 4).
         let outcome = solve(&toy_problem(), &ExactOptions::default()).unwrap();
         assert!(outcome.proven_optimal);
-        assert!((outcome.objective - 1.25).abs() < 1e-5, "II = {}", outcome.objective);
+        assert!(
+            (outcome.objective - 1.25).abs() < 1e-5,
+            "II = {}",
+            outcome.objective
+        );
         outcome.allocation.validate(&toy_problem(), 1e-9).unwrap();
     }
 
@@ -309,9 +331,7 @@ mod tests {
         with_spreading.allocation.validate(&p, 1e-9).unwrap();
         // MINLP+G never spreads more than plain MINLP (the paper's qualitative
         // observation), and its goal value is at least as good.
-        assert!(
-            with_spreading.allocation.spreading() <= ii_only.allocation.spreading() + 1e-9
-        );
+        assert!(with_spreading.allocation.spreading() <= ii_only.allocation.spreading() + 1e-9);
         assert!(with_spreading.allocation.goal(&p) <= ii_only.allocation.goal(&p) + 1e-9);
     }
 

@@ -110,7 +110,10 @@ pub fn solve_bounded(
     }
     // Quick infeasibility check: the cheapest configuration takes the lower
     // bound everywhere.
-    if !budgets_allow(problem, &bounds.iter().map(|&(lo, _)| lo).collect::<Vec<_>>()) {
+    if !budgets_allow(
+        problem,
+        &bounds.iter().map(|&(lo, _)| lo).collect::<Vec<_>>(),
+    ) {
         return Err(AllocError::Infeasible(
             "the minimum CU counts already exceed a platform-wide budget".into(),
         ));
@@ -181,7 +184,7 @@ fn solve_gp(problem: &AllocationProblem, bounds: &CuBounds) -> Result<Relaxation
     let budget = problem.budget();
     let resource_budget = budget.resource_fraction();
     // One posynomial budget row per resource class that is actually used.
-    let class_rows: [(&str, fn(&mfa_platform::ResourceVec) -> f64, f64); 4] = [
+    let class_rows: [(&str, crate::report::ResourceAccessor, f64); 4] = [
         ("lut", |r| r.lut, resource_budget.lut),
         ("ff", |r| r.ff, resource_budget.ff),
         ("bram", |r| r.bram, resource_budget.bram),
@@ -304,7 +307,11 @@ mod tests {
         let p = two_kernel_problem();
         let gp = solve(&p, RelaxationBackend::GeometricProgram).unwrap();
         let bis = solve(&p, RelaxationBackend::Bisection).unwrap();
-        assert!((gp.initiation_interval_ms - 2.1).abs() < 1e-3, "GP: {}", gp.initiation_interval_ms);
+        assert!(
+            (gp.initiation_interval_ms - 2.1).abs() < 1e-3,
+            "GP: {}",
+            gp.initiation_interval_ms
+        );
         assert!((bis.initiation_interval_ms - 2.1).abs() < 1e-6);
         for (a, b) in gp.cu_counts.iter().zip(&bis.cu_counts) {
             assert!((a - b).abs() < 1e-2, "counts differ: {a} vs {b}");

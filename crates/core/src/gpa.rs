@@ -106,9 +106,8 @@ pub fn solve(problem: &AllocationProblem, options: &GpaOptions) -> Result<GpaOut
                 let victim = (0..problem.num_kernels())
                     .filter(|&k| cu_counts[k] > 1)
                     .min_by(|&a, &b| {
-                        let ii_after = |k: usize| {
-                            problem.kernels()[k].wcet_ms() / (cu_counts[k] - 1) as f64
-                        };
+                        let ii_after =
+                            |k: usize| problem.kernels()[k].wcet_ms() / (cu_counts[k] - 1) as f64;
                         ii_after(a).total_cmp(&ii_after(b))
                     });
                 match victim {
@@ -142,8 +141,7 @@ mod tests {
     fn alex16_on_two_fpgas_end_to_end() {
         let app = paper_data::alexnet_16bit();
         let problem =
-            AllocationProblem::from_application(&app, 2, 0.65, GoalWeights::new(1.0, 0.7))
-                .unwrap();
+            AllocationProblem::from_application(&app, 2, 0.65, GoalWeights::new(1.0, 0.7)).unwrap();
         let outcome = solve(&problem, &GpaOptions::paper_defaults()).unwrap();
         outcome.allocation.validate(&problem, 1e-9).unwrap();
         let ii = outcome.initiation_interval_ms(&problem);
@@ -175,8 +173,7 @@ mod tests {
     fn gp_and_fast_backends_agree_on_final_ii() {
         let app = paper_data::alexnet_32bit();
         let problem =
-            AllocationProblem::from_application(&app, 4, 0.70, GoalWeights::new(1.0, 6.0))
-                .unwrap();
+            AllocationProblem::from_application(&app, 4, 0.70, GoalWeights::new(1.0, 6.0)).unwrap();
         let gp = solve(&problem, &GpaOptions::paper_defaults()).unwrap();
         let fast = solve(&problem, &GpaOptions::fast()).unwrap();
         let ii_gp = gp.initiation_interval_ms(&problem);
@@ -203,8 +200,7 @@ mod tests {
     fn timing_breakdown_is_consistent() {
         let app = paper_data::alexnet_16bit();
         let problem =
-            AllocationProblem::from_application(&app, 2, 0.75, GoalWeights::new(1.0, 0.7))
-                .unwrap();
+            AllocationProblem::from_application(&app, 2, 0.75, GoalWeights::new(1.0, 0.7)).unwrap();
         let outcome = solve(&problem, &GpaOptions::paper_defaults()).unwrap();
         let parts = outcome.relaxation_time + outcome.discretization_time + outcome.allocation_time;
         assert!(parts <= outcome.elapsed + Duration::from_millis(5));

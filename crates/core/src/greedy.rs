@@ -77,7 +77,8 @@ impl Slack {
 
     fn can_take(&self, per_cu: &ResourceVec, bandwidth: f64, copies: u32) -> bool {
         let needed = *per_cu * copies as f64;
-        needed.fits_within(&self.resources, 1e-9) && bandwidth * copies as f64 <= self.bandwidth + 1e-9
+        needed.fits_within(&self.resources, 1e-9)
+            && bandwidth * copies as f64 <= self.bandwidth + 1e-9
     }
 
     fn take(&mut self, per_cu: &ResourceVec, bandwidth: f64, copies: u32) {
@@ -141,7 +142,9 @@ pub fn allocate(
             problem.kernels()[k].name()
         )));
     }
-    if !(options.relaxation_step > 0.0) || options.max_relaxation < 0.0 {
+    // NaN steps must be rejected too, hence the negated comparison.
+    let step_is_positive = options.relaxation_step > 0.0;
+    if !step_is_positive || options.max_relaxation < 0.0 {
         return Err(AllocError::InvalidArgument(
             "relaxation step must be positive and the maximum relaxation nonnegative".into(),
         ));
@@ -220,7 +223,11 @@ fn try_allocate(
                     break;
                 }
                 slacks[f].take(kernel.resources(), kernel.bandwidth(), copies);
-                allocation.set_cus(k, slacks[f].fpga, allocation.cus(k, slacks[f].fpga) + copies);
+                allocation.set_cus(
+                    k,
+                    slacks[f].fpga,
+                    allocation.cus(k, slacks[f].fpga) + copies,
+                );
                 remaining[k] -= copies;
             } else {
                 f += 1;
@@ -324,7 +331,14 @@ mod tests {
 
     #[test]
     fn splits_kernels_that_exceed_one_fpga() {
-        let p = problem(2, 0.6, vec![kernel("big", 10.0, 0.25, 0.01), kernel("small", 1.0, 0.1, 0.01)]);
+        let p = problem(
+            2,
+            0.6,
+            vec![
+                kernel("big", 10.0, 0.25, 0.01),
+                kernel("small", 1.0, 0.1, 0.01),
+            ],
+        );
         // 4 CUs of "big" need 1.0 DSP > 0.6 → must span both FPGAs.
         let allocation = allocate(&p, &[4, 1], &GreedyOptions::default()).unwrap();
         allocation.validate(&p, 1e-9).unwrap();
@@ -362,8 +376,8 @@ mod tests {
     #[test]
     fn alex16_counts_place_within_budget_on_two_fpgas() {
         let app = paper_data::alexnet_16bit();
-        let p = AllocationProblem::from_application(&app, 2, 0.65, GoalWeights::new(1.0, 0.7))
-            .unwrap();
+        let p =
+            AllocationProblem::from_application(&app, 2, 0.65, GoalWeights::new(1.0, 0.7)).unwrap();
         // Representative integer counts from the discretization step.
         let counts = vec![3, 1, 1, 2, 1, 4, 3, 2];
         let allocation = allocate(&p, &counts, &GreedyOptions::default()).unwrap();

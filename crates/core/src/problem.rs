@@ -456,7 +456,11 @@ mod tests {
         ));
         // Too many kernels for one FPGA at one CU each.
         let p = AllocationProblem::builder()
-            .kernels((0..5).map(|i| toy_kernel(&format!("k{i}"), 1.0, 0.4)).collect())
+            .kernels(
+                (0..5)
+                    .map(|i| toy_kernel(&format!("k{i}"), 1.0, 0.4))
+                    .collect(),
+            )
             .platform(MultiFpgaPlatform::aws_f1_2xlarge())
             .budget(ResourceBudget::uniform(0.9))
             .build()

@@ -18,15 +18,21 @@ pub struct FpgaBreakdown {
     pub slack: f64,
 }
 
+/// Projection from a [`mfa_platform::ResourceVec`] onto one resource class
+/// (LUT, FF, BRAM or DSP share).
+pub type ResourceAccessor = fn(&mfa_platform::ResourceVec) -> f64;
+
 /// The resource class whose aggregate demand is largest for this application
 /// (DSPs for every paper workload) — the class whose stacked per-kernel shares
 /// Fig. 6 plots.
-pub fn critical_class(problem: &AllocationProblem) -> fn(&mfa_platform::ResourceVec) -> f64 {
+pub fn critical_class(problem: &AllocationProblem) -> ResourceAccessor {
     let totals = problem
         .kernels()
         .iter()
-        .fold(mfa_platform::ResourceVec::zero(), |acc, k| acc + *k.resources());
-    let classes: [(f64, fn(&mfa_platform::ResourceVec) -> f64); 4] = [
+        .fold(mfa_platform::ResourceVec::zero(), |acc, k| {
+            acc + *k.resources()
+        });
+    let classes: [(f64, ResourceAccessor); 4] = [
         (totals.lut, |r| r.lut),
         (totals.ff, |r| r.ff),
         (totals.bram, |r| r.bram),

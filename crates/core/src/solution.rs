@@ -302,7 +302,10 @@ mod tests {
         let mut a = Allocation::zeros(&p);
         // Kernel b has no CUs.
         a.set_cus(0, 0, 1);
-        assert!(matches!(a.validate(&p, 1e-9), Err(AllocError::Infeasible(_))));
+        assert!(matches!(
+            a.validate(&p, 1e-9),
+            Err(AllocError::Infeasible(_))
+        ));
         // Too many CUs on one FPGA exceeds DSP budget (4 × 0.20 = 0.8 > 0.7).
         a.set_cus(1, 1, 1);
         a.set_cus(0, 0, 4);

@@ -33,7 +33,10 @@ impl fmt::Display for GpError {
             GpError::MissingObjective => write!(f, "no objective was set"),
             GpError::Infeasible => write!(f, "problem has no strictly feasible point"),
             GpError::DidNotConverge { outer_iterations } => {
-                write!(f, "solver did not converge after {outer_iterations} barrier iterations")
+                write!(
+                    f,
+                    "solver did not converge after {outer_iterations} barrier iterations"
+                )
             }
             GpError::Numerical(msg) => write!(f, "numerical failure: {msg}"),
         }

@@ -323,8 +323,8 @@ mod tests {
 
     #[test]
     fn posynomial_eval_is_sum_of_terms() {
-        let p = Posynomial::monomial(1.0, &[(v(0), 1.0)])
-            .with_term(Monomial::new(2.0, &[(v(1), 2.0)]));
+        let p =
+            Posynomial::monomial(1.0, &[(v(0), 1.0)]).with_term(Monomial::new(2.0, &[(v(1), 2.0)]));
         assert!((p.eval(&[3.0, 2.0]) - 11.0).abs() < 1e-12);
         assert_eq!(p.len(), 2);
         assert!(!p.is_monomial());
@@ -353,8 +353,7 @@ mod tests {
 
     #[test]
     fn display_shows_terms() {
-        let p = Posynomial::monomial(2.0, &[(v(0), 1.0)])
-            .with_term(Monomial::constant(1.0));
+        let p = Posynomial::monomial(2.0, &[(v(0), 1.0)]).with_term(Monomial::constant(1.0));
         let text = p.to_string();
         assert!(text.contains(" + "));
         assert!(text.contains("x0"));

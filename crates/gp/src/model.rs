@@ -128,9 +128,7 @@ impl GpProblem {
     pub fn validate(&self) -> Result<(), GpError> {
         let objective = self.objective.as_ref().ok_or(GpError::MissingObjective)?;
         if objective.is_empty() {
-            return Err(GpError::InvalidArgument(
-                "objective has no terms".into(),
-            ));
+            return Err(GpError::InvalidArgument("objective has no terms".into()));
         }
         if let Some(max_idx) = objective.max_var_index() {
             if max_idx >= self.var_names.len() {

@@ -175,7 +175,11 @@ impl LogSumExp {
             }
             // Combined g gᵀ coefficient: −curvature (from ∇²F) + rank-one.
             let combined = rank_one_scale
-                - if self.is_affine() { 0.0 } else { curvature_scale };
+                - if self.is_affine() {
+                    0.0
+                } else {
+                    curvature_scale
+                };
             if combined != 0.0 {
                 for j1 in 0..n {
                     if local_grad[j1] == 0.0 {
@@ -210,12 +214,7 @@ struct ConvexProgram {
 impl ConvexProgram {
     /// Barrier centering: minimize `t·f0(y) − Σ log(−f_i(y))` by Newton.
     /// Returns the number of Newton steps. `y` must be strictly feasible.
-    fn center(
-        &self,
-        y: &mut Vector,
-        t: f64,
-        options: &SolverOptions,
-    ) -> Result<usize, GpError> {
+    fn center(&self, y: &mut Vector, t: f64, options: &SolverOptions) -> Result<usize, GpError> {
         let mut steps = 0;
         for _ in 0..options.max_newton_iterations {
             let (phi, grad, hess) = self.barrier_derivatives(y, t)?;
@@ -282,11 +281,7 @@ impl ConvexProgram {
         phi
     }
 
-    fn barrier_derivatives(
-        &self,
-        y: &Vector,
-        t: f64,
-    ) -> Result<(f64, Vector, Matrix), GpError> {
+    fn barrier_derivatives(&self, y: &Vector, t: f64) -> Result<(f64, Vector, Matrix), GpError> {
         let n = self.n;
         let mut grad = Vector::zeros(n);
         let mut hess = Matrix::zeros(n, n).map_err(to_numerical)?;
@@ -402,10 +397,7 @@ pub(crate) fn solve(problem: &GpProblem, options: &SolverOptions) -> Result<GpSo
 
 /// Phase I: minimize `s` over `(y, s)` subject to `F_i(y) ≤ s`, stopping as
 /// soon as a strictly feasible `y` is found.
-fn phase_one(
-    program: &ConvexProgram,
-    options: &SolverOptions,
-) -> Result<(Vector, usize), GpError> {
+fn phase_one(program: &ConvexProgram, options: &SolverOptions) -> Result<(Vector, usize), GpError> {
     let n = program.n;
     // Extended problem over (y, s): objective = s (affine), constraints
     // F_i(y) − s ≤ 0. We reuse ConvexProgram by expressing everything as
@@ -558,21 +550,19 @@ mod tests {
         let n1 = gp.add_var("N1").unwrap();
         let n2 = gp.add_var("N2").unwrap();
         gp.set_objective(Posynomial::monomial(1.0, &[(ii, 1.0)]));
-        gp.add_le_constraint(
-            "k1",
-            Posynomial::monomial(3.0, &[(n1, -1.0), (ii, -1.0)]),
-        )
-        .unwrap();
-        gp.add_le_constraint(
-            "k2",
-            Posynomial::monomial(5.0, &[(n2, -1.0), (ii, -1.0)]),
-        )
-        .unwrap();
-        let budget = Posynomial::monomial(0.2, &[(n1, 1.0)])
-            .with_term(Monomial::new(0.3, &[(n2, 1.0)]));
+        gp.add_le_constraint("k1", Posynomial::monomial(3.0, &[(n1, -1.0), (ii, -1.0)]))
+            .unwrap();
+        gp.add_le_constraint("k2", Posynomial::monomial(5.0, &[(n2, -1.0), (ii, -1.0)]))
+            .unwrap();
+        let budget =
+            Posynomial::monomial(0.2, &[(n1, 1.0)]).with_term(Monomial::new(0.3, &[(n2, 1.0)]));
         gp.add_le_constraint("budget", budget).unwrap();
         let sol = gp.solve().unwrap();
-        assert!(close(sol.objective(), 2.1, 1e-3), "II = {}", sol.objective());
+        assert!(
+            close(sol.objective(), 2.1, 1e-3),
+            "II = {}",
+            sol.objective()
+        );
         assert!(close(sol.value(n1), 3.0 / 2.1, 1e-2));
         assert!(close(sol.value(n2), 5.0 / 2.1, 1e-2));
     }
@@ -582,8 +572,8 @@ mod tests {
         // minimize x + 1/x → minimum 2 at x = 1.
         let mut gp = GpProblem::new();
         let x = gp.add_var("x").unwrap();
-        let obj = Posynomial::monomial(1.0, &[(x, 1.0)])
-            .with_term(Monomial::new(1.0, &[(x, -1.0)]));
+        let obj =
+            Posynomial::monomial(1.0, &[(x, 1.0)]).with_term(Monomial::new(1.0, &[(x, -1.0)]));
         gp.set_objective(obj);
         let sol = gp.solve().unwrap();
         assert!(close(sol.value(x), 1.0, 1e-4));

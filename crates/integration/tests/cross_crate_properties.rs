@@ -14,7 +14,10 @@ use mfa_sim::{simulate, SimConfig};
 /// Strategy: a random feasible pipeline of 2–5 kernels on 2–4 FPGAs.
 fn random_problem() -> impl Strategy<Value = AllocationProblem> {
     (
-        proptest::collection::vec((1.0..20.0f64, 0.03..0.15f64, 0.01..0.06f64, 0.005..0.04f64), 2..6),
+        proptest::collection::vec(
+            (1.0..20.0f64, 0.03..0.15f64, 0.01..0.06f64, 0.005..0.04f64),
+            2..6,
+        ),
         2usize..5,
         0.6..0.95f64,
     )

@@ -40,7 +40,11 @@ fn paper_cases_run_end_to_end() {
                 .iter()
                 .map(|k| k.wcet_ms())
                 .fold(0.0_f64, f64::max);
-            assert!(ii <= bottleneck + 1e-9, "{}: II above bottleneck", case.label());
+            assert!(
+                ii <= bottleneck + 1e-9,
+                "{}: II above bottleneck",
+                case.label()
+            );
             assert!(
                 ii >= outcome.relaxation.initiation_interval_ms - 1e-9,
                 "{}: II below the relaxation bound",
@@ -72,7 +76,10 @@ fn exact_and_heuristic_are_consistent_on_alex16() {
     assert!(ii_e >= exact_outcome.best_bound - 1e-6);
     if exact_outcome.proven_optimal {
         assert!(ii_e <= ii_h + 1e-6);
-        assert!(ii_h <= 1.3 * ii_e + 1e-9, "heuristic {ii_h} vs exact {ii_e}");
+        assert!(
+            ii_h <= 1.3 * ii_e + 1e-9,
+            "heuristic {ii_h} vs exact {ii_e}"
+        );
     }
 }
 
@@ -88,7 +95,10 @@ fn estimated_characterization_feeds_the_allocator() {
     let problem = AllocationProblem::from_application(&app, 2, 0.80, GoalWeights::new(1.0, 0.7))
         .expect("problem builds");
     let outcome = gpa::solve(&problem, &GpaOptions::fast()).expect("heuristic solves");
-    outcome.allocation.validate(&problem, 1e-9).expect("feasible");
+    outcome
+        .allocation
+        .validate(&problem, 1e-9)
+        .expect("feasible");
     assert!(outcome.allocation.initiation_interval(&problem) > 0.0);
 }
 

@@ -1,0 +1,39 @@
+//! Smoke test mirroring `examples/quickstart.rs`: the GP+A heuristic must
+//! beat the single-CU bottleneck on the documented four-kernel pipeline.
+
+use mfa_alloc::gpa::{self, GpaOptions};
+use mfa_alloc::{AllocationProblem, GoalWeights, Kernel};
+use mfa_platform::{MultiFpgaPlatform, ResourceBudget, ResourceVec};
+
+/// The quickstart's documented invariant: on `aws_f1_4xlarge` the allocated
+/// pipeline's initiation interval drops below the 9.0 ms WCET of its slowest
+/// kernel (`detect`), i.e. replication actually buys throughput.
+#[test]
+fn quickstart_initiation_interval_beats_bottleneck() {
+    let kernels = vec![
+        Kernel::new("decode", 2.0, ResourceVec::bram_dsp(0.04, 0.06), 0.05).expect("valid kernel"),
+        Kernel::new("detect", 9.0, ResourceVec::bram_dsp(0.08, 0.22), 0.03).expect("valid kernel"),
+        Kernel::new("track", 5.0, ResourceVec::bram_dsp(0.05, 0.12), 0.02).expect("valid kernel"),
+        Kernel::new("encode", 3.0, ResourceVec::bram_dsp(0.06, 0.08), 0.06).expect("valid kernel"),
+    ];
+
+    let problem = AllocationProblem::builder()
+        .kernels(kernels)
+        .platform(MultiFpgaPlatform::aws_f1_4xlarge())
+        .budget(ResourceBudget::uniform(0.70))
+        .weights(GoalWeights::new(1.0, 0.7))
+        .build()
+        .expect("quickstart problem builds");
+
+    let outcome = gpa::solve(&problem, &GpaOptions::paper_defaults()).expect("heuristic solves");
+    outcome
+        .allocation
+        .validate(&problem, 1e-9)
+        .expect("allocation respects budgets");
+
+    let ii = outcome.allocation.initiation_interval(&problem);
+    assert!(
+        ii < 9.0,
+        "quickstart invariant violated: II = {ii} ms, expected < 9.0 ms"
+    );
+}

@@ -34,7 +34,10 @@ impl fmt::Display for LinalgError {
                 write!(f, "matrix is singular (zero pivot at index {pivot})")
             }
             LinalgError::NotPositiveDefinite { index } => {
-                write!(f, "matrix is not positive definite (failure at index {index})")
+                write!(
+                    f,
+                    "matrix is not positive definite (failure at index {index})"
+                )
             }
             LinalgError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
         }

@@ -267,8 +267,8 @@ mod tests {
 
     #[test]
     fn lu_solves_small_system() {
-        let a = Matrix::from_rows(&[&[3.0, 2.0, -1.0], &[2.0, -2.0, 4.0], &[-1.0, 0.5, -1.0]])
-            .unwrap();
+        let a =
+            Matrix::from_rows(&[&[3.0, 2.0, -1.0], &[2.0, -2.0, 4.0], &[-1.0, 0.5, -1.0]]).unwrap();
         let b = Vector::from(vec![1.0, -2.0, 0.0]);
         let x = a.solve(&b).unwrap();
         let expected = Vector::from(vec![1.0, -2.0, -2.0]);
@@ -303,8 +303,7 @@ mod tests {
 
     #[test]
     fn cholesky_solves_spd_system() {
-        let a = Matrix::from_rows(&[&[4.0, 2.0, 0.0], &[2.0, 5.0, 1.0], &[0.0, 1.0, 3.0]])
-            .unwrap();
+        let a = Matrix::from_rows(&[&[4.0, 2.0, 0.0], &[2.0, 5.0, 1.0], &[0.0, 1.0, 3.0]]).unwrap();
         let b = Vector::from(vec![1.0, 2.0, 3.0]);
         let x = a.cholesky().unwrap().solve(&b).unwrap();
         assert!((&a.mul_vec(&x).unwrap() - &b).norm_inf() < 1e-10);

@@ -296,10 +296,7 @@ mod tests {
     fn dot_dimension_mismatch_errors() {
         let a = Vector::zeros(2);
         let b = Vector::zeros(3);
-        assert!(matches!(
-            a.dot(&b),
-            Err(LinalgError::DimensionMismatch(_))
-        ));
+        assert!(matches!(a.dot(&b), Err(LinalgError::DimensionMismatch(_))));
     }
 
     #[test]

@@ -38,7 +38,10 @@ impl fmt::Display for LpError {
                 "invalid bounds for variable {name}: lower {lower} exceeds upper {upper}"
             ),
             LpError::IterationLimit { iterations } => {
-                write!(f, "simplex iteration limit exceeded after {iterations} pivots")
+                write!(
+                    f,
+                    "simplex iteration limit exceeded after {iterations} pivots"
+                )
             }
         }
     }

@@ -214,9 +214,7 @@ impl LpProblem {
     /// Same conditions as [`LpProblem::add_var`].
     pub fn set_bounds(&mut self, var: VarId, lower: f64, upper: f64) -> Result<(), LpError> {
         if lower.is_nan() || upper.is_nan() {
-            return Err(LpError::InvalidArgument(
-                "bounds must not be NaN".into(),
-            ));
+            return Err(LpError::InvalidArgument("bounds must not be NaN".into()));
         }
         let data = self
             .vars

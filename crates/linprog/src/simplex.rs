@@ -61,7 +61,10 @@ fn build_standard_form(problem: &LpProblem) -> StandardForm {
         if v.lower.is_finite() {
             let col = costs.len();
             costs.push(c);
-            var_map.push(VarMap::Shifted { col, lower: v.lower });
+            var_map.push(VarMap::Shifted {
+                col,
+                lower: v.lower,
+            });
             if v.upper.is_finite() {
                 extra_rows.push(StdRow {
                     coeffs: vec![(col, 1.0)],
@@ -73,7 +76,10 @@ fn build_standard_form(problem: &LpProblem) -> StandardForm {
             // Only an upper bound: reflect so the new column is nonnegative.
             let col = costs.len();
             costs.push(-c);
-            var_map.push(VarMap::Reflected { col, upper: v.upper });
+            var_map.push(VarMap::Reflected {
+                col,
+                upper: v.upper,
+            });
         } else {
             let plus = costs.len();
             costs.push(c);

@@ -101,10 +101,7 @@ struct SearchState {
 /// Result of processing one node's LP (with cut rounds).
 enum NodeLp {
     Infeasible,
-    Solved {
-        bound: f64,
-        values: Vec<f64>,
-    },
+    Solved { bound: f64, values: Vec<f64> },
 }
 
 /// Solves the problem; entry point used by [`MinlpProblem::solve_with`].
@@ -380,11 +377,7 @@ fn solve_node_lp(
 }
 
 /// Most fractional integer variable, if any.
-fn most_fractional(
-    problem: &MinlpProblem,
-    values: &[f64],
-    tol: f64,
-) -> Option<(usize, f64)> {
+fn most_fractional(problem: &MinlpProblem, values: &[f64], tol: f64) -> Option<(usize, f64)> {
     let mut best: Option<(usize, f64, f64)> = None;
     for (idx, data) in problem.vars.iter().enumerate() {
         if !data.integer {
@@ -428,7 +421,13 @@ fn repair_candidate(
         .vars
         .iter()
         .zip(rounded)
-        .map(|(v, &x)| if v.integer { (x, x) } else { (v.lower, v.upper) })
+        .map(|(v, &x)| {
+            if v.integer {
+                (x, x)
+            } else {
+                (v.lower, v.upper)
+            }
+        })
         .collect();
     // A couple of OA rounds so convex terms of *continuous* arguments are
     // represented accurately too.
@@ -551,7 +550,11 @@ mod tests {
         let sol = p.solve().unwrap();
         assert_eq!(sol.status(), MinlpStatus::Optimal);
         // Best integer point: (2, 2) → II = max(1.5, 2.5) = 2.5.
-        assert!((sol.objective() - 2.5).abs() < 1e-5, "II = {}", sol.objective());
+        assert!(
+            (sol.objective() - 2.5).abs() < 1e-5,
+            "II = {}",
+            sol.objective()
+        );
         assert!((sol.value(n2) - 2.0).abs() < 1e-6);
         assert!(sol.nodes_explored() >= 1);
         assert!(sol.gap() < 1e-5);
@@ -561,8 +564,13 @@ mod tests {
     fn detects_infeasible_problem() {
         let mut p = MinlpProblem::new();
         let n = p.add_integer_var("n", 1.0, 3.0, 1.0).unwrap();
-        p.add_constraint("impossible", vec![Term::linear(n, 1.0)], Relation::GreaterEq, 10.0)
-            .unwrap();
+        p.add_constraint(
+            "impossible",
+            vec![Term::linear(n, 1.0)],
+            Relation::GreaterEq,
+            10.0,
+        )
+        .unwrap();
         let sol = p.solve().unwrap();
         assert_eq!(sol.status(), MinlpStatus::Infeasible);
         assert!(!sol.has_incumbent());
@@ -609,7 +617,11 @@ mod tests {
         .unwrap();
         let sol = p.solve().unwrap();
         assert_eq!(sol.status(), MinlpStatus::Optimal);
-        assert!((sol.objective() - 1.25).abs() < 1e-5, "phi = {}", sol.objective());
+        assert!(
+            (sol.objective() - 1.25).abs() < 1e-5,
+            "phi = {}",
+            sol.objective()
+        );
         let ns = [sol.value(n1), sol.value(n2)];
         let max = ns.iter().cloned().fold(0.0, f64::max);
         let min = ns.iter().cloned().fold(10.0, f64::min);
@@ -633,7 +645,11 @@ mod tests {
         let sol = p.solve().unwrap();
         assert_eq!(sol.status(), MinlpStatus::Optimal);
         // Optimum: a=3, b=2 → 23 (check a few alternatives: a=4,b=0→20; a=2,b=3→22).
-        assert!((sol.objective() + 23.0).abs() < 1e-6, "obj = {}", sol.objective());
+        assert!(
+            (sol.objective() + 23.0).abs() < 1e-6,
+            "obj = {}",
+            sol.objective()
+        );
     }
 
     #[test]
@@ -642,9 +658,7 @@ mod tests {
         let ii = p.add_continuous_var("II", 0.0, 1000.0, 1.0).unwrap();
         let mut ns = Vec::new();
         for k in 0..6 {
-            let n = p
-                .add_integer_var(format!("N{k}"), 1.0, 20.0, 0.0)
-                .unwrap();
+            let n = p.add_integer_var(format!("N{k}"), 1.0, 20.0, 0.0).unwrap();
             p.add_constraint(
                 format!("lat{k}"),
                 vec![Term::reciprocal(n, 10.0 + k as f64), Term::linear(ii, -1.0)],

@@ -311,10 +311,7 @@ impl MinlpProblem {
                 return Ok(false);
             }
         }
-        Ok(self
-            .constraints
-            .iter()
-            .all(|c| c.violation(values) <= tol))
+        Ok(self.constraints.iter().all(|c| c.violation(values) <= tol))
     }
 
     /// Solves the problem with default [`SolverOptions`].
@@ -366,7 +363,12 @@ mod tests {
         let n1 = p.add_integer_var("n1", 1.0, 5.0, 0.0).unwrap();
         // Reciprocal over a variable that may be zero is rejected.
         assert!(matches!(
-            p.add_constraint("bad", vec![Term::reciprocal(n0, 1.0)], Relation::LessEq, 1.0),
+            p.add_constraint(
+                "bad",
+                vec![Term::reciprocal(n0, 1.0)],
+                Relation::LessEq,
+                1.0
+            ),
             Err(MinlpError::DomainViolation(_))
         ));
         // Reciprocal over a strictly positive variable is fine.
@@ -375,7 +377,12 @@ mod tests {
             .is_ok());
         // Saturation over a nonnegative variable is fine.
         assert!(p
-            .add_constraint("sat", vec![Term::saturation(n0, 1.0)], Relation::LessEq, 1.0)
+            .add_constraint(
+                "sat",
+                vec![Term::saturation(n0, 1.0)],
+                Relation::LessEq,
+                1.0
+            )
             .is_ok());
         // Unknown variable is rejected.
         assert!(matches!(

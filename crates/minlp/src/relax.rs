@@ -92,14 +92,10 @@ pub(crate) fn build(
                     let x_id = var_ids[var.index()];
                     // Link the auxiliary variable to the argument through the
                     // estimator rows appropriate for the constraint direction.
-                    let need_under = matches!(
-                        constraint.relation,
-                        Relation::LessEq | Relation::Equal
-                    );
-                    let need_over = matches!(
-                        constraint.relation,
-                        Relation::GreaterEq | Relation::Equal
-                    );
+                    let need_under =
+                        matches!(constraint.relation, Relation::LessEq | Relation::Equal);
+                    let need_over =
+                        matches!(constraint.relation, Relation::GreaterEq | Relation::Equal);
                     if need_under {
                         for (k, line) in term
                             .under_estimators(lo, hi, &reference_points)

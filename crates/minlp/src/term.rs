@@ -114,7 +114,9 @@ impl Term {
         match *self {
             Term::Linear { coeff, .. } => coeff,
             Term::Reciprocal { coeff, .. } => -coeff / (x * x),
-            Term::Saturation { coeff, offset, .. } => coeff * offset / ((offset + x) * (offset + x)),
+            Term::Saturation { coeff, offset, .. } => {
+                coeff * offset / ((offset + x) * (offset + x))
+            }
         }
     }
 

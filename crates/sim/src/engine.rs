@@ -103,7 +103,7 @@ pub fn simulate(
     // Instantiate the CUs.
     let mut cus: Vec<ComputeUnit> = Vec::new();
     let mut cus_of_kernel: Vec<Vec<usize>> = vec![Vec::new(); num_kernels];
-    for k in 0..num_kernels {
+    for (k, kernel_cus) in cus_of_kernel.iter_mut().enumerate() {
         assert!(
             allocation.total_cus(k) > 0,
             "kernel {} has no CUs",
@@ -111,7 +111,7 @@ pub fn simulate(
         );
         for f in 0..num_fpgas {
             for _ in 0..allocation.cus(k, f) {
-                cus_of_kernel[k].push(cus.len());
+                kernel_cus.push(cus.len());
                 cus.push(ComputeUnit {
                     kernel: k,
                     fpga: f,
@@ -306,7 +306,11 @@ mod tests {
         allocation.set_cus(0, 0, 1);
         allocation.set_cus(1, 0, 2);
         let result = simulate(&p, &allocation, &SimConfig::default());
-        assert!(result.ii_error_vs(4.0) < 0.02, "II = {}", result.initiation_interval_ms);
+        assert!(
+            result.ii_error_vs(4.0) < 0.02,
+            "II = {}",
+            result.initiation_interval_ms
+        );
         assert_eq!(result.completed_items, 400);
         // The bottleneck kernel (front, 1 CU) is saturated.
         assert!(result.kernel_utilization[0] > 0.95);
@@ -332,9 +336,13 @@ mod tests {
         // bandwidth budget, so the simulated II degrades relative to the
         // analytic (contention-free) prediction.
         let p = AllocationProblem::builder()
-            .kernels(vec![
-                Kernel::new("hungry", 4.0, ResourceVec::bram_dsp(0.02, 0.1), 0.60).unwrap(),
-            ])
+            .kernels(vec![Kernel::new(
+                "hungry",
+                4.0,
+                ResourceVec::bram_dsp(0.02, 0.1),
+                0.60,
+            )
+            .unwrap()])
             .platform(MultiFpgaPlatform::aws_f1_2xlarge())
             .budget(ResourceBudget::uniform(0.9))
             .build()
@@ -392,7 +400,10 @@ mod tests {
             "simulated {} vs predicted {predicted}",
             result.initiation_interval_ms
         );
-        assert!(result.pipeline_latency_ms >= problem.kernels().iter().map(|k| k.wcet_ms()).sum::<f64>() * 0.99);
+        assert!(
+            result.pipeline_latency_ms
+                >= problem.kernels().iter().map(|k| k.wcet_ms()).sum::<f64>() * 0.99
+        );
     }
 
     #[test]

@@ -28,9 +28,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let outcome = gpa::solve(&problem, &GpaOptions::paper_defaults())?;
 
-    println!("GP relaxation:   II = {:.3} ms", outcome.relaxation.initiation_interval_ms);
+    println!(
+        "GP relaxation:   II = {:.3} ms",
+        outcome.relaxation.initiation_interval_ms
+    );
     println!("discretized CUs: {:?}", outcome.cu_counts);
-    println!("heuristic time:  {:.1} ms", outcome.elapsed.as_secs_f64() * 1e3);
+    println!(
+        "heuristic time:  {:.1} ms",
+        outcome.elapsed.as_secs_f64() * 1e3
+    );
     println!();
     println!("{}", render_summary(&problem, &outcome.allocation));
     Ok(())

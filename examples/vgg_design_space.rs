@@ -53,6 +53,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!();
     println!("Each row is produced in well under a second per point — the same sweep with an");
-    println!("exact MINLP in the loop is what the paper reports as taking minutes to hours per point.");
+    println!(
+        "exact MINLP in the loop is what the paper reports as taking minutes to hours per point."
+    );
     Ok(())
 }

@@ -1,0 +1,17 @@
+//! Facade crate for the multi-FPGA allocation workspace.
+//!
+//! Re-exports the member crates under one roof so downstream users (and the
+//! `examples/` in this package) can depend on a single crate. See the
+//! workspace `README.md` for the crate dependency graph.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use mfa_alloc as alloc;
+pub use mfa_cnn as cnn;
+pub use mfa_gp as gp;
+pub use mfa_linalg as linalg;
+pub use mfa_linprog as linprog;
+pub use mfa_minlp as minlp;
+pub use mfa_platform as platform;
+pub use mfa_sim as sim;

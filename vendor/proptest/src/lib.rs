@@ -1,0 +1,298 @@
+//! Offline stub of `proptest` 1.x.
+//!
+//! Implements the slice of the proptest API that the workspace's
+//! property-based integration tests use: [`Strategy`] with `prop_map`, range
+//! and tuple strategies, [`collection::vec`], the [`proptest!`] test macro
+//! and [`prop_assert!`]. Inputs are generated from a fixed-seed SplitMix64
+//! stream, so runs are deterministic and failures reproduce; there is no
+//! shrinking — a failing case reports the case index instead of a minimal
+//! counterexample.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::ops::{Range, RangeInclusive};
+
+/// Deterministic random source handed to strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    fn new(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// A recipe for generating random values of `Self::Value`.
+pub trait Strategy {
+    /// The type of value this strategy generates.
+    type Value;
+
+    /// Draws one value from the strategy.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transforms generated values with `f`.
+    fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> T,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, T> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for Range<usize> {
+    type Value = usize;
+
+    fn generate(&self, rng: &mut TestRng) -> usize {
+        assert!(self.start < self.end, "empty usize strategy range");
+        self.start + (rng.next_u64() as usize) % (self.end - self.start)
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        self.start() + rng.unit_f64() * (self.end() - self.start())
+    }
+}
+
+impl Strategy for RangeInclusive<usize> {
+    type Value = usize;
+
+    fn generate(&self, rng: &mut TestRng) -> usize {
+        assert!(self.start() <= self.end(), "empty usize strategy range");
+        self.start() + (rng.next_u64() as usize) % (self.end() - self.start() + 1)
+    }
+}
+
+/// A bare `usize` is the constant strategy, mirroring proptest's
+/// `Into<SizeRange>` acceptance of fixed collection sizes.
+impl Strategy for usize {
+    type Value = usize;
+
+    fn generate(&self, _rng: &mut TestRng) -> usize {
+        *self
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, G);
+
+/// Strategies for collections.
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// Strategy producing `Vec`s whose length is drawn from `size` and whose
+    /// elements are drawn from `element`. `size` may be a `Range<usize>`, a
+    /// `RangeInclusive<usize>` or a bare `usize` (constant length), mirroring
+    /// proptest's `Into<SizeRange>` conversions.
+    pub fn vec<S, L>(element: S, size: L) -> VecStrategy<S, L>
+    where
+        S: Strategy,
+        L: Strategy<Value = usize>,
+    {
+        VecStrategy { element, size }
+    }
+
+    /// Strategy returned by [`vec`].
+    pub struct VecStrategy<S, L> {
+        element: S,
+        size: L,
+    }
+
+    impl<S, L> Strategy for VecStrategy<S, L>
+    where
+        S: Strategy,
+        L: Strategy<Value = usize>,
+    {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.generate(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Failure raised by `prop_assert!`; carried through the test body's
+/// `Result` return value.
+#[derive(Debug)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Creates a failure with the given message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// Runner configuration accepted by `#![proptest_config(..)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property is checked against.
+    pub cases: u32,
+    /// Accepted for API compatibility; this stub never rejects inputs.
+    pub max_global_rejects: u32,
+    /// Accepted for API compatibility; this stub does not shrink.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_global_rejects: 1024,
+            max_shrink_iters: 0,
+        }
+    }
+}
+
+/// Executes `test` against `config.cases` generated inputs. Called by the
+/// expansion of [`proptest!`]; not part of the public proptest API.
+pub fn run_cases<S, F>(config: ProptestConfig, strategy: S, mut test: F)
+where
+    S: Strategy,
+    F: FnMut(S::Value) -> Result<(), TestCaseError>,
+{
+    // Fixed seed: deterministic inputs across runs and machines.
+    let mut rng = TestRng::new(0x4D46_4100_DAC1_9001);
+    for case in 0..config.cases {
+        if let Err(err) = test(strategy.generate(&mut rng)) {
+            panic!("property failed on case {case}/{}: {err}", config.cases);
+        }
+    }
+}
+
+/// Defines property tests:
+/// `proptest! { #[test] fn p(x in sx, y in sy) { .. } }`.
+///
+/// Multiple `pat in strategy` bindings are bundled into one tuple strategy,
+/// so each test accepts up to the largest tuple arity implemented above.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strategy:expr),+ $(,)?) $body:block)*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::run_cases($config, ($($strategy,)+), |($($pat,)+)| {
+                    $body
+                    Ok(())
+                });
+            }
+        )*
+    };
+    (
+        $($(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strategy:expr),+ $(,)?) $body:block)*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $($(#[$meta])*
+            fn $name($($pat in $strategy),+) $body)*
+        }
+    };
+}
+
+/// Asserts inside a `proptest!` body; fails the case rather than panicking
+/// so the runner can report which generated input broke the property.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Equality counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(left == right, "assertion failed: {:?} != {:?}", left, right);
+    }};
+}
+
+/// Glob-import surface mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+    pub use crate::{ProptestConfig, Strategy, TestCaseError};
+}

@@ -1,0 +1,10 @@
+//! Offline stub of `serde`.
+//!
+//! Provides the `Serialize`/`Deserialize` derive macros (as no-ops) so the
+//! workspace's `#[derive(Serialize, Deserialize)]` annotations compile
+//! without crates.io access. No runtime (de)serialization is offered; the
+//! workspace never calls it.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
