@@ -1,32 +1,55 @@
 //! Fig. 2 — effect of the allocator's `T` parameter on the achieved II for
 //! Alex-16 on 2 FPGAs (Δ = 1 %), across resource constraints from 40 % to
 //! 90 %.
+//!
+//! The eight `T` curves are expressed as eight labeled GP+A backends on one
+//! `mfa_explore` grid, so the whole figure is produced by a single parallel
+//! sweep.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 
 use mfa_alloc::cases::PaperCase;
-use mfa_alloc::explore::{constraint_grid, sweep_t_parameter};
 use mfa_alloc::gpa::{self, GpaOptions};
+use mfa_alloc::greedy::GreedyOptions;
+use mfa_explore::{constraint_grid, run_sweep, CaseSpec, ExecutorOptions, SolverSpec, SweepGrid};
+
+const T_VALUES: [f64; 8] = [0.0, 0.025, 0.05, 0.10, 0.15, 0.20, 0.25, 0.30];
+
+fn fig2_grid(constraints: &[f64]) -> SweepGrid {
+    SweepGrid::builder()
+        .case(CaseSpec::from_paper(PaperCase::Alex16OnTwoFpgas))
+        .fpga_counts([2])
+        .constraints(constraints.iter().copied())
+        .backends(T_VALUES.iter().map(|&t| {
+            SolverSpec::gpa_labeled(
+                format!("T{:.1}%", t * 100.0),
+                GpaOptions {
+                    greedy: GreedyOptions::with_t_delta(t, 0.01),
+                    ..GpaOptions::fast()
+                },
+            )
+        }))
+        .build()
+        .expect("the Fig. 2 grid is well-formed")
+}
 
 fn print_fig2() {
-    let case = PaperCase::Alex16OnTwoFpgas;
-    let problem = case.problem(0.65).expect("feasible");
-    let constraints = constraint_grid(0.40, 0.90, 11);
-    let t_values = [0.0, 0.025, 0.05, 0.10, 0.15, 0.20, 0.25, 0.30];
+    let constraints = constraint_grid(0.40, 0.90, 11).expect("valid grid");
     let series =
-        sweep_t_parameter(&problem, &constraints, &t_values, 0.01).expect("sweep succeeds");
+        run_sweep(&fig2_grid(&constraints), &ExecutorOptions::default()).expect("sweep succeeds");
 
     println!();
     println!("=== Fig. 2: Alex-16 on 2 FPGAs, II (ms) vs resource constraint for several T");
     print!("{:>12}", "constraint");
-    for (t, _) in &series {
-        print!(" {:>7}", format!("T{:.1}%", t * 100.0));
+    for s in &series {
+        print!(" {:>7}", s.backend);
     }
     println!();
-    for (i, &constraint) in constraints.iter().enumerate() {
+    for &constraint in &constraints {
         print!("{:>11.0}%", constraint * 100.0);
-        for (_, points) in &series {
-            match points
+        for s in &series {
+            match s
+                .points
                 .iter()
                 .find(|p| (p.resource_constraint - constraint).abs() < 1e-9)
             {
@@ -35,7 +58,6 @@ fn print_fig2() {
             }
         }
         println!();
-        let _ = i;
     }
     println!("(as in the paper, T has little effect on II; the following figures use T = 0)");
 }
@@ -47,6 +69,11 @@ fn bench(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("gpa_alex16_single_point", |b| {
         b.iter(|| gpa::solve(&problem, &GpaOptions::fast()).expect("solves"))
+    });
+    let constraints = constraint_grid(0.40, 0.90, 11).expect("valid grid");
+    let grid = fig2_grid(&constraints);
+    group.bench_function("full_t_sweep_parallel", |b| {
+        b.iter(|| run_sweep(&grid, &ExecutorOptions::default()).expect("sweep succeeds"))
     });
     group.finish();
 }

@@ -1,5 +1,9 @@
 //! Fig. 3 — AlexNet 16-bit fixed point on 2 FPGAs: II vs resource constraint
 //! (a) and II vs average FPGA utilization (b), for GP+A, MINLP and MINLP+G.
+//!
+//! The three method series run through the `mfa_explore` parallel engine
+//! (via `compare_methods`); the Criterion group additionally times the full
+//! Fig. 3 GP+A sweep serial vs parallel to track the executor's speedup.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 
@@ -8,6 +12,7 @@ use mfa_alloc::exact::{self, ExactMode};
 use mfa_alloc::explore::constraint_grid;
 use mfa_alloc::gpa::{self, GpaOptions};
 use mfa_bench::{compare_methods, print_comparison, MinlpBudget};
+use mfa_explore::{run_sweep, CaseSpec, ExecutorOptions, SolverSpec, SweepGrid};
 
 fn print_fig3() {
     let case = PaperCase::Alex16OnTwoFpgas;
@@ -18,6 +23,22 @@ fn print_fig3() {
         "Fig. 3: Alex-16 on 2 FPGAs — II vs resource constraint / average resource",
         &rows,
     );
+}
+
+/// The Fig. 3 constraint grid with a GP+A backend per paper variant — enough
+/// independent work to keep several cores busy without MINLP noise.
+fn fig3_gpa_grid() -> SweepGrid {
+    SweepGrid::builder()
+        .case(CaseSpec::from_paper(PaperCase::Alex16OnTwoFpgas))
+        .fpga_counts([2])
+        .constraints(constraint_grid(0.55, 0.85, 7))
+        .backend(SolverSpec::gpa(GpaOptions::fast()))
+        .backend(SolverSpec::gpa_labeled(
+            "GP+A/gp",
+            GpaOptions::paper_defaults(),
+        ))
+        .build()
+        .expect("the Fig. 3 grid is well-formed")
 }
 
 fn bench(c: &mut Criterion) {
@@ -39,6 +60,22 @@ fn bench(c: &mut Criterion) {
                 .options(ExactMode::IiOnly),
             )
             .expect("solves")
+        })
+    });
+    let grid = fig3_gpa_grid();
+    group.bench_function("gpa_sweep_serial", |b| {
+        b.iter(|| run_sweep(&grid, &ExecutorOptions::serial()).expect("sweep succeeds"))
+    });
+    group.bench_function("gpa_sweep_parallel", |b| {
+        b.iter(|| {
+            run_sweep(
+                &grid,
+                &ExecutorOptions {
+                    chunk_size: 2,
+                    ..ExecutorOptions::default()
+                },
+            )
+            .expect("sweep succeeds")
         })
     });
     group.finish();

@@ -1,5 +1,9 @@
 //! Fig. 4 — AlexNet 32-bit floating point on 4 FPGAs: II vs resource
 //! constraint (a) and vs average FPGA utilization (b).
+//!
+//! The method series run through the `mfa_explore` parallel engine via
+//! `compare_methods`, overlapping the budgeted MINLP solves with the GP+A
+//! sweep on multi-core hosts.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 

@@ -3,7 +3,10 @@
 //!
 //! The exact MINLP at this size (136 integer variables) took the paper's
 //! authors hours with Couenne; here each exact solve gets a small node/time
-//! budget and reports its best incumbent (see `EXPERIMENTS.md`).
+//! budget and reports its best incumbent (see `EXPERIMENTS.md`). Budgeted
+//! solves that exhaust their nodes without an incumbent show up as missing
+//! points, and the series run through the `mfa_explore` parallel engine via
+//! `compare_methods`.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 

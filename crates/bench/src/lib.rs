@@ -9,10 +9,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use mfa_alloc::exact::{ExactMode, ExactOptions, ExactOutcome};
+use mfa_alloc::exact::{ExactMode, ExactOptions};
 use mfa_alloc::explore::SweepPoint;
-use mfa_alloc::gpa::{self, GpaOptions};
-use mfa_alloc::{exact, AllocationProblem};
+use mfa_alloc::gpa::GpaOptions;
+use mfa_alloc::AllocationProblem;
+use mfa_explore::{run_sweep, CaseSpec, ExecutorOptions, SolverSpec, SweepGrid, SweepSeries};
 
 /// Node/time budget applied to MINLP solves inside benchmark sweeps.
 ///
@@ -71,68 +72,46 @@ pub struct MethodComparison {
 
 /// Runs GP+A, MINLP and MINLP+G at each constraint and returns the combined
 /// series (the data behind Figs. 3–5).
+///
+/// The three method series run through the [`mfa_explore`] parallel engine —
+/// one grid with three solver backends — so on a multi-core host the exact
+/// solves overlap with the heuristic sweep. Points a method cannot realize
+/// (infeasible constraints, budget-exhausted MINLP solves) are `None`.
+///
+/// # Panics
+///
+/// Panics if the sweep aborts on a non-skippable solver failure; a benchmark
+/// harness has no better recovery than reporting it loudly.
 pub fn compare_methods(
     problem: &AllocationProblem,
     constraints: &[f64],
     budget: MinlpBudget,
 ) -> Vec<MethodComparison> {
+    let grid = SweepGrid::builder()
+        .case(CaseSpec::new("bench", problem.clone()))
+        .fpga_counts([problem.num_fpgas()])
+        .constraints(constraints.iter().copied())
+        .backend(SolverSpec::gpa(GpaOptions::paper_defaults()))
+        .backend(SolverSpec::exact(budget.options(ExactMode::IiOnly)))
+        .backend(SolverSpec::exact(budget.options(ExactMode::IiAndSpreading)))
+        .build()
+        .expect("the comparison grid is well-formed");
+    let series = run_sweep(&grid, &ExecutorOptions::default()).expect("comparison sweep failed");
+    let find = |s: &SweepSeries, constraint: f64| -> Option<SweepPoint> {
+        s.points
+            .iter()
+            .find(|p| (p.resource_constraint - constraint).abs() < 1e-9)
+            .copied()
+    };
     constraints
         .iter()
-        .map(|&constraint| {
-            let instance = problem.with_resource_constraint(constraint);
-            let gpa_point = gpa::solve(&instance, &GpaOptions::paper_defaults())
-                .ok()
-                .map(|outcome| {
-                    to_point(
-                        &instance,
-                        constraint,
-                        outcome.allocation.clone(),
-                        outcome.elapsed.as_secs_f64(),
-                    )
-                });
-            let minlp_point = exact::solve(&instance, &budget.options(ExactMode::IiOnly))
-                .ok()
-                .map(|outcome| exact_to_point(&instance, constraint, &outcome));
-            let minlp_g_point = exact::solve(&instance, &budget.options(ExactMode::IiAndSpreading))
-                .ok()
-                .map(|outcome| exact_to_point(&instance, constraint, &outcome));
-            MethodComparison {
-                constraint,
-                gpa: gpa_point,
-                minlp: minlp_point,
-                minlp_g: minlp_g_point,
-            }
+        .map(|&constraint| MethodComparison {
+            constraint,
+            gpa: find(&series[0], constraint),
+            minlp: find(&series[1], constraint),
+            minlp_g: find(&series[2], constraint),
         })
         .collect()
-}
-
-fn to_point(
-    problem: &AllocationProblem,
-    constraint: f64,
-    allocation: mfa_alloc::Allocation,
-    solve_seconds: f64,
-) -> SweepPoint {
-    let metrics = allocation.metrics(problem);
-    SweepPoint {
-        resource_constraint: constraint,
-        initiation_interval_ms: metrics.initiation_interval_ms,
-        average_utilization: metrics.average_utilization,
-        spreading: metrics.spreading,
-        solve_seconds,
-    }
-}
-
-fn exact_to_point(
-    problem: &AllocationProblem,
-    constraint: f64,
-    outcome: &ExactOutcome,
-) -> SweepPoint {
-    to_point(
-        problem,
-        constraint,
-        outcome.allocation.clone(),
-        outcome.elapsed.as_secs_f64(),
-    )
 }
 
 /// Prints a figure-style series table: `II (ms)` and `average resource`

@@ -56,11 +56,36 @@ pub fn solve(
     problem: &AllocationProblem,
     options: &DiscretizeOptions,
 ) -> Result<DiscreteCounts, AllocError> {
+    solve_seeded(problem, options, None)
+}
+
+/// [`solve`] with an optional incumbent to seed the branch-and-bound, e.g.
+/// the discretized counts of a neighbouring constraint point in a sweep.
+///
+/// A valid incumbent (right length, every count ≥ 1, within the per-kernel
+/// caps and the aggregated budgets) becomes the initial best solution, so
+/// subtrees that cannot beat it are pruned immediately; an invalid one is
+/// silently ignored. Seeding never changes the optimal `II` — only how much
+/// of the tree is explored to prove it. Since `best` is replaced only on
+/// strict improvement, the incumbent wins II ties: a seeded search may
+/// return the incumbent's counts where an unseeded one would find another
+/// equally-optimal vector.
+///
+/// # Errors
+///
+/// Same contract as [`solve`].
+pub fn solve_seeded(
+    problem: &AllocationProblem,
+    options: &DiscretizeOptions,
+    incumbent: Option<&[u32]>,
+) -> Result<DiscreteCounts, AllocError> {
     let root_bounds: Vec<(f64, f64)> = (0..problem.num_kernels())
         .map(|k| (1.0, problem.max_total_cus(k).max(1) as f64))
         .collect();
 
-    let mut best: Option<(Vec<u32>, f64)> = None;
+    let mut best: Option<(Vec<u32>, f64)> = incumbent
+        .filter(|counts| incumbent_is_valid(problem, counts))
+        .map(|counts| (counts.to_vec(), implied_ii(problem, counts)));
     let mut nodes = 0usize;
     let mut stack = vec![root_bounds];
 
@@ -136,6 +161,21 @@ pub fn solve(
             "no integer CU assignment satisfies the aggregated budgets".into(),
         )),
     }
+}
+
+/// A warm-start incumbent is usable only if it is itself a feasible point of
+/// the aggregated problem: right length, at least one CU everywhere, within
+/// the per-kernel caps and the platform-wide budgets.
+fn incumbent_is_valid(problem: &AllocationProblem, counts: &[u32]) -> bool {
+    counts.len() == problem.num_kernels()
+        && counts
+            .iter()
+            .enumerate()
+            .all(|(k, &n)| n >= 1 && n <= problem.max_total_cus(k).max(1))
+        && gp_step::budgets_allow(
+            problem,
+            &counts.iter().map(|&n| n as f64).collect::<Vec<_>>(),
+        )
 }
 
 /// `max_k WCET_k / N_k` for integer counts.
@@ -221,6 +261,30 @@ mod tests {
         // Discretized II can only be ≥ the continuous relaxation.
         let relaxed = gp_step::solve(&p, RelaxationBackend::Bisection).unwrap();
         assert!(d.initiation_interval_ms >= relaxed.initiation_interval_ms - 1e-9);
+    }
+
+    #[test]
+    fn seeding_preserves_the_optimum_and_never_explores_more() {
+        let p = toy_problem(1.0);
+        let cold = solve(&p, &DiscretizeOptions::default()).unwrap();
+        let warm = solve_seeded(&p, &DiscretizeOptions::default(), Some(&cold.cu_counts)).unwrap();
+        assert!(
+            (warm.initiation_interval_ms - cold.initiation_interval_ms).abs() < 1e-9,
+            "warm {} vs cold {}",
+            warm.initiation_interval_ms,
+            cold.initiation_interval_ms
+        );
+        assert!(warm.nodes_explored <= cold.nodes_explored);
+    }
+
+    #[test]
+    fn invalid_incumbents_are_ignored() {
+        let p = toy_problem(1.0);
+        let cold = solve(&p, &DiscretizeOptions::default()).unwrap();
+        for bad in [vec![0u32, 4], vec![200, 200], vec![1u32]] {
+            let seeded = solve_seeded(&p, &DiscretizeOptions::default(), Some(&bad)).unwrap();
+            assert!((seeded.initiation_interval_ms - cold.initiation_interval_ms).abs() < 1e-9);
+        }
     }
 
     #[test]

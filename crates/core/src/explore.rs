@@ -1,13 +1,22 @@
 //! Design-space exploration sweeps (the data behind Figs. 2–5).
+//!
+//! These are the stable single-threaded sweep primitives. The first-class
+//! exploration engine — multi-axis grids, a multi-threaded executor with
+//! warm-start caching and JSON/CSV export — lives in the `mfa_explore` crate
+//! and is built on the same per-point solvers and skip policy exposed here,
+//! so both paths produce identical series for identical inputs.
+
+use serde::{Deserialize, Serialize};
 
 use crate::exact::{self, ExactOptions};
-use crate::gpa::{self, GpaOptions};
+use crate::gpa::{self, GpaOptions, GpaWarmStart};
 use crate::greedy::GreedyOptions;
 use crate::problem::AllocationProblem;
+use crate::solution::Allocation;
 use crate::AllocError;
 
 /// One point of a resource-constraint sweep.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct SweepPoint {
     /// Per-FPGA resource constraint (fraction).
     pub resource_constraint: f64,
@@ -21,6 +30,46 @@ pub struct SweepPoint {
     pub solve_seconds: f64,
 }
 
+impl SweepPoint {
+    /// Builds a sweep point from a solved allocation's metrics.
+    pub fn measure(
+        problem: &AllocationProblem,
+        resource_constraint: f64,
+        allocation: &Allocation,
+        solve_seconds: f64,
+    ) -> Self {
+        let metrics = allocation.metrics(problem);
+        SweepPoint {
+            resource_constraint,
+            initiation_interval_ms: metrics.initiation_interval_ms,
+            average_utilization: metrics.average_utilization,
+            spreading: metrics.spreading,
+            solve_seconds,
+        }
+    }
+}
+
+/// Whether a per-point solver error means "this grid point has no solution —
+/// skip it" rather than "the sweep itself is broken — abort".
+///
+/// Both sweep flavours apply the same policy: a constraint too tight for the
+/// application ([`AllocError::Infeasible`]), a discretized configuration the
+/// allocator cannot bin-pack ([`AllocError::AllocationFailed`]), and a
+/// budgeted MINLP solve that exhausts its node budget before producing any
+/// incumbent all mean "no data for this point" — the paper's figures simply
+/// omit such points. Anything else (invalid arguments, numerical solver
+/// failures) aborts the sweep. `sweep_exact` historically aborted on
+/// `AllocationFailed`, unlike `sweep_gpa`; routing both through this one
+/// predicate keeps them consistent.
+pub fn is_skippable_point_error(err: &AllocError) -> bool {
+    matches!(
+        err,
+        AllocError::Infeasible(_)
+            | AllocError::AllocationFailed { .. }
+            | AllocError::Minlp(mfa_minlp::MinlpError::NodeLimitWithoutSolution { .. })
+    )
+}
+
 /// The constraint values swept for a case: `count` evenly spaced points
 /// between `lo` and `hi` inclusive.
 pub fn constraint_grid(lo: f64, hi: f64, count: usize) -> Vec<f64> {
@@ -28,6 +77,91 @@ pub fn constraint_grid(lo: f64, hi: f64, count: usize) -> Vec<f64> {
     (0..count)
         .map(|i| lo + (hi - lo) * i as f64 / (count - 1) as f64)
         .collect()
+}
+
+/// Solves one GP+A point on an already-constrained `instance` (the caller
+/// guarantees `instance` reflects `constraint`), optionally warm-started from
+/// a neighbouring solve. On success, also returns the warm-start state for
+/// the next neighbour; `Ok(None)` when the point is infeasible or
+/// unplaceable (skipped, exactly as the paper's figures omit such points).
+/// This is the one per-point kernel behind [`sweep_gpa`] and the parallel
+/// engine in `mfa_explore`, so the skip/measure policy cannot drift between
+/// the two.
+///
+/// # Errors
+///
+/// Propagates unexpected solver failures (see [`is_skippable_point_error`]).
+pub fn measure_gpa_instance(
+    instance: &AllocationProblem,
+    constraint: f64,
+    options: &GpaOptions,
+    warm: Option<&GpaWarmStart>,
+) -> Result<Option<(SweepPoint, GpaWarmStart)>, AllocError> {
+    match gpa::solve_with_warm_start(instance, options, warm) {
+        Ok(outcome) => {
+            let point = SweepPoint::measure(
+                instance,
+                constraint,
+                &outcome.allocation,
+                outcome.elapsed.as_secs_f64(),
+            );
+            Ok(Some((point, GpaWarmStart::from(&outcome))))
+        }
+        Err(err) if is_skippable_point_error(&err) => Ok(None),
+        Err(err) => Err(err),
+    }
+}
+
+/// Solves one exact-MINLP point on an already-constrained `instance`;
+/// `Ok(None)` when the point is skipped. See [`measure_gpa_instance`].
+///
+/// # Errors
+///
+/// Propagates unexpected solver failures (see [`is_skippable_point_error`]).
+pub fn measure_exact_instance(
+    instance: &AllocationProblem,
+    constraint: f64,
+    options: &ExactOptions,
+) -> Result<Option<SweepPoint>, AllocError> {
+    match exact::solve(instance, options) {
+        Ok(outcome) => Ok(Some(SweepPoint::measure(
+            instance,
+            constraint,
+            &outcome.allocation,
+            outcome.elapsed.as_secs_f64(),
+        ))),
+        Err(err) if is_skippable_point_error(&err) => Ok(None),
+        Err(err) => Err(err),
+    }
+}
+
+/// Solves one GP+A sweep point; `Ok(None)` when the point is infeasible or
+/// unplaceable (skipped, exactly as the paper's figures omit such points).
+///
+/// # Errors
+///
+/// Propagates unexpected solver failures (see [`is_skippable_point_error`]).
+pub fn solve_gpa_point(
+    problem: &AllocationProblem,
+    constraint: f64,
+    options: &GpaOptions,
+) -> Result<Option<SweepPoint>, AllocError> {
+    let instance = problem.with_resource_constraint(constraint);
+    Ok(measure_gpa_instance(&instance, constraint, options, None)?.map(|(point, _)| point))
+}
+
+/// Solves one exact-MINLP sweep point; `Ok(None)` when the point is skipped.
+///
+/// # Errors
+///
+/// Propagates unexpected solver failures (see [`is_skippable_point_error`]).
+pub fn solve_exact_point(
+    problem: &AllocationProblem,
+    constraint: f64,
+    options: &ExactOptions,
+) -> Result<Option<SweepPoint>, AllocError> {
+    let instance = problem.with_resource_constraint(constraint);
+    measure_exact_instance(&instance, constraint, options)
 }
 
 /// Sweeps the GP+A heuristic over resource constraints.
@@ -45,26 +179,18 @@ pub fn sweep_gpa(
 ) -> Result<Vec<SweepPoint>, AllocError> {
     let mut points = Vec::with_capacity(constraints.len());
     for &constraint in constraints {
-        let instance = problem.with_resource_constraint(constraint);
-        match gpa::solve(&instance, options) {
-            Ok(outcome) => {
-                let metrics = outcome.allocation.metrics(&instance);
-                points.push(SweepPoint {
-                    resource_constraint: constraint,
-                    initiation_interval_ms: metrics.initiation_interval_ms,
-                    average_utilization: metrics.average_utilization,
-                    spreading: metrics.spreading,
-                    solve_seconds: outcome.elapsed.as_secs_f64(),
-                });
-            }
-            Err(AllocError::Infeasible(_)) | Err(AllocError::AllocationFailed { .. }) => continue,
-            Err(other) => return Err(other),
+        if let Some(point) = solve_gpa_point(problem, constraint, options)? {
+            points.push(point);
         }
     }
     Ok(points)
 }
 
 /// Sweeps the exact MINLP solver over resource constraints.
+///
+/// Points the solver cannot realize (infeasible constraints, or incumbents
+/// the allocator cannot validate) are skipped under the same policy as
+/// [`sweep_gpa`]; see [`is_skippable_point_error`].
 ///
 /// # Errors
 ///
@@ -76,20 +202,8 @@ pub fn sweep_exact(
 ) -> Result<Vec<SweepPoint>, AllocError> {
     let mut points = Vec::with_capacity(constraints.len());
     for &constraint in constraints {
-        let instance = problem.with_resource_constraint(constraint);
-        match exact::solve(&instance, options) {
-            Ok(outcome) => {
-                let metrics = outcome.allocation.metrics(&instance);
-                points.push(SweepPoint {
-                    resource_constraint: constraint,
-                    initiation_interval_ms: metrics.initiation_interval_ms,
-                    average_utilization: metrics.average_utilization,
-                    spreading: metrics.spreading,
-                    solve_seconds: outcome.elapsed.as_secs_f64(),
-                });
-            }
-            Err(AllocError::Infeasible(_)) => continue,
-            Err(other) => return Err(other),
+        if let Some(point) = solve_exact_point(problem, constraint, options)? {
+            points.push(point);
         }
     }
     Ok(points)
@@ -176,5 +290,54 @@ mod tests {
         let points = sweep_gpa(&problem, &[0.30, 0.75], &GpaOptions::fast()).unwrap();
         assert_eq!(points.len(), 1);
         assert!((points[0].resource_constraint - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn skip_policy_is_uniform_across_both_sweeps() {
+        // Regression for the asymmetry where `sweep_exact` aborted the whole
+        // sweep on `AllocationFailed` while `sweep_gpa` skipped the point:
+        // both now consult this single predicate.
+        assert!(is_skippable_point_error(&AllocError::Infeasible(
+            "too tight".into()
+        )));
+        assert!(is_skippable_point_error(&AllocError::AllocationFailed {
+            unplaced: vec![("CONV1".into(), 2)],
+        }));
+        assert!(is_skippable_point_error(&AllocError::from(
+            mfa_minlp::MinlpError::NodeLimitWithoutSolution { nodes: 34 }
+        )));
+        assert!(!is_skippable_point_error(&AllocError::InvalidArgument(
+            "bad".into()
+        )));
+        assert!(!is_skippable_point_error(&AllocError::from(
+            mfa_minlp::MinlpError::UnknownVariable(0)
+        )));
+    }
+
+    #[test]
+    fn exact_sweep_skips_infeasible_points() {
+        let problem = PaperCase::Alex16OnTwoFpgas.problem(0.70).unwrap();
+        // 8 % cannot host CONV1 (10.6 % BRAM per CU for Alex-16); 80 % can.
+        let points = sweep_exact(
+            &problem,
+            &[0.08, 0.80],
+            &ExactOptions::ii_only_with_budget(2_000, 10.0),
+        )
+        .unwrap();
+        assert_eq!(points.len(), 1);
+        assert!((points[0].resource_constraint - 0.80).abs() < 1e-12);
+    }
+
+    #[test]
+    fn point_solvers_return_none_for_skipped_points() {
+        let problem = PaperCase::Alex32OnFourFpgas.problem(0.70).unwrap();
+        assert!(solve_gpa_point(&problem, 0.30, &GpaOptions::fast())
+            .unwrap()
+            .is_none());
+        let point = solve_gpa_point(&problem, 0.75, &GpaOptions::fast())
+            .unwrap()
+            .expect("75 % is feasible");
+        assert!((point.resource_constraint - 0.75).abs() < 1e-12);
+        assert!(point.initiation_interval_ms > 0.0);
     }
 }

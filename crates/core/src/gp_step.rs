@@ -66,10 +66,30 @@ pub fn solve(
     problem: &AllocationProblem,
     backend: RelaxationBackend,
 ) -> Result<Relaxation, AllocError> {
+    solve_with_hint(problem, backend, None)
+}
+
+/// Solves the unbounded relaxation, optionally warm-started from the relaxed
+/// `ÎI` of a neighbouring problem (e.g. the same case at an adjacent resource
+/// constraint in a design-space sweep).
+///
+/// The hint only narrows the bisection bracket — both endpoints are verified
+/// before use, so a stale or wildly wrong hint degrades to the cold-start
+/// bracket and the returned optimum is unaffected. The GP backend ignores the
+/// hint (its interior-point iteration has no cheap warm-start path).
+///
+/// # Errors
+///
+/// Same contract as [`solve`].
+pub fn solve_with_hint(
+    problem: &AllocationProblem,
+    backend: RelaxationBackend,
+    hint_ii_ms: Option<f64>,
+) -> Result<Relaxation, AllocError> {
     let unbounded: Vec<(f64, f64)> = (0..problem.num_kernels())
         .map(|k| (1.0, problem.max_total_cus(k) as f64))
         .collect();
-    solve_bounded(problem, &unbounded, backend)
+    solve_bounded_with_hint(problem, &unbounded, backend, hint_ii_ms)
 }
 
 /// Solves the relaxation with explicit per-kernel bounds on `N̂_k` (used by
@@ -83,6 +103,20 @@ pub fn solve_bounded(
     problem: &AllocationProblem,
     bounds: &CuBounds,
     backend: RelaxationBackend,
+) -> Result<Relaxation, AllocError> {
+    solve_bounded_with_hint(problem, bounds, backend, None)
+}
+
+/// [`solve_bounded`] with an optional warm-start hint (see [`solve_with_hint`]).
+///
+/// # Errors
+///
+/// Same contract as [`solve_bounded`].
+pub fn solve_bounded_with_hint(
+    problem: &AllocationProblem,
+    bounds: &CuBounds,
+    backend: RelaxationBackend,
+    hint_ii_ms: Option<f64>,
 ) -> Result<Relaxation, AllocError> {
     if bounds.len() != problem.num_kernels() {
         return Err(AllocError::InvalidArgument(format!(
@@ -120,12 +154,12 @@ pub fn solve_bounded(
     }
     match backend {
         RelaxationBackend::GeometricProgram => solve_gp(problem, bounds),
-        RelaxationBackend::Bisection => Ok(solve_bisection(problem, bounds)),
+        RelaxationBackend::Bisection => Ok(solve_bisection(problem, bounds, hint_ii_ms)),
     }
 }
 
 /// Checks the aggregated budgets `Σ_k N_k·R_k ≤ F·R` and `Σ_k N_k·B_k ≤ F·B`.
-fn budgets_allow(problem: &AllocationProblem, cu_counts: &[f64]) -> bool {
+pub(crate) fn budgets_allow(problem: &AllocationProblem, cu_counts: &[f64]) -> bool {
     let f = problem.num_fpgas() as f64;
     let budget = problem.budget();
     let limit = *budget.resource_fraction() * f;
@@ -228,7 +262,11 @@ fn solve_gp(problem: &AllocationProblem, bounds: &CuBounds) -> Result<Relaxation
 }
 
 /// Analytic solution by bisection on `ÎI`.
-fn solve_bisection(problem: &AllocationProblem, bounds: &CuBounds) -> Relaxation {
+fn solve_bisection(
+    problem: &AllocationProblem,
+    bounds: &CuBounds,
+    hint_ii_ms: Option<f64>,
+) -> Relaxation {
     // For a target II the cheapest feasible counts are the WCET-driven counts
     // clamped into the node bounds; feasibility of the aggregated budgets is
     // monotone in II (larger II → fewer CUs → less resource use).
@@ -261,6 +299,22 @@ fn solve_bisection(problem: &AllocationProblem, bounds: &CuBounds) -> Relaxation
             cu_counts: counts,
             initiation_interval_ms: lo,
         };
+    }
+    // A warm-start hint from a neighbouring solve narrows the bracket. The
+    // bisection invariants (lo infeasible, hi feasible) are re-verified on
+    // each candidate endpoint, so a bad hint merely costs two feasibility
+    // evaluations and the optimum is unchanged.
+    if let Some(hint) = hint_ii_ms {
+        if hint.is_finite() && hint > 0.0 {
+            let cand_hi = (hint * 1.05).min(hi);
+            if cand_hi > lo && budgets_allow(problem, &counts_for(cand_hi)) {
+                hi = cand_hi;
+            }
+            let cand_lo = (hint * 0.95).max(lo);
+            if cand_lo < hi && !budgets_allow(problem, &counts_for(cand_lo)) {
+                lo = cand_lo;
+            }
+        }
     }
     for _ in 0..200 {
         let mid = 0.5 * (lo + hi);
@@ -326,6 +380,32 @@ mod tests {
         assert!((r.cu_counts[0] - 1.0).abs() < 1e-9);
         // Kernel a fixed at one CU → II at least 3.
         assert!(r.initiation_interval_ms >= 3.0 - 1e-9);
+    }
+
+    #[test]
+    fn warm_start_hint_does_not_change_the_optimum() {
+        let p = two_kernel_problem();
+        let cold = solve(&p, RelaxationBackend::Bisection).unwrap();
+        // Good, slightly-off, wildly wrong and degenerate hints all converge
+        // to the same optimum because the bracket endpoints are verified.
+        for hint in [
+            cold.initiation_interval_ms,
+            cold.initiation_interval_ms * 0.97,
+            cold.initiation_interval_ms * 1.03,
+            0.01,
+            1_000.0,
+            f64::NAN,
+            -1.0,
+        ] {
+            let warm = solve_with_hint(&p, RelaxationBackend::Bisection, Some(hint)).unwrap();
+            assert!(
+                (warm.initiation_interval_ms - cold.initiation_interval_ms).abs()
+                    < 1e-9 * cold.initiation_interval_ms.max(1.0),
+                "hint {hint}: warm {} vs cold {}",
+                warm.initiation_interval_ms,
+                cold.initiation_interval_ms
+            );
+        }
     }
 
     #[test]

@@ -51,8 +51,14 @@ impl GpaOptions {
 pub struct GpaOutcome {
     /// Continuous relaxation (step 1).
     pub relaxation: Relaxation,
-    /// Integer CU counts after discretization (step 2).
+    /// Integer CU counts after discretization (step 2), reduced by any CUs
+    /// dropped to reach a placeable configuration (see [`Self::dropped_cus`]).
     pub cu_counts: Vec<u32>,
+    /// CUs removed per kernel by the feasibility fallback: when the greedy
+    /// allocator cannot place the discretized counts even at `R + T`, the
+    /// heuristic sheds CUs one at a time until placement succeeds. All zeros
+    /// when the discretized counts were realized as-is.
+    pub dropped_cus: Vec<u32>,
     /// Final placement (step 3).
     pub allocation: Allocation,
     /// Wall-clock time of the whole heuristic.
@@ -70,6 +76,35 @@ impl GpaOutcome {
     pub fn initiation_interval_ms(&self, problem: &AllocationProblem) -> f64 {
         self.allocation.initiation_interval(problem)
     }
+
+    /// Total CUs dropped by the feasibility fallback (zero in the common
+    /// case where the discretized counts were placeable).
+    pub fn total_dropped_cus(&self) -> u32 {
+        self.dropped_cus.iter().sum()
+    }
+}
+
+/// State a design-space sweep carries from one solved constraint point to a
+/// neighbouring one: the relaxed `ÎI` (used to narrow the bisection bracket)
+/// and the final integer counts (used to seed the discretization
+/// branch-and-bound with an incumbent). Warm starts are verified before use,
+/// so a hint from a distant or tighter point can only cost a few extra
+/// feasibility checks — never change the result quality.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpaWarmStart {
+    /// Relaxed initiation interval of the neighbouring solve, in ms.
+    pub relaxed_ii_ms: f64,
+    /// Final (post-drop) integer CU counts of the neighbouring solve.
+    pub cu_counts: Vec<u32>,
+}
+
+impl From<&GpaOutcome> for GpaWarmStart {
+    fn from(outcome: &GpaOutcome) -> Self {
+        GpaWarmStart {
+            relaxed_ii_ms: outcome.relaxation.initiation_interval_ms,
+            cu_counts: outcome.cu_counts.clone(),
+        }
+    }
 }
 
 /// Runs the full GP+A heuristic.
@@ -79,39 +114,85 @@ impl GpaOutcome {
 /// Propagates infeasibility and solver failures from the three steps; see
 /// [`AllocError`].
 pub fn solve(problem: &AllocationProblem, options: &GpaOptions) -> Result<GpaOutcome, AllocError> {
+    solve_with_warm_start(problem, options, None)
+}
+
+/// Runs the full GP+A heuristic, optionally warm-started from a neighbouring
+/// solve (see [`GpaWarmStart`]). Sweep engines use this to reuse the
+/// continuous relaxation and the discrete incumbent across adjacent
+/// constraint points; the achieved initiation interval is the same as a cold
+/// solve, only faster — though when several integer designs tie on II, the
+/// warm-started discretization may return the incumbent where a cold search
+/// would find another equally-optimal design.
+///
+/// # Errors
+///
+/// Same contract as [`solve`].
+pub fn solve_with_warm_start(
+    problem: &AllocationProblem,
+    options: &GpaOptions,
+    warm: Option<&GpaWarmStart>,
+) -> Result<GpaOutcome, AllocError> {
     let start = Instant::now();
     problem.validate_feasibility()?;
 
     let relaxation_start = Instant::now();
-    let relaxation = gp_step::solve(problem, options.relaxation_backend)?;
+    let relaxation = gp_step::solve_with_hint(
+        problem,
+        options.relaxation_backend,
+        warm.map(|w| w.relaxed_ii_ms),
+    )?;
     let relaxation_time = relaxation_start.elapsed();
 
     let discretization_start = Instant::now();
-    let discrete = discretize::solve(problem, &options.discretize)?;
+    let discrete = discretize::solve_seeded(
+        problem,
+        &options.discretize,
+        warm.map(|w| w.cu_counts.as_slice()),
+    )?;
     let discretization_time = discretization_start.elapsed();
 
     // The discretized counts saturate the aggregated budget, so at very tight
     // resource constraints a perfect bin packing may not exist and Algorithm 1
-    // cannot place every CU even after relaxing by `T`. In that case the CU of
-    // the kernel whose removal hurts the initiation interval least is dropped
-    // and the placement is retried — the heuristic then trades a little II for
-    // feasibility, which is exactly the behaviour the paper reports for GP+A
-    // at the low end of the constraint range.
+    // cannot place every CU even after relaxing by `T`. In that case one CU is
+    // dropped and the placement is retried — the heuristic then trades a
+    // little II for feasibility, which is exactly the behaviour the paper
+    // reports for GP+A at the low end of the constraint range. The victim is
+    // the kernel whose drop yields the smallest *resulting pipeline* II
+    // (`max_k WCET_k / N_k` after the drop), not merely the smallest own
+    // post-drop latency: the pipeline runs at the maximum over kernels, so
+    // that maximum is what the choice must minimize. Ties are broken by the
+    // victim's own post-drop latency, then by kernel index, keeping the loop
+    // deterministic.
     let allocation_start = Instant::now();
     let mut cu_counts = discrete.cu_counts;
+    let mut dropped_cus = vec![0u32; problem.num_kernels()];
     let allocation = loop {
         match greedy::allocate(problem, &cu_counts, &options.greedy) {
             Ok(allocation) => break allocation,
             Err(err @ AllocError::AllocationFailed { .. }) => {
+                let pipeline_ii_after_dropping = |k: usize| -> f64 {
+                    (0..problem.num_kernels())
+                        .map(|j| {
+                            let n = cu_counts[j] - u32::from(j == k);
+                            problem.kernels()[j].wcet_ms() / n.max(1) as f64
+                        })
+                        .fold(0.0, f64::max)
+                };
+                let own_ii_after =
+                    |k: usize| problem.kernels()[k].wcet_ms() / (cu_counts[k] - 1).max(1) as f64;
                 let victim = (0..problem.num_kernels())
                     .filter(|&k| cu_counts[k] > 1)
                     .min_by(|&a, &b| {
-                        let ii_after =
-                            |k: usize| problem.kernels()[k].wcet_ms() / (cu_counts[k] - 1) as f64;
-                        ii_after(a).total_cmp(&ii_after(b))
+                        pipeline_ii_after_dropping(a)
+                            .total_cmp(&pipeline_ii_after_dropping(b))
+                            .then_with(|| own_ii_after(a).total_cmp(&own_ii_after(b)))
                     });
                 match victim {
-                    Some(k) => cu_counts[k] -= 1,
+                    Some(k) => {
+                        cu_counts[k] -= 1;
+                        dropped_cus[k] += 1;
+                    }
                     None => return Err(err),
                 }
             }
@@ -123,6 +204,7 @@ pub fn solve(problem: &AllocationProblem, options: &GpaOptions) -> Result<GpaOut
     Ok(GpaOutcome {
         relaxation,
         cu_counts,
+        dropped_cus,
         allocation,
         elapsed: start.elapsed(),
         relaxation_time,
@@ -181,6 +263,91 @@ mod tests {
         assert!(
             (ii_gp - ii_fast).abs() < 1e-6,
             "GP backend {ii_gp} vs bisection {ii_fast}"
+        );
+    }
+
+    #[test]
+    fn cu_drop_fallback_records_drops_and_minimizes_pipeline_ii() {
+        use crate::problem::Kernel;
+        use mfa_platform::{MultiFpgaPlatform, ResourceBudget, ResourceVec};
+
+        // Two FPGAs at 55 % DSP each. The aggregated budget admits counts
+        // (2, 1) — 2·0.35 + 0.25 = 0.95 ≤ 1.1 — but no per-FPGA packing of
+        // {0.35, 0.35, 0.25} into two bins of 0.55 exists, so the greedy
+        // allocator fails and the fallback must shed one CU of "a".
+        let problem = AllocationProblem::builder()
+            .kernels(vec![
+                Kernel::new("a", 10.0, ResourceVec::bram_dsp(0.01, 0.35), 0.01).unwrap(),
+                Kernel::new("b", 4.0, ResourceVec::bram_dsp(0.01, 0.25), 0.01).unwrap(),
+            ])
+            .platform(MultiFpgaPlatform::aws_f1_4xlarge())
+            .budget(ResourceBudget::uniform(0.55))
+            .weights(GoalWeights::ii_only())
+            .build()
+            .unwrap();
+        let outcome = solve(&problem, &GpaOptions::fast()).unwrap();
+        outcome.allocation.validate(&problem, 1e-9).unwrap();
+        assert_eq!(outcome.dropped_cus, vec![1, 0]);
+        assert_eq!(outcome.total_dropped_cus(), 1);
+        assert_eq!(outcome.cu_counts, vec![1, 1]);
+        // The drop was forced on the only candidate (b has a single CU), and
+        // the resulting pipeline II is exactly the post-drop bottleneck.
+        let ii = outcome.initiation_interval_ms(&problem);
+        assert!((ii - 10.0).abs() < 1e-9, "II = {ii}");
+    }
+
+    #[test]
+    fn undropped_solves_report_zero_dropped_cus() {
+        use crate::problem::Kernel;
+        use mfa_platform::{MultiFpgaPlatform, ResourceBudget, ResourceVec};
+
+        // Small per-CU footprints and a generous budget: the discretized
+        // counts always bin-pack, so the fallback never fires.
+        let problem = AllocationProblem::builder()
+            .kernels(vec![
+                Kernel::new("a", 3.0, ResourceVec::bram_dsp(0.02, 0.1), 0.01).unwrap(),
+                Kernel::new("b", 5.0, ResourceVec::bram_dsp(0.02, 0.1), 0.01).unwrap(),
+            ])
+            .platform(MultiFpgaPlatform::aws_f1_4xlarge())
+            .budget(ResourceBudget::uniform(0.9))
+            .weights(GoalWeights::ii_only())
+            .build()
+            .unwrap();
+        let outcome = solve(&problem, &GpaOptions::fast()).unwrap();
+        assert_eq!(outcome.total_dropped_cus(), 0);
+        assert!(outcome.dropped_cus.iter().all(|&d| d == 0));
+        assert_eq!(outcome.dropped_cus.len(), problem.num_kernels());
+        // Without drops the allocation realizes the discretized counts.
+        for (k, &n) in outcome.cu_counts.iter().enumerate() {
+            assert_eq!(outcome.allocation.total_cus(k), n);
+        }
+    }
+
+    #[test]
+    fn warm_start_from_a_neighbouring_constraint_matches_cold_solve() {
+        let app = paper_data::alexnet_16bit();
+        let neighbour_problem =
+            AllocationProblem::from_application(&app, 2, 0.65, GoalWeights::new(1.0, 0.7)).unwrap();
+        let problem =
+            AllocationProblem::from_application(&app, 2, 0.70, GoalWeights::new(1.0, 0.7)).unwrap();
+        let neighbour = solve(&neighbour_problem, &GpaOptions::fast()).unwrap();
+        let cold = solve(&problem, &GpaOptions::fast()).unwrap();
+        let warm = solve_with_warm_start(
+            &problem,
+            &GpaOptions::fast(),
+            Some(&GpaWarmStart::from(&neighbour)),
+        )
+        .unwrap();
+        warm.allocation.validate(&problem, 1e-9).unwrap();
+        let ii_cold = cold.initiation_interval_ms(&problem);
+        let ii_warm = warm.initiation_interval_ms(&problem);
+        assert!(
+            (ii_cold - ii_warm).abs() < 1e-9 * ii_cold.max(1.0),
+            "warm {ii_warm} vs cold {ii_cold}"
+        );
+        assert!(
+            (warm.relaxation.initiation_interval_ms - cold.relaxation.initiation_interval_ms).abs()
+                < 1e-9
         );
     }
 

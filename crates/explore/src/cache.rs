@@ -1,0 +1,80 @@
+//! Warm-start cache for neighbouring constraint points.
+
+use mfa_alloc::gpa::GpaWarmStart;
+
+/// Remembers the GP+A state of already-solved constraint points so that a
+/// neighbouring point can be warm-started from the nearest one (nearest in
+/// constraint distance — the relaxations of adjacent budgets are close, so
+/// the nearest hint narrows the bisection bracket the most and its integer
+/// counts make the strongest branch-and-bound incumbent).
+///
+/// The executor keeps one cache per work-unit chunk. That choice is what
+/// makes parallel and serial sweeps byte-identical: the chunk decomposition
+/// depends only on the grid and the chunk size, never on the thread count or
+/// on scheduling, so every point sees exactly the same cache state either
+/// way.
+#[derive(Debug, Clone, Default)]
+pub struct WarmStartCache {
+    entries: Vec<(f64, GpaWarmStart)>,
+}
+
+impl WarmStartCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        WarmStartCache::default()
+    }
+
+    /// Number of cached points.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when nothing has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Records the warm-start state of a solved point.
+    pub fn insert(&mut self, resource_constraint: f64, warm: GpaWarmStart) {
+        self.entries.push((resource_constraint, warm));
+    }
+
+    /// The cached state nearest to `resource_constraint`, if any. Ties keep
+    /// the earliest-inserted entry, so lookups are deterministic.
+    pub fn nearest(&self, resource_constraint: f64) -> Option<&GpaWarmStart> {
+        self.entries
+            .iter()
+            .min_by(|(a, _), (b, _)| {
+                (a - resource_constraint)
+                    .abs()
+                    .total_cmp(&(b - resource_constraint).abs())
+            })
+            .map(|(_, warm)| warm)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn warm(ii: f64) -> GpaWarmStart {
+        GpaWarmStart {
+            relaxed_ii_ms: ii,
+            cu_counts: vec![1, 2],
+        }
+    }
+
+    #[test]
+    fn nearest_picks_the_closest_constraint() {
+        let mut cache = WarmStartCache::new();
+        assert!(cache.is_empty());
+        assert!(cache.nearest(0.6).is_none());
+        cache.insert(0.55, warm(2.0));
+        cache.insert(0.85, warm(1.0));
+        assert_eq!(cache.len(), 2);
+        assert!((cache.nearest(0.60).unwrap().relaxed_ii_ms - 2.0).abs() < 1e-12);
+        assert!((cache.nearest(0.80).unwrap().relaxed_ii_ms - 1.0).abs() < 1e-12);
+        // Exactly halfway: the earliest insertion wins.
+        assert!((cache.nearest(0.70).unwrap().relaxed_ii_ms - 2.0).abs() < 1e-12);
+    }
+}

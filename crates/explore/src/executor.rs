@@ -1,0 +1,405 @@
+//! The multi-threaded sweep executor.
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::thread;
+
+use serde::{Deserialize, Serialize};
+
+use mfa_alloc::explore::{self, SweepPoint};
+
+use crate::cache::WarmStartCache;
+use crate::grid::{SolverSpec, SweepGrid};
+use crate::ExploreError;
+
+/// Options of the sweep executor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecutorOptions {
+    /// Worker threads. `None` uses [`std::thread::available_parallelism`];
+    /// `Some(1)` forces the serial path (no threads are spawned).
+    pub num_threads: Option<usize>,
+    /// Constraint points per work unit. Chunks are carved from each series
+    /// along the constraint axis, so the decomposition — and therefore the
+    /// warm-start state every point sees — depends only on the grid and this
+    /// value, never on the thread count. Smaller chunks expose more
+    /// parallelism; larger chunks let the warm-start cache carry further.
+    pub chunk_size: usize,
+    /// Warm-start GP+A solves from the nearest already-solved point of the
+    /// same chunk (see [`WarmStartCache`]). Warm starts reach the same
+    /// initiation interval as cold solves, faster; when several integer
+    /// designs tie on II, the warm-started search may return the
+    /// neighbour's design where a cold solve would find another
+    /// equally-optimal one. Disable for bit-identical agreement with the
+    /// cold serial sweeps in [`mfa_alloc::explore`].
+    pub warm_start: bool,
+}
+
+impl Default for ExecutorOptions {
+    fn default() -> Self {
+        ExecutorOptions {
+            num_threads: None,
+            chunk_size: 8,
+            warm_start: true,
+        }
+    }
+}
+
+impl ExecutorOptions {
+    /// Forces the single-threaded path (useful as a reference in tests).
+    pub fn serial() -> Self {
+        ExecutorOptions {
+            num_threads: Some(1),
+            ..ExecutorOptions::default()
+        }
+    }
+}
+
+/// One series of a completed sweep: a (case, FPGA count, backend)
+/// combination and its points in constraint-axis order. Points whose
+/// constraint is infeasible or unplaceable are absent, exactly as in
+/// [`mfa_alloc::explore::sweep_gpa`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepSeries {
+    /// Label of the swept case.
+    pub case: String,
+    /// FPGA count of this series.
+    pub num_fpgas: usize,
+    /// Label of the solver backend.
+    pub backend: String,
+    /// Solved points, ordered along the grid's constraint axis.
+    pub points: Vec<SweepPoint>,
+}
+
+/// A contiguous run of constraint points of one series.
+#[derive(Debug, Clone, Copy)]
+struct WorkUnit {
+    series: usize,
+    start: usize,
+    end: usize,
+}
+
+/// Runs the grid and returns one [`SweepSeries`] per (case, FPGA count,
+/// backend) combination, in grid order (case-major, then FPGA count, then
+/// backend). The output is deterministic: for a fixed grid and `chunk_size`
+/// it is identical whatever the thread count. With
+/// [`ExecutorOptions::warm_start`] disabled it is additionally bit-identical
+/// to the serial sweeps in [`mfa_alloc::explore`] modulo the wall-clock
+/// timing fields; with warm starts on, ties between equally-optimal integer
+/// designs may resolve differently (the achieved II is the same either way).
+///
+/// # Errors
+///
+/// Returns [`ExploreError::Solver`] for the earliest (in grid order)
+/// non-skippable solver failure; skippable point errors only omit the
+/// point. On a failure the executor stops picking up new work units, so the
+/// error surfaces without sweeping the rest of the grid.
+pub fn run_sweep(
+    grid: &SweepGrid,
+    options: &ExecutorOptions,
+) -> Result<Vec<SweepSeries>, ExploreError> {
+    let chunk = options.chunk_size.max(1);
+    let num_points = grid.constraints.len();
+    let mut units = Vec::new();
+    for series in 0..grid.num_series() {
+        let mut start = 0;
+        while start < num_points {
+            let end = (start + chunk).min(num_points);
+            units.push(WorkUnit { series, start, end });
+            start = end;
+        }
+    }
+
+    let threads = options
+        .num_threads
+        .unwrap_or_else(|| {
+            thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(1)
+        })
+        .clamp(1, units.len().max(1));
+
+    // The abort flag stops workers from *starting* new units after a
+    // failure; units already underway run to completion. Because workers
+    // take units in index order, every unit below the failing index has
+    // been started and therefore finishes, which keeps the surfaced error
+    // (the lowest-index one) independent of scheduling.
+    let abort = AtomicBool::new(false);
+    let mut unit_results: Vec<Option<UnitResult>> = units.iter().map(|_| None).collect();
+    if threads <= 1 {
+        for (idx, unit) in units.iter().enumerate() {
+            let result = compute_unit(grid, *unit, options.warm_start);
+            let failed = result.is_err();
+            unit_results[idx] = Some(result);
+            if failed {
+                break;
+            }
+        }
+    } else {
+        let next = AtomicUsize::new(0);
+        let (tx, rx) = mpsc::channel::<(usize, UnitResult)>();
+        thread::scope(|scope| {
+            for _ in 0..threads {
+                let tx = tx.clone();
+                let units = &units;
+                let next = &next;
+                let abort = &abort;
+                scope.spawn(move || loop {
+                    if abort.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let idx = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(unit) = units.get(idx) else {
+                        break;
+                    };
+                    let result = compute_unit(grid, *unit, options.warm_start);
+                    if result.is_err() {
+                        abort.store(true, Ordering::Relaxed);
+                    }
+                    if tx.send((idx, result)).is_err() {
+                        break;
+                    }
+                });
+            }
+        });
+        drop(tx);
+        for (idx, result) in rx {
+            unit_results[idx] = Some(result);
+        }
+    }
+
+    // Surface the lowest-index failure first, so which error wins when
+    // several units fail is independent of scheduling.
+    for slot in unit_results.iter_mut() {
+        if matches!(slot, Some(Err(_))) {
+            let Some(Err(err)) = slot.take() else {
+                unreachable!("just matched an error")
+            };
+            return Err(err);
+        }
+    }
+
+    // No failures: every unit up to the end was computed. Assemble in unit
+    // order so each series' points follow the constraint axis.
+    let mut series: Vec<SweepSeries> = (0..grid.num_series())
+        .map(|s| {
+            let (case, fpga, backend) = grid.series_key(s);
+            SweepSeries {
+                case: grid.cases[case].label().to_owned(),
+                num_fpgas: grid.fpga_counts[fpga],
+                backend: grid.backends[backend].label().to_owned(),
+                points: Vec::new(),
+            }
+        })
+        .collect();
+    for (idx, unit) in units.iter().enumerate() {
+        let points = unit_results[idx]
+            .take()
+            .expect("without failures every work unit produces a result")
+            .expect("failures were surfaced above");
+        series[unit.series]
+            .points
+            .extend(points.into_iter().flatten());
+    }
+    Ok(series)
+}
+
+type UnitResult = Result<Vec<Option<SweepPoint>>, ExploreError>;
+
+/// Solves one chunk of constraint points, warm-starting each GP+A solve from
+/// the nearest already-solved point of the same chunk.
+fn compute_unit(grid: &SweepGrid, unit: WorkUnit, warm_start: bool) -> UnitResult {
+    let (case_idx, fpga_idx, backend_idx) = grid.series_key(unit.series);
+    let case = &grid.cases[case_idx];
+    let num_fpgas = grid.fpga_counts[fpga_idx];
+    let backend = &grid.backends[backend_idx];
+    let fail = |constraint: f64, source: mfa_alloc::AllocError| ExploreError::Solver {
+        case: case.label().to_owned(),
+        num_fpgas,
+        backend: backend.label().to_owned(),
+        resource_constraint: constraint,
+        source,
+    };
+
+    let mut points = Vec::with_capacity(unit.end - unit.start);
+    let mut cache = WarmStartCache::new();
+    for &constraint in &grid.constraints[unit.start..unit.end] {
+        let instance = case.problem(num_fpgas, constraint);
+        match backend {
+            SolverSpec::Gpa { options, .. } => {
+                let hint = if warm_start {
+                    cache.nearest(constraint)
+                } else {
+                    None
+                };
+                match explore::measure_gpa_instance(&instance, constraint, options, hint) {
+                    Ok(Some((point, warm))) => {
+                        cache.insert(constraint, warm);
+                        points.push(Some(point));
+                    }
+                    Ok(None) => points.push(None),
+                    Err(err) => return Err(fail(constraint, err)),
+                }
+            }
+            SolverSpec::Exact { options, .. } => {
+                match explore::measure_exact_instance(&instance, constraint, options) {
+                    Ok(point) => points.push(point),
+                    Err(err) => return Err(fail(constraint, err)),
+                }
+            }
+        }
+    }
+    Ok(points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::{constraint_grid, CaseSpec};
+    use mfa_alloc::cases::PaperCase;
+    use mfa_alloc::gpa::GpaOptions;
+
+    fn alex16_grid(points: usize, backends: Vec<SolverSpec>) -> SweepGrid {
+        SweepGrid::builder()
+            .case(CaseSpec::from_paper(PaperCase::Alex16OnTwoFpgas))
+            .fpga_counts([2])
+            .constraints(constraint_grid(0.55, 0.85, points).unwrap())
+            .backends(backends)
+            .build()
+            .unwrap()
+    }
+
+    /// Wall-clock fields are the only legitimate difference between two runs
+    /// of the same grid.
+    fn zero_timing(mut series: Vec<SweepSeries>) -> Vec<SweepSeries> {
+        for s in &mut series {
+            for p in &mut s.points {
+                p.solve_seconds = 0.0;
+            }
+        }
+        series
+    }
+
+    #[test]
+    fn parallel_and_serial_sweeps_are_identical() {
+        let grid = alex16_grid(6, vec![SolverSpec::gpa(GpaOptions::fast())]);
+        let serial = run_sweep(&grid, &ExecutorOptions::serial()).unwrap();
+        let parallel = run_sweep(
+            &grid,
+            &ExecutorOptions {
+                num_threads: Some(4),
+                chunk_size: 2,
+                warm_start: true,
+            },
+        )
+        .unwrap();
+        assert_eq!(zero_timing(serial), zero_timing(parallel));
+    }
+
+    #[test]
+    fn chunked_warm_starts_match_cold_solves() {
+        let grid = alex16_grid(6, vec![SolverSpec::gpa(GpaOptions::fast())]);
+        let warm = run_sweep(
+            &grid,
+            &ExecutorOptions {
+                chunk_size: 6,
+                ..ExecutorOptions::serial()
+            },
+        )
+        .unwrap();
+        let cold = run_sweep(
+            &grid,
+            &ExecutorOptions {
+                warm_start: false,
+                ..ExecutorOptions::serial()
+            },
+        )
+        .unwrap();
+        assert_eq!(warm[0].points.len(), cold[0].points.len());
+        for (w, c) in warm[0].points.iter().zip(&cold[0].points) {
+            assert!(
+                (w.initiation_interval_ms - c.initiation_interval_ms).abs()
+                    < 1e-9 * c.initiation_interval_ms.max(1.0),
+                "warm {} vs cold {}",
+                w.initiation_interval_ms,
+                c.initiation_interval_ms
+            );
+        }
+    }
+
+    #[test]
+    fn engine_matches_the_single_threaded_core_sweep() {
+        let constraints = constraint_grid(0.55, 0.85, 5).unwrap();
+        let options = GpaOptions::fast();
+        let grid = SweepGrid::builder()
+            .case(CaseSpec::from_paper(PaperCase::Alex16OnTwoFpgas))
+            .fpga_counts([2])
+            .constraints(constraints.clone())
+            .backend(SolverSpec::gpa(options.clone()))
+            .build()
+            .unwrap();
+        // Warm starts off: on II ties the warm-started search may return a
+        // different equally-optimal design, so only the cold path is
+        // guaranteed bit-identical to the core sweep.
+        let engine = run_sweep(
+            &grid,
+            &ExecutorOptions {
+                warm_start: false,
+                ..ExecutorOptions::default()
+            },
+        )
+        .unwrap();
+        let problem = PaperCase::Alex16OnTwoFpgas.problem(0.70).unwrap();
+        let core = explore::sweep_gpa(&problem, &constraints, &options).unwrap();
+        assert_eq!(engine[0].points.len(), core.len());
+        for (e, c) in engine[0].points.iter().zip(&core) {
+            assert_eq!(e.resource_constraint, c.resource_constraint);
+            assert!(
+                (e.initiation_interval_ms - c.initiation_interval_ms).abs()
+                    < 1e-9 * c.initiation_interval_ms.max(1.0)
+            );
+            assert_eq!(e.average_utilization, c.average_utilization);
+            assert_eq!(e.spreading, c.spreading);
+        }
+    }
+
+    #[test]
+    fn infeasible_points_are_absent_not_fatal() {
+        let grid = SweepGrid::builder()
+            .case(CaseSpec::from_paper(PaperCase::Alex32OnFourFpgas))
+            .fpga_counts([4])
+            // 30 % cannot host CONV2 (37.6 % DSP per CU); 75 % can.
+            .constraints([0.30, 0.75])
+            .backend(SolverSpec::gpa(GpaOptions::fast()))
+            .build()
+            .unwrap();
+        let series = run_sweep(&grid, &ExecutorOptions::default()).unwrap();
+        assert_eq!(series[0].points.len(), 1);
+        assert!((series[0].points[0].resource_constraint - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn series_cover_the_full_axis_product() {
+        let grid = SweepGrid::builder()
+            .case(CaseSpec::from_paper(PaperCase::Alex16OnTwoFpgas))
+            .fpga_counts([1, 2])
+            .constraints([0.7, 0.8])
+            .backend(SolverSpec::gpa(GpaOptions::fast()))
+            .backend(SolverSpec::gpa_labeled(
+                "GP+A/gp",
+                GpaOptions::paper_defaults(),
+            ))
+            .build()
+            .unwrap();
+        let series = run_sweep(&grid, &ExecutorOptions::default()).unwrap();
+        assert_eq!(series.len(), 4);
+        assert_eq!(series[0].num_fpgas, 1);
+        assert_eq!(series[0].backend, "GP+A");
+        assert_eq!(series[1].backend, "GP+A/gp");
+        assert_eq!(series[2].num_fpgas, 2);
+        for s in &series {
+            assert_eq!(s.case, "Alex-16 on 2 FPGAs");
+            assert!(!s.points.is_empty());
+        }
+    }
+}

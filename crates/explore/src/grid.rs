@@ -1,0 +1,413 @@
+//! The sweep grid: cases × FPGA counts × resource constraints × backends.
+
+use mfa_alloc::cases::PaperCase;
+use mfa_alloc::exact::{ExactMode, ExactOptions};
+use mfa_alloc::gpa::GpaOptions;
+use mfa_alloc::AllocationProblem;
+
+use crate::ExploreError;
+
+/// One application case to sweep: a label plus a base [`AllocationProblem`]
+/// whose FPGA count and resource constraint the grid re-parameterizes per
+/// point. Kernels, platform and goal weights come from the base problem.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CaseSpec {
+    label: String,
+    base: AllocationProblem,
+}
+
+impl CaseSpec {
+    /// Creates a case from a label and a base problem.
+    pub fn new(label: impl Into<String>, base: AllocationProblem) -> Self {
+        CaseSpec {
+            label: label.into(),
+            base,
+        }
+    }
+
+    /// The case label used in series identifiers and exports.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Builds one of the paper's three representative cases (Table 4).
+    pub fn from_paper(case: PaperCase) -> Self {
+        let (_, hi) = case.constraint_range();
+        let base = case
+            .problem(hi)
+            .expect("the paper's cases are well-formed by construction");
+        CaseSpec::new(case.label(), base)
+    }
+
+    /// The problem instance of one grid point.
+    pub fn problem(&self, num_fpgas: usize, resource_constraint: f64) -> AllocationProblem {
+        self.base
+            .with_num_fpgas(num_fpgas)
+            .with_resource_constraint(resource_constraint)
+    }
+}
+
+/// A solver backend on the grid's fourth axis.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SolverSpec {
+    /// The GP+A heuristic (Sec. 3.2).
+    Gpa {
+        /// Label used in series identifiers and exports.
+        label: String,
+        /// Heuristic options.
+        options: GpaOptions,
+    },
+    /// The exact MINLP (Eqs. 5–10).
+    Exact {
+        /// Label used in series identifiers and exports.
+        label: String,
+        /// Exact-solver options (mode, budget, symmetry breaking).
+        options: ExactOptions,
+    },
+}
+
+impl SolverSpec {
+    /// GP+A backend with the conventional "GP+A" label.
+    pub fn gpa(options: GpaOptions) -> Self {
+        SolverSpec::gpa_labeled("GP+A", options)
+    }
+
+    /// GP+A backend with a custom label (e.g. one per `T` value in Fig. 2).
+    pub fn gpa_labeled(label: impl Into<String>, options: GpaOptions) -> Self {
+        SolverSpec::Gpa {
+            label: label.into(),
+            options,
+        }
+    }
+
+    /// Exact backend labeled by its mode, matching the paper's figure keys:
+    /// "MINLP" for `β = 0`, "MINLP+G" with spreading.
+    pub fn exact(options: ExactOptions) -> Self {
+        let label = match options.mode {
+            ExactMode::IiOnly => "MINLP",
+            ExactMode::IiAndSpreading => "MINLP+G",
+        };
+        SolverSpec::exact_labeled(label, options)
+    }
+
+    /// Exact backend with a custom label.
+    pub fn exact_labeled(label: impl Into<String>, options: ExactOptions) -> Self {
+        SolverSpec::Exact {
+            label: label.into(),
+            options,
+        }
+    }
+
+    /// The backend label used in series identifiers and exports.
+    pub fn label(&self) -> &str {
+        match self {
+            SolverSpec::Gpa { label, .. } | SolverSpec::Exact { label, .. } => label,
+        }
+    }
+}
+
+/// A declarative sweep grid. Build with [`SweepGrid::builder`]; run with
+/// [`crate::run_sweep`]. Series are enumerated case-major, then FPGA count,
+/// then backend; points within a series follow the constraint axis order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepGrid {
+    pub(crate) cases: Vec<CaseSpec>,
+    pub(crate) fpga_counts: Vec<usize>,
+    pub(crate) constraints: Vec<f64>,
+    pub(crate) backends: Vec<SolverSpec>,
+}
+
+impl SweepGrid {
+    /// Starts building a grid.
+    pub fn builder() -> SweepGridBuilder {
+        SweepGridBuilder::default()
+    }
+
+    /// Number of series: cases × FPGA counts × backends.
+    pub fn num_series(&self) -> usize {
+        self.cases.len() * self.fpga_counts.len() * self.backends.len()
+    }
+
+    /// Number of grid points: series × constraints.
+    pub fn num_points(&self) -> usize {
+        self.num_series() * self.constraints.len()
+    }
+
+    /// The constraint axis.
+    pub fn constraints(&self) -> &[f64] {
+        &self.constraints
+    }
+
+    /// Decomposes a series index into (case, FPGA count, backend) indices.
+    pub(crate) fn series_key(&self, series: usize) -> (usize, usize, usize) {
+        let backends = self.backends.len();
+        let fpgas = self.fpga_counts.len();
+        (
+            series / (fpgas * backends),
+            (series / backends) % fpgas,
+            series % backends,
+        )
+    }
+}
+
+/// Builder for [`SweepGrid`]; every axis must end up non-empty.
+#[derive(Debug, Clone, Default)]
+pub struct SweepGridBuilder {
+    cases: Vec<CaseSpec>,
+    fpga_counts: Vec<usize>,
+    constraints: Vec<f64>,
+    backends: Vec<SolverSpec>,
+}
+
+impl SweepGridBuilder {
+    /// Adds one case.
+    #[must_use]
+    pub fn case(mut self, case: CaseSpec) -> Self {
+        self.cases.push(case);
+        self
+    }
+
+    /// Adds several cases.
+    #[must_use]
+    pub fn cases(mut self, cases: impl IntoIterator<Item = CaseSpec>) -> Self {
+        self.cases.extend(cases);
+        self
+    }
+
+    /// Adds FPGA counts to sweep.
+    #[must_use]
+    pub fn fpga_counts(mut self, counts: impl IntoIterator<Item = usize>) -> Self {
+        self.fpga_counts.extend(counts);
+        self
+    }
+
+    /// Adds resource-constraint points (fractions in `(0, 1]`).
+    #[must_use]
+    pub fn constraints(mut self, constraints: impl IntoIterator<Item = f64>) -> Self {
+        self.constraints.extend(constraints);
+        self
+    }
+
+    /// Adds one solver backend.
+    #[must_use]
+    pub fn backend(mut self, backend: SolverSpec) -> Self {
+        self.backends.push(backend);
+        self
+    }
+
+    /// Adds several solver backends.
+    #[must_use]
+    pub fn backends(mut self, backends: impl IntoIterator<Item = SolverSpec>) -> Self {
+        self.backends.extend(backends);
+        self
+    }
+
+    /// Validates the axes and builds the grid.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExploreError::InvalidGrid`] when an axis is empty, an FPGA
+    /// count is zero, or a constraint is not a fraction in `(0, 1]`.
+    pub fn build(self) -> Result<SweepGrid, ExploreError> {
+        if self.cases.is_empty() {
+            return Err(ExploreError::InvalidGrid("no cases on the grid".into()));
+        }
+        if self.fpga_counts.is_empty() {
+            return Err(ExploreError::InvalidGrid(
+                "no FPGA counts on the grid".into(),
+            ));
+        }
+        if self.constraints.is_empty() {
+            return Err(ExploreError::InvalidGrid(
+                "no resource constraints on the grid".into(),
+            ));
+        }
+        if self.backends.is_empty() {
+            return Err(ExploreError::InvalidGrid(
+                "no solver backends on the grid".into(),
+            ));
+        }
+        if let Some(&bad) = self.fpga_counts.iter().find(|&&f| f == 0) {
+            return Err(ExploreError::InvalidGrid(format!(
+                "FPGA count must be at least 1, got {bad}"
+            )));
+        }
+        if let Some(&bad) = self
+            .constraints
+            .iter()
+            .find(|&&c| !c.is_finite() || c <= 0.0 || c > 1.0)
+        {
+            return Err(ExploreError::InvalidGrid(format!(
+                "resource constraints must be fractions in (0, 1], got {bad}"
+            )));
+        }
+        Ok(SweepGrid {
+            cases: self.cases,
+            fpga_counts: self.fpga_counts,
+            constraints: self.constraints,
+            backends: self.backends,
+        })
+    }
+}
+
+/// `count` evenly spaced constraint values between `lo` and `hi` inclusive —
+/// the [`mfa_alloc::explore::constraint_grid`] shape, but degenerate inputs
+/// surface as [`ExploreError::InvalidGrid`] instead of a panic.
+///
+/// # Errors
+///
+/// Returns [`ExploreError::InvalidGrid`] when `count < 2`, the bounds are not
+/// finite fractions in `(0, 1]`, or `hi ≤ lo`.
+pub fn constraint_grid(lo: f64, hi: f64, count: usize) -> Result<Vec<f64>, ExploreError> {
+    if count < 2 {
+        return Err(ExploreError::InvalidGrid(format!(
+            "a constraint grid needs at least two points, got {count}"
+        )));
+    }
+    if !(lo.is_finite() && hi.is_finite() && lo > 0.0 && hi <= 1.0) {
+        return Err(ExploreError::InvalidGrid(format!(
+            "constraint bounds must be finite fractions in (0, 1], got [{lo}, {hi}]"
+        )));
+    }
+    if hi <= lo {
+        return Err(ExploreError::InvalidGrid(format!(
+            "constraint bounds must satisfy lo < hi, got [{lo}, {hi}]"
+        )));
+    }
+    Ok((0..count)
+        .map(|i| lo + (hi - lo) * i as f64 / (count - 1) as f64)
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_grid() -> SweepGrid {
+        SweepGrid::builder()
+            .case(CaseSpec::from_paper(PaperCase::Alex16OnTwoFpgas))
+            .case(CaseSpec::from_paper(PaperCase::Alex32OnFourFpgas))
+            .fpga_counts([2, 4, 8])
+            .constraints([0.6, 0.7])
+            .backend(SolverSpec::gpa(GpaOptions::fast()))
+            .backend(SolverSpec::exact(ExactOptions::default()))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn series_enumeration_is_case_major_and_complete() {
+        let grid = tiny_grid();
+        assert_eq!(grid.num_series(), 2 * 3 * 2);
+        assert_eq!(grid.num_points(), 2 * 3 * 2 * 2);
+        assert_eq!(grid.series_key(0), (0, 0, 0));
+        assert_eq!(grid.series_key(1), (0, 0, 1));
+        assert_eq!(grid.series_key(2), (0, 1, 0));
+        assert_eq!(grid.series_key(6), (1, 0, 0));
+        assert_eq!(grid.series_key(11), (1, 2, 1));
+    }
+
+    #[test]
+    fn backend_labels_follow_the_paper() {
+        assert_eq!(SolverSpec::gpa(GpaOptions::default()).label(), "GP+A");
+        assert_eq!(SolverSpec::exact(ExactOptions::default()).label(), "MINLP");
+        let g = SolverSpec::exact(ExactOptions {
+            mode: ExactMode::IiAndSpreading,
+            ..ExactOptions::default()
+        });
+        assert_eq!(g.label(), "MINLP+G");
+        assert_eq!(
+            SolverSpec::gpa_labeled("T=5%", GpaOptions::fast()).label(),
+            "T=5%"
+        );
+    }
+
+    #[test]
+    fn empty_axes_are_rejected() {
+        let base = CaseSpec::from_paper(PaperCase::Alex16OnTwoFpgas);
+        let backend = || SolverSpec::gpa(GpaOptions::fast());
+        assert!(matches!(
+            SweepGrid::builder()
+                .fpga_counts([2])
+                .constraints([0.6])
+                .backend(backend())
+                .build(),
+            Err(ExploreError::InvalidGrid(_))
+        ));
+        assert!(matches!(
+            SweepGrid::builder()
+                .case(base.clone())
+                .constraints([0.6])
+                .backend(backend())
+                .build(),
+            Err(ExploreError::InvalidGrid(_))
+        ));
+        assert!(matches!(
+            SweepGrid::builder()
+                .case(base.clone())
+                .fpga_counts([2])
+                .backend(backend())
+                .build(),
+            Err(ExploreError::InvalidGrid(_))
+        ));
+        assert!(matches!(
+            SweepGrid::builder()
+                .case(base.clone())
+                .fpga_counts([2])
+                .constraints([0.6])
+                .build(),
+            Err(ExploreError::InvalidGrid(_))
+        ));
+        assert!(matches!(
+            SweepGrid::builder()
+                .case(base.clone())
+                .fpga_counts([0])
+                .constraints([0.6])
+                .backend(backend())
+                .build(),
+            Err(ExploreError::InvalidGrid(_))
+        ));
+        for bad in [0.0, -0.5, 1.5, f64::NAN, f64::INFINITY] {
+            assert!(matches!(
+                SweepGrid::builder()
+                    .case(base.clone())
+                    .fpga_counts([2])
+                    .constraints([bad])
+                    .backend(backend())
+                    .build(),
+                Err(ExploreError::InvalidGrid(_))
+            ));
+        }
+    }
+
+    #[test]
+    fn constraint_grid_matches_the_core_shape() {
+        let ours = constraint_grid(0.5, 0.9, 5).unwrap();
+        let core = mfa_alloc::explore::constraint_grid(0.5, 0.9, 5);
+        assert_eq!(ours, core);
+    }
+
+    #[test]
+    fn degenerate_constraint_grids_error_instead_of_panicking() {
+        assert!(constraint_grid(0.5, 0.5, 1).is_err());
+        assert!(constraint_grid(0.5, 0.5, 5).is_err());
+        assert!(constraint_grid(0.9, 0.5, 5).is_err());
+        assert!(constraint_grid(0.5, 0.9, 0).is_err());
+        assert!(constraint_grid(0.5, 0.9, 1).is_err());
+        assert!(constraint_grid(f64::NAN, 0.9, 3).is_err());
+        assert!(constraint_grid(0.5, f64::INFINITY, 3).is_err());
+        assert!(constraint_grid(-0.1, 0.9, 3).is_err());
+        assert!(constraint_grid(0.5, 1.1, 3).is_err());
+    }
+
+    #[test]
+    fn case_spec_reparameterizes_the_base_problem() {
+        let case = CaseSpec::from_paper(PaperCase::Alex16OnTwoFpgas);
+        assert_eq!(case.label(), "Alex-16 on 2 FPGAs");
+        let p = case.problem(4, 0.6);
+        assert_eq!(p.num_fpgas(), 4);
+        let q = case.problem(2, 0.8);
+        assert_eq!(q.num_fpgas(), 2);
+        assert_eq!(p.num_kernels(), q.num_kernels());
+    }
+}

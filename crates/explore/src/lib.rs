@@ -1,0 +1,71 @@
+//! Parallel design-space exploration for multi-FPGA allocation.
+//!
+//! The paper's point (Sec. 3.2, Figs. 2–5) is that the GP+A heuristic makes
+//! sweeping the design space — resource constraints, FPGA counts, solver
+//! configurations — *practical*. This crate promotes that exploration into a
+//! first-class subsystem on top of the solvers in [`mfa_alloc`]:
+//!
+//! * [`SweepGrid`] — a declarative grid over four axes: case × FPGA count ×
+//!   resource constraint × solver backend. Each (case, FPGA count, backend)
+//!   combination is one *series*; the constraint axis provides the points of
+//!   that series.
+//! * [`run_sweep`] — a multi-threaded executor built on [`std::thread::scope`]
+//!   with chunked work distribution. Results are assembled in grid order, so
+//!   the output is deterministic and identical to the serial path regardless
+//!   of thread count or scheduling.
+//! * [`WarmStartCache`] — within a chunk of neighbouring constraint points,
+//!   each GP+A solve is warm-started from the nearest already-solved point:
+//!   the continuous relaxation narrows its bisection bracket and the
+//!   discretization branch-and-bound is seeded with an incumbent. Warm
+//!   starts are verified before use and always reach the same initiation
+//!   interval as a cold solve; when several integer designs tie on II, the
+//!   warm-started search may return the neighbour's design (disable
+//!   [`ExecutorOptions::warm_start`] for bit-identical agreement with the
+//!   cold serial sweeps).
+//! * [`export`] — JSON and CSV serialization of swept series for plotting.
+//! * [`validate`] — cross-checks a sample of swept designs against the
+//!   [`mfa_sim`] discrete-event simulator.
+//!
+//! The single-threaded sweep functions in [`mfa_alloc::explore`] remain the
+//! stable minimal API; they share the per-point solvers and the skip policy
+//! ([`mfa_alloc::explore::is_skippable_point_error`]) with this engine, so
+//! both produce identical series for identical inputs.
+//!
+//! # Example
+//!
+//! ```
+//! use mfa_alloc::cases::PaperCase;
+//! use mfa_alloc::gpa::GpaOptions;
+//! use mfa_explore::{constraint_grid, run_sweep, CaseSpec, ExecutorOptions, SolverSpec, SweepGrid};
+//!
+//! # fn main() -> Result<(), mfa_explore::ExploreError> {
+//! let grid = SweepGrid::builder()
+//!     .case(CaseSpec::from_paper(PaperCase::Alex16OnTwoFpgas))
+//!     .fpga_counts([2])
+//!     .constraints(constraint_grid(0.60, 0.80, 3)?)
+//!     .backend(SolverSpec::gpa(GpaOptions::fast()))
+//!     .build()?;
+//! let series = run_sweep(&grid, &ExecutorOptions::default())?;
+//! assert_eq!(series.len(), 1);
+//! assert!(!series[0].points.is_empty());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cache;
+mod error;
+mod executor;
+pub mod export;
+mod grid;
+pub mod validate;
+
+pub use cache::WarmStartCache;
+pub use error::ExploreError;
+pub use executor::{run_sweep, ExecutorOptions, SweepSeries};
+pub use grid::{constraint_grid, CaseSpec, SolverSpec, SweepGrid, SweepGridBuilder};
+
+// The point type is shared with the serial sweeps in `mfa_alloc::explore`.
+pub use mfa_alloc::explore::SweepPoint;

@@ -1,0 +1,122 @@
+//! Cross-validation of swept designs against the discrete-event simulator.
+//!
+//! The analytic model behind every sweep point predicts
+//! `II = max_k WCET_k / N_k`; the [`mfa_sim`] engine executes the allocation
+//! event by event (optionally with bandwidth contention and jitter). Running
+//! a sample of swept designs through the simulator catches modelling drift
+//! between the optimizer and the executable semantics.
+
+use mfa_alloc::explore;
+use mfa_alloc::gpa::{self, GpaOptions};
+use mfa_sim::{simulate, SimConfig};
+
+use crate::grid::CaseSpec;
+use crate::ExploreError;
+
+/// One cross-validated design point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CrossValidationRow {
+    /// Label of the validated case.
+    pub case: String,
+    /// FPGA count of the design.
+    pub num_fpgas: usize,
+    /// Per-FPGA resource constraint of the design.
+    pub resource_constraint: f64,
+    /// Analytic initiation interval of the allocation, in ms.
+    pub predicted_ii_ms: f64,
+    /// Simulated steady-state initiation interval, in ms.
+    pub simulated_ii_ms: f64,
+    /// `|simulated − predicted| / predicted`.
+    pub relative_error: f64,
+}
+
+/// Re-solves each sampled constraint with GP+A and simulates the resulting
+/// allocation. Skippable points (infeasible constraints) are omitted, under
+/// the same policy as the sweeps.
+///
+/// # Errors
+///
+/// Returns [`ExploreError::Solver`] for non-skippable solver failures.
+pub fn cross_validate_gpa(
+    case: &CaseSpec,
+    num_fpgas: usize,
+    constraints: &[f64],
+    options: &GpaOptions,
+    config: &SimConfig,
+) -> Result<Vec<CrossValidationRow>, ExploreError> {
+    let mut rows = Vec::with_capacity(constraints.len());
+    for &constraint in constraints {
+        let instance = case.problem(num_fpgas, constraint);
+        let outcome = match gpa::solve(&instance, options) {
+            Ok(outcome) => outcome,
+            Err(err) if explore::is_skippable_point_error(&err) => continue,
+            Err(err) => {
+                return Err(ExploreError::Solver {
+                    case: case.label().to_owned(),
+                    num_fpgas,
+                    backend: "GP+A".to_owned(),
+                    resource_constraint: constraint,
+                    source: err,
+                })
+            }
+        };
+        let predicted_ii_ms = outcome.allocation.initiation_interval(&instance);
+        let result = simulate(&instance, &outcome.allocation, config);
+        rows.push(CrossValidationRow {
+            case: case.label().to_owned(),
+            num_fpgas,
+            resource_constraint: constraint,
+            predicted_ii_ms,
+            simulated_ii_ms: result.initiation_interval_ms,
+            relative_error: result.ii_error_vs(predicted_ii_ms),
+        });
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mfa_alloc::cases::PaperCase;
+
+    #[test]
+    fn simulated_ii_tracks_the_analytic_prediction() {
+        let case = CaseSpec::from_paper(PaperCase::Alex16OnTwoFpgas);
+        let config = SimConfig {
+            num_items: 200,
+            ..SimConfig::default()
+        };
+        let rows =
+            cross_validate_gpa(&case, 2, &[0.65, 0.80], &GpaOptions::fast(), &config).unwrap();
+        assert_eq!(rows.len(), 2);
+        for row in &rows {
+            assert!(row.predicted_ii_ms > 0.0);
+            assert!(
+                row.relative_error < 0.05,
+                "{} @ {:.0}%: predicted {} vs simulated {}",
+                row.case,
+                row.resource_constraint * 100.0,
+                row.predicted_ii_ms,
+                row.simulated_ii_ms
+            );
+        }
+    }
+
+    #[test]
+    fn infeasible_samples_are_skipped() {
+        let case = CaseSpec::from_paper(PaperCase::Alex32OnFourFpgas);
+        let rows = cross_validate_gpa(
+            &case,
+            4,
+            &[0.30, 0.75],
+            &GpaOptions::fast(),
+            &SimConfig {
+                num_items: 100,
+                ..SimConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(rows.len(), 1);
+        assert!((rows[0].resource_constraint - 0.75).abs() < 1e-12);
+    }
+}

@@ -39,7 +39,7 @@ impl Default for SimConfig {
 }
 
 /// A pending CU completion event.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy)]
 struct Completion {
     time: f64,
     kernel: usize,
@@ -47,6 +47,11 @@ struct Completion {
     item: usize,
 }
 
+impl PartialEq for Completion {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
 impl Eq for Completion {}
 impl PartialOrd for Completion {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
@@ -55,13 +60,19 @@ impl PartialOrd for Completion {
 }
 impl Ord for Completion {
     fn cmp(&self, other: &Self) -> Ordering {
-        // Min-heap on time (BinaryHeap is a max-heap).
+        // Min-heap on time (BinaryHeap is a max-heap). `total_cmp` keeps the
+        // ordering total even if a NaN time ever reaches the heap — the old
+        // `partial_cmp(..).unwrap_or(Equal)` made NaN compare equal to
+        // everything, which violates `Ord`'s transitivity contract and can
+        // silently corrupt the heap invariants. The (item, kernel, cu)
+        // tie-breaks make the pop order of simultaneous completions fully
+        // deterministic and independent of heap internals.
         other
             .time
-            .partial_cmp(&self.time)
-            .unwrap_or(Ordering::Equal)
+            .total_cmp(&self.time)
             .then_with(|| other.item.cmp(&self.item))
             .then_with(|| other.kernel.cmp(&self.kernel))
+            .then_with(|| other.cu.cmp(&self.cu))
     }
 }
 
@@ -404,6 +415,68 @@ mod tests {
             result.pipeline_latency_ms
                 >= problem.kernels().iter().map(|k| k.wcet_ms()).sum::<f64>() * 0.99
         );
+    }
+
+    #[test]
+    fn completion_ordering_is_total_and_breaks_ties_fully() {
+        let at = |time: f64, kernel: usize, cu: usize, item: usize| Completion {
+            time,
+            kernel,
+            cu,
+            item,
+        };
+        // Earlier times pop first (the Ord is reversed for the max-heap).
+        assert_eq!(at(1.0, 0, 0, 0).cmp(&at(2.0, 0, 0, 0)), Ordering::Greater);
+        // Equal times: lower item, then kernel, then CU wins.
+        assert_eq!(at(1.0, 0, 0, 1).cmp(&at(1.0, 1, 1, 0)), Ordering::Less);
+        assert_eq!(at(1.0, 0, 1, 0).cmp(&at(1.0, 1, 0, 0)), Ordering::Greater);
+        assert_eq!(at(1.0, 0, 0, 0).cmp(&at(1.0, 0, 1, 0)), Ordering::Greater);
+        // Only fully identical events compare equal — `eq` is derived from
+        // `cmp`, keeping `PartialEq` consistent with `Ord`.
+        assert_eq!(at(1.0, 2, 3, 4), at(1.0, 2, 3, 4));
+        assert_ne!(at(1.0, 2, 3, 4), at(1.0, 2, 9, 4));
+        // NaN times order totally (popped last) instead of comparing equal to
+        // everything, so a stray NaN can no longer corrupt the heap.
+        let nan = at(f64::NAN, 0, 0, 0);
+        assert_eq!(nan.cmp(&at(1e300, 0, 0, 0)), Ordering::Less);
+        assert_eq!(nan.cmp(&nan), Ordering::Equal);
+        let mut heap = BinaryHeap::from(vec![nan, at(2.0, 0, 0, 0), at(1.0, 0, 0, 0)]);
+        assert_eq!(heap.pop().unwrap().time, 1.0);
+        assert_eq!(heap.pop().unwrap().time, 2.0);
+        assert!(heap.pop().unwrap().time.is_nan());
+    }
+
+    #[test]
+    fn simultaneous_completions_are_deterministic() {
+        // Four identical CUs of one kernel start items 0–3 at t = 0 and all
+        // finish at exactly the same time; the tie-broken event order must
+        // give byte-identical results run over run.
+        let p = AllocationProblem::builder()
+            .kernels(vec![
+                Kernel::new("par", 4.0, ResourceVec::bram_dsp(0.02, 0.1), 0.0).unwrap(),
+                Kernel::new("tail", 1.0, ResourceVec::bram_dsp(0.02, 0.1), 0.0).unwrap(),
+            ])
+            .platform(MultiFpgaPlatform::aws_f1_4xlarge())
+            .budget(ResourceBudget::uniform(0.8))
+            .weights(GoalWeights::ii_only())
+            .build()
+            .unwrap();
+        let mut allocation = mfa_alloc::Allocation::zeros(&p);
+        allocation.set_cus(0, 0, 4);
+        allocation.set_cus(1, 1, 1);
+        let config = SimConfig {
+            num_items: 64,
+            ..SimConfig::default()
+        };
+        let a = simulate(&p, &allocation, &config);
+        let b = simulate(&p, &allocation, &config);
+        assert_eq!(a.initiation_interval_ms, b.initiation_interval_ms);
+        assert_eq!(a.makespan_ms, b.makespan_ms);
+        assert_eq!(a.pipeline_latency_ms, b.pipeline_latency_ms);
+        assert_eq!(a.completed_items, b.completed_items);
+        assert_eq!(a.kernel_utilization, b.kernel_utilization);
+        // All items complete and the downstream kernel serializes them.
+        assert_eq!(a.completed_items, 64);
     }
 
     #[test]

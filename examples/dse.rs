@@ -1,0 +1,297 @@
+//! `dse` — reproduce all of the paper's figure data (Figs. 2–5) in one run
+//! of the parallel design-space exploration engine, optionally exporting
+//! each figure's series as JSON + CSV and cross-validating a sample of the
+//! swept designs through the `mfa_sim` discrete-event simulator.
+//!
+//! ```text
+//! cargo run --release --example dse -- [FLAGS]
+//!   --quick          reduced grids and tiny MINLP budgets (CI smoke mode;
+//!                    also exercises the skip paths for infeasible points
+//!                    and budget-exhausted exact solves)
+//!   --threads N      worker threads (default: all cores)
+//!   --out PREFIX     write PREFIX-fig{2,3,4,5}.{json,csv}
+//!   --no-exact       skip the MINLP/MINLP+G series (GP+A only)
+//!   --compare-serial also run the Fig. 3 grid serially and report speedup
+//! ```
+
+use std::time::Instant;
+
+use mfa::explore::{
+    constraint_grid, export, run_sweep, validate, CaseSpec, ExecutorOptions, SolverSpec, SweepGrid,
+    SweepSeries,
+};
+use mfa_alloc::cases::PaperCase;
+use mfa_alloc::exact::ExactMode;
+use mfa_alloc::gpa::GpaOptions;
+use mfa_alloc::greedy::GreedyOptions;
+use mfa_sim::SimConfig;
+
+struct Args {
+    quick: bool,
+    threads: Option<usize>,
+    out: Option<String>,
+    exact: bool,
+    compare_serial: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        quick: false,
+        threads: None,
+        out: None,
+        exact: true,
+        compare_serial: false,
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--quick" => args.quick = true,
+            "--no-exact" => args.exact = false,
+            "--compare-serial" => args.compare_serial = true,
+            "--threads" => {
+                let v = iter.next().ok_or("--threads needs a value")?;
+                args.threads = Some(v.parse().map_err(|_| format!("bad thread count {v}"))?);
+            }
+            "--out" => args.out = Some(iter.next().ok_or("--out needs a path prefix")?),
+            other => return Err(format!("unknown flag {other} (see the header of dse.rs)")),
+        }
+    }
+    Ok(args)
+}
+
+/// MINLP node/time budgets: small enough to finish, honest about the gap.
+fn exact_backends(quick: bool, vgg: bool) -> Vec<SolverSpec> {
+    let (nodes, seconds) = match (quick, vgg) {
+        (true, _) => (50, 1.0),
+        (false, false) => (2_000, 12.0),
+        (false, true) => (200, 15.0),
+    };
+    [ExactMode::IiOnly, ExactMode::IiAndSpreading]
+        .into_iter()
+        .map(|mode| {
+            SolverSpec::exact(mfa_alloc::exact::ExactOptions {
+                mode,
+                solver: mfa_minlp::SolverOptions::with_budget(nodes, seconds),
+                symmetry_breaking: true,
+            })
+        })
+        .collect()
+}
+
+fn print_series_table(title: &str, constraints: &[f64], series: &[SweepSeries]) {
+    println!();
+    println!("=== {title}");
+    print!("{:>12}", "constraint");
+    for s in series {
+        print!(" {:>10}", s.backend);
+    }
+    println!();
+    for &c in constraints {
+        print!("{:>11.0}%", c * 100.0);
+        for s in series {
+            match s
+                .points
+                .iter()
+                .find(|p| (p.resource_constraint - c).abs() < 1e-9)
+            {
+                Some(p) => print!(" {:>10.3}", p.initiation_interval_ms),
+                None => print!(" {:>10}", "-"),
+            }
+        }
+        println!();
+    }
+}
+
+fn export_figure(
+    out: &Option<String>,
+    name: &str,
+    series: &[SweepSeries],
+) -> Result<(), Box<dyn std::error::Error>> {
+    if let Some(prefix) = out {
+        let json = format!("{prefix}-{name}.json");
+        let csv = format!("{prefix}-{name}.csv");
+        export::write_json(&json, series)?;
+        export::write_csv(&csv, series)?;
+        println!("    wrote {json} and {csv}");
+    }
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args = parse_args().map_err(|msg| -> Box<dyn std::error::Error> { msg.into() })?;
+    let options = ExecutorOptions {
+        num_threads: args.threads,
+        ..ExecutorOptions::default()
+    };
+    let started = Instant::now();
+
+    // ---- Fig. 2: the T parameter (one labeled GP+A backend per T value).
+    let t_values: &[f64] = if args.quick {
+        &[0.0, 0.10]
+    } else {
+        &[0.0, 0.025, 0.05, 0.10, 0.15, 0.20, 0.25, 0.30]
+    };
+    let fig2_constraints = if args.quick {
+        constraint_grid(0.50, 0.90, 3)?
+    } else {
+        constraint_grid(0.40, 0.90, 11)?
+    };
+    let fig2 = run_sweep(
+        &SweepGrid::builder()
+            .case(CaseSpec::from_paper(PaperCase::Alex16OnTwoFpgas))
+            .fpga_counts([2])
+            .constraints(fig2_constraints.iter().copied())
+            .backends(t_values.iter().map(|&t| {
+                SolverSpec::gpa_labeled(
+                    format!("T{:.1}%", t * 100.0),
+                    GpaOptions {
+                        greedy: GreedyOptions::with_t_delta(t, 0.01),
+                        ..GpaOptions::fast()
+                    },
+                )
+            }))
+            .build()?,
+        &options,
+    )?;
+    print_series_table(
+        "Fig. 2: Alex-16 on 2 FPGAs — II (ms) vs constraint for several T",
+        &fig2_constraints,
+        &fig2,
+    );
+    export_figure(&args.out, "fig2", &fig2)?;
+
+    // ---- Figs. 3–5: GP+A vs MINLP vs MINLP+G per case.
+    let figures: [(&str, PaperCase, Vec<f64>, bool); 3] = [
+        (
+            "fig3",
+            PaperCase::Alex16OnTwoFpgas,
+            if args.quick {
+                // 8 % is infeasible for Alex-16 — exercises the skip path.
+                vec![0.08, 0.65, 0.85]
+            } else {
+                constraint_grid(0.55, 0.85, 7)?
+            },
+            false,
+        ),
+        (
+            "fig4",
+            PaperCase::Alex32OnFourFpgas,
+            if args.quick {
+                // 30 % cannot host CONV2 (37.6 % DSP) — another skip path.
+                vec![0.30, 0.70, 0.75]
+            } else {
+                constraint_grid(0.65, 0.75, 3)?
+            },
+            false,
+        ),
+        (
+            "fig5",
+            PaperCase::VggOnEightFpgas,
+            if args.quick {
+                vec![0.61, 0.80]
+            } else {
+                constraint_grid(0.55, 0.80, 6)?
+            },
+            true,
+        ),
+    ];
+    for (name, case, constraints, is_vgg) in &figures {
+        let mut builder = SweepGrid::builder()
+            .case(CaseSpec::from_paper(*case))
+            .fpga_counts([case.num_fpgas()])
+            .constraints(constraints.iter().copied())
+            .backend(SolverSpec::gpa(GpaOptions::paper_defaults()));
+        if args.exact {
+            builder = builder.backends(exact_backends(args.quick, *is_vgg));
+        }
+        let series = run_sweep(&builder.build()?, &options)?;
+        print_series_table(
+            &format!("{}: {} — II (ms) by method", name, case.label()),
+            constraints,
+            &series,
+        );
+        export_figure(&args.out, name, &series)?;
+    }
+
+    // ---- Cross-validate a sample of swept designs through the simulator.
+    println!();
+    println!("=== Cross-validation: GP+A predictions vs discrete-event simulation");
+    println!(
+        "{:<22} {:>10} {:>14} {:>14} {:>9}",
+        "case", "constraint", "predicted (ms)", "simulated (ms)", "error"
+    );
+    let sim_config = SimConfig {
+        num_items: if args.quick { 120 } else { 400 },
+        ..SimConfig::default()
+    };
+    let mut worst_error = 0.0_f64;
+    for case in PaperCase::all() {
+        let (lo, hi) = case.constraint_range();
+        let samples = [lo, 0.5 * (lo + hi), hi];
+        let rows = validate::cross_validate_gpa(
+            &CaseSpec::from_paper(case),
+            case.num_fpgas(),
+            if args.quick { &samples[..1] } else { &samples },
+            &GpaOptions::fast(),
+            &sim_config,
+        )?;
+        for row in rows {
+            worst_error = worst_error.max(row.relative_error);
+            println!(
+                "{:<22} {:>9.0}% {:>14.3} {:>14.3} {:>8.2}%",
+                row.case,
+                row.resource_constraint * 100.0,
+                row.predicted_ii_ms,
+                row.simulated_ii_ms,
+                row.relative_error * 100.0
+            );
+        }
+    }
+    if worst_error > 0.10 {
+        return Err(format!(
+            "simulation diverges from the analytic model: worst relative II error {:.1}% > 10%",
+            worst_error * 100.0
+        )
+        .into());
+    }
+
+    // ---- Optional serial-vs-parallel comparison on the Fig. 3 GP+A grid.
+    if args.compare_serial {
+        let grid = SweepGrid::builder()
+            .case(CaseSpec::from_paper(PaperCase::Alex16OnTwoFpgas))
+            .case(CaseSpec::from_paper(PaperCase::Alex32OnFourFpgas))
+            .fpga_counts([2, 4])
+            .constraints(constraint_grid(0.55, 0.85, 7)?)
+            .backend(SolverSpec::gpa(GpaOptions::fast()))
+            .backend(SolverSpec::gpa_labeled(
+                "GP+A/gp",
+                GpaOptions::paper_defaults(),
+            ))
+            .build()?;
+        let t0 = Instant::now();
+        let serial = run_sweep(&grid, &ExecutorOptions::serial())?;
+        let serial_s = t0.elapsed().as_secs_f64();
+        let t1 = Instant::now();
+        let parallel = run_sweep(&grid, &options)?;
+        let parallel_s = t1.elapsed().as_secs_f64();
+        assert_eq!(
+            serial.iter().map(|s| s.points.len()).sum::<usize>(),
+            parallel.iter().map(|s| s.points.len()).sum::<usize>(),
+        );
+        println!();
+        println!(
+            "serial {serial_s:.2} s vs parallel {parallel_s:.2} s ({:.2}x) on {} points",
+            serial_s / parallel_s.max(1e-9),
+            grid.num_points(),
+        );
+    }
+
+    println!();
+    println!(
+        "dse completed in {:.2} s (quick = {}, exact = {})",
+        started.elapsed().as_secs_f64(),
+        args.quick,
+        args.exact
+    );
+    Ok(())
+}
