@@ -40,6 +40,13 @@ impl Default for DiscretizeOptions {
 pub struct DiscreteCounts {
     /// Integer CU count `N_k` per kernel.
     pub cu_counts: Vec<u32>,
+    /// Integer per-group CU counts `N_{k,g}`, kernel-major
+    /// (`group_cu_counts[k][g]`), obtained by largest-remainder rounding of
+    /// the winning node's fractional group water-filling so each row sums to
+    /// `cu_counts[k]`. On a single-group platform every row is `[N_k]`. The
+    /// split is advisory — the greedy allocator performs the real per-FPGA
+    /// placement — but seeds reporting and placement heuristics.
+    pub group_cu_counts: Vec<Vec<u32>>,
     /// Initiation interval implied by the integer counts, in milliseconds.
     pub initiation_interval_ms: f64,
     /// Branch-and-bound nodes explored.
@@ -83,9 +90,15 @@ pub fn solve_seeded(
         .map(|k| (1.0, problem.max_total_cus(k).max(1) as f64))
         .collect();
 
-    let mut best: Option<(Vec<u32>, f64)> = incumbent
+    let mut best: Option<(Vec<u32>, Vec<Vec<u32>>, f64)> = incumbent
         .filter(|counts| incumbent_is_valid(problem, counts))
-        .map(|counts| (counts.to_vec(), implied_ii(problem, counts)));
+        .map(|counts| {
+            (
+                counts.to_vec(),
+                group_split_for(problem, counts),
+                implied_ii(problem, counts),
+            )
+        });
     let mut nodes = 0usize;
     let mut stack = vec![root_bounds];
 
@@ -99,7 +112,7 @@ pub fn solve_seeded(
             Err(AllocError::Infeasible(_)) => continue,
             Err(other) => return Err(other),
         };
-        if let Some((_, best_ii)) = &best {
+        if let Some((_, _, best_ii)) = &best {
             // Prune: the relaxation is a lower bound on any integer solution
             // in this subtree. A small relative margin keeps the pruning sound
             // when the GP backend returns its optimum only to solver tolerance.
@@ -124,15 +137,21 @@ pub fn solve_seeded(
 
         match fractional {
             None => {
-                // Integral: the exact II of the rounded counts.
+                // Integral: the exact II of the rounded counts, with the
+                // node's fractional group water-filling rounded per group.
                 let counts: Vec<u32> = relaxation
                     .cu_counts
                     .iter()
                     .map(|&n| n.round().max(1.0) as u32)
                     .collect();
                 let ii = implied_ii(problem, &counts);
-                if best.as_ref().map_or(true, |(_, b)| ii < *b) {
-                    best = Some((counts, ii));
+                if best.as_ref().map_or(true, |(_, _, b)| ii < *b) {
+                    let groups: Vec<Vec<u32>> = counts
+                        .iter()
+                        .zip(&relaxation.group_cu_counts)
+                        .map(|(&total, fracs)| round_group_split(fracs, total))
+                        .collect();
+                    best = Some((counts, groups, ii));
                 }
             }
             Some((k, value, _)) => {
@@ -152,8 +171,9 @@ pub fn solve_seeded(
     }
 
     match best {
-        Some((cu_counts, initiation_interval_ms)) => Ok(DiscreteCounts {
+        Some((cu_counts, group_cu_counts, initiation_interval_ms)) => Ok(DiscreteCounts {
             cu_counts,
+            group_cu_counts,
             initiation_interval_ms,
             nodes_explored: nodes,
         }),
@@ -161,6 +181,55 @@ pub fn solve_seeded(
             "no integer CU assignment satisfies the aggregated budgets".into(),
         )),
     }
+}
+
+/// Largest-remainder rounding of one kernel's fractional group split so the
+/// integers sum exactly to `total`. Ties go to the lower group index, keeping
+/// the rounding deterministic.
+fn round_group_split(fracs: &[f64], total: u32) -> Vec<u32> {
+    let mut counts: Vec<u32> = fracs.iter().map(|&x| x.max(0.0).floor() as u32).collect();
+    let mut assigned: u64 = counts.iter().map(|&c| u64::from(c)).sum();
+    // Float drift can leave the floors above the target; shave the largest.
+    while assigned > u64::from(total) {
+        let g = counts
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, &c)| c)
+            .map(|(g, _)| g)
+            .expect("a split has at least one group");
+        counts[g] -= 1;
+        assigned -= 1;
+    }
+    let mut remainders: Vec<(usize, f64)> = fracs
+        .iter()
+        .enumerate()
+        .map(|(g, &x)| (g, x.max(0.0) - x.max(0.0).floor()))
+        .collect();
+    remainders.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    let mut leftover = u64::from(total) - assigned;
+    'distribute: while leftover > 0 {
+        for (g, _) in &remainders {
+            counts[*g] += 1;
+            leftover -= 1;
+            if leftover == 0 {
+                break 'distribute;
+            }
+        }
+    }
+    counts
+}
+
+/// Group split for a warm-start incumbent: water-fill the integer totals
+/// fractionally across groups, then round per group.
+fn group_split_for(problem: &AllocationProblem, counts: &[u32]) -> Vec<Vec<u32>> {
+    let totals: Vec<f64> = counts.iter().map(|&n| f64::from(n)).collect();
+    let fractional = gp_step::distribute_over_groups(problem, &totals)
+        .expect("a valid incumbent passed the aggregated budget check");
+    counts
+        .iter()
+        .zip(&fractional)
+        .map(|(&total, fracs)| round_group_split(fracs, total))
+        .collect()
 }
 
 /// A warm-start incumbent is usable only if it is itself a feasible point of
@@ -284,6 +353,70 @@ mod tests {
         for bad in [vec![0u32, 4], vec![200, 200], vec![1u32]] {
             let seeded = solve_seeded(&p, &DiscretizeOptions::default(), Some(&bad)).unwrap();
             assert!((seeded.initiation_interval_ms - cold.initiation_interval_ms).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn round_group_split_is_exact_and_deterministic() {
+        assert_eq!(round_group_split(&[2.6, 1.4], 4), vec![3, 1]);
+        assert_eq!(round_group_split(&[1.5, 1.5], 3), vec![2, 1]); // tie → lower index
+        assert_eq!(round_group_split(&[3.0], 3), vec![3]);
+        assert_eq!(round_group_split(&[0.0, 5.0], 5), vec![0, 5]);
+        // Float drift above the target is shaved from the largest group.
+        assert_eq!(round_group_split(&[3.000000001, 1.0], 4), vec![3, 1]);
+        let split = round_group_split(&[2.2, 1.9, 0.9], 5);
+        assert_eq!(split.iter().sum::<u32>(), 5);
+    }
+
+    #[test]
+    fn heterogeneous_discretization_rounds_per_group() {
+        use mfa_platform::{DeviceGroup, FpgaDevice, HeterogeneousPlatform};
+        let p = AllocationProblem::builder()
+            .kernels(vec![
+                Kernel::new("a", 3.0, ResourceVec::bram_dsp(0.01, 0.2), 0.01).unwrap(),
+                Kernel::new("b", 5.0, ResourceVec::bram_dsp(0.01, 0.3), 0.01).unwrap(),
+            ])
+            .platform(HeterogeneousPlatform::new(
+                "1×VU9P + 1×KU115",
+                vec![
+                    DeviceGroup::new(FpgaDevice::vu9p(), 1),
+                    DeviceGroup::new(FpgaDevice::ku115(), 1),
+                ],
+            ))
+            .budget(ResourceBudget::uniform(0.8))
+            .build()
+            .unwrap();
+        let d = solve(&p, &DiscretizeOptions::default()).unwrap();
+        assert_eq!(d.group_cu_counts.len(), 2);
+        for (k, row) in d.group_cu_counts.iter().enumerate() {
+            assert_eq!(row.len(), 2);
+            assert_eq!(row.iter().sum::<u32>(), d.cu_counts[k]);
+        }
+        // The discretized II is still lower-bounded by the relaxation.
+        let relaxed = gp_step::solve(&p, RelaxationBackend::Bisection).unwrap();
+        assert!(d.initiation_interval_ms >= relaxed.initiation_interval_ms - 1e-9);
+        // And the heterogeneous pair beats either single FPGA alone.
+        let single = AllocationProblem::builder()
+            .kernels(p.kernels().to_vec())
+            .platform(MultiFpgaPlatform::aws_f1_2xlarge())
+            .budget(ResourceBudget::uniform(0.8))
+            .build()
+            .unwrap();
+        let single_d = solve(&single, &DiscretizeOptions::default()).unwrap();
+        assert!(d.initiation_interval_ms <= single_d.initiation_interval_ms + 1e-9);
+    }
+
+    #[test]
+    fn homogeneous_group_counts_are_single_column() {
+        let p = toy_problem(1.0);
+        let d = solve(&p, &DiscretizeOptions::default()).unwrap();
+        for (k, row) in d.group_cu_counts.iter().enumerate() {
+            assert_eq!(row, &vec![d.cu_counts[k]]);
+        }
+        // Warm-started solves fill the split for the incumbent too.
+        let warm = solve_seeded(&p, &DiscretizeOptions::default(), Some(&d.cu_counts)).unwrap();
+        for (k, row) in warm.group_cu_counts.iter().enumerate() {
+            assert_eq!(row.iter().sum::<u32>(), warm.cu_counts[k]);
         }
     }
 

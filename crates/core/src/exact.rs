@@ -9,11 +9,14 @@
 //! * [`ExactMode::IiAndSpreading`] ("MINLP+G") — optimize `α·II + β·ϕ` with
 //!   the problem's weights, which consolidates kernels like GP+A does.
 //!
-//! Because the FPGAs are identical, the model admits `F!` symmetric copies of
-//! every solution; an optional set of symmetry-breaking rows (ordering FPGAs
-//! by their DSP load) removes them and speeds the search up considerably
-//! without affecting the optimal value. It is on by default and can be
-//! disabled for ablation.
+//! Because the FPGAs *within a device group* are identical, the model admits
+//! `Π_g F_g!` symmetric copies of every solution; an optional set of
+//! symmetry-breaking rows (ordering the FPGAs of each group by their DSP
+//! load) removes them and speeds the search up considerably without
+//! affecting the optimal value. The rows never relate FPGAs of different
+//! groups — those are genuinely distinguishable devices, and ordering across
+//! them would cut off real solutions. Symmetry breaking is on by default and
+//! can be disabled for ablation.
 
 use std::time::{Duration, Instant};
 
@@ -143,12 +146,16 @@ pub fn solve(
         None
     };
 
-    // n_{k,f} integer variables and N_k totals.
+    // n_{k,f} integer variables and N_k totals. Each FPGA's upper bound
+    // comes from its own device group: a CU costs a larger share of a
+    // smaller device, and a group that cannot host the kernel pins its
+    // variables at zero.
+    let group_of: Vec<usize> = (0..num_fpgas).map(|f| problem.group_of_fpga(f)).collect();
     let mut n_vars = vec![Vec::with_capacity(num_fpgas); num_kernels];
     let mut total_vars = Vec::with_capacity(num_kernels);
     for (k, kernel) in problem.kernels().iter().enumerate() {
-        let per_fpga_max = problem.max_cus_per_fpga(k) as f64;
         for f in 0..num_fpgas {
+            let per_fpga_max = problem.max_cus_per_fpga_in_group(k, group_of[f]) as f64;
             let var = model
                 .add_integer_var(format!("n_{}_{}", kernel.name(), f), 0.0, per_fpga_max, 0.0)
                 .map_err(AllocError::from)?;
@@ -158,7 +165,7 @@ pub fn solve(
             .add_continuous_var(
                 format!("N_{}", kernel.name()),
                 1.0,
-                per_fpga_max * num_fpgas as f64,
+                problem.max_total_cus(k).max(1) as f64,
                 0.0,
             )
             .map_err(AllocError::from)?;
@@ -204,9 +211,14 @@ pub fn solve(
         }
     }
 
-    // Per-FPGA resource and bandwidth rows (Eqs. 9–10), one per class in use.
+    // Per-FPGA resource and bandwidth rows (Eqs. 9–10), one per class in
+    // use, with per-CU demands rescaled to each FPGA's device group. A
+    // non-finite coefficient means the group cannot host the kernel at all;
+    // its variable is already pinned at zero by the per-group upper bound,
+    // so the term is simply omitted.
     let budget = problem.budget();
     for f in 0..num_fpgas {
+        let g = group_of[f];
         let class_rows: [(&str, crate::report::ResourceAccessor, f64); 4] = [
             ("lut", |r| r.lut, budget.resource_fraction().lut),
             ("ff", |r| r.ff, budget.resource_fraction().ff),
@@ -215,8 +227,10 @@ pub fn solve(
         ];
         for (class, accessor, limit) in class_rows {
             let terms: Vec<Term> = (0..num_kernels)
-                .filter(|&k| accessor(problem.kernels()[k].resources()) > 0.0)
-                .map(|k| Term::linear(n_vars[k][f], accessor(problem.kernels()[k].resources())))
+                .filter_map(|k| {
+                    let coeff = accessor(&problem.kernel_resources_on(k, g));
+                    (coeff > 0.0 && coeff.is_finite()).then(|| Term::linear(n_vars[k][f], coeff))
+                })
                 .collect();
             if !terms.is_empty() {
                 model
@@ -225,8 +239,10 @@ pub fn solve(
             }
         }
         let bw_terms: Vec<Term> = (0..num_kernels)
-            .filter(|&k| problem.kernels()[k].bandwidth() > 0.0)
-            .map(|k| Term::linear(n_vars[k][f], problem.kernels()[k].bandwidth()))
+            .filter_map(|k| {
+                let coeff = problem.kernel_bandwidth_on(k, g);
+                (coeff > 0.0 && coeff.is_finite()).then(|| Term::linear(n_vars[k][f], coeff))
+            })
             .collect();
         if !bw_terms.is_empty() {
             model
@@ -240,12 +256,23 @@ pub fn solve(
         }
     }
 
-    // Symmetry breaking: order the identical FPGAs by non-increasing DSP load.
+    // Symmetry breaking: order the identical FPGAs of each device group by
+    // non-increasing DSP load. Only within-group permutations are symmetric,
+    // so consecutive FPGAs of different groups get no row.
     if options.symmetry_breaking && num_fpgas > 1 {
         for f in 0..num_fpgas - 1 {
+            if group_of[f] != group_of[f + 1] {
+                continue;
+            }
+            let g = group_of[f];
             let mut terms = Vec::with_capacity(2 * num_kernels);
             for k in 0..num_kernels {
-                let weight = problem.kernels()[k].resources().dsp.max(1e-6);
+                let scaled = problem.kernel_resources_on(k, g).dsp;
+                let weight = if scaled.is_finite() {
+                    scaled.max(1e-6)
+                } else {
+                    1e-6
+                };
                 terms.push(Term::linear(n_vars[k][f], weight));
                 terms.push(Term::linear(n_vars[k][f + 1], -weight));
             }
@@ -376,6 +403,87 @@ mod tests {
         )
         .unwrap();
         assert!((with.objective - without.objective).abs() < 1e-6);
+    }
+
+    fn mixed_pair_problem() -> AllocationProblem {
+        use mfa_platform::{DeviceGroup, FpgaDevice, HeterogeneousPlatform};
+        AllocationProblem::builder()
+            .kernels(vec![
+                Kernel::new("a", 3.0, ResourceVec::bram_dsp(0.02, 0.2), 0.01).unwrap(),
+                Kernel::new("b", 5.0, ResourceVec::bram_dsp(0.02, 0.3), 0.01).unwrap(),
+            ])
+            .platform(HeterogeneousPlatform::new(
+                "1×VU9P + 1×KU115",
+                vec![
+                    DeviceGroup::new(FpgaDevice::vu9p(), 1),
+                    DeviceGroup::new(FpgaDevice::ku115(), 1),
+                ],
+            ))
+            .budget(ResourceBudget::uniform(0.8))
+            .weights(GoalWeights::ii_only())
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn heterogeneous_minlp_uses_both_devices_and_validates() {
+        let p = mixed_pair_problem();
+        let outcome = solve(&p, &ExactOptions::default()).unwrap();
+        assert!(outcome.proven_optimal);
+        outcome.allocation.validate(&p, 1e-6).unwrap();
+        // The mixed pair can only reach this II by using the KU115 too:
+        // a single VU9P at 0.8 tops out at II = 2.5 (counts (2, 2)).
+        let single = AllocationProblem::builder()
+            .kernels(p.kernels().to_vec())
+            .platform(MultiFpgaPlatform::aws_f1_2xlarge())
+            .budget(ResourceBudget::uniform(0.8))
+            .weights(GoalWeights::ii_only())
+            .build()
+            .unwrap();
+        let single_outcome = solve(&single, &ExactOptions::default()).unwrap();
+        assert!(outcome.objective < single_outcome.objective - 1e-6);
+        assert!(outcome.allocation.fpgas_used() == 2);
+        // The exact optimum can never beat the continuous relaxation.
+        let relaxed =
+            crate::gp_step::solve(&p, crate::gp_step::RelaxationBackend::Bisection).unwrap();
+        assert!(outcome.objective >= relaxed.initiation_interval_ms - 1e-6);
+    }
+
+    #[test]
+    fn within_group_symmetry_breaking_preserves_the_heterogeneous_optimum() {
+        use mfa_platform::{DeviceGroup, FpgaDevice, HeterogeneousPlatform};
+        let p = AllocationProblem::builder()
+            .kernels(vec![
+                Kernel::new("a", 3.0, ResourceVec::bram_dsp(0.02, 0.2), 0.01).unwrap(),
+                Kernel::new("b", 5.0, ResourceVec::bram_dsp(0.02, 0.3), 0.01).unwrap(),
+            ])
+            .platform(HeterogeneousPlatform::new(
+                "2×VU9P + 2×KU115",
+                vec![
+                    DeviceGroup::new(FpgaDevice::vu9p(), 2),
+                    DeviceGroup::new(FpgaDevice::ku115(), 2),
+                ],
+            ))
+            .budget(ResourceBudget::uniform(0.7))
+            .weights(GoalWeights::ii_only())
+            .build()
+            .unwrap();
+        let with = solve(&p, &ExactOptions::default()).unwrap();
+        let without = solve(
+            &p,
+            &ExactOptions {
+                symmetry_breaking: false,
+                ..ExactOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(
+            (with.objective - without.objective).abs() < 1e-6,
+            "with {} vs without {}",
+            with.objective,
+            without.objective
+        );
+        with.allocation.validate(&p, 1e-6).unwrap();
     }
 
     #[test]

@@ -18,8 +18,13 @@ use crate::AllocError;
 /// One point of a resource-constraint sweep.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct SweepPoint {
-    /// Per-FPGA resource constraint (fraction).
+    /// Scalar key of the budget point: the uniform fraction on the classic
+    /// constraint axis, or the largest per-class fraction for a per-resource
+    /// budget point.
     pub resource_constraint: f64,
+    /// The full per-FPGA budget the point was solved under (independent
+    /// LUT/FF/BRAM/DSP fractions plus the bandwidth cap).
+    pub budget: mfa_platform::ResourceBudget,
     /// Achieved initiation interval in milliseconds.
     pub initiation_interval_ms: f64,
     /// Average per-FPGA utilization of the critical resource.
@@ -31,7 +36,8 @@ pub struct SweepPoint {
 }
 
 impl SweepPoint {
-    /// Builds a sweep point from a solved allocation's metrics.
+    /// Builds a sweep point from a solved allocation's metrics; the budget
+    /// record comes from the problem instance itself.
     pub fn measure(
         problem: &AllocationProblem,
         resource_constraint: f64,
@@ -41,6 +47,7 @@ impl SweepPoint {
         let metrics = allocation.metrics(problem);
         SweepPoint {
             resource_constraint,
+            budget: *problem.budget(),
             initiation_interval_ms: metrics.initiation_interval_ms,
             average_utilization: metrics.average_utilization,
             spreading: metrics.spreading,

@@ -1,34 +1,46 @@
 //! First step of the heuristic: the symmetric continuous relaxation
-//! (Eqs. 14–18), solved as a geometric program.
+//! (Eqs. 14–18), solved as a geometric program, generalized to heterogeneous
+//! platforms of device groups.
 //!
 //! With the spreading objective dropped (`β = 0`) and `n_{k,f}` allowed to be
-//! real, the problem becomes symmetric across the `F` identical FPGAs, so only
-//! the totals `N̂_k = F·n̂_k` matter:
+//! real, the problem becomes symmetric across the identical FPGAs *within*
+//! each device group, so only the per-group totals `N̂_{k,g}` matter. On the
+//! paper's single-group platform (`F` identical FPGAs) this collapses to the
+//! classic symmetric totals `N̂_k = F·n̂_k`:
 //!
 //! ```text
 //! minimize  ÎI
-//! s.t.      ÎI ≥ WCET_k / N̂_k            ∀k
-//!           N̂_k ≥ 1                      ∀k
-//!           Σ_k (N̂_k / F) · R_k ≤ R        (per resource class)
-//!           Σ_k (N̂_k / F) · B_k ≤ B
+//! s.t.      ÎI ≥ WCET_k / Σ_g N̂_{k,g}     ∀k
+//!           Σ_g N̂_{k,g} ≥ 1              ∀k
+//!           Σ_k N̂_{k,g} · R_{k,g} ≤ F_g·R   (per group, per resource class)
+//!           Σ_k N̂_{k,g} · B_{k,g} ≤ F_g·B   (per group)
 //! ```
 //!
-//! Two interchangeable backends solve it:
+//! where `R_{k,g}`/`B_{k,g}` are kernel `k`'s per-CU fractions rescaled to
+//! group `g`'s device. Two interchangeable backends solve it:
 //!
 //! * [`RelaxationBackend::GeometricProgram`] — the faithful route: the model
 //!   is expressed in posynomial form and handed to the [`mfa_gp`]
-//!   interior-point solver (the paper used GPkit here).
+//!   interior-point solver (the paper used GPkit here). On a single group the
+//!   formulation is exact; with several groups the group-summed latency rows
+//!   are not posynomial, so each is condensed into its best monomial
+//!   approximation around the (exact) bisection solution — the standard
+//!   signomial-programming move, anchored where it is tight — giving one
+//!   latency row per kernel that sums the group contributions.
 //! * [`RelaxationBackend::Bisection`] — an analytic route exploiting the
-//!   problem's structure: for a trial `ÎI` the cheapest feasible counts are
-//!   `N̂_k(ÎI) = max(1, WCET_k / ÎI)`, and resource use is monotone in `1/ÎI`,
-//!   so the optimal `ÎI` is found by bisection. Used as a fast cross-check
-//!   and as the default engine inside the discretization branch-and-bound.
+//!   problem's structure: for a trial `ÎI` the cheapest feasible totals are
+//!   `N̂_k(ÎI) = max(1, WCET_k / ÎI)`, and feasibility — on several groups,
+//!   the existence of a water-filling of those totals across groups, checked
+//!   with the [`mfa_linprog`] simplex — is monotone in `ÎI`, so the optimal
+//!   `ÎI` is found by bisection. Used as a fast cross-check and as the
+//!   default engine inside the discretization branch-and-bound.
 //!
 //! Both return the same optimum (verified by unit and property tests); the
 //! GP backend is the default for the top-level heuristic to stay close to the
 //! paper's toolchain.
 
 use mfa_gp::{GpProblem, Monomial, Posynomial};
+use mfa_linprog::{LpProblem, Relation, Sense};
 
 use crate::problem::AllocationProblem;
 use crate::AllocError;
@@ -46,8 +58,12 @@ pub enum RelaxationBackend {
 /// Result of the continuous relaxation.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Relaxation {
-    /// Fractional total CU count `N̂_k` per kernel.
+    /// Fractional total CU count `N̂_k` per kernel (summed over groups).
     pub cu_counts: Vec<f64>,
+    /// Fractional per-group CU counts `N̂_{k,g}`, kernel-major
+    /// (`group_cu_counts[k][g]`). On a single-group platform every row is
+    /// the one-element `[N̂_k]`.
+    pub group_cu_counts: Vec<Vec<f64>>,
     /// Relaxed initiation interval `ÎI` in milliseconds.
     pub initiation_interval_ms: f64,
 }
@@ -158,8 +174,16 @@ pub fn solve_bounded_with_hint(
     }
 }
 
-/// Checks the aggregated budgets `Σ_k N_k·R_k ≤ F·R` and `Σ_k N_k·B_k ≤ F·B`.
+/// Checks whether the fractional totals `N_k` can be realized within the
+/// platform's aggregated budgets. On a single device group this is the
+/// closed-form check `Σ_k N_k·R_k ≤ F·R` and `Σ_k N_k·B_k ≤ F·B`; with
+/// several groups it asks whether *some* split of the totals across groups
+/// satisfies every group's aggregated budgets (see
+/// [`distribute_over_groups`]).
 pub(crate) fn budgets_allow(problem: &AllocationProblem, cu_counts: &[f64]) -> bool {
+    if problem.num_groups() > 1 {
+        return distribute_over_groups(problem, cu_counts).is_some();
+    }
     let f = problem.num_fpgas() as f64;
     let budget = problem.budget();
     let limit = *budget.resource_fraction() * f;
@@ -181,7 +205,122 @@ pub(crate) fn budgets_allow(problem: &AllocationProblem, cu_counts: &[f64]) -> b
     bw <= budget.bandwidth_fraction() * f + 1e-9
 }
 
+/// Fractional water-filling of per-kernel totals across device groups: finds
+/// `x_{k,g} ≥ 0` with `Σ_g x_{k,g} = N_k` satisfying every group's
+/// aggregated resource and bandwidth budgets, or `None` when no split
+/// exists. The multi-resource transportation feasibility problem is solved
+/// with the [`mfa_linprog`] two-phase simplex (deterministic, so sweeps stay
+/// reproducible). Kernels that cannot be hosted on a group (a resource class
+/// the device lacks) get no variable there.
+// `vars` is indexed `[kernel][group]`; clippy's enumerate-based rewrite of
+// the `g`/`k` loops would iterate the wrong dimension, so the range loops
+// stay (same situation as the MINLP model builder in `exact`).
+#[allow(clippy::needless_range_loop)]
+pub(crate) fn distribute_over_groups(
+    problem: &AllocationProblem,
+    cu_counts: &[f64],
+) -> Option<Vec<Vec<f64>>> {
+    let groups = problem.num_groups();
+    if groups == 1 {
+        return Some(cu_counts.iter().map(|&n| vec![n]).collect());
+    }
+    let num_kernels = problem.num_kernels();
+    let budget = problem.budget();
+    let mut lp = LpProblem::new(Sense::Minimize);
+    let mut vars: Vec<Vec<Option<mfa_linprog::VarId>>> = vec![vec![None; groups]; num_kernels];
+    for k in 0..num_kernels {
+        for (g, slot) in vars[k].iter_mut().enumerate() {
+            let res = problem.kernel_resources_on(k, g);
+            let hostable = [res.lut, res.ff, res.bram, res.dsp]
+                .iter()
+                .all(|x| x.is_finite())
+                && problem.kernel_bandwidth_on(k, g).is_finite();
+            if hostable {
+                *slot = Some(
+                    lp.add_var(format!("x_{k}_{g}"), 0.0, cu_counts[k].max(0.0))
+                        .expect("bounds are finite and ordered"),
+                );
+            }
+        }
+        let terms: Vec<(mfa_linprog::VarId, f64)> =
+            vars[k].iter().flatten().map(|&v| (v, 1.0)).collect();
+        if terms.is_empty() {
+            // No group can host this kernel at all.
+            return None;
+        }
+        lp.add_constraint(format!("total_{k}"), &terms, Relation::Equal, cu_counts[k])
+            .ok()?;
+    }
+    type Accessor = fn(&mfa_platform::ResourceVec) -> f64;
+    let classes: [(&str, Accessor, f64); 4] = [
+        ("lut", |r| r.lut, budget.resource_fraction().lut),
+        ("ff", |r| r.ff, budget.resource_fraction().ff),
+        ("bram", |r| r.bram, budget.resource_fraction().bram),
+        ("dsp", |r| r.dsp, budget.resource_fraction().dsp),
+    ];
+    for g in 0..groups {
+        let fpgas = problem.group_count(g) as f64;
+        for (class, accessor, limit) in classes {
+            let terms: Vec<(mfa_linprog::VarId, f64)> = (0..num_kernels)
+                .filter_map(|k| {
+                    let coeff = accessor(&problem.kernel_resources_on(k, g));
+                    vars[k][g].filter(|_| coeff > 0.0).map(|v| (v, coeff))
+                })
+                .collect();
+            if !terms.is_empty() {
+                lp.add_constraint(
+                    format!("{class}_{g}"),
+                    &terms,
+                    Relation::LessEq,
+                    fpgas * limit + 1e-9,
+                )
+                .ok()?;
+            }
+        }
+        let bw_terms: Vec<(mfa_linprog::VarId, f64)> = (0..num_kernels)
+            .filter_map(|k| {
+                let coeff = problem.kernel_bandwidth_on(k, g);
+                vars[k][g].filter(|_| coeff > 0.0).map(|v| (v, coeff))
+            })
+            .collect();
+        if !bw_terms.is_empty() {
+            lp.add_constraint(
+                format!("bandwidth_{g}"),
+                &bw_terms,
+                Relation::LessEq,
+                fpgas * budget.bandwidth_fraction() + 1e-9,
+            )
+            .ok()?;
+        }
+    }
+    let solution = lp.solve().ok()?;
+    if !solution.is_optimal() {
+        return None;
+    }
+    Some(
+        vars.iter()
+            .map(|row| {
+                row.iter()
+                    .map(|slot| slot.map_or(0.0, |v| solution.value(v).max(0.0)))
+                    .collect()
+            })
+            .collect(),
+    )
+}
+
 fn solve_gp(problem: &AllocationProblem, bounds: &CuBounds) -> Result<Relaxation, AllocError> {
+    if problem.num_groups() == 1 {
+        solve_gp_homogeneous(problem, bounds)
+    } else {
+        solve_gp_heterogeneous(problem, bounds)
+    }
+}
+
+/// The exact posynomial model over the totals `N̂_k` (single device group).
+fn solve_gp_homogeneous(
+    problem: &AllocationProblem,
+    bounds: &CuBounds,
+) -> Result<Relaxation, AllocError> {
     let mut gp = GpProblem::new();
     let ii = gp.add_var("II")?;
     let mut n_vars = Vec::with_capacity(problem.num_kernels());
@@ -198,9 +337,11 @@ fn solve_gp(problem: &AllocationProblem, bounds: &CuBounds) -> Result<Relaxation
         )?;
         // The interior-point solver needs a non-empty interior, so collapsed
         // or boundary-tight bound pairs are widened by a relative epsilon;
-        // the discretization rounds the result anyway.
+        // the discretization rounds the result anyway. The widened lower
+        // bound is clamped at 1.0 so `N̂_k ≥ 1` (Eq. 16) is never relaxed —
+        // widening `lo == 1.0` downward used to let counts dip below one.
         let (lo, hi) = bounds[k];
-        let lo = lo * (1.0 - 1e-7);
+        let lo = (lo * (1.0 - 1e-7)).max(1.0);
         let hi = hi * (1.0 + 1e-7);
         // N̂_k ≥ lo  ⇔  lo · N̂_k⁻¹ ≤ 1 (lo ≥ 1 covers Eq. 16).
         gp.add_le_constraint(
@@ -255,10 +396,172 @@ fn solve_gp(problem: &AllocationProblem, bounds: &CuBounds) -> Result<Relaxation
         }
         other => AllocError::from(other),
     })?;
+    let cu_counts: Vec<f64> = n_vars.iter().map(|&v| solution.value(v)).collect();
     Ok(Relaxation {
-        cu_counts: n_vars.iter().map(|&v| solution.value(v)).collect(),
+        group_cu_counts: cu_counts.iter().map(|&n| vec![n]).collect(),
+        cu_counts,
         initiation_interval_ms: solution.value(ii),
     })
+}
+
+/// The heterogeneous GP: per-group variables `N̂_{k,g}`, exact per-group
+/// budget and upper-bound rows, and one latency row per kernel summing the
+/// group contributions. The group sum in a denominator is not posynomial, so
+/// the latency (and lower-bound) rows condense `Σ_g N̂_{k,g}` into its best
+/// monomial approximation `S₀·Π_g (N̂_{k,g}/x₀_{k,g})^{α_{k,g}}` with
+/// `α = x₀/S₀`, anchored at the exact bisection optimum `x₀` — where the
+/// approximation is tight (AM–GM), so the condensed GP shares the true
+/// optimum and the solve stays a single interior-point run.
+// `vars` is indexed `[kernel][group]`; see `distribute_over_groups`.
+#[allow(clippy::needless_range_loop)]
+fn solve_gp_heterogeneous(
+    problem: &AllocationProblem,
+    bounds: &CuBounds,
+) -> Result<Relaxation, AllocError> {
+    let anchor = solve_bisection(problem, bounds, None);
+    let groups = problem.num_groups();
+    let num_kernels = problem.num_kernels();
+
+    let mut gp = GpProblem::new();
+    let ii = gp.add_var("II")?;
+    let mut vars: Vec<Vec<Option<mfa_gp::GpVarId>>> = vec![vec![None; groups]; num_kernels];
+    for (k, kernel) in problem.kernels().iter().enumerate() {
+        for g in 0..groups {
+            // Only groups the anchor actually uses get a variable: GP
+            // variables are strictly positive, and the condensation is
+            // anchored where the optimum lies anyway.
+            if anchor.group_cu_counts[k][g] > 1e-9 {
+                vars[k][g] = Some(gp.add_var(format!("N_{}_{g}", kernel.name()))?);
+            }
+        }
+    }
+    gp.set_objective(Posynomial::monomial(1.0, &[(ii, 1.0)]));
+
+    for (k, kernel) in problem.kernels().iter().enumerate() {
+        let active: Vec<usize> = (0..groups).filter(|&g| vars[k][g].is_some()).collect();
+        let s0: f64 = active
+            .iter()
+            .map(|&g| anchor.group_cu_counts[k][g])
+            .sum::<f64>();
+        // Exponents and constant of the condensed monomial m_k ≈ Σ_g N̂_{k,g}:
+        // m_k = S₀ · Π (N̂_{k,g}/x₀_g)^{α_g}, so
+        // m_k⁻¹ = (1/S₀) · Π x₀_g^{α_g} · Π N̂_{k,g}^{-α_g}.
+        let alphas: Vec<f64> = active
+            .iter()
+            .map(|&g| anchor.group_cu_counts[k][g] / s0)
+            .collect();
+        let m_inv_coeff: f64 = active
+            .iter()
+            .zip(&alphas)
+            .map(|(&g, &a)| anchor.group_cu_counts[k][g].powf(a))
+            .product::<f64>()
+            / s0;
+        let inv_exponents: Vec<(mfa_gp::GpVarId, f64)> = active
+            .iter()
+            .zip(&alphas)
+            .map(|(&g, &a)| (vars[k][g].expect("active"), -a))
+            .collect();
+        // Latency: WCET_k · ÎI⁻¹ · m_k⁻¹ ≤ 1.
+        let mut latency_exponents = vec![(ii, -1.0)];
+        latency_exponents.extend(inv_exponents.iter().copied());
+        gp.add_le_constraint(
+            format!("latency_{}", kernel.name()),
+            Posynomial::monomial(kernel.wcet_ms() * m_inv_coeff, &latency_exponents),
+        )?;
+        let (lo, hi) = bounds[k];
+        // Lower bound on the total: lo · m_k⁻¹ ≤ 1 (clamped at 1.0 so Eq. 16
+        // is never relaxed by the interior widening).
+        let lo = (lo * (1.0 - 1e-7)).max(1.0);
+        gp.add_le_constraint(
+            format!("lower_{}", kernel.name()),
+            Posynomial::monomial(lo * m_inv_coeff, &inv_exponents),
+        )?;
+        // Upper bound on the total is exactly posynomial: Σ_g N̂_{k,g}/hi ≤ 1.
+        let hi = hi * (1.0 + 1e-7);
+        let mut upper = Posynomial::new();
+        for &g in &active {
+            upper.push(Monomial::new(
+                1.0 / hi,
+                &[(vars[k][g].expect("active"), 1.0)],
+            ));
+        }
+        gp.add_le_constraint(format!("upper_{}", kernel.name()), upper)?;
+    }
+
+    // Per-group aggregated budget rows (exactly posynomial).
+    let budget = problem.budget();
+    let class_rows: [(&str, crate::report::ResourceAccessor, f64); 4] = [
+        ("lut", |r| r.lut, budget.resource_fraction().lut),
+        ("ff", |r| r.ff, budget.resource_fraction().ff),
+        ("bram", |r| r.bram, budget.resource_fraction().bram),
+        ("dsp", |r| r.dsp, budget.resource_fraction().dsp),
+    ];
+    for g in 0..groups {
+        let fpgas = problem.group_count(g) as f64;
+        for (class, accessor, limit) in class_rows {
+            let mut row = Posynomial::new();
+            for k in 0..num_kernels {
+                let Some(var) = vars[k][g] else { continue };
+                let use_per_cu = accessor(&problem.kernel_resources_on(k, g));
+                if use_per_cu > 0.0 {
+                    row.push(Monomial::new(use_per_cu / (fpgas * limit), &[(var, 1.0)]));
+                }
+            }
+            if !row.is_empty() {
+                gp.add_le_constraint(format!("budget_{class}_{g}"), row)?;
+            }
+        }
+        let mut bw_row = Posynomial::new();
+        for k in 0..num_kernels {
+            let Some(var) = vars[k][g] else { continue };
+            let bw = problem.kernel_bandwidth_on(k, g);
+            if bw > 0.0 {
+                bw_row.push(Monomial::new(
+                    bw / (fpgas * budget.bandwidth_fraction()),
+                    &[(var, 1.0)],
+                ));
+            }
+        }
+        if !bw_row.is_empty() {
+            gp.add_le_constraint(format!("budget_bandwidth_{g}"), bw_row)?;
+        }
+    }
+
+    let solution = gp.solve().map_err(|err| match err {
+        mfa_gp::GpError::Infeasible => {
+            AllocError::Infeasible("the GP relaxation has no feasible point".into())
+        }
+        other => AllocError::from(other),
+    })?;
+    let group_cu_counts: Vec<Vec<f64>> = vars
+        .iter()
+        .map(|row| {
+            row.iter()
+                .map(|slot| slot.map_or(0.0, |v| solution.value(v)))
+                .collect()
+        })
+        .collect();
+    Ok(Relaxation {
+        cu_counts: group_cu_counts.iter().map(|row| row.iter().sum()).collect(),
+        group_cu_counts,
+        initiation_interval_ms: solution.value(ii),
+    })
+}
+
+/// Assembles a [`Relaxation`] from feasible totals, water-filling them
+/// across device groups (trivial on a single group).
+fn relaxation_from_totals(
+    problem: &AllocationProblem,
+    cu_counts: Vec<f64>,
+    initiation_interval_ms: f64,
+) -> Relaxation {
+    let group_cu_counts = distribute_over_groups(problem, &cu_counts)
+        .expect("totals were verified feasible before assembling the relaxation");
+    Relaxation {
+        cu_counts,
+        group_cu_counts,
+        initiation_interval_ms,
+    }
 }
 
 /// Analytic solution by bisection on `ÎI`.
@@ -269,7 +572,8 @@ fn solve_bisection(
 ) -> Relaxation {
     // For a target II the cheapest feasible counts are the WCET-driven counts
     // clamped into the node bounds; feasibility of the aggregated budgets is
-    // monotone in II (larger II → fewer CUs → less resource use).
+    // monotone in II (larger II → fewer CUs → less resource use, and any
+    // group water-filling of larger totals scales down to smaller ones).
     let counts_for = |ii: f64| -> Vec<f64> {
         problem
             .kernels()
@@ -294,11 +598,7 @@ fn solve_bisection(
         .map(|(kernel, &(_, hi_k))| kernel.wcet_ms() / hi_k)
         .fold(0.0_f64, f64::max);
     if budgets_allow(problem, &counts_for(lo)) {
-        let counts = counts_for(lo);
-        return Relaxation {
-            cu_counts: counts,
-            initiation_interval_ms: lo,
-        };
+        return relaxation_from_totals(problem, counts_for(lo), lo);
     }
     // A warm-start hint from a neighbouring solve narrows the bracket. The
     // bisection invariants (lo infeasible, hi feasible) are re-verified on
@@ -327,10 +627,7 @@ fn solve_bisection(
             break;
         }
     }
-    Relaxation {
-        cu_counts: counts_for(hi),
-        initiation_interval_ms: hi,
-    }
+    relaxation_from_totals(problem, counts_for(hi), hi)
 }
 
 #[cfg(test)]
@@ -405,6 +702,128 @@ mod tests {
                 warm.initiation_interval_ms,
                 cold.initiation_interval_ms
             );
+        }
+    }
+
+    /// Regression for the interior-widening bug: with a bound pair pinned at
+    /// `(1.0, 1.0)` the widened lower bound used to become `1 − 1e-7`, and a
+    /// kernel under downward resource pressure converged below one CU,
+    /// violating Eq. 16. The widened lower bound is now clamped at 1.0.
+    #[test]
+    fn gp_lower_bound_clamps_at_one_cu() {
+        // Kernel "a" is resource-heavy but latency-light, so the optimizer
+        // pushes N̂_a down to free DSPs for the bottleneck kernel "b".
+        let p = AllocationProblem::builder()
+            .kernels(vec![
+                Kernel::new("a", 0.1, ResourceVec::bram_dsp(0.0, 0.5), 0.0).unwrap(),
+                Kernel::new("b", 5.0, ResourceVec::bram_dsp(0.0, 0.3), 0.0).unwrap(),
+            ])
+            .platform(MultiFpgaPlatform::aws_f1_2xlarge())
+            .budget(ResourceBudget::uniform(1.0))
+            .weights(GoalWeights::ii_only())
+            .build()
+            .unwrap();
+        let bounds = vec![(1.0, 1.0), (1.0, 10.0)];
+        let r = solve_bounded(&p, &bounds, RelaxationBackend::GeometricProgram).unwrap();
+        assert!(
+            r.cu_counts[0] >= 1.0 - 1e-8,
+            "N̂_a = {} dips below the Eq. 16 floor",
+            r.cu_counts[0]
+        );
+    }
+
+    fn mixed_fleet_problem(budget: f64) -> AllocationProblem {
+        use mfa_platform::{DeviceGroup, FpgaDevice, HeterogeneousPlatform};
+        AllocationProblem::builder()
+            .kernels(vec![
+                Kernel::new("a", 3.0, ResourceVec::bram_dsp(0.02, 0.2), 0.01).unwrap(),
+                Kernel::new("b", 5.0, ResourceVec::bram_dsp(0.02, 0.3), 0.01).unwrap(),
+                Kernel::new("c", 8.0, ResourceVec::bram_dsp(0.05, 0.15), 0.02).unwrap(),
+            ])
+            .platform(HeterogeneousPlatform::new(
+                "2×VU9P + 2×KU115",
+                vec![
+                    DeviceGroup::new(FpgaDevice::vu9p(), 2),
+                    DeviceGroup::new(FpgaDevice::ku115(), 2),
+                ],
+            ))
+            .budget(ResourceBudget::uniform(budget))
+            .weights(GoalWeights::ii_only())
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn heterogeneous_backends_agree_within_two_percent() {
+        for budget in [0.4, 0.6, 0.8] {
+            let p = mixed_fleet_problem(budget);
+            let bis = solve(&p, RelaxationBackend::Bisection).unwrap();
+            let gp = solve(&p, RelaxationBackend::GeometricProgram).unwrap();
+            assert!(
+                (gp.initiation_interval_ms - bis.initiation_interval_ms).abs()
+                    < 0.02 * bis.initiation_interval_ms,
+                "budget {budget}: GP {} vs bisection {}",
+                gp.initiation_interval_ms,
+                bis.initiation_interval_ms
+            );
+            for (a, b) in gp.cu_counts.iter().zip(&bis.cu_counts) {
+                assert!(
+                    (a - b).abs() < 0.05 * b.max(1.0),
+                    "counts differ: {a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn heterogeneous_group_counts_sum_to_totals_and_respect_budgets() {
+        let p = mixed_fleet_problem(0.6);
+        let r = solve(&p, RelaxationBackend::Bisection).unwrap();
+        assert_eq!(r.group_cu_counts.len(), p.num_kernels());
+        for (k, row) in r.group_cu_counts.iter().enumerate() {
+            assert_eq!(row.len(), p.num_groups());
+            let total: f64 = row.iter().sum();
+            assert!(
+                (total - r.cu_counts[k]).abs() < 1e-6 * r.cu_counts[k].max(1.0),
+                "kernel {k}: group split {total} vs total {}",
+                r.cu_counts[k]
+            );
+        }
+        // Every group's aggregated DSP budget holds for the split.
+        for g in 0..p.num_groups() {
+            let used: f64 = (0..p.num_kernels())
+                .map(|k| r.group_cu_counts[k][g] * p.kernel_resources_on(k, g).dsp)
+                .sum();
+            let limit = p.group_count(g) as f64 * p.budget().resource_fraction().dsp;
+            assert!(used <= limit + 1e-6, "group {g}: {used} > {limit}");
+        }
+    }
+
+    #[test]
+    fn heterogeneous_relaxation_beats_the_reference_group_alone() {
+        // The mixed fleet has strictly more capacity than its first group, so
+        // the relaxed II must improve on (or match) the 2×VU9P sub-platform.
+        let fleet = mixed_fleet_problem(0.6);
+        let sub = AllocationProblem::builder()
+            .kernels(fleet.kernels().to_vec())
+            .platform(MultiFpgaPlatform::aws_f1_4xlarge())
+            .budget(ResourceBudget::uniform(0.6))
+            .weights(GoalWeights::ii_only())
+            .build()
+            .unwrap();
+        let fleet_r = solve(&fleet, RelaxationBackend::Bisection).unwrap();
+        let sub_r = solve(&sub, RelaxationBackend::Bisection).unwrap();
+        assert!(fleet_r.initiation_interval_ms <= sub_r.initiation_interval_ms + 1e-9);
+    }
+
+    #[test]
+    fn homogeneous_relaxation_reports_single_group_counts() {
+        let p = two_kernel_problem();
+        let r = solve(&p, RelaxationBackend::Bisection).unwrap();
+        assert_eq!(r.group_cu_counts.len(), 2);
+        for (k, row) in r.group_cu_counts.iter().enumerate() {
+            assert_eq!(row.len(), 1);
+            assert_eq!(row[0], r.cu_counts[k]);
         }
     }
 

@@ -352,6 +352,49 @@ mod tests {
     }
 
     #[test]
+    fn heterogeneous_fleet_end_to_end() {
+        use mfa_platform::{DeviceGroup, FpgaDevice, HeterogeneousPlatform};
+        let app = paper_data::alexnet_16bit();
+        let fleet = HeterogeneousPlatform::new(
+            "1×VU9P + 1×KU115",
+            vec![
+                DeviceGroup::new(FpgaDevice::vu9p(), 1),
+                DeviceGroup::new(FpgaDevice::ku115(), 1),
+            ],
+        );
+        let problem = AllocationProblem::builder()
+            .kernels(
+                app.kernels()
+                    .iter()
+                    .map(crate::Kernel::from)
+                    .collect::<Vec<_>>(),
+            )
+            .platform(fleet)
+            .budget(mfa_platform::ResourceBudget::uniform(0.7))
+            .weights(GoalWeights::new(1.0, 0.7))
+            .build()
+            .unwrap();
+        for options in [GpaOptions::fast(), GpaOptions::paper_defaults()] {
+            let outcome = solve(&problem, &options).unwrap();
+            outcome.allocation.validate(&problem, 1e-9).unwrap();
+            let ii = outcome.initiation_interval_ms(&problem);
+            // The mixed pair must land between the 2×VU9P platform (strictly
+            // more capable) and a lone VU9P (strictly less capable).
+            assert!(ii >= outcome.relaxation.initiation_interval_ms - 1e-9);
+            assert!(ii < 6.7, "II = {ii}");
+        }
+        // GP and bisection backends agree on the final heterogeneous II.
+        let gp = solve(&problem, &GpaOptions::paper_defaults()).unwrap();
+        let fast = solve(&problem, &GpaOptions::fast()).unwrap();
+        let ii_gp = gp.initiation_interval_ms(&problem);
+        let ii_fast = fast.initiation_interval_ms(&problem);
+        assert!(
+            (ii_gp - ii_fast).abs() <= 0.02 * ii_fast,
+            "GP {ii_gp} vs bisection {ii_fast}"
+        );
+    }
+
+    #[test]
     fn infeasible_problems_are_rejected_up_front() {
         let app = paper_data::alexnet_32bit();
         // 20 % budget cannot even hold CONV2 (37.6 % DSP per CU).

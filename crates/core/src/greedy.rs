@@ -17,6 +17,11 @@
 //! 4. If CUs remain unplaced, the per-FPGA capacity is relaxed by `Δ` and the
 //!    placement restarts, up to a maximum relaxation of `T` (the while loop of
 //!    line 9). The paper finds `T` has little effect and uses `T = 0`.
+//!
+//! On a heterogeneous platform every fit check rescales the kernel's per-CU
+//! demand to the candidate FPGA's own device group, so the same CU costs a
+//! larger share of a smaller device; the budget fractions themselves apply
+//! uniformly to each FPGA's own capacity.
 
 use mfa_platform::ResourceVec;
 
@@ -53,10 +58,13 @@ impl GreedyOptions {
     }
 }
 
-/// Per-FPGA free capacity during placement.
+/// Per-FPGA free capacity during placement. `group` is the FPGA's device
+/// group: per-CU demands are rescaled to it before any fit check, so a CU
+/// costs a larger share of a smaller device.
 #[derive(Debug, Clone, Copy)]
 struct Slack {
     fpga: usize,
+    group: usize,
     resources: ResourceVec,
     bandwidth: f64,
     untouched: bool,
@@ -173,6 +181,7 @@ fn try_allocate(
 ) -> Result<Allocation, Vec<(String, u32)>> {
     let num_kernels = problem.num_kernels();
     let num_fpgas = problem.num_fpgas();
+    let num_groups = problem.num_groups();
     let budget = problem.budget();
     let capacity = ResourceVec {
         lut: (budget.resource_fraction().lut + relaxation).min(1.0),
@@ -180,12 +189,35 @@ fn try_allocate(
         bram: (budget.resource_fraction().bram + relaxation).min(1.0),
         dsp: (budget.resource_fraction().dsp + relaxation).min(1.0),
     };
+    // Per-CU demand of each kernel rescaled to every device group.
+    let res_on: Vec<Vec<ResourceVec>> = (0..num_kernels)
+        .map(|k| {
+            (0..num_groups)
+                .map(|g| problem.kernel_resources_on(k, g))
+                .collect()
+        })
+        .collect();
+    let bw_on: Vec<Vec<f64>> = (0..num_kernels)
+        .map(|k| {
+            (0..num_groups)
+                .map(|g| problem.kernel_bandwidth_on(k, g))
+                .collect()
+        })
+        .collect();
+    // Does the full CU set of kernel `k` fit on one FPGA of *some* group?
+    let fits_one_fpga = |k: usize, cus: u32| -> bool {
+        (0..num_groups).any(|g| {
+            (res_on[k][g] * cus as f64).fits_within(&capacity, 1e-9)
+                && bw_on[k][g] * cus as f64 <= budget.bandwidth_fraction() + 1e-9
+        })
+    };
 
     let mut allocation = Allocation::zeros(problem);
     let mut remaining: Vec<u32> = cu_counts.to_vec();
     let mut slacks: Vec<Slack> = (0..num_fpgas)
         .map(|f| Slack {
             fpga: f,
+            group: problem.group_of_fpga(f),
             resources: capacity,
             bandwidth: budget.bandwidth_fraction(),
             untouched: true,
@@ -205,24 +237,26 @@ fn try_allocate(
             })
     });
 
-    // Lines 11–21: pre-split kernels whose full CU set cannot fit on one FPGA,
-    // filling previously untouched FPGAs.
+    // Lines 11–21: pre-split kernels whose full CU set cannot fit on one FPGA
+    // of any device group, filling previously untouched FPGAs.
     for &k in &order {
-        let kernel = &problem.kernels()[k];
-        let demand = |cus: u32| *kernel.resources() * cus as f64;
         let mut f = 0;
-        while f < num_fpgas
-            && !(demand(remaining[k]).fits_within(&capacity, 1e-9)
-                && kernel.bandwidth() * remaining[k] as f64 <= budget.bandwidth_fraction() + 1e-9)
-        {
+        while f < num_fpgas && !fits_one_fpga(k, remaining[k]) {
             if slacks[f].untouched {
+                let g = slacks[f].group;
                 let copies = slacks[f]
-                    .max_copies(kernel.resources(), kernel.bandwidth())
+                    .max_copies(&res_on[k][g], bw_on[k][g])
                     .min(remaining[k]);
                 if copies == 0 {
-                    break;
+                    // This FPGA's device group cannot host the kernel; on a
+                    // heterogeneous fleet a later FPGA may belong to a group
+                    // that can, so keep scanning instead of aborting the
+                    // pre-split (on identical FPGAs the scan just ends a few
+                    // steps later with the same outcome).
+                    f += 1;
+                    continue;
                 }
-                slacks[f].take(kernel.resources(), kernel.bandwidth(), copies);
+                slacks[f].take(&res_on[k][g], bw_on[k][g], copies);
                 allocation.set_cus(
                     k,
                     slacks[f].fpga,
@@ -241,13 +275,13 @@ fn try_allocate(
         if remaining[k] == 0 {
             continue;
         }
-        let kernel = &problem.kernels()[k];
         // Try to fit all remaining CUs on the most occupied FPGA that can
         // take them (slacks are sorted by increasing free capacity).
         let mut placed_all = false;
         for slack in slacks.iter_mut() {
-            if slack.can_take(kernel.resources(), kernel.bandwidth(), remaining[k]) {
-                slack.take(kernel.resources(), kernel.bandwidth(), remaining[k]);
+            let g = slack.group;
+            if slack.can_take(&res_on[k][g], bw_on[k][g], remaining[k]) {
+                slack.take(&res_on[k][g], bw_on[k][g], remaining[k]);
                 allocation.set_cus(k, slack.fpga, allocation.cus(k, slack.fpga) + remaining[k]);
                 remaining[k] = 0;
                 placed_all = true;
@@ -264,11 +298,12 @@ fn try_allocate(
                 if remaining[k] == 0 {
                     break;
                 }
+                let g = slack.group;
                 let copies = slack
-                    .max_copies(kernel.resources(), kernel.bandwidth())
+                    .max_copies(&res_on[k][g], bw_on[k][g])
                     .min(remaining[k]);
                 if copies > 0 {
-                    slack.take(kernel.resources(), kernel.bandwidth(), copies);
+                    slack.take(&res_on[k][g], bw_on[k][g], copies);
                     allocation.set_cus(k, slack.fpga, allocation.cus(k, slack.fpga) + copies);
                     remaining[k] -= copies;
                 }
@@ -393,6 +428,90 @@ mod tests {
             let single_fpga_spread = n / (1.0 + n);
             assert!(allocation.spreading_of(k) <= single_fpga_spread + 0.51);
         }
+    }
+
+    #[test]
+    fn heterogeneous_placement_respects_each_devices_budget() {
+        use mfa_platform::{DeviceGroup, FpgaDevice, HeterogeneousPlatform};
+        // One VU9P and one KU115 at 60 %. Kernel "big" costs 0.25 DSP per CU
+        // on the VU9P but 0.25·6840/5520 ≈ 0.31 on the KU115, so the only
+        // split of three CUs is 2 on the VU9P + 1 on the KU115.
+        let p = AllocationProblem::builder()
+            .kernels(vec![
+                Kernel::new("big", 10.0, ResourceVec::bram_dsp(0.05, 0.25), 0.01).unwrap(),
+                Kernel::new("small", 1.0, ResourceVec::bram_dsp(0.02, 0.05), 0.01).unwrap(),
+            ])
+            .platform(HeterogeneousPlatform::new(
+                "1×VU9P + 1×KU115",
+                vec![
+                    DeviceGroup::new(FpgaDevice::vu9p(), 1),
+                    DeviceGroup::new(FpgaDevice::ku115(), 1),
+                ],
+            ))
+            .budget(ResourceBudget::uniform(0.6))
+            .weights(GoalWeights::ii_only())
+            .build()
+            .unwrap();
+        let allocation = allocate(&p, &[3, 1], &GreedyOptions::default()).unwrap();
+        allocation.validate(&p, 1e-9).unwrap();
+        assert_eq!(allocation.total_cus(0), 3);
+        // The KU115 (FPGA 1) can host at most one CU of "big": its rescaled
+        // per-CU DSP share is 0.25·6840/5520 ≈ 0.31, and 2×0.31 > 0.6.
+        assert!(allocation.cus(0, 1) <= 1);
+        // Per-FPGA utilization stays within each device's own budget.
+        for f in 0..2 {
+            let used = allocation.fpga_resources(&p, f);
+            assert!(
+                used.fits_within(&ResourceVec::uniform(0.6), 1e-9),
+                "FPGA {f}: {used}"
+            );
+        }
+    }
+
+    // Regression: the pre-split loop used to `break` on the first untouched
+    // FPGA that could take zero copies — correct only when all FPGAs are
+    // identical. On a fleet whose leading group cannot host the kernel, the
+    // scan must advance to a hostable group's FPGAs instead of aborting the
+    // whole pre-split phase.
+    #[test]
+    fn pre_split_skips_groups_that_cannot_host_the_kernel() {
+        use mfa_platform::{DeviceGroup, FpgaDevice, HeterogeneousPlatform};
+        // FPGA 0: the reference VU9P, where kernel "wide" costs 0.9 DSP per
+        // CU — over the 80 % budget, so the VU9P can never host it. FPGAs
+        // 1–2: a double-capacity device where the same CU costs 0.45.
+        let big = FpgaDevice::new(
+            "double",
+            ResourceVec::new(2_364_480.0, 4_728_960.0, 4_320.0, 13_680.0),
+            128.0,
+        );
+        let p = AllocationProblem::builder()
+            .kernels(vec![
+                Kernel::new("wide", 10.0, ResourceVec::bram_dsp(0.01, 0.9), 0.01).unwrap(),
+                Kernel::new("tiny", 1.0, ResourceVec::bram_dsp(0.01, 0.05), 0.01).unwrap(),
+            ])
+            .platform(HeterogeneousPlatform::new(
+                "1×VU9P + 2×double",
+                vec![
+                    DeviceGroup::new(FpgaDevice::vu9p(), 1),
+                    DeviceGroup::new(big, 2),
+                ],
+            ))
+            .budget(ResourceBudget::uniform(0.8))
+            .weights(GoalWeights::ii_only())
+            .build()
+            .unwrap();
+        // Two CUs of "wide" fit no single FPGA (0.9 on the big devices), so
+        // the pre-split must spread them 1+1 over the big FPGAs — skipping
+        // the VU9P instead of aborting there.
+        let allocation = allocate(&p, &[2, 1], &GreedyOptions::default()).unwrap();
+        allocation.validate(&p, 1e-9).unwrap();
+        assert_eq!(allocation.cus(0, 0), 0);
+        assert_eq!(allocation.cus(0, 1), 1);
+        assert_eq!(allocation.cus(0, 2), 1);
+        // With the pre-split done, "tiny" consolidates onto an already-used
+        // big FPGA; the aborted pre-split used to leave every FPGA untouched
+        // and park it on the VU9P instead.
+        assert_eq!(allocation.cus(1, 0), 0);
     }
 
     #[test]

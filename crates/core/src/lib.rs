@@ -5,8 +5,9 @@
 //! Lavagno, Lazarescu — "Exact and Heuristic Allocation of Multi-kernel
 //! Applications to Multi-FPGA Platforms", DAC 2019*: given a linear pipeline
 //! of kernels (each replicable into compute units, CUs) and a platform of `F`
-//! identical FPGAs with per-FPGA resource and DRAM-bandwidth budgets, choose
-//! how many CUs to instantiate per kernel and on which FPGA to place each of
+//! FPGAs — the paper's identical devices, or a heterogeneous fleet of device
+//! groups — with per-FPGA resource and DRAM-bandwidth budgets, choose how
+//! many CUs to instantiate per kernel and on which FPGA to place each of
 //! them so that the pipeline initiation interval `II = max_k WCET_k / N_k` is
 //! minimized while the CUs of each kernel are kept together as much as
 //! possible (the *spreading* objective `ϕ`).

@@ -3,14 +3,17 @@
 use serde::{Deserialize, Serialize};
 
 use mfa_cnn::{Application, KernelCharacterization};
-use mfa_platform::{MultiFpgaPlatform, ResourceBudget, ResourceVec};
+use mfa_platform::{HeterogeneousPlatform, MultiFpgaPlatform, ResourceBudget, ResourceVec};
 
 use crate::AllocError;
 
 /// One pipeline kernel: the constants the optimization model needs
 /// (`WCET_k`, `R_k`, `B_k` in the paper's notation).
 ///
-/// Resource and bandwidth figures are fractions of one FPGA.
+/// Resource and bandwidth figures are fractions of one *reference* FPGA (the
+/// device the kernel was characterized on — the first device group of a
+/// heterogeneous platform). [`AllocationProblem::kernel_resources_on`]
+/// rescales them for other device groups.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Kernel {
     name: String,
@@ -126,12 +129,13 @@ impl Default for GoalWeights {
     }
 }
 
-/// A complete allocation problem instance: the kernel pipeline, the platform,
-/// the per-FPGA budget and the objective weights.
+/// A complete allocation problem instance: the kernel pipeline, the platform
+/// (homogeneous or a heterogeneous fleet of device groups), the per-FPGA
+/// budget and the objective weights.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct AllocationProblem {
     kernels: Vec<Kernel>,
-    platform: MultiFpgaPlatform,
+    platform: HeterogeneousPlatform,
     budget: ResourceBudget,
     weights: GoalWeights,
 }
@@ -179,13 +183,59 @@ impl AllocationProblem {
     }
 
     /// The platform.
-    pub fn platform(&self) -> &MultiFpgaPlatform {
+    pub fn platform(&self) -> &HeterogeneousPlatform {
         &self.platform
     }
 
-    /// Number of FPGAs `F`.
+    /// Number of FPGAs `F` (total across device groups).
     pub fn num_fpgas(&self) -> usize {
         self.platform.num_fpgas()
+    }
+
+    /// Number of device groups `G` (1 for the paper's identical-FPGA model).
+    pub fn num_groups(&self) -> usize {
+        self.platform.num_groups()
+    }
+
+    /// Number of FPGAs in device group `g` (`F_g`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is out of range.
+    pub fn group_count(&self, g: usize) -> usize {
+        self.platform.group(g).count()
+    }
+
+    /// Device group of FPGA `f` under group-major enumeration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` is out of range.
+    pub fn group_of_fpga(&self, f: usize) -> usize {
+        self.platform.group_of_fpga(f)
+    }
+
+    /// Per-CU resources of kernel `k` as fractions of group `g`'s device
+    /// (the characterized fractions rescaled by the capacity ratio; a class
+    /// the device lacks comes back infinite, meaning the kernel cannot be
+    /// hosted there).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` or `g` is out of range.
+    pub fn kernel_resources_on(&self, k: usize, g: usize) -> ResourceVec {
+        self.platform.scale_to_group(g, self.kernels[k].resources())
+    }
+
+    /// Per-CU DRAM bandwidth of kernel `k` as a fraction of group `g`'s
+    /// device bandwidth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` or `g` is out of range.
+    pub fn kernel_bandwidth_on(&self, k: usize, g: usize) -> f64 {
+        self.platform
+            .scale_bandwidth_to_group(g, self.kernels[k].bandwidth())
     }
 
     /// The per-FPGA budget (resource constraint and bandwidth cap).
@@ -211,6 +261,26 @@ impl AllocationProblem {
         }
     }
 
+    /// Returns a copy of the problem under a different per-FPGA budget
+    /// (used by the per-resource budget axis of design-space sweeps).
+    #[must_use]
+    pub fn with_budget(&self, budget: ResourceBudget) -> Self {
+        AllocationProblem {
+            budget,
+            ..self.clone()
+        }
+    }
+
+    /// Returns a copy of the problem on a different platform (used by the
+    /// platform axis of design-space sweeps).
+    #[must_use]
+    pub fn with_platform(&self, platform: impl Into<HeterogeneousPlatform>) -> Self {
+        AllocationProblem {
+            platform: platform.into(),
+            ..self.clone()
+        }
+    }
+
     /// Returns a copy of the problem with different objective weights.
     #[must_use]
     pub fn with_weights(&self, weights: GoalWeights) -> Self {
@@ -229,19 +299,19 @@ impl AllocationProblem {
         }
     }
 
-    /// Largest number of CUs of kernel `k` that fit on a single FPGA under
-    /// the current budget (resource classes and bandwidth combined).
+    /// Largest number of CUs of kernel `k` that fit on a single FPGA of
+    /// device group `g` under the current budget (resource classes and
+    /// bandwidth combined).
     ///
     /// # Panics
     ///
-    /// Panics if `k` is out of range.
-    pub fn max_cus_per_fpga(&self, k: usize) -> u32 {
-        let kernel = &self.kernels[k];
-        let resource_bound = kernel
-            .resources()
-            .max_copies_within(self.budget.resource_fraction());
-        let bandwidth_bound = if kernel.bandwidth() > 0.0 {
-            Some((self.budget.bandwidth_fraction() / kernel.bandwidth() + 1e-9).floor() as u32)
+    /// Panics if `k` or `g` is out of range.
+    pub fn max_cus_per_fpga_in_group(&self, k: usize, g: usize) -> u32 {
+        let resources = self.kernel_resources_on(k, g);
+        let bandwidth = self.kernel_bandwidth_on(k, g);
+        let resource_bound = resources.max_copies_within(self.budget.resource_fraction());
+        let bandwidth_bound = if bandwidth > 0.0 {
+            Some((self.budget.bandwidth_fraction() / bandwidth + 1e-9).floor() as u32)
         } else {
             None
         };
@@ -255,10 +325,28 @@ impl AllocationProblem {
         }
     }
 
-    /// Largest useful total CU count for kernel `k` across the whole platform.
+    /// Largest number of CUs of kernel `k` that fit on a single FPGA of the
+    /// most capable device group under the current budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range.
+    pub fn max_cus_per_fpga(&self, k: usize) -> u32 {
+        (0..self.num_groups())
+            .map(|g| self.max_cus_per_fpga_in_group(k, g))
+            .max()
+            .expect("a platform has at least one device group")
+    }
+
+    /// Largest useful total CU count for kernel `k` across the whole platform
+    /// (summed over device groups).
     pub fn max_total_cus(&self, k: usize) -> u32 {
-        self.max_cus_per_fpga(k)
-            .saturating_mul(self.num_fpgas() as u32)
+        (0..self.num_groups()).fold(0u32, |acc, g| {
+            acc.saturating_add(
+                self.max_cus_per_fpga_in_group(k, g)
+                    .saturating_mul(self.group_count(g) as u32),
+            )
+        })
     }
 
     /// Checks that at least one CU of every kernel can be placed somewhere.
@@ -266,8 +354,9 @@ impl AllocationProblem {
     /// # Errors
     ///
     /// Returns [`AllocError::Infeasible`] naming the first kernel that cannot
-    /// fit a single CU within the per-FPGA budget, or whose one-CU-per-kernel
-    /// baseline cannot be packed onto the platform by a simple first-fit.
+    /// fit a single CU within the per-FPGA budget on any device group, or
+    /// whose one-CU-per-kernel baseline cannot be packed onto the platform by
+    /// a simple first-fit.
     pub fn validate_feasibility(&self) -> Result<(), AllocError> {
         for (k, kernel) in self.kernels.iter().enumerate() {
             if self.max_cus_per_fpga(k) == 0 {
@@ -277,14 +366,17 @@ impl AllocationProblem {
                 )));
             }
         }
-        // First-fit-decreasing packing of one CU per kernel.
-        let mut slack: Vec<(ResourceVec, f64)> = vec![
-            (
-                *self.budget.resource_fraction(),
-                self.budget.bandwidth_fraction()
-            );
-            self.num_fpgas()
-        ];
+        // First-fit-decreasing packing of one CU per kernel; the per-CU
+        // demand is rescaled to each FPGA's own device group.
+        let mut slack: Vec<(usize, ResourceVec, f64)> = (0..self.num_fpgas())
+            .map(|f| {
+                (
+                    self.group_of_fpga(f),
+                    *self.budget.resource_fraction(),
+                    self.budget.bandwidth_fraction(),
+                )
+            })
+            .collect();
         let mut order: Vec<usize> = (0..self.kernels.len()).collect();
         order.sort_by(|&a, &b| {
             self.kernels[b]
@@ -294,13 +386,14 @@ impl AllocationProblem {
         });
         for k in order {
             let kernel = &self.kernels[k];
-            let placed = slack.iter_mut().find(|(res, bw)| {
-                kernel.resources().fits_within(res, 1e-9) && kernel.bandwidth() <= *bw + 1e-9
+            let placed = slack.iter_mut().find(|(g, res, bw)| {
+                self.kernel_resources_on(k, *g).fits_within(res, 1e-9)
+                    && self.kernel_bandwidth_on(k, *g) <= *bw + 1e-9
             });
             match placed {
-                Some((res, bw)) => {
-                    *res = *res - *kernel.resources();
-                    *bw -= kernel.bandwidth();
+                Some((g, res, bw)) => {
+                    *res = *res - self.kernel_resources_on(k, *g);
+                    *bw -= self.kernel_bandwidth_on(k, *g);
                 }
                 None => {
                     return Err(AllocError::Infeasible(format!(
@@ -320,7 +413,7 @@ impl AllocationProblem {
 #[derive(Debug, Clone, Default)]
 pub struct AllocationProblemBuilder {
     kernels: Vec<Kernel>,
-    platform: Option<MultiFpgaPlatform>,
+    platform: Option<HeterogeneousPlatform>,
     budget: Option<ResourceBudget>,
     weights: Option<GoalWeights>,
 }
@@ -340,10 +433,11 @@ impl AllocationProblemBuilder {
         self
     }
 
-    /// Sets the platform.
+    /// Sets the platform (a [`MultiFpgaPlatform`] converts into the
+    /// one-group heterogeneous form).
     #[must_use]
-    pub fn platform(mut self, platform: MultiFpgaPlatform) -> Self {
-        self.platform = Some(platform);
+    pub fn platform(mut self, platform: impl Into<HeterogeneousPlatform>) -> Self {
+        self.platform = Some(platform.into());
         self
     }
 
@@ -378,7 +472,7 @@ impl AllocationProblemBuilder {
             kernels: self.kernels,
             platform: self
                 .platform
-                .unwrap_or_else(MultiFpgaPlatform::aws_f1_16xlarge),
+                .unwrap_or_else(|| MultiFpgaPlatform::aws_f1_16xlarge().into()),
             budget: self.budget.unwrap_or_default(),
             weights: self.weights.unwrap_or_default(),
         })
@@ -466,6 +560,73 @@ mod tests {
             .build()
             .unwrap();
         assert!(p.validate_feasibility().is_err());
+    }
+
+    #[test]
+    fn heterogeneous_problems_scale_per_group() {
+        use mfa_platform::{DeviceGroup, FpgaDevice, HeterogeneousPlatform};
+
+        let fleet = HeterogeneousPlatform::new(
+            "1×VU9P + 1×KU115",
+            vec![
+                DeviceGroup::new(FpgaDevice::vu9p(), 1),
+                DeviceGroup::new(FpgaDevice::ku115(), 1),
+            ],
+        );
+        let p = AllocationProblem::builder()
+            .kernel(Kernel::new("k", 1.0, ResourceVec::bram_dsp(0.1, 0.2), 0.3).unwrap())
+            .budget(ResourceBudget::uniform(0.65))
+            .platform(fleet)
+            .build()
+            .unwrap();
+        assert_eq!(p.num_groups(), 2);
+        assert_eq!(p.num_fpgas(), 2);
+        assert_eq!(p.group_count(0), 1);
+        assert_eq!(p.group_of_fpga(0), 0);
+        assert_eq!(p.group_of_fpga(1), 1);
+        // Reference group: fractions unchanged.
+        assert_eq!(p.kernel_resources_on(0, 0), ResourceVec::bram_dsp(0.1, 0.2));
+        assert_eq!(p.kernel_bandwidth_on(0, 0), 0.3);
+        // KU115: DSP fraction inflates by 6840/5520, bandwidth by 64/38.4.
+        let scaled = p.kernel_resources_on(0, 1);
+        assert!((scaled.dsp - 0.2 * 6_840.0 / 5_520.0).abs() < 1e-12);
+        assert!((p.kernel_bandwidth_on(0, 1) - 0.3 * 64.0 / 38.4).abs() < 1e-12);
+        // Per-group CU caps: VU9P bounded by resources/bandwidth as before;
+        // KU115 bounded tighter (DSP 0.2478/CU → 2, bandwidth 0.5/CU → 2).
+        assert_eq!(p.max_cus_per_fpga_in_group(0, 0), 3);
+        assert_eq!(p.max_cus_per_fpga_in_group(0, 1), 2);
+        assert_eq!(p.max_cus_per_fpga(0), 3);
+        assert_eq!(p.max_total_cus(0), 5);
+        assert!(p.validate_feasibility().is_ok());
+    }
+
+    #[test]
+    fn with_platform_swaps_the_fleet() {
+        use mfa_platform::{DeviceGroup, FpgaDevice, HeterogeneousPlatform};
+
+        let p = AllocationProblem::builder()
+            .kernel(toy_kernel("a", 1.0, 0.1))
+            .build()
+            .unwrap();
+        let fleet = HeterogeneousPlatform::new(
+            "fleet",
+            vec![
+                DeviceGroup::new(FpgaDevice::vu9p(), 2),
+                DeviceGroup::new(FpgaDevice::ku115(), 2),
+            ],
+        );
+        let q = p.with_platform(fleet);
+        assert_eq!(q.num_fpgas(), 4);
+        assert_eq!(q.num_groups(), 2);
+        // Budget axis modifier.
+        let r = q.with_budget(ResourceBudget::new(
+            ResourceVec::new(0.9, 0.9, 0.5, 0.7),
+            0.8,
+        ));
+        assert_eq!(r.budget().resource_fraction().bram, 0.5);
+        assert_eq!(r.budget().bandwidth_fraction(), 0.8);
+        // Original untouched.
+        assert_eq!(p.num_fpgas(), 8);
     }
 
     #[test]

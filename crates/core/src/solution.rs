@@ -130,17 +130,25 @@ impl Allocation {
         w.alpha * self.initiation_interval(problem) + w.beta * self.spreading()
     }
 
-    /// Resources used on FPGA `f` (fractions of one FPGA).
+    /// Resources used on FPGA `f`, as fractions of that FPGA's own device
+    /// (per-CU demands are rescaled to the FPGA's device group). Kernels with
+    /// zero CUs on `f` contribute nothing, even where the device cannot host
+    /// them at all.
     pub fn fpga_resources(&self, problem: &AllocationProblem, f: usize) -> ResourceVec {
+        let g = problem.group_of_fpga(f);
         (0..self.num_kernels())
-            .map(|k| *problem.kernels()[k].resources() * self.n[k][f] as f64)
+            .filter(|&k| self.n[k][f] > 0)
+            .map(|k| problem.kernel_resources_on(k, g) * self.n[k][f] as f64)
             .sum()
     }
 
-    /// Bandwidth used on FPGA `f` (fraction of one FPGA's bandwidth).
+    /// Bandwidth used on FPGA `f`, as a fraction of that FPGA's own device
+    /// bandwidth.
     pub fn fpga_bandwidth(&self, problem: &AllocationProblem, f: usize) -> f64 {
+        let g = problem.group_of_fpga(f);
         (0..self.num_kernels())
-            .map(|k| problem.kernels()[k].bandwidth() * self.n[k][f] as f64)
+            .filter(|&k| self.n[k][f] > 0)
+            .map(|k| problem.kernel_bandwidth_on(k, g) * self.n[k][f] as f64)
             .sum()
     }
 

@@ -1,12 +1,32 @@
-//! Warm-start cache for neighbouring constraint points.
+//! Warm-start cache for neighbouring budget points.
 
 use mfa_alloc::gpa::GpaWarmStart;
+use mfa_platform::ResourceBudget;
 
-/// Remembers the GP+A state of already-solved constraint points so that a
-/// neighbouring point can be warm-started from the nearest one (nearest in
-/// constraint distance — the relaxations of adjacent budgets are close, so
-/// the nearest hint narrows the bisection bracket the most and its integer
-/// counts make the strongest branch-and-bound incumbent).
+/// Euclidean distance between two per-FPGA budgets over the five budget
+/// dimensions (the four resource-class fractions plus the bandwidth
+/// fraction). For two uniform budgets this reduces to `2·|a − b|` — a
+/// monotone function of the old scalar constraint distance, so nearest
+/// lookups on classic constraint-only sweeps pick the same neighbours as the
+/// scalar key did.
+pub fn budget_distance(a: &ResourceBudget, b: &ResourceBudget) -> f64 {
+    let ra = a.resource_fraction();
+    let rb = b.resource_fraction();
+    let deltas = [
+        ra.lut - rb.lut,
+        ra.ff - rb.ff,
+        ra.bram - rb.bram,
+        ra.dsp - rb.dsp,
+        a.bandwidth_fraction() - b.bandwidth_fraction(),
+    ];
+    deltas.iter().map(|d| d * d).sum::<f64>().sqrt()
+}
+
+/// Remembers the GP+A state of already-solved budget points so that a
+/// neighbouring point can be warm-started from the nearest one (nearest
+/// under [`budget_distance`] — the relaxations of nearby budgets are close,
+/// so the nearest hint narrows the bisection bracket the most and its
+/// integer counts make the strongest branch-and-bound incumbent).
 ///
 /// The executor keeps one cache per work-unit chunk. That choice is what
 /// makes parallel and serial sweeps byte-identical: the chunk decomposition
@@ -15,7 +35,7 @@ use mfa_alloc::gpa::GpaWarmStart;
 /// way.
 #[derive(Debug, Clone, Default)]
 pub struct WarmStartCache {
-    entries: Vec<(f64, GpaWarmStart)>,
+    entries: Vec<(ResourceBudget, GpaWarmStart)>,
 }
 
 impl WarmStartCache {
@@ -34,20 +54,19 @@ impl WarmStartCache {
         self.entries.is_empty()
     }
 
-    /// Records the warm-start state of a solved point.
-    pub fn insert(&mut self, resource_constraint: f64, warm: GpaWarmStart) {
-        self.entries.push((resource_constraint, warm));
+    /// Records the warm-start state of a solved budget point.
+    pub fn insert(&mut self, budget: &ResourceBudget, warm: GpaWarmStart) {
+        self.entries.push((*budget, warm));
     }
 
-    /// The cached state nearest to `resource_constraint`, if any. Ties keep
-    /// the earliest-inserted entry, so lookups are deterministic.
-    pub fn nearest(&self, resource_constraint: f64) -> Option<&GpaWarmStart> {
+    /// The cached state nearest to `budget` under [`budget_distance`], if
+    /// any. Ties keep the earliest-inserted entry, so lookups are
+    /// deterministic.
+    pub fn nearest(&self, budget: &ResourceBudget) -> Option<&GpaWarmStart> {
         self.entries
             .iter()
             .min_by(|(a, _), (b, _)| {
-                (a - resource_constraint)
-                    .abs()
-                    .total_cmp(&(b - resource_constraint).abs())
+                budget_distance(a, budget).total_cmp(&budget_distance(b, budget))
             })
             .map(|(_, warm)| warm)
     }
@@ -56,6 +75,7 @@ impl WarmStartCache {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mfa_platform::ResourceVec;
 
     fn warm(ii: f64) -> GpaWarmStart {
         GpaWarmStart {
@@ -65,16 +85,70 @@ mod tests {
     }
 
     #[test]
-    fn nearest_picks_the_closest_constraint() {
+    fn nearest_picks_the_closest_uniform_budget() {
         let mut cache = WarmStartCache::new();
         assert!(cache.is_empty());
-        assert!(cache.nearest(0.6).is_none());
-        cache.insert(0.55, warm(2.0));
-        cache.insert(0.85, warm(1.0));
+        assert!(cache.nearest(&ResourceBudget::uniform(0.6)).is_none());
+        cache.insert(&ResourceBudget::uniform(0.55), warm(2.0));
+        cache.insert(&ResourceBudget::uniform(0.85), warm(1.0));
         assert_eq!(cache.len(), 2);
-        assert!((cache.nearest(0.60).unwrap().relaxed_ii_ms - 2.0).abs() < 1e-12);
-        assert!((cache.nearest(0.80).unwrap().relaxed_ii_ms - 1.0).abs() < 1e-12);
-        // Exactly halfway: the earliest insertion wins.
-        assert!((cache.nearest(0.70).unwrap().relaxed_ii_ms - 2.0).abs() < 1e-12);
+        let near = |c: f64| cache.nearest(&ResourceBudget::uniform(c)).unwrap();
+        assert!((near(0.60).relaxed_ii_ms - 2.0).abs() < 1e-12);
+        assert!((near(0.80).relaxed_ii_ms - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nearest_tie_keeps_the_earliest_insertion() {
+        // Two cached budgets exactly equidistant (in the full 5-D metric)
+        // from the query — dyadic fractions, so the distances are bit-exact
+        // ties: the earliest-inserted entry must win, pinning the executor's
+        // determinism under the budget-distance metric.
+        let mut cache = WarmStartCache::new();
+        cache.insert(&ResourceBudget::uniform(0.5), warm(2.0));
+        cache.insert(&ResourceBudget::uniform(1.0), warm(1.0));
+        assert!(
+            (cache
+                .nearest(&ResourceBudget::uniform(0.75))
+                .unwrap()
+                .relaxed_ii_ms
+                - 2.0)
+                .abs()
+                < 1e-12
+        );
+        // Same tie, reversed insertion order: the other entry wins.
+        let mut reversed = WarmStartCache::new();
+        reversed.insert(&ResourceBudget::uniform(1.0), warm(1.0));
+        reversed.insert(&ResourceBudget::uniform(0.5), warm(2.0));
+        assert!(
+            (reversed
+                .nearest(&ResourceBudget::uniform(0.75))
+                .unwrap()
+                .relaxed_ii_ms
+                - 1.0)
+                .abs()
+                < 1e-12
+        );
+    }
+
+    #[test]
+    fn distance_separates_per_resource_budgets_with_equal_scalars() {
+        // Two budgets share the same max component (the old scalar key) but
+        // differ per class; the metric must tell them apart.
+        let skewed = ResourceBudget::new(ResourceVec::new(0.9, 0.9, 0.3, 0.6), 1.0);
+        let uniformish = ResourceBudget::new(ResourceVec::new(0.9, 0.9, 0.85, 0.9), 1.0);
+        let query = ResourceBudget::new(ResourceVec::new(0.9, 0.9, 0.8, 0.9), 1.0);
+        assert!(budget_distance(&query, &uniformish) < budget_distance(&query, &skewed));
+        let mut cache = WarmStartCache::new();
+        cache.insert(&skewed, warm(3.0));
+        cache.insert(&uniformish, warm(4.0));
+        assert!((cache.nearest(&query).unwrap().relaxed_ii_ms - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_distance_is_twice_the_scalar_distance() {
+        let a = ResourceBudget::uniform(0.55);
+        let b = ResourceBudget::uniform(0.85);
+        assert!((budget_distance(&a, &b) - 2.0 * 0.30).abs() < 1e-12);
+        assert_eq!(budget_distance(&a, &a), 0.0);
     }
 }

@@ -55,23 +55,27 @@ impl ExecutorOptions {
     }
 }
 
-/// One series of a completed sweep: a (case, FPGA count, backend)
-/// combination and its points in constraint-axis order. Points whose
-/// constraint is infeasible or unplaceable are absent, exactly as in
+/// One series of a completed sweep: a (case, platform point, backend)
+/// combination and its points in budget-axis order. Points whose budget is
+/// infeasible or unplaceable are absent, exactly as in
 /// [`mfa_alloc::explore::sweep_gpa`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SweepSeries {
     /// Label of the swept case.
     pub case: String,
-    /// FPGA count of this series.
+    /// Label of the series' platform point (`"N FPGAs"` for the classic
+    /// FPGA-count axis, the platform label for explicit — e.g.
+    /// heterogeneous — platform points).
+    pub platform: String,
+    /// Total FPGA count of this series.
     pub num_fpgas: usize,
     /// Label of the solver backend.
     pub backend: String,
-    /// Solved points, ordered along the grid's constraint axis.
+    /// Solved points, ordered along the grid's budget axis.
     pub points: Vec<SweepPoint>,
 }
 
-/// A contiguous run of constraint points of one series.
+/// A contiguous run of budget points of one series.
 #[derive(Debug, Clone, Copy)]
 struct WorkUnit {
     series: usize,
@@ -99,7 +103,7 @@ pub fn run_sweep(
     options: &ExecutorOptions,
 ) -> Result<Vec<SweepSeries>, ExploreError> {
     let chunk = options.chunk_size.max(1);
-    let num_points = grid.constraints.len();
+    let num_points = grid.budgets.len();
     let mut units = Vec::new();
     for series in 0..grid.num_series() {
         let mut start = 0;
@@ -183,10 +187,11 @@ pub fn run_sweep(
     // order so each series' points follow the constraint axis.
     let mut series: Vec<SweepSeries> = (0..grid.num_series())
         .map(|s| {
-            let (case, fpga, backend) = grid.series_key(s);
+            let (case, platform, backend) = grid.series_key(s);
             SweepSeries {
                 case: grid.cases[case].label().to_owned(),
-                num_fpgas: grid.fpga_counts[fpga],
+                platform: grid.platforms[platform].label(),
+                num_fpgas: grid.platforms[platform].num_fpgas(),
                 backend: grid.backends[backend].label().to_owned(),
                 points: Vec::new(),
             }
@@ -206,16 +211,16 @@ pub fn run_sweep(
 
 type UnitResult = Result<Vec<Option<SweepPoint>>, ExploreError>;
 
-/// Solves one chunk of constraint points, warm-starting each GP+A solve from
-/// the nearest already-solved point of the same chunk.
+/// Solves one chunk of budget points, warm-starting each GP+A solve from the
+/// nearest (in budget distance) already-solved point of the same chunk.
 fn compute_unit(grid: &SweepGrid, unit: WorkUnit, warm_start: bool) -> UnitResult {
-    let (case_idx, fpga_idx, backend_idx) = grid.series_key(unit.series);
+    let (case_idx, platform_idx, backend_idx) = grid.series_key(unit.series);
     let case = &grid.cases[case_idx];
-    let num_fpgas = grid.fpga_counts[fpga_idx];
+    let platform = &grid.platforms[platform_idx];
     let backend = &grid.backends[backend_idx];
     let fail = |constraint: f64, source: mfa_alloc::AllocError| ExploreError::Solver {
         case: case.label().to_owned(),
-        num_fpgas,
+        num_fpgas: platform.num_fpgas(),
         backend: backend.label().to_owned(),
         resource_constraint: constraint,
         source,
@@ -223,18 +228,20 @@ fn compute_unit(grid: &SweepGrid, unit: WorkUnit, warm_start: bool) -> UnitResul
 
     let mut points = Vec::with_capacity(unit.end - unit.start);
     let mut cache = WarmStartCache::new();
-    for &constraint in &grid.constraints[unit.start..unit.end] {
-        let instance = case.problem(num_fpgas, constraint);
+    for budget_spec in &grid.budgets[unit.start..unit.end] {
+        let instance = case.problem_at(platform, budget_spec);
+        let constraint = budget_spec.scalar();
+        let budget = *instance.budget();
         match backend {
             SolverSpec::Gpa { options, .. } => {
                 let hint = if warm_start {
-                    cache.nearest(constraint)
+                    cache.nearest(&budget)
                 } else {
                     None
                 };
                 match explore::measure_gpa_instance(&instance, constraint, options, hint) {
                     Ok(Some((point, warm))) => {
-                        cache.insert(constraint, warm);
+                        cache.insert(&budget, warm);
                         points.push(Some(point));
                     }
                     Ok(None) => points.push(None),
@@ -376,6 +383,58 @@ mod tests {
         let series = run_sweep(&grid, &ExecutorOptions::default()).unwrap();
         assert_eq!(series[0].points.len(), 1);
         assert!((series[0].points[0].resource_constraint - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn heterogeneous_platform_and_budget_axes_run_deterministically() {
+        use mfa_platform::{
+            DeviceGroup, FpgaDevice, HeterogeneousPlatform, ResourceBudget, ResourceVec,
+        };
+        let fleet = HeterogeneousPlatform::new(
+            "1×VU9P + 1×KU115",
+            vec![
+                DeviceGroup::new(FpgaDevice::vu9p(), 1),
+                DeviceGroup::new(FpgaDevice::ku115(), 1),
+            ],
+        );
+        let grid = SweepGrid::builder()
+            .case(CaseSpec::from_paper(PaperCase::Alex16OnTwoFpgas))
+            .fpga_counts([2])
+            .platform(crate::PlatformSpec::platform(fleet))
+            .constraints([0.65, 0.80])
+            .budget(ResourceBudget::new(
+                ResourceVec::new(0.9, 0.9, 0.6, 0.75),
+                0.9,
+            ))
+            .backend(SolverSpec::gpa(GpaOptions::fast()))
+            .build()
+            .unwrap();
+        let serial = run_sweep(&grid, &ExecutorOptions::serial()).unwrap();
+        let parallel = run_sweep(
+            &grid,
+            &ExecutorOptions {
+                num_threads: Some(4),
+                chunk_size: 2,
+                warm_start: true,
+            },
+        )
+        .unwrap();
+        assert_eq!(zero_timing(serial.clone()), zero_timing(parallel));
+        assert_eq!(serial.len(), 2);
+        assert_eq!(serial[0].platform, "2 FPGAs");
+        assert_eq!(serial[1].platform, "1×VU9P + 1×KU115");
+        assert_eq!(serial[1].num_fpgas, 2);
+        // All three budget points solve on both platforms.
+        for s in &serial {
+            assert_eq!(s.points.len(), 3, "{}: {:?}", s.platform, s.points);
+            // The per-resource point records its full budget.
+            let skewed = &s.points[2];
+            assert!((skewed.budget.resource_fraction().bram - 0.6).abs() < 1e-12);
+            assert!((skewed.budget.bandwidth_fraction() - 0.9).abs() < 1e-12);
+            assert!((skewed.resource_constraint - 0.9).abs() < 1e-12);
+        }
+        // The uniform points inherit the case's full bandwidth.
+        assert!((serial[0].points[0].budget.bandwidth_fraction() - 1.0).abs() < 1e-12);
     }
 
     #[test]

@@ -14,23 +14,36 @@ use std::path::Path;
 use crate::executor::SweepSeries;
 
 /// Serializes series as a JSON array, one object per series with its points
-/// inline. Non-finite floats (never produced by a healthy sweep) map to
-/// `null` to keep the output standard JSON.
+/// inline. Each series carries its platform label; each point carries its
+/// full per-FPGA budget (the per-class fractions plus the bandwidth cap)
+/// next to the scalar `resource_constraint` key. Non-finite floats (never
+/// produced by a healthy sweep) map to `null` to keep the output standard
+/// JSON.
 pub fn series_to_json(series: &[SweepSeries]) -> String {
     let mut out = String::from("[\n");
     for (i, s) in series.iter().enumerate() {
         out.push_str("  {");
         out.push_str(&format!(
-            "\"case\": {}, \"num_fpgas\": {}, \"backend\": {}, \"points\": [",
+            "\"case\": {}, \"platform\": {}, \"num_fpgas\": {}, \"backend\": {}, \"points\": [",
             json_string(&s.case),
+            json_string(&s.platform),
             s.num_fpgas,
             json_string(&s.backend)
         ));
         for (j, p) in s.points.iter().enumerate() {
+            let fraction = p.budget.resource_fraction();
             out.push_str(&format!(
-                "\n    {{\"resource_constraint\": {}, \"initiation_interval_ms\": {}, \
+                "\n    {{\"resource_constraint\": {}, \
+                 \"budget\": {{\"lut\": {}, \"ff\": {}, \"bram\": {}, \"dsp\": {}, \
+                 \"bandwidth\": {}}}, \
+                 \"initiation_interval_ms\": {}, \
                  \"average_utilization\": {}, \"spreading\": {}, \"solve_seconds\": {}}}",
                 json_f64(p.resource_constraint),
+                json_f64(fraction.lut),
+                json_f64(fraction.ff),
+                json_f64(fraction.bram),
+                json_f64(fraction.dsp),
+                json_f64(p.budget.bandwidth_fraction()),
                 json_f64(p.initiation_interval_ms),
                 json_f64(p.average_utilization),
                 json_f64(p.spreading),
@@ -57,20 +70,28 @@ pub fn series_to_json(series: &[SweepSeries]) -> String {
 }
 
 /// Serializes series as CSV with one row per point:
-/// `case,num_fpgas,backend,resource_constraint,initiation_interval_ms,average_utilization,spreading,solve_seconds`.
+/// `case,platform,num_fpgas,backend,resource_constraint,lut_budget,ff_budget,bram_budget,dsp_budget,bandwidth_budget,initiation_interval_ms,average_utilization,spreading,solve_seconds`.
 pub fn series_to_csv(series: &[SweepSeries]) -> String {
     let mut out = String::from(
-        "case,num_fpgas,backend,resource_constraint,initiation_interval_ms,\
-         average_utilization,spreading,solve_seconds\n",
+        "case,platform,num_fpgas,backend,resource_constraint,\
+         lut_budget,ff_budget,bram_budget,dsp_budget,bandwidth_budget,\
+         initiation_interval_ms,average_utilization,spreading,solve_seconds\n",
     );
     for s in series {
         for p in &s.points {
+            let fraction = p.budget.resource_fraction();
             out.push_str(&format!(
-                "{},{},{},{},{},{},{},{}\n",
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
                 csv_field(&s.case),
+                csv_field(&s.platform),
                 s.num_fpgas,
                 csv_field(&s.backend),
                 p.resource_constraint,
+                fraction.lut,
+                fraction.ff,
+                fraction.bram,
+                fraction.dsp,
+                p.budget.bandwidth_fraction(),
                 p.initiation_interval_ms,
                 p.average_utilization,
                 p.spreading,
@@ -141,22 +162,27 @@ mod tests {
     use super::*;
     use mfa_alloc::explore::SweepPoint;
 
+    use mfa_platform::{ResourceBudget, ResourceVec};
+
     fn sample() -> Vec<SweepSeries> {
         vec![
             SweepSeries {
                 case: "Alex-16 on 2 FPGAs".into(),
+                platform: "2 FPGAs".into(),
                 num_fpgas: 2,
                 backend: "GP+A".into(),
                 points: vec![
                     SweepPoint {
                         resource_constraint: 0.55,
+                        budget: ResourceBudget::uniform(0.55),
                         initiation_interval_ms: 1.7,
                         average_utilization: 0.52,
                         spreading: 6.0,
                         solve_seconds: 0.01,
                     },
                     SweepPoint {
-                        resource_constraint: 0.85,
+                        resource_constraint: 0.9,
+                        budget: ResourceBudget::new(ResourceVec::new(0.9, 0.9, 0.5, 0.7), 0.8),
                         initiation_interval_ms: 1.06,
                         average_utilization: 0.5,
                         spreading: 6.5,
@@ -166,7 +192,8 @@ mod tests {
             },
             SweepSeries {
                 case: "odd \"label\", with comma".into(),
-                num_fpgas: 4,
+                platform: "4×VU9P + 4×KU115".into(),
+                num_fpgas: 8,
                 backend: "MINLP".into(),
                 points: vec![],
             },
@@ -179,8 +206,17 @@ mod tests {
         assert!(json.starts_with("[\n"));
         assert!(json.trim_end().ends_with(']'));
         assert!(json.contains("\"case\": \"Alex-16 on 2 FPGAs\""));
+        assert!(json.contains("\"platform\": \"2 FPGAs\""));
+        assert!(json.contains("\"platform\": \"4×VU9P + 4×KU115\""));
         assert!(json.contains("\"resource_constraint\": 0.55"));
         assert!(json.contains("\"initiation_interval_ms\": 1.7"));
+        // The full budget rides along with every point: uniform on the
+        // first, per-resource (BRAM 0.5, bandwidth 0.8) on the second.
+        assert!(json.contains(
+            "\"budget\": {\"lut\": 0.55, \"ff\": 0.55, \"bram\": 0.55, \"dsp\": 0.55, \
+             \"bandwidth\": 1}"
+        ));
+        assert!(json.contains("\"bram\": 0.5, \"dsp\": 0.7, \"bandwidth\": 0.8"));
         assert!(json.contains("\"odd \\\"label\\\", with comma\""));
         // The empty series still appears, with an empty points array.
         assert!(json.contains("\"points\": []"));
@@ -198,9 +234,14 @@ mod tests {
         let csv = series_to_csv(&sample());
         let lines: Vec<&str> = csv.lines().collect();
         assert_eq!(lines.len(), 3); // header + 2 points (empty series: no rows)
-        assert!(lines[0].starts_with("case,num_fpgas,backend,resource_constraint"));
-        assert!(lines[1].starts_with("Alex-16 on 2 FPGAs,2,GP+A,0.55,1.7,"));
-        assert_eq!(lines[1].split(',').count(), 8);
+        assert!(lines[0].starts_with(
+            "case,platform,num_fpgas,backend,resource_constraint,\
+             lut_budget,ff_budget,bram_budget,dsp_budget,bandwidth_budget"
+        ));
+        assert!(lines[1].starts_with("Alex-16 on 2 FPGAs,2 FPGAs,2,GP+A,0.55,"));
+        assert_eq!(lines[1].split(',').count(), 14);
+        // The per-resource budget point spells out its fractions.
+        assert!(lines[2].contains("0.9,0.9,0.5,0.7,0.8"));
     }
 
     #[test]

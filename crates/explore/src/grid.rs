@@ -1,11 +1,118 @@
-//! The sweep grid: cases × FPGA counts × resource constraints × backends.
+//! The sweep grid: cases × platforms × budgets × backends.
+//!
+//! The platform axis accepts both plain FPGA counts (re-parameterizing the
+//! case's base platform, as in the paper's figures) and explicit
+//! — possibly heterogeneous — [`HeterogeneousPlatform`] specs; the budget
+//! axis accepts both the paper's uniform "resource constraint %" points and
+//! full per-resource [`ResourceBudget`] points with independent
+//! LUT/FF/BRAM/DSP/bandwidth fractions.
 
 use mfa_alloc::cases::PaperCase;
 use mfa_alloc::exact::{ExactMode, ExactOptions};
 use mfa_alloc::gpa::GpaOptions;
 use mfa_alloc::AllocationProblem;
+use mfa_platform::{HeterogeneousPlatform, ResourceBudget};
 
 use crate::ExploreError;
+
+/// One point of the grid's platform axis.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlatformSpec {
+    /// Re-parameterize the case's base platform to `n` FPGAs of its
+    /// reference device (the classic "FPGA count" axis of Figs. 3–5).
+    FpgaCount(usize),
+    /// Swap in an explicit platform — typically a heterogeneous fleet of
+    /// device groups.
+    Platform {
+        /// Label used in series identifiers and exports.
+        label: String,
+        /// The platform each point of the series runs on.
+        platform: HeterogeneousPlatform,
+    },
+}
+
+impl PlatformSpec {
+    /// An explicit platform point labeled by the platform's own name.
+    pub fn platform(platform: HeterogeneousPlatform) -> Self {
+        PlatformSpec::Platform {
+            label: platform.name().to_owned(),
+            platform,
+        }
+    }
+
+    /// An explicit platform point with a custom label.
+    pub fn platform_labeled(label: impl Into<String>, platform: HeterogeneousPlatform) -> Self {
+        PlatformSpec::Platform {
+            label: label.into(),
+            platform,
+        }
+    }
+
+    /// The label used in series identifiers and exports.
+    pub fn label(&self) -> String {
+        match self {
+            PlatformSpec::FpgaCount(n) => format!("{n} FPGAs"),
+            PlatformSpec::Platform { label, .. } => label.clone(),
+        }
+    }
+
+    /// Total FPGA count of the point.
+    pub fn num_fpgas(&self) -> usize {
+        match self {
+            PlatformSpec::FpgaCount(n) => *n,
+            PlatformSpec::Platform { platform, .. } => platform.num_fpgas(),
+        }
+    }
+
+    /// Applies the point to a case's base problem.
+    pub(crate) fn apply(&self, base: &AllocationProblem) -> AllocationProblem {
+        match self {
+            PlatformSpec::FpgaCount(n) => base.with_num_fpgas(*n),
+            PlatformSpec::Platform { platform, .. } => base.with_platform(platform.clone()),
+        }
+    }
+}
+
+/// One point of the grid's budget axis.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BudgetSpec {
+    /// The paper's uniform "resource constraint %": the fraction applies to
+    /// every resource class, the bandwidth cap stays at the case's base.
+    Uniform(f64),
+    /// A full per-resource budget: independent LUT/FF/BRAM/DSP fractions
+    /// plus a bandwidth fraction.
+    PerResource(ResourceBudget),
+}
+
+impl BudgetSpec {
+    /// Scalar key of the point: the uniform fraction, or the largest
+    /// per-class fraction of a per-resource budget. Exports and warm-start
+    /// bookkeeping use the full budget; this scalar only orders and labels
+    /// points.
+    pub fn scalar(&self) -> f64 {
+        match self {
+            BudgetSpec::Uniform(fraction) => *fraction,
+            BudgetSpec::PerResource(budget) => budget.resource_fraction().max_component(),
+        }
+    }
+
+    /// The full budget the point solves under, given a case's base problem
+    /// (a uniform point inherits the base bandwidth cap).
+    pub fn budget(&self, base: &AllocationProblem) -> ResourceBudget {
+        match self {
+            BudgetSpec::Uniform(fraction) => ResourceBudget::new(
+                mfa_platform::ResourceVec::uniform(*fraction),
+                base.budget().bandwidth_fraction(),
+            ),
+            BudgetSpec::PerResource(budget) => *budget,
+        }
+    }
+
+    /// Applies the point to an (already platform-adjusted) problem.
+    pub(crate) fn apply(&self, problem: &AllocationProblem) -> AllocationProblem {
+        problem.with_budget(self.budget(problem))
+    }
+}
 
 /// One application case to sweep: a label plus a base [`AllocationProblem`]
 /// whose FPGA count and resource constraint the grid re-parameterizes per
@@ -39,11 +146,18 @@ impl CaseSpec {
         CaseSpec::new(case.label(), base)
     }
 
-    /// The problem instance of one grid point.
+    /// The problem instance of one grid point on the classic axes (FPGA
+    /// count × uniform constraint).
     pub fn problem(&self, num_fpgas: usize, resource_constraint: f64) -> AllocationProblem {
-        self.base
-            .with_num_fpgas(num_fpgas)
-            .with_resource_constraint(resource_constraint)
+        self.problem_at(
+            &PlatformSpec::FpgaCount(num_fpgas),
+            &BudgetSpec::Uniform(resource_constraint),
+        )
+    }
+
+    /// The problem instance of one grid point on the generalized axes.
+    pub fn problem_at(&self, platform: &PlatformSpec, budget: &BudgetSpec) -> AllocationProblem {
+        budget.apply(&platform.apply(&self.base))
     }
 }
 
@@ -107,13 +221,13 @@ impl SolverSpec {
 }
 
 /// A declarative sweep grid. Build with [`SweepGrid::builder`]; run with
-/// [`crate::run_sweep`]. Series are enumerated case-major, then FPGA count,
-/// then backend; points within a series follow the constraint axis order.
+/// [`crate::run_sweep`]. Series are enumerated case-major, then platform
+/// point, then backend; points within a series follow the budget axis order.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SweepGrid {
     pub(crate) cases: Vec<CaseSpec>,
-    pub(crate) fpga_counts: Vec<usize>,
-    pub(crate) constraints: Vec<f64>,
+    pub(crate) platforms: Vec<PlatformSpec>,
+    pub(crate) budgets: Vec<BudgetSpec>,
     pub(crate) backends: Vec<SolverSpec>,
 }
 
@@ -123,28 +237,33 @@ impl SweepGrid {
         SweepGridBuilder::default()
     }
 
-    /// Number of series: cases × FPGA counts × backends.
+    /// Number of series: cases × platform points × backends.
     pub fn num_series(&self) -> usize {
-        self.cases.len() * self.fpga_counts.len() * self.backends.len()
+        self.cases.len() * self.platforms.len() * self.backends.len()
     }
 
-    /// Number of grid points: series × constraints.
+    /// Number of grid points: series × budget points.
     pub fn num_points(&self) -> usize {
-        self.num_series() * self.constraints.len()
+        self.num_series() * self.budgets.len()
     }
 
-    /// The constraint axis.
-    pub fn constraints(&self) -> &[f64] {
-        &self.constraints
+    /// The budget axis.
+    pub fn budgets(&self) -> &[BudgetSpec] {
+        &self.budgets
     }
 
-    /// Decomposes a series index into (case, FPGA count, backend) indices.
+    /// The platform axis.
+    pub fn platforms(&self) -> &[PlatformSpec] {
+        &self.platforms
+    }
+
+    /// Decomposes a series index into (case, platform, backend) indices.
     pub(crate) fn series_key(&self, series: usize) -> (usize, usize, usize) {
         let backends = self.backends.len();
-        let fpgas = self.fpga_counts.len();
+        let platforms = self.platforms.len();
         (
-            series / (fpgas * backends),
-            (series / backends) % fpgas,
+            series / (platforms * backends),
+            (series / backends) % platforms,
             series % backends,
         )
     }
@@ -154,8 +273,8 @@ impl SweepGrid {
 #[derive(Debug, Clone, Default)]
 pub struct SweepGridBuilder {
     cases: Vec<CaseSpec>,
-    fpga_counts: Vec<usize>,
-    constraints: Vec<f64>,
+    platforms: Vec<PlatformSpec>,
+    budgets: Vec<BudgetSpec>,
     backends: Vec<SolverSpec>,
 }
 
@@ -174,17 +293,51 @@ impl SweepGridBuilder {
         self
     }
 
-    /// Adds FPGA counts to sweep.
+    /// Adds FPGA counts to the platform axis (each re-parameterizes the
+    /// case's base platform, as in the paper's figures).
     #[must_use]
     pub fn fpga_counts(mut self, counts: impl IntoIterator<Item = usize>) -> Self {
-        self.fpga_counts.extend(counts);
+        self.platforms
+            .extend(counts.into_iter().map(PlatformSpec::FpgaCount));
         self
     }
 
-    /// Adds resource-constraint points (fractions in `(0, 1]`).
+    /// Adds one explicit platform point (e.g. a heterogeneous fleet).
+    #[must_use]
+    pub fn platform(mut self, platform: PlatformSpec) -> Self {
+        self.platforms.push(platform);
+        self
+    }
+
+    /// Adds several explicit platform points.
+    #[must_use]
+    pub fn platforms(mut self, platforms: impl IntoIterator<Item = PlatformSpec>) -> Self {
+        self.platforms.extend(platforms);
+        self
+    }
+
+    /// Adds uniform resource-constraint points (fractions in `(0, 1]`) to
+    /// the budget axis.
     #[must_use]
     pub fn constraints(mut self, constraints: impl IntoIterator<Item = f64>) -> Self {
-        self.constraints.extend(constraints);
+        self.budgets
+            .extend(constraints.into_iter().map(BudgetSpec::Uniform));
+        self
+    }
+
+    /// Adds one per-resource budget point (independent LUT/FF/BRAM/DSP
+    /// fractions plus a bandwidth cap).
+    #[must_use]
+    pub fn budget(mut self, budget: ResourceBudget) -> Self {
+        self.budgets.push(BudgetSpec::PerResource(budget));
+        self
+    }
+
+    /// Adds several per-resource budget points.
+    #[must_use]
+    pub fn budgets(mut self, budgets: impl IntoIterator<Item = ResourceBudget>) -> Self {
+        self.budgets
+            .extend(budgets.into_iter().map(BudgetSpec::PerResource));
         self
     }
 
@@ -207,19 +360,21 @@ impl SweepGridBuilder {
     /// # Errors
     ///
     /// Returns [`ExploreError::InvalidGrid`] when an axis is empty, an FPGA
-    /// count is zero, or a constraint is not a fraction in `(0, 1]`.
+    /// count is zero, or a uniform constraint is not a fraction in `(0, 1]`
+    /// (per-resource budget points are validated by [`ResourceBudget`]'s own
+    /// constructors).
     pub fn build(self) -> Result<SweepGrid, ExploreError> {
         if self.cases.is_empty() {
             return Err(ExploreError::InvalidGrid("no cases on the grid".into()));
         }
-        if self.fpga_counts.is_empty() {
+        if self.platforms.is_empty() {
             return Err(ExploreError::InvalidGrid(
-                "no FPGA counts on the grid".into(),
+                "no platform points (FPGA counts or platforms) on the grid".into(),
             ));
         }
-        if self.constraints.is_empty() {
+        if self.budgets.is_empty() {
             return Err(ExploreError::InvalidGrid(
-                "no resource constraints on the grid".into(),
+                "no budget points (constraints or budgets) on the grid".into(),
             ));
         }
         if self.backends.is_empty() {
@@ -227,24 +382,26 @@ impl SweepGridBuilder {
                 "no solver backends on the grid".into(),
             ));
         }
-        if let Some(&bad) = self.fpga_counts.iter().find(|&&f| f == 0) {
+        if let Some(bad) = self.platforms.iter().find_map(|p| match p {
+            PlatformSpec::FpgaCount(0) => Some(0usize),
+            _ => None,
+        }) {
             return Err(ExploreError::InvalidGrid(format!(
                 "FPGA count must be at least 1, got {bad}"
             )));
         }
-        if let Some(&bad) = self
-            .constraints
-            .iter()
-            .find(|&&c| !c.is_finite() || c <= 0.0 || c > 1.0)
-        {
+        if let Some(bad) = self.budgets.iter().find_map(|b| match b {
+            BudgetSpec::Uniform(c) if !c.is_finite() || *c <= 0.0 || *c > 1.0 => Some(*c),
+            _ => None,
+        }) {
             return Err(ExploreError::InvalidGrid(format!(
                 "resource constraints must be fractions in (0, 1], got {bad}"
             )));
         }
         Ok(SweepGrid {
             cases: self.cases,
-            fpga_counts: self.fpga_counts,
-            constraints: self.constraints,
+            platforms: self.platforms,
+            budgets: self.budgets,
             backends: self.backends,
         })
     }
@@ -409,5 +566,68 @@ mod tests {
         let q = case.problem(2, 0.8);
         assert_eq!(q.num_fpgas(), 2);
         assert_eq!(p.num_kernels(), q.num_kernels());
+    }
+
+    fn mixed_fleet() -> mfa_platform::HeterogeneousPlatform {
+        use mfa_platform::{DeviceGroup, FpgaDevice, HeterogeneousPlatform};
+        HeterogeneousPlatform::new(
+            "2×VU9P + 2×KU115",
+            vec![
+                DeviceGroup::new(FpgaDevice::vu9p(), 2),
+                DeviceGroup::new(FpgaDevice::ku115(), 2),
+            ],
+        )
+    }
+
+    #[test]
+    fn platform_axis_mixes_counts_and_heterogeneous_fleets() {
+        let count = PlatformSpec::FpgaCount(4);
+        assert_eq!(count.label(), "4 FPGAs");
+        assert_eq!(count.num_fpgas(), 4);
+        let fleet = PlatformSpec::platform(mixed_fleet());
+        assert_eq!(fleet.label(), "2×VU9P + 2×KU115");
+        assert_eq!(fleet.num_fpgas(), 4);
+        let labeled = PlatformSpec::platform_labeled("mixed", mixed_fleet());
+        assert_eq!(labeled.label(), "mixed");
+
+        let case = CaseSpec::from_paper(PaperCase::Alex16OnTwoFpgas);
+        let p = case.problem_at(&fleet, &BudgetSpec::Uniform(0.7));
+        assert_eq!(p.num_groups(), 2);
+        assert_eq!(p.num_fpgas(), 4);
+        assert!((p.budget().resource_fraction().dsp - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn budget_axis_mixes_uniform_and_per_resource_points() {
+        use mfa_platform::{ResourceBudget, ResourceVec};
+        let uniform = BudgetSpec::Uniform(0.65);
+        assert_eq!(uniform.scalar(), 0.65);
+        let skewed = BudgetSpec::PerResource(ResourceBudget::new(
+            ResourceVec::new(0.9, 0.9, 0.5, 0.7),
+            0.8,
+        ));
+        assert_eq!(skewed.scalar(), 0.9);
+
+        let case = CaseSpec::from_paper(PaperCase::Alex16OnTwoFpgas);
+        let p = case.problem_at(&PlatformSpec::FpgaCount(2), &skewed);
+        assert!((p.budget().resource_fraction().bram - 0.5).abs() < 1e-12);
+        assert!((p.budget().bandwidth_fraction() - 0.8).abs() < 1e-12);
+
+        let grid = SweepGrid::builder()
+            .case(case)
+            .fpga_counts([2])
+            .platform(PlatformSpec::platform(mixed_fleet()))
+            .constraints([0.6, 0.7])
+            .budget(ResourceBudget::new(
+                ResourceVec::new(0.9, 0.9, 0.5, 0.7),
+                0.8,
+            ))
+            .backend(SolverSpec::gpa(GpaOptions::fast()))
+            .build()
+            .unwrap();
+        assert_eq!(grid.num_series(), 2);
+        assert_eq!(grid.num_points(), 6);
+        assert_eq!(grid.budgets().len(), 3);
+        assert_eq!(grid.platforms().len(), 2);
     }
 }

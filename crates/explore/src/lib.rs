@@ -5,23 +5,27 @@
 //! configurations — *practical*. This crate promotes that exploration into a
 //! first-class subsystem on top of the solvers in [`mfa_alloc`]:
 //!
-//! * [`SweepGrid`] — a declarative grid over four axes: case × FPGA count ×
-//!   resource constraint × solver backend. Each (case, FPGA count, backend)
-//!   combination is one *series*; the constraint axis provides the points of
-//!   that series.
+//! * [`SweepGrid`] — a declarative grid over four axes: case × platform ×
+//!   budget × solver backend. Each (case, platform point, backend)
+//!   combination is one *series*; the budget axis provides the points of
+//!   that series. The platform axis mixes plain FPGA counts with explicit
+//!   [`PlatformSpec`] points (heterogeneous fleets of device groups); the
+//!   budget axis mixes the paper's uniform "resource constraint %" with full
+//!   per-resource [`BudgetSpec`] points carrying independent
+//!   LUT/FF/BRAM/DSP/bandwidth fractions.
 //! * [`run_sweep`] — a multi-threaded executor built on [`std::thread::scope`]
 //!   with chunked work distribution. Results are assembled in grid order, so
 //!   the output is deterministic and identical to the serial path regardless
 //!   of thread count or scheduling.
-//! * [`WarmStartCache`] — within a chunk of neighbouring constraint points,
-//!   each GP+A solve is warm-started from the nearest already-solved point:
-//!   the continuous relaxation narrows its bisection bracket and the
-//!   discretization branch-and-bound is seeded with an incumbent. Warm
-//!   starts are verified before use and always reach the same initiation
-//!   interval as a cold solve; when several integer designs tie on II, the
-//!   warm-started search may return the neighbour's design (disable
-//!   [`ExecutorOptions::warm_start`] for bit-identical agreement with the
-//!   cold serial sweeps).
+//! * [`WarmStartCache`] — within a chunk of neighbouring budget points, each
+//!   GP+A solve is warm-started from the nearest already-solved point under
+//!   the [`budget_distance`] metric: the continuous relaxation narrows its
+//!   bisection bracket and the discretization branch-and-bound is seeded
+//!   with an incumbent. Warm starts are verified before use and always reach
+//!   the same initiation interval as a cold solve; when several integer
+//!   designs tie on II, the warm-started search may return the neighbour's
+//!   design (disable [`ExecutorOptions::warm_start`] for bit-identical
+//!   agreement with the cold serial sweeps).
 //! * [`export`] — JSON and CSV serialization of swept series for plotting.
 //! * [`validate`] — cross-checks a sample of swept designs against the
 //!   [`mfa_sim`] discrete-event simulator.
@@ -62,10 +66,12 @@ pub mod export;
 mod grid;
 pub mod validate;
 
-pub use cache::WarmStartCache;
+pub use cache::{budget_distance, WarmStartCache};
 pub use error::ExploreError;
 pub use executor::{run_sweep, ExecutorOptions, SweepSeries};
-pub use grid::{constraint_grid, CaseSpec, SolverSpec, SweepGrid, SweepGridBuilder};
+pub use grid::{
+    constraint_grid, BudgetSpec, CaseSpec, PlatformSpec, SolverSpec, SweepGrid, SweepGridBuilder,
+};
 
 // The point type is shared with the serial sweeps in `mfa_alloc::explore`.
 pub use mfa_alloc::explore::SweepPoint;

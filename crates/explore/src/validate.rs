@@ -8,6 +8,7 @@
 
 use mfa_alloc::explore;
 use mfa_alloc::gpa::{self, GpaOptions};
+use mfa_alloc::AllocationProblem;
 use mfa_sim::{simulate, SimConfig};
 
 use crate::grid::CaseSpec;
@@ -47,31 +48,53 @@ pub fn cross_validate_gpa(
     let mut rows = Vec::with_capacity(constraints.len());
     for &constraint in constraints {
         let instance = case.problem(num_fpgas, constraint);
-        let outcome = match gpa::solve(&instance, options) {
-            Ok(outcome) => outcome,
-            Err(err) if explore::is_skippable_point_error(&err) => continue,
-            Err(err) => {
-                return Err(ExploreError::Solver {
-                    case: case.label().to_owned(),
-                    num_fpgas,
-                    backend: "GP+A".to_owned(),
-                    resource_constraint: constraint,
-                    source: err,
-                })
-            }
-        };
-        let predicted_ii_ms = outcome.allocation.initiation_interval(&instance);
-        let result = simulate(&instance, &outcome.allocation, config);
-        rows.push(CrossValidationRow {
-            case: case.label().to_owned(),
-            num_fpgas,
-            resource_constraint: constraint,
-            predicted_ii_ms,
-            simulated_ii_ms: result.initiation_interval_ms,
-            relative_error: result.ii_error_vs(predicted_ii_ms),
-        });
+        if let Some(row) =
+            cross_validate_problem(case.label(), &instance, constraint, options, config)?
+        {
+            rows.push(row);
+        }
     }
     Ok(rows)
+}
+
+/// Solves one arbitrary problem instance (any platform — heterogeneous
+/// fleets included — and any per-resource budget) with GP+A and simulates
+/// the resulting allocation. Returns `Ok(None)` for skippable points under
+/// the same policy as the sweeps.
+///
+/// # Errors
+///
+/// Returns [`ExploreError::Solver`] for non-skippable solver failures.
+pub fn cross_validate_problem(
+    label: &str,
+    instance: &AllocationProblem,
+    resource_constraint: f64,
+    options: &GpaOptions,
+    config: &SimConfig,
+) -> Result<Option<CrossValidationRow>, ExploreError> {
+    let outcome = match gpa::solve(instance, options) {
+        Ok(outcome) => outcome,
+        Err(err) if explore::is_skippable_point_error(&err) => return Ok(None),
+        Err(err) => {
+            return Err(ExploreError::Solver {
+                case: label.to_owned(),
+                num_fpgas: instance.num_fpgas(),
+                backend: "GP+A".to_owned(),
+                resource_constraint,
+                source: err,
+            })
+        }
+    };
+    let predicted_ii_ms = outcome.allocation.initiation_interval(instance);
+    let result = simulate(instance, &outcome.allocation, config);
+    Ok(Some(CrossValidationRow {
+        case: label.to_owned(),
+        num_fpgas: instance.num_fpgas(),
+        resource_constraint,
+        predicted_ii_ms,
+        simulated_ii_ms: result.initiation_interval_ms,
+        relative_error: result.ii_error_vs(predicted_ii_ms),
+    }))
 }
 
 #[cfg(test)]
@@ -100,6 +123,38 @@ mod tests {
                 row.simulated_ii_ms
             );
         }
+    }
+
+    #[test]
+    fn heterogeneous_allocations_cross_validate() {
+        use mfa_platform::{DeviceGroup, FpgaDevice, HeterogeneousPlatform};
+        let base = PaperCase::Alex16OnTwoFpgas.problem(0.70).unwrap();
+        let fleet = base.with_platform(HeterogeneousPlatform::new(
+            "1×VU9P + 1×KU115",
+            vec![
+                DeviceGroup::new(FpgaDevice::vu9p(), 1),
+                DeviceGroup::new(FpgaDevice::ku115(), 1),
+            ],
+        ));
+        let row = cross_validate_problem(
+            "Alex-16 on mixed pair",
+            &fleet,
+            0.70,
+            &GpaOptions::fast(),
+            &SimConfig {
+                num_items: 200,
+                ..SimConfig::default()
+            },
+        )
+        .unwrap()
+        .expect("the mixed pair is feasible at 70 %");
+        assert_eq!(row.num_fpgas, 2);
+        assert!(
+            row.relative_error < 0.05,
+            "predicted {} vs simulated {}",
+            row.predicted_ii_ms,
+            row.simulated_ii_ms
+        );
     }
 
     #[test]

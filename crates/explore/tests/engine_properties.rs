@@ -6,10 +6,12 @@
 use mfa_alloc::gpa::GpaOptions;
 use mfa_alloc::{AllocationProblem, GoalWeights, Kernel};
 use mfa_explore::{
-    constraint_grid, run_sweep, CaseSpec, ExecutorOptions, ExploreError, SolverSpec, SweepGrid,
-    SweepSeries,
+    constraint_grid, run_sweep, CaseSpec, ExecutorOptions, ExploreError, PlatformSpec, SolverSpec,
+    SweepGrid, SweepSeries,
 };
-use mfa_platform::{MultiFpgaPlatform, ResourceBudget, ResourceVec};
+use mfa_platform::{
+    DeviceGroup, FpgaDevice, HeterogeneousPlatform, MultiFpgaPlatform, ResourceBudget, ResourceVec,
+};
 use proptest::prelude::*;
 
 /// Strips the wall-clock field, the only legitimate run-to-run difference.
@@ -71,6 +73,69 @@ proptest! {
             warm_start: true,
         }).unwrap();
         prop_assert_eq!(zero_timing(serial), zero_timing(parallel));
+    }
+
+    /// Cold and warm-started sweeps produce byte-identical series (modulo
+    /// wall-clock timing) on random grids whose budget axis mixes uniform
+    /// constraints with random per-resource budget points, and whose
+    /// platform axis includes a heterogeneous fleet — the determinism
+    /// contract of the new axes. (The executor's chunk decomposition and the
+    /// budget-distance warm-start metric are both scheduling-independent, so
+    /// serial ≡ parallel must keep holding with warm starts on.)
+    #[test]
+    fn parallel_equals_serial_with_budget_and_platform_axes(
+        wcets in proptest::collection::vec(2.0..20.0f64, 2..4),
+        dsp in 0.05..0.2f64,
+        bram_budget in 0.5..1.0f64,
+        dsp_budget in 0.5..1.0f64,
+        bandwidth in 0.5..1.0f64,
+        chunk_size in 1usize..4,
+    ) {
+        let case = random_case(&wcets, dsp, 0.02);
+        let fleet = HeterogeneousPlatform::new(
+            "1×VU9P + 1×KU115",
+            vec![
+                DeviceGroup::new(FpgaDevice::vu9p(), 1),
+                DeviceGroup::new(FpgaDevice::ku115(), 1),
+            ],
+        );
+        let grid = SweepGrid::builder()
+            .case(case)
+            .fpga_counts([2])
+            .platform(PlatformSpec::platform(fleet))
+            .constraints([0.6, 0.9])
+            .budget(ResourceBudget::new(
+                ResourceVec::new(0.95, 0.95, bram_budget, dsp_budget),
+                bandwidth,
+            ))
+            .backend(SolverSpec::gpa(GpaOptions::fast()))
+            .build()
+            .unwrap();
+        let serial = run_sweep(&grid, &ExecutorOptions {
+            chunk_size,
+            ..ExecutorOptions::serial()
+        }).unwrap();
+        let parallel = run_sweep(&grid, &ExecutorOptions {
+            num_threads: Some(3),
+            chunk_size,
+            warm_start: true,
+        }).unwrap();
+        prop_assert_eq!(zero_timing(serial.clone()), zero_timing(parallel));
+        // Warm-started and cold sweeps agree on every achieved II.
+        let cold = run_sweep(&grid, &ExecutorOptions {
+            warm_start: false,
+            ..ExecutorOptions::serial()
+        }).unwrap();
+        for (w, c) in serial.iter().zip(&cold) {
+            prop_assert_eq!(w.points.len(), c.points.len());
+            for (wp, cp) in w.points.iter().zip(&c.points) {
+                prop_assert!(
+                    (wp.initiation_interval_ms - cp.initiation_interval_ms).abs()
+                        < 1e-9 * cp.initiation_interval_ms.max(1.0),
+                    "warm {} vs cold {}", wp.initiation_interval_ms, cp.initiation_interval_ms
+                );
+            }
+        }
     }
 
     /// Warm-started sweeps reach the same initiation intervals as cold ones.

@@ -77,18 +77,34 @@ impl ResourceBudget {
     /// Returns a copy of the budget with its resource fractions scaled by
     /// `factor`, clamped to 1.0 (used by the heuristic's `T`/`Δ` relaxation
     /// loop, which temporarily allows exceeding the nominal constraint).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scaled fractions leave `(0, 1]` — i.e. if `factor` is
+    /// zero, negative or NaN. The result goes through the same validation as
+    /// [`ResourceBudget::new`], so no constructor path can smuggle in a
+    /// budget the others would reject.
     #[must_use]
     pub fn scaled_resources(&self, factor: f64) -> Self {
         let scaled = self.resource_fraction * factor;
-        ResourceBudget {
-            resource_fraction: ResourceVec {
-                lut: scaled.lut.min(1.0),
-                ff: scaled.ff.min(1.0),
-                bram: scaled.bram.min(1.0),
-                dsp: scaled.dsp.min(1.0),
-            },
-            bandwidth_fraction: self.bandwidth_fraction,
+        // `f64::min` would silently swallow a NaN factor (min(NaN, 1.0) is
+        // 1.0); this clamp keeps NaN so validation can reject it.
+        fn clamp(x: f64) -> f64 {
+            if x > 1.0 {
+                1.0
+            } else {
+                x
+            }
         }
+        ResourceBudget::new(
+            ResourceVec {
+                lut: clamp(scaled.lut),
+                ff: clamp(scaled.ff),
+                bram: clamp(scaled.bram),
+                dsp: clamp(scaled.dsp),
+            },
+            self.bandwidth_fraction,
+        )
     }
 }
 
@@ -123,6 +139,27 @@ mod tests {
     #[should_panic(expected = "resource fractions")]
     fn zero_fraction_is_rejected() {
         let _ = ResourceBudget::uniform(0.0);
+    }
+
+    // Regression: `scaled_resources` used to construct the struct directly,
+    // bypassing `new()`'s validation, so a zero/negative/NaN factor silently
+    // produced a budget every other constructor rejects.
+    #[test]
+    #[should_panic(expected = "resource fractions")]
+    fn scaling_by_zero_is_rejected() {
+        let _ = ResourceBudget::uniform(0.8).scaled_resources(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "resource fractions")]
+    fn scaling_by_a_negative_factor_is_rejected() {
+        let _ = ResourceBudget::uniform(0.8).scaled_resources(-2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "resource fractions")]
+    fn scaling_by_nan_is_rejected() {
+        let _ = ResourceBudget::uniform(0.8).scaled_resources(f64::NAN);
     }
 
     #[test]

@@ -60,6 +60,22 @@ impl FpgaDevice {
         )
     }
 
+    /// The Xilinx Kintex UltraScale KU115 found on earlier-generation
+    /// accelerator cards; a natural second device type for heterogeneous
+    /// fleets next to the VU9P.
+    ///
+    /// Capacities follow the public device tables (663 360 LUTs, 1 326 720
+    /// FFs, 2 160 BRAM36 blocks, 5 520 DSP48 slices); the DRAM bandwidth is
+    /// the aggregate of the two DDR4-2400 x64 banks typically attached
+    /// (≈ 38.4 GB/s peak).
+    pub fn ku115() -> Self {
+        FpgaDevice::new(
+            "xcku115-flvb2104-2-e",
+            ResourceVec::new(663_360.0, 1_326_720.0, 2_160.0, 5_520.0),
+            38.4,
+        )
+    }
+
     /// Device name.
     pub fn name(&self) -> &str {
         &self.name
@@ -98,6 +114,20 @@ mod tests {
         assert_eq!(d.capacity().bram, 2_160.0);
         assert!(d.name().contains("vu9p"));
         assert_eq!(FpgaDevice::default(), d);
+    }
+
+    #[test]
+    fn ku115_preset_matches_public_tables() {
+        let d = FpgaDevice::ku115();
+        assert_eq!(d.capacity().dsp, 5_520.0);
+        assert_eq!(d.capacity().lut, 663_360.0);
+        assert!(d.name().contains("ku115"));
+        // Strictly smaller than the VU9P in every class except BRAM.
+        let vu9p = FpgaDevice::vu9p();
+        assert!(d.capacity().dsp < vu9p.capacity().dsp);
+        assert!(d.capacity().lut < vu9p.capacity().lut);
+        assert_eq!(d.capacity().bram, vu9p.capacity().bram);
+        assert!(d.dram_bandwidth_gbps() < vu9p.dram_bandwidth_gbps());
     }
 
     #[test]

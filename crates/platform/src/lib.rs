@@ -2,28 +2,38 @@
 //!
 //! The reproduced paper targets AWS EC2 F1 instances: a host CPU attached to
 //! up to eight Xilinx Virtex UltraScale+ VU9P FPGAs, each with its own DDR4
-//! DRAM banks. The allocation algorithms only need two facts about the
-//! platform: the per-FPGA resource capacities (LUT/FF/BRAM/DSP) and the
-//! per-FPGA DRAM bandwidth. This crate provides those models:
+//! DRAM banks. The allocation algorithms only need two facts about each
+//! FPGA: its resource capacities (LUT/FF/BRAM/DSP) and its DRAM bandwidth.
+//! This crate provides those models:
 //!
 //! * [`ResourceVec`] — a vector of the four FPGA resource classes with the
 //!   component-wise arithmetic the allocator needs,
-//! * [`FpgaDevice`] — one FPGA (capacities + DRAM bandwidth), with a
-//!   [`FpgaDevice::vu9p`] preset,
+//! * [`FpgaDevice`] — one FPGA (capacities + DRAM bandwidth), with
+//!   [`FpgaDevice::vu9p`] and [`FpgaDevice::ku115`] presets,
 //! * [`MultiFpgaPlatform`] — `F` identical devices orchestrated by a host,
 //!   with AWS F1 instance presets ([`MultiFpgaPlatform::aws_f1_16xlarge`] and
 //!   friends),
+//! * [`HeterogeneousPlatform`] — a fleet of [`DeviceGroup`]s mixing device
+//!   generations (e.g. 4×VU9P + 4×KU115); a [`MultiFpgaPlatform`] converts
+//!   into the one-group special case, and the scale helpers translate kernel
+//!   fractions between device types,
 //! * [`ResourceBudget`] — the per-FPGA constraint used in the paper's
-//!   experiments ("resource constraint %" applied to every class plus a
-//!   bandwidth cap).
+//!   experiments: either a uniform "resource constraint %" applied to every
+//!   class, or independent per-class fractions plus a bandwidth cap.
 //!
 //! # Example
 //!
 //! ```
-//! use mfa_platform::{MultiFpgaPlatform, ResourceBudget};
+//! use mfa_platform::{DeviceGroup, FpgaDevice, HeterogeneousPlatform, ResourceBudget};
 //!
-//! let platform = MultiFpgaPlatform::aws_f1_16xlarge();
-//! assert_eq!(platform.num_fpgas(), 8);
+//! let fleet = HeterogeneousPlatform::new(
+//!     "mixed",
+//!     vec![
+//!         DeviceGroup::new(FpgaDevice::vu9p(), 4),
+//!         DeviceGroup::new(FpgaDevice::ku115(), 4),
+//!     ],
+//! );
+//! assert_eq!(fleet.num_fpgas(), 8);
 //! let budget = ResourceBudget::uniform(0.61);
 //! assert!((budget.resource_fraction().dsp - 0.61).abs() < 1e-12);
 //! ```
@@ -38,5 +48,5 @@ mod resources;
 
 pub use budget::ResourceBudget;
 pub use device::FpgaDevice;
-pub use platform::MultiFpgaPlatform;
+pub use platform::{DeviceGroup, HeterogeneousPlatform, MultiFpgaPlatform};
 pub use resources::ResourceVec;

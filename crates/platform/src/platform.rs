@@ -1,8 +1,9 @@
-//! Multi-FPGA platform model (host CPU + `F` identical FPGAs).
+//! Multi-FPGA platform models: `F` identical FPGAs ([`MultiFpgaPlatform`])
+//! and mixed-generation fleets of device groups ([`HeterogeneousPlatform`]).
 
 use serde::{Deserialize, Serialize};
 
-use crate::FpgaDevice;
+use crate::{FpgaDevice, ResourceVec};
 
 /// A host-orchestrated platform of `F` identical FPGA devices, as in the AWS
 /// EC2 F1 family. All inter-kernel communication goes through each FPGA's
@@ -94,6 +95,235 @@ impl Default for MultiFpgaPlatform {
     }
 }
 
+/// A run of identical FPGAs inside a [`HeterogeneousPlatform`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceGroup {
+    device: FpgaDevice,
+    count: usize,
+}
+
+impl DeviceGroup {
+    /// Creates a group of `count` identical `device`s.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is zero.
+    pub fn new(device: FpgaDevice, count: usize) -> Self {
+        assert!(count > 0, "a device group needs at least one FPGA");
+        DeviceGroup { device, count }
+    }
+
+    /// The group's device model.
+    pub fn device(&self) -> &FpgaDevice {
+        &self.device
+    }
+
+    /// Number of FPGAs in the group.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+}
+
+/// A host-orchestrated platform whose FPGAs come in *device groups*: an
+/// ordered list of `(device, count)` runs, as in a cloud fleet that mixes
+/// device generations (e.g. VU9P cards next to older KU115 cards).
+///
+/// Kernel characterizations are expressed as fractions of the platform's
+/// *reference device* — the device of the first group. The
+/// [`scale_to_group`](HeterogeneousPlatform::scale_to_group) /
+/// [`scale_bandwidth_to_group`](HeterogeneousPlatform::scale_bandwidth_to_group)
+/// helpers convert such fractions into fractions of another group's device,
+/// which is how the allocation crates account for a CU costing a larger share
+/// of a smaller FPGA. A [`MultiFpgaPlatform`] converts into the one-group
+/// special case via `From`.
+///
+/// FPGAs are enumerated group-major: group 0's devices come first, then
+/// group 1's, and so on.
+///
+/// # Example
+///
+/// ```
+/// use mfa_platform::{DeviceGroup, FpgaDevice, HeterogeneousPlatform};
+///
+/// let fleet = HeterogeneousPlatform::new(
+///     "mixed",
+///     vec![
+///         DeviceGroup::new(FpgaDevice::vu9p(), 4),
+///         DeviceGroup::new(FpgaDevice::ku115(), 4),
+///     ],
+/// );
+/// assert_eq!(fleet.num_fpgas(), 8);
+/// assert_eq!(fleet.num_groups(), 2);
+/// assert_eq!(fleet.group_of_fpga(5), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HeterogeneousPlatform {
+    name: String,
+    groups: Vec<DeviceGroup>,
+}
+
+impl HeterogeneousPlatform {
+    /// Creates a platform from an ordered list of device groups. The first
+    /// group's device becomes the reference device for kernel fractions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `groups` is empty.
+    pub fn new(name: impl Into<String>, groups: Vec<DeviceGroup>) -> Self {
+        assert!(
+            !groups.is_empty(),
+            "a platform needs at least one device group"
+        );
+        HeterogeneousPlatform {
+            name: name.into(),
+            groups,
+        }
+    }
+
+    /// Platform name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The device groups, in order.
+    pub fn groups(&self) -> &[DeviceGroup] {
+        &self.groups
+    }
+
+    /// Number of device groups.
+    pub fn num_groups(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// One device group.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is out of range.
+    pub fn group(&self, g: usize) -> &DeviceGroup {
+        &self.groups[g]
+    }
+
+    /// Total number of FPGAs across all groups.
+    pub fn num_fpgas(&self) -> usize {
+        self.groups.iter().map(DeviceGroup::count).sum()
+    }
+
+    /// `true` when the platform has a single device group (the paper's
+    /// `F` identical FPGAs).
+    pub fn is_homogeneous(&self) -> bool {
+        self.groups.len() == 1
+    }
+
+    /// The device kernel fractions are expressed against (the first group's).
+    pub fn reference_device(&self) -> &FpgaDevice {
+        &self.groups[0].device
+    }
+
+    /// Group index of FPGA `f` under group-major enumeration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` is out of range.
+    pub fn group_of_fpga(&self, f: usize) -> usize {
+        let mut remaining = f;
+        for (g, group) in self.groups.iter().enumerate() {
+            if remaining < group.count {
+                return g;
+            }
+            remaining -= group.count;
+        }
+        panic!("FPGA index {f} out of range for {} FPGAs", self.num_fpgas());
+    }
+
+    /// Converts a resource fraction of the reference device into a fraction
+    /// of group `g`'s device (component-wise `frac · C_ref / C_g`). A zero
+    /// fraction stays zero; a positive fraction of a class the target device
+    /// lacks entirely becomes infinite (the kernel cannot be hosted there).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is out of range.
+    pub fn scale_to_group(&self, g: usize, fraction: &ResourceVec) -> ResourceVec {
+        let reference = self.reference_device().capacity();
+        let target = self.groups[g].device.capacity();
+        if reference == target {
+            return *fraction;
+        }
+        fn scale(frac: f64, c_ref: f64, c_target: f64) -> f64 {
+            if frac == 0.0 {
+                0.0
+            } else if c_target == 0.0 {
+                f64::INFINITY
+            } else {
+                frac * c_ref / c_target
+            }
+        }
+        ResourceVec {
+            lut: scale(fraction.lut, reference.lut, target.lut),
+            ff: scale(fraction.ff, reference.ff, target.ff),
+            bram: scale(fraction.bram, reference.bram, target.bram),
+            dsp: scale(fraction.dsp, reference.dsp, target.dsp),
+        }
+    }
+
+    /// Converts a bandwidth fraction of the reference device into a fraction
+    /// of group `g`'s device bandwidth (same convention as
+    /// [`scale_to_group`](Self::scale_to_group)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is out of range.
+    pub fn scale_bandwidth_to_group(&self, g: usize, fraction: f64) -> f64 {
+        let reference = self.reference_device().dram_bandwidth_gbps();
+        let target = self.groups[g].device.dram_bandwidth_gbps();
+        if reference == target || fraction == 0.0 {
+            fraction
+        } else if target == 0.0 {
+            f64::INFINITY
+        } else {
+            fraction * reference / target
+        }
+    }
+
+    /// Returns a platform of `num_fpgas` copies of the reference device
+    /// (used by design-space sweeps that vary the FPGA count of a case; a
+    /// heterogeneous base collapses onto its reference device for this axis).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_fpgas` is zero.
+    #[must_use]
+    pub fn with_num_fpgas(&self, num_fpgas: usize) -> Self {
+        let device = self.reference_device().clone();
+        HeterogeneousPlatform::new(
+            format!("{}×{}", num_fpgas, device.name()),
+            vec![DeviceGroup::new(device, num_fpgas)],
+        )
+    }
+}
+
+impl From<MultiFpgaPlatform> for HeterogeneousPlatform {
+    fn from(platform: MultiFpgaPlatform) -> Self {
+        HeterogeneousPlatform::new(
+            platform.name.clone(),
+            vec![DeviceGroup::new(platform.device, platform.num_fpgas)],
+        )
+    }
+}
+
+impl From<&MultiFpgaPlatform> for HeterogeneousPlatform {
+    fn from(platform: &MultiFpgaPlatform) -> Self {
+        HeterogeneousPlatform::from(platform.clone())
+    }
+}
+
+impl Default for HeterogeneousPlatform {
+    fn default() -> Self {
+        HeterogeneousPlatform::from(MultiFpgaPlatform::default())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -119,5 +349,109 @@ mod tests {
     #[should_panic(expected = "at least one")]
     fn zero_fpgas_is_rejected() {
         let _ = MultiFpgaPlatform::new("empty", FpgaDevice::vu9p(), 0);
+    }
+
+    fn mixed_fleet() -> HeterogeneousPlatform {
+        HeterogeneousPlatform::new(
+            "4×VU9P + 4×KU115",
+            vec![
+                DeviceGroup::new(FpgaDevice::vu9p(), 4),
+                DeviceGroup::new(FpgaDevice::ku115(), 4),
+            ],
+        )
+    }
+
+    #[test]
+    fn heterogeneous_platform_enumerates_group_major() {
+        let fleet = mixed_fleet();
+        assert_eq!(fleet.num_fpgas(), 8);
+        assert_eq!(fleet.num_groups(), 2);
+        assert!(!fleet.is_homogeneous());
+        assert_eq!(fleet.group(1).count(), 4);
+        for f in 0..4 {
+            assert_eq!(fleet.group_of_fpga(f), 0);
+        }
+        for f in 4..8 {
+            assert_eq!(fleet.group_of_fpga(f), 1);
+        }
+        assert_eq!(fleet.reference_device(), &FpgaDevice::vu9p());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn group_of_fpga_rejects_out_of_range() {
+        let _ = mixed_fleet().group_of_fpga(8);
+    }
+
+    #[test]
+    fn multi_fpga_platform_converts_to_one_group() {
+        let hetero: HeterogeneousPlatform = MultiFpgaPlatform::aws_f1_4xlarge().into();
+        assert!(hetero.is_homogeneous());
+        assert_eq!(hetero.num_fpgas(), 2);
+        assert_eq!(hetero.name(), "f1.4xlarge");
+        assert_eq!(HeterogeneousPlatform::default().num_fpgas(), 8);
+    }
+
+    #[test]
+    fn scaling_to_the_reference_group_is_the_identity() {
+        let fleet = mixed_fleet();
+        let frac = ResourceVec::bram_dsp(0.10, 0.21);
+        assert_eq!(fleet.scale_to_group(0, &frac), frac);
+        assert_eq!(fleet.scale_bandwidth_to_group(0, 0.3), 0.3);
+    }
+
+    #[test]
+    fn scaling_to_a_smaller_device_inflates_fractions() {
+        let fleet = mixed_fleet();
+        let frac = ResourceVec::new(0.1, 0.1, 0.1, 0.1);
+        let scaled = fleet.scale_to_group(1, &frac);
+        // KU115 has fewer LUTs/FFs/DSPs than VU9P but the same BRAM count,
+        // so those fractions grow while BRAM stays put.
+        assert!(scaled.lut > 0.1 && scaled.ff > 0.1 && scaled.dsp > 0.1);
+        assert!((scaled.bram - 0.1).abs() < 1e-12);
+        // Exact ratio check on DSPs: 6840 / 5520.
+        assert!((scaled.dsp - 0.1 * 6_840.0 / 5_520.0).abs() < 1e-12);
+        // Bandwidth scales by the device ratio too.
+        let bw = fleet.scale_bandwidth_to_group(1, 0.2);
+        assert!((bw - 0.2 * 64.0 / 38.4).abs() < 1e-12);
+        // Zero stays zero; a class the target lacks becomes infinite.
+        assert_eq!(
+            fleet.scale_to_group(1, &ResourceVec::zero()),
+            ResourceVec::zero()
+        );
+        let odd = HeterogeneousPlatform::new(
+            "odd",
+            vec![
+                DeviceGroup::new(FpgaDevice::vu9p(), 1),
+                DeviceGroup::new(
+                    FpgaDevice::new("no-dsp", ResourceVec::new(1.0, 1.0, 1.0, 0.0), 1.0),
+                    1,
+                ),
+            ],
+        );
+        assert!(odd
+            .scale_to_group(1, &ResourceVec::uniform(0.1))
+            .dsp
+            .is_infinite());
+    }
+
+    #[test]
+    fn with_num_fpgas_collapses_onto_the_reference_device() {
+        let scaled = mixed_fleet().with_num_fpgas(3);
+        assert!(scaled.is_homogeneous());
+        assert_eq!(scaled.num_fpgas(), 3);
+        assert_eq!(scaled.reference_device(), &FpgaDevice::vu9p());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one device group")]
+    fn empty_group_list_is_rejected() {
+        let _ = HeterogeneousPlatform::new("empty", vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one FPGA")]
+    fn zero_count_group_is_rejected() {
+        let _ = DeviceGroup::new(FpgaDevice::vu9p(), 0);
     }
 }

@@ -115,9 +115,11 @@ impl ResourceVec {
             .all(|x| x.is_finite() && *x >= 0.0)
     }
 
-    /// The largest integer `k ≥ 0` such that `k · self` still fits within
-    /// `budget` (component-wise); `None` when `self` is zero in every
-    /// component (in which case any `k` fits).
+    /// The largest integer `k ≥ 0` (within a relative tolerance of `1e-9` on
+    /// the limiting ratio, absorbing accumulated float error) such that
+    /// `k · self` still fits within `budget` (component-wise); `None` when
+    /// `self` is zero in every component (in which case any `k` fits).
+    /// Ratios beyond the `u32` range are capped at `u32::MAX`.
     pub fn max_copies_within(&self, budget: &ResourceVec) -> Option<u32> {
         let mut bound: Option<f64> = None;
         for (need, avail) in [
@@ -131,7 +133,19 @@ impl ResourceVec {
                 bound = Some(bound.map_or(k, |b: f64| b.min(k)));
             }
         }
-        bound.map(|b| (b + 1e-9).floor() as u32)
+        bound.map(|b| {
+            // The tolerance must scale with the ratio: an absolute `+1e-9`
+            // nudge both miscounted near-integer ratios of tiny per-copy
+            // needs and was rounded away entirely on large ratios. The
+            // conversion is capped explicitly so ratios beyond u32 range
+            // degrade to `u32::MAX` instead of relying on silent saturation.
+            let copies = (b * (1.0 + 1e-9)).floor();
+            if copies >= u32::MAX as f64 {
+                u32::MAX
+            } else {
+                copies as u32
+            }
+        })
     }
 }
 
@@ -246,6 +260,25 @@ mod tests {
         assert_eq!(ResourceVec::zero().max_copies_within(&budget), None);
     }
 
+    // Regression: the old absolute `+1e-9` epsilon was rounded away on large
+    // ratios, under-counting a ratio sitting a relative 5e-10 below an
+    // integer; the relative epsilon admits it.
+    #[test]
+    fn large_ratios_use_a_relative_tolerance() {
+        let per_cu = ResourceVec::bram_dsp(0.0, 1.0);
+        let budget = ResourceVec::uniform(999_999.999_5);
+        assert_eq!(per_cu.max_copies_within(&budget), Some(1_000_000));
+    }
+
+    // Regression: ratios beyond u32 range are capped explicitly instead of
+    // relying on the silent saturation of the bare `as u32` cast.
+    #[test]
+    fn huge_ratios_cap_at_u32_max() {
+        let per_cu = ResourceVec::bram_dsp(0.0, 1e-30);
+        let budget = ResourceVec::uniform(1.0);
+        assert_eq!(per_cu.max_copies_within(&budget), Some(u32::MAX));
+    }
+
     #[test]
     fn display_mentions_all_components() {
         let text = ResourceVec::uniform(0.25).to_string();
@@ -275,6 +308,33 @@ mod tests {
             let k = per_cu.max_copies_within(&cap).unwrap();
             prop_assert!((per_cu * k as f64).fits_within(&cap, 1e-6));
             prop_assert!(!(per_cu * (k + 1) as f64).fits_within(&cap, -1e-6));
+        }
+
+        /// Tiny per-copy needs: the returned count is still correct within a
+        /// relative tolerance (the absolute epsilon of the old code was the
+        /// wrong scale for these inputs).
+        #[test]
+        fn tiny_needs_count_within_relative_tolerance(
+            need in 1e-12..1e-6f64, mult in 0.1..10.0f64
+        ) {
+            let per_cu = ResourceVec::bram_dsp(0.0, need);
+            let avail = need * mult;
+            let cap = ResourceVec::bram_dsp(0.0, avail);
+            let k = per_cu.max_copies_within(&cap).unwrap();
+            prop_assert!(k as f64 * need <= avail * (1.0 + 1e-6),
+                "k = {k}, need = {need}, avail = {avail}");
+            prop_assert!((k + 1) as f64 * need > avail * (1.0 - 1e-6),
+                "k = {k}, need = {need}, avail = {avail}");
+        }
+
+        /// Huge ratios never wrap or panic: they cap at `u32::MAX`.
+        #[test]
+        fn huge_ratios_are_capped(
+            need in 1e-30..1e-20f64, avail in 0.1..1.0f64
+        ) {
+            let per_cu = ResourceVec::bram_dsp(need, need);
+            let cap = ResourceVec::uniform(avail);
+            prop_assert_eq!(per_cu.max_copies_within(&cap), Some(u32::MAX));
         }
     }
 }

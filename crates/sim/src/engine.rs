@@ -151,15 +151,20 @@ pub fn simulate(
     let mut fpga_bw_peak = vec![0.0_f64; num_fpgas];
     let mut last_time = 0.0_f64;
 
+    // Per-CU bandwidth demand rescaled to each FPGA's own device group (a CU
+    // uses a larger share of a smaller device's DRAM bandwidth).
+    let group_of: Vec<usize> = (0..num_fpgas).map(|f| problem.group_of_fpga(f)).collect();
+    let bw_of =
+        |kernel: usize, fpga: usize| -> f64 { problem.kernel_bandwidth_on(kernel, group_of[fpga]) };
     // Bandwidth stretch felt by a CU of `kernel` starting on `fpga`: its own
     // demand plus that of the CUs already busy there, relative to capacity.
     let bandwidth_factor =
-        |cus: &[ComputeUnit], fpga: usize, kernel: usize, problem: &AllocationProblem| -> f64 {
-            let demand: f64 = problem.kernels()[kernel].bandwidth()
+        |cus: &[ComputeUnit], fpga: usize, kernel: usize, _problem: &AllocationProblem| -> f64 {
+            let demand: f64 = bw_of(kernel, fpga)
                 + cus
                     .iter()
                     .filter(|cu| cu.busy && cu.fpga == fpga)
-                    .map(|cu| problem.kernels()[cu.kernel].bandwidth())
+                    .map(|cu| bw_of(cu.kernel, cu.fpga))
                     .sum::<f64>();
             let capacity = problem.budget().bandwidth_fraction();
             if demand > capacity {
@@ -212,7 +217,7 @@ pub fn simulate(
                 let demand: f64 = cus
                     .iter()
                     .filter(|cu| cu.busy && cu.fpga == f)
-                    .map(|cu| problem.kernels()[cu.kernel].bandwidth())
+                    .map(|cu| bw_of(cu.kernel, f))
                     .sum();
                 if cus.iter().any(|cu| cu.busy && cu.fpga == f) {
                     fpga_busy_time[f] += dt;
@@ -371,6 +376,46 @@ mod tests {
         );
         assert!(with.initiation_interval_ms > without.initiation_interval_ms * 1.05);
         assert!(with.fpga_stats[0].peak_bandwidth_demand > 1.0);
+    }
+
+    #[test]
+    fn bandwidth_contention_scales_with_the_device_group() {
+        use mfa_platform::{DeviceGroup, FpgaDevice, HeterogeneousPlatform};
+        // A kernel demanding 0.4 of the VU9P's bandwidth per CU costs
+        // 0.4·64/38.4 ≈ 0.67 of the KU115's. Two CUs fit the VU9P's budget
+        // (0.8 ≤ 1.0) but oversubscribe the KU115 (1.33 > 1.0), so the same
+        // two-CU design simulates slower on the smaller device.
+        let p = AllocationProblem::builder()
+            .kernels(vec![Kernel::new(
+                "hungry",
+                4.0,
+                ResourceVec::bram_dsp(0.02, 0.1),
+                0.40,
+            )
+            .unwrap()])
+            .platform(HeterogeneousPlatform::new(
+                "1×VU9P + 1×KU115",
+                vec![
+                    DeviceGroup::new(FpgaDevice::vu9p(), 1),
+                    DeviceGroup::new(FpgaDevice::ku115(), 1),
+                ],
+            ))
+            .budget(ResourceBudget::uniform(0.9))
+            .build()
+            .unwrap();
+        let mut on_vu9p = mfa_alloc::Allocation::zeros(&p);
+        on_vu9p.set_cus(0, 0, 2);
+        let mut on_ku115 = mfa_alloc::Allocation::zeros(&p);
+        on_ku115.set_cus(0, 1, 2);
+        let fast = simulate(&p, &on_vu9p, &SimConfig::default());
+        let slow = simulate(&p, &on_ku115, &SimConfig::default());
+        assert!(
+            slow.initiation_interval_ms > fast.initiation_interval_ms * 1.05,
+            "KU115 {} vs VU9P {}",
+            slow.initiation_interval_ms,
+            fast.initiation_interval_ms
+        );
+        assert!(slow.fpga_stats[1].peak_bandwidth_demand > 1.0);
     }
 
     #[test]

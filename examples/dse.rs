@@ -17,13 +17,14 @@
 use std::time::Instant;
 
 use mfa::explore::{
-    constraint_grid, export, run_sweep, validate, CaseSpec, ExecutorOptions, SolverSpec, SweepGrid,
-    SweepSeries,
+    constraint_grid, export, run_sweep, validate, CaseSpec, ExecutorOptions, PlatformSpec,
+    SolverSpec, SweepGrid, SweepSeries,
 };
 use mfa_alloc::cases::PaperCase;
 use mfa_alloc::exact::ExactMode;
 use mfa_alloc::gpa::GpaOptions;
 use mfa_alloc::greedy::GreedyOptions;
+use mfa_platform::{DeviceGroup, FpgaDevice, HeterogeneousPlatform, ResourceBudget, ResourceVec};
 use mfa_sim::SimConfig;
 
 struct Args {
@@ -212,6 +213,53 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
         export_figure(&args.out, name, &series)?;
     }
+
+    // ---- Heterogeneous platform + per-resource budget axes (one point
+    //      each, also in --quick mode, so CI exercises both new axes on
+    //      every push).
+    let mixed_pair = HeterogeneousPlatform::new(
+        "1×VU9P + 1×KU115",
+        vec![
+            DeviceGroup::new(FpgaDevice::vu9p(), 1),
+            DeviceGroup::new(FpgaDevice::ku115(), 1),
+        ],
+    );
+    let skewed_budget = ResourceBudget::new(ResourceVec::new(0.9, 0.9, 0.6, 0.75), 0.9);
+    let hetero = run_sweep(
+        &SweepGrid::builder()
+            .case(CaseSpec::from_paper(PaperCase::Alex16OnTwoFpgas))
+            .fpga_counts([2])
+            .platform(PlatformSpec::platform(mixed_pair))
+            .constraints([0.70])
+            .budget(skewed_budget)
+            .backend(SolverSpec::gpa(GpaOptions::fast()))
+            .build()?,
+        &options,
+    )?;
+    println!();
+    println!("=== New axes: heterogeneous platform × per-resource budget (Alex-16)");
+    for s in &hetero {
+        for p in &s.points {
+            let b = p.budget.resource_fraction();
+            println!(
+                "{:<18} budget (lut {:.2}, ff {:.2}, bram {:.2}, dsp {:.2}, bw {:.2}): \
+                 II {:.3} ms",
+                s.platform,
+                b.lut,
+                b.ff,
+                b.bram,
+                b.dsp,
+                p.budget.bandwidth_fraction(),
+                p.initiation_interval_ms
+            );
+        }
+    }
+    let hetero_points: usize = hetero.iter().map(|s| s.points.len()).sum();
+    assert_eq!(
+        hetero_points, 4,
+        "both platform points must solve both budget points"
+    );
+    export_figure(&args.out, "hetero", &hetero)?;
 
     // ---- Cross-validate a sample of swept designs through the simulator.
     println!();
