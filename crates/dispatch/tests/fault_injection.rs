@@ -1,0 +1,142 @@
+//! Fault injection: workers crash, hang, or corrupt frames mid-sweep, and
+//! the dispatcher must reassign their leases and still produce output
+//! byte-identical to the committed golden snapshots.
+//!
+//! Faults are injected deterministically through the worker binary's
+//! `--fail-after`/`--garbage-after`/`--hang-after` flags (see
+//! [`mfa_dispatch::FaultPlan`]) rather than by racing `kill` against the
+//! sweep, so every run exercises the same reassignment path.
+
+mod common;
+
+use std::time::Duration;
+
+use common::{assert_sharded_matches_golden, gp_figures, worker_with_args};
+use mfa_dispatch::{run_sweep_sharded, DispatchError, DispatchOptions};
+
+/// chunk 1 → 6 units on the Fig. 2 grid: enough leases that a worker dying
+/// mid-sweep always leaves work to reassign.
+fn small_chunks() -> DispatchOptions {
+    DispatchOptions {
+        chunk_size: 1,
+        ..DispatchOptions::default()
+    }
+}
+
+#[test]
+fn a_worker_crash_mid_sweep_is_absorbed() {
+    // Worker 0 crashes (hard exit, no reply) when its second unit arrives;
+    // its outstanding leases are reassigned to worker 1 and the output must
+    // not change by a byte.
+    let workers = vec![
+        worker_with_args(&["--fail-after", "1"]),
+        worker_with_args(&[]),
+    ];
+    assert_sharded_matches_golden(
+        &gp_figures()[0],
+        &workers,
+        &small_chunks(),
+        "crash mid-sweep",
+    );
+}
+
+#[test]
+fn an_immediate_crash_is_absorbed() {
+    // Worker 0 dies on its very first unit — before contributing anything.
+    let workers = vec![
+        worker_with_args(&["--fail-after", "0"]),
+        worker_with_args(&[]),
+    ];
+    assert_sharded_matches_golden(
+        &gp_figures()[0],
+        &workers,
+        &small_chunks(),
+        "immediate crash",
+    );
+}
+
+#[test]
+fn a_truncated_garbage_frame_is_absorbed() {
+    // Worker 0 emits a frame cut off mid-write instead of its second
+    // result. The dispatcher must condemn the stream (framing after a bad
+    // line cannot be trusted), reassign, and keep the bytes identical.
+    let workers = vec![
+        worker_with_args(&["--garbage-after", "1"]),
+        worker_with_args(&[]),
+    ];
+    assert_sharded_matches_golden(&gp_figures()[0], &workers, &small_chunks(), "garbage frame");
+}
+
+#[test]
+fn a_hung_worker_is_reaped_by_the_lease_timeout() {
+    // Worker 0 accepts its second unit and never replies. Only the lease
+    // timeout can detect this; the dispatcher kills the worker and
+    // reassigns. Generous timeout: the healthy worker's solves must not be
+    // misclassified as hangs on a slow CI machine, while the test still
+    // finishes quickly once the hang is detected.
+    let workers = vec![
+        worker_with_args(&["--hang-after", "1"]),
+        worker_with_args(&[]),
+    ];
+    assert_sharded_matches_golden(
+        &gp_figures()[0],
+        &workers,
+        &DispatchOptions {
+            chunk_size: 1,
+            lease_timeout: Some(Duration::from_secs(10)),
+            ..DispatchOptions::default()
+        },
+        "hung worker",
+    );
+}
+
+#[test]
+fn faults_on_every_figure_still_match_the_goldens() {
+    // The crash + reassign path across the whole gp figure set.
+    let workers = vec![
+        worker_with_args(&["--fail-after", "1"]),
+        worker_with_args(&[]),
+        worker_with_args(&[]),
+    ];
+    for figure in gp_figures() {
+        assert_sharded_matches_golden(&figure, &workers, &small_chunks(), "fleet with one crasher");
+    }
+}
+
+#[test]
+fn losing_every_worker_is_an_error_not_a_hang() {
+    let workers = vec![
+        worker_with_args(&["--fail-after", "0"]),
+        worker_with_args(&["--fail-after", "0"]),
+    ];
+    let err = run_sweep_sharded(&gp_figures()[0].grid, &workers, &small_chunks()).unwrap_err();
+    assert!(
+        matches!(err, DispatchError::AllWorkersLost { .. }),
+        "expected AllWorkersLost, got {err}"
+    );
+}
+
+#[test]
+fn a_unit_that_kills_its_workers_exhausts_its_attempts() {
+    // With max_attempts 1, the first crash marks the leased unit as
+    // poisoned instead of recycling it — the backstop against a unit that
+    // deterministically kills every worker it touches.
+    let workers = vec![
+        worker_with_args(&["--fail-after", "0"]),
+        worker_with_args(&[]),
+    ];
+    let err = run_sweep_sharded(
+        &gp_figures()[0].grid,
+        &workers,
+        &DispatchOptions {
+            chunk_size: 1,
+            max_attempts: 1,
+            ..DispatchOptions::default()
+        },
+    )
+    .unwrap_err();
+    assert!(
+        matches!(err, DispatchError::UnitExhausted { attempts: 1, .. }),
+        "expected UnitExhausted, got {err}"
+    );
+}

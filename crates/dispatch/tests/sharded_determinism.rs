@@ -1,0 +1,116 @@
+//! Determinism of the multi-process dispatcher: for every worker count,
+//! partition, and transport, the merged output must be byte-identical to
+//! the committed golden snapshots (which a serial in-process run also
+//! reproduces — see `crates/integration/tests/golden_figures.rs`).
+
+mod common;
+
+use std::io::{BufRead, BufReader};
+use std::process::{Command, Stdio};
+
+use common::{assert_sharded_matches_golden, gp_figures, worker_bin, worker_with_args};
+use mfa_dispatch::{spawned_workers, DispatchOptions, WorkerSpec};
+
+#[test]
+fn every_worker_count_reproduces_the_golden_bytes() {
+    // Worker counts 1..=4 on Fig. 2 (6 units at chunk 1): exercises
+    // single-worker, balanced, and more-workers-than-ready-units cases.
+    let figure = &gp_figures()[0];
+    for workers in 1..=4usize {
+        assert_sharded_matches_golden(
+            figure,
+            &spawned_workers(worker_bin(), workers),
+            &DispatchOptions::default(),
+            &format!("{workers} workers"),
+        );
+    }
+}
+
+#[test]
+fn four_workers_reproduce_every_figure() {
+    let workers = spawned_workers(worker_bin(), 4);
+    for figure in gp_figures() {
+        assert_sharded_matches_golden(&figure, &workers, &DispatchOptions::default(), "4 workers");
+    }
+}
+
+#[test]
+fn partition_choice_does_not_change_the_bytes() {
+    // chunk_size 1 yields a different decomposition than the goldens'
+    // default of 8, and single-point chunks have no intra-chunk warm-start
+    // state; the exported bytes must still match (same reasoning as the
+    // chunk-1 test in the integration crate, now across processes).
+    let figure = &gp_figures()[0];
+    for chunk_size in [1, 2, 64] {
+        assert_sharded_matches_golden(
+            figure,
+            &spawned_workers(worker_bin(), 3),
+            &DispatchOptions {
+                chunk_size,
+                ..DispatchOptions::default()
+            },
+            &format!("chunk {chunk_size}"),
+        );
+    }
+}
+
+/// Spawns `sweep-worker --listen 127.0.0.1:0` and returns (child, addr).
+fn spawn_tcp_worker() -> (std::process::Child, String) {
+    let mut child = Command::new(worker_bin())
+        .args(["--listen", "127.0.0.1:0"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .expect("spawn sweep-worker --listen");
+    let stdout = child.stdout.take().expect("stdout piped");
+    let mut line = String::new();
+    BufReader::new(stdout)
+        .read_line(&mut line)
+        .expect("read bound address");
+    let addr = line
+        .trim()
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected banner {line:?}"))
+        .to_owned();
+    (child, addr)
+}
+
+#[test]
+fn tcp_workers_reproduce_the_golden_bytes() {
+    let (mut child_a, addr_a) = spawn_tcp_worker();
+    let (mut child_b, addr_b) = spawn_tcp_worker();
+    let workers = vec![
+        WorkerSpec::Connect { addr: addr_a },
+        WorkerSpec::Connect { addr: addr_b },
+    ];
+    let figure = &gp_figures()[0];
+    // Two sessions against the same listeners: a listener serves
+    // connections sequentially, so this also proves session state does not
+    // leak across jobs.
+    for round in 0..2 {
+        assert_sharded_matches_golden(
+            figure,
+            &workers,
+            &DispatchOptions::default(),
+            &format!("tcp round {round}"),
+        );
+    }
+    let _ = child_a.kill();
+    let _ = child_a.wait();
+    let _ = child_b.kill();
+    let _ = child_b.wait();
+}
+
+#[test]
+fn mixed_spawned_and_tcp_workers_agree() {
+    let (mut child, addr) = spawn_tcp_worker();
+    let workers = vec![WorkerSpec::Connect { addr }, worker_with_args(&[])];
+    assert_sharded_matches_golden(
+        &gp_figures()[0],
+        &workers,
+        &DispatchOptions::default(),
+        "mixed transports",
+    );
+    let _ = child.kill();
+    let _ = child.wait();
+}

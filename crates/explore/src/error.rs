@@ -11,6 +11,8 @@ use mfa_alloc::AllocError;
 pub enum ExploreError {
     /// The sweep grid is malformed (empty axis, out-of-range constraint, …).
     InvalidGrid(String),
+    /// The executor or dispatcher options are malformed (zero chunk size, …).
+    InvalidOptions(String),
     /// A point solver failed in a non-skippable way; the sweep is aborted.
     ///
     /// Skippable conditions (infeasible constraints, unplaceable
@@ -35,6 +37,7 @@ impl fmt::Display for ExploreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ExploreError::InvalidGrid(msg) => write!(f, "invalid sweep grid: {msg}"),
+            ExploreError::InvalidOptions(msg) => write!(f, "invalid executor options: {msg}"),
             ExploreError::Solver {
                 case,
                 num_fpgas,
@@ -55,7 +58,7 @@ impl Error for ExploreError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             ExploreError::Solver { source, .. } => Some(source),
-            ExploreError::InvalidGrid(_) => None,
+            ExploreError::InvalidGrid(_) | ExploreError::InvalidOptions(_) => None,
         }
     }
 }
@@ -69,6 +72,10 @@ mod tests {
         let invalid = ExploreError::InvalidGrid("no cases".into());
         assert!(invalid.to_string().contains("no cases"));
         assert!(Error::source(&invalid).is_none());
+
+        let options = ExploreError::InvalidOptions("chunk_size must be at least 1".into());
+        assert!(options.to_string().contains("chunk_size"));
+        assert!(Error::source(&options).is_none());
 
         let solver = ExploreError::Solver {
             case: "Alex-16 on 2 FPGAs".into(),

@@ -75,12 +75,103 @@ pub struct SweepSeries {
     pub points: Vec<SweepPoint>,
 }
 
-/// A contiguous run of budget points of one series.
-#[derive(Debug, Clone, Copy)]
-struct WorkUnit {
-    series: usize,
-    start: usize,
-    end: usize,
+/// A contiguous run of budget points of one series — the unit of work the
+/// executor (and the multi-process dispatcher in `mfa_dispatch`) schedules.
+///
+/// The decomposition of a grid into work units depends only on the grid and
+/// the chunk size (see [`plan_units`]), never on thread or worker counts, and
+/// each unit is solved with its own fresh [`WarmStartCache`]; a unit's result
+/// is therefore a pure function of `(grid, unit, warm_start)`, which is what
+/// makes distributing units across processes semantics-preserving.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WorkUnit {
+    /// Series index in grid order (see [`SweepGrid::num_series`]).
+    pub series: usize,
+    /// First budget-axis index of the run (inclusive).
+    pub start: usize,
+    /// One past the last budget-axis index of the run (exclusive).
+    pub end: usize,
+}
+
+/// Decomposes a grid into [`WorkUnit`]s: each series is carved into runs of
+/// at most `chunk_size` consecutive budget points, series-major. The result
+/// depends only on the grid shape and `chunk_size`, so every executor —
+/// serial, threaded, or multi-process — schedules the identical unit list.
+///
+/// # Errors
+///
+/// Returns [`ExploreError::InvalidOptions`] when `chunk_size` is zero.
+pub fn plan_units(grid: &SweepGrid, chunk_size: usize) -> Result<Vec<WorkUnit>, ExploreError> {
+    if chunk_size == 0 {
+        return Err(ExploreError::InvalidOptions(
+            "chunk_size must be at least 1, got 0".into(),
+        ));
+    }
+    let num_points = grid.budgets.len();
+    let mut units = Vec::new();
+    for series in 0..grid.num_series() {
+        let mut start = 0;
+        while start < num_points {
+            let end = (start + chunk_size).min(num_points);
+            units.push(WorkUnit { series, start, end });
+            start = end;
+        }
+    }
+    Ok(units)
+}
+
+/// Assembles completed unit results into one [`SweepSeries`] per series, in
+/// grid order. `results[i]` must be the output of [`compute_unit`] for
+/// `units[i]`; because units are indexed, the assembly is independent of the
+/// order units were *completed* in — the property the multi-process
+/// dispatcher relies on to stay byte-identical under arbitrary completion
+/// orders.
+///
+/// # Panics
+///
+/// Panics if `units` and `results` disagree in length or a unit's series
+/// index is out of range for the grid.
+pub fn assemble_series(
+    grid: &SweepGrid,
+    units: &[WorkUnit],
+    results: Vec<Vec<Option<SweepPoint>>>,
+) -> Vec<SweepSeries> {
+    assert_eq!(
+        units.len(),
+        results.len(),
+        "every work unit needs exactly one result"
+    );
+    let mut series: Vec<SweepSeries> = (0..grid.num_series())
+        .map(|s| {
+            let (case, platform, backend) = grid.series_key(s);
+            SweepSeries {
+                case: grid.cases[case].label().to_owned(),
+                platform: grid.platforms[platform].label(),
+                num_fpgas: grid.platforms[platform].num_fpgas(),
+                backend: grid.backends[backend].label().to_owned(),
+                points: Vec::new(),
+            }
+        })
+        .collect();
+    for (unit, points) in units.iter().zip(results) {
+        series[unit.series]
+            .points
+            .extend(points.into_iter().flatten());
+    }
+    series
+}
+
+/// Sets every point's wall-clock `solve_seconds` to zero. Timing is the only
+/// legitimate difference between two runs of the same grid; normalizing it
+/// makes series (and their [`crate::export`] output) byte-comparable, which
+/// the golden-file regression tests and the sharded-dispatch determinism
+/// checks rely on.
+pub fn zero_timing(series: &mut [SweepSeries]) {
+    for s in series {
+        for p in &mut s.points {
+            p.solve_seconds = 0.0;
+        }
+    }
 }
 
 /// Runs the grid and returns one [`SweepSeries`] per (case, FPGA count,
@@ -94,25 +185,17 @@ struct WorkUnit {
 ///
 /// # Errors
 ///
-/// Returns [`ExploreError::Solver`] for the earliest (in grid order)
-/// non-skippable solver failure; skippable point errors only omit the
-/// point. On a failure the executor stops picking up new work units, so the
-/// error surfaces without sweeping the rest of the grid.
+/// Returns [`ExploreError::InvalidOptions`] when
+/// [`ExecutorOptions::chunk_size`] is zero, and [`ExploreError::Solver`] for
+/// the earliest (in grid order) non-skippable solver failure; skippable
+/// point errors only omit the point. On a failure the executor stops picking
+/// up new work units, so the error surfaces without sweeping the rest of the
+/// grid.
 pub fn run_sweep(
     grid: &SweepGrid,
     options: &ExecutorOptions,
 ) -> Result<Vec<SweepSeries>, ExploreError> {
-    let chunk = options.chunk_size.max(1);
-    let num_points = grid.budgets.len();
-    let mut units = Vec::new();
-    for series in 0..grid.num_series() {
-        let mut start = 0;
-        while start < num_points {
-            let end = (start + chunk).min(num_points);
-            units.push(WorkUnit { series, start, end });
-            start = end;
-        }
-    }
+    let units = plan_units(grid, options.chunk_size)?;
 
     let threads = options
         .num_threads
@@ -132,7 +215,7 @@ pub fn run_sweep(
     let mut unit_results: Vec<Option<UnitResult>> = units.iter().map(|_| None).collect();
     if threads <= 1 {
         for (idx, unit) in units.iter().enumerate() {
-            let result = compute_unit(grid, *unit, options.warm_start);
+            let result = compute_unit(grid, unit, options.warm_start);
             let failed = result.is_err();
             unit_results[idx] = Some(result);
             if failed {
@@ -156,7 +239,7 @@ pub fn run_sweep(
                     let Some(unit) = units.get(idx) else {
                         break;
                     };
-                    let result = compute_unit(grid, *unit, options.warm_start);
+                    let result = compute_unit(grid, unit, options.warm_start);
                     if result.is_err() {
                         abort.store(true, Ordering::Relaxed);
                     }
@@ -185,35 +268,37 @@ pub fn run_sweep(
 
     // No failures: every unit up to the end was computed. Assemble in unit
     // order so each series' points follow the constraint axis.
-    let mut series: Vec<SweepSeries> = (0..grid.num_series())
-        .map(|s| {
-            let (case, platform, backend) = grid.series_key(s);
-            SweepSeries {
-                case: grid.cases[case].label().to_owned(),
-                platform: grid.platforms[platform].label(),
-                num_fpgas: grid.platforms[platform].num_fpgas(),
-                backend: grid.backends[backend].label().to_owned(),
-                points: Vec::new(),
-            }
+    let results = unit_results
+        .into_iter()
+        .map(|slot| {
+            slot.expect("without failures every work unit produces a result")
+                .expect("failures were surfaced above")
         })
         .collect();
-    for (idx, unit) in units.iter().enumerate() {
-        let points = unit_results[idx]
-            .take()
-            .expect("without failures every work unit produces a result")
-            .expect("failures were surfaced above");
-        series[unit.series]
-            .points
-            .extend(points.into_iter().flatten());
-    }
-    Ok(series)
+    Ok(assemble_series(grid, &units, results))
 }
 
 type UnitResult = Result<Vec<Option<SweepPoint>>, ExploreError>;
 
-/// Solves one chunk of budget points, warm-starting each GP+A solve from the
-/// nearest (in budget distance) already-solved point of the same chunk.
-fn compute_unit(grid: &SweepGrid, unit: WorkUnit, warm_start: bool) -> UnitResult {
+/// Solves one [`WorkUnit`]: the unit's budget points in axis order, each
+/// GP+A solve warm-started from the nearest (in budget distance)
+/// already-solved point of the same unit. `None` entries are skippable
+/// points (infeasible or unplaceable budgets), exactly as in
+/// [`mfa_alloc::explore::sweep_gpa`].
+///
+/// The result is a pure function of the arguments — the warm-start cache is
+/// created fresh per unit — so a unit computes identically whether it runs
+/// on a thread of [`run_sweep`] or in a remote worker process.
+///
+/// # Errors
+///
+/// Returns [`ExploreError::Solver`] for the unit's first non-skippable
+/// solver failure.
+pub fn compute_unit(
+    grid: &SweepGrid,
+    unit: &WorkUnit,
+    warm_start: bool,
+) -> Result<Vec<Option<SweepPoint>>, ExploreError> {
     let (case_idx, platform_idx, backend_idx) = grid.series_key(unit.series);
     let case = &grid.cases[case_idx];
     let platform = &grid.platforms[platform_idx];
@@ -278,12 +363,8 @@ mod tests {
 
     /// Wall-clock fields are the only legitimate difference between two runs
     /// of the same grid.
-    fn zero_timing(mut series: Vec<SweepSeries>) -> Vec<SweepSeries> {
-        for s in &mut series {
-            for p in &mut s.points {
-                p.solve_seconds = 0.0;
-            }
-        }
+    fn zeroed(mut series: Vec<SweepSeries>) -> Vec<SweepSeries> {
+        zero_timing(&mut series);
         series
     }
 
@@ -300,7 +381,7 @@ mod tests {
             },
         )
         .unwrap();
-        assert_eq!(zero_timing(serial), zero_timing(parallel));
+        assert_eq!(zeroed(serial), zeroed(parallel));
     }
 
     #[test]
@@ -419,7 +500,7 @@ mod tests {
             },
         )
         .unwrap();
-        assert_eq!(zero_timing(serial.clone()), zero_timing(parallel));
+        assert_eq!(zeroed(serial.clone()), zeroed(parallel));
         assert_eq!(serial.len(), 2);
         assert_eq!(serial[0].platform, "2 FPGAs");
         assert_eq!(serial[1].platform, "1×VU9P + 1×KU115");
@@ -435,6 +516,98 @@ mod tests {
         }
         // The uniform points inherit the case's full bandwidth.
         assert!((serial[0].points[0].budget.bandwidth_fraction() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_chunk_size_errors_instead_of_hanging() {
+        let grid = alex16_grid(4, vec![SolverSpec::gpa(GpaOptions::fast())]);
+        let result = run_sweep(
+            &grid,
+            &ExecutorOptions {
+                chunk_size: 0,
+                ..ExecutorOptions::serial()
+            },
+        );
+        assert!(matches!(result, Err(ExploreError::InvalidOptions(_))));
+        assert!(matches!(
+            plan_units(&grid, 0),
+            Err(ExploreError::InvalidOptions(_))
+        ));
+    }
+
+    #[test]
+    fn planned_units_tile_every_series_in_order() {
+        let grid = SweepGrid::builder()
+            .case(CaseSpec::from_paper(PaperCase::Alex16OnTwoFpgas))
+            .fpga_counts([1, 2])
+            .constraints([0.6, 0.65, 0.7, 0.75, 0.8])
+            .backend(SolverSpec::gpa(GpaOptions::fast()))
+            .build()
+            .unwrap();
+        let units = plan_units(&grid, 2).unwrap();
+        assert_eq!(
+            units,
+            vec![
+                WorkUnit {
+                    series: 0,
+                    start: 0,
+                    end: 2
+                },
+                WorkUnit {
+                    series: 0,
+                    start: 2,
+                    end: 4
+                },
+                WorkUnit {
+                    series: 0,
+                    start: 4,
+                    end: 5
+                },
+                WorkUnit {
+                    series: 1,
+                    start: 0,
+                    end: 2
+                },
+                WorkUnit {
+                    series: 1,
+                    start: 2,
+                    end: 4
+                },
+                WorkUnit {
+                    series: 1,
+                    start: 4,
+                    end: 5
+                },
+            ]
+        );
+        // A chunk size at least as large as the budget axis yields one unit
+        // per series.
+        assert_eq!(plan_units(&grid, 64).unwrap().len(), grid.num_series());
+    }
+
+    #[test]
+    fn assembly_is_independent_of_completion_order() {
+        let grid = alex16_grid(6, vec![SolverSpec::gpa(GpaOptions::fast())]);
+        let units = plan_units(&grid, 2).unwrap();
+        let in_order: Vec<_> = units
+            .iter()
+            .map(|u| compute_unit(&grid, u, true).unwrap())
+            .collect();
+        // Compute the same units back to front — the stand-in for an
+        // adversarial scheduler — and slot results by index.
+        let mut reversed: Vec<Option<Vec<Option<SweepPoint>>>> = vec![None; units.len()];
+        for (idx, unit) in units.iter().enumerate().rev() {
+            reversed[idx] = Some(compute_unit(&grid, unit, true).unwrap());
+        }
+        let reversed: Vec<_> = reversed.into_iter().map(Option::unwrap).collect();
+        let mut a = assemble_series(&grid, &units, in_order);
+        let mut b = assemble_series(&grid, &units, reversed);
+        zero_timing(&mut a);
+        zero_timing(&mut b);
+        assert_eq!(a, b);
+        let mut serial = run_sweep(&grid, &ExecutorOptions::serial()).unwrap();
+        zero_timing(&mut serial);
+        assert_eq!(a, serial);
     }
 
     #[test]

@@ -1,0 +1,292 @@
+//! The paper's figure grids (Figs. 2–5) as reusable [`SweepGrid`] presets.
+//!
+//! The `dse` example, the golden-file regression tests and the sharded
+//! dispatcher tests all sweep the *same* grids; defining them once here is
+//! what lets the tests byte-compare serial, threaded and multi-process runs
+//! against one committed snapshot without drifting from the example.
+//!
+//! Quick mode (the CI smoke configuration) deliberately gives the MINLP
+//! backends a node budget but **no wall-clock limit**: a time limit makes
+//! the explored tree — and therefore the reported incumbent — depend on
+//! machine load, which would break the byte-identical golden comparison.
+//! The small per-case node caps alone bound quick-mode runtime.
+
+use mfa_alloc::cases::PaperCase;
+use mfa_alloc::exact::{ExactMode, ExactOptions};
+use mfa_alloc::gpa::GpaOptions;
+use mfa_alloc::greedy::GreedyOptions;
+use mfa_minlp::SolverOptions;
+
+use crate::grid::{constraint_grid, CaseSpec, SolverSpec, SweepGrid};
+use crate::ExploreError;
+
+/// One of the paper's figures: a named grid plus the constraint values its
+/// table axis prints.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FigureSpec {
+    /// Short name used in export file names (`fig2` … `fig5`).
+    pub name: &'static str,
+    /// Human-readable title for console tables.
+    pub title: String,
+    /// The constraint values of the figure's x-axis (used for table rows;
+    /// the grid's budget axis carries the same values).
+    pub constraints: Vec<f64>,
+    /// The sweep grid reproducing the figure's series.
+    pub grid: SweepGrid,
+}
+
+/// MINLP node/time budgets per figure: small enough to finish, honest about
+/// the gap. Quick mode is node-budget-only so the result is independent of
+/// machine speed (see the module docs).
+fn exact_backends(quick: bool, vgg: bool) -> Vec<SolverSpec> {
+    let solver = match (quick, vgg) {
+        // Node-only budgets, sized so the whole quick exact sweep stays in
+        // the tens of seconds: VGG nodes are an order of magnitude more
+        // expensive than the Alex cases'. VGG's plain-MINLP series still
+        // exhausts its budget without an incumbent, which keeps the
+        // budget-exhausted skip path under test.
+        (true, false) => SolverOptions {
+            max_nodes: 12,
+            time_limit_seconds: None,
+            ..SolverOptions::default()
+        },
+        (true, true) => SolverOptions {
+            max_nodes: 4,
+            time_limit_seconds: None,
+            ..SolverOptions::default()
+        },
+        (false, false) => SolverOptions::with_budget(2_000, 12.0),
+        (false, true) => SolverOptions::with_budget(200, 15.0),
+    };
+    [ExactMode::IiOnly, ExactMode::IiAndSpreading]
+        .into_iter()
+        .map(|mode| {
+            SolverSpec::exact(ExactOptions {
+                mode,
+                solver: solver.clone(),
+                symmetry_breaking: true,
+            })
+        })
+        .collect()
+}
+
+/// Builds Fig. 2 (the greedy `T` parameter on Alex-16): one labeled GP+A
+/// backend per `T` value.
+///
+/// # Errors
+///
+/// Returns [`ExploreError::InvalidGrid`] only if the hard-coded axes were
+/// edited into an invalid state.
+pub fn figure2(quick: bool) -> Result<FigureSpec, ExploreError> {
+    let t_values: &[f64] = if quick {
+        &[0.0, 0.10]
+    } else {
+        &[0.0, 0.025, 0.05, 0.10, 0.15, 0.20, 0.25, 0.30]
+    };
+    let constraints = if quick {
+        constraint_grid(0.50, 0.90, 3)?
+    } else {
+        constraint_grid(0.40, 0.90, 11)?
+    };
+    let grid = SweepGrid::builder()
+        .case(CaseSpec::from_paper(PaperCase::Alex16OnTwoFpgas))
+        .fpga_counts([2])
+        .constraints(constraints.iter().copied())
+        .backends(t_values.iter().map(|&t| {
+            SolverSpec::gpa_labeled(
+                format!("T{:.1}%", t * 100.0),
+                GpaOptions {
+                    greedy: GreedyOptions::with_t_delta(t, 0.01),
+                    ..GpaOptions::fast()
+                },
+            )
+        }))
+        .build()?;
+    Ok(FigureSpec {
+        name: "fig2",
+        title: "Fig. 2: Alex-16 on 2 FPGAs — II (ms) vs constraint for several T".into(),
+        constraints,
+        grid,
+    })
+}
+
+/// Builds one of Figs. 3–5 (GP+A vs MINLP vs MINLP+G on a paper case).
+fn method_figure(
+    name: &'static str,
+    case: PaperCase,
+    constraints: Vec<f64>,
+    quick: bool,
+    vgg: bool,
+    exact: bool,
+) -> Result<FigureSpec, ExploreError> {
+    let mut builder = SweepGrid::builder()
+        .case(CaseSpec::from_paper(case))
+        .fpga_counts([case.num_fpgas()])
+        .constraints(constraints.iter().copied())
+        .backend(SolverSpec::gpa(GpaOptions::paper_defaults()));
+    if exact {
+        builder = builder.backends(exact_backends(quick, vgg));
+    }
+    Ok(FigureSpec {
+        name,
+        title: format!("{}: {} — II (ms) by method", name, case.label()),
+        constraints,
+        grid: builder.build()?,
+    })
+}
+
+/// Builds Figs. 2–5 in order. `quick` selects the reduced CI grids (which
+/// also exercise the infeasible-point skip paths); `exact = false` drops the
+/// MINLP/MINLP+G series from Figs. 3–5.
+///
+/// # Errors
+///
+/// Returns [`ExploreError::InvalidGrid`] only if the hard-coded axes were
+/// edited into an invalid state.
+pub fn paper_figures(quick: bool, exact: bool) -> Result<Vec<FigureSpec>, ExploreError> {
+    let mut figures = vec![figure2(quick)?];
+    figures.push(method_figure(
+        "fig3",
+        PaperCase::Alex16OnTwoFpgas,
+        if quick {
+            // 8 % is infeasible for Alex-16 — exercises the skip path.
+            vec![0.08, 0.65, 0.85]
+        } else {
+            constraint_grid(0.55, 0.85, 7)?
+        },
+        quick,
+        false,
+        exact,
+    )?);
+    figures.push(method_figure(
+        "fig4",
+        PaperCase::Alex32OnFourFpgas,
+        if quick {
+            // 30 % cannot host CONV2 (37.6 % DSP) — another skip path.
+            vec![0.30, 0.70, 0.75]
+        } else {
+            constraint_grid(0.65, 0.75, 3)?
+        },
+        quick,
+        false,
+        exact,
+    )?);
+    figures.push(method_figure(
+        "fig5",
+        PaperCase::VggOnEightFpgas,
+        if quick {
+            vec![0.61, 0.80]
+        } else {
+            constraint_grid(0.55, 0.80, 6)?
+        },
+        quick,
+        true,
+        exact,
+    )?);
+    Ok(figures)
+}
+
+/// The heterogeneous-platform × per-resource-budget smoke grid the `dse`
+/// example runs next to the figures (exported as `hetero`): Alex-16 on the
+/// classic 2-FPGA platform *and* a mixed VU9P+KU115 pair, each under the
+/// uniform 70 % constraint *and* a skewed per-resource budget.
+///
+/// # Errors
+///
+/// Returns [`ExploreError::InvalidGrid`] only if the hard-coded axes were
+/// edited into an invalid state.
+pub fn hetero_smoke() -> Result<FigureSpec, ExploreError> {
+    use mfa_platform::{
+        DeviceGroup, FpgaDevice, HeterogeneousPlatform, ResourceBudget, ResourceVec,
+    };
+    let mixed_pair = HeterogeneousPlatform::new(
+        "1×VU9P + 1×KU115",
+        vec![
+            DeviceGroup::new(FpgaDevice::vu9p(), 1),
+            DeviceGroup::new(FpgaDevice::ku115(), 1),
+        ],
+    );
+    let skewed_budget = ResourceBudget::new(ResourceVec::new(0.9, 0.9, 0.6, 0.75), 0.9);
+    let grid = SweepGrid::builder()
+        .case(CaseSpec::from_paper(PaperCase::Alex16OnTwoFpgas))
+        .fpga_counts([2])
+        .platform(crate::PlatformSpec::platform(mixed_pair))
+        .constraints([0.70])
+        .budget(skewed_budget)
+        .backend(SolverSpec::gpa(GpaOptions::fast()))
+        .build()?;
+    Ok(FigureSpec {
+        name: "hetero",
+        title: "New axes: heterogeneous platform × per-resource budget (Alex-16)".into(),
+        constraints: vec![0.70, 0.90],
+        grid,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hetero_smoke_covers_both_new_axes() {
+        let figure = hetero_smoke().unwrap();
+        assert_eq!(figure.grid.num_series(), 2);
+        assert_eq!(figure.grid.budgets().len(), 2);
+        assert_eq!(figure.grid.platforms().len(), 2);
+    }
+
+    #[test]
+    fn quick_figures_cover_fig2_to_fig5() {
+        let figures = paper_figures(true, true).unwrap();
+        assert_eq!(
+            figures.iter().map(|f| f.name).collect::<Vec<_>>(),
+            ["fig2", "fig3", "fig4", "fig5"]
+        );
+        // Fig. 2 sweeps T values as separate GP+A backends; Figs. 3–5 run
+        // GP+A next to the two MINLP modes.
+        assert_eq!(figures[0].grid.num_series(), 2);
+        for figure in &figures[1..] {
+            assert_eq!(figure.grid.num_series(), 3, "{}", figure.name);
+        }
+        // The constraint list mirrors the grid's budget axis.
+        for figure in &figures {
+            assert_eq!(
+                figure.constraints.len(),
+                figure.grid.budgets().len(),
+                "{}",
+                figure.name
+            );
+        }
+    }
+
+    #[test]
+    fn quick_exact_budgets_are_node_limited_not_time_limited() {
+        // A wall-clock limit would make the golden snapshots depend on
+        // machine load; assert the quick configuration never carries one.
+        for figure in paper_figures(true, true).unwrap() {
+            for backend in figure.grid.backends() {
+                if let SolverSpec::Exact { options, .. } = backend {
+                    assert_eq!(options.solver.time_limit_seconds, None, "{}", figure.name);
+                    assert!(options.solver.max_nodes <= 12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exact_flag_drops_the_minlp_series() {
+        let figures = paper_figures(true, false).unwrap();
+        for figure in &figures[1..] {
+            assert_eq!(figure.grid.num_series(), 1, "{}", figure.name);
+        }
+    }
+
+    #[test]
+    fn full_figures_have_the_paper_axes() {
+        let figures = paper_figures(false, true).unwrap();
+        assert_eq!(figures[0].constraints.len(), 11);
+        assert_eq!(figures[0].grid.num_series(), 8); // one per T value
+        assert_eq!(figures[1].constraints.len(), 7);
+        assert_eq!(figures[3].constraints.len(), 6);
+    }
+}

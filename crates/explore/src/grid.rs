@@ -137,6 +137,12 @@ impl CaseSpec {
         &self.label
     }
 
+    /// The base problem the grid re-parameterizes per point (used by the
+    /// wire codec to ship cases to worker processes).
+    pub fn base(&self) -> &AllocationProblem {
+        &self.base
+    }
+
     /// Builds one of the paper's three representative cases (Table 4).
     pub fn from_paper(case: PaperCase) -> Self {
         let (_, hi) = case.constraint_range();
@@ -255,6 +261,16 @@ impl SweepGrid {
     /// The platform axis.
     pub fn platforms(&self) -> &[PlatformSpec] {
         &self.platforms
+    }
+
+    /// The case axis.
+    pub fn cases(&self) -> &[CaseSpec] {
+        &self.cases
+    }
+
+    /// The solver-backend axis.
+    pub fn backends(&self) -> &[SolverSpec] {
+        &self.backends
     }
 
     /// Decomposes a series index into (case, platform, backend) indices.

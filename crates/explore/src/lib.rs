@@ -63,12 +63,19 @@ mod cache;
 mod error;
 mod executor;
 pub mod export;
+pub mod figures;
 mod grid;
+pub mod json;
 pub mod validate;
+pub mod wire;
 
 pub use cache::{budget_distance, WarmStartCache};
 pub use error::ExploreError;
-pub use executor::{run_sweep, ExecutorOptions, SweepSeries};
+pub use executor::{
+    assemble_series, compute_unit, plan_units, run_sweep, zero_timing, ExecutorOptions,
+    SweepSeries, WorkUnit,
+};
+pub use figures::FigureSpec;
 pub use grid::{
     constraint_grid, BudgetSpec, CaseSpec, PlatformSpec, SolverSpec, SweepGrid, SweepGridBuilder,
 };

@@ -9,28 +9,40 @@
 //!                    also exercises the skip paths for infeasible points
 //!                    and budget-exhausted exact solves)
 //!   --threads N      worker threads (default: all cores)
+//!   --workers N      shard each grid across N sweep-worker processes
+//!                    (build them first: cargo build --release -p mfa_dispatch)
+//!   --connect ADDR   use a TCP worker at ADDR (host:port started with
+//!                    `sweep-worker --listen`; repeatable, overrides --workers)
 //!   --out PREFIX     write PREFIX-fig{2,3,4,5}.{json,csv}
+//!   --zero-timing    zero the solve_seconds column before exporting (for
+//!                    byte-comparable golden snapshots)
 //!   --no-exact       skip the MINLP/MINLP+G series (GP+A only)
 //!   --compare-serial also run the Fig. 3 grid serially and report speedup
 //! ```
+//!
+//! The figure grids themselves live in `mfa_explore::figures`, shared with
+//! the golden-file regression tests and the dispatcher's determinism tests.
 
 use std::time::Instant;
 
+use mfa::dispatch::{
+    default_worker_program, run_sweep_sharded, spawned_workers, DispatchOptions, WorkerSpec,
+};
 use mfa::explore::{
-    constraint_grid, export, run_sweep, validate, CaseSpec, ExecutorOptions, PlatformSpec,
+    constraint_grid, export, figures, run_sweep, validate, zero_timing, CaseSpec, ExecutorOptions,
     SolverSpec, SweepGrid, SweepSeries,
 };
 use mfa_alloc::cases::PaperCase;
-use mfa_alloc::exact::ExactMode;
 use mfa_alloc::gpa::GpaOptions;
-use mfa_alloc::greedy::GreedyOptions;
-use mfa_platform::{DeviceGroup, FpgaDevice, HeterogeneousPlatform, ResourceBudget, ResourceVec};
 use mfa_sim::SimConfig;
 
 struct Args {
     quick: bool,
     threads: Option<usize>,
+    workers: Option<usize>,
+    connect: Vec<String>,
     out: Option<String>,
+    zero_timing: bool,
     exact: bool,
     compare_serial: bool,
 }
@@ -39,7 +51,10 @@ fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         quick: false,
         threads: None,
+        workers: None,
+        connect: Vec::new(),
         out: None,
+        zero_timing: false,
         exact: true,
         compare_serial: false,
     };
@@ -48,11 +63,19 @@ fn parse_args() -> Result<Args, String> {
         match arg.as_str() {
             "--quick" => args.quick = true,
             "--no-exact" => args.exact = false,
+            "--zero-timing" => args.zero_timing = true,
             "--compare-serial" => args.compare_serial = true,
             "--threads" => {
                 let v = iter.next().ok_or("--threads needs a value")?;
                 args.threads = Some(v.parse().map_err(|_| format!("bad thread count {v}"))?);
             }
+            "--workers" => {
+                let v = iter.next().ok_or("--workers needs a value")?;
+                args.workers = Some(v.parse().map_err(|_| format!("bad worker count {v}"))?);
+            }
+            "--connect" => args
+                .connect
+                .push(iter.next().ok_or("--connect needs host:port")?),
             "--out" => args.out = Some(iter.next().ok_or("--out needs a path prefix")?),
             other => return Err(format!("unknown flag {other} (see the header of dse.rs)")),
         }
@@ -60,23 +83,27 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
-/// MINLP node/time budgets: small enough to finish, honest about the gap.
-fn exact_backends(quick: bool, vgg: bool) -> Vec<SolverSpec> {
-    let (nodes, seconds) = match (quick, vgg) {
-        (true, _) => (50, 1.0),
-        (false, false) => (2_000, 12.0),
-        (false, true) => (200, 15.0),
-    };
-    [ExactMode::IiOnly, ExactMode::IiAndSpreading]
-        .into_iter()
-        .map(|mode| {
-            SolverSpec::exact(mfa_alloc::exact::ExactOptions {
-                mode,
-                solver: mfa_minlp::SolverOptions::with_budget(nodes, seconds),
-                symmetry_breaking: true,
-            })
-        })
-        .collect()
+/// How grids are executed this run: in-process threads, or sharded across
+/// worker processes / TCP peers.
+enum Engine {
+    Threads(ExecutorOptions),
+    Sharded(Vec<WorkerSpec>),
+}
+
+impl Engine {
+    fn run(&self, grid: &SweepGrid) -> Result<Vec<SweepSeries>, Box<dyn std::error::Error>> {
+        match self {
+            Engine::Threads(options) => Ok(run_sweep(grid, options)?),
+            // The dispatcher's default chunk size and warm-start policy
+            // match ExecutorOptions::default(), so both paths produce
+            // byte-identical series (timing aside).
+            Engine::Sharded(workers) => Ok(run_sweep_sharded(
+                grid,
+                workers,
+                &DispatchOptions::default(),
+            )?),
+        }
+    }
 }
 
 fn print_series_table(title: &str, constraints: &[f64], series: &[SweepSeries]) {
@@ -104,15 +131,19 @@ fn print_series_table(title: &str, constraints: &[f64], series: &[SweepSeries]) 
 }
 
 fn export_figure(
-    out: &Option<String>,
+    args: &Args,
     name: &str,
     series: &[SweepSeries],
 ) -> Result<(), Box<dyn std::error::Error>> {
-    if let Some(prefix) = out {
+    if let Some(prefix) = &args.out {
+        let mut series = series.to_vec();
+        if args.zero_timing {
+            zero_timing(&mut series);
+        }
         let json = format!("{prefix}-{name}.json");
         let csv = format!("{prefix}-{name}.csv");
-        export::write_json(&json, series)?;
-        export::write_csv(&csv, series)?;
+        export::write_json(&json, &series)?;
+        export::write_csv(&csv, &series)?;
         println!("    wrote {json} and {csv}");
     }
     Ok(())
@@ -124,120 +155,51 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         num_threads: args.threads,
         ..ExecutorOptions::default()
     };
+    if args.threads.is_some() && (args.workers.is_some() || !args.connect.is_empty()) {
+        return Err(
+            "--threads configures the in-process executor and has no effect \
+                    on sharded runs; drop it or drop --workers/--connect"
+                .into(),
+        );
+    }
+    let engine = if !args.connect.is_empty() {
+        println!(
+            "sharding each grid across {} TCP worker(s): {}",
+            args.connect.len(),
+            args.connect.join(", ")
+        );
+        Engine::Sharded(
+            args.connect
+                .iter()
+                .map(|addr| WorkerSpec::Connect { addr: addr.clone() })
+                .collect(),
+        )
+    } else if let Some(n) = args.workers {
+        let program = default_worker_program()?;
+        println!(
+            "sharding each grid across {n} worker process(es) ({})",
+            program.display()
+        );
+        Engine::Sharded(spawned_workers(program, n))
+    } else {
+        Engine::Threads(options.clone())
+    };
     let started = Instant::now();
 
-    // ---- Fig. 2: the T parameter (one labeled GP+A backend per T value).
-    let t_values: &[f64] = if args.quick {
-        &[0.0, 0.10]
-    } else {
-        &[0.0, 0.025, 0.05, 0.10, 0.15, 0.20, 0.25, 0.30]
-    };
-    let fig2_constraints = if args.quick {
-        constraint_grid(0.50, 0.90, 3)?
-    } else {
-        constraint_grid(0.40, 0.90, 11)?
-    };
-    let fig2 = run_sweep(
-        &SweepGrid::builder()
-            .case(CaseSpec::from_paper(PaperCase::Alex16OnTwoFpgas))
-            .fpga_counts([2])
-            .constraints(fig2_constraints.iter().copied())
-            .backends(t_values.iter().map(|&t| {
-                SolverSpec::gpa_labeled(
-                    format!("T{:.1}%", t * 100.0),
-                    GpaOptions {
-                        greedy: GreedyOptions::with_t_delta(t, 0.01),
-                        ..GpaOptions::fast()
-                    },
-                )
-            }))
-            .build()?,
-        &options,
-    )?;
-    print_series_table(
-        "Fig. 2: Alex-16 on 2 FPGAs — II (ms) vs constraint for several T",
-        &fig2_constraints,
-        &fig2,
-    );
-    export_figure(&args.out, "fig2", &fig2)?;
-
-    // ---- Figs. 3–5: GP+A vs MINLP vs MINLP+G per case.
-    let figures: [(&str, PaperCase, Vec<f64>, bool); 3] = [
-        (
-            "fig3",
-            PaperCase::Alex16OnTwoFpgas,
-            if args.quick {
-                // 8 % is infeasible for Alex-16 — exercises the skip path.
-                vec![0.08, 0.65, 0.85]
-            } else {
-                constraint_grid(0.55, 0.85, 7)?
-            },
-            false,
-        ),
-        (
-            "fig4",
-            PaperCase::Alex32OnFourFpgas,
-            if args.quick {
-                // 30 % cannot host CONV2 (37.6 % DSP) — another skip path.
-                vec![0.30, 0.70, 0.75]
-            } else {
-                constraint_grid(0.65, 0.75, 3)?
-            },
-            false,
-        ),
-        (
-            "fig5",
-            PaperCase::VggOnEightFpgas,
-            if args.quick {
-                vec![0.61, 0.80]
-            } else {
-                constraint_grid(0.55, 0.80, 6)?
-            },
-            true,
-        ),
-    ];
-    for (name, case, constraints, is_vgg) in &figures {
-        let mut builder = SweepGrid::builder()
-            .case(CaseSpec::from_paper(*case))
-            .fpga_counts([case.num_fpgas()])
-            .constraints(constraints.iter().copied())
-            .backend(SolverSpec::gpa(GpaOptions::paper_defaults()));
-        if args.exact {
-            builder = builder.backends(exact_backends(args.quick, *is_vgg));
-        }
-        let series = run_sweep(&builder.build()?, &options)?;
-        print_series_table(
-            &format!("{}: {} — II (ms) by method", name, case.label()),
-            constraints,
-            &series,
-        );
-        export_figure(&args.out, name, &series)?;
+    // ---- Figs. 2–5 from the shared presets.
+    for figure in figures::paper_figures(args.quick, args.exact)? {
+        let series = engine.run(&figure.grid)?;
+        print_series_table(&figure.title, &figure.constraints, &series);
+        export_figure(&args, figure.name, &series)?;
     }
 
     // ---- Heterogeneous platform + per-resource budget axes (one point
     //      each, also in --quick mode, so CI exercises both new axes on
     //      every push).
-    let mixed_pair = HeterogeneousPlatform::new(
-        "1×VU9P + 1×KU115",
-        vec![
-            DeviceGroup::new(FpgaDevice::vu9p(), 1),
-            DeviceGroup::new(FpgaDevice::ku115(), 1),
-        ],
-    );
-    let skewed_budget = ResourceBudget::new(ResourceVec::new(0.9, 0.9, 0.6, 0.75), 0.9);
-    let hetero = run_sweep(
-        &SweepGrid::builder()
-            .case(CaseSpec::from_paper(PaperCase::Alex16OnTwoFpgas))
-            .fpga_counts([2])
-            .platform(PlatformSpec::platform(mixed_pair))
-            .constraints([0.70])
-            .budget(skewed_budget)
-            .backend(SolverSpec::gpa(GpaOptions::fast()))
-            .build()?,
-        &options,
-    )?;
+    let hetero_figure = figures::hetero_smoke()?;
+    let hetero = engine.run(&hetero_figure.grid)?;
     println!();
-    println!("=== New axes: heterogeneous platform × per-resource budget (Alex-16)");
+    println!("=== {}", hetero_figure.title);
     for s in &hetero {
         for p in &s.points {
             let b = p.budget.resource_fraction();
@@ -259,7 +221,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         hetero_points, 4,
         "both platform points must solve both budget points"
     );
-    export_figure(&args.out, "hetero", &hetero)?;
+    export_figure(&args, hetero_figure.name, &hetero)?;
 
     // ---- Cross-validate a sample of swept designs through the simulator.
     println!();

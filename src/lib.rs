@@ -9,6 +9,7 @@
 
 pub use mfa_alloc as alloc;
 pub use mfa_cnn as cnn;
+pub use mfa_dispatch as dispatch;
 pub use mfa_explore as explore;
 pub use mfa_gp as gp;
 pub use mfa_linalg as linalg;
