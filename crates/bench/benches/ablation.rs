@@ -8,10 +8,11 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 
 use mfa_alloc::cases::PaperCase;
-use mfa_alloc::exact::{self, ExactMode, ExactOptions};
+use mfa_alloc::exact::{ExactMode, ExactOptions};
 use mfa_alloc::gp_step::{self, RelaxationBackend};
-use mfa_alloc::gpa::{self, GpaOptions};
+use mfa_alloc::gpa::GpaOptions;
 use mfa_alloc::greedy::GreedyOptions;
+use mfa_alloc::solver::{Backend, SolveRequest};
 use mfa_minlp::SolverOptions;
 
 fn print_ablation_summary() {
@@ -40,13 +41,14 @@ fn print_ablation_summary() {
             solver: SolverOptions::with_budget(800, 15.0),
             symmetry_breaking: symmetry,
         };
-        match exact::solve(&problem, &options) {
+        let request = SolveRequest::new(&problem).backend(Backend::exact_with(options));
+        match request.solve() {
             Ok(outcome) => println!(
-                "symmetry breaking {:>5}: II = {:.3} ms, nodes = {}, proven optimal = {}",
+                "symmetry breaking {:>5}: II = {:.3} ms, nodes = {}, proven optimal = {:?}",
                 symmetry,
                 outcome.allocation.initiation_interval(&problem),
-                outcome.nodes_explored,
-                outcome.proven_optimal
+                outcome.diagnostics.bb_nodes,
+                outcome.diagnostics.proven_optimal
             ),
             Err(err) => println!("symmetry breaking {symmetry}: failed: {err}"),
         }
@@ -75,7 +77,8 @@ fn bench(c: &mut Criterion) {
                 greedy: GreedyOptions::with_t_delta(t, 0.01),
                 ..GpaOptions::fast()
             };
-            b.iter(|| gpa::solve(&problem, &options).expect("solves"))
+            let request = SolveRequest::new(&problem).backend(Backend::gpa_with(options));
+            b.iter(|| request.solve().expect("solves"))
         });
     }
     group.finish();

@@ -9,8 +9,9 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 
 use mfa_alloc::cases::PaperCase;
-use mfa_alloc::gpa::{self, GpaOptions};
+use mfa_alloc::gpa::GpaOptions;
 use mfa_alloc::greedy::GreedyOptions;
+use mfa_alloc::solver::{Backend, SolveRequest};
 use mfa_explore::{constraint_grid, run_sweep, CaseSpec, ExecutorOptions, SolverSpec, SweepGrid};
 
 const T_VALUES: [f64; 8] = [0.0, 0.025, 0.05, 0.10, 0.15, 0.20, 0.25, 0.30];
@@ -68,7 +69,12 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig2_t_sweep");
     group.sample_size(10);
     group.bench_function("gpa_alex16_single_point", |b| {
-        b.iter(|| gpa::solve(&problem, &GpaOptions::fast()).expect("solves"))
+        b.iter(|| {
+            SolveRequest::new(&problem)
+                .backend(Backend::gpa_fast())
+                .solve()
+                .expect("solves")
+        })
     });
     let constraints = constraint_grid(0.40, 0.90, 11).expect("valid grid");
     let grid = fig2_grid(&constraints);

@@ -8,9 +8,10 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 
 use mfa_alloc::cases::PaperCase;
-use mfa_alloc::exact::{self, ExactMode};
+use mfa_alloc::exact::ExactMode;
 use mfa_alloc::explore::constraint_grid;
-use mfa_alloc::gpa::{self, GpaOptions};
+use mfa_alloc::gpa::GpaOptions;
+use mfa_alloc::solver::{Backend, SolveRequest};
 use mfa_bench::{compare_methods, print_comparison, MinlpBudget};
 use mfa_explore::{run_sweep, CaseSpec, ExecutorOptions, SolverSpec, SweepGrid};
 
@@ -47,19 +48,25 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig3_alex16");
     group.sample_size(10);
     group.bench_function("gpa", |b| {
-        b.iter(|| gpa::solve(&problem, &GpaOptions::paper_defaults()).expect("solves"))
+        b.iter(|| {
+            SolveRequest::new(&problem)
+                .backend(Backend::gpa())
+                .solve()
+                .expect("solves")
+        })
     });
     group.bench_function("minlp_budgeted", |b| {
         b.iter(|| {
-            exact::solve(
-                &problem,
-                &MinlpBudget {
-                    max_nodes: 200,
-                    time_limit_seconds: 5.0,
-                }
-                .options(ExactMode::IiOnly),
-            )
-            .expect("solves")
+            SolveRequest::new(&problem)
+                .backend(Backend::exact_with(
+                    MinlpBudget {
+                        max_nodes: 200,
+                        time_limit_seconds: 5.0,
+                    }
+                    .options(ExactMode::IiOnly),
+                ))
+                .solve()
+                .expect("solves")
         })
     });
     let grid = fig3_gpa_grid();

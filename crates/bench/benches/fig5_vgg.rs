@@ -12,7 +12,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 
 use mfa_alloc::cases::PaperCase;
 use mfa_alloc::explore::constraint_grid;
-use mfa_alloc::gpa::{self, GpaOptions};
+use mfa_alloc::solver::{Backend, SolveRequest};
 use mfa_bench::{compare_methods, print_comparison, MinlpBudget};
 
 fn print_fig5() {
@@ -32,7 +32,12 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig5_vgg");
     group.sample_size(10);
     group.bench_function("gpa", |b| {
-        b.iter(|| gpa::solve(&problem, &GpaOptions::paper_defaults()).expect("solves"))
+        b.iter(|| {
+            SolveRequest::new(&problem)
+                .backend(Backend::gpa())
+                .solve()
+                .expect("solves")
+        })
     });
     group.finish();
 }

@@ -4,9 +4,9 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 
 use mfa_alloc::cases::PaperCase;
-use mfa_alloc::exact::{self, ExactMode};
-use mfa_alloc::gpa::{self, GpaOptions};
+use mfa_alloc::exact::ExactMode;
 use mfa_alloc::report::{critical_class, utilization_breakdown};
+use mfa_alloc::solver::{Backend, SolveRequest};
 use mfa_alloc::{Allocation, AllocationProblem};
 use mfa_bench::MinlpBudget;
 
@@ -51,14 +51,22 @@ fn print_fig6() {
     let problem = PaperCase::VggOnEightFpgas.problem(0.61).expect("feasible");
     println!();
     println!("=== Fig. 6: VGG resource usage per FPGA for a 61% resource constraint");
-    if let Ok(outcome) = gpa::solve(&problem, &GpaOptions::paper_defaults()) {
+    if let Ok(outcome) = SolveRequest::new(&problem).backend(Backend::gpa()).solve() {
         print_distribution("GP+A", &problem, &outcome.allocation);
     }
     let budget = MinlpBudget::vgg();
-    if let Ok(outcome) = exact::solve(&problem, &budget.options(ExactMode::IiOnly)) {
+    if let Ok(outcome) = SolveRequest::new(&problem)
+        .backend(Backend::exact_with(budget.options(ExactMode::IiOnly)))
+        .solve()
+    {
         print_distribution("MINLP (budgeted incumbent)", &problem, &outcome.allocation);
     }
-    if let Ok(outcome) = exact::solve(&problem, &budget.options(ExactMode::IiAndSpreading)) {
+    if let Ok(outcome) = SolveRequest::new(&problem)
+        .backend(Backend::exact_with(
+            budget.options(ExactMode::IiAndSpreading),
+        ))
+        .solve()
+    {
         print_distribution(
             "MINLP+G (budgeted incumbent)",
             &problem,
@@ -74,7 +82,10 @@ fn bench(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("gpa_plus_breakdown", |b| {
         b.iter(|| {
-            let outcome = gpa::solve(&problem, &GpaOptions::fast()).expect("solves");
+            let outcome = SolveRequest::new(&problem)
+                .backend(Backend::gpa_fast())
+                .solve()
+                .expect("solves");
             utilization_breakdown(&problem, &outcome.allocation)
         })
     });

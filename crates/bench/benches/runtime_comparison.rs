@@ -12,8 +12,8 @@ use std::time::Instant;
 use criterion::{criterion_group, criterion_main, Criterion};
 
 use mfa_alloc::cases::PaperCase;
-use mfa_alloc::exact::{self, ExactMode};
-use mfa_alloc::gpa::{self, GpaOptions};
+use mfa_alloc::exact::ExactMode;
+use mfa_alloc::solver::{Backend, SolveRequest};
 use mfa_bench::MinlpBudget;
 
 fn print_runtime_table() {
@@ -33,16 +33,20 @@ fn print_runtime_table() {
         };
 
         let start = Instant::now();
-        let gpa_result = gpa::solve(&problem, &GpaOptions::paper_defaults());
+        let gpa_result = SolveRequest::new(&problem).backend(Backend::gpa()).solve();
         let gpa_seconds = start.elapsed().as_secs_f64();
 
         let start = Instant::now();
-        let exact_result = exact::solve(&problem, &budget.options(ExactMode::IiAndSpreading));
+        let exact_result = SolveRequest::new(&problem)
+            .backend(Backend::exact_with(
+                budget.options(ExactMode::IiAndSpreading),
+            ))
+            .solve();
         let exact_seconds = start.elapsed().as_secs_f64();
 
         let proved = exact_result
             .as_ref()
-            .map(|o| o.proven_optimal)
+            .map(|o| o.diagnostics.proven_optimal == Some(true))
             .unwrap_or(false);
         let speedup = if gpa_seconds > 0.0 {
             exact_seconds / gpa_seconds
@@ -59,10 +63,10 @@ fn print_runtime_table() {
         );
         if let (Ok(g), Ok(e)) = (&gpa_result, &exact_result) {
             println!(
-                "    II: GP+A {:.3} ms, MINLP+G incumbent {:.3} ms (lower bound {:.3})",
+                "    II: GP+A {:.3} ms, MINLP+G incumbent {:.3} ms (gap {:.3})",
                 g.allocation.initiation_interval(&problem),
                 e.allocation.initiation_interval(&problem),
-                e.best_bound
+                e.diagnostics.relaxation_gap.unwrap_or(0.0)
             );
         }
     }
@@ -74,19 +78,25 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("runtime_comparison");
     group.sample_size(10);
     group.bench_function("gpa_alex16", |b| {
-        b.iter(|| gpa::solve(&problem, &GpaOptions::paper_defaults()).expect("solves"))
+        b.iter(|| {
+            SolveRequest::new(&problem)
+                .backend(Backend::gpa())
+                .solve()
+                .expect("solves")
+        })
     });
     group.bench_function("minlp_alex16_small_budget", |b| {
         b.iter(|| {
-            exact::solve(
-                &problem,
-                &MinlpBudget {
-                    max_nodes: 100,
-                    time_limit_seconds: 3.0,
-                }
-                .options(ExactMode::IiOnly),
-            )
-            .expect("solves")
+            SolveRequest::new(&problem)
+                .backend(Backend::exact_with(
+                    MinlpBudget {
+                        max_nodes: 100,
+                        time_limit_seconds: 3.0,
+                    }
+                    .options(ExactMode::IiOnly),
+                ))
+                .solve()
+                .expect("solves")
         })
     });
     group.finish();

@@ -4,7 +4,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 
 use mfa_alloc::cases::PaperCase;
-use mfa_alloc::gpa::{self, GpaOptions};
+use mfa_alloc::solver::{Backend, SolveRequest};
 
 fn print_table4() {
     println!();
@@ -23,7 +23,7 @@ fn print_table4() {
         let problem = case
             .problem(0.5 * (lo + hi))
             .expect("paper cases are feasible");
-        match gpa::solve(&problem, &GpaOptions::paper_defaults()) {
+        match SolveRequest::new(&problem).backend(Backend::gpa()).solve() {
             Ok(outcome) => {
                 let metrics = outcome.allocation.metrics(&problem);
                 println!(

@@ -5,12 +5,13 @@
 //! Two subproblems are generated per fractional variable — `N_k ≤ ⌊N̂_k⌋` and
 //! `N_k ≥ ⌈N̂_k⌉` — and the search is pruned whenever a subproblem's relaxed
 //! `ÎI` is no better than the best integer solution found so far. Node
-//! relaxations reuse [`crate::gp_step::solve_bounded`]; the fast bisection
-//! backend is the default engine (the GP backend gives identical results and
-//! is exercised in tests and by the ablation bench).
+//! relaxations reuse the bounded relaxation in [`crate::gp_step`]; the fast
+//! bisection backend is the default engine (the GP backend gives identical
+//! results and is exercised in tests and by the ablation bench).
 
 use crate::gp_step::{self, RelaxationBackend};
 use crate::problem::AllocationProblem;
+use crate::solver::{check_deadline, Deadline};
 use crate::AllocError;
 
 /// Options for the discretization search.
@@ -53,7 +54,10 @@ pub struct DiscreteCounts {
     pub nodes_explored: usize,
 }
 
-/// Discretizes the relaxed counts for `problem`.
+/// Discretizes the relaxed counts for `problem` cold. Warm-started
+/// (incumbent-seeded) discretization goes through
+/// [`crate::solver::SolveRequest`], which plumbs the request's counts hint
+/// into the seeded branch-and-bound below.
 ///
 /// # Errors
 ///
@@ -63,11 +67,13 @@ pub fn solve(
     problem: &AllocationProblem,
     options: &DiscretizeOptions,
 ) -> Result<DiscreteCounts, AllocError> {
-    solve_seeded(problem, options, None)
+    solve_seeded_inner(problem, options, None, None, None).map(|(counts, _)| counts)
 }
 
-/// [`solve`] with an optional incumbent to seed the branch-and-bound, e.g.
-/// the discretized counts of a neighbouring constraint point in a sweep.
+/// [`solve`] with an optional incumbent seeding the branch-and-bound, an
+/// optional [`Deadline`] checked at every node, and an optional node budget
+/// combined with [`DiscretizeOptions::max_nodes`] by minimum. Returns the
+/// counts plus whether the incumbent was accepted.
 ///
 /// A valid incumbent (right length, every count ≥ 1, within the per-kernel
 /// caps and the aggregated budgets) becomes the initial best solution, so
@@ -80,15 +86,19 @@ pub fn solve(
 ///
 /// # Errors
 ///
-/// Same contract as [`solve`].
-pub fn solve_seeded(
+/// Same contract as [`solve`], plus [`AllocError::DeadlineExceeded`] when
+/// the deadline expires mid-search.
+pub(crate) fn solve_seeded_inner(
     problem: &AllocationProblem,
     options: &DiscretizeOptions,
     incumbent: Option<&[u32]>,
-) -> Result<DiscreteCounts, AllocError> {
+    deadline: Option<&Deadline>,
+    node_budget: Option<usize>,
+) -> Result<(DiscreteCounts, bool), AllocError> {
     let root_bounds: Vec<(f64, f64)> = (0..problem.num_kernels())
         .map(|k| (1.0, problem.max_total_cus(k).max(1) as f64))
         .collect();
+    let max_nodes = node_budget.map_or(options.max_nodes, |cap| cap.min(options.max_nodes));
 
     let mut best: Option<(Vec<u32>, Vec<Vec<u32>>, f64)> = incumbent
         .filter(|counts| incumbent_is_valid(problem, counts))
@@ -99,19 +109,22 @@ pub fn solve_seeded(
                 implied_ii(problem, counts),
             )
         });
+    let incumbent_used = best.is_some();
     let mut nodes = 0usize;
     let mut stack = vec![root_bounds];
 
     while let Some(bounds) = stack.pop() {
-        if nodes >= options.max_nodes {
+        if nodes >= max_nodes {
             break;
         }
+        check_deadline(deadline, "discretization")?;
         nodes += 1;
-        let relaxation = match gp_step::solve_bounded(problem, &bounds, options.backend) {
-            Ok(r) => r,
-            Err(AllocError::Infeasible(_)) => continue,
-            Err(other) => return Err(other),
-        };
+        let relaxation =
+            match gp_step::relax_bounded_hinted(problem, &bounds, options.backend, None) {
+                Ok((r, _)) => r,
+                Err(AllocError::Infeasible(_)) => continue,
+                Err(other) => return Err(other),
+            };
         if let Some((_, _, best_ii)) = &best {
             // Prune: the relaxation is a lower bound on any integer solution
             // in this subtree. A small relative margin keeps the pruning sound
@@ -171,12 +184,15 @@ pub fn solve_seeded(
     }
 
     match best {
-        Some((cu_counts, group_cu_counts, initiation_interval_ms)) => Ok(DiscreteCounts {
-            cu_counts,
-            group_cu_counts,
-            initiation_interval_ms,
-            nodes_explored: nodes,
-        }),
+        Some((cu_counts, group_cu_counts, initiation_interval_ms)) => Ok((
+            DiscreteCounts {
+                cu_counts,
+                group_cu_counts,
+                initiation_interval_ms,
+                nodes_explored: nodes,
+            },
+            incumbent_used,
+        )),
         None => Err(AllocError::Infeasible(
             "no integer CU assignment satisfies the aggregated budgets".into(),
         )),
@@ -336,7 +352,15 @@ mod tests {
     fn seeding_preserves_the_optimum_and_never_explores_more() {
         let p = toy_problem(1.0);
         let cold = solve(&p, &DiscretizeOptions::default()).unwrap();
-        let warm = solve_seeded(&p, &DiscretizeOptions::default(), Some(&cold.cu_counts)).unwrap();
+        let (warm, used) = solve_seeded_inner(
+            &p,
+            &DiscretizeOptions::default(),
+            Some(&cold.cu_counts),
+            None,
+            None,
+        )
+        .unwrap();
+        assert!(used);
         assert!(
             (warm.initiation_interval_ms - cold.initiation_interval_ms).abs() < 1e-9,
             "warm {} vs cold {}",
@@ -351,7 +375,10 @@ mod tests {
         let p = toy_problem(1.0);
         let cold = solve(&p, &DiscretizeOptions::default()).unwrap();
         for bad in [vec![0u32, 4], vec![200, 200], vec![1u32]] {
-            let seeded = solve_seeded(&p, &DiscretizeOptions::default(), Some(&bad)).unwrap();
+            let (seeded, used) =
+                solve_seeded_inner(&p, &DiscretizeOptions::default(), Some(&bad), None, None)
+                    .unwrap();
+            assert!(!used);
             assert!((seeded.initiation_interval_ms - cold.initiation_interval_ms).abs() < 1e-9);
         }
     }
@@ -414,7 +441,14 @@ mod tests {
             assert_eq!(row, &vec![d.cu_counts[k]]);
         }
         // Warm-started solves fill the split for the incumbent too.
-        let warm = solve_seeded(&p, &DiscretizeOptions::default(), Some(&d.cu_counts)).unwrap();
+        let (warm, _) = solve_seeded_inner(
+            &p,
+            &DiscretizeOptions::default(),
+            Some(&d.cu_counts),
+            None,
+            None,
+        )
+        .unwrap();
         for (k, row) in warm.group_cu_counts.iter().enumerate() {
             assert_eq!(row.iter().sum::<u32>(), warm.cu_counts[k]);
         }

@@ -20,6 +20,14 @@ pub enum AllocError {
         /// CUs left unplaced per kernel (kernel name, remaining CUs).
         unplaced: Vec<(String, u32)>,
     },
+    /// The request's [`crate::solver::Deadline`] expired before the solve
+    /// finished. Checked at every stage boundary and inside every
+    /// branch-and-bound node loop, so an exhausted deadline is always a
+    /// structured error — never a hang.
+    DeadlineExceeded {
+        /// Pipeline stage that observed the exhausted deadline.
+        stage: String,
+    },
     /// The geometric-programming relaxation failed.
     Gp(GpError),
     /// The MINLP solver failed.
@@ -37,6 +45,9 @@ impl fmt::Display for AllocError {
                     write!(f, " {name}×{cus}")?;
                 }
                 Ok(())
+            }
+            AllocError::DeadlineExceeded { stage } => {
+                write!(f, "deadline exceeded during {stage}")
             }
             AllocError::Gp(err) => write!(f, "geometric-programming step failed: {err}"),
             AllocError::Minlp(err) => write!(f, "minlp step failed: {err}"),
@@ -81,6 +92,11 @@ mod tests {
             .contains("too big"));
         let gp = AllocError::from(GpError::Infeasible);
         assert!(Error::source(&gp).is_some());
+        let deadline = AllocError::DeadlineExceeded {
+            stage: "relaxation".into(),
+        };
+        assert!(deadline.to_string().contains("relaxation"));
+        assert!(Error::source(&deadline).is_none());
         let minlp = AllocError::from(MinlpError::UnknownVariable(1));
         assert!(minlp.to_string().contains("minlp"));
     }

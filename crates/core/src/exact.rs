@@ -22,8 +22,13 @@ use std::time::{Duration, Instant};
 
 use mfa_minlp::{MinlpProblem, MinlpStatus, Relation, SolverOptions, Term};
 
+use crate::greedy::GreedyOptions;
 use crate::problem::AllocationProblem;
 use crate::solution::Allocation;
+use crate::solver::{
+    check_deadline, Deadline, SolveDiagnostics, SolveReport, StageTiming, WarmStart,
+    WarmStartReport,
+};
 use crate::AllocError;
 
 /// Which objective the exact solver optimizes.
@@ -35,6 +40,18 @@ pub enum ExactMode {
     /// Minimize `α·II + β·ϕ` with the problem's weights; the paper's
     /// "MINLP+G".
     IiAndSpreading,
+}
+
+impl ExactMode {
+    /// The paper's figure key for the mode — the single source of the
+    /// `MINLP`/`MINLP+G` labels used by backend names, series labels and
+    /// reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ExactMode::IiOnly => "MINLP",
+            ExactMode::IiAndSpreading => "MINLP+G",
+        }
+    }
 }
 
 /// Options of the exact solver.
@@ -80,45 +97,33 @@ impl ExactOptions {
     }
 }
 
-/// Outcome of the exact solver.
-#[derive(Debug, Clone, PartialEq)]
-pub struct ExactOutcome {
-    /// The allocation corresponding to the best incumbent.
-    pub allocation: Allocation,
-    /// Objective value (`α·II + β·ϕ`, or just `II` for [`ExactMode::IiOnly`]).
-    pub objective: f64,
-    /// Best proven lower bound on the objective.
-    pub best_bound: f64,
-    /// `true` when the solver proved optimality (within its gap tolerances).
-    pub proven_optimal: bool,
-    /// Branch-and-bound nodes explored.
-    pub nodes_explored: usize,
-    /// Wall-clock solve time.
-    pub elapsed: Duration,
-}
-
-impl ExactOutcome {
-    /// Relative optimality gap of the incumbent.
-    pub fn gap(&self) -> f64 {
-        (self.objective - self.best_bound).max(0.0) / self.objective.abs().max(1.0)
-    }
-}
-
-/// Solves the exact MINLP formulation.
+/// Solves the exact MINLP formulation for [`crate::solver::Backend::Exact`].
+///
+/// A [`WarmStart`] counts hint is placed with the greedy allocator and — when
+/// the placement is feasible for the model — seeds the branch-and-bound
+/// incumbent, pruning from node 0. A [`Deadline`] caps the search's
+/// wall-clock budget; an expired deadline surfaces as
+/// [`AllocError::DeadlineExceeded`]. A node budget combines with the
+/// options' own limit by minimum.
 ///
 /// # Errors
 ///
-/// Returns [`AllocError::Infeasible`] when the model has no feasible point and
-/// propagates MINLP solver failures.
+/// Returns [`AllocError::Infeasible`] when the model has no feasible point,
+/// [`AllocError::DeadlineExceeded`] when the deadline is exhausted before a
+/// feasible incumbent exists, and propagates MINLP solver failures.
 // `n_vars` is indexed `[kernel][fpga]`; clippy's enumerate-based rewrite of the
 // `f` loops would iterate the wrong dimension, so the range loops stay.
 #[allow(clippy::needless_range_loop)]
-pub fn solve(
+pub(crate) fn run(
     problem: &AllocationProblem,
     options: &ExactOptions,
-) -> Result<ExactOutcome, AllocError> {
+    warm: &WarmStart,
+    deadline: Option<&Deadline>,
+    node_budget: Option<usize>,
+) -> Result<SolveReport, AllocError> {
     let start = Instant::now();
     problem.validate_feasibility()?;
+    check_deadline(deadline, "exact model build")?;
     let num_kernels = problem.num_kernels();
     let num_fpgas = problem.num_fpgas();
     let weights = problem.weights();
@@ -282,9 +287,64 @@ pub fn solve(
         }
     }
 
-    let solution = model
-        .solve_with(&options.solver)
-        .map_err(AllocError::from)?;
+    // Warm start: place the hinted counts with the greedy allocator and seed
+    // the branch-and-bound incumbent with the resulting assignment. Within
+    // each device group the FPGA columns are ordered by the same weighted
+    // DSP load the symmetry-breaking rows use, so an otherwise feasible seed
+    // is never rejected just for naming the identical FPGAs in a different
+    // order. An unplaceable or model-infeasible seed is silently dropped.
+    if let Some(seed_allocation) = warm
+        .cu_counts
+        .as_deref()
+        .and_then(|counts| crate::solver::place_hint(problem, counts, &GreedyOptions::default()))
+    {
+        let columns = symmetry_sorted_columns(problem, &seed_allocation);
+        let mut seed = vec![0.0; model.num_vars()];
+        let seed_ii = seed_allocation.initiation_interval(problem);
+        seed[ii.index()] = seed_ii;
+        if let Some(phi) = phi {
+            seed[phi.index()] = seed_allocation.spreading();
+        }
+        for k in 0..num_kernels {
+            let mut total = 0.0;
+            for (f, &column) in columns.iter().enumerate() {
+                let n = f64::from(seed_allocation.cus(k, column));
+                seed[n_vars[k][f].index()] = n;
+                total += n;
+            }
+            seed[total_vars[k].index()] = total;
+        }
+        // A malformed seed cannot occur (the vector is built to length), so
+        // the only set failure is a non-finite II from a degenerate hint.
+        let _ = model.set_initial_incumbent(seed);
+    }
+
+    check_deadline(deadline, "exact search")?;
+    let mut solver_options = options.solver.clone();
+    if let Some(cap) = node_budget {
+        solver_options.max_nodes = solver_options.max_nodes.min(cap);
+    }
+    if let Some(deadline) = deadline {
+        let remaining = deadline.remaining().as_secs_f64();
+        solver_options.time_limit_seconds = Some(
+            solver_options
+                .time_limit_seconds
+                .map_or(remaining, |limit| limit.min(remaining)),
+        );
+    }
+    let solution = model.solve_with(&solver_options).map_err(|err| {
+        // When the deadline was the binding budget, surface the structured
+        // deadline error instead of the generic node/time-limit one.
+        if matches!(err, mfa_minlp::MinlpError::NodeLimitWithoutSolution { .. })
+            && deadline.is_some_and(Deadline::is_expired)
+        {
+            AllocError::DeadlineExceeded {
+                stage: "exact search".to_owned(),
+            }
+        } else {
+            AllocError::from(err)
+        }
+    })?;
     if solution.status() == MinlpStatus::Infeasible {
         return Err(AllocError::Infeasible(
             "the MINLP model has no feasible point".into(),
@@ -298,23 +358,88 @@ pub fn solve(
         }
     }
     allocation.validate(problem, 1e-6)?;
-    Ok(ExactOutcome {
+    let objective = solution.objective();
+    let best_bound = solution.best_bound();
+    let cu_counts = crate::solver::counts_of(problem, &allocation);
+    let elapsed = start.elapsed();
+    Ok(SolveReport {
+        backend: options.mode.label().to_owned(),
+        diagnostics: SolveDiagnostics {
+            // For the pure-II objective the proven bound is itself a relaxed
+            // II in milliseconds; the weighted objective has no such reading.
+            relaxed_ii_ms: match options.mode {
+                ExactMode::IiOnly => Some(best_bound),
+                ExactMode::IiAndSpreading => None,
+            },
+            relaxation_gap: Some((objective - best_bound).max(0.0) / objective.abs().max(1.0)),
+            proven_optimal: Some(solution.status() == MinlpStatus::Optimal),
+            dropped_cus: vec![0; num_kernels],
+            cu_counts,
+            bb_nodes: solution.nodes_explored(),
+            relaxation_iterations: solution.lp_solves(),
+            warm_start: WarmStartReport {
+                ii_hint_used: false,
+                incumbent_used: solution.warm_started(),
+            },
+            timing: StageTiming {
+                total: elapsed,
+                relaxation: Duration::ZERO,
+                discretization: elapsed,
+                allocation: Duration::ZERO,
+            },
+        },
         allocation,
-        objective: solution.objective(),
-        best_bound: solution.best_bound(),
-        proven_optimal: solution.status() == MinlpStatus::Optimal,
-        nodes_explored: solution.nodes_explored(),
-        elapsed: start.elapsed(),
     })
+}
+
+/// FPGA columns reordered so that, within each device group, the columns
+/// appear in non-increasing weighted DSP load — the exact order the
+/// symmetry-breaking rows demand. Returns `columns` where model column `f`
+/// takes its counts from allocation column `columns[f]`. Ties keep the
+/// original column order (stable sort), so the mapping is deterministic.
+fn symmetry_sorted_columns(problem: &AllocationProblem, allocation: &Allocation) -> Vec<usize> {
+    let num_fpgas = problem.num_fpgas();
+    let load = |f: usize| -> f64 {
+        let g = problem.group_of_fpga(f);
+        (0..problem.num_kernels())
+            .map(|k| {
+                let scaled = problem.kernel_resources_on(k, g).dsp;
+                let weight = if scaled.is_finite() {
+                    scaled.max(1e-6)
+                } else {
+                    1e-6
+                };
+                weight * f64::from(allocation.cus(k, f))
+            })
+            .sum()
+    };
+    let mut columns: Vec<usize> = (0..num_fpgas).collect();
+    columns.sort_by(|&a, &b| {
+        problem
+            .group_of_fpga(a)
+            .cmp(&problem.group_of_fpga(b))
+            .then_with(|| load(b).total_cmp(&load(a)))
+    });
+    columns
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::gpa::{self, GpaOptions};
+    use crate::gpa::GpaOptions;
     use crate::problem::{GoalWeights, Kernel};
+    use crate::solver::{Backend, SolveRequest};
     use mfa_cnn::paper_data;
     use mfa_platform::{MultiFpgaPlatform, ResourceBudget, ResourceVec};
+
+    fn solve(
+        problem: &AllocationProblem,
+        options: &ExactOptions,
+    ) -> Result<SolveReport, AllocError> {
+        SolveRequest::new(problem)
+            .backend(Backend::exact_with(options.clone()))
+            .solve()
+    }
 
     fn toy_problem() -> AllocationProblem {
         AllocationProblem::builder()
@@ -333,14 +458,15 @@ mod tests {
     fn minlp_matches_enumerated_optimum_on_toy_problem() {
         // Two FPGAs, budget 1.0 each: optimum (see discretize tests) is
         // II = 1.25 with counts (3, 4) or (4, 4).
-        let outcome = solve(&toy_problem(), &ExactOptions::default()).unwrap();
-        assert!(outcome.proven_optimal);
-        assert!(
-            (outcome.objective - 1.25).abs() < 1e-5,
-            "II = {}",
-            outcome.objective
-        );
-        outcome.allocation.validate(&toy_problem(), 1e-9).unwrap();
+        let problem = toy_problem();
+        let report = solve(&problem, &ExactOptions::default()).unwrap();
+        assert_eq!(report.diagnostics.proven_optimal, Some(true));
+        let ii = report.initiation_interval_ms(&problem);
+        assert!((ii - 1.25).abs() < 1e-5, "II = {ii}");
+        // The proven bound is reported as the relaxed II for the pure-II mode.
+        assert!(report.diagnostics.relaxed_ii_ms.unwrap() <= ii + 1e-6);
+        assert!(report.diagnostics.relaxation_gap.unwrap() < 1e-5);
+        report.allocation.validate(&problem, 1e-9).unwrap();
     }
 
     #[test]
@@ -355,6 +481,8 @@ mod tests {
             },
         )
         .unwrap();
+        assert_eq!(with_spreading.backend, "MINLP+G");
+        assert_eq!(with_spreading.diagnostics.relaxed_ii_ms, None);
         with_spreading.allocation.validate(&p, 1e-9).unwrap();
         // MINLP+G never spreads more than plain MINLP (the paper's qualitative
         // observation), and its goal value is at least as good.
@@ -366,15 +494,19 @@ mod tests {
     fn exact_and_heuristic_agree_on_alex16() {
         let app = paper_data::alexnet_16bit();
         let p = AllocationProblem::from_application(&app, 2, 0.70, GoalWeights::ii_only()).unwrap();
-        let heuristic = gpa::solve(&p, &GpaOptions::fast()).unwrap();
+        let heuristic = SolveRequest::new(&p)
+            .backend(Backend::gpa_with(GpaOptions::fast()))
+            .solve()
+            .unwrap();
         let exact = solve(&p, &ExactOptions::ii_only_with_budget(2_000, 10.0)).unwrap();
         let ii_heuristic = heuristic.initiation_interval_ms(&p);
         let ii_exact = exact.allocation.initiation_interval(&p);
+        let best_bound = exact.diagnostics.relaxed_ii_ms.unwrap();
         // The MINLP's proven lower bound is valid for every allocation,
         // including the heuristic one.
-        assert!(ii_heuristic >= exact.best_bound - 1e-6);
-        assert!(ii_exact >= exact.best_bound - 1e-6);
-        if exact.proven_optimal {
+        assert!(ii_heuristic >= best_bound - 1e-6);
+        assert!(ii_exact >= best_bound - 1e-6);
+        if exact.diagnostics.proven_optimal == Some(true) {
             // With a proof of optimality the exact II can only be better, and
             // the paper reports the heuristic tracking it closely away from
             // the tightest constraints.
@@ -386,7 +518,7 @@ mod tests {
         } else {
             // Budgeted solve: the incumbent and the heuristic must both sit
             // within the proven optimality gap of each other.
-            assert!(ii_heuristic <= exact.best_bound * 1.5 + 1e-9);
+            assert!(ii_heuristic <= best_bound * 1.5 + 1e-9);
         }
     }
 
@@ -402,7 +534,9 @@ mod tests {
             },
         )
         .unwrap();
-        assert!((with.objective - without.objective).abs() < 1e-6);
+        assert!(
+            (with.initiation_interval_ms(&p) - without.initiation_interval_ms(&p)).abs() < 1e-6
+        );
     }
 
     fn mixed_pair_problem() -> AllocationProblem {
@@ -429,7 +563,7 @@ mod tests {
     fn heterogeneous_minlp_uses_both_devices_and_validates() {
         let p = mixed_pair_problem();
         let outcome = solve(&p, &ExactOptions::default()).unwrap();
-        assert!(outcome.proven_optimal);
+        assert_eq!(outcome.diagnostics.proven_optimal, Some(true));
         outcome.allocation.validate(&p, 1e-6).unwrap();
         // The mixed pair can only reach this II by using the KU115 too:
         // a single VU9P at 0.8 tops out at II = 2.5 (counts (2, 2)).
@@ -441,12 +575,15 @@ mod tests {
             .build()
             .unwrap();
         let single_outcome = solve(&single, &ExactOptions::default()).unwrap();
-        assert!(outcome.objective < single_outcome.objective - 1e-6);
+        assert!(
+            outcome.initiation_interval_ms(&p)
+                < single_outcome.initiation_interval_ms(&single) - 1e-6
+        );
         assert!(outcome.allocation.fpgas_used() == 2);
         // The exact optimum can never beat the continuous relaxation.
         let relaxed =
             crate::gp_step::solve(&p, crate::gp_step::RelaxationBackend::Bisection).unwrap();
-        assert!(outcome.objective >= relaxed.initiation_interval_ms - 1e-6);
+        assert!(outcome.initiation_interval_ms(&p) >= relaxed.initiation_interval_ms - 1e-6);
     }
 
     #[test]
@@ -477,11 +614,11 @@ mod tests {
             },
         )
         .unwrap();
+        let ii_with = with.initiation_interval_ms(&p);
+        let ii_without = without.initiation_interval_ms(&p);
         assert!(
-            (with.objective - without.objective).abs() < 1e-6,
-            "with {} vs without {}",
-            with.objective,
-            without.objective
+            (ii_with - ii_without).abs() < 1e-6,
+            "with {ii_with} vs without {ii_without}"
         );
         with.allocation.validate(&p, 1e-6).unwrap();
     }
@@ -491,8 +628,8 @@ mod tests {
         let app = paper_data::alexnet_16bit();
         let p = AllocationProblem::from_application(&app, 2, 0.65, GoalWeights::ii_only()).unwrap();
         let outcome = solve(&p, &ExactOptions::ii_only_with_budget(50, 5.0)).unwrap();
-        assert!(outcome.gap() >= 0.0);
-        assert!(outcome.nodes_explored <= 50);
+        assert!(outcome.diagnostics.relaxation_gap.unwrap() >= 0.0);
+        assert!(outcome.diagnostics.bb_nodes <= 50);
         outcome.allocation.validate(&p, 1e-6).unwrap();
     }
 }

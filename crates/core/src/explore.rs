@@ -1,21 +1,23 @@
 //! Design-space exploration sweeps (the data behind Figs. 2–5).
 //!
-//! These are the stable single-threaded sweep primitives. The first-class
-//! exploration engine — multi-axis grids, a multi-threaded executor with
-//! warm-start caching and JSON/CSV export — lives in the `mfa_explore` crate
-//! and is built on the same per-point solvers and skip policy exposed here,
-//! so both paths produce identical series for identical inputs.
+//! These are the stable single-threaded sweep primitives, built directly on
+//! the request API in [`crate::solver`]. The first-class exploration engine —
+//! multi-axis grids, a multi-threaded executor with warm-start caching and
+//! JSON/CSV export — lives in the `mfa_explore` crate and drives the same
+//! [`crate::solver::SolveRequest`] per point, so both paths produce identical
+//! series for identical inputs.
 
 use serde::{Deserialize, Serialize};
 
-use crate::exact::{self, ExactOptions};
-use crate::gpa::{self, GpaOptions, GpaWarmStart};
+use crate::exact::ExactOptions;
+use crate::gpa::GpaOptions;
 use crate::greedy::GreedyOptions;
 use crate::problem::AllocationProblem;
-use crate::solution::Allocation;
+use crate::solver::{Backend, SolveReport, SolveRequest, WarmStartReport};
 use crate::AllocError;
 
-/// One point of a resource-constraint sweep.
+/// One point of a resource-constraint sweep: the classic metrics plus the
+/// additive solve diagnostics carried by every [`SolveReport`].
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct SweepPoint {
     /// Scalar key of the budget point: the uniform fraction on the classic
@@ -33,48 +35,41 @@ pub struct SweepPoint {
     pub spreading: f64,
     /// Wall-clock solve time in seconds.
     pub solve_seconds: f64,
+    /// Relative gap between the achieved II and the solve's lower bound
+    /// (continuous relaxation for the heuristics, proven bound for the
+    /// exact backend); zero when the backend reported none.
+    pub relaxation_gap: f64,
+    /// Branch-and-bound nodes visited (discretization for GP+A, MINLP tree
+    /// for the exact backend).
+    pub bb_nodes: usize,
+    /// Total CUs shed by the feasibility fallback.
+    pub dropped_cus: u32,
+    /// Which warm-start hints the solve actually consumed.
+    pub warm_start: WarmStartReport,
 }
 
 impl SweepPoint {
-    /// Builds a sweep point from a solved allocation's metrics; the budget
-    /// record comes from the problem instance itself.
-    pub fn measure(
+    /// Builds a sweep point from a solved report's metrics and diagnostics;
+    /// the budget record comes from the problem instance itself.
+    pub fn from_report(
         problem: &AllocationProblem,
         resource_constraint: f64,
-        allocation: &Allocation,
-        solve_seconds: f64,
+        report: &SolveReport,
     ) -> Self {
-        let metrics = allocation.metrics(problem);
+        let metrics = report.allocation.metrics(problem);
         SweepPoint {
             resource_constraint,
             budget: *problem.budget(),
             initiation_interval_ms: metrics.initiation_interval_ms,
             average_utilization: metrics.average_utilization,
             spreading: metrics.spreading,
-            solve_seconds,
+            solve_seconds: report.diagnostics.timing.total.as_secs_f64(),
+            relaxation_gap: report.diagnostics.relaxation_gap.unwrap_or(0.0),
+            bb_nodes: report.diagnostics.bb_nodes,
+            dropped_cus: report.diagnostics.total_dropped_cus(),
+            warm_start: report.diagnostics.warm_start,
         }
     }
-}
-
-/// Whether a per-point solver error means "this grid point has no solution —
-/// skip it" rather than "the sweep itself is broken — abort".
-///
-/// Both sweep flavours apply the same policy: a constraint too tight for the
-/// application ([`AllocError::Infeasible`]), a discretized configuration the
-/// allocator cannot bin-pack ([`AllocError::AllocationFailed`]), and a
-/// budgeted MINLP solve that exhausts its node budget before producing any
-/// incumbent all mean "no data for this point" — the paper's figures simply
-/// omit such points. Anything else (invalid arguments, numerical solver
-/// failures) aborts the sweep. `sweep_exact` historically aborted on
-/// `AllocationFailed`, unlike `sweep_gpa`; routing both through this one
-/// predicate keeps them consistent.
-pub fn is_skippable_point_error(err: &AllocError) -> bool {
-    matches!(
-        err,
-        AllocError::Infeasible(_)
-            | AllocError::AllocationFailed { .. }
-            | AllocError::Minlp(mfa_minlp::MinlpError::NodeLimitWithoutSolution { .. })
-    )
 }
 
 /// The constraint values swept for a case: `count` evenly spaced points
@@ -86,95 +81,36 @@ pub fn constraint_grid(lo: f64, hi: f64, count: usize) -> Vec<f64> {
         .collect()
 }
 
-/// Solves one GP+A point on an already-constrained `instance` (the caller
-/// guarantees `instance` reflects `constraint`), optionally warm-started from
-/// a neighbouring solve. On success, also returns the warm-start state for
-/// the next neighbour; `Ok(None)` when the point is infeasible or
-/// unplaceable (skipped, exactly as the paper's figures omit such points).
-/// This is the one per-point kernel behind [`sweep_gpa`] and the parallel
-/// engine in `mfa_explore`, so the skip/measure policy cannot drift between
-/// the two.
+/// Sweeps one backend over resource constraints: each point constrains the
+/// base problem, builds a [`SolveRequest`] with the request's (default
+/// lenient) skip policy, and measures the report. Skipped points — budgets
+/// too tight for the application, unplaceable discretizations, budget-
+/// exhausted exact solves — are simply absent, exactly as the paper's
+/// figures omit them.
 ///
 /// # Errors
 ///
-/// Propagates unexpected solver failures (see [`is_skippable_point_error`]).
-pub fn measure_gpa_instance(
-    instance: &AllocationProblem,
-    constraint: f64,
-    options: &GpaOptions,
-    warm: Option<&GpaWarmStart>,
-) -> Result<Option<(SweepPoint, GpaWarmStart)>, AllocError> {
-    match gpa::solve_with_warm_start(instance, options, warm) {
-        Ok(outcome) => {
-            let point = SweepPoint::measure(
-                instance,
-                constraint,
-                &outcome.allocation,
-                outcome.elapsed.as_secs_f64(),
-            );
-            Ok(Some((point, GpaWarmStart::from(&outcome))))
+/// Propagates non-skippable solver failures.
+pub fn sweep_backend(
+    problem: &AllocationProblem,
+    constraints: &[f64],
+    backend: &Backend,
+) -> Result<Vec<SweepPoint>, AllocError> {
+    let mut points = Vec::with_capacity(constraints.len());
+    for &constraint in constraints {
+        let instance = problem.with_resource_constraint(constraint);
+        let report = SolveRequest::new(&instance)
+            .backend(backend.clone())
+            .solve_point()?;
+        if let Some(report) = report {
+            points.push(SweepPoint::from_report(&instance, constraint, &report));
         }
-        Err(err) if is_skippable_point_error(&err) => Ok(None),
-        Err(err) => Err(err),
     }
+    Ok(points)
 }
 
-/// Solves one exact-MINLP point on an already-constrained `instance`;
-/// `Ok(None)` when the point is skipped. See [`measure_gpa_instance`].
-///
-/// # Errors
-///
-/// Propagates unexpected solver failures (see [`is_skippable_point_error`]).
-pub fn measure_exact_instance(
-    instance: &AllocationProblem,
-    constraint: f64,
-    options: &ExactOptions,
-) -> Result<Option<SweepPoint>, AllocError> {
-    match exact::solve(instance, options) {
-        Ok(outcome) => Ok(Some(SweepPoint::measure(
-            instance,
-            constraint,
-            &outcome.allocation,
-            outcome.elapsed.as_secs_f64(),
-        ))),
-        Err(err) if is_skippable_point_error(&err) => Ok(None),
-        Err(err) => Err(err),
-    }
-}
-
-/// Solves one GP+A sweep point; `Ok(None)` when the point is infeasible or
-/// unplaceable (skipped, exactly as the paper's figures omit such points).
-///
-/// # Errors
-///
-/// Propagates unexpected solver failures (see [`is_skippable_point_error`]).
-pub fn solve_gpa_point(
-    problem: &AllocationProblem,
-    constraint: f64,
-    options: &GpaOptions,
-) -> Result<Option<SweepPoint>, AllocError> {
-    let instance = problem.with_resource_constraint(constraint);
-    Ok(measure_gpa_instance(&instance, constraint, options, None)?.map(|(point, _)| point))
-}
-
-/// Solves one exact-MINLP sweep point; `Ok(None)` when the point is skipped.
-///
-/// # Errors
-///
-/// Propagates unexpected solver failures (see [`is_skippable_point_error`]).
-pub fn solve_exact_point(
-    problem: &AllocationProblem,
-    constraint: f64,
-    options: &ExactOptions,
-) -> Result<Option<SweepPoint>, AllocError> {
-    let instance = problem.with_resource_constraint(constraint);
-    measure_exact_instance(&instance, constraint, options)
-}
-
-/// Sweeps the GP+A heuristic over resource constraints.
-///
-/// Infeasible constraint points (too tight for the application) are skipped,
-/// mirroring how the paper's figures simply do not show those points.
+/// Sweeps the GP+A heuristic over resource constraints
+/// ([`sweep_backend`] with [`Backend::Gpa`]).
 ///
 /// # Errors
 ///
@@ -184,20 +120,11 @@ pub fn sweep_gpa(
     constraints: &[f64],
     options: &GpaOptions,
 ) -> Result<Vec<SweepPoint>, AllocError> {
-    let mut points = Vec::with_capacity(constraints.len());
-    for &constraint in constraints {
-        if let Some(point) = solve_gpa_point(problem, constraint, options)? {
-            points.push(point);
-        }
-    }
-    Ok(points)
+    sweep_backend(problem, constraints, &Backend::gpa_with(options.clone()))
 }
 
-/// Sweeps the exact MINLP solver over resource constraints.
-///
-/// Points the solver cannot realize (infeasible constraints, or incumbents
-/// the allocator cannot validate) are skipped under the same policy as
-/// [`sweep_gpa`]; see [`is_skippable_point_error`].
+/// Sweeps the exact MINLP solver over resource constraints
+/// ([`sweep_backend`] with [`Backend::Exact`]).
 ///
 /// # Errors
 ///
@@ -207,13 +134,7 @@ pub fn sweep_exact(
     constraints: &[f64],
     options: &ExactOptions,
 ) -> Result<Vec<SweepPoint>, AllocError> {
-    let mut points = Vec::with_capacity(constraints.len());
-    for &constraint in constraints {
-        if let Some(point) = solve_exact_point(problem, constraint, options)? {
-            points.push(point);
-        }
-    }
-    Ok(points)
+    sweep_backend(problem, constraints, &Backend::exact_with(options.clone()))
 }
 
 /// Sweeps the GP+A heuristic over the `T` parameter (the data of Fig. 2).
@@ -243,6 +164,7 @@ pub fn sweep_t_parameter(
 mod tests {
     use super::*;
     use crate::cases::PaperCase;
+    use crate::exact::ExactOptions;
 
     #[test]
     fn constraint_grid_is_inclusive_and_even() {
@@ -273,6 +195,10 @@ mod tests {
         for p in &points {
             assert!(p.average_utilization > 0.0 && p.average_utilization <= 1.0);
             assert!(p.solve_seconds >= 0.0);
+            // Serial sweeps are cold: the diagnostics must say so.
+            assert_eq!(p.warm_start.provenance(), "cold");
+            assert!(p.relaxation_gap >= 0.0);
+            assert!(p.bb_nodes >= 1);
         }
     }
 
@@ -300,28 +226,6 @@ mod tests {
     }
 
     #[test]
-    fn skip_policy_is_uniform_across_both_sweeps() {
-        // Regression for the asymmetry where `sweep_exact` aborted the whole
-        // sweep on `AllocationFailed` while `sweep_gpa` skipped the point:
-        // both now consult this single predicate.
-        assert!(is_skippable_point_error(&AllocError::Infeasible(
-            "too tight".into()
-        )));
-        assert!(is_skippable_point_error(&AllocError::AllocationFailed {
-            unplaced: vec![("CONV1".into(), 2)],
-        }));
-        assert!(is_skippable_point_error(&AllocError::from(
-            mfa_minlp::MinlpError::NodeLimitWithoutSolution { nodes: 34 }
-        )));
-        assert!(!is_skippable_point_error(&AllocError::InvalidArgument(
-            "bad".into()
-        )));
-        assert!(!is_skippable_point_error(&AllocError::from(
-            mfa_minlp::MinlpError::UnknownVariable(0)
-        )));
-    }
-
-    #[test]
     fn exact_sweep_skips_infeasible_points() {
         let problem = PaperCase::Alex16OnTwoFpgas.problem(0.70).unwrap();
         // 8 % cannot host CONV1 (10.6 % BRAM per CU for Alex-16); 80 % can.
@@ -333,18 +237,18 @@ mod tests {
         .unwrap();
         assert_eq!(points.len(), 1);
         assert!((points[0].resource_constraint - 0.80).abs() < 1e-12);
+        assert!(points[0].bb_nodes >= 1);
+        assert_eq!(points[0].dropped_cus, 0);
     }
 
     #[test]
-    fn point_solvers_return_none_for_skipped_points() {
-        let problem = PaperCase::Alex32OnFourFpgas.problem(0.70).unwrap();
-        assert!(solve_gpa_point(&problem, 0.30, &GpaOptions::fast())
-            .unwrap()
-            .is_none());
-        let point = solve_gpa_point(&problem, 0.75, &GpaOptions::fast())
-            .unwrap()
-            .expect("75 % is feasible");
-        assert!((point.resource_constraint - 0.75).abs() < 1e-12);
-        assert!(point.initiation_interval_ms > 0.0);
+    fn backend_sweeps_cover_the_greedy_fallback_too() {
+        let problem = PaperCase::Alex16OnTwoFpgas.problem(0.70).unwrap();
+        let points = sweep_backend(&problem, &[0.65, 0.80], &Backend::greedy()).unwrap();
+        assert_eq!(points.len(), 2);
+        for p in &points {
+            assert_eq!(p.bb_nodes, 0);
+            assert!(p.initiation_interval_ms > 0.0);
+        }
     }
 }

@@ -70,9 +70,21 @@ pub struct Relaxation {
 
 /// Per-kernel bounds `lo_k ≤ N̂_k ≤ hi_k` imposed by the discretization
 /// branch-and-bound on top of the base relaxation.
-pub type CuBounds = [(f64, f64)];
+pub(crate) type CuBounds = [(f64, f64)];
 
-/// Solves the unbounded relaxation (Eqs. 14–18).
+/// Deterministic effort and warm-start provenance of one relaxation solve:
+/// bisection feasibility steps or GP Newton iterations, and whether a
+/// [`crate::solver::WarmStart`] relaxed-II hint was actually consumed
+/// (bracket narrowed / interior point seeded).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct RelaxStats {
+    pub(crate) iterations: usize,
+    pub(crate) hint_used: bool,
+}
+
+/// Solves the unbounded relaxation (Eqs. 14–18) cold. Warm-started solves go
+/// through [`crate::solver::SolveRequest`], which plumbs the request's
+/// relaxed-II hint into the hinted solver below.
 ///
 /// # Errors
 ///
@@ -82,58 +94,42 @@ pub fn solve(
     problem: &AllocationProblem,
     backend: RelaxationBackend,
 ) -> Result<Relaxation, AllocError> {
-    solve_with_hint(problem, backend, None)
+    relax_hinted(problem, backend, None).map(|(relaxation, _)| relaxation)
 }
 
 /// Solves the unbounded relaxation, optionally warm-started from the relaxed
-/// `ÎI` of a neighbouring problem (e.g. the same case at an adjacent resource
-/// constraint in a design-space sweep).
-///
-/// The hint only narrows the bisection bracket — both endpoints are verified
-/// before use, so a stale or wildly wrong hint degrades to the cold-start
-/// bracket and the returned optimum is unaffected. The GP backend ignores the
-/// hint (its interior-point iteration has no cheap warm-start path).
+/// `ÎI` of a neighbouring problem. The hint narrows the bisection bracket
+/// (both endpoints verified before use) or seeds the GP interior point
+/// (taken only when strictly feasible), so a stale or wildly wrong hint
+/// degrades to the cold start and the returned optimum is unaffected.
 ///
 /// # Errors
 ///
 /// Same contract as [`solve`].
-pub fn solve_with_hint(
+pub(crate) fn relax_hinted(
     problem: &AllocationProblem,
     backend: RelaxationBackend,
     hint_ii_ms: Option<f64>,
-) -> Result<Relaxation, AllocError> {
+) -> Result<(Relaxation, RelaxStats), AllocError> {
     let unbounded: Vec<(f64, f64)> = (0..problem.num_kernels())
         .map(|k| (1.0, problem.max_total_cus(k) as f64))
         .collect();
-    solve_bounded_with_hint(problem, &unbounded, backend, hint_ii_ms)
+    relax_bounded_hinted(problem, &unbounded, backend, hint_ii_ms)
 }
 
-/// Solves the relaxation with explicit per-kernel bounds on `N̂_k` (used by
-/// the discretization branch-and-bound).
+/// [`relax_hinted`] with explicit per-kernel bounds on `N̂_k` (used by the
+/// discretization branch-and-bound for its node relaxations).
 ///
 /// # Errors
 ///
 /// Returns [`AllocError::Infeasible`] if the bounds admit no feasible point
 /// and propagates GP solver failures.
-pub fn solve_bounded(
-    problem: &AllocationProblem,
-    bounds: &CuBounds,
-    backend: RelaxationBackend,
-) -> Result<Relaxation, AllocError> {
-    solve_bounded_with_hint(problem, bounds, backend, None)
-}
-
-/// [`solve_bounded`] with an optional warm-start hint (see [`solve_with_hint`]).
-///
-/// # Errors
-///
-/// Same contract as [`solve_bounded`].
-pub fn solve_bounded_with_hint(
+pub(crate) fn relax_bounded_hinted(
     problem: &AllocationProblem,
     bounds: &CuBounds,
     backend: RelaxationBackend,
     hint_ii_ms: Option<f64>,
-) -> Result<Relaxation, AllocError> {
+) -> Result<(Relaxation, RelaxStats), AllocError> {
     if bounds.len() != problem.num_kernels() {
         return Err(AllocError::InvalidArgument(format!(
             "expected {} bounds, got {}",
@@ -169,7 +165,7 @@ pub fn solve_bounded_with_hint(
         ));
     }
     match backend {
-        RelaxationBackend::GeometricProgram => solve_gp(problem, bounds),
+        RelaxationBackend::GeometricProgram => solve_gp(problem, bounds, hint_ii_ms),
         RelaxationBackend::Bisection => Ok(solve_bisection(problem, bounds, hint_ii_ms)),
     }
 }
@@ -308,19 +304,59 @@ pub(crate) fn distribute_over_groups(
     )
 }
 
-fn solve_gp(problem: &AllocationProblem, bounds: &CuBounds) -> Result<Relaxation, AllocError> {
+fn solve_gp(
+    problem: &AllocationProblem,
+    bounds: &CuBounds,
+    hint_ii_ms: Option<f64>,
+) -> Result<(Relaxation, RelaxStats), AllocError> {
     if problem.num_groups() == 1 {
-        solve_gp_homogeneous(problem, bounds)
+        solve_gp_homogeneous(problem, bounds, hint_ii_ms)
     } else {
-        solve_gp_heterogeneous(problem, bounds)
+        solve_gp_heterogeneous(problem, bounds, hint_ii_ms)
     }
+}
+
+/// Builds a strictly interior GP start point from a relaxed-II hint: the
+/// target `ÎI` is inflated by 5 % and each kernel's total sits a hair above
+/// its WCET-driven (or lower-bound) count, so every latency, bound and
+/// budget row has positive slack near the optimum. The GP solver verifies
+/// strict feasibility anyway — a point this construction gets wrong is
+/// simply ignored and the solve falls back to phase I.
+fn gp_warm_counts(
+    problem: &AllocationProblem,
+    bounds: &CuBounds,
+    hint_ii_ms: f64,
+) -> Option<(f64, Vec<f64>)> {
+    if !(hint_ii_ms.is_finite() && hint_ii_ms > 0.0) {
+        return None;
+    }
+    let ii0 = hint_ii_ms * 1.05;
+    let counts = problem
+        .kernels()
+        .iter()
+        .zip(bounds)
+        .map(|(kernel, &(lo, hi))| {
+            let wcet_driven = kernel.wcet_ms() / ii0;
+            if wcet_driven <= lo {
+                // Floor kernel: sit a hair above the lower bound.
+                (lo * 1.001).min(hi * 0.999)
+            } else {
+                // Critical kernel: 2 % above the WCET-driven count keeps the
+                // latency row strictly slack while staying ~3 % below the
+                // (budget-tight) optimum counts.
+                (wcet_driven * 1.02).min(hi * 0.999)
+            }
+        })
+        .collect();
+    Some((ii0, counts))
 }
 
 /// The exact posynomial model over the totals `N̂_k` (single device group).
 fn solve_gp_homogeneous(
     problem: &AllocationProblem,
     bounds: &CuBounds,
-) -> Result<Relaxation, AllocError> {
+    hint_ii_ms: Option<f64>,
+) -> Result<(Relaxation, RelaxStats), AllocError> {
     let mut gp = GpProblem::new();
     let ii = gp.add_var("II")?;
     let mut n_vars = Vec::with_capacity(problem.num_kernels());
@@ -390,18 +426,34 @@ fn solve_gp_homogeneous(
         gp.add_le_constraint("budget_bandwidth", bw_row)?;
     }
 
-    let solution = gp.solve().map_err(|err| match err {
+    // A relaxed-II hint seeds the interior point (variable order: II first,
+    // then the totals — matching creation order above).
+    let mut options = mfa_gp::SolverOptions::default();
+    if let Some((ii0, counts)) = hint_ii_ms.and_then(|h| gp_warm_counts(problem, bounds, h)) {
+        let mut point = Vec::with_capacity(1 + counts.len());
+        point.push(ii0);
+        point.extend(counts);
+        options.initial_point = Some(point);
+    }
+    let solution = gp.solve_with(&options).map_err(|err| match err {
         mfa_gp::GpError::Infeasible => {
             AllocError::Infeasible("the GP relaxation has no feasible point".into())
         }
         other => AllocError::from(other),
     })?;
+    let stats = RelaxStats {
+        iterations: solution.newton_iterations(),
+        hint_used: solution.warm_started(),
+    };
     let cu_counts: Vec<f64> = n_vars.iter().map(|&v| solution.value(v)).collect();
-    Ok(Relaxation {
-        group_cu_counts: cu_counts.iter().map(|&n| vec![n]).collect(),
-        cu_counts,
-        initiation_interval_ms: solution.value(ii),
-    })
+    Ok((
+        Relaxation {
+            group_cu_counts: cu_counts.iter().map(|&n| vec![n]).collect(),
+            cu_counts,
+            initiation_interval_ms: solution.value(ii),
+        },
+        stats,
+    ))
 }
 
 /// The heterogeneous GP: per-group variables `N̂_{k,g}`, exact per-group
@@ -417,8 +469,9 @@ fn solve_gp_homogeneous(
 fn solve_gp_heterogeneous(
     problem: &AllocationProblem,
     bounds: &CuBounds,
-) -> Result<Relaxation, AllocError> {
-    let anchor = solve_bisection(problem, bounds, None);
+    hint_ii_ms: Option<f64>,
+) -> Result<(Relaxation, RelaxStats), AllocError> {
+    let (anchor, anchor_stats) = solve_bisection(problem, bounds, hint_ii_ms);
     let groups = problem.num_groups();
     let num_kernels = problem.num_kernels();
 
@@ -527,12 +580,42 @@ fn solve_gp_heterogeneous(
         }
     }
 
-    let solution = gp.solve().map_err(|err| match err {
+    // A hint the anchor bisection verified and consumed seeds the interior
+    // point from the (exact) anchor:
+    // II is inflated by 5 % and each kernel's group split is scaled by
+    // `max(0.98, 1.001·lo/S₀)` — strictly inside the budget rows for
+    // critical kernels, a hair above the lower bound for floor kernels. The
+    // condensed latency monomials are degree-one in a uniform per-kernel
+    // scaling, so the same slack analysis as the homogeneous case applies;
+    // anything this construction gets wrong is rejected by the GP solver's
+    // strict-feasibility check and the solve falls back to phase I.
+    let mut options = mfa_gp::SolverOptions::default();
+    if anchor_stats.hint_used {
+        let mut point = vec![anchor.initiation_interval_ms * 1.05];
+        for (k, row) in vars.iter().enumerate() {
+            let s0: f64 = anchor.group_cu_counts[k].iter().sum();
+            let (lo, _) = bounds[k];
+            let scale = (1.001 * lo / s0.max(f64::MIN_POSITIVE)).max(0.98);
+            for (g, slot) in row.iter().enumerate() {
+                if slot.is_some() {
+                    point.push(anchor.group_cu_counts[k][g] * scale);
+                }
+            }
+        }
+        options.initial_point = Some(point);
+    }
+    let solution = gp.solve_with(&options).map_err(|err| match err {
         mfa_gp::GpError::Infeasible => {
             AllocError::Infeasible("the GP relaxation has no feasible point".into())
         }
         other => AllocError::from(other),
     })?;
+    let stats = RelaxStats {
+        iterations: solution.newton_iterations(),
+        // The seed above exists only when the bisection verified and
+        // consumed the hint, so a rejected hint never claims provenance.
+        hint_used: anchor_stats.hint_used,
+    };
     let group_cu_counts: Vec<Vec<f64>> = vars
         .iter()
         .map(|row| {
@@ -541,11 +624,14 @@ fn solve_gp_heterogeneous(
                 .collect()
         })
         .collect();
-    Ok(Relaxation {
-        cu_counts: group_cu_counts.iter().map(|row| row.iter().sum()).collect(),
-        group_cu_counts,
-        initiation_interval_ms: solution.value(ii),
-    })
+    Ok((
+        Relaxation {
+            cu_counts: group_cu_counts.iter().map(|row| row.iter().sum()).collect(),
+            group_cu_counts,
+            initiation_interval_ms: solution.value(ii),
+        },
+        stats,
+    ))
 }
 
 /// Assembles a [`Relaxation`] from feasible totals, water-filling them
@@ -569,7 +655,7 @@ fn solve_bisection(
     problem: &AllocationProblem,
     bounds: &CuBounds,
     hint_ii_ms: Option<f64>,
-) -> Relaxation {
+) -> (Relaxation, RelaxStats) {
     // For a target II the cheapest feasible counts are the WCET-driven counts
     // clamped into the node bounds; feasibility of the aggregated budgets is
     // monotone in II (larger II → fewer CUs → less resource use, and any
@@ -598,26 +684,34 @@ fn solve_bisection(
         .map(|(kernel, &(_, hi_k))| kernel.wcet_ms() / hi_k)
         .fold(0.0_f64, f64::max);
     if budgets_allow(problem, &counts_for(lo)) {
-        return relaxation_from_totals(problem, counts_for(lo), lo);
+        return (
+            relaxation_from_totals(problem, counts_for(lo), lo),
+            RelaxStats::default(),
+        );
     }
     // A warm-start hint from a neighbouring solve narrows the bracket. The
     // bisection invariants (lo infeasible, hi feasible) are re-verified on
     // each candidate endpoint, so a bad hint merely costs two feasibility
     // evaluations and the optimum is unchanged.
+    let mut hint_used = false;
     if let Some(hint) = hint_ii_ms {
         if hint.is_finite() && hint > 0.0 {
             let cand_hi = (hint * 1.05).min(hi);
             if cand_hi > lo && budgets_allow(problem, &counts_for(cand_hi)) {
                 hi = cand_hi;
+                hint_used = true;
             }
             let cand_lo = (hint * 0.95).max(lo);
             if cand_lo < hi && !budgets_allow(problem, &counts_for(cand_lo)) {
                 lo = cand_lo;
+                hint_used = true;
             }
         }
     }
+    let mut iterations = 0usize;
     for _ in 0..200 {
         let mid = 0.5 * (lo + hi);
+        iterations += 1;
         if budgets_allow(problem, &counts_for(mid)) {
             hi = mid;
         } else {
@@ -627,7 +721,13 @@ fn solve_bisection(
             break;
         }
     }
-    relaxation_from_totals(problem, counts_for(hi), hi)
+    (
+        relaxation_from_totals(problem, counts_for(hi), hi),
+        RelaxStats {
+            iterations,
+            hint_used,
+        },
+    )
 }
 
 #[cfg(test)]
@@ -673,7 +773,7 @@ mod tests {
     fn bounded_relaxation_respects_bounds() {
         let p = two_kernel_problem();
         let bounds = vec![(1.0, 1.0), (1.0, 10.0)];
-        let r = solve_bounded(&p, &bounds, RelaxationBackend::Bisection).unwrap();
+        let (r, _) = relax_bounded_hinted(&p, &bounds, RelaxationBackend::Bisection, None).unwrap();
         assert!((r.cu_counts[0] - 1.0).abs() < 1e-9);
         // Kernel a fixed at one CU → II at least 3.
         assert!(r.initiation_interval_ms >= 3.0 - 1e-9);
@@ -694,7 +794,7 @@ mod tests {
             f64::NAN,
             -1.0,
         ] {
-            let warm = solve_with_hint(&p, RelaxationBackend::Bisection, Some(hint)).unwrap();
+            let (warm, _) = relax_hinted(&p, RelaxationBackend::Bisection, Some(hint)).unwrap();
             assert!(
                 (warm.initiation_interval_ms - cold.initiation_interval_ms).abs()
                     < 1e-9 * cold.initiation_interval_ms.max(1.0),
@@ -703,6 +803,55 @@ mod tests {
                 cold.initiation_interval_ms
             );
         }
+    }
+
+    #[test]
+    fn good_hints_narrow_the_bisection_bracket() {
+        let p = two_kernel_problem();
+        let (cold, cold_stats) = relax_hinted(&p, RelaxationBackend::Bisection, None).unwrap();
+        assert!(!cold_stats.hint_used);
+        let (warm, warm_stats) = relax_hinted(
+            &p,
+            RelaxationBackend::Bisection,
+            Some(cold.initiation_interval_ms),
+        )
+        .unwrap();
+        assert!(warm_stats.hint_used);
+        assert!(
+            warm_stats.iterations < cold_stats.iterations,
+            "warm {} vs cold {} bisection steps",
+            warm_stats.iterations,
+            cold_stats.iterations
+        );
+        assert!(
+            (warm.initiation_interval_ms - cold.initiation_interval_ms).abs()
+                < 1e-9 * cold.initiation_interval_ms
+        );
+    }
+
+    #[test]
+    fn gp_backend_consumes_the_hint_as_an_interior_start() {
+        let p = two_kernel_problem();
+        let (cold, cold_stats) =
+            relax_hinted(&p, RelaxationBackend::GeometricProgram, None).unwrap();
+        assert!(!cold_stats.hint_used);
+        let (warm, warm_stats) = relax_hinted(
+            &p,
+            RelaxationBackend::GeometricProgram,
+            Some(cold.initiation_interval_ms),
+        )
+        .unwrap();
+        assert!(warm_stats.hint_used, "hint point rejected");
+        assert!(
+            warm_stats.iterations < cold_stats.iterations,
+            "warm {} vs cold {} Newton steps",
+            warm_stats.iterations,
+            cold_stats.iterations
+        );
+        assert!(
+            (warm.initiation_interval_ms - cold.initiation_interval_ms).abs()
+                < 1e-4 * cold.initiation_interval_ms
+        );
     }
 
     /// Regression for the interior-widening bug: with a bound pair pinned at
@@ -724,7 +873,8 @@ mod tests {
             .build()
             .unwrap();
         let bounds = vec![(1.0, 1.0), (1.0, 10.0)];
-        let r = solve_bounded(&p, &bounds, RelaxationBackend::GeometricProgram).unwrap();
+        let (r, _) =
+            relax_bounded_hinted(&p, &bounds, RelaxationBackend::GeometricProgram, None).unwrap();
         assert!(
             r.cu_counts[0] >= 1.0 - 1e-8,
             "N̂_a = {} dips below the Eq. 16 floor",
@@ -830,13 +980,12 @@ mod tests {
     #[test]
     fn invalid_bounds_are_rejected() {
         let p = two_kernel_problem();
-        assert!(solve_bounded(&p, &[(1.0, 2.0)], RelaxationBackend::Bisection).is_err());
-        assert!(
-            solve_bounded(&p, &[(0.0, 2.0), (1.0, 2.0)], RelaxationBackend::Bisection).is_err()
-        );
-        assert!(
-            solve_bounded(&p, &[(3.0, 2.0), (1.0, 2.0)], RelaxationBackend::Bisection).is_err()
-        );
+        let bounded = |bounds: &[(f64, f64)]| {
+            relax_bounded_hinted(&p, bounds, RelaxationBackend::Bisection, None)
+        };
+        assert!(bounded(&[(1.0, 2.0)]).is_err());
+        assert!(bounded(&[(0.0, 2.0), (1.0, 2.0)]).is_err());
+        assert!(bounded(&[(3.0, 2.0), (1.0, 2.0)]).is_err());
     }
 
     #[test]

@@ -5,15 +5,29 @@
 //! initiation interval as the exact MINLP while running orders of magnitude
 //! faster, which is what makes design-space exploration over resource
 //! constraints and FPGA counts practical.
+//!
+//! The pipeline is driven through [`crate::solver::SolveRequest`] with
+//! [`crate::solver::Backend::Gpa`]; this module defines its [`GpaOptions`]
+//! and hosts the pipeline implementation. Warm starts (the relaxed-`ÎI`
+//! bracket hint and the integer-counts incumbent), deadlines and node
+//! budgets all arrive as request fields.
 
-use std::time::{Duration, Instant};
+use std::time::Instant;
 
 use crate::discretize::{self, DiscretizeOptions};
-use crate::gp_step::{self, Relaxation, RelaxationBackend};
+use crate::gp_step::{self, RelaxationBackend};
 use crate::greedy::{self, GreedyOptions};
 use crate::problem::AllocationProblem;
 use crate::solution::Allocation;
+use crate::solver::{
+    check_deadline, Deadline, SolveDiagnostics, SolveReport, StageTiming, WarmStart,
+    WarmStartReport,
+};
 use crate::AllocError;
+
+/// Conventional label of the GP+A pipeline, shared by the backend registry,
+/// the trait impl and the report so the three cannot drift.
+pub(crate) const GPA_LABEL: &str = "GP+A";
 
 /// Options of the GP+A heuristic.
 #[derive(Debug, Clone, PartialEq, Default)]
@@ -45,130 +59,108 @@ impl GpaOptions {
     }
 }
 
-/// Outcome of the GP+A heuristic, including the intermediate results of each
-/// step (useful for reporting and for the figures).
-#[derive(Debug, Clone, PartialEq)]
-pub struct GpaOutcome {
-    /// Continuous relaxation (step 1).
-    pub relaxation: Relaxation,
-    /// Integer CU counts after discretization (step 2), reduced by any CUs
-    /// dropped to reach a placeable configuration (see [`Self::dropped_cus`]).
-    pub cu_counts: Vec<u32>,
-    /// CUs removed per kernel by the feasibility fallback: when the greedy
-    /// allocator cannot place the discretized counts even at `R + T`, the
-    /// heuristic sheds CUs one at a time until placement succeeds. All zeros
-    /// when the discretized counts were realized as-is.
-    pub dropped_cus: Vec<u32>,
-    /// Final placement (step 3).
-    pub allocation: Allocation,
-    /// Wall-clock time of the whole heuristic.
-    pub elapsed: Duration,
-    /// Wall-clock time of the GP/bisection relaxation alone.
-    pub relaxation_time: Duration,
-    /// Wall-clock time of the discretization branch-and-bound.
-    pub discretization_time: Duration,
-    /// Wall-clock time of the greedy allocator.
-    pub allocation_time: Duration,
-}
-
-impl GpaOutcome {
-    /// Initiation interval of the final allocation in milliseconds.
-    pub fn initiation_interval_ms(&self, problem: &AllocationProblem) -> f64 {
-        self.allocation.initiation_interval(problem)
-    }
-
-    /// Total CUs dropped by the feasibility fallback (zero in the common
-    /// case where the discretized counts were placeable).
-    pub fn total_dropped_cus(&self) -> u32 {
-        self.dropped_cus.iter().sum()
-    }
-}
-
-/// State a design-space sweep carries from one solved constraint point to a
-/// neighbouring one: the relaxed `ÎI` (used to narrow the bisection bracket)
-/// and the final integer counts (used to seed the discretization
-/// branch-and-bound with an incumbent). Warm starts are verified before use,
-/// so a hint from a distant or tighter point can only cost a few extra
-/// feasibility checks — never change the result quality.
-#[derive(Debug, Clone, PartialEq)]
-pub struct GpaWarmStart {
-    /// Relaxed initiation interval of the neighbouring solve, in ms.
-    pub relaxed_ii_ms: f64,
-    /// Final (post-drop) integer CU counts of the neighbouring solve.
-    pub cu_counts: Vec<u32>,
-}
-
-impl From<&GpaOutcome> for GpaWarmStart {
-    fn from(outcome: &GpaOutcome) -> Self {
-        GpaWarmStart {
-            relaxed_ii_ms: outcome.relaxation.initiation_interval_ms,
-            cu_counts: outcome.cu_counts.clone(),
-        }
-    }
-}
-
-/// Runs the full GP+A heuristic.
+/// Runs the full GP+A pipeline for [`crate::solver::Backend::Gpa`]: the
+/// continuous relaxation (hinted by `warm.relaxed_ii_ms`), the discretization
+/// branch-and-bound (seeded by `warm.cu_counts`), and the greedy placement
+/// with its CU-shedding feasibility fallback.
 ///
 /// # Errors
 ///
-/// Propagates infeasibility and solver failures from the three steps; see
-/// [`AllocError`].
-pub fn solve(problem: &AllocationProblem, options: &GpaOptions) -> Result<GpaOutcome, AllocError> {
-    solve_with_warm_start(problem, options, None)
-}
-
-/// Runs the full GP+A heuristic, optionally warm-started from a neighbouring
-/// solve (see [`GpaWarmStart`]). Sweep engines use this to reuse the
-/// continuous relaxation and the discrete incumbent across adjacent
-/// constraint points; the achieved initiation interval is the same as a cold
-/// solve, only faster — though when several integer designs tie on II, the
-/// warm-started discretization may return the incumbent where a cold search
-/// would find another equally-optimal design.
-///
-/// # Errors
-///
-/// Same contract as [`solve`].
-pub fn solve_with_warm_start(
+/// Propagates infeasibility and solver failures from the three steps, and
+/// [`AllocError::DeadlineExceeded`] when the deadline expires at a stage
+/// boundary or inside the discretization search; see [`AllocError`].
+pub(crate) fn run_pipeline(
     problem: &AllocationProblem,
     options: &GpaOptions,
-    warm: Option<&GpaWarmStart>,
-) -> Result<GpaOutcome, AllocError> {
+    warm: &WarmStart,
+    deadline: Option<&Deadline>,
+    node_budget: Option<usize>,
+) -> Result<SolveReport, AllocError> {
     let start = Instant::now();
     problem.validate_feasibility()?;
 
+    check_deadline(deadline, "relaxation")?;
     let relaxation_start = Instant::now();
-    let relaxation = gp_step::solve_with_hint(
-        problem,
-        options.relaxation_backend,
-        warm.map(|w| w.relaxed_ii_ms),
-    )?;
+    let (relaxation, relax_stats) =
+        gp_step::relax_hinted(problem, options.relaxation_backend, warm.relaxed_ii_ms)?;
     let relaxation_time = relaxation_start.elapsed();
 
+    check_deadline(deadline, "discretization")?;
     let discretization_start = Instant::now();
-    let discrete = discretize::solve_seeded(
+    let (discrete, incumbent_used) = discretize::solve_seeded_inner(
         problem,
         &options.discretize,
-        warm.map(|w| w.cu_counts.as_slice()),
+        warm.cu_counts.as_deref(),
+        deadline,
+        node_budget,
     )?;
     let discretization_time = discretization_start.elapsed();
 
-    // The discretized counts saturate the aggregated budget, so at very tight
-    // resource constraints a perfect bin packing may not exist and Algorithm 1
-    // cannot place every CU even after relaxing by `T`. In that case one CU is
-    // dropped and the placement is retried — the heuristic then trades a
-    // little II for feasibility, which is exactly the behaviour the paper
-    // reports for GP+A at the low end of the constraint range. The victim is
-    // the kernel whose drop yields the smallest *resulting pipeline* II
-    // (`max_k WCET_k / N_k` after the drop), not merely the smallest own
-    // post-drop latency: the pipeline runs at the maximum over kernels, so
-    // that maximum is what the choice must minimize. Ties are broken by the
-    // victim's own post-drop latency, then by kernel index, keeping the loop
-    // deterministic.
+    check_deadline(deadline, "allocation")?;
     let allocation_start = Instant::now();
-    let mut cu_counts = discrete.cu_counts;
+    let (allocation, cu_counts, dropped_cus) =
+        place_with_drops(problem, discrete.cu_counts, &options.greedy, deadline)?;
+    let allocation_time = allocation_start.elapsed();
+
+    let achieved = allocation.initiation_interval(problem);
+    let relaxed = relaxation.initiation_interval_ms;
+    Ok(SolveReport {
+        allocation,
+        backend: GPA_LABEL.to_owned(),
+        diagnostics: SolveDiagnostics {
+            relaxed_ii_ms: Some(relaxed),
+            relaxation_gap: Some((achieved - relaxed).max(0.0) / relaxed.max(f64::MIN_POSITIVE)),
+            proven_optimal: None,
+            cu_counts,
+            dropped_cus,
+            bb_nodes: discrete.nodes_explored,
+            relaxation_iterations: relax_stats.iterations,
+            warm_start: WarmStartReport {
+                ii_hint_used: relax_stats.hint_used,
+                incumbent_used,
+            },
+            timing: StageTiming {
+                total: start.elapsed(),
+                relaxation: relaxation_time,
+                discretization: discretization_time,
+                allocation: allocation_time,
+            },
+        },
+    })
+}
+
+/// Places integer counts with the greedy allocator, shedding CUs one at a
+/// time when no bin packing exists. Shared by the GP+A pipeline and the
+/// greedy backend.
+///
+/// The discretized counts saturate the aggregated budget, so at very tight
+/// resource constraints a perfect bin packing may not exist and Algorithm 1
+/// cannot place every CU even after relaxing by `T`. In that case one CU is
+/// dropped and the placement is retried — the heuristic then trades a little
+/// II for feasibility, which is exactly the behaviour the paper reports for
+/// GP+A at the low end of the constraint range. The victim is the kernel
+/// whose drop yields the smallest *resulting pipeline* II
+/// (`max_k WCET_k / N_k` after the drop), not merely the smallest own
+/// post-drop latency: the pipeline runs at the maximum over kernels, so that
+/// maximum is what the choice must minimize. Ties are broken by the victim's
+/// own post-drop latency, then by kernel index, keeping the loop
+/// deterministic.
+///
+/// # Errors
+///
+/// Propagates placement failures once no kernel has a CU left to shed, and
+/// [`AllocError::DeadlineExceeded`] when the deadline expires between
+/// placement attempts.
+pub(crate) fn place_with_drops(
+    problem: &AllocationProblem,
+    mut cu_counts: Vec<u32>,
+    greedy_options: &GreedyOptions,
+    deadline: Option<&Deadline>,
+) -> Result<(Allocation, Vec<u32>, Vec<u32>), AllocError> {
     let mut dropped_cus = vec![0u32; problem.num_kernels()];
     let allocation = loop {
-        match greedy::allocate(problem, &cu_counts, &options.greedy) {
+        check_deadline(deadline, "allocation")?;
+        match greedy::allocate(problem, &cu_counts, greedy_options) {
             Ok(allocation) => break allocation,
             Err(err @ AllocError::AllocationFailed { .. }) => {
                 let pipeline_ii_after_dropping = |k: usize| -> f64 {
@@ -199,41 +191,43 @@ pub fn solve_with_warm_start(
             Err(other) => return Err(other),
         }
     };
-    let allocation_time = allocation_start.elapsed();
-
-    Ok(GpaOutcome {
-        relaxation,
-        cu_counts,
-        dropped_cus,
-        allocation,
-        elapsed: start.elapsed(),
-        relaxation_time,
-        discretization_time,
-        allocation_time,
-    })
+    Ok((allocation, cu_counts, dropped_cus))
 }
 
 #[cfg(test)]
 mod tests {
+    use std::time::Duration;
+
     use super::*;
     use crate::problem::GoalWeights;
+    use crate::solver::{Backend, SolveRequest};
     use mfa_cnn::paper_data;
+
+    fn gpa_report(
+        problem: &AllocationProblem,
+        options: &GpaOptions,
+    ) -> Result<SolveReport, AllocError> {
+        SolveRequest::new(problem)
+            .backend(Backend::gpa_with(options.clone()))
+            .solve()
+    }
 
     #[test]
     fn alex16_on_two_fpgas_end_to_end() {
         let app = paper_data::alexnet_16bit();
         let problem =
             AllocationProblem::from_application(&app, 2, 0.65, GoalWeights::new(1.0, 0.7)).unwrap();
-        let outcome = solve(&problem, &GpaOptions::paper_defaults()).unwrap();
-        outcome.allocation.validate(&problem, 1e-9).unwrap();
-        let ii = outcome.initiation_interval_ms(&problem);
+        let report = gpa_report(&problem, &GpaOptions::paper_defaults()).unwrap();
+        report.allocation.validate(&problem, 1e-9).unwrap();
+        let ii = report.initiation_interval_ms(&problem);
         // The paper's Fig. 3 shows II between roughly 1.0 and 1.7 ms in the
         // 55–85 % constraint range for Alex-16 on 2 FPGAs.
         assert!(ii < 2.0, "II = {ii}");
-        assert!(ii >= outcome.relaxation.initiation_interval_ms - 1e-9);
+        assert!(ii >= report.diagnostics.relaxed_ii_ms.unwrap() - 1e-9);
+        assert!(report.diagnostics.relaxation_gap.unwrap() >= 0.0);
         // Allocation realizes exactly the discretized CU counts.
-        for (k, &n) in outcome.cu_counts.iter().enumerate() {
-            assert_eq!(outcome.allocation.total_cus(k), n);
+        for (k, &n) in report.diagnostics.cu_counts.iter().enumerate() {
+            assert_eq!(report.allocation.total_cus(k), n);
         }
     }
 
@@ -243,12 +237,12 @@ mod tests {
         let problem =
             AllocationProblem::from_application(&app, 8, 0.61, GoalWeights::new(1.0, 50.0))
                 .unwrap();
-        let outcome = solve(&problem, &GpaOptions::fast()).unwrap();
-        outcome.allocation.validate(&problem, 1e-9).unwrap();
-        let ii = outcome.initiation_interval_ms(&problem);
+        let report = gpa_report(&problem, &GpaOptions::fast()).unwrap();
+        report.allocation.validate(&problem, 1e-9).unwrap();
+        let ii = report.initiation_interval_ms(&problem);
         // Fig. 5 shows VGG on 8 FPGAs reaching II between ~10 and ~24 ms.
         assert!(ii < 30.0, "II = {ii}");
-        assert!(outcome.elapsed.as_secs_f64() < 30.0);
+        assert!(report.diagnostics.timing.total.as_secs_f64() < 30.0);
     }
 
     #[test]
@@ -256,8 +250,8 @@ mod tests {
         let app = paper_data::alexnet_32bit();
         let problem =
             AllocationProblem::from_application(&app, 4, 0.70, GoalWeights::new(1.0, 6.0)).unwrap();
-        let gp = solve(&problem, &GpaOptions::paper_defaults()).unwrap();
-        let fast = solve(&problem, &GpaOptions::fast()).unwrap();
+        let gp = gpa_report(&problem, &GpaOptions::paper_defaults()).unwrap();
+        let fast = gpa_report(&problem, &GpaOptions::fast()).unwrap();
         let ii_gp = gp.initiation_interval_ms(&problem);
         let ii_fast = fast.initiation_interval_ms(&problem);
         assert!(
@@ -285,14 +279,14 @@ mod tests {
             .weights(GoalWeights::ii_only())
             .build()
             .unwrap();
-        let outcome = solve(&problem, &GpaOptions::fast()).unwrap();
-        outcome.allocation.validate(&problem, 1e-9).unwrap();
-        assert_eq!(outcome.dropped_cus, vec![1, 0]);
-        assert_eq!(outcome.total_dropped_cus(), 1);
-        assert_eq!(outcome.cu_counts, vec![1, 1]);
+        let report = gpa_report(&problem, &GpaOptions::fast()).unwrap();
+        report.allocation.validate(&problem, 1e-9).unwrap();
+        assert_eq!(report.diagnostics.dropped_cus, vec![1, 0]);
+        assert_eq!(report.diagnostics.total_dropped_cus(), 1);
+        assert_eq!(report.diagnostics.cu_counts, vec![1, 1]);
         // The drop was forced on the only candidate (b has a single CU), and
         // the resulting pipeline II is exactly the post-drop bottleneck.
-        let ii = outcome.initiation_interval_ms(&problem);
+        let ii = report.initiation_interval_ms(&problem);
         assert!((ii - 10.0).abs() < 1e-9, "II = {ii}");
     }
 
@@ -313,13 +307,13 @@ mod tests {
             .weights(GoalWeights::ii_only())
             .build()
             .unwrap();
-        let outcome = solve(&problem, &GpaOptions::fast()).unwrap();
-        assert_eq!(outcome.total_dropped_cus(), 0);
-        assert!(outcome.dropped_cus.iter().all(|&d| d == 0));
-        assert_eq!(outcome.dropped_cus.len(), problem.num_kernels());
+        let report = gpa_report(&problem, &GpaOptions::fast()).unwrap();
+        assert_eq!(report.diagnostics.total_dropped_cus(), 0);
+        assert!(report.diagnostics.dropped_cus.iter().all(|&d| d == 0));
+        assert_eq!(report.diagnostics.dropped_cus.len(), problem.num_kernels());
         // Without drops the allocation realizes the discretized counts.
-        for (k, &n) in outcome.cu_counts.iter().enumerate() {
-            assert_eq!(outcome.allocation.total_cus(k), n);
+        for (k, &n) in report.diagnostics.cu_counts.iter().enumerate() {
+            assert_eq!(report.allocation.total_cus(k), n);
         }
     }
 
@@ -330,14 +324,13 @@ mod tests {
             AllocationProblem::from_application(&app, 2, 0.65, GoalWeights::new(1.0, 0.7)).unwrap();
         let problem =
             AllocationProblem::from_application(&app, 2, 0.70, GoalWeights::new(1.0, 0.7)).unwrap();
-        let neighbour = solve(&neighbour_problem, &GpaOptions::fast()).unwrap();
-        let cold = solve(&problem, &GpaOptions::fast()).unwrap();
-        let warm = solve_with_warm_start(
-            &problem,
-            &GpaOptions::fast(),
-            Some(&GpaWarmStart::from(&neighbour)),
-        )
-        .unwrap();
+        let neighbour = gpa_report(&neighbour_problem, &GpaOptions::fast()).unwrap();
+        let cold = gpa_report(&problem, &GpaOptions::fast()).unwrap();
+        let warm = SolveRequest::new(&problem)
+            .backend(Backend::gpa_with(GpaOptions::fast()))
+            .warm_start(neighbour.warm_start())
+            .solve()
+            .unwrap();
         warm.allocation.validate(&problem, 1e-9).unwrap();
         let ii_cold = cold.initiation_interval_ms(&problem);
         let ii_warm = warm.initiation_interval_ms(&problem);
@@ -346,7 +339,8 @@ mod tests {
             "warm {ii_warm} vs cold {ii_cold}"
         );
         assert!(
-            (warm.relaxation.initiation_interval_ms - cold.relaxation.initiation_interval_ms).abs()
+            (warm.diagnostics.relaxed_ii_ms.unwrap() - cold.diagnostics.relaxed_ii_ms.unwrap())
+                .abs()
                 < 1e-9
         );
     }
@@ -375,17 +369,17 @@ mod tests {
             .build()
             .unwrap();
         for options in [GpaOptions::fast(), GpaOptions::paper_defaults()] {
-            let outcome = solve(&problem, &options).unwrap();
-            outcome.allocation.validate(&problem, 1e-9).unwrap();
-            let ii = outcome.initiation_interval_ms(&problem);
+            let report = gpa_report(&problem, &options).unwrap();
+            report.allocation.validate(&problem, 1e-9).unwrap();
+            let ii = report.initiation_interval_ms(&problem);
             // The mixed pair must land between the 2×VU9P platform (strictly
             // more capable) and a lone VU9P (strictly less capable).
-            assert!(ii >= outcome.relaxation.initiation_interval_ms - 1e-9);
+            assert!(ii >= report.diagnostics.relaxed_ii_ms.unwrap() - 1e-9);
             assert!(ii < 6.7, "II = {ii}");
         }
         // GP and bisection backends agree on the final heterogeneous II.
-        let gp = solve(&problem, &GpaOptions::paper_defaults()).unwrap();
-        let fast = solve(&problem, &GpaOptions::fast()).unwrap();
+        let gp = gpa_report(&problem, &GpaOptions::paper_defaults()).unwrap();
+        let fast = gpa_report(&problem, &GpaOptions::fast()).unwrap();
         let ii_gp = gp.initiation_interval_ms(&problem);
         let ii_fast = fast.initiation_interval_ms(&problem);
         assert!(
@@ -401,7 +395,7 @@ mod tests {
         let problem =
             AllocationProblem::from_application(&app, 4, 0.20, GoalWeights::ii_only()).unwrap();
         assert!(matches!(
-            solve(&problem, &GpaOptions::paper_defaults()),
+            gpa_report(&problem, &GpaOptions::paper_defaults()),
             Err(AllocError::Infeasible(_))
         ));
     }
@@ -411,8 +405,9 @@ mod tests {
         let app = paper_data::alexnet_16bit();
         let problem =
             AllocationProblem::from_application(&app, 2, 0.75, GoalWeights::new(1.0, 0.7)).unwrap();
-        let outcome = solve(&problem, &GpaOptions::paper_defaults()).unwrap();
-        let parts = outcome.relaxation_time + outcome.discretization_time + outcome.allocation_time;
-        assert!(parts <= outcome.elapsed + Duration::from_millis(5));
+        let report = gpa_report(&problem, &GpaOptions::paper_defaults()).unwrap();
+        let timing = report.diagnostics.timing;
+        let parts = timing.relaxation + timing.discretization + timing.allocation;
+        assert!(parts <= timing.total + Duration::from_millis(5));
     }
 }

@@ -23,9 +23,15 @@
 //!   greedy Algorithm 1 allocator ([`greedy`]) that places the CUs while
 //!   consolidating each kernel on as few FPGAs as possible.
 //!
+//! Every backend is driven through one request-shaped entry point —
+//! [`solver::SolveRequest`] — which carries warm-start hints, deadlines,
+//! node budgets and the sweep skip policy as first-class request fields and
+//! returns a [`solver::SolveReport`] with structured diagnostics.
+//!
 //! # Quick start
 //!
 //! ```
+//! use mfa_alloc::solver::{Backend, SolveRequest};
 //! use mfa_alloc::{AllocationProblem, GoalWeights, Kernel};
 //! use mfa_platform::{MultiFpgaPlatform, ResourceBudget, ResourceVec};
 //!
@@ -41,8 +47,8 @@
 //!     .budget(ResourceBudget::uniform(0.70))
 //!     .weights(GoalWeights::new(1.0, 0.7))
 //!     .build()?;
-//! let outcome = mfa_alloc::gpa::solve(&problem, &mfa_alloc::gpa::GpaOptions::default())?;
-//! assert!(outcome.allocation.initiation_interval(&problem) < 9.0);
+//! let report = SolveRequest::new(&problem).backend(Backend::gpa()).solve()?;
+//! assert!(report.initiation_interval_ms(&problem) < 9.0);
 //! # Ok(())
 //! # }
 //! ```
@@ -61,7 +67,12 @@ pub mod greedy;
 mod problem;
 pub mod report;
 mod solution;
+pub mod solver;
 
 pub use error::AllocError;
 pub use problem::{AllocationProblem, AllocationProblemBuilder, GoalWeights, Kernel};
 pub use solution::{Allocation, AllocationMetrics};
+pub use solver::{
+    Backend, Deadline, SkipPolicy, SolveDiagnostics, SolveReport, SolveRequest, SolverBackend,
+    StageTiming, WarmStart, WarmStartReport,
+};

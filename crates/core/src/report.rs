@@ -119,12 +119,15 @@ pub fn render_summary(problem: &AllocationProblem, allocation: &Allocation) -> S
 mod tests {
     use super::*;
     use crate::cases::PaperCase;
-    use crate::gpa::{self, GpaOptions};
+    use crate::gpa::GpaOptions;
 
     #[test]
     fn breakdown_accounts_for_every_cu_and_slack() {
         let problem = PaperCase::Alex16OnTwoFpgas.problem(0.70).unwrap();
-        let outcome = gpa::solve(&problem, &GpaOptions::fast()).unwrap();
+        let outcome = crate::solver::SolveRequest::new(&problem)
+            .backend(crate::solver::Backend::gpa_with(GpaOptions::fast()))
+            .solve()
+            .unwrap();
         let breakdown = utilization_breakdown(&problem, &outcome.allocation);
         assert_eq!(breakdown.len(), 2);
         let total_cus: u32 = breakdown
@@ -155,7 +158,10 @@ mod tests {
     #[test]
     fn summary_mentions_every_kernel_and_fpga() {
         let problem = PaperCase::Alex16OnTwoFpgas.problem(0.70).unwrap();
-        let outcome = gpa::solve(&problem, &GpaOptions::fast()).unwrap();
+        let outcome = crate::solver::SolveRequest::new(&problem)
+            .backend(crate::solver::Backend::gpa_with(GpaOptions::fast()))
+            .solve()
+            .unwrap();
         let text = render_summary(&problem, &outcome.allocation);
         for kernel in problem.kernels() {
             assert!(text.contains(kernel.name()), "missing {}", kernel.name());

@@ -26,7 +26,7 @@ use mfa_explore::{SweepGrid, SweepPoint, WorkUnit};
 
 /// Version tag carried by `job`/`ready` frames. Bump on any incompatible
 /// frame or payload change.
-pub const PROTOCOL_VERSION: usize = 1;
+pub const PROTOCOL_VERSION: usize = 2;
 
 /// A frame sent from the dispatcher to a worker.
 #[derive(Debug, Clone, PartialEq)]

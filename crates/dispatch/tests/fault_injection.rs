@@ -1,6 +1,7 @@
 //! Fault injection: workers crash, hang, or corrupt frames mid-sweep, and
 //! the dispatcher must reassign their leases and still produce output
-//! byte-identical to the committed golden snapshots.
+//! byte-identical to the fault-free in-process run of the same grid and
+//! chunk decomposition (diagnostic columns included).
 //!
 //! Faults are injected deterministically through the worker binary's
 //! `--fail-after`/`--garbage-after`/`--hang-after` flags (see
@@ -11,7 +12,7 @@ mod common;
 
 use std::time::Duration;
 
-use common::{assert_sharded_matches_golden, gp_figures, worker_with_args};
+use common::{assert_sharded_matches_local, gp_figures, worker_with_args};
 use mfa_dispatch::{run_sweep_sharded, DispatchError, DispatchOptions};
 
 /// chunk 1 → 6 units on the Fig. 2 grid: enough leases that a worker dying
@@ -32,7 +33,7 @@ fn a_worker_crash_mid_sweep_is_absorbed() {
         worker_with_args(&["--fail-after", "1"]),
         worker_with_args(&[]),
     ];
-    assert_sharded_matches_golden(
+    assert_sharded_matches_local(
         &gp_figures()[0],
         &workers,
         &small_chunks(),
@@ -47,7 +48,7 @@ fn an_immediate_crash_is_absorbed() {
         worker_with_args(&["--fail-after", "0"]),
         worker_with_args(&[]),
     ];
-    assert_sharded_matches_golden(
+    assert_sharded_matches_local(
         &gp_figures()[0],
         &workers,
         &small_chunks(),
@@ -64,7 +65,7 @@ fn a_truncated_garbage_frame_is_absorbed() {
         worker_with_args(&["--garbage-after", "1"]),
         worker_with_args(&[]),
     ];
-    assert_sharded_matches_golden(&gp_figures()[0], &workers, &small_chunks(), "garbage frame");
+    assert_sharded_matches_local(&gp_figures()[0], &workers, &small_chunks(), "garbage frame");
 }
 
 #[test]
@@ -78,7 +79,7 @@ fn a_hung_worker_is_reaped_by_the_lease_timeout() {
         worker_with_args(&["--hang-after", "1"]),
         worker_with_args(&[]),
     ];
-    assert_sharded_matches_golden(
+    assert_sharded_matches_local(
         &gp_figures()[0],
         &workers,
         &DispatchOptions {
@@ -99,7 +100,7 @@ fn faults_on_every_figure_still_match_the_goldens() {
         worker_with_args(&[]),
     ];
     for figure in gp_figures() {
-        assert_sharded_matches_golden(&figure, &workers, &small_chunks(), "fleet with one crasher");
+        assert_sharded_matches_local(&figure, &workers, &small_chunks(), "fleet with one crasher");
     }
 }
 

@@ -1,6 +1,6 @@
 //! Warm-start cache for neighbouring budget points.
 
-use mfa_alloc::gpa::GpaWarmStart;
+use mfa_alloc::solver::WarmStart;
 use mfa_platform::ResourceBudget;
 
 /// Euclidean distance between two per-FPGA budgets over the five budget
@@ -35,7 +35,7 @@ pub fn budget_distance(a: &ResourceBudget, b: &ResourceBudget) -> f64 {
 /// way.
 #[derive(Debug, Clone, Default)]
 pub struct WarmStartCache {
-    entries: Vec<(ResourceBudget, GpaWarmStart)>,
+    entries: Vec<(ResourceBudget, WarmStart)>,
 }
 
 impl WarmStartCache {
@@ -55,14 +55,14 @@ impl WarmStartCache {
     }
 
     /// Records the warm-start state of a solved budget point.
-    pub fn insert(&mut self, budget: &ResourceBudget, warm: GpaWarmStart) {
+    pub fn insert(&mut self, budget: &ResourceBudget, warm: WarmStart) {
         self.entries.push((*budget, warm));
     }
 
     /// The cached state nearest to `budget` under [`budget_distance`], if
     /// any. Ties keep the earliest-inserted entry, so lookups are
     /// deterministic.
-    pub fn nearest(&self, budget: &ResourceBudget) -> Option<&GpaWarmStart> {
+    pub fn nearest(&self, budget: &ResourceBudget) -> Option<&WarmStart> {
         self.entries
             .iter()
             .min_by(|(a, _), (b, _)| {
@@ -77,11 +77,10 @@ mod tests {
     use super::*;
     use mfa_platform::ResourceVec;
 
-    fn warm(ii: f64) -> GpaWarmStart {
-        GpaWarmStart {
-            relaxed_ii_ms: ii,
-            cu_counts: vec![1, 2],
-        }
+    fn warm(ii: f64) -> WarmStart {
+        WarmStart::none()
+            .with_relaxed_ii(ii)
+            .with_cu_counts(vec![1, 2])
     }
 
     #[test]
@@ -93,8 +92,8 @@ mod tests {
         cache.insert(&ResourceBudget::uniform(0.85), warm(1.0));
         assert_eq!(cache.len(), 2);
         let near = |c: f64| cache.nearest(&ResourceBudget::uniform(c)).unwrap();
-        assert!((near(0.60).relaxed_ii_ms - 2.0).abs() < 1e-12);
-        assert!((near(0.80).relaxed_ii_ms - 1.0).abs() < 1e-12);
+        assert!((near(0.60).relaxed_ii_ms.unwrap() - 2.0).abs() < 1e-12);
+        assert!((near(0.80).relaxed_ii_ms.unwrap() - 1.0).abs() < 1e-12);
     }
 
     #[test]
@@ -111,6 +110,7 @@ mod tests {
                 .nearest(&ResourceBudget::uniform(0.75))
                 .unwrap()
                 .relaxed_ii_ms
+                .unwrap()
                 - 2.0)
                 .abs()
                 < 1e-12
@@ -124,6 +124,7 @@ mod tests {
                 .nearest(&ResourceBudget::uniform(0.75))
                 .unwrap()
                 .relaxed_ii_ms
+                .unwrap()
                 - 1.0)
                 .abs()
                 < 1e-12
@@ -141,7 +142,7 @@ mod tests {
         let mut cache = WarmStartCache::new();
         cache.insert(&skewed, warm(3.0));
         cache.insert(&uniformish, warm(4.0));
-        assert!((cache.nearest(&query).unwrap().relaxed_ii_ms - 4.0).abs() < 1e-12);
+        assert!((cache.nearest(&query).unwrap().relaxed_ii_ms.unwrap() - 4.0).abs() < 1e-12);
     }
 
     #[test]

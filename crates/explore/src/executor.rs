@@ -7,7 +7,8 @@ use std::thread;
 
 use serde::{Deserialize, Serialize};
 
-use mfa_alloc::explore::{self, SweepPoint};
+use mfa_alloc::explore::SweepPoint;
+use mfa_alloc::solver::{Deadline, SolveRequest, WarmStart};
 
 use crate::cache::WarmStartCache;
 use crate::grid::{SolverSpec, SweepGrid};
@@ -174,6 +175,24 @@ pub fn zero_timing(series: &mut [SweepSeries]) {
     }
 }
 
+/// Resets the diagnostics that legitimately depend on the chunk
+/// decomposition: warm-start provenance (which hints a point received is a
+/// fact about its chunk), branch-and-bound node counts (seeded searches
+/// prune differently), and the relaxation gap (a warm-started bisection
+/// converges to the same optimum from a narrower bracket, differing in the
+/// last few ulps). Apply it — together with [`zero_timing`] — before
+/// comparing runs that used *different* chunk sizes; runs with the same
+/// decomposition are byte-identical without it.
+pub fn zero_chunk_diagnostics(series: &mut [SweepSeries]) {
+    for s in series {
+        for p in &mut s.points {
+            p.relaxation_gap = 0.0;
+            p.bb_nodes = 0;
+            p.warm_start = mfa_alloc::solver::WarmStartReport::default();
+        }
+    }
+}
+
 /// Runs the grid and returns one [`SweepSeries`] per (case, FPGA count,
 /// backend) combination, in grid order (case-major, then FPGA count, then
 /// backend). The output is deterministic: for a fixed grid and `chunk_size`
@@ -317,28 +336,35 @@ pub fn compute_unit(
         let instance = case.problem_at(platform, budget_spec);
         let constraint = budget_spec.scalar();
         let budget = *instance.budget();
-        match backend {
-            SolverSpec::Gpa { options, .. } => {
-                let hint = if warm_start {
-                    cache.nearest(&budget)
-                } else {
-                    None
-                };
-                match explore::measure_gpa_instance(&instance, constraint, options, hint) {
-                    Ok(Some((point, warm))) => {
-                        cache.insert(&budget, warm);
-                        points.push(Some(point));
-                    }
-                    Ok(None) => points.push(None),
-                    Err(err) => return Err(fail(constraint, err)),
+        // GP+A points feed on (and feed) the unit's warm-start cache; exact
+        // points always run cold so a node-capped MINLP incumbent never
+        // depends on the chunk decomposition.
+        let caching = matches!(backend, SolverSpec::Gpa { .. });
+        let hint = if warm_start && caching {
+            cache.nearest(&budget).cloned().unwrap_or_default()
+        } else {
+            WarmStart::none()
+        };
+        let mut request = SolveRequest::new(&instance)
+            .backend(backend.to_backend())
+            .warm_start(hint)
+            .skip_policy(grid.skip_policy);
+        if let Some(seconds) = grid.point_deadline_seconds {
+            request = request.deadline(Deadline::within(std::time::Duration::from_secs_f64(
+                seconds,
+            )));
+        }
+        match request.solve_point() {
+            Ok(Some(report)) => {
+                if caching {
+                    cache.insert(&budget, report.warm_start());
                 }
+                points.push(Some(SweepPoint::from_report(
+                    &instance, constraint, &report,
+                )));
             }
-            SolverSpec::Exact { options, .. } => {
-                match explore::measure_exact_instance(&instance, constraint, options) {
-                    Ok(point) => points.push(point),
-                    Err(err) => return Err(fail(constraint, err)),
-                }
-            }
+            Ok(None) => points.push(None),
+            Err(err) => return Err(fail(constraint, err)),
         }
     }
     Ok(points)
@@ -371,7 +397,16 @@ mod tests {
     #[test]
     fn parallel_and_serial_sweeps_are_identical() {
         let grid = alex16_grid(6, vec![SolverSpec::gpa(GpaOptions::fast())]);
-        let serial = run_sweep(&grid, &ExecutorOptions::serial()).unwrap();
+        // Same chunk decomposition, different thread counts: byte-identical
+        // including every diagnostic column.
+        let serial = run_sweep(
+            &grid,
+            &ExecutorOptions {
+                chunk_size: 2,
+                ..ExecutorOptions::serial()
+            },
+        )
+        .unwrap();
         let parallel = run_sweep(
             &grid,
             &ExecutorOptions {
@@ -382,6 +417,23 @@ mod tests {
         )
         .unwrap();
         assert_eq!(zeroed(serial), zeroed(parallel));
+        // Across different decompositions the solution columns still agree;
+        // only the chunk-dependent diagnostics may differ.
+        let chunk8 = run_sweep(&grid, &ExecutorOptions::serial()).unwrap();
+        let chunk2 = run_sweep(
+            &grid,
+            &ExecutorOptions {
+                chunk_size: 2,
+                ..ExecutorOptions::serial()
+            },
+        )
+        .unwrap();
+        let strip = |mut series: Vec<SweepSeries>| {
+            zero_timing(&mut series);
+            zero_chunk_diagnostics(&mut series);
+            series
+        };
+        assert_eq!(strip(chunk8), strip(chunk2));
     }
 
     #[test]
@@ -438,7 +490,7 @@ mod tests {
         )
         .unwrap();
         let problem = PaperCase::Alex16OnTwoFpgas.problem(0.70).unwrap();
-        let core = explore::sweep_gpa(&problem, &constraints, &options).unwrap();
+        let core = mfa_alloc::explore::sweep_gpa(&problem, &constraints, &options).unwrap();
         assert_eq!(engine[0].points.len(), core.len());
         for (e, c) in engine[0].points.iter().zip(&core) {
             assert_eq!(e.resource_constraint, c.resource_constraint);
@@ -490,7 +542,14 @@ mod tests {
             .backend(SolverSpec::gpa(GpaOptions::fast()))
             .build()
             .unwrap();
-        let serial = run_sweep(&grid, &ExecutorOptions::serial()).unwrap();
+        let serial = run_sweep(
+            &grid,
+            &ExecutorOptions {
+                chunk_size: 2,
+                ..ExecutorOptions::serial()
+            },
+        )
+        .unwrap();
         let parallel = run_sweep(
             &grid,
             &ExecutorOptions {
@@ -516,6 +575,60 @@ mod tests {
         }
         // The uniform points inherit the case's full bandwidth.
         assert!((serial[0].points[0].budget.bandwidth_fraction() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn skip_policy_and_deadline_riders_reach_every_point_request() {
+        use mfa_alloc::solver::SkipPolicy;
+        use mfa_alloc::AllocError;
+        // Every point carries an already-exhausted deadline. Lenient (the
+        // default): all points are skipped and the sweep succeeds empty.
+        let lenient = SweepGrid::builder()
+            .case(CaseSpec::from_paper(PaperCase::Alex16OnTwoFpgas))
+            .fpga_counts([2])
+            .constraints([0.65, 0.80])
+            .backend(SolverSpec::gpa(GpaOptions::fast()))
+            .point_deadline_seconds(0.0)
+            .build()
+            .unwrap();
+        let series = run_sweep(&lenient, &ExecutorOptions::serial()).unwrap();
+        assert!(series[0].points.is_empty());
+        // Strict: the same exhausted deadline aborts the sweep with the
+        // structured error — the opt-in for exact sweeps that must account
+        // for every point.
+        let strict = SweepGrid::builder()
+            .case(CaseSpec::from_paper(PaperCase::Alex16OnTwoFpgas))
+            .fpga_counts([2])
+            .constraints([0.65, 0.80])
+            .backend(SolverSpec::gpa(GpaOptions::fast()))
+            .point_deadline_seconds(0.0)
+            .skip_policy(SkipPolicy::Strict)
+            .build()
+            .unwrap();
+        assert_eq!(strict.skip_policy(), SkipPolicy::Strict);
+        let err = run_sweep(&strict, &ExecutorOptions::serial()).unwrap_err();
+        assert!(
+            matches!(
+                &err,
+                ExploreError::Solver {
+                    source: AllocError::DeadlineExceeded { .. },
+                    ..
+                }
+            ),
+            "expected a DeadlineExceeded sweep abort, got {err}"
+        );
+        // Strict mode still skips genuine infeasibility: a budget too tight
+        // for Alex-32's CONV2 is "no data", not an engine failure.
+        let strict_infeasible = SweepGrid::builder()
+            .case(CaseSpec::from_paper(PaperCase::Alex32OnFourFpgas))
+            .fpga_counts([4])
+            .constraints([0.30, 0.75])
+            .backend(SolverSpec::gpa(GpaOptions::fast()))
+            .skip_policy(SkipPolicy::Strict)
+            .build()
+            .unwrap();
+        let series = run_sweep(&strict_infeasible, &ExecutorOptions::serial()).unwrap();
+        assert_eq!(series[0].points.len(), 1);
     }
 
     #[test]
@@ -605,7 +718,14 @@ mod tests {
         zero_timing(&mut a);
         zero_timing(&mut b);
         assert_eq!(a, b);
-        let mut serial = run_sweep(&grid, &ExecutorOptions::serial()).unwrap();
+        let mut serial = run_sweep(
+            &grid,
+            &ExecutorOptions {
+                chunk_size: 2,
+                ..ExecutorOptions::serial()
+            },
+        )
+        .unwrap();
         zero_timing(&mut serial);
         assert_eq!(a, serial);
     }

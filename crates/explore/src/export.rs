@@ -37,7 +37,9 @@ pub fn series_to_json(series: &[SweepSeries]) -> String {
                  \"budget\": {{\"lut\": {}, \"ff\": {}, \"bram\": {}, \"dsp\": {}, \
                  \"bandwidth\": {}}}, \
                  \"initiation_interval_ms\": {}, \
-                 \"average_utilization\": {}, \"spreading\": {}, \"solve_seconds\": {}}}",
+                 \"average_utilization\": {}, \"spreading\": {}, \"solve_seconds\": {}, \
+                 \"relaxation_gap\": {}, \"bb_nodes\": {}, \"dropped_cus\": {}, \
+                 \"warm_start\": {}}}",
                 json_f64(p.resource_constraint),
                 json_f64(fraction.lut),
                 json_f64(fraction.ff),
@@ -47,7 +49,11 @@ pub fn series_to_json(series: &[SweepSeries]) -> String {
                 json_f64(p.initiation_interval_ms),
                 json_f64(p.average_utilization),
                 json_f64(p.spreading),
-                json_f64(p.solve_seconds)
+                json_f64(p.solve_seconds),
+                json_f64(p.relaxation_gap),
+                p.bb_nodes,
+                p.dropped_cus,
+                json_string(p.warm_start.provenance())
             ));
             if j + 1 < s.points.len() {
                 out.push(',');
@@ -70,18 +76,23 @@ pub fn series_to_json(series: &[SweepSeries]) -> String {
 }
 
 /// Serializes series as CSV with one row per point:
-/// `case,platform,num_fpgas,backend,resource_constraint,lut_budget,ff_budget,bram_budget,dsp_budget,bandwidth_budget,initiation_interval_ms,average_utilization,spreading,solve_seconds`.
+/// `case,platform,num_fpgas,backend,resource_constraint,lut_budget,ff_budget,bram_budget,dsp_budget,bandwidth_budget,initiation_interval_ms,average_utilization,spreading,solve_seconds,relaxation_gap,bb_nodes,dropped_cus,warm_start`.
+///
+/// The four trailing diagnostic columns (relative relaxation gap,
+/// branch-and-bound nodes, dropped CUs, warm-start provenance) are additive:
+/// everything before them is byte-identical to the pre-diagnostics format.
 pub fn series_to_csv(series: &[SweepSeries]) -> String {
     let mut out = String::from(
         "case,platform,num_fpgas,backend,resource_constraint,\
          lut_budget,ff_budget,bram_budget,dsp_budget,bandwidth_budget,\
-         initiation_interval_ms,average_utilization,spreading,solve_seconds\n",
+         initiation_interval_ms,average_utilization,spreading,solve_seconds,\
+         relaxation_gap,bb_nodes,dropped_cus,warm_start\n",
     );
     for s in series {
         for p in &s.points {
             let fraction = p.budget.resource_fraction();
             out.push_str(&format!(
-                "{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
                 csv_field(&s.case),
                 csv_field(&s.platform),
                 s.num_fpgas,
@@ -95,7 +106,11 @@ pub fn series_to_csv(series: &[SweepSeries]) -> String {
                 p.initiation_interval_ms,
                 p.average_utilization,
                 p.spreading,
-                p.solve_seconds
+                p.solve_seconds,
+                p.relaxation_gap,
+                p.bb_nodes,
+                p.dropped_cus,
+                p.warm_start.provenance()
             ));
         }
     }
@@ -161,6 +176,7 @@ fn csv_field(s: &str) -> String {
 mod tests {
     use super::*;
     use mfa_alloc::explore::SweepPoint;
+    use mfa_alloc::solver::WarmStartReport;
 
     use mfa_platform::{ResourceBudget, ResourceVec};
 
@@ -179,6 +195,10 @@ mod tests {
                         average_utilization: 0.52,
                         spreading: 6.0,
                         solve_seconds: 0.01,
+                        relaxation_gap: 0.0625,
+                        bb_nodes: 12,
+                        dropped_cus: 0,
+                        warm_start: WarmStartReport::default(),
                     },
                     SweepPoint {
                         resource_constraint: 0.9,
@@ -187,6 +207,13 @@ mod tests {
                         average_utilization: 0.5,
                         spreading: 6.5,
                         solve_seconds: 0.02,
+                        relaxation_gap: 0.031,
+                        bb_nodes: 7,
+                        dropped_cus: 1,
+                        warm_start: WarmStartReport {
+                            ii_hint_used: true,
+                            incumbent_used: true,
+                        },
                     },
                 ],
             },
@@ -239,7 +266,10 @@ mod tests {
              lut_budget,ff_budget,bram_budget,dsp_budget,bandwidth_budget"
         ));
         assert!(lines[1].starts_with("Alex-16 on 2 FPGAs,2 FPGAs,2,GP+A,0.55,"));
-        assert_eq!(lines[1].split(',').count(), 14);
+        assert_eq!(lines[1].split(',').count(), 18);
+        // The diagnostics ride at the end of the row, provenance last.
+        assert!(lines[1].ends_with("0.0625,12,0,cold"));
+        assert!(lines[2].ends_with("0.031,7,1,ii+incumbent"));
         // The per-resource budget point spells out its fractions.
         assert!(lines[2].contains("0.9,0.9,0.5,0.7,0.8"));
     }

@@ -8,8 +8,9 @@
 //! LUT/FF/BRAM/DSP/bandwidth fractions.
 
 use mfa_alloc::cases::PaperCase;
-use mfa_alloc::exact::{ExactMode, ExactOptions};
+use mfa_alloc::exact::ExactOptions;
 use mfa_alloc::gpa::GpaOptions;
+use mfa_alloc::solver::{Backend, SkipPolicy};
 use mfa_alloc::AllocationProblem;
 use mfa_platform::{HeterogeneousPlatform, ResourceBudget};
 
@@ -203,10 +204,7 @@ impl SolverSpec {
     /// Exact backend labeled by its mode, matching the paper's figure keys:
     /// "MINLP" for `β = 0`, "MINLP+G" with spreading.
     pub fn exact(options: ExactOptions) -> Self {
-        let label = match options.mode {
-            ExactMode::IiOnly => "MINLP",
-            ExactMode::IiAndSpreading => "MINLP+G",
-        };
+        let label = options.mode.label();
         SolverSpec::exact_labeled(label, options)
     }
 
@@ -224,6 +222,14 @@ impl SolverSpec {
             SolverSpec::Gpa { label, .. } | SolverSpec::Exact { label, .. } => label,
         }
     }
+
+    /// The [`Backend`] a point of this series is solved with.
+    pub fn to_backend(&self) -> Backend {
+        match self {
+            SolverSpec::Gpa { options, .. } => Backend::gpa_with(options.clone()),
+            SolverSpec::Exact { options, .. } => Backend::exact_with(options.clone()),
+        }
+    }
 }
 
 /// A declarative sweep grid. Build with [`SweepGrid::builder`]; run with
@@ -235,6 +241,8 @@ pub struct SweepGrid {
     pub(crate) platforms: Vec<PlatformSpec>,
     pub(crate) budgets: Vec<BudgetSpec>,
     pub(crate) backends: Vec<SolverSpec>,
+    pub(crate) skip_policy: SkipPolicy,
+    pub(crate) point_deadline_seconds: Option<f64>,
 }
 
 impl SweepGrid {
@@ -273,6 +281,21 @@ impl SweepGrid {
         &self.backends
     }
 
+    /// The skip policy every point request carries (default
+    /// [`SkipPolicy::Lenient`], matching the paper's figures which simply
+    /// omit unsolvable points).
+    pub fn skip_policy(&self) -> SkipPolicy {
+        self.skip_policy
+    }
+
+    /// The per-point wall-clock deadline in seconds, if any. Each point
+    /// request gets `Deadline::within` this budget; under the lenient skip
+    /// policy an exhausted deadline skips the point, under the strict policy
+    /// it aborts the sweep.
+    pub fn point_deadline_seconds(&self) -> Option<f64> {
+        self.point_deadline_seconds
+    }
+
     /// Decomposes a series index into (case, platform, backend) indices.
     pub(crate) fn series_key(&self, series: usize) -> (usize, usize, usize) {
         let backends = self.backends.len();
@@ -292,6 +315,8 @@ pub struct SweepGridBuilder {
     platforms: Vec<PlatformSpec>,
     budgets: Vec<BudgetSpec>,
     backends: Vec<SolverSpec>,
+    skip_policy: SkipPolicy,
+    point_deadline_seconds: Option<f64>,
 }
 
 impl SweepGridBuilder {
@@ -371,6 +396,24 @@ impl SweepGridBuilder {
         self
     }
 
+    /// Sets the skip policy every point request carries (default
+    /// [`SkipPolicy::Lenient`]). Strict sweeps treat unplaceable points,
+    /// exhausted node budgets and missed deadlines as errors instead of
+    /// skipped points.
+    #[must_use]
+    pub fn skip_policy(mut self, policy: SkipPolicy) -> Self {
+        self.skip_policy = policy;
+        self
+    }
+
+    /// Caps each point's solve at a wall-clock budget in seconds (see
+    /// [`SweepGrid::point_deadline_seconds`]).
+    #[must_use]
+    pub fn point_deadline_seconds(mut self, seconds: f64) -> Self {
+        self.point_deadline_seconds = Some(seconds);
+        self
+    }
+
     /// Validates the axes and builds the grid.
     ///
     /// # Errors
@@ -414,11 +457,20 @@ impl SweepGridBuilder {
                 "resource constraints must be fractions in (0, 1], got {bad}"
             )));
         }
+        if let Some(seconds) = self.point_deadline_seconds {
+            if !(seconds.is_finite() && seconds >= 0.0) {
+                return Err(ExploreError::InvalidGrid(format!(
+                    "the per-point deadline must be a non-negative number of seconds, got {seconds}"
+                )));
+            }
+        }
         Ok(SweepGrid {
             cases: self.cases,
             platforms: self.platforms,
             budgets: self.budgets,
             backends: self.backends,
+            skip_policy: self.skip_policy,
+            point_deadline_seconds: self.point_deadline_seconds,
         })
     }
 }
@@ -455,6 +507,7 @@ pub fn constraint_grid(lo: f64, hi: f64, count: usize) -> Result<Vec<f64>, Explo
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mfa_alloc::exact::ExactMode;
 
     fn tiny_grid() -> SweepGrid {
         SweepGrid::builder()

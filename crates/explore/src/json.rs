@@ -9,7 +9,7 @@
 //!   so encoding is deterministic).
 //! * [`Json::parse`] — a strict RFC 8259 parser with a recursion-depth cap,
 //!   safe to point at bytes from a crashed or adversarial worker.
-//! * [`Json::to_string`] — a compact single-line writer whose output never
+//! * `Json::to_string` (via [`std::fmt::Display`]) — a compact single-line writer whose output never
 //!   contains a raw newline, which is what makes JSON-lines framing sound.
 //!
 //! Numbers are `f64` and are written in Rust's shortest-round-trip notation,

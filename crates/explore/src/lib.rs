@@ -31,9 +31,13 @@
 //!   [`mfa_sim`] discrete-event simulator.
 //!
 //! The single-threaded sweep functions in [`mfa_alloc::explore`] remain the
-//! stable minimal API; they share the per-point solvers and the skip policy
-//! ([`mfa_alloc::explore::is_skippable_point_error`]) with this engine, so
-//! both produce identical series for identical inputs.
+//! stable minimal API; both they and this engine drive one
+//! [`mfa_alloc::solver::SolveRequest`] per point — same backends, same
+//! [`mfa_alloc::solver::SkipPolicy`] — so both produce identical series for
+//! identical inputs. The grid carries the request riders: a
+//! [`SweepGridBuilder::skip_policy`] (strict sweeps treat unplaceable points
+//! and missed deadlines as errors) and a
+//! [`SweepGridBuilder::point_deadline_seconds`] wall-clock cap per point.
 //!
 //! # Example
 //!
@@ -72,8 +76,8 @@ pub mod wire;
 pub use cache::{budget_distance, WarmStartCache};
 pub use error::ExploreError;
 pub use executor::{
-    assemble_series, compute_unit, plan_units, run_sweep, zero_timing, ExecutorOptions,
-    SweepSeries, WorkUnit,
+    assemble_series, compute_unit, plan_units, run_sweep, zero_chunk_diagnostics, zero_timing,
+    ExecutorOptions, SweepSeries, WorkUnit,
 };
 pub use figures::FigureSpec;
 pub use grid::{

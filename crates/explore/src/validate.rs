@@ -6,8 +6,8 @@
 //! a sample of swept designs through the simulator catches modelling drift
 //! between the optimizer and the executable semantics.
 
-use mfa_alloc::explore;
-use mfa_alloc::gpa::{self, GpaOptions};
+use mfa_alloc::gpa::GpaOptions;
+use mfa_alloc::solver::{Backend, SolveRequest};
 use mfa_alloc::AllocationProblem;
 use mfa_sim::{simulate, SimConfig};
 
@@ -72,9 +72,12 @@ pub fn cross_validate_problem(
     options: &GpaOptions,
     config: &SimConfig,
 ) -> Result<Option<CrossValidationRow>, ExploreError> {
-    let outcome = match gpa::solve(instance, options) {
-        Ok(outcome) => outcome,
-        Err(err) if explore::is_skippable_point_error(&err) => return Ok(None),
+    let point = SolveRequest::new(instance)
+        .backend(Backend::gpa_with(options.clone()))
+        .solve_point();
+    let outcome = match point {
+        Ok(Some(report)) => report,
+        Ok(None) => return Ok(None),
         Err(err) => {
             return Err(ExploreError::Solver {
                 case: label.to_owned(),

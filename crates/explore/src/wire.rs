@@ -29,6 +29,7 @@ use mfa_alloc::explore::SweepPoint;
 use mfa_alloc::gp_step::RelaxationBackend;
 use mfa_alloc::gpa::GpaOptions;
 use mfa_alloc::greedy::GreedyOptions;
+use mfa_alloc::solver::{SkipPolicy, WarmStartReport};
 use mfa_alloc::{AllocationProblem, GoalWeights, Kernel};
 use mfa_minlp::SolverOptions;
 use mfa_platform::{DeviceGroup, FpgaDevice, HeterogeneousPlatform, ResourceBudget, ResourceVec};
@@ -582,12 +583,23 @@ pub fn grid_to_json(grid: &SweepGrid) -> Result<Json, WireError> {
         .iter()
         .map(solver_spec_to_json)
         .collect::<Result<Vec<_>, _>>()?;
-    Ok(Json::obj(vec![
+    let mut fields = vec![
         ("cases", Json::Arr(cases)),
         ("platforms", Json::Arr(platforms)),
         ("budgets", Json::Arr(budgets)),
         ("backends", Json::Arr(backends)),
-    ]))
+        (
+            "skip_policy",
+            Json::Str(grid.skip_policy().label().to_owned()),
+        ),
+    ];
+    if let Some(seconds) = grid.point_deadline_seconds() {
+        fields.push((
+            "point_deadline_seconds",
+            num("point_deadline_seconds", seconds)?,
+        ));
+    }
+    Ok(Json::obj(fields))
 }
 
 /// Decodes a sweep grid from a [`Json`] document, re-validating every axis
@@ -614,6 +626,19 @@ pub fn grid_from_json(value: &Json) -> Result<SweepGrid, WireError> {
     }
     for backend in arr_field(value, "backends")? {
         builder = builder.backend(solver_spec_from_json(backend)?);
+    }
+    // Absent on frames from before the request API: default to lenient,
+    // the policy every earlier sweep implicitly used.
+    if field(value, "skip_policy").is_ok() {
+        let policy = str_field(value, "skip_policy")?;
+        builder =
+            builder
+                .skip_policy(SkipPolicy::from_label(policy).ok_or_else(|| {
+                    WireError::Invalid(format!("unknown skip policy {policy:?}"))
+                })?);
+    }
+    if field(value, "point_deadline_seconds").is_ok() {
+        builder = builder.point_deadline_seconds(f64_field(value, "point_deadline_seconds")?);
     }
     builder
         .build()
@@ -672,6 +697,16 @@ pub fn point_to_json(point: &SweepPoint) -> Result<Json, WireError> {
         ),
         ("spreading", num("spreading", point.spreading)?),
         ("solve_seconds", num("solve_seconds", point.solve_seconds)?),
+        (
+            "relaxation_gap",
+            num("relaxation_gap", point.relaxation_gap)?,
+        ),
+        ("bb_nodes", Json::Num(point.bb_nodes as f64)),
+        ("dropped_cus", Json::Num(f64::from(point.dropped_cus))),
+        (
+            "warm_start",
+            Json::Str(point.warm_start.provenance().to_owned()),
+        ),
     ]))
 }
 
@@ -689,6 +724,23 @@ pub fn point_from_json(value: &Json) -> Result<SweepPoint, WireError> {
         average_utilization: f64_field(value, "average_utilization")?,
         spreading: f64_field(value, "spreading")?,
         solve_seconds: f64_field(value, "solve_seconds")?,
+        relaxation_gap: f64_field(value, "relaxation_gap")?,
+        bb_nodes: usize_field(value, "bb_nodes")?,
+        dropped_cus: {
+            let raw = f64_field(value, "dropped_cus")?;
+            if raw < 0.0 || raw.fract() != 0.0 || raw > f64::from(u32::MAX) {
+                return Err(WireError::Invalid(format!(
+                    "dropped_cus must be a u32, got {raw}"
+                )));
+            }
+            raw as u32
+        },
+        warm_start: {
+            let label = str_field(value, "warm_start")?;
+            WarmStartReport::from_provenance(label).ok_or_else(|| {
+                WireError::Invalid(format!("unknown warm-start provenance {label:?}"))
+            })?
+        },
     })
 }
 
@@ -848,6 +900,13 @@ mod tests {
                 average_utilization: 0.517,
                 spreading: 6.0,
                 solve_seconds: 0.001234,
+                relaxation_gap: 0.01875,
+                bb_nodes: 23,
+                dropped_cus: 2,
+                warm_start: WarmStartReport {
+                    ii_hint_used: true,
+                    incumbent_used: false,
+                },
             }),
         ];
         let decoded = decode_points(&encode_points(&points).unwrap()).unwrap();
@@ -863,6 +922,10 @@ mod tests {
             average_utilization: 0.5,
             spreading: 6.0,
             solve_seconds: 0.0,
+            relaxation_gap: 0.0,
+            bb_nodes: 0,
+            dropped_cus: 0,
+            warm_start: WarmStartReport::default(),
         };
         assert!(matches!(
             point_to_json(&point),

@@ -12,6 +12,7 @@ use mfa_alloc::exact::{ExactMode, ExactOptions};
 use mfa_alloc::gp_step::RelaxationBackend;
 use mfa_alloc::gpa::GpaOptions;
 use mfa_alloc::greedy::GreedyOptions;
+use mfa_alloc::solver::{SkipPolicy, WarmStartReport};
 use mfa_minlp::SolverOptions;
 use mfa_platform::{DeviceGroup, FpgaDevice, HeterogeneousPlatform, ResourceBudget, ResourceVec};
 use proptest::collection::vec;
@@ -144,11 +145,14 @@ fn grid() -> impl Strategy<Value = SweepGrid> {
         vec(platform(), 0usize..2),
         vec(fraction(), 1usize..4),
         vec(budget(), 0usize..3),
-        vec(backend(), 1usize..3),
+        // Backends plus the request policy riders: strict/lenient skips and
+        // an optional per-point deadline budget.
+        (vec(backend(), 1usize..3), 0usize..2, 0usize..3),
     )
         .prop_map(
-            |(cases, counts, platforms, constraints, budgets, backends)| {
-                SweepGrid::builder()
+            |(cases, counts, platforms, constraints, budgets, (backends, skip, deadline))| {
+                let policy = (skip, deadline);
+                let mut builder = SweepGrid::builder()
                     .cases(cases)
                     .fpga_counts(counts)
                     .platforms(
@@ -159,6 +163,15 @@ fn grid() -> impl Strategy<Value = SweepGrid> {
                     .constraints(constraints)
                     .budgets(budgets)
                     .backends(backends)
+                    .skip_policy(if policy.0 == 0 {
+                        SkipPolicy::Lenient
+                    } else {
+                        SkipPolicy::Strict
+                    });
+                if policy.1 > 0 {
+                    builder = builder.point_deadline_seconds(policy.1 as f64 * 1.5);
+                }
+                builder
                     .build()
                     .expect("generated axes are non-empty and in range")
             },
@@ -178,23 +191,40 @@ fn any_finite_f64() -> impl Strategy<Value = f64> {
     })
 }
 
+fn warm_start_report() -> impl Strategy<Value = WarmStartReport> {
+    (0usize..4).prop_map(|bits| WarmStartReport {
+        ii_hint_used: bits & 1 != 0,
+        incumbent_used: bits & 2 != 0,
+    })
+}
+
 fn point() -> impl Strategy<Value = SweepPoint> {
     (
         fraction(),
         budget(),
         any_finite_f64(),
         any_finite_f64(),
-        any_finite_f64(),
-        any_finite_f64(),
+        (any_finite_f64(), any_finite_f64()),
+        // The additive diagnostics: gap, nodes, dropped CUs, provenance.
+        (
+            any_finite_f64(),
+            0usize..1_000_000,
+            (0usize..10_000).prop_map(|v| v as u32),
+            warm_start_report(),
+        ),
     )
         .prop_map(
-            |(constraint, budget, ii, util, spreading, seconds)| SweepPoint {
+            |(constraint, budget, ii, util, (spreading, seconds), diag)| SweepPoint {
                 resource_constraint: constraint,
                 budget,
                 initiation_interval_ms: ii,
                 average_utilization: util,
                 spreading,
                 solve_seconds: seconds,
+                relaxation_gap: diag.0,
+                bb_nodes: diag.1,
+                dropped_cus: diag.2,
+                warm_start: diag.3,
             },
         )
 }
@@ -251,6 +281,10 @@ proptest! {
                         o.resource_constraint.to_bits()
                     );
                     prop_assert_eq!(b.budget, o.budget);
+                    prop_assert_eq!(b.relaxation_gap.to_bits(), o.relaxation_gap.to_bits());
+                    prop_assert_eq!(b.bb_nodes, o.bb_nodes);
+                    prop_assert_eq!(b.dropped_cus, o.dropped_cus);
+                    prop_assert_eq!(b.warm_start, o.warm_start);
                 }
                 _ => return Err(proptest::TestCaseError::fail("Some/None mismatch")),
             }
@@ -258,12 +292,13 @@ proptest! {
     }
 
     #[test]
-    fn non_finite_floats_never_encode(p in point(), which in 0usize..3, inf in 0usize..2) {
+    fn non_finite_floats_never_encode(p in point(), which in 0usize..4, inf in 0usize..2) {
         let bad = if inf == 0 { f64::NAN } else { f64::INFINITY };
         let mut point = p;
         match which {
             0 => point.initiation_interval_ms = bad,
             1 => point.spreading = bad,
+            2 => point.relaxation_gap = bad,
             _ => point.solve_seconds = bad,
         }
         prop_assert!(point_to_json(&point).is_err());

@@ -41,6 +41,19 @@ pub struct SolverOptions {
     /// Implicit upper bound applied to every variable (see
     /// [`variable_lower`](SolverOptions::variable_lower)).
     pub variable_upper: f64,
+    /// Optional warm-start point in the original (positive) variable space,
+    /// one value per variable in creation order.
+    ///
+    /// When the point is strictly feasible for every constraint (including
+    /// the implicit box bounds), the barrier path starts there and phase I is
+    /// skipped entirely — the usual win when re-solving a neighbouring
+    /// problem, e.g. an adjacent constraint point of a design-space sweep.
+    /// A missing, wrong-length, non-positive, non-finite, or infeasible
+    /// point is ignored and the solver falls back to the cold phase-I start,
+    /// so a stale hint can never change feasibility or the reported optimum
+    /// beyond solver tolerance. [`GpSolution::warm_started`] reports whether
+    /// the hint was actually taken.
+    pub initial_point: Option<Vec<f64>>,
 }
 
 impl Default for SolverOptions {
@@ -54,6 +67,18 @@ impl Default for SolverOptions {
             max_outer_iterations: 60,
             variable_lower: 1e-9,
             variable_upper: 1e9,
+            initial_point: None,
+        }
+    }
+}
+
+impl SolverOptions {
+    /// Default options warm-started from `point` (see
+    /// [`SolverOptions::initial_point`]).
+    pub fn warm_started(point: Vec<f64>) -> Self {
+        SolverOptions {
+            initial_point: Some(point),
+            ..SolverOptions::default()
         }
     }
 }
@@ -64,6 +89,7 @@ pub struct GpSolution {
     values: Vec<f64>,
     objective: f64,
     newton_iterations: usize,
+    warm_started: bool,
 }
 
 impl GpSolution {
@@ -89,6 +115,12 @@ impl GpSolution {
     /// Total number of Newton steps across phase I and phase II.
     pub fn newton_iterations(&self) -> usize {
         self.newton_iterations
+    }
+
+    /// `true` when the solve started from a strictly feasible
+    /// [`SolverOptions::initial_point`] (phase I skipped).
+    pub fn warm_started(&self) -> bool {
+        self.warm_started
     }
 }
 
@@ -323,6 +355,7 @@ pub(crate) fn solve(problem: &GpProblem, options: &SolverOptions) -> Result<GpSo
             values: Vec::new(),
             objective: objective.eval(&[]),
             newton_iterations: 0,
+            warm_started: false,
         });
     }
 
@@ -357,8 +390,17 @@ pub(crate) fn solve(problem: &GpProblem, options: &SolverOptions) -> Result<GpSo
     };
 
     let mut total_newton = 0usize;
+    // Warm start: a strictly feasible hint becomes the barrier start point
+    // and phase I is skipped. Anything invalid degrades to the cold start.
+    let mut warm_started = false;
+    let mut y = match warm_start_point(&program, options, n) {
+        Some(point) => {
+            warm_started = true;
+            point
+        }
+        None => Vector::zeros(n),
+    };
     // Phase I: find a strictly feasible y (all F_i(y) < 0).
-    let mut y = Vector::zeros(n);
     if !program.constraints.is_empty() && !program.strictly_feasible(&y) {
         let (feasible_y, steps) = phase_one(&program, options)?;
         total_newton += steps;
@@ -392,7 +434,21 @@ pub(crate) fn solve(problem: &GpProblem, options: &SolverOptions) -> Result<GpSo
         values,
         objective: objective_value,
         newton_iterations: total_newton,
+        warm_started,
     })
+}
+
+/// Validates [`SolverOptions::initial_point`] against the log-space program:
+/// right length, strictly positive and finite values, strictly feasible for
+/// every constraint (box bounds included). Returns the log-space point, or
+/// `None` when the hint must be ignored.
+fn warm_start_point(program: &ConvexProgram, options: &SolverOptions, n: usize) -> Option<Vector> {
+    let point = options.initial_point.as_ref()?;
+    if point.len() != n || point.iter().any(|&x| !(x.is_finite() && x > 0.0)) {
+        return None;
+    }
+    let y: Vector = point.iter().map(|&x| x.ln()).collect();
+    program.strictly_feasible(&y).then_some(y)
 }
 
 /// Phase I: minimize `s` over `(y, s)` subject to `F_i(y) ≤ s`, stopping as
@@ -587,6 +643,66 @@ mod tests {
         let sol = gp.solve().unwrap();
         assert_eq!(sol.objective(), 4.2);
         assert!(sol.values().is_empty());
+    }
+
+    /// The shared-budget toy problem (see
+    /// `posynomial_constraint_with_shared_budget`): optimum II = 2.1.
+    fn budget_problem() -> (GpProblem, crate::GpVarId) {
+        let mut gp = GpProblem::new();
+        let ii = gp.add_var("II").unwrap();
+        let n1 = gp.add_var("N1").unwrap();
+        let n2 = gp.add_var("N2").unwrap();
+        gp.set_objective(Posynomial::monomial(1.0, &[(ii, 1.0)]));
+        gp.add_le_constraint("k1", Posynomial::monomial(3.0, &[(n1, -1.0), (ii, -1.0)]))
+            .unwrap();
+        gp.add_le_constraint("k2", Posynomial::monomial(5.0, &[(n2, -1.0), (ii, -1.0)]))
+            .unwrap();
+        let budget =
+            Posynomial::monomial(0.2, &[(n1, 1.0)]).with_term(Monomial::new(0.3, &[(n2, 1.0)]));
+        gp.add_le_constraint("budget", budget).unwrap();
+        (gp, ii)
+    }
+
+    #[test]
+    fn warm_start_skips_phase_one_and_keeps_the_optimum() {
+        let (gp, ii) = budget_problem();
+        let cold = gp.solve().unwrap();
+        assert!(!cold.warm_started());
+        // A strictly interior point a few percent off the optimum: II = 2.3,
+        // N_k = WCET_k / 2.2 (all constraint slacks strictly positive).
+        let warm = gp
+            .solve_with(&SolverOptions::warm_started(vec![
+                2.3,
+                3.0 / 2.2,
+                5.0 / 2.2,
+            ]))
+            .unwrap();
+        assert!(warm.warm_started());
+        assert!(
+            warm.newton_iterations() < cold.newton_iterations(),
+            "warm {} vs cold {} Newton steps",
+            warm.newton_iterations(),
+            cold.newton_iterations()
+        );
+        assert!(close(warm.value(ii), cold.value(ii), 1e-6));
+    }
+
+    #[test]
+    fn invalid_or_infeasible_warm_starts_are_ignored() {
+        let (gp, ii) = budget_problem();
+        let cold = gp.solve().unwrap();
+        for bad in [
+            vec![],                          // wrong length
+            vec![2.3, 3.0 / 2.2],            // wrong length
+            vec![-1.0, 1.0, 1.0],            // non-positive
+            vec![f64::NAN, 1.0, 1.0],        // non-finite
+            vec![0.5, 10.0, 10.0],           // infeasible (budget blown)
+            vec![2.1, 3.0 / 2.1, 5.0 / 2.1], // on the boundary, not strict
+        ] {
+            let sol = gp.solve_with(&SolverOptions::warm_started(bad)).unwrap();
+            assert!(!sol.warm_started());
+            assert!(close(sol.value(ii), cold.value(ii), 1e-6));
+        }
     }
 
     #[test]

@@ -3,9 +3,9 @@
 
 use proptest::prelude::*;
 
-use mfa_alloc::exact::{self, ExactMode, ExactOptions};
+use mfa_alloc::exact::{ExactMode, ExactOptions};
 use mfa_alloc::gp_step::{self, RelaxationBackend};
-use mfa_alloc::gpa::{self, GpaOptions};
+use mfa_alloc::solver::{Backend, SolveRequest};
 use mfa_alloc::{AllocationProblem, GoalWeights, Kernel};
 use mfa_minlp::SolverOptions;
 use mfa_platform::{MultiFpgaPlatform, ResourceBudget, ResourceVec};
@@ -51,7 +51,8 @@ proptest! {
     /// confirms the predicted II.
     #[test]
     fn heuristic_allocations_are_feasible_and_simulate_correctly(problem in random_problem()) {
-        let outcome = match gpa::solve(&problem, &GpaOptions::fast()) {
+        let request = SolveRequest::new(&problem).backend(Backend::gpa_fast());
+        let outcome = match request.solve() {
             Ok(outcome) => outcome,
             Err(mfa_alloc::AllocError::Infeasible(_)) => return Ok(()),
             Err(other) => panic!("unexpected error: {other}"),
@@ -77,15 +78,16 @@ proptest! {
     /// heuristic's value.
     #[test]
     fn exact_solver_is_sound_on_random_problems(problem in random_problem()) {
-        let heuristic = match gpa::solve(&problem, &GpaOptions::fast()) {
+        let heuristic = match SolveRequest::new(&problem).backend(Backend::gpa_fast()).solve() {
             Ok(outcome) => outcome,
             Err(_) => return Ok(()),
         };
-        let exact_outcome = match exact::solve(&problem, &ExactOptions {
+        let exact_request = SolveRequest::new(&problem).backend(Backend::exact_with(ExactOptions {
             mode: ExactMode::IiOnly,
             solver: SolverOptions::with_budget(150, 5.0),
             symmetry_breaking: true,
-        }) {
+        }));
+        let exact_outcome = match exact_request.solve() {
             Ok(outcome) => outcome,
             Err(_) => return Ok(()),
         };
@@ -95,6 +97,6 @@ proptest! {
         let ii_exact = exact_outcome.allocation.initiation_interval(&problem);
         prop_assert!(ii_exact >= relaxation.initiation_interval_ms - 1e-6);
         let ii_heuristic = heuristic.allocation.initiation_interval(&problem);
-        prop_assert!(ii_heuristic >= exact_outcome.best_bound - 1e-6);
+        prop_assert!(ii_heuristic >= exact_outcome.diagnostics.relaxed_ii_ms.unwrap() - 1e-6);
     }
 }

@@ -2,11 +2,12 @@
 //! allocation and simulation crates.
 
 use mfa_alloc::cases::PaperCase;
-use mfa_alloc::exact::{self, ExactMode, ExactOptions};
+use mfa_alloc::exact::{ExactMode, ExactOptions};
 use mfa_alloc::explore::{constraint_grid, sweep_gpa};
 use mfa_alloc::gp_step::{self, RelaxationBackend};
-use mfa_alloc::gpa::{self, GpaOptions};
+use mfa_alloc::gpa::GpaOptions;
 use mfa_alloc::report::utilization_breakdown;
+use mfa_alloc::solver::{Backend, SolveRequest};
 use mfa_alloc::{AllocationProblem, GoalWeights};
 use mfa_cnn::characterize::{characterize_network, CuConfig};
 use mfa_cnn::{CnnNetwork, Precision};
@@ -23,7 +24,8 @@ fn paper_cases_run_end_to_end() {
         let (lo, hi) = case.constraint_range();
         for constraint in [lo, 0.5 * (lo + hi), hi] {
             let problem = case.problem(constraint).expect("paper cases build");
-            let outcome = match gpa::solve(&problem, &GpaOptions::paper_defaults()) {
+            let request = SolveRequest::new(&problem).backend(Backend::gpa());
+            let outcome = match request.solve() {
                 Ok(outcome) => outcome,
                 // The very tightest points can be infeasible for some cases;
                 // the paper's figures simply omit such points.
@@ -46,7 +48,7 @@ fn paper_cases_run_end_to_end() {
                 case.label()
             );
             assert!(
-                ii >= outcome.relaxation.initiation_interval_ms - 1e-9,
+                ii >= outcome.diagnostics.relaxed_ii_ms.unwrap() - 1e-9,
                 "{}: II below the relaxation bound",
                 case.label()
             );
@@ -60,21 +62,24 @@ fn paper_cases_run_end_to_end() {
 #[test]
 fn exact_and_heuristic_are_consistent_on_alex16() {
     let problem = PaperCase::Alex16OnTwoFpgas.problem(0.75).expect("builds");
-    let heuristic = gpa::solve(&problem, &GpaOptions::paper_defaults()).expect("heuristic solves");
-    let exact_outcome = exact::solve(
-        &problem,
-        &ExactOptions {
+    let heuristic = SolveRequest::new(&problem)
+        .backend(Backend::gpa())
+        .solve()
+        .expect("heuristic solves");
+    let exact_outcome = SolveRequest::new(&problem)
+        .backend(Backend::exact_with(ExactOptions {
             mode: ExactMode::IiOnly,
             solver: SolverOptions::with_budget(2_000, 20.0),
             symmetry_breaking: true,
-        },
-    )
-    .expect("exact solves");
+        }))
+        .solve()
+        .expect("exact solves");
     let ii_h = heuristic.allocation.initiation_interval(&problem);
     let ii_e = exact_outcome.allocation.initiation_interval(&problem);
-    assert!(ii_h >= exact_outcome.best_bound - 1e-6);
-    assert!(ii_e >= exact_outcome.best_bound - 1e-6);
-    if exact_outcome.proven_optimal {
+    let best_bound = exact_outcome.diagnostics.relaxed_ii_ms.unwrap();
+    assert!(ii_h >= best_bound - 1e-6);
+    assert!(ii_e >= best_bound - 1e-6);
+    if exact_outcome.diagnostics.proven_optimal == Some(true) {
         assert!(ii_e <= ii_h + 1e-6);
         assert!(
             ii_h <= 1.3 * ii_e + 1e-9,
@@ -94,7 +99,10 @@ fn estimated_characterization_feeds_the_allocator() {
     let app = mfa_cnn::Application::new("AlexNet fx16 (estimated)", kernels);
     let problem = AllocationProblem::from_application(&app, 2, 0.80, GoalWeights::new(1.0, 0.7))
         .expect("problem builds");
-    let outcome = gpa::solve(&problem, &GpaOptions::fast()).expect("heuristic solves");
+    let outcome = SolveRequest::new(&problem)
+        .backend(Backend::gpa_fast())
+        .solve()
+        .expect("heuristic solves");
     outcome
         .allocation
         .validate(&problem, 1e-9)
@@ -108,7 +116,10 @@ fn estimated_characterization_feeds_the_allocator() {
 fn simulation_confirms_predicted_initiation_interval() {
     for case in [PaperCase::Alex16OnTwoFpgas, PaperCase::Alex32OnFourFpgas] {
         let problem = case.problem(0.75).expect("builds");
-        let outcome = gpa::solve(&problem, &GpaOptions::fast()).expect("solves");
+        let outcome = SolveRequest::new(&problem)
+            .backend(Backend::gpa_fast())
+            .solve()
+            .expect("solves");
         let predicted = outcome.allocation.initiation_interval(&problem);
         let result = simulate(&problem, &outcome.allocation, &SimConfig::default());
         assert!(
@@ -146,7 +157,10 @@ fn sweep_is_bounded_by_the_relaxation() {
 #[test]
 fn vgg_distribution_respects_the_constraint() {
     let problem = PaperCase::VggOnEightFpgas.problem(0.61).expect("builds");
-    let outcome = gpa::solve(&problem, &GpaOptions::paper_defaults()).expect("solves");
+    let outcome = SolveRequest::new(&problem)
+        .backend(Backend::gpa())
+        .solve()
+        .expect("solves");
     let breakdown = utilization_breakdown(&problem, &outcome.allocation);
     assert_eq!(breakdown.len(), 8);
     for fpga in &breakdown {

@@ -24,7 +24,8 @@
 
 use mfa_explore::json::Json;
 use mfa_explore::{
-    export, figures, run_sweep, zero_timing, ExecutorOptions, FigureSpec, SweepSeries,
+    export, figures, run_sweep, zero_chunk_diagnostics, zero_timing, ExecutorOptions, FigureSpec,
+    SweepSeries,
 };
 
 const FIGURE_NAMES: [&str; 5] = ["fig2", "fig3", "fig4", "fig5", "hetero"];
@@ -86,21 +87,38 @@ fn threaded_runs_match_the_committed_goldens() {
 }
 
 #[test]
-fn small_chunk_threaded_runs_match_the_committed_goldens() {
+fn small_chunk_threaded_runs_match_the_default_decomposition() {
     // chunk_size 1 disables intra-chunk warm starts entirely, so the
     // decomposition differs from the goldens' — but GP+A warm starts are
     // verified to reach the same II as cold solves, and these grids have no
-    // II ties, so the exported bytes must still match. This is the
-    // strongest available check that warm-start state never leaks across
-    // chunk boundaries.
+    // II ties, so every solution column must still match the default-chunk
+    // reference. This is the strongest available check that warm-start
+    // state never leaks across chunk boundaries. The per-request
+    // diagnostics (warm-start provenance, node counts, relaxation-gap
+    // ulps) are facts about the decomposition and are normalized out; see
+    // `mfa_explore::zero_chunk_diagnostics`.
     let options = ExecutorOptions {
         num_threads: Some(3),
         chunk_size: 1,
         ..ExecutorOptions::default()
     };
+    let strip = |mut series: Vec<SweepSeries>| {
+        zero_timing(&mut series);
+        zero_chunk_diagnostics(&mut series);
+        (
+            export::series_to_json(&series),
+            export::series_to_csv(&series),
+        )
+    };
     for figure in gp_figures() {
-        let series = run_sweep(&figure.grid, &options).unwrap();
-        assert_matches_golden(&figure, series, "chunk-1 threaded");
+        let chunk1 = run_sweep(&figure.grid, &options).unwrap();
+        let reference = run_sweep(&figure.grid, &ExecutorOptions::default()).unwrap();
+        assert_eq!(
+            strip(chunk1),
+            strip(reference),
+            "chunk-1 threaded run of {} diverged from the default decomposition",
+            figure.name
+        );
     }
 }
 
@@ -122,10 +140,12 @@ fn full_quick_goldens_are_present_and_well_formed() {
         }
         let csv = golden("quick", name, "csv");
         assert!(csv.starts_with("case,platform,num_fpgas,backend"));
-        // Timing must be normalized, or byte-comparison would be meaningless.
+        // Timing must be normalized, or byte-comparison would be meaningless
+        // (solve_seconds is the 14th of the 18 columns).
         for line in csv.lines().skip(1) {
-            assert!(
-                line.ends_with(",0"),
+            let solve_seconds = line.split(',').nth(13).unwrap_or("");
+            assert_eq!(
+                solve_seconds, "0",
                 "quick-{name}.csv carries non-zero solve_seconds: {line}"
             );
         }

@@ -1,7 +1,7 @@
 //! Smoke test mirroring `examples/quickstart.rs`: the GP+A heuristic must
 //! beat the single-CU bottleneck on the documented four-kernel pipeline.
 
-use mfa_alloc::gpa::{self, GpaOptions};
+use mfa_alloc::solver::{Backend, SolveRequest};
 use mfa_alloc::{AllocationProblem, GoalWeights, Kernel};
 use mfa_platform::{MultiFpgaPlatform, ResourceBudget, ResourceVec};
 
@@ -25,7 +25,10 @@ fn quickstart_initiation_interval_beats_bottleneck() {
         .build()
         .expect("quickstart problem builds");
 
-    let outcome = gpa::solve(&problem, &GpaOptions::paper_defaults()).expect("heuristic solves");
+    let outcome = SolveRequest::new(&problem)
+        .backend(Backend::gpa())
+        .solve()
+        .expect("heuristic solves");
     outcome
         .allocation
         .validate(&problem, 1e-9)

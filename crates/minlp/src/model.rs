@@ -78,6 +78,7 @@ impl ConstraintData {
 pub struct MinlpProblem {
     pub(crate) vars: Vec<VarData>,
     pub(crate) constraints: Vec<ConstraintData>,
+    pub(crate) initial_incumbent: Option<Vec<f64>>,
 }
 
 impl MinlpProblem {
@@ -312,6 +313,42 @@ impl MinlpProblem {
             }
         }
         Ok(self.constraints.iter().all(|c| c.violation(values) <= tol))
+    }
+
+    /// Seeds the branch-and-bound with a warm-start incumbent: one value per
+    /// variable in creation order. Integer entries are rounded; if the
+    /// rounded point is feasible it becomes the initial incumbent and prunes
+    /// the search from node 0, otherwise it is silently ignored. Seeding
+    /// never changes the optimal value — only how much of the tree is
+    /// explored to prove it (ties between equally-good incumbents go to the
+    /// seed, since incumbents are replaced only on strict improvement).
+    /// [`MinlpSolution::warm_started`](crate::MinlpSolution::warm_started)
+    /// reports whether the seed was accepted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MinlpError::InvalidArgument`] for a wrong-length or
+    /// non-finite seed.
+    pub fn set_initial_incumbent(&mut self, values: Vec<f64>) -> Result<(), MinlpError> {
+        if values.len() != self.vars.len() {
+            return Err(MinlpError::InvalidArgument(format!(
+                "incumbent seed needs {} values, got {}",
+                self.vars.len(),
+                values.len()
+            )));
+        }
+        if values.iter().any(|v| !v.is_finite()) {
+            return Err(MinlpError::InvalidArgument(
+                "incumbent seed values must be finite".into(),
+            ));
+        }
+        self.initial_incumbent = Some(values);
+        Ok(())
+    }
+
+    /// Removes a previously set warm-start incumbent.
+    pub fn clear_initial_incumbent(&mut self) {
+        self.initial_incumbent = None;
     }
 
     /// Solves the problem with default [`SolverOptions`].

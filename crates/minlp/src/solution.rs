@@ -35,6 +35,7 @@ pub struct MinlpSolution {
     values: Vec<f64>,
     nodes_explored: usize,
     lp_solves: usize,
+    warm_started: bool,
 }
 
 impl MinlpSolution {
@@ -53,7 +54,16 @@ impl MinlpSolution {
             values,
             nodes_explored,
             lp_solves,
+            warm_started: false,
         }
+    }
+
+    /// Records that the search was seeded with an accepted warm-start
+    /// incumbent (see
+    /// [`MinlpProblem::set_initial_incumbent`](crate::MinlpProblem::set_initial_incumbent)).
+    pub(crate) fn mark_warm_started(mut self) -> Self {
+        self.warm_started = true;
+        self
     }
 
     /// Solver status.
@@ -109,6 +119,12 @@ impl MinlpSolution {
     /// Number of LP relaxations solved (including outer-approximation rounds).
     pub fn lp_solves(&self) -> usize {
         self.lp_solves
+    }
+
+    /// `true` when the search accepted a warm-start incumbent seed and could
+    /// prune with it from node 0.
+    pub fn warm_started(&self) -> bool {
+        self.warm_started
     }
 }
 

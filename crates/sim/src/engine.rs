@@ -298,7 +298,7 @@ pub fn simulate(
 mod tests {
     use super::*;
     use mfa_alloc::cases::PaperCase;
-    use mfa_alloc::{gpa, AllocationProblem, GoalWeights, Kernel};
+    use mfa_alloc::{AllocationProblem, GoalWeights, Kernel};
     use mfa_platform::{MultiFpgaPlatform, ResourceBudget, ResourceVec};
 
     fn two_kernel_problem() -> AllocationProblem {
@@ -448,7 +448,10 @@ mod tests {
     #[test]
     fn gpa_allocation_for_alex16_simulates_close_to_prediction() {
         let problem = PaperCase::Alex16OnTwoFpgas.problem(0.70).unwrap();
-        let outcome = gpa::solve(&problem, &gpa::GpaOptions::fast()).unwrap();
+        let outcome = mfa_alloc::SolveRequest::new(&problem)
+            .backend(mfa_alloc::Backend::gpa_fast())
+            .solve()
+            .unwrap();
         let predicted = outcome.allocation.initiation_interval(&problem);
         let result = simulate(&problem, &outcome.allocation, &SimConfig::default());
         assert!(

@@ -7,7 +7,7 @@
 //! AWS F1 hardware; since that hardware is not available here, this crate
 //! provides the substitute: an event-driven simulator of the host-orchestrated
 //! execution model (kernels communicating through per-FPGA DRAM, each kernel
-//! replicated into compute units placed by an [`Allocation`]) that measures
+//! replicated into compute units placed by an [`mfa_alloc::Allocation`]) that measures
 //! the *achieved* initiation interval, throughput and per-FPGA utilization for
 //! a given allocation.
 //!
@@ -25,12 +25,13 @@
 //! # Example
 //!
 //! ```
-//! use mfa_alloc::{cases::PaperCase, gpa};
+//! use mfa_alloc::cases::PaperCase;
+//! use mfa_alloc::solver::{Backend, SolveRequest};
 //! use mfa_sim::{SimConfig, simulate};
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let problem = PaperCase::Alex16OnTwoFpgas.problem(0.70)?;
-//! let outcome = gpa::solve(&problem, &gpa::GpaOptions::fast())?;
+//! let outcome = SolveRequest::new(&problem).backend(Backend::gpa_fast()).solve()?;
 //! let result = simulate(&problem, &outcome.allocation, &SimConfig::default());
 //! let predicted = outcome.allocation.initiation_interval(&problem);
 //! assert!((result.initiation_interval_ms - predicted).abs() / predicted < 0.05);

@@ -7,9 +7,9 @@
 //! Run with `cargo run --release --example alexnet_f1`.
 
 use mfa_alloc::cases::PaperCase;
-use mfa_alloc::exact::{self, ExactOptions};
-use mfa_alloc::gpa::{self, GpaOptions};
+use mfa_alloc::exact::ExactOptions;
 use mfa_alloc::report::render_summary;
+use mfa_alloc::solver::{Backend, SolveRequest};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     for case in [PaperCase::Alex16OnTwoFpgas, PaperCase::Alex32OnFourFpgas] {
@@ -25,26 +25,35 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
 
         println!("\n--- GP+A heuristic");
-        let heuristic = gpa::solve(&problem, &GpaOptions::paper_defaults())?;
+        let heuristic = SolveRequest::new(&problem)
+            .backend(Backend::gpa())
+            .solve()?;
+        let timing = heuristic.diagnostics.timing;
         println!(
             "solved in {:.2} ms (GP {:.2} ms, discretize {:.2} ms, allocate {:.2} ms)",
-            heuristic.elapsed.as_secs_f64() * 1e3,
-            heuristic.relaxation_time.as_secs_f64() * 1e3,
-            heuristic.discretization_time.as_secs_f64() * 1e3,
-            heuristic.allocation_time.as_secs_f64() * 1e3,
+            timing.total.as_secs_f64() * 1e3,
+            timing.relaxation.as_secs_f64() * 1e3,
+            timing.discretization.as_secs_f64() * 1e3,
+            timing.allocation.as_secs_f64() * 1e3,
         );
         println!("{}", render_summary(&problem, &heuristic.allocation));
 
-        println!("--- exact MINLP+G (node/time budgeted)");
-        let options = ExactOptions::with_spreading_and_budget(1_500, 20.0);
-        match exact::solve(&problem, &options) {
+        println!("--- exact MINLP+G (node/time budgeted, GP+A warm start)");
+        let request = SolveRequest::new(&problem)
+            .backend(Backend::exact_with(
+                ExactOptions::with_spreading_and_budget(1_500, 20.0),
+            ))
+            .warm_start(heuristic.warm_start());
+        match request.solve() {
             Ok(outcome) => {
                 println!(
-                    "solved in {:.2} s over {} nodes (proven optimal: {}, gap {:.2}%)",
-                    outcome.elapsed.as_secs_f64(),
-                    outcome.nodes_explored,
-                    outcome.proven_optimal,
-                    100.0 * outcome.gap()
+                    "solved in {:.2} s over {} nodes (proven optimal: {:?}, gap {:.2}%, \
+                     warm start: {})",
+                    outcome.diagnostics.timing.total.as_secs_f64(),
+                    outcome.diagnostics.bb_nodes,
+                    outcome.diagnostics.proven_optimal,
+                    100.0 * outcome.diagnostics.relaxation_gap.unwrap_or(0.0),
+                    outcome.diagnostics.warm_start.provenance()
                 );
                 println!("{}", render_summary(&problem, &outcome.allocation));
             }

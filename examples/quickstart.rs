@@ -3,8 +3,10 @@
 //!
 //! Run with `cargo run --release --example quickstart`.
 
-use mfa_alloc::gpa::{self, GpaOptions};
+use std::time::Duration;
+
 use mfa_alloc::report::render_summary;
+use mfa_alloc::solver::{Backend, Deadline, SolveRequest};
 use mfa_alloc::{AllocationProblem, GoalWeights, Kernel};
 use mfa_platform::{MultiFpgaPlatform, ResourceBudget, ResourceVec};
 
@@ -26,16 +28,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .weights(GoalWeights::new(1.0, 0.7)) // weigh II against CU spreading
         .build()?;
 
-    let outcome = gpa::solve(&problem, &GpaOptions::paper_defaults())?;
+    // One request-shaped entry point drives every backend: pick GP+A, give
+    // the solve a generous deadline, and read the structured diagnostics
+    // off the report.
+    let outcome = SolveRequest::new(&problem)
+        .backend(Backend::gpa())
+        .deadline(Deadline::within(Duration::from_secs(30)))
+        .solve()?;
 
     println!(
         "GP relaxation:   II = {:.3} ms",
-        outcome.relaxation.initiation_interval_ms
+        outcome.diagnostics.relaxed_ii_ms.unwrap_or(f64::NAN)
     );
-    println!("discretized CUs: {:?}", outcome.cu_counts);
+    println!("discretized CUs: {:?}", outcome.diagnostics.cu_counts);
     println!(
-        "heuristic time:  {:.1} ms",
-        outcome.elapsed.as_secs_f64() * 1e3
+        "heuristic time:  {:.1} ms ({} B&B nodes, {} dropped CUs, {})",
+        outcome.diagnostics.timing.total.as_secs_f64() * 1e3,
+        outcome.diagnostics.bb_nodes,
+        outcome.diagnostics.total_dropped_cus(),
+        outcome.diagnostics.warm_start.provenance()
     );
     println!();
     println!("{}", render_summary(&problem, &outcome.allocation));

@@ -5,7 +5,7 @@
 //! Run with `cargo run --release --example simulate_allocation`.
 
 use mfa_alloc::cases::PaperCase;
-use mfa_alloc::gpa::{self, GpaOptions};
+use mfa_alloc::solver::{Backend, SolveRequest};
 use mfa_sim::{simulate, SimConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -16,7 +16,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for case in PaperCase::all() {
         let (lo, hi) = case.constraint_range();
         let problem = case.problem(0.5 * (lo + hi))?;
-        let outcome = gpa::solve(&problem, &GpaOptions::paper_defaults())?;
+        let outcome = SolveRequest::new(&problem)
+            .backend(Backend::gpa())
+            .solve()?;
         let predicted = outcome.allocation.initiation_interval(&problem);
 
         let config = SimConfig {
