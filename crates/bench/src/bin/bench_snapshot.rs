@@ -1,0 +1,258 @@
+//! Benchmark-snapshot harness for the quick figure presets.
+//!
+//! Sweeps the same grids CI smokes (`dse --quick` plus the hetero grid) and
+//! records, per figure, the *machine-independent* effort counters the solver
+//! stack reports — interior-point barrier iterations, KKT factorizations,
+//! simplex pivots, branch-and-bound nodes — next to informational wall-clock
+//! timing. The counters are deterministic for a fixed grid and chunk size,
+//! so the committed snapshot (`BENCH_0006.json` at the repository root)
+//! byte-diffs across machines; wall-clock is recorded for humans and always
+//! excluded from comparison.
+//!
+//! ```text
+//! bench-snapshot --quick --out BENCH_0006.json   # (re)write the snapshot
+//! bench-snapshot --quick --check BENCH_0006.json # CI: fail on counter drift
+//! ```
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use mfa_explore::json::Json;
+use mfa_explore::{figures, run_sweep, ExecutorOptions, FigureSpec, SweepSeries};
+
+/// Snapshot format version; bump when the schema changes shape.
+const SNAPSHOT_VERSION: usize = 1;
+
+/// Effort counters of one figure sweep, summed over every solved point of
+/// every series, plus the (excluded-from-diff) wall-clock.
+struct FigureEffort {
+    name: &'static str,
+    /// Solved points across all series.
+    points: usize,
+    /// Planned-but-skipped points (infeasible budgets, exhausted node or
+    /// pivot budgets) across all series.
+    skipped: usize,
+    barrier_iterations: usize,
+    factorizations: usize,
+    simplex_pivots: usize,
+    bb_nodes: usize,
+    wall_seconds: f64,
+}
+
+/// The deterministic counter keys a snapshot is compared on, in report
+/// order. `points`/`skipped` guard against a sweep silently shrinking;
+/// the rest are the solver-effort counters themselves.
+const COUNTER_KEYS: [&str; 6] = [
+    "points",
+    "skipped",
+    "barrier_iterations",
+    "factorizations",
+    "simplex_pivots",
+    "bb_nodes",
+];
+
+impl FigureEffort {
+    fn counter(&self, key: &str) -> usize {
+        match key {
+            "points" => self.points,
+            "skipped" => self.skipped,
+            "barrier_iterations" => self.barrier_iterations,
+            "factorizations" => self.factorizations,
+            "simplex_pivots" => self.simplex_pivots,
+            "bb_nodes" => self.bb_nodes,
+            _ => unreachable!("unknown counter key {key}"),
+        }
+    }
+}
+
+/// The benchmarked figure set: the quick paper figures (with the MINLP
+/// series) plus the heterogeneous smoke grid — exactly the grids the golden
+/// snapshots cover.
+fn bench_figures() -> Vec<FigureSpec> {
+    let mut figs = figures::paper_figures(true, true).expect("quick figure grids are well-formed");
+    figs.push(figures::hetero_smoke().expect("hetero grid is well-formed"));
+    figs
+}
+
+fn measure(figure: &FigureSpec) -> FigureEffort {
+    let start = Instant::now();
+    let series: Vec<SweepSeries> = run_sweep(&figure.grid, &ExecutorOptions::default())
+        .unwrap_or_else(|err| panic!("sweep of {} failed: {err}", figure.name));
+    let wall_seconds = start.elapsed().as_secs_f64();
+    let planned = figure.grid.num_points();
+    let mut effort = FigureEffort {
+        name: figure.name,
+        points: 0,
+        skipped: 0,
+        barrier_iterations: 0,
+        factorizations: 0,
+        simplex_pivots: 0,
+        bb_nodes: 0,
+        wall_seconds,
+    };
+    for s in &series {
+        for p in &s.points {
+            effort.points += 1;
+            effort.barrier_iterations += p.barrier_iterations;
+            effort.factorizations += p.factorizations;
+            effort.simplex_pivots += p.simplex_pivots;
+            effort.bb_nodes += p.bb_nodes;
+        }
+    }
+    effort.skipped = planned - effort.points;
+    effort
+}
+
+fn snapshot_json(efforts: &[FigureEffort]) -> String {
+    let figures = efforts
+        .iter()
+        .map(|e| {
+            Json::obj(vec![
+                ("name", Json::str(e.name)),
+                ("points", Json::Num(e.points as f64)),
+                ("skipped", Json::Num(e.skipped as f64)),
+                ("barrier_iterations", Json::Num(e.barrier_iterations as f64)),
+                ("factorizations", Json::Num(e.factorizations as f64)),
+                ("simplex_pivots", Json::Num(e.simplex_pivots as f64)),
+                ("bb_nodes", Json::Num(e.bb_nodes as f64)),
+                // Informational only: never part of the --check diff.
+                (
+                    "wall_seconds",
+                    Json::Num((e.wall_seconds * 1e3).round() / 1e3),
+                ),
+            ])
+        })
+        .collect();
+    let doc = Json::obj(vec![
+        ("version", Json::Num(SNAPSHOT_VERSION as f64)),
+        ("preset", Json::str("quick")),
+        ("figures", Json::Arr(figures)),
+    ]);
+    let mut out = String::new();
+    doc.write(&mut out);
+    out.push('\n');
+    out
+}
+
+/// Compares measured counters against a committed snapshot. Returns the
+/// human-readable differences (empty when counters match). Wall-clock and
+/// unknown extra fields are ignored by construction: only `COUNTER_KEYS`
+/// are compared.
+fn diff_against(committed: &Json, efforts: &[FigureEffort]) -> Vec<String> {
+    let mut diffs = Vec::new();
+    let Some(figures) = committed.get("figures").and_then(Json::as_arr) else {
+        return vec!["snapshot has no `figures` array".into()];
+    };
+    for effort in efforts {
+        let Some(entry) = figures
+            .iter()
+            .find(|f| f.get("name").and_then(Json::as_str) == Some(effort.name))
+        else {
+            diffs.push(format!("snapshot has no entry for figure {}", effort.name));
+            continue;
+        };
+        for key in COUNTER_KEYS {
+            let Some(recorded) = entry.get(key).and_then(Json::as_usize) else {
+                diffs.push(format!("{}: snapshot lacks counter {key}", effort.name));
+                continue;
+            };
+            let measured = effort.counter(key);
+            if measured != recorded {
+                let direction = if measured > recorded {
+                    "regressed"
+                } else {
+                    "improved"
+                };
+                diffs.push(format!(
+                    "{}: {key} {direction}: snapshot {recorded}, measured {measured}",
+                    effort.name
+                ));
+            }
+        }
+    }
+    diffs
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bench-snapshot [--quick] [--out PATH | --check PATH]\n\
+         \n\
+         --quick       run the quick (CI) figure presets [default; the only preset]\n\
+         --out PATH    write the snapshot to PATH (default BENCH_0006.json)\n\
+         --check PATH  re-measure and fail when any deterministic counter\n\
+                       differs from the committed snapshot at PATH\n\
+                       (wall_seconds is informational and never compared)"
+    );
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut out_path: Option<String> = None;
+    let mut check_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            // The quick preset is the default (and only) preset; the flag is
+            // accepted so invocations document what they run.
+            "--quick" => {}
+            "--out" => out_path = Some(args.next().unwrap_or_else(|| usage())),
+            "--check" => check_path = Some(args.next().unwrap_or_else(|| usage())),
+            _ => usage(),
+        }
+    }
+    if out_path.is_some() && check_path.is_some() {
+        usage();
+    }
+
+    let efforts: Vec<FigureEffort> = bench_figures().iter().map(measure).collect();
+    for e in &efforts {
+        println!(
+            "{:>7}: {} points ({} skipped), {} barrier iterations, \
+             {} factorizations, {} simplex pivots, {} bb nodes, {:.3}s",
+            e.name,
+            e.points,
+            e.skipped,
+            e.barrier_iterations,
+            e.factorizations,
+            e.simplex_pivots,
+            e.bb_nodes,
+            e.wall_seconds
+        );
+    }
+
+    if let Some(path) = check_path {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(err) => {
+                eprintln!("cannot read snapshot {path}: {err}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let committed = match Json::parse(&text) {
+            Ok(doc) => doc,
+            Err(err) => {
+                eprintln!("snapshot {path} is not valid JSON: {err}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let diffs = diff_against(&committed, &efforts);
+        if diffs.is_empty() {
+            println!("counters match {path}");
+            return ExitCode::SUCCESS;
+        }
+        eprintln!("effort counters diverged from {path}:");
+        for diff in &diffs {
+            eprintln!("  {diff}");
+        }
+        eprintln!("regenerate with: cargo run --release -p mfa_bench --bin bench-snapshot -- --quick --out {path}");
+        return ExitCode::FAILURE;
+    }
+
+    let path = out_path.unwrap_or_else(|| "BENCH_0006.json".to_owned());
+    if let Err(err) = std::fs::write(&path, snapshot_json(&efforts)) {
+        eprintln!("cannot write {path}: {err}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {path}");
+    ExitCode::SUCCESS
+}

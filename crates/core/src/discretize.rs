@@ -120,7 +120,7 @@ pub(crate) fn solve_seeded_inner(
         check_deadline(deadline, "discretization")?;
         nodes += 1;
         let relaxation =
-            match gp_step::relax_bounded_hinted(problem, &bounds, options.backend, None) {
+            match gp_step::relax_bounded_hinted(problem, &bounds, options.backend, None, None) {
                 Ok((r, _)) => r,
                 Err(AllocError::Infeasible(_)) => continue,
                 Err(other) => return Err(other),
@@ -239,7 +239,8 @@ fn round_group_split(fracs: &[f64], total: u32) -> Vec<u32> {
 /// fractionally across groups, then round per group.
 fn group_split_for(problem: &AllocationProblem, counts: &[u32]) -> Vec<Vec<u32>> {
     let totals: Vec<f64> = counts.iter().map(|&n| f64::from(n)).collect();
-    let fractional = gp_step::distribute_over_groups(problem, &totals)
+    let fractional = gp_step::distribute_over_groups(problem, &totals, &mut 0)
+        .expect("the incumbent water-filling LP stays within its pivot budget")
         .expect("a valid incumbent passed the aggregated budget check");
     counts
         .iter()
@@ -257,10 +258,14 @@ fn incumbent_is_valid(problem: &AllocationProblem, counts: &[u32]) -> bool {
             .iter()
             .enumerate()
             .all(|(k, &n)| n >= 1 && n <= problem.max_total_cus(k).max(1))
+        // A pivot-budget failure counts as "not usable" rather than an error:
+        // the solve then simply proceeds without the incumbent.
         && gp_step::budgets_allow(
             problem,
             &counts.iter().map(|&n| n as f64).collect::<Vec<_>>(),
+            &mut 0,
         )
+        .unwrap_or(false)
 }
 
 /// `max_k WCET_k / N_k` for integer counts.

@@ -4,6 +4,7 @@ use std::error::Error;
 use std::fmt;
 
 use mfa_gp::GpError;
+use mfa_linprog::LpError;
 use mfa_minlp::MinlpError;
 
 /// Error returned by problem construction and the allocation algorithms.
@@ -32,6 +33,13 @@ pub enum AllocError {
     Gp(GpError),
     /// The MINLP solver failed.
     Minlp(MinlpError),
+    /// The linear-programming substrate failed — in particular the
+    /// water-filling feasibility probes report
+    /// [`LpError::PivotBudgetExceeded`] here when the simplex pivot budget
+    /// runs out. Like [`AllocError::DeadlineExceeded`], a structured stop
+    /// rather than a hang: sweeps running under a lenient
+    /// [`crate::solver::SkipPolicy`] skip the point and move on.
+    Linprog(LpError),
 }
 
 impl fmt::Display for AllocError {
@@ -51,6 +59,7 @@ impl fmt::Display for AllocError {
             }
             AllocError::Gp(err) => write!(f, "geometric-programming step failed: {err}"),
             AllocError::Minlp(err) => write!(f, "minlp step failed: {err}"),
+            AllocError::Linprog(err) => write!(f, "linear-programming step failed: {err}"),
         }
     }
 }
@@ -60,6 +69,7 @@ impl Error for AllocError {
         match self {
             AllocError::Gp(err) => Some(err),
             AllocError::Minlp(err) => Some(err),
+            AllocError::Linprog(err) => Some(err),
             _ => None,
         }
     }
@@ -74,6 +84,12 @@ impl From<GpError> for AllocError {
 impl From<MinlpError> for AllocError {
     fn from(err: MinlpError) -> Self {
         AllocError::Minlp(err)
+    }
+}
+
+impl From<LpError> for AllocError {
+    fn from(err: LpError) -> Self {
+        AllocError::Linprog(err)
     }
 }
 
@@ -99,6 +115,9 @@ mod tests {
         assert!(Error::source(&deadline).is_none());
         let minlp = AllocError::from(MinlpError::UnknownVariable(1));
         assert!(minlp.to_string().contains("minlp"));
+        let lp = AllocError::from(LpError::PivotBudgetExceeded { pivots: 64 });
+        assert!(lp.to_string().contains("64"));
+        assert!(Error::source(&lp).is_some());
     }
 
     #[test]

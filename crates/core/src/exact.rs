@@ -377,8 +377,13 @@ pub(crate) fn run(
             cu_counts,
             bb_nodes: solution.nodes_explored(),
             relaxation_iterations: solution.lp_solves(),
+            barrier_iterations: 0,
+            factorizations: 0,
+            simplex_pivots: solution.simplex_pivots(),
+            gp_dual: None,
             warm_start: WarmStartReport {
                 ii_hint_used: false,
+                dual_hint_used: false,
                 incumbent_used: solution.warm_started(),
             },
             timing: StageTiming {

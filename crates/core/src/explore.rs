@@ -42,6 +42,16 @@ pub struct SweepPoint {
     /// Branch-and-bound nodes visited (discretization for GP+A, MINLP tree
     /// for the exact backend).
     pub bb_nodes: usize,
+    /// Interior-point barrier iterations of the GP relaxation (zero for
+    /// bisection-only and exact solves).
+    pub barrier_iterations: usize,
+    /// KKT factorization attempts of the GP relaxation, full refactorizations
+    /// and diagonal refreshes alike (zero for bisection-only and exact
+    /// solves).
+    pub factorizations: usize,
+    /// Simplex pivots spent in the LP substrate (water-filling probes for the
+    /// heuristics, node LPs for the exact MINLP).
+    pub simplex_pivots: usize,
     /// Total CUs shed by the feasibility fallback.
     pub dropped_cus: u32,
     /// Which warm-start hints the solve actually consumed.
@@ -66,6 +76,9 @@ impl SweepPoint {
             solve_seconds: report.diagnostics.timing.total.as_secs_f64(),
             relaxation_gap: report.diagnostics.relaxation_gap.unwrap_or(0.0),
             bb_nodes: report.diagnostics.bb_nodes,
+            barrier_iterations: report.diagnostics.barrier_iterations,
+            factorizations: report.diagnostics.factorizations,
+            simplex_pivots: report.diagnostics.simplex_pivots,
             dropped_cus: report.diagnostics.total_dropped_cus(),
             warm_start: report.diagnostics.warm_start,
         }

@@ -39,8 +39,8 @@
 //! GP backend is the default for the top-level heuristic to stay close to the
 //! paper's toolchain.
 
-use mfa_gp::{GpProblem, Monomial, Posynomial};
-use mfa_linprog::{LpProblem, Relation, Sense};
+use mfa_gp::{GpDualState, GpProblem, Monomial, Posynomial};
+use mfa_linprog::{LpError, LpProblem, Relation, Sense, SimplexOptions};
 
 use crate::problem::AllocationProblem;
 use crate::AllocError;
@@ -73,13 +73,31 @@ pub struct Relaxation {
 pub(crate) type CuBounds = [(f64, f64)];
 
 /// Deterministic effort and warm-start provenance of one relaxation solve:
-/// bisection feasibility steps or GP Newton iterations, and whether a
+/// bisection feasibility steps or GP Newton iterations, whether a
 /// [`crate::solver::WarmStart`] relaxed-II hint was actually consumed
-/// (bracket narrowed / interior point seeded).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+/// (bracket narrowed / interior point seeded), and the machine-independent
+/// effort counters of the numeric substrate (barrier iterations, KKT
+/// factorizations, simplex pivots).
+#[derive(Debug, Clone, Default, PartialEq)]
 pub(crate) struct RelaxStats {
     pub(crate) iterations: usize,
     pub(crate) hint_used: bool,
+    /// Whether the GP backend consumed a dual warm start (final barrier `t`
+    /// and constraint multipliers of a neighbouring solve). Always `false`
+    /// for the bisection backend, which has no dual path.
+    pub(crate) dual_hint_used: bool,
+    /// Outer barrier iterations of the GP interior-point solve (0 for
+    /// bisection).
+    pub(crate) barrier_iterations: usize,
+    /// KKT factorization attempts (full refactorizations plus in-place ridge
+    /// refreshes) of the GP solve (0 for bisection).
+    pub(crate) factorizations: usize,
+    /// Simplex pivots spent in water-filling feasibility probes (group
+    /// splits on heterogeneous platforms; 0 on a single group).
+    pub(crate) simplex_pivots: usize,
+    /// Final dual state of the GP solve, handed to neighbouring solves as a
+    /// dual warm start. `None` for the bisection backend.
+    pub(crate) dual_state: Option<GpDualState>,
 }
 
 /// Solves the unbounded relaxation (Eqs. 14–18) cold. Warm-started solves go
@@ -94,7 +112,7 @@ pub fn solve(
     problem: &AllocationProblem,
     backend: RelaxationBackend,
 ) -> Result<Relaxation, AllocError> {
-    relax_hinted(problem, backend, None).map(|(relaxation, _)| relaxation)
+    relax_hinted(problem, backend, None, None).map(|(relaxation, _)| relaxation)
 }
 
 /// Solves the unbounded relaxation, optionally warm-started from the relaxed
@@ -103,6 +121,15 @@ pub fn solve(
 /// (taken only when strictly feasible), so a stale or wildly wrong hint
 /// degrades to the cold start and the returned optimum is unaffected.
 ///
+/// `dual` optionally carries the neighbouring solve's final barrier
+/// parameter and constraint multipliers; the GP backend uses it (only when
+/// the primal seed is accepted) to re-enter the barrier path near its end,
+/// skipping the early centering sweeps. A dual whose layout no longer
+/// matches — e.g. a heterogeneous anchor activated a different group set —
+/// is rejected by the GP solver's validation and the solve proceeds
+/// primal-warm only, so a stale dual never changes the optimum. The
+/// bisection backend ignores it.
+///
 /// # Errors
 ///
 /// Same contract as [`solve`].
@@ -110,11 +137,12 @@ pub(crate) fn relax_hinted(
     problem: &AllocationProblem,
     backend: RelaxationBackend,
     hint_ii_ms: Option<f64>,
+    dual: Option<&GpDualState>,
 ) -> Result<(Relaxation, RelaxStats), AllocError> {
     let unbounded: Vec<(f64, f64)> = (0..problem.num_kernels())
         .map(|k| (1.0, problem.max_total_cus(k) as f64))
         .collect();
-    relax_bounded_hinted(problem, &unbounded, backend, hint_ii_ms)
+    relax_bounded_hinted(problem, &unbounded, backend, hint_ii_ms, dual)
 }
 
 /// [`relax_hinted`] with explicit per-kernel bounds on `N̂_k` (used by the
@@ -129,6 +157,7 @@ pub(crate) fn relax_bounded_hinted(
     bounds: &CuBounds,
     backend: RelaxationBackend,
     hint_ii_ms: Option<f64>,
+    dual: Option<&GpDualState>,
 ) -> Result<(Relaxation, RelaxStats), AllocError> {
     if bounds.len() != problem.num_kernels() {
         return Err(AllocError::InvalidArgument(format!(
@@ -156,18 +185,22 @@ pub(crate) fn relax_bounded_hinted(
     }
     // Quick infeasibility check: the cheapest configuration takes the lower
     // bound everywhere.
+    let mut probe_pivots = 0usize;
     if !budgets_allow(
         problem,
         &bounds.iter().map(|&(lo, _)| lo).collect::<Vec<_>>(),
-    ) {
+        &mut probe_pivots,
+    )? {
         return Err(AllocError::Infeasible(
             "the minimum CU counts already exceed a platform-wide budget".into(),
         ));
     }
-    match backend {
-        RelaxationBackend::GeometricProgram => solve_gp(problem, bounds, hint_ii_ms),
-        RelaxationBackend::Bisection => Ok(solve_bisection(problem, bounds, hint_ii_ms)),
-    }
+    let (relaxation, mut stats) = match backend {
+        RelaxationBackend::GeometricProgram => solve_gp(problem, bounds, hint_ii_ms, dual)?,
+        RelaxationBackend::Bisection => solve_bisection(problem, bounds, hint_ii_ms)?,
+    };
+    stats.simplex_pivots += probe_pivots;
+    Ok((relaxation, stats))
 }
 
 /// Checks whether the fractional totals `N_k` can be realized within the
@@ -175,10 +208,22 @@ pub(crate) fn relax_bounded_hinted(
 /// closed-form check `Σ_k N_k·R_k ≤ F·R` and `Σ_k N_k·B_k ≤ F·B`; with
 /// several groups it asks whether *some* split of the totals across groups
 /// satisfies every group's aggregated budgets (see
-/// [`distribute_over_groups`]).
-pub(crate) fn budgets_allow(problem: &AllocationProblem, cu_counts: &[f64]) -> bool {
+/// [`distribute_over_groups`]). Simplex pivots spent by the multi-group
+/// water-filling LP are added to `pivots`; the closed-form single-group
+/// check costs none.
+///
+/// # Errors
+///
+/// Propagates [`AllocError::Linprog`] when the water-filling LP exhausts its
+/// pivot budget — a structured stop, distinct from "the split is
+/// infeasible" (`Ok(false)`).
+pub(crate) fn budgets_allow(
+    problem: &AllocationProblem,
+    cu_counts: &[f64],
+    pivots: &mut usize,
+) -> Result<bool, AllocError> {
     if problem.num_groups() > 1 {
-        return distribute_over_groups(problem, cu_counts).is_some();
+        return Ok(distribute_over_groups(problem, cu_counts, pivots)?.is_some());
     }
     let f = problem.num_fpgas() as f64;
     let budget = problem.budget();
@@ -190,7 +235,7 @@ pub(crate) fn budgets_allow(problem: &AllocationProblem, cu_counts: &[f64]) -> b
         .map(|(k, &n)| *k.resources() * n)
         .sum();
     if !total.fits_within(&limit, 1e-9) {
-        return false;
+        return Ok(false);
     }
     let bw: f64 = problem
         .kernels()
@@ -198,16 +243,24 @@ pub(crate) fn budgets_allow(problem: &AllocationProblem, cu_counts: &[f64]) -> b
         .zip(cu_counts)
         .map(|(k, &n)| k.bandwidth() * n)
         .sum();
-    bw <= budget.bandwidth_fraction() * f + 1e-9
+    Ok(bw <= budget.bandwidth_fraction() * f + 1e-9)
 }
 
 /// Fractional water-filling of per-kernel totals across device groups: finds
 /// `x_{k,g} ≥ 0` with `Σ_g x_{k,g} = N_k` satisfying every group's
-/// aggregated resource and bandwidth budgets, or `None` when no split
+/// aggregated resource and bandwidth budgets, or `Ok(None)` when no split
 /// exists. The multi-resource transportation feasibility problem is solved
 /// with the [`mfa_linprog`] two-phase simplex (deterministic, so sweeps stay
-/// reproducible). Kernels that cannot be hosted on a group (a resource class
-/// the device lacks) get no variable there.
+/// reproducible) under the default [`SimplexOptions`] pivot budget; pivots
+/// spent are added to `pivots` either way. Kernels that cannot be hosted on
+/// a group (a resource class the device lacks) get no variable there.
+///
+/// # Errors
+///
+/// Returns [`AllocError::Linprog`] wrapping
+/// [`LpError::PivotBudgetExceeded`] when the simplex runs out of pivots —
+/// never silently reported as infeasibility — and propagates LP model
+/// construction failures the same way.
 // `vars` is indexed `[kernel][group]`; clippy's enumerate-based rewrite of
 // the `g`/`k` loops would iterate the wrong dimension, so the range loops
 // stay (same situation as the MINLP model builder in `exact`).
@@ -215,10 +268,11 @@ pub(crate) fn budgets_allow(problem: &AllocationProblem, cu_counts: &[f64]) -> b
 pub(crate) fn distribute_over_groups(
     problem: &AllocationProblem,
     cu_counts: &[f64],
-) -> Option<Vec<Vec<f64>>> {
+    pivots: &mut usize,
+) -> Result<Option<Vec<Vec<f64>>>, AllocError> {
     let groups = problem.num_groups();
     if groups == 1 {
-        return Some(cu_counts.iter().map(|&n| vec![n]).collect());
+        return Ok(Some(cu_counts.iter().map(|&n| vec![n]).collect()));
     }
     let num_kernels = problem.num_kernels();
     let budget = problem.budget();
@@ -242,10 +296,9 @@ pub(crate) fn distribute_over_groups(
             vars[k].iter().flatten().map(|&v| (v, 1.0)).collect();
         if terms.is_empty() {
             // No group can host this kernel at all.
-            return None;
+            return Ok(None);
         }
-        lp.add_constraint(format!("total_{k}"), &terms, Relation::Equal, cu_counts[k])
-            .ok()?;
+        lp.add_constraint(format!("total_{k}"), &terms, Relation::Equal, cu_counts[k])?;
     }
     type Accessor = fn(&mfa_platform::ResourceVec) -> f64;
     let classes: [(&str, Accessor, f64); 4] = [
@@ -269,8 +322,7 @@ pub(crate) fn distribute_over_groups(
                     &terms,
                     Relation::LessEq,
                     fpgas * limit + 1e-9,
-                )
-                .ok()?;
+                )?;
             }
         }
         let bw_terms: Vec<(mfa_linprog::VarId, f64)> = (0..num_kernels)
@@ -285,15 +337,20 @@ pub(crate) fn distribute_over_groups(
                 &bw_terms,
                 Relation::LessEq,
                 fpgas * budget.bandwidth_fraction() + 1e-9,
-            )
-            .ok()?;
+            )?;
         }
     }
-    let solution = lp.solve().ok()?;
+    let solution = lp.solve_with(&SimplexOptions::default()).map_err(|err| {
+        if let LpError::PivotBudgetExceeded { pivots: spent } = &err {
+            *pivots += spent;
+        }
+        AllocError::Linprog(err)
+    })?;
+    *pivots += solution.pivots();
     if !solution.is_optimal() {
-        return None;
+        return Ok(None);
     }
-    Some(
+    Ok(Some(
         vars.iter()
             .map(|row| {
                 row.iter()
@@ -301,18 +358,19 @@ pub(crate) fn distribute_over_groups(
                     .collect()
             })
             .collect(),
-    )
+    ))
 }
 
 fn solve_gp(
     problem: &AllocationProblem,
     bounds: &CuBounds,
     hint_ii_ms: Option<f64>,
+    dual: Option<&GpDualState>,
 ) -> Result<(Relaxation, RelaxStats), AllocError> {
     if problem.num_groups() == 1 {
-        solve_gp_homogeneous(problem, bounds, hint_ii_ms)
+        solve_gp_homogeneous(problem, bounds, hint_ii_ms, dual)
     } else {
-        solve_gp_heterogeneous(problem, bounds, hint_ii_ms)
+        solve_gp_heterogeneous(problem, bounds, hint_ii_ms, dual)
     }
 }
 
@@ -356,6 +414,7 @@ fn solve_gp_homogeneous(
     problem: &AllocationProblem,
     bounds: &CuBounds,
     hint_ii_ms: Option<f64>,
+    dual: Option<&GpDualState>,
 ) -> Result<(Relaxation, RelaxStats), AllocError> {
     let mut gp = GpProblem::new();
     let ii = gp.add_var("II")?;
@@ -434,6 +493,11 @@ fn solve_gp_homogeneous(
         point.push(ii0);
         point.extend(counts);
         options.initial_point = Some(point);
+        // Neighbouring sweep points share the problem shape, so the same
+        // constraint rows exist in the same order and the neighbour's
+        // multipliers line up row for row; the GP solver validates the dual
+        // against the seeded point and ignores anything stale.
+        options.initial_dual = dual.cloned();
     }
     let solution = gp.solve_with(&options).map_err(|err| match err {
         mfa_gp::GpError::Infeasible => {
@@ -444,6 +508,11 @@ fn solve_gp_homogeneous(
     let stats = RelaxStats {
         iterations: solution.newton_iterations(),
         hint_used: solution.warm_started(),
+        dual_hint_used: solution.dual_warm_started(),
+        barrier_iterations: solution.barrier_iterations(),
+        factorizations: solution.factorizations(),
+        simplex_pivots: 0,
+        dual_state: solution.dual_state().cloned(),
     };
     let cu_counts: Vec<f64> = n_vars.iter().map(|&v| solution.value(v)).collect();
     Ok((
@@ -470,8 +539,9 @@ fn solve_gp_heterogeneous(
     problem: &AllocationProblem,
     bounds: &CuBounds,
     hint_ii_ms: Option<f64>,
+    dual: Option<&GpDualState>,
 ) -> Result<(Relaxation, RelaxStats), AllocError> {
-    let (anchor, anchor_stats) = solve_bisection(problem, bounds, hint_ii_ms);
+    let (anchor, anchor_stats) = solve_bisection(problem, bounds, hint_ii_ms)?;
     let groups = problem.num_groups();
     let num_kernels = problem.num_kernels();
 
@@ -603,6 +673,11 @@ fn solve_gp_heterogeneous(
             }
         }
         options.initial_point = Some(point);
+        // The condensed model's constraint layout depends on which groups
+        // the anchor activates; when a neighbour's anchor differs, the
+        // multiplier count no longer matches and the GP solver's dual
+        // validation silently drops the hint.
+        options.initial_dual = dual.cloned();
     }
     let solution = gp.solve_with(&options).map_err(|err| match err {
         mfa_gp::GpError::Infeasible => {
@@ -615,6 +690,11 @@ fn solve_gp_heterogeneous(
         // The seed above exists only when the bisection verified and
         // consumed the hint, so a rejected hint never claims provenance.
         hint_used: anchor_stats.hint_used,
+        dual_hint_used: solution.dual_warm_started(),
+        barrier_iterations: solution.barrier_iterations(),
+        factorizations: solution.factorizations(),
+        simplex_pivots: anchor_stats.simplex_pivots,
+        dual_state: solution.dual_state().cloned(),
     };
     let group_cu_counts: Vec<Vec<f64>> = vars
         .iter()
@@ -640,14 +720,15 @@ fn relaxation_from_totals(
     problem: &AllocationProblem,
     cu_counts: Vec<f64>,
     initiation_interval_ms: f64,
-) -> Relaxation {
-    let group_cu_counts = distribute_over_groups(problem, &cu_counts)
+    pivots: &mut usize,
+) -> Result<Relaxation, AllocError> {
+    let group_cu_counts = distribute_over_groups(problem, &cu_counts, pivots)?
         .expect("totals were verified feasible before assembling the relaxation");
-    Relaxation {
+    Ok(Relaxation {
         cu_counts,
         group_cu_counts,
         initiation_interval_ms,
-    }
+    })
 }
 
 /// Analytic solution by bisection on `ÎI`.
@@ -655,7 +736,7 @@ fn solve_bisection(
     problem: &AllocationProblem,
     bounds: &CuBounds,
     hint_ii_ms: Option<f64>,
-) -> (Relaxation, RelaxStats) {
+) -> Result<(Relaxation, RelaxStats), AllocError> {
     // For a target II the cheapest feasible counts are the WCET-driven counts
     // clamped into the node bounds; feasibility of the aggregated budgets is
     // monotone in II (larger II → fewer CUs → less resource use, and any
@@ -683,11 +764,16 @@ fn solve_bisection(
         .zip(bounds)
         .map(|(kernel, &(_, hi_k))| kernel.wcet_ms() / hi_k)
         .fold(0.0_f64, f64::max);
-    if budgets_allow(problem, &counts_for(lo)) {
-        return (
-            relaxation_from_totals(problem, counts_for(lo), lo),
-            RelaxStats::default(),
-        );
+    let mut pivots = 0usize;
+    if budgets_allow(problem, &counts_for(lo), &mut pivots)? {
+        let relaxation = relaxation_from_totals(problem, counts_for(lo), lo, &mut pivots)?;
+        return Ok((
+            relaxation,
+            RelaxStats {
+                simplex_pivots: pivots,
+                ..RelaxStats::default()
+            },
+        ));
     }
     // A warm-start hint from a neighbouring solve narrows the bracket. The
     // bisection invariants (lo infeasible, hi feasible) are re-verified on
@@ -697,12 +783,12 @@ fn solve_bisection(
     if let Some(hint) = hint_ii_ms {
         if hint.is_finite() && hint > 0.0 {
             let cand_hi = (hint * 1.05).min(hi);
-            if cand_hi > lo && budgets_allow(problem, &counts_for(cand_hi)) {
+            if cand_hi > lo && budgets_allow(problem, &counts_for(cand_hi), &mut pivots)? {
                 hi = cand_hi;
                 hint_used = true;
             }
             let cand_lo = (hint * 0.95).max(lo);
-            if cand_lo < hi && !budgets_allow(problem, &counts_for(cand_lo)) {
+            if cand_lo < hi && !budgets_allow(problem, &counts_for(cand_lo), &mut pivots)? {
                 lo = cand_lo;
                 hint_used = true;
             }
@@ -712,7 +798,7 @@ fn solve_bisection(
     for _ in 0..200 {
         let mid = 0.5 * (lo + hi);
         iterations += 1;
-        if budgets_allow(problem, &counts_for(mid)) {
+        if budgets_allow(problem, &counts_for(mid), &mut pivots)? {
             hi = mid;
         } else {
             lo = mid;
@@ -721,13 +807,16 @@ fn solve_bisection(
             break;
         }
     }
-    (
-        relaxation_from_totals(problem, counts_for(hi), hi),
+    let relaxation = relaxation_from_totals(problem, counts_for(hi), hi, &mut pivots)?;
+    Ok((
+        relaxation,
         RelaxStats {
             iterations,
             hint_used,
+            simplex_pivots: pivots,
+            ..RelaxStats::default()
         },
-    )
+    ))
 }
 
 #[cfg(test)]
@@ -773,7 +862,8 @@ mod tests {
     fn bounded_relaxation_respects_bounds() {
         let p = two_kernel_problem();
         let bounds = vec![(1.0, 1.0), (1.0, 10.0)];
-        let (r, _) = relax_bounded_hinted(&p, &bounds, RelaxationBackend::Bisection, None).unwrap();
+        let (r, _) =
+            relax_bounded_hinted(&p, &bounds, RelaxationBackend::Bisection, None, None).unwrap();
         assert!((r.cu_counts[0] - 1.0).abs() < 1e-9);
         // Kernel a fixed at one CU → II at least 3.
         assert!(r.initiation_interval_ms >= 3.0 - 1e-9);
@@ -794,7 +884,8 @@ mod tests {
             f64::NAN,
             -1.0,
         ] {
-            let (warm, _) = relax_hinted(&p, RelaxationBackend::Bisection, Some(hint)).unwrap();
+            let (warm, _) =
+                relax_hinted(&p, RelaxationBackend::Bisection, Some(hint), None).unwrap();
             assert!(
                 (warm.initiation_interval_ms - cold.initiation_interval_ms).abs()
                     < 1e-9 * cold.initiation_interval_ms.max(1.0),
@@ -808,12 +899,14 @@ mod tests {
     #[test]
     fn good_hints_narrow_the_bisection_bracket() {
         let p = two_kernel_problem();
-        let (cold, cold_stats) = relax_hinted(&p, RelaxationBackend::Bisection, None).unwrap();
+        let (cold, cold_stats) =
+            relax_hinted(&p, RelaxationBackend::Bisection, None, None).unwrap();
         assert!(!cold_stats.hint_used);
         let (warm, warm_stats) = relax_hinted(
             &p,
             RelaxationBackend::Bisection,
             Some(cold.initiation_interval_ms),
+            None,
         )
         .unwrap();
         assert!(warm_stats.hint_used);
@@ -833,12 +926,13 @@ mod tests {
     fn gp_backend_consumes_the_hint_as_an_interior_start() {
         let p = two_kernel_problem();
         let (cold, cold_stats) =
-            relax_hinted(&p, RelaxationBackend::GeometricProgram, None).unwrap();
+            relax_hinted(&p, RelaxationBackend::GeometricProgram, None, None).unwrap();
         assert!(!cold_stats.hint_used);
         let (warm, warm_stats) = relax_hinted(
             &p,
             RelaxationBackend::GeometricProgram,
             Some(cold.initiation_interval_ms),
+            None,
         )
         .unwrap();
         assert!(warm_stats.hint_used, "hint point rejected");
@@ -852,6 +946,70 @@ mod tests {
             (warm.initiation_interval_ms - cold.initiation_interval_ms).abs()
                 < 1e-4 * cold.initiation_interval_ms
         );
+    }
+
+    /// Tentpole contract: handing the GP backend the previous solve's dual
+    /// state on top of the primal hint strictly reduces barrier iterations
+    /// and KKT factorizations, and the optimum is unchanged.
+    #[test]
+    fn dual_hints_cut_barrier_iterations_and_factorizations() {
+        let p = two_kernel_problem();
+        let (cold, cold_stats) =
+            relax_hinted(&p, RelaxationBackend::GeometricProgram, None, None).unwrap();
+        let dual = cold_stats
+            .dual_state
+            .clone()
+            .expect("the GP backend reports its final dual state");
+        let hint = Some(cold.initiation_interval_ms);
+        let (_, primal_stats) =
+            relax_hinted(&p, RelaxationBackend::GeometricProgram, hint, None).unwrap();
+        let (warm, warm_stats) =
+            relax_hinted(&p, RelaxationBackend::GeometricProgram, hint, Some(&dual)).unwrap();
+        assert!(!primal_stats.dual_hint_used);
+        assert!(warm_stats.hint_used && warm_stats.dual_hint_used);
+        assert!(
+            warm_stats.barrier_iterations < cold_stats.barrier_iterations,
+            "dual-warm {} vs cold {} barrier iterations",
+            warm_stats.barrier_iterations,
+            cold_stats.barrier_iterations
+        );
+        assert!(
+            warm_stats.factorizations < cold_stats.factorizations,
+            "dual-warm {} vs cold {} factorizations",
+            warm_stats.factorizations,
+            cold_stats.factorizations
+        );
+        assert!(
+            (warm.initiation_interval_ms - cold.initiation_interval_ms).abs()
+                < 1e-4 * cold.initiation_interval_ms
+        );
+    }
+
+    /// The effort counters separate the substrates: bisection on a
+    /// heterogeneous fleet spends simplex pivots but no barrier iterations,
+    /// the GP backend the other way around (plus the anchor's pivots).
+    #[test]
+    fn effort_counters_attribute_work_to_the_right_substrate() {
+        let p = mixed_fleet_problem(0.6);
+        let (_, bis) = relax_hinted(&p, RelaxationBackend::Bisection, None, None).unwrap();
+        assert!(bis.simplex_pivots > 0, "water-filling probes pivot");
+        assert_eq!(bis.barrier_iterations, 0);
+        assert_eq!(bis.factorizations, 0);
+        assert!(bis.dual_state.is_none());
+        let (_, gp) = relax_hinted(&p, RelaxationBackend::GeometricProgram, None, None).unwrap();
+        assert!(gp.barrier_iterations > 0);
+        assert!(gp.factorizations > 0);
+        assert!(gp.simplex_pivots > 0, "the anchor bisection pivots");
+        assert!(gp.dual_state.is_some());
+        // Single-group problems never touch the LP.
+        let (_, homo) = relax_hinted(
+            &two_kernel_problem(),
+            RelaxationBackend::Bisection,
+            None,
+            None,
+        )
+        .unwrap();
+        assert_eq!(homo.simplex_pivots, 0);
     }
 
     /// Regression for the interior-widening bug: with a bound pair pinned at
@@ -874,7 +1032,8 @@ mod tests {
             .unwrap();
         let bounds = vec![(1.0, 1.0), (1.0, 10.0)];
         let (r, _) =
-            relax_bounded_hinted(&p, &bounds, RelaxationBackend::GeometricProgram, None).unwrap();
+            relax_bounded_hinted(&p, &bounds, RelaxationBackend::GeometricProgram, None, None)
+                .unwrap();
         assert!(
             r.cu_counts[0] >= 1.0 - 1e-8,
             "N̂_a = {} dips below the Eq. 16 floor",
@@ -981,7 +1140,7 @@ mod tests {
     fn invalid_bounds_are_rejected() {
         let p = two_kernel_problem();
         let bounded = |bounds: &[(f64, f64)]| {
-            relax_bounded_hinted(&p, bounds, RelaxationBackend::Bisection, None)
+            relax_bounded_hinted(&p, bounds, RelaxationBackend::Bisection, None, None)
         };
         assert!(bounded(&[(1.0, 2.0)]).is_err());
         assert!(bounded(&[(0.0, 2.0), (1.0, 2.0)]).is_err());

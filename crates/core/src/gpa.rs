@@ -81,8 +81,13 @@ pub(crate) fn run_pipeline(
 
     check_deadline(deadline, "relaxation")?;
     let relaxation_start = Instant::now();
-    let (relaxation, relax_stats) =
-        gp_step::relax_hinted(problem, options.relaxation_backend, warm.relaxed_ii_ms)?;
+    let dual_hint = warm.gp_dual.as_ref().map(mfa_gp::GpDualState::from);
+    let (relaxation, relax_stats) = gp_step::relax_hinted(
+        problem,
+        options.relaxation_backend,
+        warm.relaxed_ii_ms,
+        dual_hint.as_ref(),
+    )?;
     let relaxation_time = relaxation_start.elapsed();
 
     check_deadline(deadline, "discretization")?;
@@ -115,8 +120,16 @@ pub(crate) fn run_pipeline(
             dropped_cus,
             bb_nodes: discrete.nodes_explored,
             relaxation_iterations: relax_stats.iterations,
+            barrier_iterations: relax_stats.barrier_iterations,
+            factorizations: relax_stats.factorizations,
+            simplex_pivots: relax_stats.simplex_pivots,
+            gp_dual: relax_stats
+                .dual_state
+                .as_ref()
+                .map(crate::solver::DualWarmStart::from),
             warm_start: WarmStartReport {
                 ii_hint_used: relax_stats.hint_used,
+                dual_hint_used: relax_stats.dual_hint_used,
                 incumbent_used,
             },
             timing: StageTiming {

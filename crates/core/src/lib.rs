@@ -73,6 +73,6 @@ pub use error::AllocError;
 pub use problem::{AllocationProblem, AllocationProblemBuilder, GoalWeights, Kernel};
 pub use solution::{Allocation, AllocationMetrics};
 pub use solver::{
-    Backend, Deadline, SkipPolicy, SolveDiagnostics, SolveReport, SolveRequest, SolverBackend,
-    StageTiming, WarmStart, WarmStartReport,
+    Backend, Deadline, DualWarmStart, SkipPolicy, SolveDiagnostics, SolveReport, SolveRequest,
+    SolverBackend, StageTiming, WarmStart, WarmStartReport,
 };

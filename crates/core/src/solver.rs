@@ -46,6 +46,7 @@
 
 use std::time::{Duration, Instant};
 
+use mfa_linprog::LpError;
 use serde::{Deserialize, Serialize};
 
 use crate::exact::{self, ExactOptions};
@@ -133,6 +134,11 @@ pub(crate) fn check_deadline(deadline: Option<&Deadline>, stage: &str) -> Result
 /// * `relaxed_ii_ms` narrows the bisection bracket of the continuous
 ///   relaxation and seeds the GP interior-point solver's start point
 ///   (consumed by [`Backend::Gpa`] and [`Backend::Greedy`]);
+/// * `gp_dual` carries the neighbouring GP relaxation's final barrier
+///   parameter and constraint multipliers, letting the interior-point solve
+///   re-enter the barrier path near its end instead of re-running the early
+///   centering sweeps (consumed by [`Backend::Gpa`] with the GP relaxation
+///   backend, and only when the `relaxed_ii_ms` seed is accepted);
 /// * `cu_counts` seeds the discretization branch-and-bound and — placed by
 ///   the greedy allocator — the exact MINLP's incumbent, both pruning from
 ///   node 0 (consumed by [`Backend::Gpa`] and [`Backend::Exact`]).
@@ -147,6 +153,8 @@ pub struct WarmStart {
     pub relaxed_ii_ms: Option<f64>,
     /// Final (post-drop) integer CU counts of the neighbouring solve.
     pub cu_counts: Option<Vec<u32>>,
+    /// Dual state of the neighbouring solve's GP relaxation, if it ran one.
+    pub gp_dual: Option<DualWarmStart>,
 }
 
 impl WarmStart {
@@ -169,9 +177,16 @@ impl WarmStart {
         self
     }
 
+    /// Sets the GP dual-state hint.
+    #[must_use]
+    pub fn with_gp_dual(mut self, dual: DualWarmStart) -> Self {
+        self.gp_dual = Some(dual);
+        self
+    }
+
     /// `true` when no hint is present.
     pub fn is_empty(&self) -> bool {
-        self.relaxed_ii_ms.is_none() && self.cu_counts.is_none()
+        self.relaxed_ii_ms.is_none() && self.cu_counts.is_none() && self.gp_dual.is_none()
     }
 }
 
@@ -181,6 +196,43 @@ impl From<&SolveReport> for WarmStart {
         WarmStart {
             relaxed_ii_ms: report.diagnostics.relaxed_ii_ms,
             cu_counts: Some(report.diagnostics.cu_counts.clone()),
+            gp_dual: report.diagnostics.gp_dual.clone(),
+        }
+    }
+}
+
+/// Dual warm-start state of a GP relaxation: the final barrier parameter `t`
+/// and the constraint multiplier estimates `λ_i = 1/(t·s_i)` of the
+/// producing solve, in that solve's explicit-constraint order.
+///
+/// Carried between neighbouring sweep points by [`WarmStart::gp_dual`] and
+/// the explore layer's warm-start cache. Consumed only together with an
+/// accepted `relaxed_ii_ms` primal seed; the GP solver validates the state
+/// (length, sign, finiteness, positive slack at the seed) and silently falls
+/// back to the primal-only warm start when anything is off, so a stale dual
+/// can cost barrier iterations but never changes the optimum.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct DualWarmStart {
+    /// Final barrier parameter `t` of the producing solve.
+    pub barrier_t: f64,
+    /// Multiplier estimates for the explicit constraints, in model order.
+    pub duals: Vec<f64>,
+}
+
+impl From<&mfa_gp::GpDualState> for DualWarmStart {
+    fn from(state: &mfa_gp::GpDualState) -> Self {
+        DualWarmStart {
+            barrier_t: state.barrier_t,
+            duals: state.duals.clone(),
+        }
+    }
+}
+
+impl From<&DualWarmStart> for mfa_gp::GpDualState {
+    fn from(state: &DualWarmStart) -> Self {
+        mfa_gp::GpDualState {
+            barrier_t: state.barrier_t,
+            duals: state.duals.clone(),
         }
     }
 }
@@ -193,44 +245,46 @@ pub struct WarmStartReport {
     /// The relaxed-II hint narrowed the bisection bracket or seeded the GP
     /// interior point.
     pub ii_hint_used: bool,
+    /// The GP dual-state hint re-entered the barrier path near its end (only
+    /// possible when the relaxed-II seed was also accepted).
+    pub dual_hint_used: bool,
     /// The integer-counts hint was accepted as a branch-and-bound incumbent
     /// (discretization or exact MINLP).
     pub incumbent_used: bool,
 }
 
 impl WarmStartReport {
-    /// Compact label used in exports: `cold`, `ii`, `incumbent`, or
-    /// `ii+incumbent`.
+    /// Compact label used in exports: `cold` or a `+`-joined subset of
+    /// `ii`, `dual`, `incumbent` (e.g. `ii+dual+incumbent`).
     pub fn provenance(&self) -> &'static str {
-        match (self.ii_hint_used, self.incumbent_used) {
-            (false, false) => "cold",
-            (true, false) => "ii",
-            (false, true) => "incumbent",
-            (true, true) => "ii+incumbent",
+        match (self.ii_hint_used, self.dual_hint_used, self.incumbent_used) {
+            (false, false, false) => "cold",
+            (true, false, false) => "ii",
+            (false, true, false) => "dual",
+            (false, false, true) => "incumbent",
+            (true, true, false) => "ii+dual",
+            (true, false, true) => "ii+incumbent",
+            (false, true, true) => "dual+incumbent",
+            (true, true, true) => "ii+dual+incumbent",
         }
     }
 
     /// Parses a [`provenance`](Self::provenance) label.
     pub fn from_provenance(label: &str) -> Option<Self> {
-        match label {
-            "cold" => Some(WarmStartReport {
-                ii_hint_used: false,
-                incumbent_used: false,
-            }),
-            "ii" => Some(WarmStartReport {
-                ii_hint_used: true,
-                incumbent_used: false,
-            }),
-            "incumbent" => Some(WarmStartReport {
-                ii_hint_used: false,
-                incumbent_used: true,
-            }),
-            "ii+incumbent" => Some(WarmStartReport {
-                ii_hint_used: true,
-                incumbent_used: true,
-            }),
-            _ => None,
+        let mut report = WarmStartReport::default();
+        if label == "cold" {
+            return Some(report);
         }
+        for part in label.split('+') {
+            match part {
+                "ii" if !report.ii_hint_used => report.ii_hint_used = true,
+                "dual" if !report.dual_hint_used => report.dual_hint_used = true,
+                "incumbent" if !report.incumbent_used => report.incumbent_used = true,
+                _ => return None,
+            }
+        }
+        // Only accept the canonical ordering `provenance` emits.
+        (Self::provenance(&report) == label).then_some(report)
     }
 }
 
@@ -249,15 +303,16 @@ pub enum SkipPolicy {
     /// ([`AllocError::Infeasible`]), a discretized configuration the
     /// allocator cannot bin-pack ([`AllocError::AllocationFailed`]), a
     /// budgeted MINLP solve that exhausts its node budget without an
-    /// incumbent, and an exhausted [`Deadline`] all mean "no data for this
-    /// point". Anything else (invalid arguments, numerical solver failures)
-    /// is an error.
+    /// incumbent, an exhausted water-filling simplex pivot budget
+    /// ([`LpError::PivotBudgetExceeded`]), and an exhausted [`Deadline`] all
+    /// mean "no data for this point". Anything else (invalid arguments,
+    /// numerical solver failures) is an error.
     #[default]
     Lenient,
     /// Only genuine infeasibility ([`AllocError::Infeasible`]) is skipped;
-    /// an unplaceable discretization, an exhausted node budget and a missed
-    /// deadline are hard errors. Exact sweeps that must account for every
-    /// point opt into this.
+    /// an unplaceable discretization, an exhausted node or pivot budget and
+    /// a missed deadline are hard errors. Exact sweeps that must account for
+    /// every point opt into this.
     Strict,
 }
 
@@ -271,6 +326,7 @@ impl SkipPolicy {
                     | AllocError::AllocationFailed { .. }
                     | AllocError::DeadlineExceeded { .. }
                     | AllocError::Minlp(mfa_minlp::MinlpError::NodeLimitWithoutSolution { .. })
+                    | AllocError::Linprog(LpError::PivotBudgetExceeded { .. })
             ),
             SkipPolicy::Strict => matches!(err, AllocError::Infeasible(_)),
         }
@@ -599,6 +655,20 @@ pub struct SolveDiagnostics {
     /// Deterministic relaxation effort: bisection feasibility steps or GP
     /// Newton iterations of the top-level relaxation.
     pub relaxation_iterations: usize,
+    /// Interior-point barrier iterations of the top-level GP relaxation
+    /// (zero for bisection-only and exact solves). Machine-independent.
+    pub barrier_iterations: usize,
+    /// KKT factorizations performed by the GP relaxation, counting full
+    /// factorizations and in-place diagonal refreshes alike (zero for
+    /// bisection-only and exact solves). Machine-independent.
+    pub factorizations: usize,
+    /// Simplex pivots spent in the linear-programming substrate: the
+    /// water-filling feasibility probes of the heuristic backends, or every
+    /// node LP of the exact MINLP search. Machine-independent.
+    pub simplex_pivots: usize,
+    /// Dual state of the GP relaxation, offered to neighbouring solves via
+    /// [`WarmStart::gp_dual`]. `None` when no GP relaxation ran.
+    pub gp_dual: Option<DualWarmStart>,
     /// Which warm-start hints the solve actually consumed.
     pub warm_start: WarmStartReport,
     /// Wall-clock stage timing.
@@ -684,6 +754,7 @@ impl SolverBackend for GreedyBackend {
             problem,
             RelaxationBackend::Bisection,
             warm.relaxed_ii_ms,
+            None,
         )?;
         let relaxation_time = relaxation_start.elapsed();
 
@@ -716,8 +787,13 @@ impl SolverBackend for GreedyBackend {
                 dropped_cus,
                 bb_nodes: 0,
                 relaxation_iterations: stats.iterations,
+                barrier_iterations: stats.barrier_iterations,
+                factorizations: stats.factorizations,
+                simplex_pivots: stats.simplex_pivots,
+                gp_dual: stats.dual_state.as_ref().map(DualWarmStart::from),
                 warm_start: WarmStartReport {
                     ii_hint_used: stats.hint_used,
+                    dual_hint_used: stats.dual_hint_used,
                     incumbent_used: false,
                 },
                 timing: StageTiming {
@@ -909,8 +985,18 @@ mod tests {
         assert!(lenient.is_skippable(&AllocError::DeadlineExceeded {
             stage: "relaxation".into()
         }));
+        assert!(
+            lenient.is_skippable(&AllocError::from(LpError::PivotBudgetExceeded {
+                pivots: 50_000
+            }))
+        );
         assert!(!lenient.is_skippable(&AllocError::InvalidArgument("bad".into())));
         assert!(!lenient.is_skippable(&AllocError::from(mfa_minlp::MinlpError::UnknownVariable(0))));
+        assert!(
+            !lenient.is_skippable(&AllocError::from(LpError::InvalidArgument(
+                "nan coefficient".into()
+            )))
+        );
 
         let strict = SkipPolicy::Strict;
         assert!(strict.is_skippable(&AllocError::Infeasible("too tight".into())));
@@ -923,6 +1009,11 @@ mod tests {
         assert!(!strict.is_skippable(&AllocError::DeadlineExceeded {
             stage: "relaxation".into()
         }));
+        assert!(
+            !strict.is_skippable(&AllocError::from(LpError::PivotBudgetExceeded {
+                pivots: 50_000
+            }))
+        );
     }
 
     #[test]
@@ -992,6 +1083,85 @@ mod tests {
         let a = warm.diagnostics.relaxed_ii_ms.unwrap();
         let b = cold.diagnostics.relaxed_ii_ms.unwrap();
         assert!((a - b).abs() < 1e-4 * b, "warm {a} vs cold {b}");
+    }
+
+    /// Shared body of the two dual warm-start effort tests: solve `problem`
+    /// cold, solve `neighbour` cold, then re-solve `problem` seeded with the
+    /// neighbour's full warm-start state (primal + dual + incumbent, exactly
+    /// what the explore layer's cache hands over) and require the dual hint
+    /// to be consumed and to strictly cut both barrier iterations and KKT
+    /// factorizations against the cold solve — without moving the optimum.
+    fn assert_dual_warm_start_cuts_barrier_effort(
+        problem: &AllocationProblem,
+        neighbour: &AllocationProblem,
+    ) {
+        let cold = SolveRequest::new(problem)
+            .backend(Backend::gpa())
+            .solve()
+            .unwrap();
+        assert!(
+            cold.diagnostics.gp_dual.is_some(),
+            "a GP relaxation must publish its dual state"
+        );
+        assert!(cold.diagnostics.barrier_iterations > 0);
+        assert!(cold.diagnostics.factorizations > 0);
+
+        let seed = SolveRequest::new(neighbour)
+            .backend(Backend::gpa())
+            .solve()
+            .unwrap();
+        assert!(seed.warm_start().gp_dual.is_some());
+
+        let warm = SolveRequest::new(problem)
+            .backend(Backend::gpa())
+            .warm_start(seed.warm_start())
+            .solve()
+            .unwrap();
+        assert!(warm.diagnostics.warm_start.ii_hint_used);
+        assert!(
+            warm.diagnostics.warm_start.dual_hint_used,
+            "the neighbouring dual state was not consumed"
+        );
+        assert!(
+            warm.diagnostics.barrier_iterations < cold.diagnostics.barrier_iterations,
+            "warm {} vs cold {} barrier iterations",
+            warm.diagnostics.barrier_iterations,
+            cold.diagnostics.barrier_iterations
+        );
+        assert!(
+            warm.diagnostics.factorizations < cold.diagnostics.factorizations,
+            "warm {} vs cold {} factorizations",
+            warm.diagnostics.factorizations,
+            cold.diagnostics.factorizations
+        );
+        // The relaxed optimum is unchanged beyond solver tolerance: a dual
+        // hint only spends less effort, it never moves the answer.
+        let a = warm.diagnostics.relaxed_ii_ms.unwrap();
+        let b = cold.diagnostics.relaxed_ii_ms.unwrap();
+        assert!((a - b).abs() < 1e-4 * b, "warm {a} vs cold {b}");
+    }
+
+    #[test]
+    fn alex16_dual_warm_start_cuts_barrier_effort() {
+        // Neighbouring sweep points of the Fig. 2 Alex-16 quick preset: the
+        // tighter point's solution is feasible at the looser one, so every
+        // hint — primal II, dual state, incumbent counts — is accepted.
+        assert_dual_warm_start_cuts_barrier_effort(&alex16(0.70), &alex16(0.65));
+    }
+
+    #[test]
+    fn vgg_dual_warm_start_cuts_barrier_effort() {
+        let vgg = |constraint: f64| {
+            AllocationProblem::from_application(
+                &paper_data::vgg_16bit(),
+                8,
+                constraint,
+                crate::problem::GoalWeights::ii_only(),
+            )
+            .unwrap()
+        };
+        // The Fig. 5 VGG quick case and its next-tighter neighbour.
+        assert_dual_warm_start_cuts_barrier_effort(&vgg(0.80), &vgg(0.78));
     }
 
     #[test]
@@ -1102,6 +1272,10 @@ mod tests {
                         dropped_cus: vec![0; problem.num_kernels()],
                         bb_nodes: 0,
                         relaxation_iterations: 0,
+                        barrier_iterations: 0,
+                        factorizations: 0,
+                        simplex_pivots: 0,
+                        gp_dual: None,
                         warm_start: WarmStartReport::default(),
                         timing: StageTiming::default(),
                     },
@@ -1118,10 +1292,11 @@ mod tests {
 
     #[test]
     fn provenance_labels_round_trip() {
-        for (ii, incumbent) in [(false, false), (true, false), (false, true), (true, true)] {
+        for bits in 0u8..8 {
             let report = WarmStartReport {
-                ii_hint_used: ii,
-                incumbent_used: incumbent,
+                ii_hint_used: bits & 1 != 0,
+                dual_hint_used: bits & 2 != 0,
+                incumbent_used: bits & 4 != 0,
             };
             assert_eq!(
                 WarmStartReport::from_provenance(report.provenance()),
@@ -1129,6 +1304,11 @@ mod tests {
             );
         }
         assert_eq!(WarmStartReport::from_provenance("warmish"), None);
+        // Non-canonical orderings and repeats are rejected, keeping the
+        // label space closed under round-tripping.
+        assert_eq!(WarmStartReport::from_provenance("dual+ii"), None);
+        assert_eq!(WarmStartReport::from_provenance("ii+ii"), None);
+        assert_eq!(WarmStartReport::from_provenance(""), None);
         assert_eq!(SkipPolicy::from_label("lenient"), Some(SkipPolicy::Lenient));
         assert_eq!(SkipPolicy::from_label("strict"), Some(SkipPolicy::Strict));
         assert_eq!(SkipPolicy::from_label("loose"), None);

@@ -28,6 +28,14 @@ pub fn budget_distance(a: &ResourceBudget, b: &ResourceBudget) -> f64 {
 /// so the nearest hint narrows the bisection bracket the most and its
 /// integer counts make the strongest branch-and-bound incumbent).
 ///
+/// Entries hold the full [`WarmStart`] a report publishes, so the GP dual
+/// state ([`WarmStart::gp_dual`] — the final barrier parameter plus
+/// constraint multipliers) is cached and handed over alongside the primal
+/// hints: a GP-backed sweep re-enters the barrier path near the neighbour's
+/// endpoint instead of re-running the early centering rungs. The solver
+/// validates the dual against the new point and silently drops it when
+/// stale, so caching it can only reduce effort, never change a solution.
+///
 /// The executor keeps one cache per work-unit chunk. That choice is what
 /// makes parallel and serial sweeps byte-identical: the chunk decomposition
 /// depends only on the grid and the chunk size, never on the thread count or
@@ -143,6 +151,24 @@ mod tests {
         cache.insert(&skewed, warm(3.0));
         cache.insert(&uniformish, warm(4.0));
         assert!((cache.nearest(&query).unwrap().relaxed_ii_ms.unwrap() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cached_entries_carry_the_gp_dual_state() {
+        use mfa_alloc::solver::DualWarmStart;
+        let mut cache = WarmStartCache::new();
+        let dual = DualWarmStart {
+            barrier_t: 1.6e9,
+            duals: vec![0.25, 0.0, 1.5],
+        };
+        cache.insert(
+            &ResourceBudget::uniform(0.7),
+            warm(1.5).with_gp_dual(dual.clone()),
+        );
+        let hit = cache.nearest(&ResourceBudget::uniform(0.72)).unwrap();
+        // The dual rides the cache untouched, ready for the next solve.
+        assert_eq!(hit.gp_dual.as_ref(), Some(&dual));
+        assert!(!hit.is_empty());
     }
 
     #[test]

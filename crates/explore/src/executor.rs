@@ -178,16 +178,21 @@ pub fn zero_timing(series: &mut [SweepSeries]) {
 /// Resets the diagnostics that legitimately depend on the chunk
 /// decomposition: warm-start provenance (which hints a point received is a
 /// fact about its chunk), branch-and-bound node counts (seeded searches
-/// prune differently), and the relaxation gap (a warm-started bisection
-/// converges to the same optimum from a narrower bracket, differing in the
-/// last few ulps). Apply it — together with [`zero_timing`] — before
-/// comparing runs that used *different* chunk sizes; runs with the same
-/// decomposition are byte-identical without it.
+/// prune differently), the effort counters (barrier iterations, KKT
+/// factorizations and simplex pivots all shrink when a chunk's cache warms
+/// the solve), and the relaxation gap (a warm-started bisection converges to
+/// the same optimum from a narrower bracket, differing in the last few
+/// ulps). Apply it — together with [`zero_timing`] — before comparing runs
+/// that used *different* chunk sizes; runs with the same decomposition are
+/// byte-identical without it.
 pub fn zero_chunk_diagnostics(series: &mut [SweepSeries]) {
     for s in series {
         for p in &mut s.points {
             p.relaxation_gap = 0.0;
             p.bb_nodes = 0;
+            p.barrier_iterations = 0;
+            p.factorizations = 0;
+            p.simplex_pivots = 0;
             p.warm_start = mfa_alloc::solver::WarmStartReport::default();
         }
     }

@@ -39,7 +39,8 @@ pub fn series_to_json(series: &[SweepSeries]) -> String {
                  \"initiation_interval_ms\": {}, \
                  \"average_utilization\": {}, \"spreading\": {}, \"solve_seconds\": {}, \
                  \"relaxation_gap\": {}, \"bb_nodes\": {}, \"dropped_cus\": {}, \
-                 \"warm_start\": {}}}",
+                 \"warm_start\": {}, \"barrier_iterations\": {}, \
+                 \"factorizations\": {}, \"simplex_pivots\": {}}}",
                 json_f64(p.resource_constraint),
                 json_f64(fraction.lut),
                 json_f64(fraction.ff),
@@ -53,7 +54,10 @@ pub fn series_to_json(series: &[SweepSeries]) -> String {
                 json_f64(p.relaxation_gap),
                 p.bb_nodes,
                 p.dropped_cus,
-                json_string(p.warm_start.provenance())
+                json_string(p.warm_start.provenance()),
+                p.barrier_iterations,
+                p.factorizations,
+                p.simplex_pivots
             ));
             if j + 1 < s.points.len() {
                 out.push(',');
@@ -76,23 +80,25 @@ pub fn series_to_json(series: &[SweepSeries]) -> String {
 }
 
 /// Serializes series as CSV with one row per point:
-/// `case,platform,num_fpgas,backend,resource_constraint,lut_budget,ff_budget,bram_budget,dsp_budget,bandwidth_budget,initiation_interval_ms,average_utilization,spreading,solve_seconds,relaxation_gap,bb_nodes,dropped_cus,warm_start`.
+/// `case,platform,num_fpgas,backend,resource_constraint,lut_budget,ff_budget,bram_budget,dsp_budget,bandwidth_budget,initiation_interval_ms,average_utilization,spreading,solve_seconds,relaxation_gap,bb_nodes,dropped_cus,warm_start,barrier_iterations,factorizations,simplex_pivots`.
 ///
-/// The four trailing diagnostic columns (relative relaxation gap,
-/// branch-and-bound nodes, dropped CUs, warm-start provenance) are additive:
-/// everything before them is byte-identical to the pre-diagnostics format.
+/// The trailing diagnostic columns (relative relaxation gap,
+/// branch-and-bound nodes, dropped CUs, warm-start provenance, and the
+/// machine-independent effort counters) are additive: everything before
+/// them is byte-identical to the pre-diagnostics format.
 pub fn series_to_csv(series: &[SweepSeries]) -> String {
     let mut out = String::from(
         "case,platform,num_fpgas,backend,resource_constraint,\
          lut_budget,ff_budget,bram_budget,dsp_budget,bandwidth_budget,\
          initiation_interval_ms,average_utilization,spreading,solve_seconds,\
-         relaxation_gap,bb_nodes,dropped_cus,warm_start\n",
+         relaxation_gap,bb_nodes,dropped_cus,warm_start,\
+         barrier_iterations,factorizations,simplex_pivots\n",
     );
     for s in series {
         for p in &s.points {
             let fraction = p.budget.resource_fraction();
             out.push_str(&format!(
-                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
                 csv_field(&s.case),
                 csv_field(&s.platform),
                 s.num_fpgas,
@@ -110,7 +116,10 @@ pub fn series_to_csv(series: &[SweepSeries]) -> String {
                 p.relaxation_gap,
                 p.bb_nodes,
                 p.dropped_cus,
-                p.warm_start.provenance()
+                p.warm_start.provenance(),
+                p.barrier_iterations,
+                p.factorizations,
+                p.simplex_pivots
             ));
         }
     }
@@ -197,6 +206,9 @@ mod tests {
                         solve_seconds: 0.01,
                         relaxation_gap: 0.0625,
                         bb_nodes: 12,
+                        barrier_iterations: 0,
+                        factorizations: 0,
+                        simplex_pivots: 31,
                         dropped_cus: 0,
                         warm_start: WarmStartReport::default(),
                     },
@@ -209,9 +221,13 @@ mod tests {
                         solve_seconds: 0.02,
                         relaxation_gap: 0.031,
                         bb_nodes: 7,
+                        barrier_iterations: 9,
+                        factorizations: 48,
+                        simplex_pivots: 17,
                         dropped_cus: 1,
                         warm_start: WarmStartReport {
                             ii_hint_used: true,
+                            dual_hint_used: true,
                             incumbent_used: true,
                         },
                     },
@@ -245,6 +261,11 @@ mod tests {
         ));
         assert!(json.contains("\"bram\": 0.5, \"dsp\": 0.7, \"bandwidth\": 0.8"));
         assert!(json.contains("\"odd \\\"label\\\", with comma\""));
+        // The effort counters ride along with every point.
+        assert!(json.contains(
+            "\"warm_start\": \"ii+dual+incumbent\", \"barrier_iterations\": 9, \
+             \"factorizations\": 48, \"simplex_pivots\": 17"
+        ));
         // The empty series still appears, with an empty points array.
         assert!(json.contains("\"points\": []"));
         // Balanced brackets/braces — a cheap well-formedness check.
@@ -266,10 +287,10 @@ mod tests {
              lut_budget,ff_budget,bram_budget,dsp_budget,bandwidth_budget"
         ));
         assert!(lines[1].starts_with("Alex-16 on 2 FPGAs,2 FPGAs,2,GP+A,0.55,"));
-        assert_eq!(lines[1].split(',').count(), 18);
-        // The diagnostics ride at the end of the row, provenance last.
-        assert!(lines[1].ends_with("0.0625,12,0,cold"));
-        assert!(lines[2].ends_with("0.031,7,1,ii+incumbent"));
+        assert_eq!(lines[1].split(',').count(), 21);
+        // The diagnostics ride at the end of the row, effort counters last.
+        assert!(lines[1].ends_with("0.0625,12,0,cold,0,0,31"));
+        assert!(lines[2].ends_with("0.031,7,1,ii+dual+incumbent,9,48,17"));
         // The per-resource budget point spells out its fractions.
         assert!(lines[2].contains("0.9,0.9,0.5,0.7,0.8"));
     }

@@ -702,6 +702,12 @@ pub fn point_to_json(point: &SweepPoint) -> Result<Json, WireError> {
             num("relaxation_gap", point.relaxation_gap)?,
         ),
         ("bb_nodes", Json::Num(point.bb_nodes as f64)),
+        (
+            "barrier_iterations",
+            Json::Num(point.barrier_iterations as f64),
+        ),
+        ("factorizations", Json::Num(point.factorizations as f64)),
+        ("simplex_pivots", Json::Num(point.simplex_pivots as f64)),
         ("dropped_cus", Json::Num(f64::from(point.dropped_cus))),
         (
             "warm_start",
@@ -726,6 +732,23 @@ pub fn point_from_json(value: &Json) -> Result<SweepPoint, WireError> {
         solve_seconds: f64_field(value, "solve_seconds")?,
         relaxation_gap: f64_field(value, "relaxation_gap")?,
         bb_nodes: usize_field(value, "bb_nodes")?,
+        // Absent on frames from before the incremental-solve effort
+        // counters: default to zero, exactly what those sweeps recorded.
+        barrier_iterations: if field(value, "barrier_iterations").is_ok() {
+            usize_field(value, "barrier_iterations")?
+        } else {
+            0
+        },
+        factorizations: if field(value, "factorizations").is_ok() {
+            usize_field(value, "factorizations")?
+        } else {
+            0
+        },
+        simplex_pivots: if field(value, "simplex_pivots").is_ok() {
+            usize_field(value, "simplex_pivots")?
+        } else {
+            0
+        },
         dropped_cus: {
             let raw = f64_field(value, "dropped_cus")?;
             if raw < 0.0 || raw.fract() != 0.0 || raw > f64::from(u32::MAX) {
@@ -902,15 +925,38 @@ mod tests {
                 solve_seconds: 0.001234,
                 relaxation_gap: 0.01875,
                 bb_nodes: 23,
+                barrier_iterations: 11,
+                factorizations: 87,
+                simplex_pivots: 42,
                 dropped_cus: 2,
                 warm_start: WarmStartReport {
                     ii_hint_used: true,
+                    dual_hint_used: true,
                     incumbent_used: false,
                 },
             }),
         ];
         let decoded = decode_points(&encode_points(&points).unwrap()).unwrap();
         assert_eq!(decoded, points);
+    }
+
+    #[test]
+    fn points_from_before_the_effort_counters_still_decode() {
+        // A frame recorded before barrier_iterations/factorizations/
+        // simplex_pivots existed: the counters default to zero.
+        let legacy = r#"[{"resource_constraint": 0.65,
+            "budget": {"resources": {"lut": 0.65, "ff": 0.65, "bram": 0.65,
+                                     "dsp": 0.65},
+                       "bandwidth": 1},
+            "initiation_interval_ms": 1.5, "average_utilization": 0.5,
+            "spreading": 6, "solve_seconds": 0.01, "relaxation_gap": 0.02,
+            "bb_nodes": 9, "dropped_cus": 0, "warm_start": "ii"}]"#;
+        let decoded = decode_points(legacy).unwrap();
+        let point = decoded[0].as_ref().unwrap();
+        assert_eq!(point.bb_nodes, 9);
+        assert_eq!(point.barrier_iterations, 0);
+        assert_eq!(point.factorizations, 0);
+        assert_eq!(point.simplex_pivots, 0);
     }
 
     #[test]
@@ -924,6 +970,9 @@ mod tests {
             solve_seconds: 0.0,
             relaxation_gap: 0.0,
             bb_nodes: 0,
+            barrier_iterations: 0,
+            factorizations: 0,
+            simplex_pivots: 0,
             dropped_cus: 0,
             warm_start: WarmStartReport::default(),
         };

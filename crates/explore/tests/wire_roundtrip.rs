@@ -192,9 +192,10 @@ fn any_finite_f64() -> impl Strategy<Value = f64> {
 }
 
 fn warm_start_report() -> impl Strategy<Value = WarmStartReport> {
-    (0usize..4).prop_map(|bits| WarmStartReport {
+    (0usize..8).prop_map(|bits| WarmStartReport {
         ii_hint_used: bits & 1 != 0,
-        incumbent_used: bits & 2 != 0,
+        dual_hint_used: bits & 2 != 0,
+        incumbent_used: bits & 4 != 0,
     })
 }
 
@@ -205,10 +206,12 @@ fn point() -> impl Strategy<Value = SweepPoint> {
         any_finite_f64(),
         any_finite_f64(),
         (any_finite_f64(), any_finite_f64()),
-        // The additive diagnostics: gap, nodes, dropped CUs, provenance.
+        // The additive diagnostics: gap, nodes, effort counters, dropped
+        // CUs, provenance.
         (
             any_finite_f64(),
             0usize..1_000_000,
+            (0usize..1_000_000, 0usize..1_000_000, 0usize..1_000_000),
             (0usize..10_000).prop_map(|v| v as u32),
             warm_start_report(),
         ),
@@ -223,8 +226,11 @@ fn point() -> impl Strategy<Value = SweepPoint> {
                 solve_seconds: seconds,
                 relaxation_gap: diag.0,
                 bb_nodes: diag.1,
-                dropped_cus: diag.2,
-                warm_start: diag.3,
+                barrier_iterations: diag.2 .0,
+                factorizations: diag.2 .1,
+                simplex_pivots: diag.2 .2,
+                dropped_cus: diag.3,
+                warm_start: diag.4,
             },
         )
 }
@@ -283,6 +289,9 @@ proptest! {
                     prop_assert_eq!(b.budget, o.budget);
                     prop_assert_eq!(b.relaxation_gap.to_bits(), o.relaxation_gap.to_bits());
                     prop_assert_eq!(b.bb_nodes, o.bb_nodes);
+                    prop_assert_eq!(b.barrier_iterations, o.barrier_iterations);
+                    prop_assert_eq!(b.factorizations, o.factorizations);
+                    prop_assert_eq!(b.simplex_pivots, o.simplex_pivots);
                     prop_assert_eq!(b.dropped_cus, o.dropped_cus);
                     prop_assert_eq!(b.warm_start, o.warm_start);
                 }

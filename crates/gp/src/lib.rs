@@ -44,4 +44,4 @@ mod solver;
 pub use error::GpError;
 pub use expr::{Monomial, Posynomial};
 pub use model::{GpProblem, GpVarId};
-pub use solver::{GpSolution, SolverOptions};
+pub use solver::{GpDualState, GpSolution, SolverOptions};

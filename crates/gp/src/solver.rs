@@ -8,11 +8,29 @@
 //! of the barrier parameter), preceded by a phase-I search for a strictly
 //! feasible point.
 
-use mfa_linalg::{Matrix, Vector};
+use mfa_linalg::{KktFactorization, LinalgError, Matrix, Vector};
 
 use crate::expr::Posynomial;
 use crate::model::{GpProblem, GpVarId};
 use crate::GpError;
+
+/// Dual state of a completed barrier solve: the final barrier parameter and
+/// the dual estimates `λ_i = 1 / (t · (−F_i(y*)))` of the problem's explicit
+/// constraints, in declaration order (the solver's implicit box constraints
+/// are excluded).
+///
+/// Feeding a prior solution's dual state into
+/// [`SolverOptions::initial_dual`] lets a neighboring solve start phase II
+/// near the previous barrier parameter instead of walking the whole central
+/// path from [`SolverOptions::initial_barrier`] — the *dual* half of a warm
+/// start, complementing the primal [`SolverOptions::initial_point`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpDualState {
+    /// Final barrier parameter `t` of the producing solve.
+    pub barrier_t: f64,
+    /// Dual estimates for the explicit constraints, in declaration order.
+    pub duals: Vec<f64>,
+}
 
 /// Options controlling the interior-point solver.
 #[derive(Debug, Clone, PartialEq)]
@@ -54,6 +72,22 @@ pub struct SolverOptions {
     /// beyond solver tolerance. [`GpSolution::warm_started`] reports whether
     /// the hint was actually taken.
     pub initial_point: Option<Vec<f64>>,
+    /// Optional dual warm start: the final barrier parameter and constraint
+    /// duals of a prior solve (see [`GpSolution::dual_state`]).
+    ///
+    /// Only consumed when [`initial_point`](SolverOptions::initial_point) was
+    /// accepted — the dual state describes the central path near that point.
+    /// When taken, phase II starts at a barrier parameter derived from the
+    /// surrogate duality gap `Σ λ_i · (−F_i(y_warm))` (clamped to
+    /// `[initial_barrier, barrier_t]`) instead of
+    /// [`initial_barrier`](SolverOptions::initial_barrier), skipping the
+    /// early centering path entirely. A dual state with the wrong number of
+    /// duals, non-finite or negative entries, or an out-of-range `barrier_t`
+    /// is ignored; like a stale primal hint, a stale dual hint can only cost
+    /// extra iterations, never change the reported optimum beyond solver
+    /// tolerance. [`GpSolution::dual_warm_started`] reports whether it was
+    /// taken.
+    pub initial_dual: Option<GpDualState>,
 }
 
 impl Default for SolverOptions {
@@ -68,6 +102,7 @@ impl Default for SolverOptions {
             variable_lower: 1e-9,
             variable_upper: 1e9,
             initial_point: None,
+            initial_dual: None,
         }
     }
 }
@@ -81,6 +116,16 @@ impl SolverOptions {
             ..SolverOptions::default()
         }
     }
+
+    /// Default options warm-started from `point` with the dual state of a
+    /// prior solve (see [`SolverOptions::initial_dual`]).
+    pub fn warm_started_with_duals(point: Vec<f64>, dual: GpDualState) -> Self {
+        SolverOptions {
+            initial_point: Some(point),
+            initial_dual: Some(dual),
+            ..SolverOptions::default()
+        }
+    }
 }
 
 /// Solution of a [`GpProblem`].
@@ -90,6 +135,10 @@ pub struct GpSolution {
     objective: f64,
     newton_iterations: usize,
     warm_started: bool,
+    dual_warm_started: bool,
+    barrier_iterations: usize,
+    factorizations: usize,
+    dual_state: Option<GpDualState>,
 }
 
 impl GpSolution {
@@ -121,6 +170,34 @@ impl GpSolution {
     /// [`SolverOptions::initial_point`] (phase I skipped).
     pub fn warm_started(&self) -> bool {
         self.warm_started
+    }
+
+    /// `true` when a valid [`SolverOptions::initial_dual`] set the starting
+    /// barrier parameter (the early centering path was skipped).
+    pub fn dual_warm_started(&self) -> bool {
+        self.dual_warm_started
+    }
+
+    /// Number of barrier centering problems solved, phase I and phase II
+    /// combined — the machine-independent outer-iteration effort count.
+    pub fn barrier_iterations(&self) -> usize {
+        self.barrier_iterations
+    }
+
+    /// Number of KKT Cholesky factorization attempts across the solve: full
+    /// refactorizations plus in-place diagonal (ridge) refreshes, failed
+    /// attempts included. Each corresponds to one Newton system; together
+    /// with [`barrier_iterations`](Self::barrier_iterations) this measures
+    /// solve effort independently of the machine.
+    pub fn factorizations(&self) -> usize {
+        self.factorizations
+    }
+
+    /// Final barrier parameter and constraint duals, for warm-starting a
+    /// neighboring solve via [`SolverOptions::initial_dual`]. `None` only
+    /// for constant (variable-free) problems.
+    pub fn dual_state(&self) -> Option<&GpDualState> {
+        self.dual_state.as_ref()
     }
 }
 
@@ -246,24 +323,36 @@ struct ConvexProgram {
 impl ConvexProgram {
     /// Barrier centering: minimize `t·f0(y) − Σ log(−f_i(y))` by Newton.
     /// Returns the number of Newton steps. `y` must be strictly feasible.
-    fn center(&self, y: &mut Vector, t: f64, options: &SolverOptions) -> Result<usize, GpError> {
+    ///
+    /// Every Newton system is factored through the caller's reusable `kkt`
+    /// workspace: full refactorizations for the fresh Hessian of each step,
+    /// in-place diagonal refreshes for the ridge fallback on near-singular
+    /// Hessians. The workspace's counters therefore accumulate the solve's
+    /// factorization effort.
+    fn center(
+        &self,
+        y: &mut Vector,
+        t: f64,
+        options: &SolverOptions,
+        kkt: &mut KktFactorization,
+    ) -> Result<usize, GpError> {
         let mut steps = 0;
         for _ in 0..options.max_newton_iterations {
             let (phi, grad, hess) = self.barrier_derivatives(y, t)?;
-            // Solve H Δ = −g with a ridge fallback for near-singular Hessians.
-            let step = match hess.cholesky() {
-                Ok(chol) => chol.solve(&(-&grad)).map_err(to_numerical)?,
-                Err(_) => {
-                    let mut ridged = hess.clone();
-                    for i in 0..self.n {
-                        ridged.add_to(i, i, 1e-8 + 1e-8 * ridged.get(i, i).abs());
-                    }
-                    ridged
-                        .cholesky()
-                        .map_err(to_numerical)?
-                        .solve(&(-&grad))
-                        .map_err(to_numerical)?
+            // Solve H Δ = −g with a ridge fallback for near-singular
+            // Hessians; the ridge only touches the diagonal, so the fallback
+            // is an in-place refresh rather than a second factorization from
+            // scratch.
+            let step = match kkt.refactor(&hess) {
+                Ok(()) => kkt.solve(&(-&grad)).map_err(to_numerical)?,
+                Err(LinalgError::NotPositiveDefinite { .. }) => {
+                    let ridge: Vec<f64> = (0..self.n)
+                        .map(|i| 1e-8 + 1e-8 * hess.get(i, i).abs())
+                        .collect();
+                    kkt.refresh_diagonal(&ridge).map_err(to_numerical)?;
+                    kkt.solve(&(-&grad)).map_err(to_numerical)?
                 }
+                Err(err) => return Err(to_numerical(err)),
             };
             let decrement_sq = grad.dot(&(-&step)).map_err(to_numerical)?;
             if decrement_sq * 0.5 <= options.newton_tolerance {
@@ -356,8 +445,13 @@ pub(crate) fn solve(problem: &GpProblem, options: &SolverOptions) -> Result<GpSo
             objective: objective.eval(&[]),
             newton_iterations: 0,
             warm_started: false,
+            dual_warm_started: false,
+            barrier_iterations: 0,
+            factorizations: 0,
+            dual_state: None,
         });
     }
+    let num_explicit = problem.constraints.len();
 
     if !(options.variable_lower > 0.0 && options.variable_upper > options.variable_lower) {
         return Err(GpError::InvalidArgument(
@@ -390,6 +484,8 @@ pub(crate) fn solve(problem: &GpProblem, options: &SolverOptions) -> Result<GpSo
     };
 
     let mut total_newton = 0usize;
+    let mut barrier_iterations = 0usize;
+    let mut factorizations = 0usize;
     // Warm start: a strictly feasible hint becomes the barrier start point
     // and phase I is skipped. Anything invalid degrades to the cold start.
     let mut warm_started = false;
@@ -402,31 +498,56 @@ pub(crate) fn solve(problem: &GpProblem, options: &SolverOptions) -> Result<GpSo
     };
     // Phase I: find a strictly feasible y (all F_i(y) < 0).
     if !program.constraints.is_empty() && !program.strictly_feasible(&y) {
-        let (feasible_y, steps) = phase_one(&program, options)?;
-        total_newton += steps;
+        let (feasible_y, effort) = phase_one(&program, options)?;
+        total_newton += effort.newton;
+        barrier_iterations += effort.barrier;
+        factorizations += effort.factorizations;
         y = feasible_y;
         if !program.strictly_feasible(&y) {
             return Err(GpError::Infeasible);
         }
     }
 
-    // Phase II: barrier path following.
+    // Phase II: barrier path following. One factorization workspace serves
+    // every Newton system of the phase; consecutive Hessians share it.
     let m = program.constraints.len();
+    let mut kkt = KktFactorization::new(n).map_err(to_numerical)?;
     let mut t = options.initial_barrier;
+    let mut dual_warm_started = false;
     if m == 0 {
         // Purely unconstrained: a single centering with large t is a plain
         // Newton minimization of the objective.
         t = 1.0;
-        total_newton += program.center(&mut y, t, options)?;
+        total_newton += program.center(&mut y, t, options, &mut kkt)?;
+        barrier_iterations += 1;
     } else {
+        // Dual warm start: an accepted prior dual state places the starting
+        // barrier parameter near the previous solve's endpoint, skipping the
+        // early centering path from `initial_barrier`.
+        if warm_started {
+            if let Some(warm_t) = warm_barrier_parameter(&program, &y, m, num_explicit, options) {
+                t = warm_t;
+                dual_warm_started = true;
+            }
+        }
         for _ in 0..options.max_outer_iterations {
-            total_newton += program.center(&mut y, t, options)?;
+            total_newton += program.center(&mut y, t, options, &mut kkt)?;
+            barrier_iterations += 1;
             if (m as f64) / t < options.tolerance {
                 break;
             }
             t *= options.barrier_growth;
         }
     }
+    factorizations += kkt.factorizations() + kkt.refreshes();
+
+    // Dual estimates of the explicit constraints at the final center:
+    // λ_i = 1 / (t · (−F_i(y))). Strict feasibility makes every slack
+    // positive; the clamp only guards the last few ulps.
+    let duals: Vec<f64> = program.constraints[..num_explicit]
+        .iter()
+        .map(|c| 1.0 / (t * (-c.value(&y)).max(f64::MIN_POSITIVE)))
+        .collect();
 
     let values: Vec<f64> = (0..n).map(|j| y.get(j).exp()).collect();
     let objective_value = objective.eval(&values);
@@ -435,7 +556,65 @@ pub(crate) fn solve(problem: &GpProblem, options: &SolverOptions) -> Result<GpSo
         objective: objective_value,
         newton_iterations: total_newton,
         warm_started,
+        dual_warm_started,
+        barrier_iterations,
+        factorizations,
+        dual_state: Some(GpDualState {
+            barrier_t: t,
+            duals,
+        }),
     })
+}
+
+/// Validates [`SolverOptions::initial_dual`] against the program at the
+/// accepted warm point `y` and derives the phase-II starting barrier
+/// parameter from it. Returns `None` when the dual state must be ignored.
+///
+/// The parameter is `m / η` for the surrogate duality gap
+/// `η = Σ λ_i · (−F_i(y))` over the explicit constraints, clamped to
+/// `[initial_barrier, barrier_t]` and then snapped *down* onto the cold
+/// ladder `initial_barrier · barrier_growth^k`: at the producing solve's own
+/// optimum every product is exactly `1/t`, so the estimate recovers (about)
+/// the previous final `t`, while a genuinely perturbed neighboring problem
+/// widens the slacks and lowers the start accordingly. The snap matters
+/// because it makes the warm solve follow the exact `t`-sequence a cold
+/// solve would — same rungs, same final `t`, same numerical regime for the
+/// last centering — so the dual hint only removes early rungs instead of
+/// shifting the whole ladder (an offset ladder overshoots the endpoint and
+/// can stall its final centering at floating-point precision).
+fn warm_barrier_parameter(
+    program: &ConvexProgram,
+    y: &Vector,
+    m_total: usize,
+    num_explicit: usize,
+    options: &SolverOptions,
+) -> Option<f64> {
+    let dual = options.initial_dual.as_ref()?;
+    if !(dual.barrier_t.is_finite() && dual.barrier_t >= options.initial_barrier) {
+        return None;
+    }
+    if dual.duals.len() != num_explicit || dual.duals.iter().any(|l| !(l.is_finite() && *l >= 0.0))
+    {
+        return None;
+    }
+    let mut surrogate_gap = 0.0;
+    for (lambda, c) in dual.duals.iter().zip(&program.constraints[..num_explicit]) {
+        let slack = -c.value(y);
+        if slack <= 0.0 {
+            return None;
+        }
+        surrogate_gap += lambda * slack;
+    }
+    let estimate = if surrogate_gap > 0.0 && surrogate_gap.is_finite() {
+        (m_total as f64) / surrogate_gap
+    } else {
+        // All-zero duals (e.g. a problem without explicit constraints):
+        // fall back to the previous endpoint.
+        dual.barrier_t
+    };
+    let clamped = estimate.clamp(options.initial_barrier, dual.barrier_t);
+    let rung = ((clamped / options.initial_barrier).ln() / options.barrier_growth.ln()).floor();
+    Some(options.initial_barrier * options.barrier_growth.powi(rung as i32))
 }
 
 /// Validates [`SolverOptions::initial_point`] against the log-space program:
@@ -451,9 +630,23 @@ fn warm_start_point(program: &ConvexProgram, options: &SolverOptions, n: usize) 
     program.strictly_feasible(&y).then_some(y)
 }
 
+/// Machine-independent effort counters of one solver phase.
+#[derive(Debug, Clone, Copy, Default)]
+struct Effort {
+    /// Newton steps.
+    newton: usize,
+    /// Barrier centering problems solved.
+    barrier: usize,
+    /// KKT factorization attempts (full refactorizations plus refreshes).
+    factorizations: usize,
+}
+
 /// Phase I: minimize `s` over `(y, s)` subject to `F_i(y) ≤ s`, stopping as
 /// soon as a strictly feasible `y` is found.
-fn phase_one(program: &ConvexProgram, options: &SolverOptions) -> Result<(Vector, usize), GpError> {
+fn phase_one(
+    program: &ConvexProgram,
+    options: &SolverOptions,
+) -> Result<(Vector, Effort), GpError> {
     let n = program.n;
     // Extended problem over (y, s): objective = s (affine), constraints
     // F_i(y) − s ≤ 0. We reuse ConvexProgram by expressing everything as
@@ -486,27 +679,31 @@ fn phase_one(program: &ConvexProgram, options: &SolverOptions) -> Result<(Vector
         .fold(f64::NEG_INFINITY, f64::max);
     y_ext.set(n, worst + 1.0);
 
-    let mut steps = 0usize;
+    let mut effort = Effort::default();
+    let mut kkt = KktFactorization::new(n + 1).map_err(to_numerical)?;
     let mut t = options.initial_barrier;
     for _ in 0..options.max_outer_iterations {
-        steps += ext.center(&mut y_ext, t, options)?;
+        effort.newton += ext.center(&mut y_ext, t, options, &mut kkt)?;
+        effort.barrier += 1;
         let y_candidate: Vector = (0..n).map(|j| y_ext.get(j)).collect();
         if program
             .constraints
             .iter()
             .all(|c| c.value(&y_candidate) < -1e-9)
         {
-            return Ok((y_candidate, steps));
+            effort.factorizations = kkt.factorizations() + kkt.refreshes();
+            return Ok((y_candidate, effort));
         }
         if (ext.constraints.len() as f64) / t < options.tolerance {
             break;
         }
         t *= options.barrier_growth;
     }
+    effort.factorizations = kkt.factorizations() + kkt.refreshes();
     // Converged without reaching negative slack: infeasible.
     let y_candidate: Vector = (0..n).map(|j| y_ext.get(j)).collect();
     if program.strictly_feasible(&y_candidate) {
-        Ok((y_candidate, steps))
+        Ok((y_candidate, effort))
     } else {
         Err(GpError::Infeasible)
     }
@@ -703,6 +900,103 @@ mod tests {
             assert!(!sol.warm_started());
             assert!(close(sol.value(ii), cold.value(ii), 1e-6));
         }
+    }
+
+    #[test]
+    fn dual_warm_start_skips_the_early_barrier_path() {
+        let (gp, ii) = budget_problem();
+        let cold = gp.solve().unwrap();
+        assert!(!cold.dual_warm_started());
+        assert!(cold.barrier_iterations() > 1);
+        assert!(cold.factorizations() >= cold.newton_iterations());
+        let dual = cold
+            .dual_state()
+            .expect("variable problems carry duals")
+            .clone();
+        assert_eq!(dual.duals.len(), 3);
+        assert!(dual.duals.iter().all(|l| l.is_finite() && *l >= 0.0));
+        // Neighboring warm point (slightly off the optimum) plus the cold
+        // solve's dual state: phase II starts near the previous final t.
+        let warm_point = vec![2.3, 3.0 / 2.2, 5.0 / 2.2];
+        let warm = gp
+            .solve_with(&SolverOptions::warm_started_with_duals(
+                warm_point.clone(),
+                dual,
+            ))
+            .unwrap();
+        assert!(warm.warm_started());
+        assert!(warm.dual_warm_started());
+        assert!(
+            warm.barrier_iterations() < cold.barrier_iterations(),
+            "warm {} vs cold {} barrier iterations",
+            warm.barrier_iterations(),
+            cold.barrier_iterations()
+        );
+        assert!(
+            warm.factorizations() < cold.factorizations(),
+            "warm {} vs cold {} factorizations",
+            warm.factorizations(),
+            cold.factorizations()
+        );
+        assert!(close(warm.value(ii), cold.value(ii), 1e-6));
+        // The dual start also beats the primal-only warm start, which still
+        // walks the whole barrier path from t = initial_barrier.
+        let primal_only = gp
+            .solve_with(&SolverOptions::warm_started(warm_point))
+            .unwrap();
+        assert!(!primal_only.dual_warm_started());
+        assert!(warm.barrier_iterations() < primal_only.barrier_iterations());
+    }
+
+    #[test]
+    fn invalid_dual_states_are_ignored() {
+        let (gp, ii) = budget_problem();
+        let cold = gp.solve().unwrap();
+        let warm_point = vec![2.3, 3.0 / 2.2, 5.0 / 2.2];
+        let good_t = cold.dual_state().unwrap().barrier_t;
+        for bad in [
+            GpDualState {
+                barrier_t: good_t,
+                duals: vec![0.1, 0.1], // wrong length
+            },
+            GpDualState {
+                barrier_t: good_t,
+                duals: vec![0.1, -0.1, 0.1], // negative dual
+            },
+            GpDualState {
+                barrier_t: good_t,
+                duals: vec![0.1, f64::NAN, 0.1], // non-finite dual
+            },
+            GpDualState {
+                barrier_t: f64::INFINITY, // out-of-range t
+                duals: vec![0.1, 0.1, 0.1],
+            },
+            GpDualState {
+                barrier_t: 0.0, // below initial_barrier
+                duals: vec![0.1, 0.1, 0.1],
+            },
+        ] {
+            let sol = gp
+                .solve_with(&SolverOptions::warm_started_with_duals(
+                    warm_point.clone(),
+                    bad,
+                ))
+                .unwrap();
+            assert!(sol.warm_started());
+            assert!(!sol.dual_warm_started());
+            assert!(close(sol.value(ii), cold.value(ii), 1e-6));
+        }
+        // A dual state without an accepted primal hint is ignored too: the
+        // duals describe the central path near that point only.
+        let sol = gp
+            .solve_with(&SolverOptions {
+                initial_dual: Some(cold.dual_state().unwrap().clone()),
+                ..SolverOptions::default()
+            })
+            .unwrap();
+        assert!(!sol.warm_started());
+        assert!(!sol.dual_warm_started());
+        assert!(close(sol.value(ii), cold.value(ii), 1e-6));
     }
 
     #[test]

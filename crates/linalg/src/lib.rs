@@ -38,6 +38,6 @@ mod matrix;
 mod vector;
 
 pub use error::LinalgError;
-pub use factor::{Cholesky, Lu};
+pub use factor::{Cholesky, KktFactorization, Lu};
 pub use matrix::Matrix;
 pub use vector::Vector;

@@ -128,6 +128,19 @@ impl Matrix {
         self.data[i * self.cols + j] += value;
     }
 
+    /// Copies `other`'s entries into this matrix without reallocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn copy_from(&mut self, other: &Matrix) {
+        assert!(
+            self.rows == other.rows && self.cols == other.cols,
+            "copy_from requires matching shapes"
+        );
+        self.data.copy_from_slice(&other.data);
+    }
+
     /// Borrows row `i` as a slice.
     ///
     /// # Panics

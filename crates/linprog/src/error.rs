@@ -22,9 +22,24 @@ pub enum LpError {
         upper: f64,
     },
     /// The simplex iteration limit was exceeded (numerical trouble).
+    ///
+    /// Legacy variant kept for matching compatibility; the solver now reports
+    /// pivot exhaustion as [`LpError::PivotBudgetExceeded`].
     IterationLimit {
         /// Number of iterations performed before giving up.
         iterations: usize,
+    },
+    /// The configured pivot budget was exhausted before the solve finished
+    /// (see [`SimplexOptions::max_pivots`](crate::SimplexOptions::max_pivots)).
+    ///
+    /// A structured stop, never a hang: degenerate or cycling-prone models
+    /// surface here after exactly `pivots` pivots. Callers that iterate over
+    /// many candidate models (e.g. the water-filling feasibility probes of a
+    /// bisection) can treat this as "give up on the point" rather than a
+    /// fatal error.
+    PivotBudgetExceeded {
+        /// Number of pivots performed before giving up (the budget).
+        pivots: usize,
     },
 }
 
@@ -42,6 +57,9 @@ impl fmt::Display for LpError {
                     f,
                     "simplex iteration limit exceeded after {iterations} pivots"
                 )
+            }
+            LpError::PivotBudgetExceeded { pivots } => {
+                write!(f, "simplex pivot budget exhausted after {pivots} pivots")
             }
         }
     }
@@ -63,6 +81,8 @@ mod tests {
         assert!(err.to_string().contains("x1"));
         let err = LpError::IterationLimit { iterations: 10 };
         assert!(err.to_string().contains("10"));
+        let err = LpError::PivotBudgetExceeded { pivots: 128 };
+        assert!(err.to_string().contains("128"));
     }
 
     #[test]

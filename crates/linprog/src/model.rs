@@ -269,15 +269,30 @@ impl LpProblem {
             .ok_or_else(|| LpError::UnknownId(format!("constraint #{}", constraint.0)))
     }
 
-    /// Solves the problem with the two-phase simplex method.
+    /// Solves the problem with the two-phase simplex method and default
+    /// [`SimplexOptions`](crate::SimplexOptions).
     ///
     /// # Errors
     ///
-    /// Returns [`LpError::IterationLimit`] if the pivot limit is exceeded.
-    /// Infeasibility and unboundedness are *not* errors; they are reported via
-    /// [`LpSolution::status`].
+    /// Returns [`LpError::PivotBudgetExceeded`] if the default pivot budget
+    /// is exhausted. Infeasibility and unboundedness are *not* errors; they
+    /// are reported via [`LpSolution::status`].
     pub fn solve(&self) -> Result<LpSolution, LpError> {
-        simplex::solve(self)
+        self.solve_with(&crate::SimplexOptions::default())
+    }
+
+    /// Solves the problem with the two-phase simplex method under explicit
+    /// [`SimplexOptions`](crate::SimplexOptions).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LpError::PivotBudgetExceeded`] if
+    /// [`SimplexOptions::max_pivots`](crate::SimplexOptions::max_pivots) is
+    /// exhausted — a structured stop, never a hang. Infeasibility and
+    /// unboundedness are *not* errors; they are reported via
+    /// [`LpSolution::status`].
+    pub fn solve_with(&self, options: &crate::SimplexOptions) -> Result<LpSolution, LpError> {
+        simplex::solve(self, options)
     }
 
     /// Evaluates the objective at a given assignment (useful for checking

@@ -13,8 +13,50 @@ use crate::LpError;
 const EPS: f64 = 1e-9;
 /// Pivot budget after which the solver switches to Bland's rule.
 const DANTZIG_PIVOTS: usize = 5_000;
-/// Hard pivot limit (both phases combined).
+/// Default hard pivot limit (both phases combined).
 const MAX_PIVOTS: usize = 50_000;
+
+/// Options controlling the simplex solver.
+///
+/// # Example
+///
+/// ```
+/// use mfa_linprog::{LpProblem, Sense, SimplexOptions};
+///
+/// # fn main() -> Result<(), mfa_linprog::LpError> {
+/// let mut lp = LpProblem::new(Sense::Minimize);
+/// let x = lp.add_var("x", 0.0, 1.0)?;
+/// lp.set_objective_coefficient(x, 1.0)?;
+/// let solution = lp.solve_with(&SimplexOptions::default())?;
+/// assert!(solution.is_optimal());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimplexOptions {
+    /// Hard pivot budget, phase 1 and phase 2 combined. When the budget is
+    /// exhausted the solve stops with [`LpError::PivotBudgetExceeded`]
+    /// (`crate::LpError::PivotBudgetExceeded`) rather than iterating further
+    /// — a structured stop, never a hang. The default (50 000) is far above
+    /// any well-posed model in this workspace; lower it to bound the cost of
+    /// feasibility probes on potentially degenerate models.
+    pub max_pivots: usize,
+}
+
+impl Default for SimplexOptions {
+    fn default() -> Self {
+        SimplexOptions {
+            max_pivots: MAX_PIVOTS,
+        }
+    }
+}
+
+impl SimplexOptions {
+    /// Default options with the given pivot budget.
+    pub fn with_max_pivots(max_pivots: usize) -> Self {
+        SimplexOptions { max_pivots }
+    }
+}
 
 /// How a user variable was mapped into standard-form columns.
 #[derive(Debug, Clone, Copy)]
@@ -145,6 +187,8 @@ struct Tableau {
     /// Indices of artificial columns (never allowed to re-enter in phase 2).
     artificial: Vec<bool>,
     pivots: usize,
+    /// Hard pivot budget (both phases combined).
+    max_pivots: usize,
 }
 
 impl Tableau {
@@ -178,9 +222,9 @@ impl Tableau {
     /// vector (length `total_cols`). Returns `None` if the LP is unbounded.
     fn optimize(&mut self, costs: &[f64], forbid_artificial: bool) -> Result<Option<()>, LpError> {
         loop {
-            if self.pivots >= MAX_PIVOTS {
-                return Err(LpError::IterationLimit {
-                    iterations: self.pivots,
+            if self.pivots >= self.max_pivots {
+                return Err(LpError::PivotBudgetExceeded {
+                    pivots: self.pivots,
                 });
             }
             let reduced = self.reduced_costs(costs);
@@ -270,8 +314,9 @@ impl Tableau {
     }
 }
 
-/// Solves the problem; the public entry point used by [`LpProblem::solve`].
-pub(crate) fn solve(problem: &LpProblem) -> Result<LpSolution, LpError> {
+/// Solves the problem; the public entry point used by [`LpProblem::solve`]
+/// and [`LpProblem::solve_with`].
+pub(crate) fn solve(problem: &LpProblem, options: &SimplexOptions) -> Result<LpSolution, LpError> {
     let std_form = build_standard_form(problem);
     let n = std_form.num_cols;
     let m = std_form.rows.len();
@@ -363,6 +408,7 @@ pub(crate) fn solve(problem: &LpProblem) -> Result<LpSolution, LpError> {
         total_cols,
         artificial: artificial_flags,
         pivots: 0,
+        max_pivots: options.max_pivots,
     };
 
     // Phase 1: minimize the sum of artificial variables.
@@ -701,6 +747,37 @@ mod tests {
         let s = lp.solve().unwrap();
         assert!(s.is_optimal());
         assert_close(s.objective(), -0.05, 1e-6);
+    }
+
+    #[test]
+    fn pivot_budget_stops_the_solve_with_a_structured_error() {
+        // The textbook maximization needs a handful of pivots; a budget of
+        // one cannot finish and must surface as PivotBudgetExceeded.
+        let mut lp = LpProblem::new(Sense::Maximize);
+        let x = lp.add_var("x", 0.0, f64::INFINITY).unwrap();
+        let y = lp.add_var("y", 0.0, f64::INFINITY).unwrap();
+        lp.set_objective_coefficient(x, 3.0).unwrap();
+        lp.set_objective_coefficient(y, 5.0).unwrap();
+        lp.add_constraint("c1", &[(x, 1.0)], Relation::LessEq, 4.0)
+            .unwrap();
+        lp.add_constraint("c2", &[(y, 2.0)], Relation::LessEq, 12.0)
+            .unwrap();
+        lp.add_constraint("c3", &[(x, 3.0), (y, 2.0)], Relation::LessEq, 18.0)
+            .unwrap();
+        let err = lp
+            .solve_with(&SimplexOptions::with_max_pivots(1))
+            .unwrap_err();
+        assert!(
+            matches!(err, LpError::PivotBudgetExceeded { pivots: 1 }),
+            "expected PivotBudgetExceeded, got {err}"
+        );
+        // A sufficient budget solves identically to the default path and
+        // reports its pivot count.
+        let s = lp.solve_with(&SimplexOptions::default()).unwrap();
+        assert!(s.is_optimal());
+        assert_close(s.objective(), 36.0, 1e-8);
+        assert!(s.pivots() > 1);
+        assert_eq!(s.pivots(), s.iterations());
     }
 
     #[test]

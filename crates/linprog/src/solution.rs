@@ -84,6 +84,12 @@ impl LpSolution {
     pub fn iterations(&self) -> usize {
         self.iterations
     }
+
+    /// Alias for [`iterations`](Self::iterations): the pivot is the simplex
+    /// iteration unit, and downstream effort counters name it that way.
+    pub fn pivots(&self) -> usize {
+        self.iterations
+    }
 }
 
 #[cfg(test)]

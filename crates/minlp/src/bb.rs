@@ -96,6 +96,7 @@ struct SearchState {
     incumbent_objective: f64,
     nodes_explored: usize,
     lp_solves: usize,
+    simplex_pivots: usize,
 }
 
 /// Result of processing one node's LP (with cut rounds).
@@ -129,6 +130,7 @@ pub(crate) fn solve(
             vec![0.0; problem.num_vars()],
             0,
             0,
+            0,
         ));
     }
 
@@ -137,6 +139,7 @@ pub(crate) fn solve(
         incumbent_objective: f64::INFINITY,
         nodes_explored: 0,
         lp_solves: 0,
+        simplex_pivots: 0,
     };
     // Warm start: a feasible (after integer rounding) seed becomes the
     // incumbent before the first node, so bound pruning is active from node
@@ -303,6 +306,7 @@ pub(crate) fn solve(
                 values,
                 state.nodes_explored,
                 state.lp_solves,
+                state.simplex_pivots,
             );
             Ok(if seeded {
                 solution.mark_warm_started()
@@ -320,6 +324,7 @@ pub(crate) fn solve(
             vec![0.0; problem.num_vars()],
             state.nodes_explored,
             state.lp_solves,
+            state.simplex_pivots,
         )),
     }
 }
@@ -343,6 +348,7 @@ fn solve_node_lp(
         let relaxation = relax::build(problem, bounds, &cuts)?;
         let lp_solution = relaxation.lp.solve()?;
         state.lp_solves += 1;
+        state.simplex_pivots += lp_solution.pivots();
         match lp_solution.status() {
             SolverStatus::Infeasible => return Ok(NodeLp::Infeasible),
             SolverStatus::Unbounded => {
@@ -455,6 +461,7 @@ fn repair_candidate(
         let relaxation = relax::build(problem, &fixed_bounds, &cuts)?;
         let lp_solution = relaxation.lp.solve()?;
         state.lp_solves += 1;
+        state.simplex_pivots += lp_solution.pivots();
         if lp_solution.status() != SolverStatus::Optimal {
             return Ok(None);
         }

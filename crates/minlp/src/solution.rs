@@ -35,6 +35,7 @@ pub struct MinlpSolution {
     values: Vec<f64>,
     nodes_explored: usize,
     lp_solves: usize,
+    simplex_pivots: usize,
     warm_started: bool,
 }
 
@@ -46,6 +47,7 @@ impl MinlpSolution {
         values: Vec<f64>,
         nodes_explored: usize,
         lp_solves: usize,
+        simplex_pivots: usize,
     ) -> Self {
         MinlpSolution {
             status,
@@ -54,6 +56,7 @@ impl MinlpSolution {
             values,
             nodes_explored,
             lp_solves,
+            simplex_pivots,
             warm_started: false,
         }
     }
@@ -121,6 +124,13 @@ impl MinlpSolution {
         self.lp_solves
     }
 
+    /// Total simplex pivots across every LP relaxation of the search — a
+    /// machine-independent effort counter finer-grained than
+    /// [`lp_solves`](Self::lp_solves).
+    pub fn simplex_pivots(&self) -> usize {
+        self.simplex_pivots
+    }
+
     /// `true` when the search accepted a warm-start incumbent seed and could
     /// prune with it from node 0.
     pub fn warm_started(&self) -> bool {
@@ -135,12 +145,13 @@ mod tests {
     #[test]
     fn status_display_and_gap() {
         assert_eq!(MinlpStatus::Optimal.to_string(), "optimal");
-        let s = MinlpSolution::new(MinlpStatus::Feasible, 10.0, 9.0, vec![1.0], 5, 12);
+        let s = MinlpSolution::new(MinlpStatus::Feasible, 10.0, 9.0, vec![1.0], 5, 12, 40);
         assert!(s.has_incumbent());
         assert!((s.gap() - 0.1).abs() < 1e-12);
         assert_eq!(s.nodes_explored(), 5);
         assert_eq!(s.lp_solves(), 12);
-        let inf = MinlpSolution::new(MinlpStatus::Infeasible, 0.0, 0.0, vec![], 1, 1);
+        assert_eq!(s.simplex_pivots(), 40);
+        let inf = MinlpSolution::new(MinlpStatus::Infeasible, 0.0, 0.0, vec![], 1, 1, 2);
         assert!(!inf.has_incumbent());
         assert!(inf.gap().is_infinite());
     }

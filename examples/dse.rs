@@ -17,6 +17,8 @@
 //!   --zero-timing    zero the solve_seconds column before exporting (for
 //!                    byte-comparable golden snapshots)
 //!   --no-exact       skip the MINLP/MINLP+G series (GP+A only)
+//!   --no-warm-start  solve every point cold (disable the per-chunk
+//!                    warm-start cache; for effort/wall-clock comparisons)
 //!   --compare-serial also run the Fig. 3 grid serially and report speedup
 //! ```
 //!
@@ -44,6 +46,7 @@ struct Args {
     out: Option<String>,
     zero_timing: bool,
     exact: bool,
+    warm_start: bool,
     compare_serial: bool,
 }
 
@@ -56,6 +59,7 @@ fn parse_args() -> Result<Args, String> {
         out: None,
         zero_timing: false,
         exact: true,
+        warm_start: true,
         compare_serial: false,
     };
     let mut iter = std::env::args().skip(1);
@@ -63,6 +67,7 @@ fn parse_args() -> Result<Args, String> {
         match arg.as_str() {
             "--quick" => args.quick = true,
             "--no-exact" => args.exact = false,
+            "--no-warm-start" => args.warm_start = false,
             "--zero-timing" => args.zero_timing = true,
             "--compare-serial" => args.compare_serial = true,
             "--threads" => {
@@ -153,8 +158,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args = parse_args().map_err(|msg| -> Box<dyn std::error::Error> { msg.into() })?;
     let options = ExecutorOptions {
         num_threads: args.threads,
+        warm_start: args.warm_start,
         ..ExecutorOptions::default()
     };
+    if !args.warm_start && (args.workers.is_some() || !args.connect.is_empty()) {
+        return Err(
+            "--no-warm-start configures the in-process executor and has no \
+                    effect on sharded runs; drop it or drop --workers/--connect"
+                .into(),
+        );
+    }
     if args.threads.is_some() && (args.workers.is_some() || !args.connect.is_empty()) {
         return Err(
             "--threads configures the in-process executor and has no effect \
