@@ -9,6 +9,11 @@
 //! byte-diffs across machines; wall-clock is recorded for humans and always
 //! excluded from comparison.
 //!
+//! Each figure is measured twice: once with the executor's warm starts (the
+//! default sweep configuration) and once cold (`--no-warm-start` executor
+//! options), so the snapshot pins both the warm-started effort and the
+//! baseline it saves against. Both blocks are compared by `--check`.
+//!
 //! ```text
 //! bench-snapshot --quick --out BENCH_0006.json   # (re)write the snapshot
 //! bench-snapshot --quick --check BENCH_0006.json # CI: fail on counter drift
@@ -21,7 +26,8 @@ use mfa_explore::json::Json;
 use mfa_explore::{figures, run_sweep, ExecutorOptions, FigureSpec, SweepSeries};
 
 /// Snapshot format version; bump when the schema changes shape.
-const SNAPSHOT_VERSION: usize = 1;
+/// Version 2 added the cold (`--no-warm-start`) counter block per figure.
+const SNAPSHOT_VERSION: usize = 2;
 
 /// Effort counters of one figure sweep, summed over every solved point of
 /// every series, plus the (excluded-from-diff) wall-clock.
@@ -74,9 +80,13 @@ fn bench_figures() -> Vec<FigureSpec> {
     figs
 }
 
-fn measure(figure: &FigureSpec) -> FigureEffort {
+fn measure(figure: &FigureSpec, warm_start: bool) -> FigureEffort {
+    let options = ExecutorOptions {
+        warm_start,
+        ..ExecutorOptions::default()
+    };
     let start = Instant::now();
-    let series: Vec<SweepSeries> = run_sweep(&figure.grid, &ExecutorOptions::default())
+    let series: Vec<SweepSeries> = run_sweep(&figure.grid, &options)
         .unwrap_or_else(|err| panic!("sweep of {} failed: {err}", figure.name));
     let wall_seconds = start.elapsed().as_secs_f64();
     let planned = figure.grid.num_points();
@@ -103,24 +113,37 @@ fn measure(figure: &FigureSpec) -> FigureEffort {
     effort
 }
 
-fn snapshot_json(efforts: &[FigureEffort]) -> String {
-    let figures = efforts
+/// A figure measured twice: with the executor's warm starts (the default
+/// sweep configuration) and cold (`--no-warm-start` executor options).
+struct MeasuredFigure {
+    warm: FigureEffort,
+    cold: FigureEffort,
+}
+
+fn counters_json(e: &FigureEffort) -> Vec<(&'static str, Json)> {
+    vec![
+        ("points", Json::Num(e.points as f64)),
+        ("skipped", Json::Num(e.skipped as f64)),
+        ("barrier_iterations", Json::Num(e.barrier_iterations as f64)),
+        ("factorizations", Json::Num(e.factorizations as f64)),
+        ("simplex_pivots", Json::Num(e.simplex_pivots as f64)),
+        ("bb_nodes", Json::Num(e.bb_nodes as f64)),
+        // Informational only: never part of the --check diff.
+        (
+            "wall_seconds",
+            Json::Num((e.wall_seconds * 1e3).round() / 1e3),
+        ),
+    ]
+}
+
+fn snapshot_json(measured: &[MeasuredFigure]) -> String {
+    let figures = measured
         .iter()
-        .map(|e| {
-            Json::obj(vec![
-                ("name", Json::str(e.name)),
-                ("points", Json::Num(e.points as f64)),
-                ("skipped", Json::Num(e.skipped as f64)),
-                ("barrier_iterations", Json::Num(e.barrier_iterations as f64)),
-                ("factorizations", Json::Num(e.factorizations as f64)),
-                ("simplex_pivots", Json::Num(e.simplex_pivots as f64)),
-                ("bb_nodes", Json::Num(e.bb_nodes as f64)),
-                // Informational only: never part of the --check diff.
-                (
-                    "wall_seconds",
-                    Json::Num((e.wall_seconds * 1e3).round() / 1e3),
-                ),
-            ])
+        .map(|m| {
+            let mut fields = vec![("name", Json::str(m.warm.name))];
+            fields.extend(counters_json(&m.warm));
+            fields.push(("cold", Json::obj(counters_json(&m.cold))));
+            Json::obj(fields)
         })
         .collect();
     let doc = Json::obj(vec![
@@ -134,40 +157,55 @@ fn snapshot_json(efforts: &[FigureEffort]) -> String {
     out
 }
 
-/// Compares measured counters against a committed snapshot. Returns the
-/// human-readable differences (empty when counters match). Wall-clock and
-/// unknown extra fields are ignored by construction: only `COUNTER_KEYS`
-/// are compared.
-fn diff_against(committed: &Json, efforts: &[FigureEffort]) -> Vec<String> {
+/// Compares one counter block (warm or cold) against its snapshot entry,
+/// appending human-readable differences. Wall-clock and unknown extra
+/// fields are ignored by construction: only `COUNTER_KEYS` are compared.
+fn diff_block(entry: &Json, effort: &FigureEffort, block: &str, diffs: &mut Vec<String>) {
+    for key in COUNTER_KEYS {
+        let Some(recorded) = entry.get(key).and_then(Json::as_usize) else {
+            diffs.push(format!(
+                "{}: snapshot lacks {block} counter {key}",
+                effort.name
+            ));
+            continue;
+        };
+        let measured = effort.counter(key);
+        if measured != recorded {
+            let direction = if measured > recorded {
+                "regressed"
+            } else {
+                "improved"
+            };
+            diffs.push(format!(
+                "{}: {block} {key} {direction}: snapshot {recorded}, measured {measured}",
+                effort.name
+            ));
+        }
+    }
+}
+
+/// Compares measured warm and cold counters against a committed snapshot.
+/// Returns the human-readable differences (empty when counters match).
+fn diff_against(committed: &Json, measured: &[MeasuredFigure]) -> Vec<String> {
     let mut diffs = Vec::new();
     let Some(figures) = committed.get("figures").and_then(Json::as_arr) else {
         return vec!["snapshot has no `figures` array".into()];
     };
-    for effort in efforts {
+    for m in measured {
         let Some(entry) = figures
             .iter()
-            .find(|f| f.get("name").and_then(Json::as_str) == Some(effort.name))
+            .find(|f| f.get("name").and_then(Json::as_str) == Some(m.warm.name))
         else {
-            diffs.push(format!("snapshot has no entry for figure {}", effort.name));
+            diffs.push(format!("snapshot has no entry for figure {}", m.warm.name));
             continue;
         };
-        for key in COUNTER_KEYS {
-            let Some(recorded) = entry.get(key).and_then(Json::as_usize) else {
-                diffs.push(format!("{}: snapshot lacks counter {key}", effort.name));
-                continue;
-            };
-            let measured = effort.counter(key);
-            if measured != recorded {
-                let direction = if measured > recorded {
-                    "regressed"
-                } else {
-                    "improved"
-                };
-                diffs.push(format!(
-                    "{}: {key} {direction}: snapshot {recorded}, measured {measured}",
-                    effort.name
-                ));
-            }
+        diff_block(entry, &m.warm, "warm", &mut diffs);
+        match entry.get("cold") {
+            Some(cold_entry) => diff_block(cold_entry, &m.cold, "cold", &mut diffs),
+            None => diffs.push(format!(
+                "{}: snapshot has no cold counter block",
+                m.warm.name
+            )),
         }
     }
     diffs
@@ -204,20 +242,28 @@ fn main() -> ExitCode {
         usage();
     }
 
-    let efforts: Vec<FigureEffort> = bench_figures().iter().map(measure).collect();
-    for e in &efforts {
-        println!(
-            "{:>7}: {} points ({} skipped), {} barrier iterations, \
-             {} factorizations, {} simplex pivots, {} bb nodes, {:.3}s",
-            e.name,
-            e.points,
-            e.skipped,
-            e.barrier_iterations,
-            e.factorizations,
-            e.simplex_pivots,
-            e.bb_nodes,
-            e.wall_seconds
-        );
+    let measured: Vec<MeasuredFigure> = bench_figures()
+        .iter()
+        .map(|figure| MeasuredFigure {
+            warm: measure(figure, true),
+            cold: measure(figure, false),
+        })
+        .collect();
+    for m in &measured {
+        for (block, e) in [("warm", &m.warm), ("cold", &m.cold)] {
+            println!(
+                "{:>7} ({block}): {} points ({} skipped), {} barrier iterations, \
+                 {} factorizations, {} simplex pivots, {} bb nodes, {:.3}s",
+                e.name,
+                e.points,
+                e.skipped,
+                e.barrier_iterations,
+                e.factorizations,
+                e.simplex_pivots,
+                e.bb_nodes,
+                e.wall_seconds
+            );
+        }
     }
 
     if let Some(path) = check_path {
@@ -235,7 +281,7 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
-        let diffs = diff_against(&committed, &efforts);
+        let diffs = diff_against(&committed, &measured);
         if diffs.is_empty() {
             println!("counters match {path}");
             return ExitCode::SUCCESS;
@@ -249,7 +295,7 @@ fn main() -> ExitCode {
     }
 
     let path = out_path.unwrap_or_else(|| "BENCH_0006.json".to_owned());
-    if let Err(err) = std::fs::write(&path, snapshot_json(&efforts)) {
+    if let Err(err) = std::fs::write(&path, snapshot_json(&measured)) {
         eprintln!("cannot write {path}: {err}");
         return ExitCode::FAILURE;
     }

@@ -11,6 +11,7 @@
 
 use crate::gp_step::{self, RelaxationBackend};
 use crate::problem::AllocationProblem;
+use crate::realloc::ReallocContext;
 use crate::solver::{check_deadline, Deadline};
 use crate::AllocError;
 
@@ -99,17 +100,41 @@ pub(crate) fn solve_seeded_inner(
         .map(|k| (1.0, problem.max_total_cus(k).max(1) as f64))
         .collect();
     let max_nodes = node_budget.map_or(options.max_nodes, |cap| cap.min(options.max_nodes));
+    let realloc = ReallocContext::from_problem(problem)?;
 
-    let mut best: Option<(Vec<u32>, Vec<Vec<u32>>, f64)> = incumbent
-        .filter(|counts| incumbent_is_valid(problem, counts))
-        .map(|counts| {
-            (
-                counts.to_vec(),
-                group_split_for(problem, counts),
-                implied_ii(problem, counts),
-            )
-        });
-    let incumbent_used = best.is_some();
+    // `best` carries (counts, group split, II, penalized score). Without an
+    // active reallocation spec the score equals the II and the search is
+    // byte-identical to the static one.
+    type BestNode = (Vec<u32>, Vec<Vec<u32>>, f64, f64);
+    let mut best: Option<BestNode> = None;
+    // Seed 1: the reallocation incumbent itself — zero movement by
+    // construction, so its score is exactly its II.
+    if let Some(ctx) = &realloc {
+        let totals = ctx.inc_totals.clone();
+        if incumbent_is_valid(problem, &totals) {
+            let ii = implied_ii(problem, &totals);
+            best = Some((totals, ctx.inc_groups.clone(), ii, ii));
+        }
+    }
+    // Seed 2: the warm-start counts hint, kept only if it beats seed 1.
+    let mut incumbent_used = false;
+    if let Some(counts) = incumbent.filter(|counts| incumbent_is_valid(problem, counts)) {
+        let groups = group_split_for(problem, counts, realloc.as_ref());
+        let ii = implied_ii(problem, counts);
+        let score = ii
+            + realloc
+                .as_ref()
+                .map_or(0.0, |ctx| ctx.penalty_of_groups(&groups));
+        let within_bound = !realloc
+            .as_ref()
+            .is_some_and(|ctx| ctx.exceeds_bound(&groups));
+        if within_bound {
+            incumbent_used = true;
+            if best.as_ref().map_or(true, |(_, _, _, b)| score < *b) {
+                best = Some((counts.to_vec(), groups, ii, score));
+            }
+        }
+    }
     let mut nodes = 0usize;
     let mut stack = vec![root_bounds];
 
@@ -125,11 +150,13 @@ pub(crate) fn solve_seeded_inner(
                 Err(AllocError::Infeasible(_)) => continue,
                 Err(other) => return Err(other),
             };
-        if let Some((_, _, best_ii)) = &best {
-            // Prune: the relaxation is a lower bound on any integer solution
-            // in this subtree. A small relative margin keeps the pruning sound
-            // when the GP backend returns its optimum only to solver tolerance.
-            if relaxation.initiation_interval_ms >= *best_ii * (1.0 + 1e-7) - 1e-12 {
+        if let Some((_, _, _, best_score)) = &best {
+            // Prune: the relaxed II is a lower bound on any integer solution
+            // in this subtree, and the migration penalty is non-negative, so
+            // it also lower-bounds the penalized score. A small relative
+            // margin keeps the pruning sound when the GP backend returns its
+            // optimum only to solver tolerance.
+            if relaxation.initiation_interval_ms >= *best_score * (1.0 + 1e-7) - 1e-12 {
                 continue;
             }
         }
@@ -151,20 +178,36 @@ pub(crate) fn solve_seeded_inner(
         match fractional {
             None => {
                 // Integral: the exact II of the rounded counts, with the
-                // node's fractional group water-filling rounded per group.
+                // node's fractional group water-filling rounded per group —
+                // breaking remainder ties toward the incumbent when a
+                // reallocation spec is active, so rounding never invents
+                // movement the fractional split did not have.
                 let counts: Vec<u32> = relaxation
                     .cu_counts
                     .iter()
                     .map(|&n| n.round().max(1.0) as u32)
                     .collect();
                 let ii = implied_ii(problem, &counts);
-                if best.as_ref().map_or(true, |(_, _, b)| ii < *b) {
-                    let groups: Vec<Vec<u32>> = counts
-                        .iter()
-                        .zip(&relaxation.group_cu_counts)
-                        .map(|(&total, fracs)| round_group_split(fracs, total))
-                        .collect();
-                    best = Some((counts, groups, ii));
+                let groups: Vec<Vec<u32>> = counts
+                    .iter()
+                    .enumerate()
+                    .map(|(k, &total)| {
+                        let fracs = &relaxation.group_cu_counts[k];
+                        match &realloc {
+                            Some(ctx) => round_group_split_toward(fracs, total, &ctx.inc_groups[k]),
+                            None => round_group_split(fracs, total),
+                        }
+                    })
+                    .collect();
+                let score = ii
+                    + realloc
+                        .as_ref()
+                        .map_or(0.0, |ctx| ctx.penalty_of_groups(&groups));
+                let within_bound = !realloc
+                    .as_ref()
+                    .is_some_and(|ctx| ctx.exceeds_bound(&groups));
+                if within_bound && best.as_ref().map_or(true, |(_, _, _, b)| score < *b) {
+                    best = Some((counts, groups, ii, score));
                 }
             }
             Some((k, value, _)) => {
@@ -184,7 +227,7 @@ pub(crate) fn solve_seeded_inner(
     }
 
     match best {
-        Some((cu_counts, group_cu_counts, initiation_interval_ms)) => Ok((
+        Some((cu_counts, group_cu_counts, initiation_interval_ms, _)) => Ok((
             DiscreteCounts {
                 cu_counts,
                 group_cu_counts,
@@ -235,17 +278,79 @@ fn round_group_split(fracs: &[f64], total: u32) -> Vec<u32> {
     counts
 }
 
+/// [`round_group_split`] that breaks remainder (and shaving) ties toward the
+/// incumbent row: among groups with equal claim, ones still below their
+/// incumbent count receive leftover CUs first and surrender excess CUs last.
+/// With identical fractional input this never moves more CUs than the
+/// incumbent-agnostic rounding (property-tested below), and with no ties it
+/// produces byte-identical output.
+pub(crate) fn round_group_split_toward(fracs: &[f64], total: u32, inc: &[u32]) -> Vec<u32> {
+    let mut counts: Vec<u32> = fracs.iter().map(|&x| x.max(0.0).floor() as u32).collect();
+    let mut assigned: u64 = counts.iter().map(|&c| u64::from(c)).sum();
+    // Float drift above the target: shave the largest group, preferring —
+    // among equally large ones — a group already above its incumbent count
+    // (shaving there reduces movement).
+    while assigned > u64::from(total) {
+        let g = counts
+            .iter()
+            .enumerate()
+            .max_by(|&(ga, &ca), &(gb, &cb)| {
+                let surplus_a = ca > inc.get(ga).copied().unwrap_or(0);
+                let surplus_b = cb > inc.get(gb).copied().unwrap_or(0);
+                ca.cmp(&cb)
+                    .then(surplus_a.cmp(&surplus_b))
+                    .then(gb.cmp(&ga))
+            })
+            .map(|(g, _)| g)
+            .expect("a split has at least one group");
+        counts[g] -= 1;
+        assigned -= 1;
+    }
+    let mut remainders: Vec<(usize, f64)> = fracs
+        .iter()
+        .enumerate()
+        .map(|(g, &x)| (g, x.max(0.0) - x.max(0.0).floor()))
+        .collect();
+    remainders.sort_by(|a, b| {
+        let deficit =
+            |&(g, _): &(usize, f64)| u32::from(counts[g] < inc.get(g).copied().unwrap_or(0));
+        b.1.total_cmp(&a.1)
+            .then_with(|| deficit(b).cmp(&deficit(a)))
+            .then_with(|| a.0.cmp(&b.0))
+    });
+    let mut leftover = u64::from(total) - assigned;
+    'distribute: while leftover > 0 {
+        for (g, _) in &remainders {
+            counts[*g] += 1;
+            leftover -= 1;
+            if leftover == 0 {
+                break 'distribute;
+            }
+        }
+    }
+    counts
+}
+
 /// Group split for a warm-start incumbent: water-fill the integer totals
-/// fractionally across groups, then round per group.
-fn group_split_for(problem: &AllocationProblem, counts: &[u32]) -> Vec<Vec<u32>> {
+/// fractionally across groups, then round per group (toward the reallocation
+/// incumbent when one is active).
+fn group_split_for(
+    problem: &AllocationProblem,
+    counts: &[u32],
+    realloc: Option<&ReallocContext>,
+) -> Vec<Vec<u32>> {
     let totals: Vec<f64> = counts.iter().map(|&n| f64::from(n)).collect();
     let fractional = gp_step::distribute_over_groups(problem, &totals, &mut 0)
         .expect("the incumbent water-filling LP stays within its pivot budget")
         .expect("a valid incumbent passed the aggregated budget check");
     counts
         .iter()
+        .enumerate()
         .zip(&fractional)
-        .map(|(&total, fracs)| round_group_split(fracs, total))
+        .map(|((k, &total), fracs)| match realloc {
+            Some(ctx) => round_group_split_toward(fracs, total, &ctx.inc_groups[k]),
+            None => round_group_split(fracs, total),
+        })
         .collect()
 }
 
@@ -401,6 +506,53 @@ mod tests {
     }
 
     #[test]
+    fn toward_rounding_breaks_ties_to_the_incumbent() {
+        // Equal remainders: the agnostic rounding goes to the lower index,
+        // the incumbent-aware one to the group still below its incumbent.
+        assert_eq!(round_group_split(&[1.5, 1.5], 3), vec![2, 1]);
+        assert_eq!(
+            round_group_split_toward(&[1.5, 1.5], 3, &[1, 2]),
+            vec![1, 2]
+        );
+        // Without ties the two roundings are byte-identical.
+        assert_eq!(
+            round_group_split_toward(&[2.6, 1.4], 4, &[0, 4]),
+            vec![3, 1]
+        );
+        // The row still sums exactly to the total.
+        let split = round_group_split_toward(&[2.2, 1.9, 0.9], 5, &[5, 0, 0]);
+        assert_eq!(split.iter().sum::<u32>(), 5);
+        // Float drift above the target is shaved from a surplus group first.
+        assert_eq!(
+            round_group_split_toward(&[2.000000001, 2.0], 3, &[2, 0]),
+            vec![2, 1]
+        );
+    }
+
+    #[test]
+    fn migration_weight_trades_movement_for_ii() {
+        use crate::realloc::{Incumbent, MigrationCost, ReallocationSpec};
+        let incumbent =
+            Incumbent::new(vec![("a".to_string(), vec![2]), ("b".to_string(), vec![4])]).unwrap();
+        // A heavy migration weight keeps the incumbent counts (II 1.5) even
+        // though II 1.25 is reachable by moving one CU.
+        let heavy = toy_problem(1.0).with_reallocation(Some(ReallocationSpec::new(
+            incumbent.clone(),
+            MigrationCost::new(1.0).unwrap(),
+        )));
+        let d = solve(&heavy, &DiscretizeOptions::default()).unwrap();
+        assert_eq!(d.cu_counts, vec![2, 4]);
+        assert!((d.initiation_interval_ms - 1.5).abs() < 1e-9);
+        // A light weight pays the move and recovers the static optimum.
+        let light = toy_problem(1.0).with_reallocation(Some(ReallocationSpec::new(
+            incumbent,
+            MigrationCost::new(0.01).unwrap(),
+        )));
+        let d = solve(&light, &DiscretizeOptions::default()).unwrap();
+        assert!((d.initiation_interval_ms - 1.25).abs() < 1e-9);
+    }
+
+    #[test]
     fn heterogeneous_discretization_rounds_per_group() {
         use mfa_platform::{DeviceGroup, FpgaDevice, HeterogeneousPlatform};
         let p = AllocationProblem::builder()
@@ -519,6 +671,31 @@ mod tests {
                 .map(|(&n, k)| n as f64 * k.resources().dsp)
                 .sum();
             prop_assert!(total_dsp <= f * budget + 1e-6);
+        }
+
+        /// Satellite invariant: breaking rounding ties toward the incumbent
+        /// never moves more CUs than the incumbent-agnostic rounding of the
+        /// same fractional split (equal relaxed totals by construction).
+        #[test]
+        fn toward_rounding_never_moves_more(
+            fracs in proptest::collection::vec(0.0..6.0f64, 1..5),
+            inc_raw in proptest::collection::vec(0usize..6, 5)
+        ) {
+            let total = fracs.iter().sum::<f64>().round() as u32;
+            let inc: Vec<u32> = inc_raw[..fracs.len()].iter().map(|&i| i as u32).collect();
+            let inc = &inc[..];
+            let agnostic = round_group_split(&fracs, total);
+            let toward = round_group_split_toward(&fracs, total, inc);
+            prop_assert_eq!(toward.iter().sum::<u32>(), total);
+            prop_assert_eq!(agnostic.iter().sum::<u32>(), total);
+            let moved = |counts: &[u32]| -> u32 {
+                counts.iter().zip(inc).map(|(&n, &i)| n.saturating_sub(i)).sum()
+            };
+            prop_assert!(
+                moved(&toward) <= moved(&agnostic),
+                "toward {:?} moves more than agnostic {:?} for inc {:?}",
+                toward, agnostic, inc
+            );
         }
     }
 }

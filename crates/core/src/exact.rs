@@ -24,6 +24,7 @@ use mfa_minlp::{MinlpProblem, MinlpStatus, Relation, SolverOptions, Term};
 
 use crate::greedy::GreedyOptions;
 use crate::problem::AllocationProblem;
+use crate::realloc::ReallocContext;
 use crate::solution::Allocation;
 use crate::solver::{
     check_deadline, Deadline, SolveDiagnostics, SolveReport, StageTiming, WarmStart,
@@ -128,6 +129,7 @@ pub(crate) fn run(
     let num_fpgas = problem.num_fpgas();
     let weights = problem.weights();
     let use_spreading = matches!(options.mode, ExactMode::IiAndSpreading) && weights.beta > 0.0;
+    let realloc = ReallocContext::from_problem(problem)?;
 
     let mut model = MinlpProblem::new();
 
@@ -156,6 +158,16 @@ pub(crate) fn run(
     // smaller device, and a group that cannot host the kernel pins its
     // variables at zero.
     let group_of: Vec<usize> = (0..num_fpgas).map(|f| problem.group_of_fpga(f)).collect();
+    // On a platform with per-group WCET scaling the totals become *effective*
+    // parallelism `N_k = Σ_f n_{k,f} / s_{g(f)}` — a CU on a group slowed by
+    // `s > 1` contributes only `1/s` of a reference CU. Without scaling every
+    // `s` is exactly 1 and all coefficients below are bit-identical to the
+    // unscaled model.
+    let scaled = problem.has_wcet_scaling();
+    let min_effective_cu: f64 = 1.0
+        / (0..problem.num_groups())
+            .map(|g| problem.platform().group(g).wcet_scale())
+            .fold(1.0, f64::max);
     let mut n_vars = vec![Vec::with_capacity(num_fpgas); num_kernels];
     let mut total_vars = Vec::with_capacity(num_kernels);
     for (k, kernel) in problem.kernels().iter().enumerate() {
@@ -169,14 +181,20 @@ pub(crate) fn run(
         let total = model
             .add_continuous_var(
                 format!("N_{}", kernel.name()),
-                1.0,
+                min_effective_cu,
                 problem.max_total_cus(k).max(1) as f64,
                 0.0,
             )
             .map_err(AllocError::from)?;
         total_vars.push(total);
-        // N_k = Σ_f n_{k,f}.
-        let mut terms: Vec<Term> = n_vars[k].iter().map(|&v| Term::linear(v, 1.0)).collect();
+        // N_k = Σ_f n_{k,f} / s_{g(f)}.
+        let mut terms: Vec<Term> = n_vars[k]
+            .iter()
+            .enumerate()
+            .map(|(f, &v)| {
+                Term::linear(v, 1.0 / problem.platform().group(group_of[f]).wcet_scale())
+            })
+            .collect();
         terms.push(Term::linear(total, -1.0));
         model
             .add_constraint(
@@ -186,6 +204,19 @@ pub(crate) fn run(
                 0.0,
             )
             .map_err(AllocError::from)?;
+        // With scaling, `N_k ≥ 1/s_max` no longer implies one physical CU;
+        // pin the count sum explicitly.
+        if scaled {
+            let cu_terms: Vec<Term> = n_vars[k].iter().map(|&v| Term::linear(v, 1.0)).collect();
+            model
+                .add_constraint(
+                    format!("cus_{}", kernel.name()),
+                    cu_terms,
+                    Relation::GreaterEq,
+                    1.0,
+                )
+                .map_err(AllocError::from)?;
+        }
         // II ≥ WCET_k / N_k.
         model
             .add_constraint(
@@ -221,14 +252,14 @@ pub(crate) fn run(
     // non-finite coefficient means the group cannot host the kernel at all;
     // its variable is already pinned at zero by the per-group upper bound,
     // so the term is simply omitted.
-    let budget = problem.budget();
     for f in 0..num_fpgas {
         let g = group_of[f];
+        let limit = problem.group_resource_limit(g);
         let class_rows: [(&str, crate::report::ResourceAccessor, f64); 4] = [
-            ("lut", |r| r.lut, budget.resource_fraction().lut),
-            ("ff", |r| r.ff, budget.resource_fraction().ff),
-            ("bram", |r| r.bram, budget.resource_fraction().bram),
-            ("dsp", |r| r.dsp, budget.resource_fraction().dsp),
+            ("lut", |r| r.lut, limit.lut),
+            ("ff", |r| r.ff, limit.ff),
+            ("bram", |r| r.bram, limit.bram),
+            ("dsp", |r| r.dsp, limit.dsp),
         ];
         for (class, accessor, limit) in class_rows {
             let terms: Vec<Term> = (0..num_kernels)
@@ -255,7 +286,7 @@ pub(crate) fn run(
                     format!("bandwidth_{f}"),
                     bw_terms,
                     Relation::LessEq,
-                    budget.bandwidth_fraction(),
+                    problem.group_bandwidth_limit(g),
                 )
                 .map_err(AllocError::from)?;
         }
@@ -287,14 +318,66 @@ pub(crate) fn run(
         }
     }
 
+    // Migration rows, absent entirely without an active reallocation spec:
+    // a continuous `m_{k,g} ≥ Σ_{f∈g} n_{k,f} − incumbent_{k,g}` per kernel
+    // and group, priced into the objective at `w·c_g` — the movement term
+    // condenses into linear rows exactly like the latency rows — plus the
+    // optional hard cap on total movement.
+    let mut moved_vars: Vec<Vec<mfa_minlp::MinlpVarId>> = Vec::new();
+    if let Some(ctx) = &realloc {
+        for (k, kernel) in problem.kernels().iter().enumerate() {
+            let mut row_vars = Vec::with_capacity(problem.num_groups());
+            for g in 0..problem.num_groups() {
+                let m = model
+                    .add_continuous_var(
+                        format!("m_{}_{}", kernel.name(), g),
+                        0.0,
+                        problem.max_total_cus(k).max(1) as f64,
+                        ctx.weight * ctx.costs[g],
+                    )
+                    .map_err(AllocError::from)?;
+                let mut terms: Vec<Term> = (0..num_fpgas)
+                    .filter(|&f| group_of[f] == g)
+                    .map(|f| Term::linear(n_vars[k][f], 1.0))
+                    .collect();
+                terms.push(Term::linear(m, -1.0));
+                model
+                    .add_constraint(
+                        format!("moved_{}_{}", kernel.name(), g),
+                        terms,
+                        Relation::LessEq,
+                        f64::from(ctx.inc_groups[k][g]),
+                    )
+                    .map_err(AllocError::from)?;
+                row_vars.push(m);
+            }
+            moved_vars.push(row_vars);
+        }
+        if let Some(bound) = ctx.moved_bound {
+            let terms: Vec<Term> = moved_vars
+                .iter()
+                .flatten()
+                .map(|&m| Term::linear(m, 1.0))
+                .collect();
+            model
+                .add_constraint("moved_total", terms, Relation::LessEq, f64::from(bound))
+                .map_err(AllocError::from)?;
+        }
+    }
+
     // Warm start: place the hinted counts with the greedy allocator and seed
     // the branch-and-bound incumbent with the resulting assignment. Within
     // each device group the FPGA columns are ordered by the same weighted
     // DSP load the symmetry-breaking rows use, so an otherwise feasible seed
     // is never rejected just for naming the identical FPGAs in a different
     // order. An unplaceable or model-infeasible seed is silently dropped.
-    if let Some(seed_allocation) = warm
+    // Under an active reallocation spec with no explicit hint, the
+    // incumbent's own totals seed the search instead.
+    let seed_counts: Option<Vec<u32>> = warm
         .cu_counts
+        .clone()
+        .or_else(|| realloc.as_ref().map(|ctx| ctx.inc_totals.clone()));
+    if let Some(seed_allocation) = seed_counts
         .as_deref()
         .and_then(|counts| crate::solver::place_hint(problem, counts, &GreedyOptions::default()))
     {
@@ -310,9 +393,23 @@ pub(crate) fn run(
             for (f, &column) in columns.iter().enumerate() {
                 let n = f64::from(seed_allocation.cus(k, column));
                 seed[n_vars[k][f].index()] = n;
-                total += n;
+                total += n / problem.platform().group(group_of[f]).wcet_scale();
             }
             seed[total_vars[k].index()] = total;
+        }
+        // The movement the seed actually incurs, so the seed satisfies the
+        // migration rows with equality.
+        if let Some(ctx) = &realloc {
+            for k in 0..num_kernels {
+                for g in 0..problem.num_groups() {
+                    let placed: u32 = (0..num_fpgas)
+                        .filter(|&f| group_of[f] == g)
+                        .map(|f| seed_allocation.cus(k, columns[f]))
+                        .sum();
+                    let moved = placed.saturating_sub(ctx.inc_groups[k][g]);
+                    seed[moved_vars[k][g].index()] = f64::from(moved);
+                }
+            }
         }
         // A malformed seed cannot occur (the vector is built to length), so
         // the only set failure is a non-finite II from a degenerate hint.
@@ -366,16 +463,21 @@ pub(crate) fn run(
         backend: options.mode.label().to_owned(),
         diagnostics: SolveDiagnostics {
             // For the pure-II objective the proven bound is itself a relaxed
-            // II in milliseconds; the weighted objective has no such reading.
+            // II in milliseconds; the weighted objectives — spreading or a
+            // positive migration weight — have no such reading.
             relaxed_ii_ms: match options.mode {
-                ExactMode::IiOnly => Some(best_bound),
-                ExactMode::IiAndSpreading => None,
+                ExactMode::IiOnly if !realloc.as_ref().is_some_and(|ctx| ctx.weight > 0.0) => {
+                    Some(best_bound)
+                }
+                _ => None,
             },
             relaxation_gap: Some((objective - best_bound).max(0.0) / objective.abs().max(1.0)),
             proven_optimal: Some(solution.status() == MinlpStatus::Optimal),
             dropped_cus: vec![0; num_kernels],
             cu_counts,
             bb_nodes: solution.nodes_explored(),
+            moved_cus: 0,
+            migration_cost: 0.0,
             relaxation_iterations: solution.lp_solves(),
             barrier_iterations: 0,
             factorizations: 0,

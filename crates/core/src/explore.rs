@@ -54,6 +54,12 @@ pub struct SweepPoint {
     pub simplex_pivots: usize,
     /// Total CUs shed by the feasibility fallback.
     pub dropped_cus: u32,
+    /// CUs newly configured relative to the reallocation incumbent (zero
+    /// for static solves without a reallocation spec).
+    pub moved_cus: u32,
+    /// Unweighted priced movement `Σ_g c_g · moved_g` against the incumbent
+    /// (zero for static solves).
+    pub migration_cost: f64,
     /// Which warm-start hints the solve actually consumed.
     pub warm_start: WarmStartReport,
 }
@@ -80,6 +86,8 @@ impl SweepPoint {
             factorizations: report.diagnostics.factorizations,
             simplex_pivots: report.diagnostics.simplex_pivots,
             dropped_cus: report.diagnostics.total_dropped_cus(),
+            moved_cus: report.diagnostics.moved_cus,
+            migration_cost: report.diagnostics.migration_cost,
             warm_start: report.diagnostics.warm_start,
         }
     }

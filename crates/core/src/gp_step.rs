@@ -43,6 +43,7 @@ use mfa_gp::{GpDualState, GpProblem, Monomial, Posynomial};
 use mfa_linprog::{LpError, LpProblem, Relation, Sense, SimplexOptions};
 
 use crate::problem::AllocationProblem;
+use crate::realloc::ReallocContext;
 use crate::AllocError;
 
 /// Which engine solves the continuous relaxation.
@@ -226,8 +227,7 @@ pub(crate) fn budgets_allow(
         return Ok(distribute_over_groups(problem, cu_counts, pivots)?.is_some());
     }
     let f = problem.num_fpgas() as f64;
-    let budget = problem.budget();
-    let limit = *budget.resource_fraction() * f;
+    let limit = problem.group_resource_limit(0) * f;
     let total: mfa_platform::ResourceVec = problem
         .kernels()
         .iter()
@@ -243,7 +243,25 @@ pub(crate) fn budgets_allow(
         .zip(cu_counts)
         .map(|(k, &n)| k.bandwidth() * n)
         .sum();
-    Ok(bw <= budget.bandwidth_fraction() * f + 1e-9)
+    if bw > problem.group_bandwidth_limit(0) * f + 1e-9 {
+        return Ok(false);
+    }
+    // A moved-CU bound restricts the single-group split arithmetically: the
+    // only split of total N_k is N_k itself, so the fractional movement is
+    // Σ_k max(0, N_k − inc_k).
+    if let Some(ctx) = ReallocContext::from_problem(problem)? {
+        if let Some(bound) = ctx.moved_bound {
+            let moved: f64 = cu_counts
+                .iter()
+                .enumerate()
+                .map(|(k, &n)| (n - ctx.inc_totals.get(k).copied().unwrap_or(0) as f64).max(0.0))
+                .sum();
+            if moved > f64::from(bound) + 1e-9 {
+                return Ok(false);
+            }
+        }
+    }
+    Ok(true)
 }
 
 /// Fractional water-filling of per-kernel totals across device groups: finds
@@ -275,7 +293,7 @@ pub(crate) fn distribute_over_groups(
         return Ok(Some(cu_counts.iter().map(|&n| vec![n]).collect()));
     }
     let num_kernels = problem.num_kernels();
-    let budget = problem.budget();
+    let realloc = ReallocContext::from_problem(problem)?;
     let mut lp = LpProblem::new(Sense::Minimize);
     let mut vars: Vec<Vec<Option<mfa_linprog::VarId>>> = vec![vec![None; groups]; num_kernels];
     for k in 0..num_kernels {
@@ -300,15 +318,16 @@ pub(crate) fn distribute_over_groups(
         }
         lp.add_constraint(format!("total_{k}"), &terms, Relation::Equal, cu_counts[k])?;
     }
-    type Accessor = fn(&mfa_platform::ResourceVec) -> f64;
-    let classes: [(&str, Accessor, f64); 4] = [
-        ("lut", |r| r.lut, budget.resource_fraction().lut),
-        ("ff", |r| r.ff, budget.resource_fraction().ff),
-        ("bram", |r| r.bram, budget.resource_fraction().bram),
-        ("dsp", |r| r.dsp, budget.resource_fraction().dsp),
-    ];
     for g in 0..groups {
         let fpgas = problem.group_count(g) as f64;
+        let group_limit = problem.group_resource_limit(g);
+        type Accessor = fn(&mfa_platform::ResourceVec) -> f64;
+        let classes: [(&str, Accessor, f64); 4] = [
+            ("lut", |r| r.lut, group_limit.lut),
+            ("ff", |r| r.ff, group_limit.ff),
+            ("bram", |r| r.bram, group_limit.bram),
+            ("dsp", |r| r.dsp, group_limit.dsp),
+        ];
         for (class, accessor, limit) in classes {
             let terms: Vec<(mfa_linprog::VarId, f64)> = (0..num_kernels)
                 .filter_map(|k| {
@@ -336,7 +355,46 @@ pub(crate) fn distribute_over_groups(
                 format!("bandwidth_{g}"),
                 &bw_terms,
                 Relation::LessEq,
-                fpgas * budget.bandwidth_fraction() + 1e-9,
+                fpgas * problem.group_bandwidth_limit(g) + 1e-9,
+            )?;
+        }
+    }
+    // Migration-aware water-filling: with an active reallocation spec the
+    // split is not just *a* feasible one — it is the feasible split moving
+    // the least priced CUs. Movement variables `m_{k,g} ≥ max(0, x_{k,g} −
+    // inc_{k,g})` linearize the rectifier exactly (the migration term
+    // condenses into linear rows, like the latency rows do in the GP), the
+    // objective minimizes `Σ c_g · m_{k,g}`, and an optional row caps the
+    // fractional total movement. Inactive specs skip all of this, keeping the
+    // LP — and its pivot trace — bit-identical to the static solve.
+    if let Some(ctx) = &realloc {
+        let mut moved_terms: Vec<(mfa_linprog::VarId, f64)> = Vec::new();
+        for k in 0..num_kernels {
+            for g in 0..groups {
+                let Some(x) = vars[k][g] else { continue };
+                let m = lp
+                    .add_var(format!("m_{k}_{g}"), 0.0, cu_counts[k].max(0.0))
+                    .expect("bounds are finite and ordered");
+                // x_{k,g} − m_{k,g} ≤ inc_{k,g}.
+                lp.add_constraint(
+                    format!("moved_{k}_{g}"),
+                    &[(x, 1.0), (m, -1.0)],
+                    Relation::LessEq,
+                    f64::from(ctx.inc_groups[k][g]),
+                )?;
+                // A zero-cost group still gets a tiny uniform coefficient so
+                // the auxiliary variables are driven to the true movement
+                // (and the split deterministically prefers fewer moves).
+                lp.set_objective_coefficient(m, ctx.costs[g] + 1e-9)?;
+                moved_terms.push((m, 1.0));
+            }
+        }
+        if let Some(bound) = ctx.moved_bound {
+            lp.add_constraint(
+                "moved_total",
+                &moved_terms,
+                Relation::LessEq,
+                f64::from(bound) + 1e-9,
             )?;
         }
     }
@@ -451,8 +509,8 @@ fn solve_gp_homogeneous(
     }
 
     let f = problem.num_fpgas() as f64;
-    let budget = problem.budget();
-    let resource_budget = budget.resource_fraction();
+    let resource_budget = problem.group_resource_limit(0);
+    let bandwidth_budget = problem.group_bandwidth_limit(0);
     // One posynomial budget row per resource class that is actually used.
     let class_rows: [(&str, crate::report::ResourceAccessor, f64); 4] = [
         ("lut", |r| r.lut, resource_budget.lut),
@@ -476,7 +534,7 @@ fn solve_gp_homogeneous(
     for (k, kernel) in problem.kernels().iter().enumerate() {
         if kernel.bandwidth() > 0.0 {
             bw_row.push(Monomial::new(
-                kernel.bandwidth() / (f * budget.bandwidth_fraction()),
+                kernel.bandwidth() / (f * bandwidth_budget),
                 &[(n_vars[k], 1.0)],
             ));
         }
@@ -611,16 +669,17 @@ fn solve_gp_heterogeneous(
         gp.add_le_constraint(format!("upper_{}", kernel.name()), upper)?;
     }
 
-    // Per-group aggregated budget rows (exactly posynomial).
-    let budget = problem.budget();
-    let class_rows: [(&str, crate::report::ResourceAccessor, f64); 4] = [
-        ("lut", |r| r.lut, budget.resource_fraction().lut),
-        ("ff", |r| r.ff, budget.resource_fraction().ff),
-        ("bram", |r| r.bram, budget.resource_fraction().bram),
-        ("dsp", |r| r.dsp, budget.resource_fraction().dsp),
-    ];
+    // Per-group aggregated budget rows (exactly posynomial), under each
+    // group's own scaled limits.
     for g in 0..groups {
         let fpgas = problem.group_count(g) as f64;
+        let group_limit = problem.group_resource_limit(g);
+        let class_rows: [(&str, crate::report::ResourceAccessor, f64); 4] = [
+            ("lut", |r| r.lut, group_limit.lut),
+            ("ff", |r| r.ff, group_limit.ff),
+            ("bram", |r| r.bram, group_limit.bram),
+            ("dsp", |r| r.dsp, group_limit.dsp),
+        ];
         for (class, accessor, limit) in class_rows {
             let mut row = Posynomial::new();
             for k in 0..num_kernels {
@@ -640,7 +699,7 @@ fn solve_gp_heterogeneous(
             let bw = problem.kernel_bandwidth_on(k, g);
             if bw > 0.0 {
                 bw_row.push(Monomial::new(
-                    bw / (fpgas * budget.bandwidth_fraction()),
+                    bw / (fpgas * problem.group_bandwidth_limit(g)),
                     &[(var, 1.0)],
                 ));
             }

@@ -18,6 +18,7 @@ use crate::discretize::{self, DiscretizeOptions};
 use crate::gp_step::{self, RelaxationBackend};
 use crate::greedy::{self, GreedyOptions};
 use crate::problem::AllocationProblem;
+use crate::realloc::{MigrationOutcome, ReallocContext};
 use crate::solution::Allocation;
 use crate::solver::{
     check_deadline, Deadline, SolveDiagnostics, SolveReport, StageTiming, WarmStart,
@@ -103,8 +104,16 @@ pub(crate) fn run_pipeline(
 
     check_deadline(deadline, "allocation")?;
     let allocation_start = Instant::now();
-    let (allocation, cu_counts, dropped_cus) =
+    let (allocation, mut cu_counts, dropped_cus) =
         place_with_drops(problem, discrete.cu_counts, &options.greedy, deadline)?;
+    let allocation = snap_to_incumbent(problem, allocation)?;
+    if problem.migration_active() {
+        // The snap may have shed surplus CUs; keep the reported counts in
+        // sync with what the allocation actually realizes.
+        cu_counts = (0..allocation.num_kernels())
+            .map(|k| allocation.total_cus(k))
+            .collect();
+    }
     let allocation_time = allocation_start.elapsed();
 
     let achieved = allocation.initiation_interval(problem);
@@ -119,6 +128,8 @@ pub(crate) fn run_pipeline(
             cu_counts,
             dropped_cus,
             bb_nodes: discrete.nodes_explored,
+            moved_cus: 0,
+            migration_cost: 0.0,
             relaxation_iterations: relax_stats.iterations,
             barrier_iterations: relax_stats.barrier_iterations,
             factorizations: relax_stats.factorizations,
@@ -205,6 +216,118 @@ pub(crate) fn place_with_drops(
         }
     };
     Ok((allocation, cu_counts, dropped_cus))
+}
+
+/// Post-placement descent toward the incumbent, shared by the GP+A pipeline
+/// and the greedy backend. The discretization accounts for migration on the
+/// advisory group split, but the real per-FPGA placement assigns CUs to
+/// FPGAs incumbent-blind, so a group can end up holding more CUs of a kernel
+/// than the incumbent had there. While some kernel holds such a surplus, two
+/// moves are tried from the highest-index FPGA of the surplus group hosting
+/// a CU:
+///
+/// 1. **Relocation** — move the CU to an FPGA of a group still *below* its
+///    incumbent count (lowest-index feasible destination). Totals are
+///    preserved, so with uniform WCET scaling the II is unchanged and the
+///    penalized score strictly improves at any positive weight; this sheds
+///    the pure reshuffle the incumbent-blind placer introduces.
+/// 2. **Shedding** — remove the CU outright (only while the kernel keeps at
+///    least one), trading a little II for stability.
+///
+/// Either move is accepted whenever it strictly improves the penalized score
+/// `II + w·migration`, or whenever the placement exceeds the moved-CU bound
+/// and the move reduces movement. A no-op without an active reallocation
+/// spec, so the static pipeline is untouched.
+///
+/// # Errors
+///
+/// Propagates incumbent/platform misalignment from the reallocation spec.
+pub(crate) fn snap_to_incumbent(
+    problem: &AllocationProblem,
+    mut allocation: Allocation,
+) -> Result<Allocation, AllocError> {
+    let Some(ctx) = ReallocContext::from_problem(problem)? else {
+        return Ok(allocation);
+    };
+    let score_of = |alloc: &Allocation| -> (f64, MigrationOutcome) {
+        let outcome = problem.migration_of(alloc);
+        (
+            alloc.initiation_interval(problem) + ctx.weight * outcome.cost,
+            outcome,
+        )
+    };
+    let num_fpgas = problem.num_fpgas().min(allocation.num_fpgas());
+    let num_kernels = problem.num_kernels().min(allocation.num_kernels());
+    let (mut score, mut outcome) = score_of(&allocation);
+    'descent: loop {
+        for k in 0..num_kernels {
+            let mut per_group = vec![0u32; problem.num_groups()];
+            for f in 0..num_fpgas {
+                per_group[problem.group_of_fpga(f)] += allocation.cus(k, f);
+            }
+            for (g, &placed) in per_group.iter().enumerate() {
+                let incumbent = ctx.inc_groups[k][g];
+                if placed <= incumbent {
+                    continue;
+                }
+                let Some(src) = (0..num_fpgas)
+                    .rev()
+                    .find(|&f| problem.group_of_fpga(f) == g && allocation.cus(k, f) > 0)
+                else {
+                    continue;
+                };
+                let over_bound = ctx
+                    .moved_bound
+                    .is_some_and(|bound| outcome.moved_cus > bound);
+                let accept = |candidate: &Allocation,
+                              score: f64,
+                              moved: u32|
+                 -> Option<(f64, MigrationOutcome)> {
+                    let (cand_score, cand_outcome) = score_of(candidate);
+                    (cand_score < score - 1e-12 || (over_bound && cand_outcome.moved_cus < moved))
+                        .then_some((cand_score, cand_outcome))
+                };
+                // Relocation first: it preserves the kernel's total CU count,
+                // so it never costs II when groups run at the same speed.
+                for (dst_g, &dst_placed) in per_group.iter().enumerate() {
+                    if dst_g == g || dst_placed >= ctx.inc_groups[k][dst_g] {
+                        continue;
+                    }
+                    for dst in (0..num_fpgas).filter(|&f| problem.group_of_fpga(f) == dst_g) {
+                        let mut candidate = allocation.clone();
+                        candidate.set_cus(k, src, candidate.cus(k, src) - 1);
+                        candidate.set_cus(k, dst, candidate.cus(k, dst) + 1);
+                        if candidate.validate(problem, 1e-9).is_err() {
+                            continue;
+                        }
+                        if let Some((s, o)) = accept(&candidate, score, outcome.moved_cus) {
+                            allocation = candidate;
+                            score = s;
+                            outcome = o;
+                            // Every accepted move shrinks this kernel's
+                            // surplus over the incumbent by one CU, so the
+                            // descent terminates after at most the total
+                            // initial movement.
+                            continue 'descent;
+                        }
+                    }
+                }
+                if allocation.total_cus(k) <= 1 {
+                    continue;
+                }
+                let mut candidate = allocation.clone();
+                candidate.set_cus(k, src, candidate.cus(k, src) - 1);
+                if let Some((s, o)) = accept(&candidate, score, outcome.moved_cus) {
+                    allocation = candidate;
+                    score = s;
+                    outcome = o;
+                    continue 'descent;
+                }
+            }
+        }
+        break;
+    }
+    Ok(allocation)
 }
 
 #[cfg(test)]

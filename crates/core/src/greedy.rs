@@ -182,13 +182,24 @@ fn try_allocate(
     let num_kernels = problem.num_kernels();
     let num_fpgas = problem.num_fpgas();
     let num_groups = problem.num_groups();
-    let budget = problem.budget();
-    let capacity = ResourceVec {
-        lut: (budget.resource_fraction().lut + relaxation).min(1.0),
-        ff: (budget.resource_fraction().ff + relaxation).min(1.0),
-        bram: (budget.resource_fraction().bram + relaxation).min(1.0),
-        dsp: (budget.resource_fraction().dsp + relaxation).min(1.0),
-    };
+    // Per-group placement limits: each FPGA offers its device group's scaled
+    // share of the budget (plus the current relaxation, capped at the full
+    // device). With all budget scales at 1 these are exactly the old uniform
+    // limits.
+    let capacity_on: Vec<ResourceVec> = (0..num_groups)
+        .map(|g| {
+            let limit = problem.group_resource_limit(g);
+            ResourceVec {
+                lut: (limit.lut + relaxation).min(1.0),
+                ff: (limit.ff + relaxation).min(1.0),
+                bram: (limit.bram + relaxation).min(1.0),
+                dsp: (limit.dsp + relaxation).min(1.0),
+            }
+        })
+        .collect();
+    let bw_limit_on: Vec<f64> = (0..num_groups)
+        .map(|g| problem.group_bandwidth_limit(g))
+        .collect();
     // Per-CU demand of each kernel rescaled to every device group.
     let res_on: Vec<Vec<ResourceVec>> = (0..num_kernels)
         .map(|k| {
@@ -207,20 +218,23 @@ fn try_allocate(
     // Does the full CU set of kernel `k` fit on one FPGA of *some* group?
     let fits_one_fpga = |k: usize, cus: u32| -> bool {
         (0..num_groups).any(|g| {
-            (res_on[k][g] * cus as f64).fits_within(&capacity, 1e-9)
-                && bw_on[k][g] * cus as f64 <= budget.bandwidth_fraction() + 1e-9
+            (res_on[k][g] * cus as f64).fits_within(&capacity_on[g], 1e-9)
+                && bw_on[k][g] * cus as f64 <= bw_limit_on[g] + 1e-9
         })
     };
 
     let mut allocation = Allocation::zeros(problem);
     let mut remaining: Vec<u32> = cu_counts.to_vec();
     let mut slacks: Vec<Slack> = (0..num_fpgas)
-        .map(|f| Slack {
-            fpga: f,
-            group: problem.group_of_fpga(f),
-            resources: capacity,
-            bandwidth: budget.bandwidth_fraction(),
-            untouched: true,
+        .map(|f| {
+            let g = problem.group_of_fpga(f);
+            Slack {
+                fpga: f,
+                group: g,
+                resources: capacity_on[g],
+                bandwidth: bw_limit_on[g],
+                untouched: true,
+            }
         })
         .collect();
 

@@ -65,12 +65,14 @@ pub mod gp_step;
 pub mod gpa;
 pub mod greedy;
 mod problem;
+pub mod realloc;
 pub mod report;
 mod solution;
 pub mod solver;
 
 pub use error::AllocError;
 pub use problem::{AllocationProblem, AllocationProblemBuilder, GoalWeights, Kernel};
+pub use realloc::{Incumbent, MigrationCost, MigrationOutcome, ReallocationSpec};
 pub use solution::{Allocation, AllocationMetrics};
 pub use solver::{
     Backend, Deadline, DualWarmStart, SkipPolicy, SolveDiagnostics, SolveReport, SolveRequest,

@@ -5,6 +5,8 @@ use serde::{Deserialize, Serialize};
 use mfa_cnn::{Application, KernelCharacterization};
 use mfa_platform::{HeterogeneousPlatform, MultiFpgaPlatform, ResourceBudget, ResourceVec};
 
+use crate::realloc::{migration_against, MigrationOutcome, ReallocationSpec};
+use crate::solution::Allocation;
 use crate::AllocError;
 
 /// One pipeline kernel: the constants the optimization model needs
@@ -131,13 +133,16 @@ impl Default for GoalWeights {
 
 /// A complete allocation problem instance: the kernel pipeline, the platform
 /// (homogeneous or a heterogeneous fleet of device groups), the per-FPGA
-/// budget and the objective weights.
+/// budget, the objective weights, and — for re-solves under churn — an
+/// optional [`ReallocationSpec`] describing the incumbent placement and the
+/// migration pricing.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct AllocationProblem {
     kernels: Vec<Kernel>,
     platform: HeterogeneousPlatform,
     budget: ResourceBudget,
     weights: GoalWeights,
+    reallocation: Option<ReallocationSpec>,
 }
 
 impl AllocationProblem {
@@ -238,9 +243,112 @@ impl AllocationProblem {
             .scale_bandwidth_to_group(g, self.kernels[k].bandwidth())
     }
 
+    /// WCET of one CU of kernel `k` when hosted on device group `g`, in
+    /// milliseconds: the characterized (reference-device) WCET inflated by
+    /// the group's slowdown factor
+    /// [`wcet_scale`](mfa_platform::DeviceGroup::wcet_scale).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` or `g` is out of range.
+    pub fn kernel_wcet_on(&self, k: usize, g: usize) -> f64 {
+        self.kernels[k].wcet_ms() * self.platform.group(g).wcet_scale()
+    }
+
+    /// `true` when any device group carries a non-unit WCET slowdown, i.e.
+    /// the scaled initiation-interval metrics differ from the
+    /// reference-speed surrogate the relaxation optimizes.
+    pub fn has_wcet_scaling(&self) -> bool {
+        (0..self.num_groups()).any(|g| self.platform.group(g).wcet_scale() != 1.0)
+    }
+
+    /// Per-FPGA resource limit on device group `g`: the budget's resource
+    /// fraction scaled by the group's
+    /// [`budget_scale`](mfa_platform::DeviceGroup::budget_scale).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is out of range.
+    pub fn group_resource_limit(&self, g: usize) -> ResourceVec {
+        *self.budget.resource_fraction() * self.platform.group(g).budget_scale()
+    }
+
+    /// Per-FPGA bandwidth limit on device group `g`: the budget's bandwidth
+    /// fraction scaled by the group's
+    /// [`budget_scale`](mfa_platform::DeviceGroup::budget_scale).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is out of range.
+    pub fn group_bandwidth_limit(&self, g: usize) -> f64 {
+        self.budget.bandwidth_fraction() * self.platform.group(g).budget_scale()
+    }
+
     /// The per-FPGA budget (resource constraint and bandwidth cap).
     pub fn budget(&self) -> &ResourceBudget {
         &self.budget
+    }
+
+    /// The reallocation spec riding on this problem, if any.
+    pub fn reallocation(&self) -> Option<&ReallocationSpec> {
+        self.reallocation.as_ref()
+    }
+
+    /// `true` when an *active* reallocation spec rides on the problem — a
+    /// positive migration weight or a moved-CU bound. Solvers gate every
+    /// behavioural change on this, so an inert spec (or none) keeps them
+    /// byte-identical to the static solve.
+    pub fn migration_active(&self) -> bool {
+        self.reallocation
+            .as_ref()
+            .is_some_and(ReallocationSpec::is_active)
+    }
+
+    /// The incumbent aligned to this problem's kernel order (one per-group
+    /// row per kernel, zeros for kernels the incumbent does not know), or
+    /// `None` when no reallocation spec is attached.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AllocError::InvalidArgument`] when the incumbent's group
+    /// count does not match the platform's.
+    pub fn aligned_incumbent(&self) -> Result<Option<Vec<Vec<u32>>>, AllocError> {
+        match &self.reallocation {
+            Some(spec) => spec.incumbent().aligned_to(self).map(Some),
+            None => Ok(None),
+        }
+    }
+
+    /// Movement of per-group CU counts `groups` (`[kernel][group]`) against
+    /// the attached incumbent. Zero when no spec is attached.
+    pub fn migration_of_groups(&self, groups: &[Vec<u32>]) -> MigrationOutcome {
+        let Some(spec) = &self.reallocation else {
+            return MigrationOutcome::default();
+        };
+        let Ok(incumbent) = spec.incumbent().aligned_to(self) else {
+            return MigrationOutcome::default();
+        };
+        let costs: Vec<f64> = (0..self.num_groups())
+            .map(|g| spec.migration().group_cost(g))
+            .collect();
+        migration_against(&incumbent, &costs, groups)
+    }
+
+    /// Movement of a placed allocation against the attached incumbent
+    /// (group-granular: reshuffles among an identical group's FPGAs are
+    /// free). Zero when no spec is attached.
+    pub fn migration_of(&self, allocation: &Allocation) -> MigrationOutcome {
+        if self.reallocation.is_none() {
+            return MigrationOutcome::default();
+        }
+        let mut groups = vec![vec![0u32; self.num_groups()]; self.num_kernels()];
+        let num_fpgas = self.num_fpgas().min(allocation.num_fpgas());
+        for (k, row) in groups.iter_mut().enumerate().take(allocation.num_kernels()) {
+            for f in 0..num_fpgas {
+                row[self.group_of_fpga(f)] += allocation.cus(k, f);
+            }
+        }
+        self.migration_of_groups(&groups)
     }
 
     /// The objective weights.
@@ -290,6 +398,16 @@ impl AllocationProblem {
         }
     }
 
+    /// Returns a copy of the problem with a different (or no) reallocation
+    /// spec — `None` turns a re-solve back into a static solve.
+    #[must_use]
+    pub fn with_reallocation(&self, reallocation: Option<ReallocationSpec>) -> Self {
+        AllocationProblem {
+            reallocation,
+            ..self.clone()
+        }
+    }
+
     /// Returns a copy of the problem on a different number of FPGAs.
     #[must_use]
     pub fn with_num_fpgas(&self, num_fpgas: usize) -> Self {
@@ -309,9 +427,9 @@ impl AllocationProblem {
     pub fn max_cus_per_fpga_in_group(&self, k: usize, g: usize) -> u32 {
         let resources = self.kernel_resources_on(k, g);
         let bandwidth = self.kernel_bandwidth_on(k, g);
-        let resource_bound = resources.max_copies_within(self.budget.resource_fraction());
+        let resource_bound = resources.max_copies_within(&self.group_resource_limit(g));
         let bandwidth_bound = if bandwidth > 0.0 {
-            Some((self.budget.bandwidth_fraction() / bandwidth + 1e-9).floor() as u32)
+            Some((self.group_bandwidth_limit(g) / bandwidth + 1e-9).floor() as u32)
         } else {
             None
         };
@@ -370,10 +488,11 @@ impl AllocationProblem {
         // demand is rescaled to each FPGA's own device group.
         let mut slack: Vec<(usize, ResourceVec, f64)> = (0..self.num_fpgas())
             .map(|f| {
+                let g = self.group_of_fpga(f);
                 (
-                    self.group_of_fpga(f),
-                    *self.budget.resource_fraction(),
-                    self.budget.bandwidth_fraction(),
+                    g,
+                    self.group_resource_limit(g),
+                    self.group_bandwidth_limit(g),
                 )
             })
             .collect();
@@ -416,6 +535,7 @@ pub struct AllocationProblemBuilder {
     platform: Option<HeterogeneousPlatform>,
     budget: Option<ResourceBudget>,
     weights: Option<GoalWeights>,
+    reallocation: Option<ReallocationSpec>,
 }
 
 impl AllocationProblemBuilder {
@@ -455,6 +575,15 @@ impl AllocationProblemBuilder {
         self
     }
 
+    /// Attaches a reallocation spec (incumbent placement + migration
+    /// pricing) so solvers re-solve *from* the incumbent rather than from
+    /// scratch.
+    #[must_use]
+    pub fn reallocation(mut self, spec: ReallocationSpec) -> Self {
+        self.reallocation = Some(spec);
+        self
+    }
+
     /// Builds the problem.
     ///
     /// # Errors
@@ -475,6 +604,7 @@ impl AllocationProblemBuilder {
                 .unwrap_or_else(|| MultiFpgaPlatform::aws_f1_16xlarge().into()),
             budget: self.budget.unwrap_or_default(),
             weights: self.weights.unwrap_or_default(),
+            reallocation: self.reallocation,
         })
     }
 }
@@ -627,6 +757,88 @@ mod tests {
         assert_eq!(r.budget().bandwidth_fraction(), 0.8);
         // Original untouched.
         assert_eq!(p.num_fpgas(), 8);
+    }
+
+    #[test]
+    fn group_scales_shift_wcet_and_limits() {
+        use mfa_platform::{DeviceGroup, FpgaDevice, HeterogeneousPlatform};
+
+        let fleet = HeterogeneousPlatform::new(
+            "scaled",
+            vec![
+                DeviceGroup::new(FpgaDevice::vu9p(), 1),
+                DeviceGroup::new(FpgaDevice::vu9p(), 1)
+                    .with_wcet_scale(1.5)
+                    .with_budget_scale(0.5),
+            ],
+        );
+        let p = AllocationProblem::builder()
+            .kernel(Kernel::new("k", 2.0, ResourceVec::bram_dsp(0.1, 0.2), 0.3).unwrap())
+            .budget(ResourceBudget::uniform(0.65))
+            .platform(fleet)
+            .build()
+            .unwrap();
+        assert!(p.has_wcet_scaling());
+        assert_eq!(p.kernel_wcet_on(0, 0), 2.0);
+        assert_eq!(p.kernel_wcet_on(0, 1), 3.0);
+        // Group 1's limits halve: floor(0.325/0.2)=1 by DSP, floor(0.5/0.3)=1 by bw.
+        assert!((p.group_resource_limit(1).dsp - 0.325).abs() < 1e-12);
+        assert!((p.group_bandwidth_limit(1) - 0.5).abs() < 1e-12);
+        assert_eq!(p.max_cus_per_fpga_in_group(0, 0), 3);
+        assert_eq!(p.max_cus_per_fpga_in_group(0, 1), 1);
+        // Neutral scales leave the limits bit-identical to the raw budget.
+        let neutral = AllocationProblem::builder()
+            .kernel(Kernel::new("k", 2.0, ResourceVec::bram_dsp(0.1, 0.2), 0.3).unwrap())
+            .budget(ResourceBudget::uniform(0.65))
+            .platform(MultiFpgaPlatform::aws_f1_4xlarge())
+            .build()
+            .unwrap();
+        assert!(!neutral.has_wcet_scaling());
+        assert_eq!(
+            neutral.group_resource_limit(0),
+            *neutral.budget().resource_fraction()
+        );
+        assert_eq!(
+            neutral.group_bandwidth_limit(0),
+            neutral.budget().bandwidth_fraction()
+        );
+    }
+
+    #[test]
+    fn migration_accounting_rides_on_the_problem() {
+        use crate::realloc::{Incumbent, MigrationCost};
+        use crate::solution::Allocation;
+
+        let p = AllocationProblem::builder()
+            .kernel(toy_kernel("a", 1.0, 0.1))
+            .kernel(toy_kernel("b", 2.0, 0.1))
+            .platform(MultiFpgaPlatform::aws_f1_4xlarge())
+            .build()
+            .unwrap();
+        // No spec: everything reports zero movement.
+        assert_eq!(p.migration_of_groups(&[vec![5], vec![5]]).moved_cus, 0);
+        assert!(!p.migration_active());
+
+        let inc = Incumbent::new(vec![("a".into(), vec![2]), ("b".into(), vec![1])]).unwrap();
+        let spec = ReallocationSpec::new(inc, MigrationCost::new(0.5).unwrap());
+        let q = p.with_reallocation(Some(spec));
+        assert!(q.migration_active());
+        let m = q.migration_of_groups(&[vec![3], vec![1]]);
+        assert_eq!(m.moved_cus, 1);
+        assert!((m.cost - 1.0).abs() < 1e-12);
+        // Placed form sums FPGAs into groups first.
+        let mut alloc = Allocation::zeros(&q);
+        alloc.set_cus(0, 0, 2);
+        alloc.set_cus(0, 1, 2);
+        alloc.set_cus(1, 0, 1);
+        let m = q.migration_of(&alloc);
+        assert_eq!(m.moved_cus, 2);
+        // Inert spec (weight 0, no bound) is not "active".
+        let inert = ReallocationSpec::new(
+            Incumbent::new(vec![("a".into(), vec![2])]).unwrap(),
+            MigrationCost::free(),
+        );
+        assert!(!p.with_reallocation(Some(inert)).migration_active());
     }
 
     #[test]

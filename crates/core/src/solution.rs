@@ -83,8 +83,25 @@ impl Allocation {
 
     /// Execution time of kernel `k` (`ET_k = WCET_k / N_k`), in milliseconds.
     ///
+    /// On a platform with per-group WCET scaling, `N_k` is the *effective*
+    /// parallelism `Σ_f n_{k,f} / s_{g(f)}`: a CU on a group slowed by
+    /// `s > 1` contributes only `1/s` of a reference CU. Without scaling
+    /// this reduces exactly to the plain count.
+    ///
     /// Returns infinity if the kernel has no CUs.
     pub fn execution_time(&self, problem: &AllocationProblem, k: usize) -> f64 {
+        if problem.has_wcet_scaling() {
+            let effective: f64 = (0..self.num_fpgas().min(problem.num_fpgas()))
+                .map(|f| {
+                    let g = problem.group_of_fpga(f);
+                    f64::from(self.n[k][f]) / problem.platform().group(g).wcet_scale()
+                })
+                .sum();
+            if effective <= 0.0 {
+                return f64::INFINITY;
+            }
+            return problem.kernels()[k].wcet_ms() / effective;
+        }
         let total = self.total_cus(k);
         if total == 0 {
             f64::INFINITY
@@ -195,16 +212,16 @@ impl Allocation {
                 )));
             }
         }
-        let budget = problem.budget();
         for f in 0..self.num_fpgas() {
+            let g = problem.group_of_fpga(f);
             let used = self.fpga_resources(problem, f);
-            if !used.fits_within(budget.resource_fraction(), tol) {
+            if !used.fits_within(&problem.group_resource_limit(g), tol) {
                 return Err(AllocError::Infeasible(format!(
                     "FPGA {f} exceeds the resource budget ({used})"
                 )));
             }
             let bw = self.fpga_bandwidth(problem, f);
-            if bw > budget.bandwidth_fraction() + tol {
+            if bw > problem.group_bandwidth_limit(g) + tol {
                 return Err(AllocError::Infeasible(format!(
                     "FPGA {f} exceeds the bandwidth budget ({bw:.3})"
                 )));
@@ -327,6 +344,40 @@ mod tests {
             wrong.validate(&p, 1e-9),
             Err(AllocError::InvalidArgument(_))
         ));
+    }
+
+    #[test]
+    fn wcet_scaling_discounts_slow_group_cus() {
+        use mfa_platform::{DeviceGroup, FpgaDevice, HeterogeneousPlatform};
+        let p = AllocationProblem::builder()
+            .kernels(vec![Kernel::new(
+                "a",
+                6.0,
+                ResourceVec::bram_dsp(0.05, 0.1),
+                0.01,
+            )
+            .unwrap()])
+            .platform(HeterogeneousPlatform::new(
+                "fast+slow",
+                vec![
+                    DeviceGroup::new(FpgaDevice::vu9p(), 1),
+                    DeviceGroup::new(FpgaDevice::vu9p(), 1).with_wcet_scale(2.0),
+                ],
+            ))
+            .budget(ResourceBudget::uniform(0.7))
+            .build()
+            .unwrap();
+        let mut a = Allocation::zeros(&p);
+        a.set_cus(0, 0, 1);
+        a.set_cus(0, 1, 1);
+        // Effective parallelism 1 + 1/2 = 1.5 → ET = 6 / 1.5 = 4 ms, slower
+        // than two reference CUs (3 ms) but faster than one (6 ms).
+        assert!((a.execution_time(&p, 0) - 4.0).abs() < 1e-12);
+        assert!((a.initiation_interval(&p) - 4.0).abs() < 1e-12);
+        // A CU on the slow group alone runs at the scaled WCET.
+        let mut slow = Allocation::zeros(&p);
+        slow.set_cus(0, 1, 1);
+        assert!((slow.execution_time(&p, 0) - 12.0).abs() < 1e-12);
     }
 
     #[test]

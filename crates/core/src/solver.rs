@@ -79,6 +79,26 @@ impl Deadline {
         }
     }
 
+    /// A deadline `seconds` from now, validating the float first.
+    ///
+    /// Prefer this over `Deadline::within(Duration::from_secs_f64(s))` for
+    /// budgets that arrive as floats over a wire or CLI: `from_secs_f64`
+    /// panics on NaN/negative input, whereas this surfaces a typed error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AllocError::InvalidArgument`] when `seconds` is non-finite
+    /// or negative — such a budget would otherwise silently become an
+    /// always-expired (or panicking) deadline.
+    pub fn within_seconds(seconds: f64) -> Result<Self, AllocError> {
+        if !(seconds.is_finite() && seconds >= 0.0) {
+            return Err(AllocError::InvalidArgument(format!(
+                "a deadline budget must be a finite, non-negative number of seconds, got {seconds}"
+            )));
+        }
+        Ok(Deadline::within(Duration::from_secs_f64(seconds)))
+    }
+
     /// A deadline at an absolute instant.
     pub fn at(instant: Instant) -> Self {
         Deadline { instant }
@@ -581,7 +601,10 @@ impl<'p> SolveRequest<'p> {
     /// every stage boundary), and solver failures.
     pub fn solve(&self) -> Result<SolveReport, AllocError> {
         check_deadline(self.deadline.as_ref(), "request admission")?;
-        self.backend.instantiate().solve(self)
+        self.backend
+            .instantiate()
+            .solve(self)
+            .map(|report| self.fill_migration_diagnostics(report))
     }
 
     /// Serves the request with a caller-provided engine instead of the
@@ -592,7 +615,22 @@ impl<'p> SolveRequest<'p> {
     /// Same contract as [`solve`](Self::solve).
     pub fn solve_with(&self, backend: &dyn SolverBackend) -> Result<SolveReport, AllocError> {
         check_deadline(self.deadline.as_ref(), "request admission")?;
-        backend.solve(self)
+        backend
+            .solve(self)
+            .map(|report| self.fill_migration_diagnostics(report))
+    }
+
+    /// Fills [`SolveDiagnostics::moved_cus`]/
+    /// [`SolveDiagnostics::migration_cost`] from the problem's reallocation
+    /// spec — centrally, so every backend (including custom ones) reports
+    /// movement uniformly.
+    fn fill_migration_diagnostics(&self, mut report: SolveReport) -> SolveReport {
+        if self.problem.reallocation().is_some() {
+            let outcome = self.problem.migration_of(&report.allocation);
+            report.diagnostics.moved_cus = outcome.moved_cus;
+            report.diagnostics.migration_cost = outcome.cost;
+        }
+        report
     }
 
     /// [`solve`](Self::solve) with the request's [`SkipPolicy`] applied:
@@ -666,6 +704,16 @@ pub struct SolveDiagnostics {
     /// water-filling feasibility probes of the heuristic backends, or every
     /// node LP of the exact MINLP search. Machine-independent.
     pub simplex_pivots: usize,
+    /// CUs the returned placement newly configures relative to the problem's
+    /// incumbent (group-granular; zero when no
+    /// [`ReallocationSpec`](crate::realloc::ReallocationSpec) is attached).
+    /// Filled centrally by [`SolveRequest::solve`]/
+    /// [`solve_with`](SolveRequest::solve_with), so custom backends get it
+    /// for free.
+    pub moved_cus: u32,
+    /// The unweighted migration cost `Σ_g c_g · moved_g` of the returned
+    /// placement (zero when no reallocation spec is attached).
+    pub migration_cost: f64,
     /// Dual state of the GP relaxation, offered to neighbouring solves via
     /// [`WarmStart::gp_dual`]. `None` when no GP relaxation ran.
     pub gp_dual: Option<DualWarmStart>,
@@ -768,8 +816,14 @@ impl SolverBackend for GreedyBackend {
             .map(|&n| (n.floor() as u32).max(1))
             .collect();
         let allocation_start = Instant::now();
-        let (allocation, cu_counts, dropped_cus) =
+        let (allocation, mut cu_counts, dropped_cus) =
             gpa::place_with_drops(problem, cu_counts, &self.options, deadline)?;
+        let allocation = gpa::snap_to_incumbent(problem, allocation)?;
+        if problem.migration_active() {
+            cu_counts = (0..allocation.num_kernels())
+                .map(|k| allocation.total_cus(k))
+                .collect();
+        }
         let allocation_time = allocation_start.elapsed();
 
         let achieved = allocation.initiation_interval(problem);
@@ -790,6 +844,8 @@ impl SolverBackend for GreedyBackend {
                 barrier_iterations: stats.barrier_iterations,
                 factorizations: stats.factorizations,
                 simplex_pivots: stats.simplex_pivots,
+                moved_cus: 0,
+                migration_cost: 0.0,
                 gp_dual: stats.dual_state.as_ref().map(DualWarmStart::from),
                 warm_start: WarmStartReport {
                     ii_hint_used: stats.hint_used,
@@ -1275,6 +1331,8 @@ mod tests {
                         barrier_iterations: 0,
                         factorizations: 0,
                         simplex_pivots: 0,
+                        moved_cus: 0,
+                        migration_cost: 0.0,
                         gp_dual: None,
                         warm_start: WarmStartReport::default(),
                         timing: StageTiming::default(),
@@ -1327,6 +1385,24 @@ mod tests {
         assert!(check_deadline(None, "anything").is_ok());
         let err = check_deadline(Some(&expired), "relaxation").unwrap_err();
         assert!(err.to_string().contains("relaxation"));
+    }
+
+    #[test]
+    fn float_deadline_budgets_are_validated() {
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -1.0, -1e-12] {
+            assert!(
+                matches!(
+                    Deadline::within_seconds(bad),
+                    Err(AllocError::InvalidArgument(_))
+                ),
+                "budget {bad} must be rejected"
+            );
+        }
+        let d = Deadline::within_seconds(3600.0).unwrap();
+        assert!(!d.is_expired());
+        assert!(d.remaining() > Duration::from_secs(3500));
+        // A zero budget is a valid, already-exhausted deadline.
+        assert!(Deadline::within_seconds(0.0).unwrap().remaining() <= Duration::from_millis(1));
     }
 
     #[test]

@@ -31,6 +31,9 @@ pub enum ExploreError {
         /// The underlying solver error.
         source: AllocError,
     },
+    /// A churn replay inside a reallocation-frontier sweep failed (malformed
+    /// event for the evolving problem, or a non-skippable re-solve error).
+    Churn(String),
 }
 
 impl fmt::Display for ExploreError {
@@ -50,6 +53,7 @@ impl fmt::Display for ExploreError {
                  constraint {:.1}%): {source}",
                 resource_constraint * 100.0
             ),
+            ExploreError::Churn(msg) => write!(f, "churn replay failed: {msg}"),
         }
     }
 }
@@ -58,7 +62,9 @@ impl Error for ExploreError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             ExploreError::Solver { source, .. } => Some(source),
-            ExploreError::InvalidGrid(_) | ExploreError::InvalidOptions(_) => None,
+            ExploreError::InvalidGrid(_)
+            | ExploreError::InvalidOptions(_)
+            | ExploreError::Churn(_) => None,
         }
     }
 }

@@ -40,7 +40,8 @@ pub fn series_to_json(series: &[SweepSeries]) -> String {
                  \"average_utilization\": {}, \"spreading\": {}, \"solve_seconds\": {}, \
                  \"relaxation_gap\": {}, \"bb_nodes\": {}, \"dropped_cus\": {}, \
                  \"warm_start\": {}, \"barrier_iterations\": {}, \
-                 \"factorizations\": {}, \"simplex_pivots\": {}}}",
+                 \"factorizations\": {}, \"simplex_pivots\": {}, \
+                 \"moved_cus\": {}, \"migration_cost\": {}}}",
                 json_f64(p.resource_constraint),
                 json_f64(fraction.lut),
                 json_f64(fraction.ff),
@@ -57,7 +58,9 @@ pub fn series_to_json(series: &[SweepSeries]) -> String {
                 json_string(p.warm_start.provenance()),
                 p.barrier_iterations,
                 p.factorizations,
-                p.simplex_pivots
+                p.simplex_pivots,
+                p.moved_cus,
+                json_f64(p.migration_cost)
             ));
             if j + 1 < s.points.len() {
                 out.push(',');
@@ -80,25 +83,27 @@ pub fn series_to_json(series: &[SweepSeries]) -> String {
 }
 
 /// Serializes series as CSV with one row per point:
-/// `case,platform,num_fpgas,backend,resource_constraint,lut_budget,ff_budget,bram_budget,dsp_budget,bandwidth_budget,initiation_interval_ms,average_utilization,spreading,solve_seconds,relaxation_gap,bb_nodes,dropped_cus,warm_start,barrier_iterations,factorizations,simplex_pivots`.
+/// `case,platform,num_fpgas,backend,resource_constraint,lut_budget,ff_budget,bram_budget,dsp_budget,bandwidth_budget,initiation_interval_ms,average_utilization,spreading,solve_seconds,relaxation_gap,bb_nodes,dropped_cus,warm_start,barrier_iterations,factorizations,simplex_pivots,moved_cus,migration_cost`.
 ///
 /// The trailing diagnostic columns (relative relaxation gap,
-/// branch-and-bound nodes, dropped CUs, warm-start provenance, and the
-/// machine-independent effort counters) are additive: everything before
-/// them is byte-identical to the pre-diagnostics format.
+/// branch-and-bound nodes, dropped CUs, warm-start provenance, the
+/// machine-independent effort counters, and the reallocation movement
+/// metrics) are additive: everything before them is byte-identical to the
+/// pre-diagnostics format.
 pub fn series_to_csv(series: &[SweepSeries]) -> String {
     let mut out = String::from(
         "case,platform,num_fpgas,backend,resource_constraint,\
          lut_budget,ff_budget,bram_budget,dsp_budget,bandwidth_budget,\
          initiation_interval_ms,average_utilization,spreading,solve_seconds,\
          relaxation_gap,bb_nodes,dropped_cus,warm_start,\
-         barrier_iterations,factorizations,simplex_pivots\n",
+         barrier_iterations,factorizations,simplex_pivots,\
+         moved_cus,migration_cost\n",
     );
     for s in series {
         for p in &s.points {
             let fraction = p.budget.resource_fraction();
             out.push_str(&format!(
-                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
                 csv_field(&s.case),
                 csv_field(&s.platform),
                 s.num_fpgas,
@@ -119,7 +124,9 @@ pub fn series_to_csv(series: &[SweepSeries]) -> String {
                 p.warm_start.provenance(),
                 p.barrier_iterations,
                 p.factorizations,
-                p.simplex_pivots
+                p.simplex_pivots,
+                p.moved_cus,
+                p.migration_cost
             ));
         }
     }
@@ -145,7 +152,7 @@ pub fn write_csv(path: impl AsRef<Path>, series: &[SweepSeries]) -> io::Result<(
 }
 
 /// JSON string literal with the escapes required by RFC 8259.
-fn json_string(s: &str) -> String {
+pub(crate) fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -164,7 +171,7 @@ fn json_string(s: &str) -> String {
 }
 
 /// JSON number; non-finite values become `null`.
-fn json_f64(v: f64) -> String {
+pub(crate) fn json_f64(v: f64) -> String {
     if v.is_finite() {
         format!("{v}")
     } else {
@@ -173,7 +180,7 @@ fn json_f64(v: f64) -> String {
 }
 
 /// CSV field, quoted (with doubled inner quotes) only when necessary.
-fn csv_field(s: &str) -> String {
+pub(crate) fn csv_field(s: &str) -> String {
     if s.contains([',', '"', '\n', '\r']) {
         format!("\"{}\"", s.replace('"', "\"\""))
     } else {
@@ -210,6 +217,8 @@ mod tests {
                         factorizations: 0,
                         simplex_pivots: 31,
                         dropped_cus: 0,
+                        moved_cus: 0,
+                        migration_cost: 0.0,
                         warm_start: WarmStartReport::default(),
                     },
                     SweepPoint {
@@ -225,6 +234,8 @@ mod tests {
                         factorizations: 48,
                         simplex_pivots: 17,
                         dropped_cus: 1,
+                        moved_cus: 4,
+                        migration_cost: 2.5,
                         warm_start: WarmStartReport {
                             ii_hint_used: true,
                             dual_hint_used: true,
@@ -261,10 +272,12 @@ mod tests {
         ));
         assert!(json.contains("\"bram\": 0.5, \"dsp\": 0.7, \"bandwidth\": 0.8"));
         assert!(json.contains("\"odd \\\"label\\\", with comma\""));
-        // The effort counters ride along with every point.
+        // The effort counters and movement metrics ride along with every
+        // point.
         assert!(json.contains(
             "\"warm_start\": \"ii+dual+incumbent\", \"barrier_iterations\": 9, \
-             \"factorizations\": 48, \"simplex_pivots\": 17"
+             \"factorizations\": 48, \"simplex_pivots\": 17, \
+             \"moved_cus\": 4, \"migration_cost\": 2.5"
         ));
         // The empty series still appears, with an empty points array.
         assert!(json.contains("\"points\": []"));
@@ -287,10 +300,10 @@ mod tests {
              lut_budget,ff_budget,bram_budget,dsp_budget,bandwidth_budget"
         ));
         assert!(lines[1].starts_with("Alex-16 on 2 FPGAs,2 FPGAs,2,GP+A,0.55,"));
-        assert_eq!(lines[1].split(',').count(), 21);
-        // The diagnostics ride at the end of the row, effort counters last.
-        assert!(lines[1].ends_with("0.0625,12,0,cold,0,0,31"));
-        assert!(lines[2].ends_with("0.031,7,1,ii+dual+incumbent,9,48,17"));
+        assert_eq!(lines[1].split(',').count(), 23);
+        // The diagnostics ride at the end of the row, movement metrics last.
+        assert!(lines[1].ends_with("0.0625,12,0,cold,0,0,31,0,0"));
+        assert!(lines[2].ends_with("0.031,7,1,ii+dual+incumbent,9,48,17,4,2.5"));
         // The per-resource budget point spells out its fractions.
         assert!(lines[2].contains("0.9,0.9,0.5,0.7,0.8"));
     }

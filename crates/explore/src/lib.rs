@@ -68,6 +68,7 @@ mod error;
 mod executor;
 pub mod export;
 pub mod figures;
+pub mod frontier;
 mod grid;
 pub mod json;
 pub mod validate;
@@ -80,6 +81,7 @@ pub use executor::{
     ExecutorOptions, SweepSeries, WorkUnit,
 };
 pub use figures::FigureSpec;
+pub use frontier::{frontier_to_csv, frontier_to_json, run_frontier, FrontierPoint, FrontierSpec};
 pub use grid::{
     constraint_grid, BudgetSpec, CaseSpec, PlatformSpec, SolverSpec, SweepGrid, SweepGridBuilder,
 };

@@ -204,10 +204,19 @@ fn platform_to_json(p: &HeterogeneousPlatform) -> Result<Json, WireError> {
         .groups()
         .iter()
         .map(|g| {
-            Ok(Json::obj(vec![
+            let mut fields = vec![
                 ("device", device_to_json(g.device())?),
                 ("count", Json::Num(g.count() as f64)),
-            ]))
+            ];
+            // Scaling knobs ride the wire only when set, so pre-reallocation
+            // peers keep accepting frames from unscaled platforms.
+            if g.wcet_scale() != 1.0 {
+                fields.push(("wcet_scale", num("wcet_scale", g.wcet_scale())?));
+            }
+            if g.budget_scale() != 1.0 {
+                fields.push(("budget_scale", num("budget_scale", g.budget_scale())?));
+            }
+            Ok(Json::obj(fields))
         })
         .collect::<Result<Vec<_>, WireError>>()?;
     Ok(Json::obj(vec![
@@ -228,7 +237,28 @@ fn platform_from_json(value: &Json) -> Result<HeterogeneousPlatform, WireError> 
                     "a device group needs at least one FPGA".into(),
                 ));
             }
-            Ok(DeviceGroup::new(device, count))
+            let mut group = DeviceGroup::new(device, count);
+            // Absent on frames from before the reallocation refactor:
+            // default to the neutral factors those platforms implied.
+            if field(g, "wcet_scale").is_ok() {
+                let scale = f64_field(g, "wcet_scale")?;
+                if !(scale.is_finite() && scale >= 1.0) {
+                    return Err(WireError::Invalid(format!(
+                        "WCET scale must be a finite slowdown factor ≥ 1, got {scale}"
+                    )));
+                }
+                group = group.with_wcet_scale(scale);
+            }
+            if field(g, "budget_scale").is_ok() {
+                let scale = f64_field(g, "budget_scale")?;
+                if !(scale.is_finite() && scale > 0.0) {
+                    return Err(WireError::Invalid(format!(
+                        "budget scale must be a finite positive factor, got {scale}"
+                    )));
+                }
+                group = group.with_budget_scale(scale);
+            }
+            Ok(group)
         })
         .collect::<Result<Vec<_>, WireError>>()?;
     if groups.is_empty() {
@@ -709,6 +739,11 @@ pub fn point_to_json(point: &SweepPoint) -> Result<Json, WireError> {
         ("factorizations", Json::Num(point.factorizations as f64)),
         ("simplex_pivots", Json::Num(point.simplex_pivots as f64)),
         ("dropped_cus", Json::Num(f64::from(point.dropped_cus))),
+        ("moved_cus", Json::Num(f64::from(point.moved_cus))),
+        (
+            "migration_cost",
+            num("migration_cost", point.migration_cost)?,
+        ),
         (
             "warm_start",
             Json::Str(point.warm_start.provenance().to_owned()),
@@ -757,6 +792,24 @@ pub fn point_from_json(value: &Json) -> Result<SweepPoint, WireError> {
                 )));
             }
             raw as u32
+        },
+        // Absent on frames from before the reallocation refactor: default to
+        // zero movement, exactly what those static sweeps performed.
+        moved_cus: if field(value, "moved_cus").is_ok() {
+            let raw = f64_field(value, "moved_cus")?;
+            if raw < 0.0 || raw.fract() != 0.0 || raw > f64::from(u32::MAX) {
+                return Err(WireError::Invalid(format!(
+                    "moved_cus must be a u32, got {raw}"
+                )));
+            }
+            raw as u32
+        } else {
+            0
+        },
+        migration_cost: if field(value, "migration_cost").is_ok() {
+            f64_field(value, "migration_cost")?
+        } else {
+            0.0
         },
         warm_start: {
             let label = str_field(value, "warm_start")?;
@@ -929,6 +982,8 @@ mod tests {
                 factorizations: 87,
                 simplex_pivots: 42,
                 dropped_cus: 2,
+                moved_cus: 3,
+                migration_cost: 0.1 + 0.7,
                 warm_start: WarmStartReport {
                     ii_hint_used: true,
                     dual_hint_used: true,
@@ -957,6 +1012,62 @@ mod tests {
         assert_eq!(point.barrier_iterations, 0);
         assert_eq!(point.factorizations, 0);
         assert_eq!(point.simplex_pivots, 0);
+        // The same frame predates the reallocation fields too: zero movement.
+        assert_eq!(point.moved_cus, 0);
+        assert_eq!(point.migration_cost, 0.0);
+    }
+
+    #[test]
+    fn groups_from_before_reallocation_decode_with_neutral_scales() {
+        let legacy = r#"{"name": "fleet",
+            "groups": [{"device": {"name": "vu9p",
+                                   "capacity": {"lut": 1182240, "ff": 2364480,
+                                                "bram": 2160, "dsp": 6840},
+                                   "dram_bandwidth_gbps": 76.8},
+                        "count": 2}]}"#;
+        let doc = Json::parse(legacy).unwrap();
+        let platform = platform_from_json(&doc).unwrap();
+        assert_eq!(platform.group(0).wcet_scale(), 1.0);
+        assert_eq!(platform.group(0).budget_scale(), 1.0);
+    }
+
+    #[test]
+    fn scaled_groups_round_trip_and_bad_scales_are_rejected() {
+        let platform = HeterogeneousPlatform::new(
+            "mixed fleet",
+            vec![
+                DeviceGroup::new(FpgaDevice::vu9p(), 1),
+                DeviceGroup::new(FpgaDevice::ku115(), 2)
+                    .with_wcet_scale(1.0 + 0.1 + 0.2)
+                    .with_budget_scale(0.7 + 0.1),
+            ],
+        );
+        let encoded = platform_to_json(&platform).unwrap().to_string();
+        // Neutral groups stay off the wire; scaled groups ride it.
+        assert!(!encoded.contains("\"budget_scale\":1"));
+        assert!(encoded.contains("wcet_scale"));
+        let decoded = platform_from_json(&Json::parse(&encoded).unwrap()).unwrap();
+        assert_eq!(decoded.group(0).wcet_scale(), 1.0);
+        assert_eq!(decoded.group(0).budget_scale(), 1.0);
+        assert_eq!(
+            decoded.group(1).wcet_scale().to_bits(),
+            (1.0f64 + 0.1 + 0.2).to_bits()
+        );
+        assert_eq!(
+            decoded.group(1).budget_scale().to_bits(),
+            (0.7f64 + 0.1).to_bits()
+        );
+
+        let bad = r#"{"name": "fleet",
+            "groups": [{"device": {"name": "vu9p",
+                                   "capacity": {"lut": 1, "ff": 1,
+                                                "bram": 1, "dsp": 1},
+                                   "dram_bandwidth_gbps": 1},
+                        "count": 1, "wcet_scale": 0.5}]}"#;
+        assert!(matches!(
+            platform_from_json(&Json::parse(bad).unwrap()),
+            Err(WireError::Invalid(_))
+        ));
     }
 
     #[test]
@@ -974,6 +1085,8 @@ mod tests {
             factorizations: 0,
             simplex_pivots: 0,
             dropped_cus: 0,
+            moved_cus: 0,
+            migration_cost: 0.0,
             warm_start: WarmStartReport::default(),
         };
         assert!(matches!(

@@ -64,12 +64,23 @@ fn device() -> impl Strategy<Value = FpgaDevice> {
 }
 
 fn platform() -> impl Strategy<Value = HeterogeneousPlatform> {
-    vec((device(), 1usize..4), 1usize..3).prop_map(|groups| {
+    vec((device(), 1usize..4, 0.0f64..3.0, 0.0f64..1.5), 1usize..3).prop_map(|groups| {
         HeterogeneousPlatform::new(
             format!("fleet-{}", groups.len()),
             groups
                 .into_iter()
-                .map(|(device, count)| DeviceGroup::new(device, count))
+                .map(|(device, count, slow, budget)| {
+                    // Mix neutral and scaled groups so both the absent-field
+                    // and present-field wire paths are exercised.
+                    let mut group = DeviceGroup::new(device, count);
+                    if slow >= 1.0 {
+                        group = group.with_wcet_scale(1.0 + slow);
+                    }
+                    if budget >= 0.5 {
+                        group = group.with_budget_scale(0.25 + budget);
+                    }
+                    group
+                })
                 .collect(),
         )
     })
@@ -212,7 +223,7 @@ fn point() -> impl Strategy<Value = SweepPoint> {
             any_finite_f64(),
             0usize..1_000_000,
             (0usize..1_000_000, 0usize..1_000_000, 0usize..1_000_000),
-            (0usize..10_000).prop_map(|v| v as u32),
+            (0usize..10_000, 0usize..10_000, 0.0f64..50.0),
             warm_start_report(),
         ),
     )
@@ -229,7 +240,9 @@ fn point() -> impl Strategy<Value = SweepPoint> {
                 barrier_iterations: diag.2 .0,
                 factorizations: diag.2 .1,
                 simplex_pivots: diag.2 .2,
-                dropped_cus: diag.3,
+                dropped_cus: diag.3 .0 as u32,
+                moved_cus: diag.3 .1 as u32,
+                migration_cost: diag.3 .2,
                 warm_start: diag.4,
             },
         )
@@ -293,6 +306,8 @@ proptest! {
                     prop_assert_eq!(b.factorizations, o.factorizations);
                     prop_assert_eq!(b.simplex_pivots, o.simplex_pivots);
                     prop_assert_eq!(b.dropped_cus, o.dropped_cus);
+                    prop_assert_eq!(b.moved_cus, o.moved_cus);
+                    prop_assert_eq!(b.migration_cost.to_bits(), o.migration_cost.to_bits());
                     prop_assert_eq!(b.warm_start, o.warm_start);
                 }
                 _ => return Err(proptest::TestCaseError::fail("Some/None mismatch")),

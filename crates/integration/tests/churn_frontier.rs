@@ -1,0 +1,257 @@
+//! Golden regression test of the reallocation frontier on the committed
+//! churn trace (`tests/golden/churn.trace`).
+//!
+//! Pins the tentpole contract of online reallocation end to end, for every
+//! solver backend:
+//!
+//! * migration-penalized re-solves move **strictly fewer** CUs than cold
+//!   (weight-0) re-solves across the trace, at ≤ 2 % steady-state II cost;
+//! * the frontier is deterministic and byte-matches the committed snapshot
+//!   (`tests/golden/churn-frontier.csv` / `.json`) — the exact backend runs
+//!   under a node-only budget, so the rows are machine-independent;
+//! * a weight-0 reallocation spec is inert: the solve is byte-identical to
+//!   the static solve of the same problem.
+//!
+//! As with the `quick-*` figure goldens, the MINLP series is affordable only
+//! in release builds: debug runs cover the Greedy and GP+A rows of the same
+//! snapshot, and the release-mode CI step re-checks the full table.
+//!
+//! Regenerate the snapshot after an intentional output change:
+//!
+//! ```text
+//! UPDATE_CHURN_GOLDEN=1 cargo test --release -p mfa_integration \
+//!     --test churn_frontier
+//! ```
+
+use mfa_alloc::cases::PaperCase;
+use mfa_alloc::exact::{ExactMode, ExactOptions};
+use mfa_alloc::realloc::{Incumbent, MigrationCost, ReallocationSpec};
+use mfa_alloc::solver::{Backend, SolveRequest};
+use mfa_alloc::AllocationProblem;
+use mfa_explore::{frontier_to_csv, frontier_to_json, run_frontier, FrontierPoint, FrontierSpec};
+use mfa_minlp::SolverOptions;
+use mfa_platform::{DeviceGroup, FpgaDevice, HeterogeneousPlatform};
+use mfa_sim::{parse_trace, ChurnEvent, SimConfig};
+
+/// Small enough to only break ties: penalized re-solves shed gratuitous
+/// movement without trading real II (the ≤ 2 % contract below).
+const TIE_BREAK_WEIGHT: f64 = 0.01;
+
+fn base_problem() -> AllocationProblem {
+    PaperCase::Alex16OnTwoFpgas
+        .problem(0.70)
+        .unwrap()
+        .with_platform(HeterogeneousPlatform::new(
+            "2×VU9P + 1×KU115",
+            vec![
+                DeviceGroup::new(FpgaDevice::vu9p(), 2),
+                DeviceGroup::new(FpgaDevice::ku115(), 1),
+            ],
+        ))
+}
+
+fn committed_trace() -> Vec<ChurnEvent> {
+    parse_trace(include_str!("golden/churn.trace")).expect("committed trace parses")
+}
+
+/// Node-only budget keeps the exact series machine-independent (a wall-clock
+/// limit would cut the search at a host-dependent point and change the
+/// snapshot); 400 nodes is enough for the cold solves to find near-optimal
+/// designs, so the tie-break weight only sheds movement.
+fn capped_exact() -> Backend {
+    Backend::exact_with(ExactOptions {
+        mode: ExactMode::IiOnly,
+        solver: SolverOptions {
+            max_nodes: 400,
+            time_limit_seconds: None,
+            ..SolverOptions::default()
+        },
+        symmetry_breaking: true,
+    })
+}
+
+/// Fast backends only (debug-affordable); release adds the capped MINLP.
+fn backends(with_exact: bool) -> Vec<Backend> {
+    let mut backends = vec![Backend::greedy(), Backend::gpa_fast()];
+    if with_exact {
+        backends.push(capped_exact());
+    }
+    backends
+}
+
+fn frontier_spec(with_exact: bool) -> FrontierSpec {
+    FrontierSpec {
+        backends: backends(with_exact),
+        sim: SimConfig {
+            num_items: 200,
+            ..SimConfig::default()
+        },
+        ..FrontierSpec::new(
+            base_problem(),
+            committed_trace(),
+            vec![0.0, TIE_BREAK_WEIGHT],
+        )
+    }
+}
+
+fn golden_path(ext: &str) -> String {
+    format!(
+        "{}/tests/golden/churn-frontier.{ext}",
+        env!("CARGO_MANIFEST_DIR")
+    )
+}
+
+fn read_golden(ext: &str) -> String {
+    std::fs::read_to_string(golden_path(ext)).unwrap_or_else(|err| {
+        panic!(
+            "missing golden snapshot churn-frontier.{ext} ({err}); \
+             regenerate with UPDATE_CHURN_GOLDEN=1 in release mode"
+        )
+    })
+}
+
+/// Asserts the reallocation contract on one backend's rows: strictly fewer
+/// moved CUs at ≤ 2 % steady-state II degradation, event by event.
+fn assert_contract(points: &[FrontierPoint], backend: &str) {
+    let series = |weight: f64| -> Vec<&FrontierPoint> {
+        points
+            .iter()
+            .filter(|p| p.backend == backend && p.weight == weight)
+            .collect()
+    };
+    let cold = series(0.0);
+    let penalized = series(TIE_BREAK_WEIGHT);
+    assert_eq!(cold.len(), 4, "{backend}: base row + 3 trace events");
+    assert_eq!(penalized.len(), 4);
+    let moved = |rows: &[&FrontierPoint]| rows.iter().map(|p| p.moved_cus).sum::<u32>();
+    assert!(
+        moved(&penalized) < moved(&cold),
+        "{backend}: penalized re-solves moved {} CUs, cold moved {}",
+        moved(&penalized),
+        moved(&cold)
+    );
+    for (p, c) in penalized.iter().zip(&cold) {
+        assert!(
+            p.steady_ii_ms <= c.steady_ii_ms * 1.02,
+            "{backend} at {}: penalized II {} vs cold II {} exceeds 2 %",
+            p.event,
+            p.steady_ii_ms,
+            c.steady_ii_ms
+        );
+    }
+}
+
+#[test]
+fn fast_backends_beat_cold_and_match_their_golden_rows() {
+    let spec = frontier_spec(false);
+    let points = run_frontier(&spec).unwrap();
+
+    // Determinism: a second sweep reproduces the table exactly.
+    assert_eq!(
+        run_frontier(&spec).unwrap(),
+        points,
+        "frontier sweep is not deterministic"
+    );
+    for backend in spec.backends.iter().map(Backend::label) {
+        assert_contract(&points, backend);
+    }
+
+    // The fast-backend rows must byte-match their slice of the committed
+    // snapshot (series are independent, so the 2-backend sweep reproduces
+    // exactly the golden rows whose backend column is Greedy or GP+A).
+    let csv = frontier_to_csv(&points);
+    let golden = read_golden("csv");
+    let golden_fast: Vec<&str> = golden
+        .lines()
+        .filter(|l| l.starts_with("backend,") || l.starts_with("Greedy,") || l.starts_with("GP+A,"))
+        .collect();
+    assert_eq!(
+        csv.lines().collect::<Vec<_>>(),
+        golden_fast,
+        "fast-backend frontier rows diverged from the committed golden; \
+         regenerate with UPDATE_CHURN_GOLDEN=1 in release mode if intentional"
+    );
+}
+
+#[test]
+fn full_frontier_with_minlp_matches_the_committed_golden() {
+    if cfg!(debug_assertions) {
+        // The node-capped MINLP re-solves cost minutes per solve without
+        // optimizations; the release-mode CI step runs this test for real.
+        eprintln!("skipping MINLP frontier rows in debug build");
+        return;
+    }
+    let spec = frontier_spec(true);
+    let points = run_frontier(&spec).unwrap();
+    assert_eq!(
+        run_frontier(&spec).unwrap(),
+        points,
+        "frontier sweep is not deterministic"
+    );
+    for backend in spec.backends.iter().map(Backend::label) {
+        assert_contract(&points, backend);
+    }
+
+    let csv = frontier_to_csv(&points);
+    let json = frontier_to_json(&points);
+    if std::env::var_os("UPDATE_CHURN_GOLDEN").is_some() {
+        std::fs::write(golden_path("csv"), &csv).unwrap();
+        std::fs::write(golden_path("json"), &json).unwrap();
+        return;
+    }
+    assert_eq!(
+        csv,
+        read_golden("csv"),
+        "frontier CSV diverged from the committed golden; \
+         regenerate with UPDATE_CHURN_GOLDEN=1 if intentional"
+    );
+    assert_eq!(
+        json,
+        read_golden("json"),
+        "frontier JSON diverged from the committed golden; \
+         regenerate with UPDATE_CHURN_GOLDEN=1 if intentional"
+    );
+}
+
+#[test]
+fn goldens_are_present_and_well_formed() {
+    // Debug builds skip the MINLP sweep above; still fail fast if the
+    // snapshot is missing, truncated, or lost its MINLP series.
+    let csv = read_golden("csv");
+    assert!(csv.starts_with("backend,migration_weight,event_index,event"));
+    // 3 backends × 2 weights × (base + 3 events) data rows.
+    assert_eq!(csv.lines().count(), 1 + 3 * 2 * 4);
+    assert!(csv.lines().any(|l| l.starts_with("MINLP,")));
+    let json = read_golden("json");
+    assert_eq!(json.matches("\"backend\"").count(), 3 * 2 * 4);
+}
+
+#[test]
+fn weight_zero_reallocation_is_byte_identical_to_the_static_solve() {
+    let problem = base_problem();
+    // The MINLP leg costs minutes in debug; release covers it.
+    for backend in backends(!cfg!(debug_assertions)) {
+        let static_report = SolveRequest::new(&problem)
+            .backend(backend.clone())
+            .solve()
+            .unwrap();
+        let incumbent = Incumbent::from_allocation(&problem, &static_report.allocation).unwrap();
+        // Weight 0, no moved-CU bound: the spec is inert and every solver
+        // stage must take the static path.
+        let spec = ReallocationSpec::new(incumbent, MigrationCost::new(0.0).unwrap());
+        assert!(!spec.is_active());
+        let realloc_problem = problem.clone().with_reallocation(Some(spec));
+        let realloc_report = SolveRequest::new(&realloc_problem)
+            .backend(backend.clone())
+            .solve()
+            .unwrap();
+        assert_eq!(
+            realloc_report.allocation,
+            static_report.allocation,
+            "{}: weight-0 reallocation changed the solution",
+            backend.label()
+        );
+        assert_eq!(realloc_report.diagnostics.moved_cus, 0);
+        assert_eq!(realloc_report.diagnostics.migration_cost, 0.0);
+    }
+}

@@ -141,7 +141,7 @@ fn full_quick_goldens_are_present_and_well_formed() {
         let csv = golden("quick", name, "csv");
         assert!(csv.starts_with("case,platform,num_fpgas,backend"));
         // Timing must be normalized, or byte-comparison would be meaningless
-        // (solve_seconds is the 14th of the 21 columns).
+        // (solve_seconds is the 14th of the 23 columns).
         for line in csv.lines().skip(1) {
             let solve_seconds = line.split(',').nth(13).unwrap_or("");
             assert_eq!(

@@ -96,21 +96,77 @@ impl Default for MultiFpgaPlatform {
 }
 
 /// A run of identical FPGAs inside a [`HeterogeneousPlatform`].
+///
+/// Besides the device model and count, a group carries two per-group knobs
+/// that churn workloads need (mixed device generations rarely clock alike,
+/// and shared fleets rarely grant every group the same budget slice):
+///
+/// * [`wcet_scale`](Self::wcet_scale) — a slowdown factor `s_g ≥ 1` applied
+///   to every kernel's WCET on this group's devices. The reference device
+///   (group 0 by convention) is the fastest, so solver relaxations computed
+///   at reference speed stay valid lower bounds.
+/// * [`budget_scale`](Self::budget_scale) — a factor `b_g > 0` multiplying
+///   the per-FPGA budget fractions (resources and bandwidth) on this group.
+///
+/// Both default to `1.0`, in which case every consumer is bit-identical to
+/// the unscaled model.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DeviceGroup {
     device: FpgaDevice,
     count: usize,
+    wcet_scale: f64,
+    budget_scale: f64,
 }
 
 impl DeviceGroup {
-    /// Creates a group of `count` identical `device`s.
+    /// Creates a group of `count` identical `device`s with neutral scales.
     ///
     /// # Panics
     ///
     /// Panics if `count` is zero.
     pub fn new(device: FpgaDevice, count: usize) -> Self {
         assert!(count > 0, "a device group needs at least one FPGA");
-        DeviceGroup { device, count }
+        DeviceGroup {
+            device,
+            count,
+            wcet_scale: 1.0,
+            budget_scale: 1.0,
+        }
+    }
+
+    /// Sets the per-group WCET slowdown factor `s_g`: a CU hosted on this
+    /// group takes `s_g × WCET` per item. Must be ≥ 1 — the reference device
+    /// is the fastest generation, which keeps reference-speed relaxations
+    /// valid lower bounds on the scaled problem.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is non-finite or below 1.
+    #[must_use]
+    pub fn with_wcet_scale(mut self, scale: f64) -> Self {
+        assert!(
+            scale.is_finite() && scale >= 1.0,
+            "WCET scale must be a finite slowdown factor ≥ 1, got {scale}"
+        );
+        self.wcet_scale = scale;
+        self
+    }
+
+    /// Sets the per-group budget factor `b_g`: the per-FPGA budget fractions
+    /// (every resource class and the bandwidth cap) are multiplied by `b_g`
+    /// on this group's devices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is non-finite or not strictly positive.
+    #[must_use]
+    pub fn with_budget_scale(mut self, scale: f64) -> Self {
+        assert!(
+            scale.is_finite() && scale > 0.0,
+            "budget scale must be a finite positive factor, got {scale}"
+        );
+        self.budget_scale = scale;
+        self
     }
 
     /// The group's device model.
@@ -121,6 +177,16 @@ impl DeviceGroup {
     /// Number of FPGAs in the group.
     pub fn count(&self) -> usize {
         self.count
+    }
+
+    /// Per-group WCET slowdown factor `s_g` (1.0 unless configured).
+    pub fn wcet_scale(&self) -> f64 {
+        self.wcet_scale
+    }
+
+    /// Per-group budget factor `b_g` (1.0 unless configured).
+    pub fn budget_scale(&self) -> f64 {
+        self.budget_scale
     }
 }
 
@@ -453,5 +519,39 @@ mod tests {
     #[should_panic(expected = "at least one FPGA")]
     fn zero_count_group_is_rejected() {
         let _ = DeviceGroup::new(FpgaDevice::vu9p(), 0);
+    }
+
+    #[test]
+    fn group_scales_default_to_neutral() {
+        let g = DeviceGroup::new(FpgaDevice::vu9p(), 2);
+        assert_eq!(g.wcet_scale(), 1.0);
+        assert_eq!(g.budget_scale(), 1.0);
+        let g = g.with_wcet_scale(1.4).with_budget_scale(0.8);
+        assert_eq!(g.wcet_scale(), 1.4);
+        assert_eq!(g.budget_scale(), 0.8);
+    }
+
+    #[test]
+    #[should_panic(expected = "WCET scale")]
+    fn wcet_scale_below_one_is_rejected() {
+        let _ = DeviceGroup::new(FpgaDevice::vu9p(), 1).with_wcet_scale(0.9);
+    }
+
+    #[test]
+    #[should_panic(expected = "WCET scale")]
+    fn non_finite_wcet_scale_is_rejected() {
+        let _ = DeviceGroup::new(FpgaDevice::vu9p(), 1).with_wcet_scale(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "budget scale")]
+    fn zero_budget_scale_is_rejected() {
+        let _ = DeviceGroup::new(FpgaDevice::vu9p(), 1).with_budget_scale(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "budget scale")]
+    fn non_finite_budget_scale_is_rejected() {
+        let _ = DeviceGroup::new(FpgaDevice::vu9p(), 1).with_budget_scale(f64::INFINITY);
     }
 }

@@ -1,0 +1,559 @@
+//! Trace-driven churn: time-varying workloads replayed as a sequence of
+//! migration-aware re-solves.
+//!
+//! A churn trace is a list of [`ChurnEvent`]s — kernels arriving and leaving,
+//! WCET drift as input mixes shift, a device group dropping out of the fleet.
+//! [`replay_churn`] applies the events one at a time: after each event the
+//! previous placement becomes the [`Incumbent`] of a reallocation-aware
+//! re-solve, and the step reports both the **steady-state II** (the simulated
+//! initiation interval once the new placement is fully configured) and the
+//! **transition II** (the analytic II of the CUs common to the old and new
+//! placements — the capacity that keeps serving items while the moved CUs
+//! are being reconfigured).
+//!
+//! The text trace format is line-oriented; `#` starts a comment:
+//!
+//! ```text
+//! # event        arguments
+//! add            <name> <wcet_ms> <bram> <dsp> <bandwidth>
+//! remove         <name>
+//! drift          <name> <factor>
+//! lose-group     <group index>
+//! ```
+
+use std::fmt;
+
+use mfa_alloc::realloc::{Incumbent, MigrationCost, ReallocationSpec};
+use mfa_alloc::solver::{Backend, SolveRequest};
+use mfa_alloc::{AllocError, AllocationProblem, Kernel};
+use mfa_platform::{HeterogeneousPlatform, ResourceVec};
+
+use crate::engine::{simulate, SimConfig};
+
+/// One workload change in a churn trace.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ChurnEvent {
+    /// A new kernel joins the pipeline (appended at the tail).
+    AddKernel(Kernel),
+    /// The named kernel leaves the pipeline.
+    RemoveKernel(String),
+    /// The named kernel's WCET is multiplied by `factor` (input-mix drift).
+    DriftWcet {
+        /// Name of the drifting kernel.
+        kernel: String,
+        /// Multiplicative WCET factor (finite, positive).
+        factor: f64,
+    },
+    /// Device group `g` leaves the fleet; its CUs are gone with the
+    /// hardware and the incumbent loses the corresponding column.
+    LoseGroup(usize),
+}
+
+impl fmt::Display for ChurnEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChurnEvent::AddKernel(kernel) => write!(f, "add {}", kernel.name()),
+            ChurnEvent::RemoveKernel(name) => write!(f, "remove {name}"),
+            ChurnEvent::DriftWcet { kernel, factor } => {
+                write!(f, "drift {kernel} ×{factor}")
+            }
+            ChurnEvent::LoseGroup(g) => write!(f, "lose-group {g}"),
+        }
+    }
+}
+
+/// Error raised while parsing or replaying a churn trace.
+#[derive(Debug)]
+pub enum ChurnError {
+    /// A trace line did not parse (line number, message).
+    Parse(usize, String),
+    /// An event could not be applied to the current problem.
+    Apply(String),
+    /// A re-solve failed.
+    Solve(AllocError),
+}
+
+impl fmt::Display for ChurnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChurnError::Parse(line, msg) => write!(f, "trace line {line}: {msg}"),
+            ChurnError::Apply(msg) => write!(f, "cannot apply churn event: {msg}"),
+            ChurnError::Solve(err) => write!(f, "re-solve failed: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for ChurnError {}
+
+impl From<AllocError> for ChurnError {
+    fn from(err: AllocError) -> Self {
+        ChurnError::Solve(err)
+    }
+}
+
+/// Parses the line-oriented churn trace format.
+///
+/// # Errors
+///
+/// Returns [`ChurnError::Parse`] with the 1-based line number on the first
+/// malformed line.
+pub fn parse_trace(input: &str) -> Result<Vec<ChurnEvent>, ChurnError> {
+    let mut events = Vec::new();
+    for (i, raw) in input.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let err = |msg: String| ChurnError::Parse(i + 1, msg);
+        let mut parts = line.split_whitespace();
+        let verb = parts.next().expect("non-empty line has a first token");
+        let fields: Vec<&str> = parts.collect();
+        let number = |field: &str, what: &str| -> Result<f64, ChurnError> {
+            field
+                .parse::<f64>()
+                .map_err(|_| err(format!("{what} must be a number, got {field:?}")))
+        };
+        let event = match verb {
+            "add" => {
+                if fields.len() != 5 {
+                    return Err(err(format!(
+                        "add takes <name> <wcet_ms> <bram> <dsp> <bandwidth>, got {} fields",
+                        fields.len()
+                    )));
+                }
+                let kernel = Kernel::new(
+                    fields[0],
+                    number(fields[1], "wcet_ms")?,
+                    ResourceVec::bram_dsp(
+                        number(fields[2], "bram fraction")?,
+                        number(fields[3], "dsp fraction")?,
+                    ),
+                    number(fields[4], "bandwidth fraction")?,
+                )
+                .map_err(|e| err(e.to_string()))?;
+                ChurnEvent::AddKernel(kernel)
+            }
+            "remove" => {
+                let [name] = fields.as_slice() else {
+                    return Err(err("remove takes exactly <name>".into()));
+                };
+                ChurnEvent::RemoveKernel((*name).to_owned())
+            }
+            "drift" => {
+                let [name, factor] = fields.as_slice() else {
+                    return Err(err("drift takes <name> <factor>".into()));
+                };
+                let factor = number(factor, "drift factor")?;
+                if !(factor.is_finite() && factor > 0.0) {
+                    return Err(err(format!(
+                        "drift factor must be finite and positive, got {factor}"
+                    )));
+                }
+                ChurnEvent::DriftWcet {
+                    kernel: (*name).to_owned(),
+                    factor,
+                }
+            }
+            "lose-group" => {
+                let [group] = fields.as_slice() else {
+                    return Err(err("lose-group takes exactly <group index>".into()));
+                };
+                let g = group
+                    .parse::<usize>()
+                    .map_err(|_| err(format!("group index must be an integer, got {group:?}")))?;
+                ChurnEvent::LoseGroup(g)
+            }
+            other => return Err(err(format!("unknown event {other:?}"))),
+        };
+        events.push(event);
+    }
+    Ok(events)
+}
+
+/// Applies one churn event, returning the post-event problem and the
+/// incumbent remapped to it (kernels key by name, so add/remove/drift leave
+/// the incumbent rows untouched; a lost group drops its column).
+///
+/// The returned problem carries **no** reallocation spec — the caller
+/// decides the migration pricing of the re-solve.
+///
+/// # Errors
+///
+/// Returns [`ChurnError::Apply`] when the event references an unknown
+/// kernel or group, removes the last kernel, or drops the last group.
+pub fn apply_event(
+    problem: &AllocationProblem,
+    incumbent: &Incumbent,
+    event: &ChurnEvent,
+) -> Result<(AllocationProblem, Incumbent), ChurnError> {
+    let rebuild = |kernels: Vec<Kernel>| -> Result<AllocationProblem, ChurnError> {
+        AllocationProblem::builder()
+            .kernels(kernels)
+            .platform(problem.platform().clone())
+            .budget(*problem.budget())
+            .weights(*problem.weights())
+            .build()
+            .map_err(|e| ChurnError::Apply(e.to_string()))
+    };
+    let find = |name: &str| -> Result<usize, ChurnError> {
+        problem
+            .kernels()
+            .iter()
+            .position(|k| k.name() == name)
+            .ok_or_else(|| ChurnError::Apply(format!("no kernel named {name:?}")))
+    };
+    match event {
+        ChurnEvent::AddKernel(kernel) => {
+            if find(kernel.name()).is_ok() {
+                return Err(ChurnError::Apply(format!(
+                    "kernel {:?} already exists",
+                    kernel.name()
+                )));
+            }
+            let mut kernels = problem.kernels().to_vec();
+            kernels.push(kernel.clone());
+            Ok((rebuild(kernels)?, incumbent.clone()))
+        }
+        ChurnEvent::RemoveKernel(name) => {
+            let idx = find(name)?;
+            if problem.num_kernels() == 1 {
+                return Err(ChurnError::Apply(
+                    "cannot remove the last kernel of the pipeline".into(),
+                ));
+            }
+            let mut kernels = problem.kernels().to_vec();
+            kernels.remove(idx);
+            Ok((rebuild(kernels)?, incumbent.clone()))
+        }
+        ChurnEvent::DriftWcet { kernel, factor } => {
+            let idx = find(kernel)?;
+            let mut kernels = problem.kernels().to_vec();
+            let old = &kernels[idx];
+            kernels[idx] = Kernel::new(
+                old.name(),
+                old.wcet_ms() * factor,
+                *old.resources(),
+                old.bandwidth(),
+            )
+            .map_err(|e| ChurnError::Apply(e.to_string()))?;
+            Ok((rebuild(kernels)?, incumbent.clone()))
+        }
+        ChurnEvent::LoseGroup(g) => {
+            if *g >= problem.num_groups() {
+                return Err(ChurnError::Apply(format!(
+                    "group {g} is out of range: the platform has {} groups",
+                    problem.num_groups()
+                )));
+            }
+            if problem.num_groups() == 1 {
+                return Err(ChurnError::Apply(
+                    "cannot lose the last device group of the fleet".into(),
+                ));
+            }
+            let groups: Vec<_> = problem
+                .platform()
+                .groups()
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| i != g)
+                .map(|(_, group)| group.clone())
+                .collect();
+            let platform = HeterogeneousPlatform::new(problem.platform().name(), groups);
+            let remapped = incumbent
+                .drop_group(*g)
+                .map_err(|e| ChurnError::Apply(e.to_string()))?;
+            Ok((problem.with_platform(platform), remapped))
+        }
+    }
+}
+
+/// Configuration of a churn replay.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChurnConfig {
+    /// Migration pricing of every re-solve along the trace.
+    pub migration: MigrationCost,
+    /// Optional hard cap on moved CUs per re-solve.
+    pub moved_bound: Option<u32>,
+    /// Simulation parameters for the steady-state II measurements.
+    pub sim: SimConfig,
+}
+
+impl Default for ChurnConfig {
+    fn default() -> Self {
+        ChurnConfig {
+            migration: MigrationCost::free(),
+            moved_bound: None,
+            sim: SimConfig::default(),
+        }
+    }
+}
+
+/// The measured outcome of one churn step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChurnStepReport {
+    /// Human-readable label of the event (`Display` of the [`ChurnEvent`]).
+    pub event: String,
+    /// Simulated initiation interval of the new placement once fully
+    /// configured, in milliseconds.
+    pub steady_ii_ms: f64,
+    /// Analytic initiation interval sustained during reconfiguration by the
+    /// CUs common to the old and new placements; infinite when some kernel
+    /// keeps no CU through the transition (the pipeline stalls).
+    pub transition_ii_ms: f64,
+    /// CUs newly configured by the re-solve (group-granular movement).
+    pub moved_cus: u32,
+    /// Unweighted priced movement `Σ_g c_g · moved_g` of the re-solve.
+    pub migration_cost: f64,
+    /// Kernels in the pipeline after the event.
+    pub num_kernels: usize,
+}
+
+/// A replayed churn trace: the base solve plus one report per event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChurnReplay {
+    /// Simulated steady-state II of the base (pre-churn) placement.
+    pub base_ii_ms: f64,
+    /// One report per trace event, in trace order.
+    pub steps: Vec<ChurnStepReport>,
+}
+
+/// Analytic II sustained by the CUs present in both the old and new
+/// placements, accounting for per-group WCET scaling: the overlap of each
+/// kernel's per-group counts, converted to effective parallelism.
+fn transition_ii(problem: &AllocationProblem, old: &Incumbent, new: &Incumbent) -> f64 {
+    let mut worst: f64 = 0.0;
+    for (k, kernel) in problem.kernels().iter().enumerate() {
+        let fresh = new
+            .row(kernel.name())
+            .expect("new incumbent covers problem");
+        let stale = old.row(kernel.name()).unwrap_or(&[]);
+        let mut effective = 0.0;
+        for (g, &n) in fresh.iter().enumerate() {
+            let surviving = n.min(stale.get(g).copied().unwrap_or(0));
+            effective += f64::from(surviving) / problem.platform().group(g).wcet_scale();
+        }
+        if effective <= 0.0 {
+            return f64::INFINITY;
+        }
+        worst = worst.max(problem.kernels()[k].wcet_ms() / effective);
+    }
+    worst
+}
+
+/// Replays a churn trace: solves the base problem cold, then re-solves after
+/// each event with the previous placement as the incumbent and `config`'s
+/// migration pricing, reporting steady-state and transition II per step.
+///
+/// Fully deterministic for fixed inputs (the simulator is seeded by
+/// `config.sim`).
+///
+/// # Errors
+///
+/// Returns [`ChurnError::Apply`] for events that do not fit the evolving
+/// problem and [`ChurnError::Solve`] when a re-solve fails.
+pub fn replay_churn(
+    base: &AllocationProblem,
+    trace: &[ChurnEvent],
+    backend: &Backend,
+    config: &ChurnConfig,
+) -> Result<ChurnReplay, ChurnError> {
+    let base_report = SolveRequest::new(base).backend(backend.clone()).solve()?;
+    let base_ii_ms = simulate(base, &base_report.allocation, &config.sim).initiation_interval_ms;
+
+    let mut problem = base.clone();
+    let mut incumbent = Incumbent::from_allocation(&problem, &base_report.allocation)?;
+    let mut steps = Vec::with_capacity(trace.len());
+    for event in trace {
+        let (next, remapped) = apply_event(&problem, &incumbent, event)?;
+        let mut spec = ReallocationSpec::new(remapped.clone(), config.migration.clone());
+        if let Some(bound) = config.moved_bound {
+            spec = spec.with_moved_bound(bound);
+        }
+        let instance = next.with_reallocation(Some(spec));
+        let report = SolveRequest::new(&instance)
+            .backend(backend.clone())
+            .solve()?;
+        let steady_ii_ms =
+            simulate(&instance, &report.allocation, &config.sim).initiation_interval_ms;
+        let fresh = Incumbent::from_allocation(&instance, &report.allocation)?;
+        steps.push(ChurnStepReport {
+            event: event.to_string(),
+            steady_ii_ms,
+            transition_ii_ms: transition_ii(&instance, &remapped, &fresh),
+            moved_cus: report.diagnostics.moved_cus,
+            migration_cost: report.diagnostics.migration_cost,
+            num_kernels: instance.num_kernels(),
+        });
+        problem = next;
+        incumbent = fresh;
+    }
+    Ok(ChurnReplay { base_ii_ms, steps })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mfa_alloc::GoalWeights;
+    use mfa_platform::{DeviceGroup, FpgaDevice, ResourceBudget};
+
+    fn base_problem() -> AllocationProblem {
+        AllocationProblem::builder()
+            .kernels(vec![
+                Kernel::new("front", 4.0, ResourceVec::bram_dsp(0.02, 0.08), 0.01).unwrap(),
+                Kernel::new("back", 8.0, ResourceVec::bram_dsp(0.02, 0.08), 0.01).unwrap(),
+            ])
+            .platform(HeterogeneousPlatform::new(
+                "2×VU9P + 1×KU115",
+                vec![
+                    DeviceGroup::new(FpgaDevice::vu9p(), 2),
+                    DeviceGroup::new(FpgaDevice::ku115(), 1),
+                ],
+            ))
+            .budget(ResourceBudget::uniform(0.7))
+            .weights(GoalWeights::ii_only())
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn traces_parse_comments_blanks_and_all_verbs() {
+        let trace = parse_trace(
+            "# a comment\n\
+             \n\
+             add probe 2.5 0.05 0.1 0.02   # trailing comment\n\
+             drift front 1.5\n\
+             remove probe\n\
+             lose-group 1\n",
+        )
+        .unwrap();
+        assert_eq!(trace.len(), 4);
+        assert!(matches!(&trace[0], ChurnEvent::AddKernel(k) if k.name() == "probe"));
+        assert!(matches!(&trace[1], ChurnEvent::DriftWcet { kernel, factor }
+                if kernel == "front" && (*factor - 1.5).abs() < 1e-12));
+        assert_eq!(trace[2], ChurnEvent::RemoveKernel("probe".into()));
+        assert_eq!(trace[3], ChurnEvent::LoseGroup(1));
+    }
+
+    #[test]
+    fn malformed_trace_lines_report_their_line_number() {
+        for (input, line) in [
+            ("add broken 2.5 0.05", 1),
+            ("\ndrift front zero", 2),
+            ("remove\n", 1),
+            ("warp front 2.0", 1),
+            ("drift front -1", 1),
+            ("lose-group one", 1),
+        ] {
+            match parse_trace(input) {
+                Err(ChurnError::Parse(at, _)) => assert_eq!(at, line, "input {input:?}"),
+                other => panic!("expected parse error for {input:?}, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn events_apply_and_remap_the_incumbent() {
+        let problem = base_problem();
+        let incumbent = Incumbent::new(vec![
+            ("front".into(), vec![1, 1]),
+            ("back".into(), vec![2, 0]),
+        ])
+        .unwrap();
+
+        let (after_add, inc) = apply_event(
+            &problem,
+            &incumbent,
+            &ChurnEvent::AddKernel(
+                Kernel::new("probe", 2.0, ResourceVec::bram_dsp(0.02, 0.05), 0.01).unwrap(),
+            ),
+        )
+        .unwrap();
+        assert_eq!(after_add.num_kernels(), 3);
+        // The incumbent has no row for the newcomer: everything it gets is
+        // a move.
+        assert_eq!(inc.row("probe"), None);
+
+        let (after_loss, inc) =
+            apply_event(&problem, &incumbent, &ChurnEvent::LoseGroup(1)).unwrap();
+        assert_eq!(after_loss.num_groups(), 1);
+        assert_eq!(after_loss.num_fpgas(), 2);
+        assert_eq!(inc.row("front"), Some(&[1u32][..]));
+
+        let (after_drift, _) = apply_event(
+            &problem,
+            &incumbent,
+            &ChurnEvent::DriftWcet {
+                kernel: "back".into(),
+                factor: 0.5,
+            },
+        )
+        .unwrap();
+        assert_eq!(after_drift.kernels()[1].wcet_ms(), 4.0);
+
+        assert!(matches!(
+            apply_event(
+                &problem,
+                &incumbent,
+                &ChurnEvent::RemoveKernel("ghost".into())
+            ),
+            Err(ChurnError::Apply(_))
+        ));
+        assert!(matches!(
+            apply_event(&problem, &incumbent, &ChurnEvent::LoseGroup(7)),
+            Err(ChurnError::Apply(_))
+        ));
+    }
+
+    #[test]
+    fn transition_ii_counts_only_surviving_cus() {
+        let problem = base_problem();
+        let old = Incumbent::new(vec![
+            ("front".into(), vec![2, 0]),
+            ("back".into(), vec![2, 2]),
+        ])
+        .unwrap();
+        let new = Incumbent::new(vec![
+            ("front".into(), vec![1, 1]),
+            ("back".into(), vec![2, 1]),
+        ])
+        .unwrap();
+        // front overlap: 1 CU → 4.0 ms; back overlap: 3 CUs → 8/3 ms.
+        let ii = transition_ii(&problem, &old, &new);
+        assert!((ii - 4.0).abs() < 1e-12, "transition II {ii}");
+        // A kernel with no overlap stalls the pipeline.
+        let disjoint = Incumbent::new(vec![
+            ("front".into(), vec![0, 2]),
+            ("back".into(), vec![2, 1]),
+        ])
+        .unwrap();
+        assert!(transition_ii(&problem, &old, &disjoint).is_infinite());
+    }
+
+    #[test]
+    fn replay_is_deterministic_and_penalty_reduces_movement() {
+        let problem = base_problem();
+        let trace = parse_trace("drift back 0.5\nadd probe 3.0 0.03 0.06 0.01\n").unwrap();
+        let backend = Backend::greedy();
+        let penalized = ChurnConfig {
+            migration: MigrationCost::new(0.5).unwrap(),
+            ..ChurnConfig::default()
+        };
+        let a = replay_churn(&problem, &trace, &backend, &penalized).unwrap();
+        let b = replay_churn(&problem, &trace, &backend, &penalized).unwrap();
+        assert_eq!(a, b, "replays must be deterministic");
+        assert_eq!(a.steps.len(), 2);
+        assert!(a.base_ii_ms > 0.0);
+        for step in &a.steps {
+            assert!(step.steady_ii_ms > 0.0);
+            assert!(step.transition_ii_ms >= step.steady_ii_ms * 0.99);
+        }
+
+        let cold = replay_churn(&problem, &trace, &backend, &ChurnConfig::default()).unwrap();
+        let moved_cold: u32 = cold.steps.iter().map(|s| s.moved_cus).sum();
+        let moved_penalized: u32 = a.steps.iter().map(|s| s.moved_cus).sum();
+        assert!(
+            moved_penalized <= moved_cold,
+            "penalized replay moved {moved_penalized} CUs vs cold {moved_cold}"
+        );
+    }
+}

@@ -42,8 +42,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod churn;
 mod engine;
 mod stats;
 
+pub use churn::{
+    apply_event, parse_trace, replay_churn, ChurnConfig, ChurnError, ChurnEvent, ChurnReplay,
+    ChurnStepReport,
+};
 pub use engine::{simulate, SimConfig};
 pub use stats::{FpgaStats, SimResult};
