@@ -5,7 +5,7 @@
 //! stack reports — interior-point barrier iterations, KKT factorizations,
 //! simplex pivots, branch-and-bound nodes — next to informational wall-clock
 //! timing. The counters are deterministic for a fixed grid and chunk size,
-//! so the committed snapshot (`BENCH_0006.json` at the repository root)
+//! so the committed snapshot (`BENCH_0007.json` at the repository root)
 //! byte-diffs across machines; wall-clock is recorded for humans and always
 //! excluded from comparison.
 //!
@@ -14,20 +14,38 @@
 //! options), so the snapshot pins both the warm-started effort and the
 //! baseline it saves against. Both blocks are compared by `--check`.
 //!
+//! Version 3 adds a `store` block exercising the persistent sweep store in a
+//! temporary directory: an identical re-run must replay every point
+//! (`replay_points_computed` is pinned at 0), and a *shifted* constraint
+//! grid seeded from the stored neighbours must spend strictly fewer
+//! branch-and-bound nodes than the same grid solved cold while producing
+//! identical solution columns. Those invariants are enforced at measurement
+//! time — the binary fails even in `--out` mode if they break — and the
+//! counters are pinned by `--check` like every other block.
+//!
 //! ```text
-//! bench-snapshot --quick --out BENCH_0006.json   # (re)write the snapshot
-//! bench-snapshot --quick --check BENCH_0006.json # CI: fail on counter drift
+//! bench-snapshot --quick --out BENCH_0007.json   # (re)write the snapshot
+//! bench-snapshot --quick --check BENCH_0007.json # CI: fail on counter drift
 //! ```
 
 use std::process::ExitCode;
 use std::time::Instant;
 
+use mfa_alloc::exact::{ExactMode, ExactOptions};
+use mfa_alloc::gpa::GpaOptions;
+use mfa_alloc::{AllocationProblem, GoalWeights, Kernel};
 use mfa_explore::json::Json;
-use mfa_explore::{figures, run_sweep, ExecutorOptions, FigureSpec, SweepSeries};
+use mfa_explore::{
+    figures, run_sweep, run_sweep_stored, zero_chunk_diagnostics, zero_timing, CaseSpec,
+    ExecutorOptions, FigureSpec, SolverSpec, SweepGrid, SweepSeries, SweepStore,
+};
+use mfa_minlp::SolverOptions;
+use mfa_platform::{MultiFpgaPlatform, ResourceBudget, ResourceVec};
 
 /// Snapshot format version; bump when the schema changes shape.
 /// Version 2 added the cold (`--no-warm-start`) counter block per figure.
-const SNAPSHOT_VERSION: usize = 2;
+/// Version 3 added the persistent-store replay/neighbour-warming block.
+const SNAPSHOT_VERSION: usize = 3;
 
 /// Effort counters of one figure sweep, summed over every solved point of
 /// every series, plus the (excluded-from-diff) wall-clock.
@@ -120,6 +138,179 @@ struct MeasuredFigure {
     cold: FigureEffort,
 }
 
+/// Counters of the persistent-store scenario (see [`measure_store`]).
+struct StoreEffort {
+    /// Points computed by an identical re-run against a populated store.
+    /// Pinned at 0: the second run must replay everything.
+    replay_points_computed: usize,
+    /// Points replayed by that re-run (the whole populate grid).
+    replay_points_replayed: usize,
+    /// Points of the shifted grid whose solve accepted a store-neighbour
+    /// hint.
+    warm_from_store: usize,
+    /// Branch-and-bound nodes of the shifted grid solved cold.
+    bb_nodes_cold: usize,
+    /// Branch-and-bound nodes of the shifted grid seeded from the store;
+    /// must be strictly below `bb_nodes_cold`.
+    bb_nodes_store: usize,
+    /// Shifted-grid points whose solution columns differ between the cold
+    /// and the store-seeded run. Pinned at 0: hints change effort, never
+    /// solutions.
+    solution_mismatches: usize,
+}
+
+/// The deterministic counter keys of the store block, in report order.
+const STORE_KEYS: [&str; 6] = [
+    "replay_points_computed",
+    "replay_points_replayed",
+    "warm_from_store",
+    "bb_nodes_cold",
+    "bb_nodes_store",
+    "solution_mismatches",
+];
+
+impl StoreEffort {
+    fn counter(&self, key: &str) -> usize {
+        match key {
+            "replay_points_computed" => self.replay_points_computed,
+            "replay_points_replayed" => self.replay_points_replayed,
+            "warm_from_store" => self.warm_from_store,
+            "bb_nodes_cold" => self.bb_nodes_cold,
+            "bb_nodes_store" => self.bb_nodes_store,
+            "solution_mismatches" => self.solution_mismatches,
+            _ => unreachable!("unknown store counter key {key}"),
+        }
+    }
+}
+
+/// The store scenario's grid: a small synthetic pipeline on two FPGAs, one
+/// GP+A and one MINLP backend, over the given constraint axis. The case is
+/// sized so the MINLP branch-and-bound *completes* on every point — a
+/// truncated search would let an incumbent seed change the achieved II,
+/// while a completed one proves the same optimum with or without seeds, so
+/// seeds can only shrink the node count. (The paper cases' MINLP searches
+/// exhaust any affordable node budget, which is exactly why the figure
+/// presets cap them.)
+fn store_grid(constraints: &[f64]) -> SweepGrid {
+    let base = AllocationProblem::builder()
+        .kernels(vec![
+            Kernel::new("load", 3.0, ResourceVec::bram_dsp(0.05, 0.16), 0.02)
+                .expect("kernel is well-formed"),
+            Kernel::new("conv", 7.0, ResourceVec::bram_dsp(0.09, 0.30), 0.03)
+                .expect("kernel is well-formed"),
+            Kernel::new("pool", 4.0, ResourceVec::bram_dsp(0.04, 0.12), 0.02)
+                .expect("kernel is well-formed"),
+            Kernel::new("fc", 6.0, ResourceVec::bram_dsp(0.07, 0.22), 0.01)
+                .expect("kernel is well-formed"),
+        ])
+        .platform(MultiFpgaPlatform::aws_f1_4xlarge())
+        .budget(ResourceBudget::uniform(1.0))
+        .weights(GoalWeights::new(1.0, 0.7))
+        .build()
+        .expect("store scenario case is well-formed");
+    SweepGrid::builder()
+        .case(CaseSpec::new("store-bench", base))
+        .fpga_counts([2])
+        .constraints(constraints.iter().copied())
+        .backend(SolverSpec::gpa(GpaOptions::fast()))
+        .backend(SolverSpec::exact(ExactOptions {
+            mode: ExactMode::IiOnly,
+            solver: SolverOptions {
+                max_nodes: 20_000,
+                time_limit_seconds: None,
+                ..SolverOptions::default()
+            },
+            symmetry_breaking: true,
+        }))
+        .build()
+        .expect("store scenario grid is well-formed")
+}
+
+fn total_bb_nodes(series: &[SweepSeries]) -> usize {
+    series
+        .iter()
+        .flat_map(|s| &s.points)
+        .map(|p| p.bb_nodes)
+        .sum()
+}
+
+/// Exercises the persistent sweep store in a temporary directory and
+/// asserts its two contracts: an identical re-run computes nothing, and
+/// store-neighbour seeds on a shifted grid strictly reduce branch-and-bound
+/// effort without changing any solution column.
+fn measure_store() -> StoreEffort {
+    let dir = std::env::temp_dir().join(format!("mfa-bench-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let options = ExecutorOptions::default();
+    let populate_grid = store_grid(&[0.55, 0.65, 0.75, 0.85]);
+    let shifted_grid = store_grid(&[0.60, 0.70, 0.80]);
+
+    // Populate, then replay the identical grid from a fresh store handle.
+    let mut store = SweepStore::open(&dir).expect("store directory opens");
+    run_sweep_stored(&populate_grid, &options, &mut store).expect("populate run succeeds");
+    let mut store = SweepStore::open(&dir).expect("store directory reopens");
+    let (_, replay) =
+        run_sweep_stored(&populate_grid, &options, &mut store).expect("replay run succeeds");
+    assert_eq!(
+        replay.points_computed, 0,
+        "an identical re-run must replay every stored point"
+    );
+
+    // The shifted grid, cold and store-seeded.
+    let mut cold_series = run_sweep(&shifted_grid, &options).expect("cold shifted run succeeds");
+    let bb_nodes_cold = total_bb_nodes(&cold_series);
+    let mut store = SweepStore::open(&dir).expect("store directory reopens");
+    let (mut warm_series, warmed) =
+        run_sweep_stored(&shifted_grid, &options, &mut store).expect("seeded shifted run succeeds");
+    let bb_nodes_store = total_bb_nodes(&warm_series);
+    let _ = std::fs::remove_dir_all(&dir);
+    assert!(
+        bb_nodes_store < bb_nodes_cold,
+        "store-fed incumbents must strictly reduce B&B nodes          (cold {bb_nodes_cold}, store {bb_nodes_store})"
+    );
+    assert!(
+        warmed.warm_from_store > 0,
+        "the shifted grid must accept at least one store-neighbour hint"
+    );
+
+    // The achieved initiation intervals must be untouched by the hints.
+    // This is the warm-start contract the in-unit cache already documents:
+    // a seeded search proves the same optimum (only the effort changes),
+    // though among II-tied integer designs it may return the neighbour's.
+    let _ = (zero_timing(&mut cold_series), zero_timing(&mut warm_series));
+    zero_chunk_diagnostics(&mut cold_series);
+    zero_chunk_diagnostics(&mut warm_series);
+    let solution_mismatches = cold_series
+        .iter()
+        .zip(&warm_series)
+        .map(|(c, w)| {
+            c.points.len().abs_diff(w.points.len())
+                + c.points
+                    .iter()
+                    .zip(&w.points)
+                    .filter(|(cp, wp)| {
+                        cp.budget != wp.budget
+                            || cp.initiation_interval_ms != wp.initiation_interval_ms
+                    })
+                    .count()
+        })
+        .sum::<usize>()
+        + cold_series.len().abs_diff(warm_series.len());
+    assert_eq!(
+        solution_mismatches, 0,
+        "store hints must never change an achieved initiation interval"
+    );
+
+    StoreEffort {
+        replay_points_computed: replay.points_computed,
+        replay_points_replayed: replay.points_replayed,
+        warm_from_store: warmed.warm_from_store,
+        bb_nodes_cold,
+        bb_nodes_store,
+        solution_mismatches,
+    }
+}
+
 fn counters_json(e: &FigureEffort) -> Vec<(&'static str, Json)> {
     vec![
         ("points", Json::Num(e.points as f64)),
@@ -136,7 +327,7 @@ fn counters_json(e: &FigureEffort) -> Vec<(&'static str, Json)> {
     ]
 }
 
-fn snapshot_json(measured: &[MeasuredFigure]) -> String {
+fn snapshot_json(measured: &[MeasuredFigure], store: &StoreEffort) -> String {
     let figures = measured
         .iter()
         .map(|m| {
@@ -146,10 +337,15 @@ fn snapshot_json(measured: &[MeasuredFigure]) -> String {
             Json::obj(fields)
         })
         .collect();
+    let store_fields = STORE_KEYS
+        .iter()
+        .map(|&key| (key, Json::Num(store.counter(key) as f64)))
+        .collect();
     let doc = Json::obj(vec![
         ("version", Json::Num(SNAPSHOT_VERSION as f64)),
         ("preset", Json::str("quick")),
         ("figures", Json::Arr(figures)),
+        ("store", Json::obj(store_fields)),
     ]);
     let mut out = String::new();
     doc.write(&mut out);
@@ -179,6 +375,26 @@ fn diff_block(entry: &Json, effort: &FigureEffort, block: &str, diffs: &mut Vec<
             diffs.push(format!(
                 "{}: {block} {key} {direction}: snapshot {recorded}, measured {measured}",
                 effort.name
+            ));
+        }
+    }
+}
+
+/// Compares the store block against its snapshot entry.
+fn diff_store(committed: &Json, store: &StoreEffort, diffs: &mut Vec<String>) {
+    let Some(entry) = committed.get("store") else {
+        diffs.push("snapshot has no `store` block".into());
+        return;
+    };
+    for key in STORE_KEYS {
+        let Some(recorded) = entry.get(key).and_then(Json::as_usize) else {
+            diffs.push(format!("snapshot lacks store counter {key}"));
+            continue;
+        };
+        let measured = store.counter(key);
+        if measured != recorded {
+            diffs.push(format!(
+                "store: {key} changed: snapshot {recorded}, measured {measured}"
             ));
         }
     }
@@ -216,7 +432,7 @@ fn usage() -> ! {
         "usage: bench-snapshot [--quick] [--out PATH | --check PATH]\n\
          \n\
          --quick       run the quick (CI) figure presets [default; the only preset]\n\
-         --out PATH    write the snapshot to PATH (default BENCH_0006.json)\n\
+         --out PATH    write the snapshot to PATH (default BENCH_0007.json)\n\
          --check PATH  re-measure and fail when any deterministic counter\n\
                        differs from the committed snapshot at PATH\n\
                        (wall_seconds is informational and never compared)"
@@ -266,6 +482,18 @@ fn main() -> ExitCode {
         }
     }
 
+    let store = measure_store();
+    println!(
+        "  store: replay computed {} / replayed {}, warm-from-store {}, \
+         bb nodes cold {} vs store {}, solution mismatches {}",
+        store.replay_points_computed,
+        store.replay_points_replayed,
+        store.warm_from_store,
+        store.bb_nodes_cold,
+        store.bb_nodes_store,
+        store.solution_mismatches
+    );
+
     if let Some(path) = check_path {
         let text = match std::fs::read_to_string(&path) {
             Ok(text) => text,
@@ -281,7 +509,8 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
-        let diffs = diff_against(&committed, &measured);
+        let mut diffs = diff_against(&committed, &measured);
+        diff_store(&committed, &store, &mut diffs);
         if diffs.is_empty() {
             println!("counters match {path}");
             return ExitCode::SUCCESS;
@@ -294,8 +523,8 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
 
-    let path = out_path.unwrap_or_else(|| "BENCH_0006.json".to_owned());
-    if let Err(err) = std::fs::write(&path, snapshot_json(&measured)) {
+    let path = out_path.unwrap_or_else(|| "BENCH_0007.json".to_owned());
+    if let Err(err) = std::fs::write(&path, snapshot_json(&measured, &store)) {
         eprintln!("cannot write {path}: {err}");
         return ExitCode::FAILURE;
     }

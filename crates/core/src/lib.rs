@@ -61,6 +61,7 @@ pub mod discretize;
 mod error;
 pub mod exact;
 pub mod explore;
+pub mod fingerprint;
 pub mod gp_step;
 pub mod gpa;
 pub mod greedy;

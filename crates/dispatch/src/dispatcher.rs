@@ -6,11 +6,18 @@
 //! worker crashes, corrupts a frame, or exceeds its lease timeout, and
 //! merges completed units with [`assemble_series`] — by unit index, never by
 //! completion order. Because a unit's result is a pure function of
-//! `(grid, unit, warm_start)` and the wire codec round-trips floats
+//! `(grid, unit, warm_start, seeds)` and the wire codec round-trips floats
 //! bit-for-bit, the merged output is byte-identical to
 //! [`mfa_explore::run_sweep`] with [`ExecutorOptions::serial`] (modulo the
 //! wall-clock `solve_seconds` fields) for *any* worker count, partition, or
 //! completion order.
+//!
+//! [`run_sweep_sharded_stored`] adds the persistent sweep store: fully
+//! cached units are replayed from disk without ever being leased, only the
+//! remainder is distributed, store-neighbour warm-start seeds ride the unit
+//! frames, and every freshly computed unit is committed the moment its
+//! result frame arrives — so a killed dispatcher resumes from the units that
+//! finished, exactly like the threaded executor.
 
 use std::collections::VecDeque;
 use std::io::{BufRead, BufReader, Read, Write};
@@ -21,7 +28,11 @@ use std::sync::mpsc;
 use std::thread;
 use std::time::{Duration, Instant};
 
-use mfa_explore::{assemble_series, plan_units, SweepGrid, SweepPoint, SweepSeries};
+use mfa_explore::store::{commit_unit, plan_store, StorePlan};
+use mfa_explore::{
+    assemble_series, plan_units, StoreRunReport, SweepGrid, SweepPoint, SweepSeries, SweepStore,
+    UnitOutput,
+};
 
 use crate::protocol::{FromWorker, ToWorker, PROTOCOL_VERSION};
 use crate::DispatchError;
@@ -200,6 +211,35 @@ pub fn run_sweep_sharded(
     workers: &[WorkerSpec],
     options: &DispatchOptions,
 ) -> Result<Vec<SweepSeries>, DispatchError> {
+    run_sharded_impl(grid, workers, options, None).map(|(series, _)| series)
+}
+
+/// Like [`run_sweep_sharded`], but backed by a persistent [`SweepStore`]:
+/// units whose points are all stored are replayed without being leased,
+/// freshly computed units are committed as their results arrive, and
+/// store-neighbour warm-start seeds are shipped to the workers. Returns the
+/// merged series together with the run's store counters.
+///
+/// # Errors
+///
+/// As [`run_sweep_sharded`], plus [`DispatchError::Explore`] wrapping
+/// [`mfa_explore::ExploreError::Store`] when the store directory itself
+/// fails (damaged store *contents* are counted misses, never errors).
+pub fn run_sweep_sharded_stored(
+    grid: &SweepGrid,
+    workers: &[WorkerSpec],
+    options: &DispatchOptions,
+    store: &mut SweepStore,
+) -> Result<(Vec<SweepSeries>, StoreRunReport), DispatchError> {
+    run_sharded_impl(grid, workers, options, Some(store))
+}
+
+fn run_sharded_impl(
+    grid: &SweepGrid,
+    workers: &[WorkerSpec],
+    options: &DispatchOptions,
+    mut store: Option<&mut SweepStore>,
+) -> Result<(Vec<SweepSeries>, StoreRunReport), DispatchError> {
     if workers.is_empty() {
         return Err(DispatchError::NoWorkers);
     }
@@ -209,6 +249,42 @@ pub fn run_sweep_sharded(
         ));
     }
     let units = plan_units(grid, options.chunk_size)?;
+
+    // Store-backed runs consult the store at planning time: fully cached
+    // units are replayed straight into the result table and never leased,
+    // and the remaining units get their warm-start seeds fixed up front so
+    // every worker (and any resume) computes from identical inputs.
+    let plan: Option<StorePlan> = match store.as_deref() {
+        Some(st) => Some(plan_store(grid, &units, options.warm_start, st)?),
+        None => None,
+    };
+    let mut report = StoreRunReport::default();
+    if let Some(st) = store.as_deref() {
+        report.corrupt_entries = st.corrupt_entries();
+        report.version_mismatches = st.version_mismatches();
+    }
+    let mut results: Vec<Option<UnitOutcome>> = (0..units.len()).map(|_| None).collect();
+    if let Some(plan) = &plan {
+        for (uid, unit_plan) in plan.units.iter().enumerate() {
+            if let Some(points) = &unit_plan.cached {
+                report.units_replayed += 1;
+                report.points_replayed += points.len();
+                results[uid] = Some(UnitOutcome::Points(points.clone()));
+            }
+        }
+    }
+    if results.iter().all(Option::is_some) {
+        // Full replay: nothing to lease, no worker is ever spawned.
+        let completed = results
+            .into_iter()
+            .map(|slot| match slot {
+                Some(UnitOutcome::Points(points)) => points,
+                _ => unreachable!("replayed units hold points"),
+            })
+            .collect();
+        return Ok((assemble_series(grid, &units, completed), report));
+    }
+
     let mut job_line = ToWorker::Job {
         protocol: PROTOCOL_VERSION,
         warm_start: options.warm_start,
@@ -231,9 +307,10 @@ pub fn run_sweep_sharded(
         });
     }
 
-    let mut pending: VecDeque<usize> = (0..units.len()).collect();
+    let mut pending: VecDeque<usize> = (0..units.len())
+        .filter(|&uid| results[uid].is_none())
+        .collect();
     let mut attempts = vec![0usize; units.len()];
-    let mut results: Vec<Option<UnitOutcome>> = (0..units.len()).map(|_| None).collect();
     // Lowest unit id that reported a deterministic solver failure. Units at
     // or above it stop being assigned, but everything below still completes
     // so the surfaced error is the lowest-index one — independent of which
@@ -302,6 +379,10 @@ pub fn run_sweep_sharded(
                 let frame = ToWorker::Unit {
                     id: uid,
                     unit: units[uid],
+                    seeds: plan
+                        .as_ref()
+                        .map(|p| p.units[uid].seeds.clone())
+                        .unwrap_or_default(),
                 };
                 let mut line = frame.encode()?;
                 line.push('\n');
@@ -378,12 +459,17 @@ pub fn run_sweep_sharded(
                         }
                         states[wid].ready = true;
                     }
-                    Event::Frame(FromWorker::Result { id, points }) => {
+                    Event::Frame(FromWorker::Result {
+                        id,
+                        points,
+                        warms,
+                        warm_from_store,
+                    }) => {
                         let Some(expected) = units.get(id).map(|u| u.end - u.start) else {
                             failed.push(wid);
                             continue;
                         };
-                        if points.len() != expected {
+                        if points.len() != expected || warms.len() != expected {
                             // A wrong-shaped result is worker corruption,
                             // not data: reassign, don't record.
                             failed.push(wid);
@@ -392,6 +478,22 @@ pub fn run_sweep_sharded(
                         states[wid].leases.retain(|(uid, _)| *uid != id);
                         refresh_leases(&mut states[wid]);
                         if results[id].is_none() {
+                            // Persist before recording, so a unit counted
+                            // computed is always on disk for the next run.
+                            if let (Some(st), Some(plan)) = (store.as_deref_mut(), plan.as_ref()) {
+                                let output = UnitOutput {
+                                    points: points.clone(),
+                                    warms,
+                                    warm_from_store,
+                                };
+                                if let Err(err) = commit_unit(st, &plan.units[id], &output) {
+                                    shutdown_workers(&mut conns, &mut states);
+                                    return Err(err.into());
+                                }
+                            }
+                            report.units_computed += 1;
+                            report.points_computed += points.len();
+                            report.warm_from_store += warm_from_store;
                             results[id] = Some(UnitOutcome::Points(points));
                         }
                     }
@@ -450,7 +552,7 @@ pub fn run_sweep_sharded(
             _ => unreachable!("loop exits only when every unit has a result"),
         })
         .collect();
-    Ok(assemble_series(grid, &units, completed))
+    Ok((assemble_series(grid, &units, completed), report))
 }
 
 /// Opens one worker connection, sends the job frame, and starts its reader

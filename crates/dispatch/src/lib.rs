@@ -48,7 +48,8 @@ pub mod protocol;
 mod worker;
 
 pub use dispatcher::{
-    default_worker_program, run_sweep_sharded, spawned_workers, DispatchOptions, WorkerSpec,
+    default_worker_program, run_sweep_sharded, run_sweep_sharded_stored, spawned_workers,
+    DispatchOptions, WorkerSpec,
 };
 pub use error::DispatchError;
 pub use worker::{serve, FaultPlan, INJECTED_CRASH_EXIT_CODE};

@@ -8,10 +8,11 @@
 //! Session shape (dispatcher is always the initiator):
 //!
 //! ```text
-//! dispatcher → worker   {"type":"job","protocol":1,"warm_start":…,"grid":…}
-//! worker → dispatcher   {"type":"ready","protocol":1}
-//! dispatcher → worker   {"type":"unit","id":0,"unit":{"series":…,…}}   (repeated)
-//! worker → dispatcher   {"type":"result","id":0,"points":[…]}          (one per unit)
+//! dispatcher → worker   {"type":"job","protocol":3,"warm_start":…,"grid":…}
+//! worker → dispatcher   {"type":"ready","protocol":3}
+//! dispatcher → worker   {"type":"unit","id":0,"unit":{…},"seeds":[…]}  (repeated)
+//! worker → dispatcher   {"type":"result","id":0,"points":[…],
+//!                        "warms":[…],"warm_from_store":0}              (one per unit)
 //!                       {"type":"solver_error","id":…,"message":…}     (on failure)
 //! dispatcher → worker   {"type":"shutdown"}
 //! ```
@@ -20,13 +21,17 @@
 //! units immediately after the job frame without waiting for `ready`; the
 //! handshake exists to catch protocol-version skew early.
 
+use mfa_alloc::solver::WarmStart;
 use mfa_explore::json::Json;
 use mfa_explore::wire::{self, WireError};
+use mfa_platform::ResourceBudget;
+
 use mfa_explore::{SweepGrid, SweepPoint, WorkUnit};
 
 /// Version tag carried by `job`/`ready` frames. Bump on any incompatible
-/// frame or payload change.
-pub const PROTOCOL_VERSION: usize = 2;
+/// frame or payload change. v3 added store-neighbour warm-start seeds to
+/// `unit` frames and per-point warm states to `result` frames.
+pub const PROTOCOL_VERSION: usize = 3;
 
 /// A frame sent from the dispatcher to a worker.
 #[derive(Debug, Clone, PartialEq)]
@@ -47,6 +52,10 @@ pub enum ToWorker {
         id: usize,
         /// The unit itself.
         unit: WorkUnit,
+        /// Store-neighbour warm-start seeds for the unit (empty unless the
+        /// dispatcher runs store-backed). Fixed at planning time, so the
+        /// unit's result stays a pure function of the frame.
+        seeds: Vec<(ResourceBudget, WarmStart)>,
     },
     /// Ends the session; the worker exits cleanly.
     Shutdown,
@@ -67,6 +76,12 @@ pub enum FromWorker {
         id: usize,
         /// The unit's points.
         points: Vec<Option<SweepPoint>>,
+        /// Warm-start state each point's solve published, parallel to
+        /// `points` (`None` for skipped points). The store-backed
+        /// dispatcher persists these for future neighbour seeding.
+        warms: Vec<Option<WarmStart>>,
+        /// Points whose solve accepted a store-neighbour seed.
+        warm_from_store: usize,
     },
     /// The unit hit a non-skippable solver failure. Deterministic for a
     /// given unit, so the dispatcher must not retry it on another worker.
@@ -97,10 +112,11 @@ impl ToWorker {
                 ("warm_start", Json::Bool(*warm_start)),
                 ("grid", wire::grid_to_json(grid)?),
             ]),
-            ToWorker::Unit { id, unit } => Json::obj(vec![
+            ToWorker::Unit { id, unit, seeds } => Json::obj(vec![
                 ("type", Json::str("unit")),
                 ("id", Json::Num(*id as f64)),
                 ("unit", wire::unit_to_json(unit)),
+                ("seeds", seeds_to_json(seeds)?),
             ]),
             ToWorker::Shutdown => Json::obj(vec![("type", Json::str("shutdown"))]),
         };
@@ -133,6 +149,10 @@ impl ToWorker {
                     doc.get("unit")
                         .ok_or_else(|| WireError::Schema("unit frame needs 'unit'".into()))?,
                 )?,
+                seeds: seeds_from_json(
+                    doc.get("seeds")
+                        .ok_or_else(|| WireError::Schema("unit frame needs 'seeds'".into()))?,
+                )?,
             }),
             "shutdown" => Ok(ToWorker::Shutdown),
             other => Err(WireError::Schema(format!(
@@ -155,10 +175,17 @@ impl FromWorker {
                 ("type", Json::str("ready")),
                 ("protocol", Json::Num(*protocol as f64)),
             ]),
-            FromWorker::Result { id, points } => Json::obj(vec![
+            FromWorker::Result {
+                id,
+                points,
+                warms,
+                warm_from_store,
+            } => Json::obj(vec![
                 ("type", Json::str("result")),
                 ("id", Json::Num(*id as f64)),
                 ("points", wire::points_to_json(points)?),
+                ("warms", warms_to_json(warms)?),
+                ("warm_from_store", Json::Num(*warm_from_store as f64)),
             ]),
             FromWorker::SolverError { id, message } => Json::obj(vec![
                 ("type", Json::str("solver_error")),
@@ -188,6 +215,11 @@ impl FromWorker {
                     doc.get("points")
                         .ok_or_else(|| WireError::Schema("result frame needs 'points'".into()))?,
                 )?,
+                warms: warms_from_json(
+                    doc.get("warms")
+                        .ok_or_else(|| WireError::Schema("result frame needs 'warms'".into()))?,
+                )?,
+                warm_from_store: usize_field(&doc, "warm_from_store")?,
             }),
             "solver_error" => Ok(FromWorker::SolverError {
                 id: usize_field(&doc, "id")?,
@@ -202,6 +234,63 @@ impl FromWorker {
             ))),
         }
     }
+}
+
+fn seeds_to_json(seeds: &[(ResourceBudget, WarmStart)]) -> Result<Json, WireError> {
+    Ok(Json::Arr(
+        seeds
+            .iter()
+            .map(|(budget, warm)| {
+                Ok(Json::obj(vec![
+                    ("budget", wire::budget_to_json(budget)?),
+                    ("warm", wire::warm_hint_to_json(warm)?),
+                ]))
+            })
+            .collect::<Result<Vec<_>, WireError>>()?,
+    ))
+}
+
+fn seeds_from_json(value: &Json) -> Result<Vec<(ResourceBudget, WarmStart)>, WireError> {
+    value
+        .as_arr()
+        .ok_or_else(|| WireError::Schema("'seeds' must be an array".into()))?
+        .iter()
+        .map(|item| {
+            let budget = wire::budget_from_json(
+                item.get("budget")
+                    .ok_or_else(|| WireError::Schema("seed needs 'budget'".into()))?,
+            )?;
+            let warm = wire::warm_hint_from_json(
+                item.get("warm")
+                    .ok_or_else(|| WireError::Schema("seed needs 'warm'".into()))?,
+            )?;
+            Ok((budget, warm))
+        })
+        .collect()
+}
+
+fn warms_to_json(warms: &[Option<WarmStart>]) -> Result<Json, WireError> {
+    Ok(Json::Arr(
+        warms
+            .iter()
+            .map(|warm| match warm {
+                Some(w) => wire::warm_hint_to_json(w),
+                None => Ok(Json::Null),
+            })
+            .collect::<Result<Vec<_>, WireError>>()?,
+    ))
+}
+
+fn warms_from_json(value: &Json) -> Result<Vec<Option<WarmStart>>, WireError> {
+    value
+        .as_arr()
+        .ok_or_else(|| WireError::Schema("'warms' must be an array".into()))?
+        .iter()
+        .map(|item| match item {
+            Json::Null => Ok(None),
+            other => wire::warm_hint_from_json(other).map(Some),
+        })
+        .collect()
 }
 
 fn type_tag(doc: &Json) -> Result<&str, WireError> {
@@ -248,6 +337,12 @@ mod tests {
                     start: 0,
                     end: 2,
                 },
+                seeds: vec![(
+                    ResourceBudget::uniform(0.7),
+                    WarmStart::none()
+                        .with_relaxed_ii(1.25)
+                        .with_cu_counts(vec![1, 2, 3]),
+                )],
             },
             ToWorker::Shutdown,
         ];
@@ -267,6 +362,8 @@ mod tests {
             FromWorker::Result {
                 id: 3,
                 points: vec![None],
+                warms: vec![None],
+                warm_from_store: 0,
             },
             FromWorker::SolverError {
                 id: 4,
@@ -289,6 +386,8 @@ mod tests {
             "{\"id\":1}",
             "{\"type\":\"warp\"}",
             "{\"type\":\"result\",\"id\":1}",
+            "{\"type\":\"result\",\"id\":1,\"points\":[]}",
+            "{\"type\":\"unit\",\"id\":1,\"unit\":{\"series\":0,\"start\":0,\"end\":1}}",
             "[1,2,3]",
         ] {
             assert!(FromWorker::decode(bad).is_err(), "{bad:?}");

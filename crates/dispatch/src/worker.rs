@@ -4,9 +4,11 @@
 //! the `sweep-worker` binary points it at stdio or an accepted TCP
 //! connection. The loop is strictly sequential: it decodes a frame, acts,
 //! replies, repeats. All sweep semantics live in
-//! [`mfa_explore::compute_unit`]; a unit computes here exactly as it would
-//! on a thread of `run_sweep`, which is what keeps sharding
-//! semantics-preserving.
+//! [`mfa_explore::compute_unit_hinted`]; a unit computes here exactly as it
+//! would on a thread of `run_sweep`, which is what keeps sharding
+//! semantics-preserving. Store-neighbour seeds ride the unit frame, so a
+//! store-backed dispatcher hands every worker the same hints the threaded
+//! executor would use.
 //!
 //! [`FaultPlan`] deliberately breaks the loop for the fault-injection tests:
 //! a worker can be told to die abruptly (as if it crashed or was killed)
@@ -16,7 +18,7 @@
 
 use std::io::{BufRead, Write};
 
-use mfa_explore::{compute_unit, ExploreError, SweepGrid};
+use mfa_explore::{compute_unit_hinted, ExploreError, SweepGrid, DEFAULT_CACHE_CAPACITY};
 
 use crate::protocol::{FromWorker, ToWorker, PROTOCOL_VERSION};
 use crate::DispatchError;
@@ -90,7 +92,7 @@ pub fn serve(
                 )?;
                 session = Some((grid, warm_start));
             }
-            ToWorker::Unit { id, unit } => {
+            ToWorker::Unit { id, unit, seeds } => {
                 let Some((grid, warm_start)) = &session else {
                     return Err(DispatchError::Protocol(
                         "received a unit before the job frame".into(),
@@ -121,8 +123,19 @@ pub fn serve(
                         "unit {id} is out of range for the session grid"
                     )));
                 }
-                let reply = match compute_unit(grid, &unit, *warm_start) {
-                    Ok(points) => FromWorker::Result { id, points },
+                let reply = match compute_unit_hinted(
+                    grid,
+                    &unit,
+                    *warm_start,
+                    DEFAULT_CACHE_CAPACITY,
+                    &seeds,
+                ) {
+                    Ok(output) => FromWorker::Result {
+                        id,
+                        points: output.points,
+                        warms: output.warms,
+                        warm_from_store: output.warm_from_store,
+                    },
                     Err(err @ ExploreError::Solver { .. }) => FromWorker::SolverError {
                         id,
                         message: err.to_string(),
@@ -179,7 +192,15 @@ mod tests {
         );
         script.push('\n');
         for (id, unit) in plan_units(grid, 1).unwrap().into_iter().enumerate() {
-            script.push_str(&ToWorker::Unit { id, unit }.encode().unwrap());
+            script.push_str(
+                &ToWorker::Unit {
+                    id,
+                    unit,
+                    seeds: Vec::new(),
+                }
+                .encode()
+                .unwrap(),
+            );
             script.push('\n');
         }
         script.push_str(&ToWorker::Shutdown.encode().unwrap());
@@ -201,12 +222,17 @@ mod tests {
             FromWorker::Ready { .. }
         ));
         for (idx, line) in lines[1..].iter().enumerate() {
-            let FromWorker::Result { id, points } = FromWorker::decode(line).unwrap() else {
+            let FromWorker::Result {
+                id, points, warms, ..
+            } = FromWorker::decode(line).unwrap()
+            else {
                 panic!("result frame expected");
             };
             assert_eq!(id, idx);
             assert_eq!(points.len(), 1);
             assert!(points[0].is_some());
+            assert_eq!(warms.len(), 1);
+            assert!(warms[0].is_some());
         }
     }
 
@@ -220,7 +246,8 @@ mod tests {
                     series: 0,
                     start: 0,
                     end: 1
-                }
+                },
+                seeds: Vec::new(),
             }
             .encode()
             .unwrap()
@@ -251,6 +278,7 @@ mod tests {
                     start: 0,
                     end: 1,
                 },
+                seeds: Vec::new(),
             }
             .encode()
             .unwrap(),

@@ -11,10 +11,12 @@ use std::process::{Command, Stdio};
 use common::{
     assert_sharded_matches_golden, gp_figures, sharded_solution_bytes, worker_bin, worker_with_args,
 };
-use mfa_dispatch::{run_sweep_sharded, spawned_workers, DispatchOptions, WorkerSpec};
+use mfa_dispatch::{
+    run_sweep_sharded, run_sweep_sharded_stored, spawned_workers, DispatchOptions, WorkerSpec,
+};
 use mfa_explore::{
-    constraint_grid, export, run_sweep, zero_chunk_diagnostics, zero_timing, CaseSpec,
-    ExecutorOptions, SolverSpec, SweepGrid,
+    constraint_grid, export, run_sweep, run_sweep_stored, zero_chunk_diagnostics, zero_timing,
+    CaseSpec, ExecutorOptions, SolverSpec, SweepGrid, SweepStore,
 };
 
 #[test]
@@ -165,4 +167,78 @@ fn mixed_spawned_and_tcp_workers_agree() {
     );
     let _ = child.kill();
     let _ = child.wait();
+}
+
+#[test]
+fn store_backed_sharded_runs_replay_and_reproduce_the_golden_bytes() {
+    let figure = gp_figures()
+        .into_iter()
+        .find(|f| f.name == "fig2")
+        .expect("fig2 is a gp figure");
+    let dir = std::env::temp_dir().join(format!("mfa-sharded-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let workers = spawned_workers(worker_bin(), 2);
+    let options = DispatchOptions::default();
+
+    // First sharded run populates the store and matches the golden bytes.
+    let mut store = SweepStore::open(&dir).expect("store opens");
+    let (mut series, report) =
+        run_sweep_sharded_stored(&figure.grid, &workers, &options, &mut store)
+            .expect("populating sharded run");
+    assert_eq!(report.units_replayed, 0);
+    assert!(report.units_computed > 0);
+    zero_timing(&mut series);
+    assert_eq!(
+        export::series_to_json(&series),
+        common::golden("fig2", "json")
+    );
+    assert_eq!(
+        export::series_to_csv(&series),
+        common::golden("fig2", "csv")
+    );
+
+    // Second sharded run replays everything (no unit is ever leased) and
+    // stays byte-identical.
+    let mut store = SweepStore::open(&dir).expect("store reopens");
+    let (mut series, report) =
+        run_sweep_sharded_stored(&figure.grid, &workers, &options, &mut store)
+            .expect("replaying sharded run");
+    assert_eq!(report.points_computed, 0, "full replay computes nothing");
+    zero_timing(&mut series);
+    assert_eq!(
+        export::series_to_json(&series),
+        common::golden("fig2", "json")
+    );
+    assert_eq!(
+        export::series_to_csv(&series),
+        common::golden("fig2", "csv")
+    );
+
+    // Cross-engine resume: drop one segment (a "killed" run's missing unit)
+    // and finish the sweep in-process against the same store — the threaded
+    // executor and the dispatcher share the store format and fingerprints.
+    let mut segments: Vec<std::path::PathBuf> = std::fs::read_dir(&dir)
+        .expect("store directory lists")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().and_then(|e| e.to_str()) == Some("jsonl"))
+        .collect();
+    segments.sort();
+    std::fs::remove_file(&segments[0]).expect("segment removes");
+    let mut store = SweepStore::open(&dir).expect("store reopens");
+    let (mut series, report) =
+        run_sweep_stored(&figure.grid, &ExecutorOptions::default(), &mut store)
+            .expect("threaded resume");
+    assert!(report.units_replayed > 0, "the kept segments replay");
+    assert!(report.units_computed > 0, "the dropped unit recomputes");
+    zero_timing(&mut series);
+    assert_eq!(
+        export::series_to_json(&series),
+        common::golden("fig2", "json")
+    );
+    assert_eq!(
+        export::series_to_csv(&series),
+        common::golden("fig2", "csv")
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
 }

@@ -41,15 +41,51 @@ pub fn budget_distance(a: &ResourceBudget, b: &ResourceBudget) -> f64 {
 /// depends only on the grid and the chunk size, never on the thread count or
 /// on scheduling, so every point sees exactly the same cache state either
 /// way.
-#[derive(Debug, Clone, Default)]
+///
+/// Growth is bounded: the cache holds at most its capacity
+/// ([`DEFAULT_CACHE_CAPACITY`] unless built with
+/// [`WarmStartCache::with_capacity`]) and evicts the *oldest* entry when
+/// full. FIFO eviction is deterministic — it depends only on the insertion
+/// sequence, which itself depends only on the grid and chunk decomposition —
+/// so a bounded cache preserves the serial/parallel byte-identity contract.
+/// A hint can only narrow search brackets or seed incumbents that are
+/// verified before use, so eviction (like any cache state) never changes the
+/// achieved initiation interval.
+#[derive(Debug, Clone)]
 pub struct WarmStartCache {
     entries: Vec<(ResourceBudget, WarmStart)>,
+    capacity: usize,
+}
+
+/// Default bound on [`WarmStartCache`] entries. Far above any chunk size the
+/// executor produces (chunks default to 8 points), so eviction only engages
+/// on deliberately tiny capacities or very long-lived caches.
+pub const DEFAULT_CACHE_CAPACITY: usize = 256;
+
+impl Default for WarmStartCache {
+    fn default() -> Self {
+        WarmStartCache::with_capacity(DEFAULT_CACHE_CAPACITY)
+    }
 }
 
 impl WarmStartCache {
-    /// An empty cache.
+    /// An empty cache with the [`DEFAULT_CACHE_CAPACITY`].
     pub fn new() -> Self {
         WarmStartCache::default()
+    }
+
+    /// An empty cache holding at most `capacity` entries (a capacity of 0
+    /// caches nothing and every lookup misses).
+    pub fn with_capacity(capacity: usize) -> Self {
+        WarmStartCache {
+            entries: Vec::new(),
+            capacity,
+        }
+    }
+
+    /// The configured entry bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
     }
 
     /// Number of cached points.
@@ -62,8 +98,15 @@ impl WarmStartCache {
         self.entries.is_empty()
     }
 
-    /// Records the warm-start state of a solved budget point.
+    /// Records the warm-start state of a solved budget point, evicting the
+    /// oldest entry first when the cache is at capacity.
     pub fn insert(&mut self, budget: &ResourceBudget, warm: WarmStart) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.entries.len() == self.capacity {
+            self.entries.remove(0);
+        }
         self.entries.push((*budget, warm));
     }
 
@@ -71,12 +114,19 @@ impl WarmStartCache {
     /// any. Ties keep the earliest-inserted entry, so lookups are
     /// deterministic.
     pub fn nearest(&self, budget: &ResourceBudget) -> Option<&WarmStart> {
+        self.nearest_entry(budget).map(|(_, warm)| warm)
+    }
+
+    /// Like [`WarmStartCache::nearest`], but also returns the distance of the
+    /// winning entry, so two caches can be compared for the overall-nearest
+    /// hint.
+    pub fn nearest_entry(&self, budget: &ResourceBudget) -> Option<(f64, &WarmStart)> {
         self.entries
             .iter()
             .min_by(|(a, _), (b, _)| {
                 budget_distance(a, budget).total_cmp(&budget_distance(b, budget))
             })
-            .map(|(_, warm)| warm)
+            .map(|(b, warm)| (budget_distance(b, budget), warm))
     }
 }
 
@@ -169,6 +219,37 @@ mod tests {
         // The dual rides the cache untouched, ready for the next solve.
         assert_eq!(hit.gp_dual.as_ref(), Some(&dual));
         assert!(!hit.is_empty());
+    }
+
+    #[test]
+    fn capacity_bounds_growth_with_fifo_eviction() {
+        let mut cache = WarmStartCache::with_capacity(2);
+        assert_eq!(cache.capacity(), 2);
+        cache.insert(&ResourceBudget::uniform(0.5), warm(1.0));
+        cache.insert(&ResourceBudget::uniform(0.6), warm(2.0));
+        cache.insert(&ResourceBudget::uniform(0.7), warm(3.0));
+        // Oldest entry (0.5) evicted; a query right on it now hits 0.6.
+        assert_eq!(cache.len(), 2);
+        let hit = cache.nearest(&ResourceBudget::uniform(0.5)).unwrap();
+        assert!((hit.relaxed_ii_ms.unwrap() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_capacity_caches_nothing() {
+        let mut cache = WarmStartCache::with_capacity(0);
+        cache.insert(&ResourceBudget::uniform(0.5), warm(1.0));
+        assert!(cache.is_empty());
+        assert!(cache.nearest(&ResourceBudget::uniform(0.5)).is_none());
+    }
+
+    #[test]
+    fn nearest_entry_reports_the_winning_distance() {
+        let mut cache = WarmStartCache::new();
+        cache.insert(&ResourceBudget::uniform(0.55), warm(2.0));
+        cache.insert(&ResourceBudget::uniform(0.85), warm(1.0));
+        let (dist, hit) = cache.nearest_entry(&ResourceBudget::uniform(0.60)).unwrap();
+        assert!((dist - 2.0 * 0.05).abs() < 1e-12);
+        assert!((hit.relaxed_ii_ms.unwrap() - 2.0).abs() < 1e-12);
     }
 
     #[test]

@@ -34,6 +34,11 @@ pub enum ExploreError {
     /// A churn replay inside a reallocation-frontier sweep failed (malformed
     /// event for the evolving problem, or a non-skippable re-solve error).
     Churn(String),
+    /// The persistent sweep store failed at the directory level (cannot
+    /// create/list the store, cannot commit a segment) or a grid point could
+    /// not be canonically encoded for fingerprinting. Damaged store
+    /// *contents* never raise this — corrupt entries are counted misses.
+    Store(String),
 }
 
 impl fmt::Display for ExploreError {
@@ -54,6 +59,7 @@ impl fmt::Display for ExploreError {
                 resource_constraint * 100.0
             ),
             ExploreError::Churn(msg) => write!(f, "churn replay failed: {msg}"),
+            ExploreError::Store(msg) => write!(f, "sweep store failed: {msg}"),
         }
     }
 }
@@ -64,7 +70,8 @@ impl Error for ExploreError {
             ExploreError::Solver { source, .. } => Some(source),
             ExploreError::InvalidGrid(_)
             | ExploreError::InvalidOptions(_)
-            | ExploreError::Churn(_) => None,
+            | ExploreError::Churn(_)
+            | ExploreError::Store(_) => None,
         }
     }
 }

@@ -10,8 +10,9 @@ use serde::{Deserialize, Serialize};
 use mfa_alloc::explore::SweepPoint;
 use mfa_alloc::solver::{Deadline, SolveRequest, WarmStart};
 
-use crate::cache::WarmStartCache;
+use crate::cache::{WarmStartCache, DEFAULT_CACHE_CAPACITY};
 use crate::grid::{SolverSpec, SweepGrid};
+use crate::store::{self, StorePlan, StoreRunReport, SweepStore};
 use crate::ExploreError;
 
 /// Options of the sweep executor.
@@ -34,6 +35,12 @@ pub struct ExecutorOptions {
     /// equally-optimal one. Disable for bit-identical agreement with the
     /// cold serial sweeps in [`mfa_alloc::explore`].
     pub warm_start: bool,
+    /// Entry bound of each unit's [`WarmStartCache`]. Eviction is FIFO and
+    /// depends only on the insertion sequence, so any bound preserves the
+    /// serial/parallel byte-identity contract; the default
+    /// ([`DEFAULT_CACHE_CAPACITY`]) exceeds every realistic chunk size and
+    /// never evicts in practice.
+    pub cache_capacity: usize,
 }
 
 impl Default for ExecutorOptions {
@@ -42,6 +49,7 @@ impl Default for ExecutorOptions {
             num_threads: None,
             chunk_size: 8,
             warm_start: true,
+            cache_capacity: DEFAULT_CACHE_CAPACITY,
         }
     }
 }
@@ -219,7 +227,70 @@ pub fn run_sweep(
     grid: &SweepGrid,
     options: &ExecutorOptions,
 ) -> Result<Vec<SweepSeries>, ExploreError> {
+    run_sweep_impl(grid, options, None).map(|(series, _)| series)
+}
+
+/// Like [`run_sweep`], but backed by a persistent [`SweepStore`]: units
+/// every point of which is already stored replay verbatim without computing
+/// anything, fresh units are persisted atomically *as they complete* (so a
+/// killed run resumes where it stopped), and fresh solves are warm-started
+/// from stored neighbouring points of the same series — including exact
+/// B&B incumbents, which in-process caching must keep cold.
+///
+/// Determinism: for any store state — empty, partial (a killed run), or full
+/// — the returned series are byte-identical to a storeless [`run_sweep`] of
+/// the same grid and options, because replayed units reproduce exactly what
+/// [`compute_unit`] computed and neighbour hints only flow from stored
+/// points *outside* the current grid (see [`store::plan_store`]).
+///
+/// # Errors
+///
+/// Everything [`run_sweep`] returns, plus [`ExploreError::Store`] for
+/// store-level I/O failures. Solver failures surface *after* completed units
+/// persist, so a failed run still resumes.
+pub fn run_sweep_stored(
+    grid: &SweepGrid,
+    options: &ExecutorOptions,
+    store: &mut SweepStore,
+) -> Result<(Vec<SweepSeries>, StoreRunReport), ExploreError> {
+    run_sweep_impl(grid, options, Some(store))
+        .map(|(series, report)| (series, report.expect("store-backed runs produce a report")))
+}
+
+fn run_sweep_impl(
+    grid: &SweepGrid,
+    options: &ExecutorOptions,
+    mut store: Option<&mut SweepStore>,
+) -> Result<(Vec<SweepSeries>, Option<StoreRunReport>), ExploreError> {
     let units = plan_units(grid, options.chunk_size)?;
+    let plan: Option<StorePlan> = match store.as_deref() {
+        Some(s) => Some(store::plan_store(grid, &units, options.warm_start, s)?),
+        None => None,
+    };
+    let mut report = store.as_deref().map(|s| StoreRunReport {
+        corrupt_entries: s.corrupt_entries(),
+        version_mismatches: s.version_mismatches(),
+        ..StoreRunReport::default()
+    });
+
+    let mut unit_results: Vec<Option<UnitResult>> = units.iter().map(|_| None).collect();
+
+    // Replay fully-stored units up front; only the remainder is scheduled.
+    let mut work: Vec<usize> = Vec::with_capacity(units.len());
+    match (&plan, report.as_mut()) {
+        (Some(plan), Some(report)) => {
+            for (idx, unit_plan) in plan.units.iter().enumerate() {
+                if let Some(points) = &unit_plan.cached {
+                    report.units_replayed += 1;
+                    report.points_replayed += points.len();
+                    unit_results[idx] = Some(Ok(points.clone()));
+                } else {
+                    work.push(idx);
+                }
+            }
+        }
+        _ => work.extend(0..units.len()),
+    }
 
     let threads = options
         .num_threads
@@ -228,54 +299,119 @@ pub fn run_sweep(
                 .map(NonZeroUsize::get)
                 .unwrap_or(1)
         })
-        .clamp(1, units.len().max(1));
+        .clamp(1, work.len().max(1));
 
-    // The abort flag stops workers from *starting* new units after a
-    // failure; units already underway run to completion. Because workers
-    // take units in index order, every unit below the failing index has
-    // been started and therefore finishes, which keeps the surfaced error
-    // (the lowest-index one) independent of scheduling.
-    let abort = AtomicBool::new(false);
-    let mut unit_results: Vec<Option<UnitResult>> = units.iter().map(|_| None).collect();
+    let seeds_of = |idx: usize| {
+        plan.as_ref()
+            .map(|p| p.units[idx].seeds.as_slice())
+            .unwrap_or(&[])
+    };
+    let mut persist = |store: &mut Option<&mut SweepStore>,
+                       report: &mut Option<StoreRunReport>,
+                       idx: usize,
+                       out: &UnitOutput|
+     -> Result<(), ExploreError> {
+        let (Some(store), Some(plan), Some(report)) =
+            (store.as_deref_mut(), &plan, report.as_mut())
+        else {
+            return Ok(());
+        };
+        store::commit_unit(store, &plan.units[idx], out)?;
+        report.units_computed += 1;
+        report.points_computed += out.points.len();
+        report.warm_from_store += out.warm_from_store;
+        Ok(())
+    };
+
     if threads <= 1 {
-        for (idx, unit) in units.iter().enumerate() {
-            let result = compute_unit(grid, unit, options.warm_start);
-            let failed = result.is_err();
-            unit_results[idx] = Some(result);
-            if failed {
-                break;
+        for &idx in &work {
+            match compute_unit_hinted(
+                grid,
+                &units[idx],
+                options.warm_start,
+                options.cache_capacity,
+                seeds_of(idx),
+            ) {
+                Ok(out) => {
+                    persist(&mut store, &mut report, idx, &out)?;
+                    unit_results[idx] = Some(Ok(out.points));
+                }
+                Err(err) => {
+                    unit_results[idx] = Some(Err(err));
+                    break;
+                }
             }
         }
     } else {
+        // The abort flag stops workers from *starting* new units after a
+        // failure; units already underway run to completion. Because workers
+        // take units in index order, every unit below the failing index has
+        // been started and therefore finishes, which keeps the surfaced
+        // error (the lowest-index one) independent of scheduling.
+        let abort = AtomicBool::new(false);
         let next = AtomicUsize::new(0);
-        let (tx, rx) = mpsc::channel::<(usize, UnitResult)>();
-        thread::scope(|scope| {
-            for _ in 0..threads {
-                let tx = tx.clone();
-                let units = &units;
-                let next = &next;
-                let abort = &abort;
-                scope.spawn(move || loop {
-                    if abort.load(Ordering::Relaxed) {
-                        break;
+        let (tx, rx) = mpsc::channel::<(usize, Result<UnitOutput, ExploreError>)>();
+        let mut persist_err: Option<ExploreError> = None;
+        {
+            let work = &work;
+            let units = &units;
+            let next = &next;
+            let abort = &abort;
+            let seeds_of = &seeds_of;
+            let store = &mut store;
+            let report = &mut report;
+            let persist = &mut persist;
+            let unit_results = &mut unit_results;
+            let persist_err = &mut persist_err;
+            thread::scope(move |scope| {
+                for _ in 0..threads {
+                    let tx = tx.clone();
+                    scope.spawn(move || loop {
+                        if abort.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        let pos = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(&idx) = work.get(pos) else {
+                            break;
+                        };
+                        let result = compute_unit_hinted(
+                            grid,
+                            &units[idx],
+                            options.warm_start,
+                            options.cache_capacity,
+                            seeds_of(idx),
+                        );
+                        if result.is_err() {
+                            abort.store(true, Ordering::Relaxed);
+                        }
+                        if tx.send((idx, result)).is_err() {
+                            break;
+                        }
+                    });
+                }
+                drop(tx);
+                // Drain on the main thread *inside* the scope: each unit is
+                // persisted the moment it completes, not after the whole
+                // sweep — which is what makes a killed threaded run
+                // resumable from everything it finished.
+                for (idx, result) in rx {
+                    match result {
+                        Ok(out) => {
+                            if persist_err.is_none() {
+                                if let Err(err) = persist(store, report, idx, &out) {
+                                    *persist_err = Some(err);
+                                    abort.store(true, Ordering::Relaxed);
+                                }
+                            }
+                            unit_results[idx] = Some(Ok(out.points));
+                        }
+                        Err(err) => unit_results[idx] = Some(Err(err)),
                     }
-                    let idx = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(unit) = units.get(idx) else {
-                        break;
-                    };
-                    let result = compute_unit(grid, unit, options.warm_start);
-                    if result.is_err() {
-                        abort.store(true, Ordering::Relaxed);
-                    }
-                    if tx.send((idx, result)).is_err() {
-                        break;
-                    }
-                });
-            }
-        });
-        drop(tx);
-        for (idx, result) in rx {
-            unit_results[idx] = Some(result);
+                }
+            });
+        }
+        if let Some(err) = persist_err {
+            return Err(err);
         }
     }
 
@@ -299,7 +435,7 @@ pub fn run_sweep(
                 .expect("failures were surfaced above")
         })
         .collect();
-    Ok(assemble_series(grid, &units, results))
+    Ok((assemble_series(grid, &units, results), report))
 }
 
 type UnitResult = Result<Vec<Option<SweepPoint>>, ExploreError>;
@@ -323,6 +459,57 @@ pub fn compute_unit(
     unit: &WorkUnit,
     warm_start: bool,
 ) -> Result<Vec<Option<SweepPoint>>, ExploreError> {
+    compute_unit_hinted(grid, unit, warm_start, DEFAULT_CACHE_CAPACITY, &[]).map(|out| out.points)
+}
+
+/// Everything one computed [`WorkUnit`] produces: the points themselves plus
+/// the per-point warm-start states a persistent store records for future
+/// neighbour seeding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UnitOutput {
+    /// Solved points in budget-axis order; `None` entries are skipped
+    /// (infeasible/unplaceable) budgets.
+    pub points: Vec<Option<SweepPoint>>,
+    /// Warm-start state each point's solve published, parallel to `points`
+    /// (`None` exactly where the point was skipped).
+    pub warms: Vec<Option<WarmStart>>,
+    /// Points whose solve accepted a hint drawn from the store-neighbour
+    /// `seeds` rather than the in-unit cache.
+    pub warm_from_store: usize,
+}
+
+/// [`compute_unit`] with explicit cache capacity and store-neighbour seeds.
+///
+/// `seeds` are warm-start candidates from *outside* the unit (stored
+/// neighbouring points of the same series — see
+/// [`store::plan_store`](crate::store::plan_store)); they are fixed before
+/// the unit runs, so the result stays a pure function of `(grid, unit,
+/// warm_start, cache_capacity, seeds)`. With empty seeds this is exactly
+/// [`compute_unit`].
+///
+/// Hint selection per point:
+///
+/// * **GP+A points** consult the in-unit cache *and* the seeds, taking the
+///   overall-nearest under [`crate::budget_distance`] (the in-unit entry
+///   wins ties — it is what a storeless sweep would have used).
+/// * **Exact points** consult *only* the seeds. In-process exact solves must
+///   stay cold so a node-capped incumbent never depends on the chunk
+///   decomposition; seeds are chunking-independent by construction, so they
+///   are the one legal way to warm an exact point. The incumbent is
+///   verified before use, so a seed can only prune the search — never change
+///   the optimum.
+///
+/// # Errors
+///
+/// Returns [`ExploreError::Solver`] for the unit's first non-skippable
+/// solver failure.
+pub fn compute_unit_hinted(
+    grid: &SweepGrid,
+    unit: &WorkUnit,
+    warm_start: bool,
+    cache_capacity: usize,
+    seeds: &[(mfa_platform::ResourceBudget, WarmStart)],
+) -> Result<UnitOutput, ExploreError> {
     let (case_idx, platform_idx, backend_idx) = grid.series_key(unit.series);
     let case = &grid.cases[case_idx];
     let platform = &grid.platforms[platform_idx];
@@ -335,20 +522,60 @@ pub fn compute_unit(
         source,
     };
 
-    let mut points = Vec::with_capacity(unit.end - unit.start);
-    let mut cache = WarmStartCache::new();
+    // The seeds live in their own cache so in-unit entries and stored
+    // neighbours stay distinguishable (the warm-from-store counter) and the
+    // seed set never evicts mid-unit.
+    let mut seed_cache = WarmStartCache::with_capacity(seeds.len());
+    for (budget, warm) in seeds {
+        seed_cache.insert(budget, warm.clone());
+    }
+
+    let mut out = UnitOutput {
+        points: Vec::with_capacity(unit.end - unit.start),
+        warms: Vec::with_capacity(unit.end - unit.start),
+        warm_from_store: 0,
+    };
+    let mut cache = WarmStartCache::with_capacity(cache_capacity);
     for budget_spec in &grid.budgets[unit.start..unit.end] {
         let instance = case.problem_at(platform, budget_spec);
         let constraint = budget_spec.scalar();
         let budget = *instance.budget();
         // GP+A points feed on (and feed) the unit's warm-start cache; exact
-        // points always run cold so a node-capped MINLP incumbent never
-        // depends on the chunk decomposition.
+        // points never touch it, so a node-capped MINLP incumbent never
+        // depends on the chunk decomposition — only chunking-independent
+        // store seeds may warm them.
         let caching = matches!(backend, SolverSpec::Gpa { .. });
-        let hint = if warm_start && caching {
-            cache.nearest(&budget).cloned().unwrap_or_default()
-        } else {
+        let mut from_store = false;
+        let hint = if !warm_start {
             WarmStart::none()
+        } else if caching {
+            match (
+                cache.nearest_entry(&budget),
+                seed_cache.nearest_entry(&budget),
+            ) {
+                (Some((d_unit, unit_hint)), Some((d_seed, seed_hint))) => {
+                    if d_seed < d_unit {
+                        from_store = true;
+                        seed_hint.clone()
+                    } else {
+                        unit_hint.clone()
+                    }
+                }
+                (Some((_, unit_hint)), None) => unit_hint.clone(),
+                (None, Some((_, seed_hint))) => {
+                    from_store = true;
+                    seed_hint.clone()
+                }
+                (None, None) => WarmStart::none(),
+            }
+        } else {
+            match seed_cache.nearest(&budget) {
+                Some(seed_hint) => {
+                    from_store = true;
+                    seed_hint.clone()
+                }
+                None => WarmStart::none(),
+            }
         };
         let mut request = SolveRequest::new(&instance)
             .backend(backend.to_backend())
@@ -361,18 +588,27 @@ pub fn compute_unit(
         }
         match request.solve_point() {
             Ok(Some(report)) => {
+                let warm_out = report.warm_start();
                 if caching {
-                    cache.insert(&budget, report.warm_start());
+                    cache.insert(&budget, warm_out.clone());
                 }
-                points.push(Some(SweepPoint::from_report(
+                let used = &report.diagnostics.warm_start;
+                if from_store && (used.ii_hint_used || used.dual_hint_used || used.incumbent_used) {
+                    out.warm_from_store += 1;
+                }
+                out.points.push(Some(SweepPoint::from_report(
                     &instance, constraint, &report,
                 )));
+                out.warms.push(Some(warm_out));
             }
-            Ok(None) => points.push(None),
+            Ok(None) => {
+                out.points.push(None);
+                out.warms.push(None);
+            }
             Err(err) => return Err(fail(constraint, err)),
         }
     }
-    Ok(points)
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -417,7 +653,7 @@ mod tests {
             &ExecutorOptions {
                 num_threads: Some(4),
                 chunk_size: 2,
-                warm_start: true,
+                ..ExecutorOptions::default()
             },
         )
         .unwrap();
@@ -560,7 +796,7 @@ mod tests {
             &ExecutorOptions {
                 num_threads: Some(4),
                 chunk_size: 2,
-                warm_start: true,
+                ..ExecutorOptions::default()
             },
         )
         .unwrap();

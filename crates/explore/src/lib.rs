@@ -71,20 +71,22 @@ pub mod figures;
 pub mod frontier;
 mod grid;
 pub mod json;
+pub mod store;
 pub mod validate;
 pub mod wire;
 
-pub use cache::{budget_distance, WarmStartCache};
+pub use cache::{budget_distance, WarmStartCache, DEFAULT_CACHE_CAPACITY};
 pub use error::ExploreError;
 pub use executor::{
-    assemble_series, compute_unit, plan_units, run_sweep, zero_chunk_diagnostics, zero_timing,
-    ExecutorOptions, SweepSeries, WorkUnit,
+    assemble_series, compute_unit, compute_unit_hinted, plan_units, run_sweep, run_sweep_stored,
+    zero_chunk_diagnostics, zero_timing, ExecutorOptions, SweepSeries, UnitOutput, WorkUnit,
 };
 pub use figures::FigureSpec;
 pub use frontier::{frontier_to_csv, frontier_to_json, run_frontier, FrontierPoint, FrontierSpec};
 pub use grid::{
     constraint_grid, BudgetSpec, CaseSpec, PlatformSpec, SolverSpec, SweepGrid, SweepGridBuilder,
 };
+pub use store::{StoreRunReport, SweepStore, STORE_VERSION};
 
 // The point type is shared with the serial sweeps in `mfa_alloc::explore`.
 pub use mfa_alloc::explore::SweepPoint;

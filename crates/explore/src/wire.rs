@@ -29,7 +29,7 @@ use mfa_alloc::explore::SweepPoint;
 use mfa_alloc::gp_step::RelaxationBackend;
 use mfa_alloc::gpa::GpaOptions;
 use mfa_alloc::greedy::GreedyOptions;
-use mfa_alloc::solver::{SkipPolicy, WarmStartReport};
+use mfa_alloc::solver::{DualWarmStart, SkipPolicy, WarmStart, WarmStartReport};
 use mfa_alloc::{AllocationProblem, GoalWeights, Kernel};
 use mfa_minlp::SolverOptions;
 use mfa_platform::{DeviceGroup, FpgaDevice, HeterogeneousPlatform, ResourceBudget, ResourceVec};
@@ -141,14 +141,25 @@ fn resource_vec_from_json(value: &Json) -> Result<ResourceVec, WireError> {
     })
 }
 
-fn budget_to_json(b: &ResourceBudget) -> Result<Json, WireError> {
+/// Encodes a [`ResourceBudget`] as a [`Json`] object.
+///
+/// # Errors
+///
+/// Returns [`WireError::NonFinite`] if any fraction is NaN or infinite.
+pub fn budget_to_json(b: &ResourceBudget) -> Result<Json, WireError> {
     Ok(Json::obj(vec![
         ("resources", resource_vec_to_json(b.resource_fraction())?),
         ("bandwidth", num("bandwidth", b.bandwidth_fraction())?),
     ]))
 }
 
-fn budget_from_json(value: &Json) -> Result<ResourceBudget, WireError> {
+/// Decodes a [`ResourceBudget`] from its [`budget_to_json`] encoding.
+///
+/// # Errors
+///
+/// Returns [`WireError::Schema`] on shape mismatches and
+/// [`WireError::Invalid`] when a fraction lies outside `(0, 1]`.
+pub fn budget_from_json(value: &Json) -> Result<ResourceBudget, WireError> {
     let resources = resource_vec_from_json(field(value, "resources")?)?;
     let bandwidth = f64_field(value, "bandwidth")?;
     // `ResourceBudget::new` panics on invalid fractions; mirror its checks so
@@ -291,7 +302,7 @@ fn kernel_from_json(value: &Json) -> Result<Kernel, WireError> {
     .map_err(|err| WireError::Invalid(err.to_string()))
 }
 
-fn problem_to_json(p: &AllocationProblem) -> Result<Json, WireError> {
+pub(crate) fn problem_to_json(p: &AllocationProblem) -> Result<Json, WireError> {
     let kernels = p
         .kernels()
         .iter()
@@ -581,6 +592,120 @@ fn solver_spec_from_json(value: &Json) -> Result<SolverSpec, WireError> {
             "unknown solver spec kind '{other}'"
         ))),
     }
+}
+
+/// Encodes only the *behaviour-relevant* part of a [`SolverSpec`] — kind and
+/// options, with the display label stripped — for content fingerprinting:
+/// renaming a backend must not invalidate stored results.
+pub(crate) fn solver_config_to_json(s: &SolverSpec) -> Result<Json, WireError> {
+    Ok(match s {
+        SolverSpec::Gpa { options, .. } => Json::obj(vec![
+            ("kind", Json::str("gpa")),
+            ("options", gpa_options_to_json(options)?),
+        ]),
+        SolverSpec::Exact { options, .. } => Json::obj(vec![
+            ("kind", Json::str("exact")),
+            ("options", exact_options_to_json(options)?),
+        ]),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Warm-start hints.
+
+/// Encodes a [`WarmStart`] hint as a [`Json`] object (absent parts encode as
+/// `null`). Used by the sweep store and the dispatcher's seeded-unit frames.
+///
+/// # Errors
+///
+/// Returns [`WireError::NonFinite`] if any float in the hint is NaN or
+/// infinite.
+pub fn warm_hint_to_json(w: &WarmStart) -> Result<Json, WireError> {
+    let relaxed = match w.relaxed_ii_ms {
+        Some(v) => num("relaxed_ii_ms", v)?,
+        None => Json::Null,
+    };
+    let counts = match &w.cu_counts {
+        Some(c) => Json::Arr(c.iter().map(|&n| Json::Num(f64::from(n))).collect()),
+        None => Json::Null,
+    };
+    let dual = match &w.gp_dual {
+        Some(d) => Json::obj(vec![
+            ("barrier_t", num("barrier_t", d.barrier_t)?),
+            (
+                "duals",
+                Json::Arr(
+                    d.duals
+                        .iter()
+                        .map(|&v| num("duals", v))
+                        .collect::<Result<Vec<_>, WireError>>()?,
+                ),
+            ),
+        ]),
+        None => Json::Null,
+    };
+    Ok(Json::obj(vec![
+        ("relaxed_ii_ms", relaxed),
+        ("cu_counts", counts),
+        ("gp_dual", dual),
+    ]))
+}
+
+/// Decodes a [`WarmStart`] hint from its [`warm_hint_to_json`] encoding.
+///
+/// # Errors
+///
+/// Returns [`WireError::Schema`] on shape mismatches and
+/// [`WireError::Invalid`] on out-of-range CU counts.
+pub fn warm_hint_from_json(value: &Json) -> Result<WarmStart, WireError> {
+    let relaxed_ii_ms = match field(value, "relaxed_ii_ms")? {
+        Json::Null => None,
+        other => Some(other.as_f64().ok_or_else(|| {
+            WireError::Schema("field 'relaxed_ii_ms' must be a number or null".into())
+        })?),
+    };
+    let cu_counts = match field(value, "cu_counts")? {
+        Json::Null => None,
+        Json::Arr(items) => Some(
+            items
+                .iter()
+                .map(|item| {
+                    let raw = item.as_f64().ok_or_else(|| {
+                        WireError::Schema("cu_counts entries must be numbers".into())
+                    })?;
+                    if raw < 0.0 || raw.fract() != 0.0 || raw > f64::from(u32::MAX) {
+                        return Err(WireError::Invalid(format!(
+                            "cu_counts entry {raw} is not a u32"
+                        )));
+                    }
+                    Ok(raw as u32)
+                })
+                .collect::<Result<Vec<_>, WireError>>()?,
+        ),
+        _ => {
+            return Err(WireError::Schema(
+                "field 'cu_counts' must be an array or null".into(),
+            ))
+        }
+    };
+    let gp_dual = match field(value, "gp_dual")? {
+        Json::Null => None,
+        dual => Some(DualWarmStart {
+            barrier_t: f64_field(dual, "barrier_t")?,
+            duals: arr_field(dual, "duals")?
+                .iter()
+                .map(|v| {
+                    v.as_f64()
+                        .ok_or_else(|| WireError::Schema("duals entries must be numbers".into()))
+                })
+                .collect::<Result<Vec<_>, WireError>>()?,
+        }),
+    };
+    Ok(WarmStart {
+        relaxed_ii_ms,
+        cu_counts,
+        gp_dual,
+    })
 }
 
 // ---------------------------------------------------------------------------

@@ -71,6 +71,7 @@ proptest! {
             num_threads: Some(3),
             chunk_size,
             warm_start: true,
+            ..ExecutorOptions::default()
         }).unwrap();
         prop_assert_eq!(zero_timing(serial), zero_timing(parallel));
     }
@@ -119,6 +120,7 @@ proptest! {
             num_threads: Some(3),
             chunk_size,
             warm_start: true,
+            ..ExecutorOptions::default()
         }).unwrap();
         prop_assert_eq!(zero_timing(serial.clone()), zero_timing(parallel));
         // Warm-started and cold sweeps agree on every achieved II.

@@ -20,6 +20,13 @@
 //!   --no-warm-start  solve every point cold (disable the per-chunk
 //!                    warm-start cache; for effort/wall-clock comparisons)
 //!   --compare-serial also run the Fig. 3 grid serially and report speedup
+//!   --store DIR      persist every figure sweep in a content-addressed
+//!                    store under DIR (one subdirectory per figure) and
+//!                    replay stored points instead of recomputing them; a
+//!                    second identical run computes 0 points and a killed
+//!                    run resumes from the units that finished
+//!   --no-store       ignore an existing store (compute everything fresh,
+//!                    persist nothing)
 //! ```
 //!
 //! The figure grids themselves live in `mfa_explore::figures`, shared with
@@ -28,11 +35,12 @@
 use std::time::Instant;
 
 use mfa::dispatch::{
-    default_worker_program, run_sweep_sharded, spawned_workers, DispatchOptions, WorkerSpec,
+    default_worker_program, run_sweep_sharded, run_sweep_sharded_stored, spawned_workers,
+    DispatchOptions, WorkerSpec,
 };
 use mfa::explore::{
-    constraint_grid, export, figures, run_sweep, validate, zero_timing, CaseSpec, ExecutorOptions,
-    SolverSpec, SweepGrid, SweepSeries,
+    constraint_grid, export, figures, run_sweep, run_sweep_stored, validate, zero_timing, CaseSpec,
+    ExecutorOptions, SolverSpec, StoreRunReport, SweepGrid, SweepSeries, SweepStore,
 };
 use mfa_alloc::cases::PaperCase;
 use mfa_alloc::gpa::GpaOptions;
@@ -48,6 +56,7 @@ struct Args {
     exact: bool,
     warm_start: bool,
     compare_serial: bool,
+    store: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -61,6 +70,7 @@ fn parse_args() -> Result<Args, String> {
         exact: true,
         warm_start: true,
         compare_serial: false,
+        store: None,
     };
     let mut iter = std::env::args().skip(1);
     while let Some(arg) = iter.next() {
@@ -82,6 +92,8 @@ fn parse_args() -> Result<Args, String> {
                 .connect
                 .push(iter.next().ok_or("--connect needs host:port")?),
             "--out" => args.out = Some(iter.next().ok_or("--out needs a path prefix")?),
+            "--store" => args.store = Some(iter.next().ok_or("--store needs a directory")?),
+            "--no-store" => args.store = None,
             other => return Err(format!("unknown flag {other} (see the header of dse.rs)")),
         }
     }
@@ -96,18 +108,63 @@ enum Engine {
 }
 
 impl Engine {
-    fn run(&self, grid: &SweepGrid) -> Result<Vec<SweepSeries>, Box<dyn std::error::Error>> {
-        match self {
-            Engine::Threads(options) => Ok(run_sweep(grid, options)?),
+    fn run(
+        &self,
+        grid: &SweepGrid,
+        store: Option<&mut SweepStore>,
+    ) -> Result<(Vec<SweepSeries>, Option<StoreRunReport>), Box<dyn std::error::Error>> {
+        match (self, store) {
+            (Engine::Threads(options), None) => Ok((run_sweep(grid, options)?, None)),
+            (Engine::Threads(options), Some(store)) => {
+                let (series, report) = run_sweep_stored(grid, options, store)?;
+                Ok((series, Some(report)))
+            }
             // The dispatcher's default chunk size and warm-start policy
             // match ExecutorOptions::default(), so both paths produce
             // byte-identical series (timing aside).
-            Engine::Sharded(workers) => Ok(run_sweep_sharded(
-                grid,
-                workers,
-                &DispatchOptions::default(),
-            )?),
+            (Engine::Sharded(workers), None) => Ok((
+                run_sweep_sharded(grid, workers, &DispatchOptions::default())?,
+                None,
+            )),
+            (Engine::Sharded(workers), Some(store)) => {
+                let (series, report) =
+                    run_sweep_sharded_stored(grid, workers, &DispatchOptions::default(), store)?;
+                Ok((series, Some(report)))
+            }
         }
+    }
+}
+
+/// Opens the per-figure store subdirectory when `--store` is active.
+/// Figures share grid points, so each figure gets its own store — a shared
+/// directory would replay one figure's points into another's first run.
+fn open_store(
+    args: &Args,
+    figure_name: &str,
+) -> Result<Option<SweepStore>, Box<dyn std::error::Error>> {
+    match &args.store {
+        Some(root) => {
+            let dir = std::path::Path::new(root).join(figure_name);
+            Ok(Some(SweepStore::open(dir)?))
+        }
+        None => Ok(None),
+    }
+}
+
+fn report_store(figure_name: &str, report: Option<StoreRunReport>, total: &mut StoreRunReport) {
+    if let Some(report) = report {
+        println!(
+            "    store[{figure_name}]: replayed={} units ({} points), computed={} units \
+             ({} points), warm-from-store={}, corrupt={}, version-mismatch={}",
+            report.units_replayed,
+            report.points_replayed,
+            report.units_computed,
+            report.points_computed,
+            report.warm_from_store,
+            report.corrupt_entries,
+            report.version_mismatches
+        );
+        total.absorb(&report);
     }
 }
 
@@ -199,10 +256,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
     let started = Instant::now();
 
+    let mut store_total = StoreRunReport::default();
+
     // ---- Figs. 2–5 from the shared presets.
     for figure in figures::paper_figures(args.quick, args.exact)? {
-        let series = engine.run(&figure.grid)?;
+        let mut store = open_store(&args, figure.name)?;
+        let (series, report) = engine.run(&figure.grid, store.as_mut())?;
         print_series_table(&figure.title, &figure.constraints, &series);
+        report_store(figure.name, report, &mut store_total);
         export_figure(&args, figure.name, &series)?;
     }
 
@@ -210,7 +271,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //      each, also in --quick mode, so CI exercises both new axes on
     //      every push).
     let hetero_figure = figures::hetero_smoke()?;
-    let hetero = engine.run(&hetero_figure.grid)?;
+    let mut hetero_store = open_store(&args, hetero_figure.name)?;
+    let (hetero, hetero_report) = engine.run(&hetero_figure.grid, hetero_store.as_mut())?;
     println!();
     println!("=== {}", hetero_figure.title);
     for s in &hetero {
@@ -234,7 +296,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         hetero_points, 4,
         "both platform points must solve both budget points"
     );
+    report_store(hetero_figure.name, hetero_report, &mut store_total);
     export_figure(&args, hetero_figure.name, &hetero)?;
+
+    if args.store.is_some() {
+        println!();
+        println!(
+            "store total: computed={} points, replayed={} points, warm-from-store={}",
+            store_total.points_computed, store_total.points_replayed, store_total.warm_from_store
+        );
+    }
 
     // ---- Cross-validate a sample of swept designs through the simulator.
     println!();
