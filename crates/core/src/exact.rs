@@ -488,6 +488,7 @@ pub(crate) fn run(
                 dual_hint_used: false,
                 incumbent_used: solution.warm_started(),
             },
+            degraded_from: None,
             timing: StageTiming {
                 total: elapsed,
                 relaxation: Duration::ZERO,

@@ -143,6 +143,7 @@ pub(crate) fn run_pipeline(
                 dual_hint_used: relax_stats.dual_hint_used,
                 incumbent_used,
             },
+            degraded_from: None,
             timing: StageTiming {
                 total: start.elapsed(),
                 relaxation: relaxation_time,

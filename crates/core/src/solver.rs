@@ -87,16 +87,29 @@ impl Deadline {
     ///
     /// # Errors
     ///
-    /// Returns [`AllocError::InvalidArgument`] when `seconds` is non-finite
-    /// or negative — such a budget would otherwise silently become an
-    /// always-expired (or panicking) deadline.
+    /// Returns [`AllocError::InvalidArgument`] when `seconds` is non-finite,
+    /// negative, or too large to represent as a [`Duration`] — such a budget
+    /// would otherwise silently become an always-expired (or panicking)
+    /// deadline.
     pub fn within_seconds(seconds: f64) -> Result<Self, AllocError> {
         if !(seconds.is_finite() && seconds >= 0.0) {
             return Err(AllocError::InvalidArgument(format!(
                 "a deadline budget must be a finite, non-negative number of seconds, got {seconds}"
             )));
         }
-        Ok(Deadline::within(Duration::from_secs_f64(seconds)))
+        // A finite float can still overflow `Duration` (u64 whole seconds),
+        // and a representable `Duration` can still overflow `Instant + budget`
+        // (e.g. 1e19 s): `Duration::from_secs_f64` and `Instant::add` both
+        // panic there, which a wire- or CLI-supplied budget must never be
+        // able to trigger.
+        let overflow = || {
+            AllocError::InvalidArgument(format!(
+                "a deadline budget of {seconds} seconds overflows a Duration"
+            ))
+        };
+        let budget = Duration::try_from_secs_f64(seconds).map_err(|_| overflow())?;
+        let instant = Instant::now().checked_add(budget).ok_or_else(overflow)?;
+        Ok(Deadline { instant })
     }
 
     /// A deadline at an absolute instant.
@@ -719,6 +732,13 @@ pub struct SolveDiagnostics {
     pub gp_dual: Option<DualWarmStart>,
     /// Which warm-start hints the solve actually consumed.
     pub warm_start: WarmStartReport,
+    /// Label of the backend the caller originally requested, when a serving
+    /// layer downgraded the request to a cheaper backend (deadline-aware
+    /// graceful degradation). `None` for every direct solve; backends never
+    /// set this themselves — it is provenance written by the layer that made
+    /// the substitution, so a degraded result is auditable instead of
+    /// silently passing as the requested backend's output.
+    pub degraded_from: Option<String>,
     /// Wall-clock stage timing.
     pub timing: StageTiming,
 }
@@ -852,6 +872,7 @@ impl SolverBackend for GreedyBackend {
                     dual_hint_used: stats.dual_hint_used,
                     incumbent_used: false,
                 },
+                degraded_from: None,
                 timing: StageTiming {
                     total: start.elapsed(),
                     relaxation: relaxation_time,
@@ -1335,6 +1356,7 @@ mod tests {
                         migration_cost: 0.0,
                         gp_dual: None,
                         warm_start: WarmStartReport::default(),
+                        degraded_from: None,
                         timing: StageTiming::default(),
                     },
                 })
@@ -1389,7 +1411,18 @@ mod tests {
 
     #[test]
     fn float_deadline_budgets_are_validated() {
-        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -1.0, -1e-12] {
+        // Finite-but-huge budgets overflow `Duration` and used to panic in
+        // `Duration::from_secs_f64`; they must be typed errors like the
+        // non-finite and negative cases.
+        for bad in [
+            f64::NAN,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            -1.0,
+            -1e-12,
+            1e19,
+            f64::MAX,
+        ] {
             assert!(
                 matches!(
                     Deadline::within_seconds(bad),
@@ -1403,6 +1436,29 @@ mod tests {
         assert!(d.remaining() > Duration::from_secs(3500));
         // A zero budget is a valid, already-exhausted deadline.
         assert!(Deadline::within_seconds(0.0).unwrap().remaining() <= Duration::from_millis(1));
+    }
+
+    #[test]
+    fn exhausted_deadlines_skip_under_lenient_on_every_backend() {
+        // The serving-path contract: an already-expired deadline surfaces as
+        // a skipped point from every backend under the lenient policy —
+        // never a hang, never a panic, never a hard error.
+        let problem = alex16(0.70);
+        for backend in [
+            Backend::gpa(),
+            Backend::gpa_fast(),
+            Backend::greedy(),
+            Backend::exact(),
+        ] {
+            let label = backend.label();
+            let point = SolveRequest::new(&problem)
+                .backend(backend)
+                .deadline(Deadline::expired())
+                .skip_policy(SkipPolicy::Lenient)
+                .solve_point()
+                .unwrap_or_else(|err| panic!("{label}: expired deadline must skip, got {err}"));
+            assert!(point.is_none(), "{label}: expired deadline must skip");
+        }
     }
 
     #[test]

@@ -82,6 +82,13 @@ pub struct DispatchOptions {
     pub warm_start: bool,
     /// A worker holding any lease longer than this is presumed hung: it is
     /// killed and its leases are reassigned. `None` disables the timeout.
+    /// Timeouts below one millisecond are rejected with a typed
+    /// [`DispatchError::Explore`]`(`[`InvalidOptions`]`)` error: a zero (or
+    /// near-zero) timeout makes every lease instantly reassignable, so the
+    /// dispatcher would kill and re-lease forever without any unit ever
+    /// completing — a livelock, not a configuration.
+    ///
+    /// [`InvalidOptions`]: mfa_explore::ExploreError::InvalidOptions
     pub lease_timeout: Option<Duration>,
     /// Maximum leases per unit before the run fails with
     /// [`DispatchError::UnitExhausted`] (a unit that kills every worker it
@@ -247,6 +254,20 @@ fn run_sharded_impl(
         return Err(DispatchError::Explore(
             mfa_explore::ExploreError::InvalidOptions("pipeline_depth must be at least 1".into()),
         ));
+    }
+    if let Some(timeout) = options.lease_timeout {
+        // Sub-millisecond timeouts expire leases the instant they are
+        // granted: every worker is presumed hung before it can answer, its
+        // leases are reassigned, and the run livelocks through kill/re-lease
+        // cycles. Reject them before any worker is spawned.
+        if timeout < Duration::from_millis(1) {
+            return Err(DispatchError::Explore(
+                mfa_explore::ExploreError::InvalidOptions(format!(
+                    "lease_timeout must be at least 1ms (got {timeout:?}); \
+                     use None to disable the timeout entirely"
+                )),
+            ));
+        }
     }
     let units = plan_units(grid, options.chunk_size)?;
 
@@ -727,6 +748,44 @@ mod tests {
         )
         .unwrap_err();
         assert!(matches!(err, DispatchError::Explore(_)), "{err}");
+    }
+
+    #[test]
+    fn sub_millisecond_lease_timeouts_are_rejected_before_spawning() {
+        // A zero (or sub-millisecond) lease timeout expires every lease the
+        // moment it is granted — the dispatcher would kill and re-lease
+        // workers forever. It must be a typed config error, caught before
+        // any worker process is spawned (hence the nonexistent program).
+        for timeout in [Duration::ZERO, Duration::from_micros(999)] {
+            let err = run_sweep_sharded(
+                &tiny_grid(),
+                &[WorkerSpec::spawn("/nonexistent/worker")],
+                &DispatchOptions {
+                    lease_timeout: Some(timeout),
+                    ..DispatchOptions::default()
+                },
+            )
+            .unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    DispatchError::Explore(mfa_explore::ExploreError::InvalidOptions(_))
+                ),
+                "timeout {timeout:?}: expected InvalidOptions, got {err}"
+            );
+        }
+        // Exactly 1ms is the smallest accepted bound; it fails later (on the
+        // nonexistent worker binary), not on validation.
+        let err = run_sweep_sharded(
+            &tiny_grid(),
+            &[WorkerSpec::spawn("/nonexistent/worker")],
+            &DispatchOptions {
+                lease_timeout: Some(Duration::from_millis(1)),
+                ..DispatchOptions::default()
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, DispatchError::Spawn { .. }), "{err}");
     }
 
     #[test]

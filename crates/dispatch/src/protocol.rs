@@ -8,8 +8,8 @@
 //! Session shape (dispatcher is always the initiator):
 //!
 //! ```text
-//! dispatcher → worker   {"type":"job","protocol":3,"warm_start":…,"grid":…}
-//! worker → dispatcher   {"type":"ready","protocol":3}
+//! dispatcher → worker   {"type":"job","protocol":4,"warm_start":…,"grid":…}
+//! worker → dispatcher   {"type":"ready","protocol":4}
 //! dispatcher → worker   {"type":"unit","id":0,"unit":{…},"seeds":[…]}  (repeated)
 //! worker → dispatcher   {"type":"result","id":0,"points":[…],
 //!                        "warms":[…],"warm_from_store":0}              (one per unit)
@@ -28,10 +28,14 @@ use mfa_platform::ResourceBudget;
 
 use mfa_explore::{SweepGrid, SweepPoint, WorkUnit};
 
-/// Version tag carried by `job`/`ready` frames. Bump on any incompatible
-/// frame or payload change. v3 added store-neighbour warm-start seeds to
-/// `unit` frames and per-point warm states to `result` frames.
-pub const PROTOCOL_VERSION: usize = 3;
+/// Version tag carried by `job`/`ready` frames — and by the allocation
+/// service's `hello`/`ready` frames, which share this version space so one
+/// constant governs every JSON-lines peer in the workspace. Bump on any
+/// incompatible frame or payload change. v3 added store-neighbour warm-start
+/// seeds to `unit` frames and per-point warm states to `result` frames; v4
+/// introduced the serve-session frame family (`mfa_serve::protocol` —
+/// `solve`/`report`/`rejected`) alongside the unchanged sweep frames.
+pub const PROTOCOL_VERSION: usize = 4;
 
 /// A frame sent from the dispatcher to a worker.
 #[derive(Debug, Clone, PartialEq)]

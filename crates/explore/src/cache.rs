@@ -100,8 +100,19 @@ impl WarmStartCache {
 
     /// Records the warm-start state of a solved budget point, evicting the
     /// oldest entry first when the cache is at capacity.
+    ///
+    /// Re-inserting an already-cached budget refreshes that entry *in place*
+    /// (keeping its FIFO age): a long-lived cache fed repeated keys — a
+    /// serving daemon seeing the same tenant's budget over and over — must
+    /// not accumulate duplicates that consume capacity and FIFO-evict a live
+    /// neighbour. The cache therefore never holds more entries than distinct
+    /// budgets inserted.
     pub fn insert(&mut self, budget: &ResourceBudget, warm: WarmStart) {
         if self.capacity == 0 {
+            return;
+        }
+        if let Some(entry) = self.entries.iter_mut().find(|(b, _)| b == budget) {
+            entry.1 = warm;
             return;
         }
         if self.entries.len() == self.capacity {
@@ -235,6 +246,25 @@ mod tests {
     }
 
     #[test]
+    fn reinserting_a_cached_budget_refreshes_in_place() {
+        // Duplicate keys used to append, consuming capacity and FIFO-evicting
+        // a live neighbour; a refresh must update the entry instead.
+        let mut cache = WarmStartCache::with_capacity(2);
+        cache.insert(&ResourceBudget::uniform(0.5), warm(1.0));
+        cache.insert(&ResourceBudget::uniform(0.9), warm(2.0));
+        for _ in 0..10 {
+            cache.insert(&ResourceBudget::uniform(0.5), warm(3.0));
+        }
+        assert_eq!(cache.len(), 2);
+        // The refreshed entry serves the new state…
+        let hit = cache.nearest(&ResourceBudget::uniform(0.5)).unwrap();
+        assert!((hit.relaxed_ii_ms.unwrap() - 3.0).abs() < 1e-12);
+        // …and its neighbour was never evicted.
+        let other = cache.nearest(&ResourceBudget::uniform(0.9)).unwrap();
+        assert!((other.relaxed_ii_ms.unwrap() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
     fn zero_capacity_caches_nothing() {
         let mut cache = WarmStartCache::with_capacity(0);
         cache.insert(&ResourceBudget::uniform(0.5), warm(1.0));
@@ -258,5 +288,31 @@ mod tests {
         let b = ResourceBudget::uniform(0.85);
         assert!((budget_distance(&a, &b) - 2.0 * 0.30).abs() < 1e-12);
         assert_eq!(budget_distance(&a, &a), 0.0);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// The duplicate-key invariant: however inserts repeat, the cache
+            /// never holds more entries than distinct budgets (and never more
+            /// than its capacity).
+            #[test]
+            fn len_never_exceeds_distinct_keys(
+                keys in proptest::collection::vec(1usize..=8, 0usize..64),
+                capacity in 0usize..6,
+            ) {
+                let mut cache = WarmStartCache::with_capacity(capacity);
+                let mut distinct = std::collections::BTreeSet::new();
+                for (step, key) in keys.into_iter().enumerate() {
+                    let budget = ResourceBudget::uniform(key as f64 / 10.0);
+                    cache.insert(&budget, warm(step as f64));
+                    distinct.insert(key);
+                    prop_assert!(cache.len() <= distinct.len());
+                    prop_assert!(cache.len() <= capacity);
+                }
+            }
+        }
     }
 }

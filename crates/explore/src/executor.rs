@@ -582,9 +582,12 @@ pub fn compute_unit_hinted(
             .warm_start(hint)
             .skip_policy(grid.skip_policy);
         if let Some(seconds) = grid.point_deadline_seconds {
-            request = request.deadline(Deadline::within(std::time::Duration::from_secs_f64(
-                seconds,
-            )));
+            // The builder validated this at grid construction, but the
+            // conversion stays panic-free regardless: a malformed float
+            // surfaces as a typed error, never a `from_secs_f64` panic.
+            let deadline = Deadline::within_seconds(seconds)
+                .map_err(|err| ExploreError::InvalidOptions(err.to_string()))?;
+            request = request.deadline(deadline);
         }
         match request.solve_point() {
             Ok(Some(report)) => {

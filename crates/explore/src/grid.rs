@@ -421,7 +421,9 @@ impl SweepGridBuilder {
     /// Returns [`ExploreError::InvalidGrid`] when an axis is empty, an FPGA
     /// count is zero, or a uniform constraint is not a fraction in `(0, 1]`
     /// (per-resource budget points are validated by [`ResourceBudget`]'s own
-    /// constructors).
+    /// constructors), and [`ExploreError::InvalidOptions`] when the per-point
+    /// deadline is NaN, negative, infinite, or too large for a
+    /// [`std::time::Duration`].
     pub fn build(self) -> Result<SweepGrid, ExploreError> {
         if self.cases.is_empty() {
             return Err(ExploreError::InvalidGrid("no cases on the grid".into()));
@@ -458,9 +460,16 @@ impl SweepGridBuilder {
             )));
         }
         if let Some(seconds) = self.point_deadline_seconds {
-            if !(seconds.is_finite() && seconds >= 0.0) {
-                return Err(ExploreError::InvalidGrid(format!(
-                    "the per-point deadline must be a non-negative number of seconds, got {seconds}"
+            // The executor turns this into a `Deadline` per point; NaN,
+            // negative, infinite *and* Duration-overflowing (huge finite)
+            // values would all panic inside `Duration::from_secs_f64` there,
+            // so every one of them must die here as a typed error. The
+            // deadline is an executor rider, not a grid axis, hence
+            // `InvalidOptions` rather than `InvalidGrid`.
+            if mfa_alloc::Deadline::within_seconds(seconds).is_err() {
+                return Err(ExploreError::InvalidOptions(format!(
+                    "the per-point deadline must be a non-negative number of \
+                     seconds representable as a Duration, got {seconds}"
                 )));
             }
         }
@@ -531,6 +540,37 @@ mod tests {
         assert_eq!(grid.series_key(2), (0, 1, 0));
         assert_eq!(grid.series_key(6), (1, 0, 0));
         assert_eq!(grid.series_key(11), (1, 2, 1));
+    }
+
+    #[test]
+    fn malformed_point_deadlines_are_typed_errors() {
+        // Regression: 1e19 seconds is finite and non-negative, so it used to
+        // pass validation — and then panic inside `Duration::from_secs_f64`
+        // when the executor built the per-point deadline. Every malformed
+        // budget must be an `InvalidOptions` error at build time instead.
+        for bad in [f64::NAN, -1.0, f64::INFINITY, f64::NEG_INFINITY, 1e19] {
+            let result = SweepGrid::builder()
+                .case(CaseSpec::from_paper(PaperCase::Alex16OnTwoFpgas))
+                .fpga_counts([2])
+                .constraints([0.7])
+                .backend(SolverSpec::gpa(GpaOptions::fast()))
+                .point_deadline_seconds(bad)
+                .build();
+            assert!(
+                matches!(result, Err(ExploreError::InvalidOptions(_))),
+                "deadline {bad} must be rejected, got {result:?}"
+            );
+        }
+        // Zero stays valid: an already-exhausted deadline is how strict
+        // sweeps probe the deadline paths deterministically.
+        assert!(SweepGrid::builder()
+            .case(CaseSpec::from_paper(PaperCase::Alex16OnTwoFpgas))
+            .fpga_counts([2])
+            .constraints([0.7])
+            .backend(SolverSpec::gpa(GpaOptions::fast()))
+            .point_deadline_seconds(0.0)
+            .build()
+            .is_ok());
     }
 
     #[test]

@@ -302,7 +302,16 @@ fn kernel_from_json(value: &Json) -> Result<Kernel, WireError> {
     .map_err(|err| WireError::Invalid(err.to_string()))
 }
 
-pub(crate) fn problem_to_json(p: &AllocationProblem) -> Result<Json, WireError> {
+/// Encodes a full [`AllocationProblem`] (kernels, platform, budget, goal
+/// weights) as a [`Json`] object. This is the canonical problem encoding:
+/// content fingerprints and the allocation-service request frames both hash
+/// and ship it, so its field order is part of the stable wire format.
+///
+/// # Errors
+///
+/// Returns [`WireError::NonFinite`] if any float in the problem is NaN or
+/// infinite (a validated problem never contains one).
+pub fn problem_to_json(p: &AllocationProblem) -> Result<Json, WireError> {
     let kernels = p
         .kernels()
         .iter()
@@ -322,7 +331,16 @@ pub(crate) fn problem_to_json(p: &AllocationProblem) -> Result<Json, WireError> 
     ]))
 }
 
-fn problem_from_json(value: &Json) -> Result<AllocationProblem, WireError> {
+/// Decodes an [`AllocationProblem`] from its [`problem_to_json`] encoding,
+/// re-validating through the problem builder so a malformed document
+/// surfaces as a [`WireError`] instead of an inconsistent problem.
+///
+/// # Errors
+///
+/// Returns [`WireError::Schema`] on shape mismatches and
+/// [`WireError::Invalid`] when the decoded fields violate the problem's own
+/// invariants.
+pub fn problem_from_json(value: &Json) -> Result<AllocationProblem, WireError> {
     let kernels = arr_field(value, "kernels")?
         .iter()
         .map(kernel_from_json)

@@ -1,0 +1,92 @@
+//! `serve` — the allocation-as-a-service daemon.
+//!
+//! ```text
+//! serve --listen ADDR [FLAGS]
+//!   --listen ADDR        bind ADDR (e.g. 127.0.0.1:0), print the bound
+//!                        address to stdout, then serve until a client sends
+//!                        a shutdown frame
+//!   --workers N          solver worker threads (default 2)
+//!   --queue N            admission queue capacity (default 64)
+//!   --batch N            requests a worker claims per queue pass (default 4)
+//!   --degrade-margin-ms N  remaining-deadline threshold below which requests
+//!                        degrade to the greedy backend (default 50)
+//!   --no-warm-start      disable the fingerprint-keyed warm-start cache
+//! ```
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use mfa_serve::{ServeHandle, ServeOptions};
+
+struct Args {
+    listen: String,
+    options: ServeOptions,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut listen = None;
+    let mut options = ServeOptions::default();
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        let mut count_flag = |name: &str| -> Result<usize, String> {
+            iter.next()
+                .ok_or(format!("{name} needs a value"))?
+                .parse()
+                .map_err(|_| format!("{name} needs a nonnegative integer"))
+        };
+        match arg.as_str() {
+            "--listen" => {
+                listen = Some(iter.next().ok_or("--listen needs an address")?);
+            }
+            "--workers" => options.workers = count_flag("--workers")?,
+            "--queue" => options.queue_capacity = count_flag("--queue")?,
+            "--batch" => options.batch_size = count_flag("--batch")?,
+            "--degrade-margin-ms" => {
+                options.degrade_margin =
+                    Duration::from_millis(count_flag("--degrade-margin-ms")? as u64);
+            }
+            "--no-warm-start" => options.warm_start = false,
+            other => {
+                return Err(format!("unknown flag {other} (see the header of serve.rs)"));
+            }
+        }
+    }
+    Ok(Args {
+        listen: listen.ok_or("--listen is required (e.g. --listen 127.0.0.1:0)")?,
+        options,
+    })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("serve: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let handle = match ServeHandle::spawn(&args.listen, args.options) {
+        Ok(handle) => handle,
+        Err(err) => {
+            eprintln!("serve: cannot bind {}: {err}", args.listen);
+            return ExitCode::FAILURE;
+        }
+    };
+    // Print the bound address (resolves :0 to the actual port) so a parent
+    // process can point clients at it — same convention as sweep-worker.
+    println!("listening on {}", handle.local_addr());
+    let _ = std::io::Write::flush(&mut std::io::stdout());
+
+    // The daemon runs until a client's shutdown frame flips the stop flag;
+    // park-and-poll keeps the main thread cheap without a dedicated signal.
+    while !handle.is_stopped() {
+        std::thread::park_timeout(Duration::from_millis(200));
+    }
+    let stats = handle.stats();
+    handle.stop();
+    println!(
+        "served={} degraded={} rejected={} skipped={} decode_errors={}",
+        stats.served, stats.degraded, stats.rejected, stats.skipped, stats.decode_errors
+    );
+    ExitCode::SUCCESS
+}

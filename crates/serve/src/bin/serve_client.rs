@@ -1,0 +1,145 @@
+//! `serve-client` — a one-shot CLI client of the allocation daemon.
+//!
+//! ```text
+//! serve-client --connect ADDR [FLAGS]
+//!   --connect ADDR       daemon address (as printed by `serve`)
+//!   --case NAME          paper case: alex16 (default), alex32, vgg
+//!   --constraint F       uniform resource constraint in (0, 1] (default 0.7)
+//!   --backend NAME       gpa (default), gpa-fast, greedy, exact
+//!   --deadline-ms F      wall-clock budget in milliseconds (default: none)
+//!   --no-warm            opt this request out of the warm-start cache
+//!   --shutdown           send a shutdown frame instead of a solve request
+//! ```
+
+use std::process::ExitCode;
+
+use mfa_alloc::cases::PaperCase;
+use mfa_serve::{BackendKind, ServeClient, SolveReply};
+
+struct Args {
+    connect: String,
+    case: PaperCase,
+    constraint: f64,
+    backend: BackendKind,
+    deadline_ms: Option<f64>,
+    warm: bool,
+    shutdown: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        connect: String::new(),
+        case: PaperCase::Alex16OnTwoFpgas,
+        constraint: 0.7,
+        backend: BackendKind::Gpa,
+        deadline_ms: None,
+        warm: true,
+        shutdown: false,
+    };
+    let mut connect = None;
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--connect" => connect = Some(iter.next().ok_or("--connect needs an address")?),
+            "--case" => {
+                args.case = match iter.next().ok_or("--case needs a name")?.as_str() {
+                    "alex16" => PaperCase::Alex16OnTwoFpgas,
+                    "alex32" => PaperCase::Alex32OnFourFpgas,
+                    "vgg" => PaperCase::VggOnEightFpgas,
+                    other => return Err(format!("unknown case '{other}'")),
+                };
+            }
+            "--constraint" => {
+                args.constraint = iter
+                    .next()
+                    .ok_or("--constraint needs a value")?
+                    .parse()
+                    .map_err(|_| "--constraint needs a number".to_owned())?;
+            }
+            "--backend" => {
+                let name = iter.next().ok_or("--backend needs a name")?;
+                args.backend = BackendKind::from_wire_label(&name)
+                    .ok_or(format!("unknown backend '{name}'"))?;
+            }
+            "--deadline-ms" => {
+                args.deadline_ms = Some(
+                    iter.next()
+                        .ok_or("--deadline-ms needs a value")?
+                        .parse()
+                        .map_err(|_| "--deadline-ms needs a number".to_owned())?,
+                );
+            }
+            "--no-warm" => args.warm = false,
+            "--shutdown" => args.shutdown = true,
+            other => {
+                return Err(format!(
+                    "unknown flag {other} (see the header of serve_client.rs)"
+                ))
+            }
+        }
+    }
+    args.connect = connect.ok_or("--connect is required")?;
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("serve-client: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let result = (|| -> Result<ExitCode, Box<dyn std::error::Error>> {
+        let mut client = ServeClient::connect(&args.connect)?;
+        if args.shutdown {
+            client.shutdown()?;
+            println!("shutdown sent");
+            return Ok(ExitCode::SUCCESS);
+        }
+        let problem = args.case.problem(args.constraint)?;
+        let reply = client.solve(
+            &problem,
+            args.backend,
+            args.deadline_ms.map(|ms| ms / 1e3),
+            args.warm,
+        )?;
+        match reply {
+            SolveReply::Report(outcome) => {
+                let degraded = match &outcome.degraded_from {
+                    Some(from) => format!(" (degraded from {from})"),
+                    None => String::new(),
+                };
+                println!(
+                    "II = {:.4} ms  backend = {}{degraded}  warm = {}  cache_hit = {}  \
+                     solve = {:.2} ms  queue = {:.2} ms",
+                    outcome.ii_ms,
+                    outcome.backend,
+                    outcome.warm_start,
+                    outcome.cache_hit,
+                    outcome.solve_ms,
+                    outcome.queue_ms,
+                );
+                Ok(ExitCode::SUCCESS)
+            }
+            SolveReply::Rejected {
+                queue_depth,
+                capacity,
+            } => {
+                println!("rejected: queue {queue_depth}/{capacity} full");
+                Ok(ExitCode::FAILURE)
+            }
+            SolveReply::Skipped { reason } => {
+                println!("skipped: {reason}");
+                Ok(ExitCode::FAILURE)
+            }
+        }
+    })();
+    match result {
+        Ok(code) => code,
+        Err(err) => {
+            eprintln!("serve-client: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,208 @@
+//! The daemon's cross-request warm-start cache.
+//!
+//! The sweep executor's [`WarmStartCache`] warms neighbouring budget points
+//! *within one grid*; the daemon generalizes it across arbitrary requests by
+//! keying caches on a content [`Fingerprint`] of the request *family* — the
+//! canonical wire encoding of the problem with the budget erased, plus the
+//! label of the backend that serves it. Two requests share a family exactly
+//! when they solve the same kernels on the same platform with the same goal
+//! weights and backend; within a family, budgets index a [`WarmStartCache`]
+//! so the nearest solved budget (under
+//! [`budget_distance`](mfa_explore::budget_distance)) seeds each new solve.
+//!
+//! Erasing the budget from the family key is what makes the cache useful
+//! under multi-tenant load: a tenant sweeping budgets for one application
+//! lands every request in one family, and each solve warms from its nearest
+//! predecessor — including the exact same budget on a repeat request, whose
+//! refreshed entry hands back the solved point's own GP dual state.
+
+use mfa_alloc::fingerprint::Fingerprint;
+use mfa_alloc::solver::WarmStart;
+use mfa_alloc::AllocationProblem;
+use mfa_explore::json::Json;
+use mfa_explore::wire::{problem_to_json, WireError};
+use mfa_explore::WarmStartCache;
+use mfa_platform::ResourceBudget;
+
+use crate::protocol::PROTOCOL_VERSION;
+
+/// Computes the cache-family fingerprint of a request: the problem's
+/// canonical wire JSON with the `budget` field erased, plus the serving
+/// backend's label, hashed under the protocol version.
+///
+/// # Errors
+///
+/// Returns [`WireError::NonFinite`] when the problem carries a NaN/infinite
+/// float (a validated problem never does).
+pub fn family_fingerprint(
+    problem: &AllocationProblem,
+    backend_label: &str,
+) -> Result<Fingerprint, WireError> {
+    let mut doc = problem_to_json(problem)?;
+    if let Json::Obj(pairs) = &mut doc {
+        pairs.retain(|(key, _)| key != "budget");
+    }
+    Ok(Fingerprint::of_parts(
+        PROTOCOL_VERSION as u64,
+        &[backend_label, &doc.to_string()],
+    ))
+}
+
+/// Fingerprint-keyed warm-start store: one bounded [`WarmStartCache`] per
+/// request family, with FIFO eviction of whole families once
+/// `family_capacity` is reached (the same deterministic bounded-growth
+/// policy the per-family caches use for budgets).
+#[derive(Debug)]
+pub struct ServeCache {
+    families: Vec<(Fingerprint, WarmStartCache)>,
+    family_capacity: usize,
+    budget_capacity: usize,
+}
+
+impl ServeCache {
+    /// An empty cache holding at most `family_capacity` families of at most
+    /// `budget_capacity` budget entries each. A zero `family_capacity`
+    /// caches nothing.
+    pub fn new(family_capacity: usize, budget_capacity: usize) -> Self {
+        ServeCache {
+            families: Vec::new(),
+            family_capacity,
+            budget_capacity,
+        }
+    }
+
+    /// Number of families currently cached.
+    pub fn len(&self) -> usize {
+        self.families.len()
+    }
+
+    /// `true` when no family has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.families.is_empty()
+    }
+
+    /// The warm-start state of the solved budget nearest to `budget` within
+    /// `family`, if that family has any entries.
+    pub fn lookup(&self, family: Fingerprint, budget: &ResourceBudget) -> Option<WarmStart> {
+        self.families
+            .iter()
+            .find(|(fp, _)| *fp == family)
+            .and_then(|(_, cache)| cache.nearest(budget))
+            .cloned()
+    }
+
+    /// Records the warm-start state a solved request published, creating the
+    /// family (and evicting the oldest one when at capacity) if needed.
+    pub fn record(&mut self, family: Fingerprint, budget: &ResourceBudget, warm: WarmStart) {
+        if self.family_capacity == 0 {
+            return;
+        }
+        if let Some((_, cache)) = self.families.iter_mut().find(|(fp, _)| *fp == family) {
+            cache.insert(budget, warm);
+            return;
+        }
+        if self.families.len() == self.family_capacity {
+            self.families.remove(0);
+        }
+        let mut cache = WarmStartCache::with_capacity(self.budget_capacity);
+        cache.insert(budget, warm);
+        self.families.push((family, cache));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mfa_alloc::cases::PaperCase;
+
+    fn warm(ii: f64) -> WarmStart {
+        WarmStart::none().with_relaxed_ii(ii)
+    }
+
+    #[test]
+    fn family_key_erases_the_budget() {
+        let loose = PaperCase::Alex16OnTwoFpgas.problem(0.8).unwrap();
+        let tight = PaperCase::Alex16OnTwoFpgas.problem(0.6).unwrap();
+        assert_eq!(
+            family_fingerprint(&loose, "GP+A").unwrap(),
+            family_fingerprint(&tight, "GP+A").unwrap(),
+        );
+        // …while the backend label and the problem content both matter.
+        assert_ne!(
+            family_fingerprint(&loose, "GP+A").unwrap(),
+            family_fingerprint(&loose, "Greedy").unwrap(),
+        );
+        let other_case = PaperCase::Alex32OnFourFpgas.problem(0.8).unwrap();
+        assert_ne!(
+            family_fingerprint(&loose, "GP+A").unwrap(),
+            family_fingerprint(&other_case, "GP+A").unwrap(),
+        );
+    }
+
+    #[test]
+    fn lookup_warms_from_the_nearest_budget_in_the_right_family() {
+        let mut cache = ServeCache::new(4, 8);
+        let fam_a = Fingerprint::of_parts(1, &["a"]);
+        let fam_b = Fingerprint::of_parts(1, &["b"]);
+        assert!(cache.is_empty());
+        cache.record(fam_a, &ResourceBudget::uniform(0.55), warm(2.0));
+        cache.record(fam_a, &ResourceBudget::uniform(0.85), warm(1.0));
+        cache.record(fam_b, &ResourceBudget::uniform(0.60), warm(9.0));
+        assert_eq!(cache.len(), 2);
+        let hit = cache.lookup(fam_a, &ResourceBudget::uniform(0.60)).unwrap();
+        assert!((hit.relaxed_ii_ms.unwrap() - 2.0).abs() < 1e-12);
+        // The other family's entry at 0.60 exactly never leaks across.
+        let far = cache.lookup(fam_a, &ResourceBudget::uniform(0.80)).unwrap();
+        assert!((far.relaxed_ii_ms.unwrap() - 1.0).abs() < 1e-12);
+        assert!(cache
+            .lookup(
+                Fingerprint::of_parts(1, &["c"]),
+                &ResourceBudget::uniform(0.6)
+            )
+            .is_none());
+    }
+
+    #[test]
+    fn family_eviction_is_fifo_and_bounded() {
+        let mut cache = ServeCache::new(2, 8);
+        for (i, name) in ["a", "b", "c"].iter().enumerate() {
+            cache.record(
+                Fingerprint::of_parts(1, &[name]),
+                &ResourceBudget::uniform(0.5),
+                warm(i as f64),
+            );
+        }
+        assert_eq!(cache.len(), 2);
+        // The oldest family ("a") is gone; "b" and "c" remain.
+        assert!(cache
+            .lookup(
+                Fingerprint::of_parts(1, &["a"]),
+                &ResourceBudget::uniform(0.5)
+            )
+            .is_none());
+        assert!(cache
+            .lookup(
+                Fingerprint::of_parts(1, &["b"]),
+                &ResourceBudget::uniform(0.5)
+            )
+            .is_some());
+        // Touching an existing family refreshes it in place, no growth.
+        cache.record(
+            Fingerprint::of_parts(1, &["b"]),
+            &ResourceBudget::uniform(0.5),
+            warm(7.0),
+        );
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn zero_family_capacity_caches_nothing() {
+        let mut cache = ServeCache::new(0, 8);
+        cache.record(
+            Fingerprint::of_parts(1, &["a"]),
+            &ResourceBudget::uniform(0.5),
+            warm(1.0),
+        );
+        assert!(cache.is_empty());
+    }
+}

@@ -1,0 +1,540 @@
+//! The allocation daemon: accept loop, bounded admission queue, solver
+//! worker pool, and the deadline-aware degradation policy.
+
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use mfa_alloc::solver::{Backend, Deadline, SkipPolicy, SolveRequest, WarmStart};
+use mfa_alloc::{AllocError, AllocationProblem};
+
+use crate::cache::{family_fingerprint, ServeCache};
+use crate::error::ServeError;
+use crate::protocol::{BackendKind, FromServe, SolveOutcome, ToServe, PROTOCOL_VERSION};
+
+/// Configuration of a [`ServeHandle`].
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Bound on requests admitted but not yet solved. A `solve` frame
+    /// arriving at a full queue is answered with [`FromServe::Rejected`]
+    /// instead of being buffered without limit.
+    pub queue_capacity: usize,
+    /// Solver worker threads draining the queue. `0` is admission-only — no
+    /// request is ever solved — which exists so tests can fill the queue
+    /// deterministically and observe the rejection path.
+    pub workers: usize,
+    /// Requests a worker claims from the queue in one batch. Batching keeps
+    /// queue-lock traffic low and lets neighbouring requests of one burst
+    /// warm-start each other back to back.
+    pub batch_size: usize,
+    /// Remaining-deadline threshold below which a non-greedy request is
+    /// degraded to [`Backend::greedy`] instead of being started (and then
+    /// almost certainly dying to [`AllocError::DeadlineExceeded`]).
+    pub degrade_margin: Duration,
+    /// Whether solves consult and feed the fingerprint-keyed warm-start
+    /// cache (individual requests can still opt out per frame).
+    pub warm_start: bool,
+    /// Bound on distinct request families the cache holds (FIFO eviction).
+    pub family_capacity: usize,
+    /// Bound on budget entries cached per family.
+    pub budget_capacity: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            queue_capacity: 64,
+            workers: 2,
+            batch_size: 4,
+            degrade_margin: Duration::from_millis(50),
+            warm_start: true,
+            family_capacity: 32,
+            budget_capacity: mfa_explore::DEFAULT_CACHE_CAPACITY,
+        }
+    }
+}
+
+/// A snapshot of the daemon's monotonic counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Requests answered with a [`FromServe::Report`].
+    pub served: usize,
+    /// Served requests that ran on a downgraded backend.
+    pub degraded: usize,
+    /// Requests refused at admission because the queue was full.
+    pub rejected: usize,
+    /// Requests answered with [`FromServe::Skipped`] (no solution at this
+    /// point under the lenient policy).
+    pub skipped: usize,
+    /// Client lines that failed to decode.
+    pub decode_errors: usize,
+}
+
+/// One admitted request waiting for a solver worker.
+struct Job {
+    id: usize,
+    problem: AllocationProblem,
+    backend: BackendKind,
+    deadline: Option<Deadline>,
+    warm: bool,
+    admitted: Instant,
+    writer: Arc<Mutex<TcpStream>>,
+}
+
+/// State shared by the accept loop, connection readers, and solver workers.
+struct Shared {
+    stop: AtomicBool,
+    options: ServeOptions,
+    queue: Mutex<VecDeque<Job>>,
+    queue_cv: Condvar,
+    cache: Mutex<ServeCache>,
+    served: AtomicUsize,
+    degraded: AtomicUsize,
+    rejected: AtomicUsize,
+    skipped: AtomicUsize,
+    decode_errors: AtomicUsize,
+}
+
+/// A running allocation daemon bound to a TCP address.
+///
+/// [`spawn`](ServeHandle::spawn) binds the listener and starts the accept
+/// loop plus the solver workers; [`stop`](ServeHandle::stop) shuts all of
+/// them down and joins them. Each client connection is served by its own
+/// reader thread, which exits when the client disconnects.
+pub struct ServeHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServeHandle {
+    /// Binds `addr` (e.g. `127.0.0.1:0`) and starts the daemon.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Io`] when the address cannot be bound.
+    pub fn spawn(addr: &str, options: ServeOptions) -> Result<ServeHandle, ServeError> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            stop: AtomicBool::new(false),
+            cache: Mutex::new(ServeCache::new(
+                options.family_capacity,
+                options.budget_capacity,
+            )),
+            options,
+            queue: Mutex::new(VecDeque::new()),
+            queue_cv: Condvar::new(),
+            served: AtomicUsize::new(0),
+            degraded: AtomicUsize::new(0),
+            rejected: AtomicUsize::new(0),
+            skipped: AtomicUsize::new(0),
+            decode_errors: AtomicUsize::new(0),
+        });
+        let workers = (0..shared.options.workers)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        let accept = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || accept_loop(&listener, &shared))
+        };
+        Ok(ServeHandle {
+            addr: local,
+            shared,
+            accept: Some(accept),
+            workers,
+        })
+    }
+
+    /// The bound address (with `:0` resolved to the actual port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// `true` once the daemon has been asked to stop (by a client's
+    /// shutdown frame or a concurrent [`stop`](Self::stop)); the `serve`
+    /// binary polls this to know when to exit.
+    pub fn is_stopped(&self) -> bool {
+        self.shared.stop.load(Ordering::SeqCst)
+    }
+
+    /// A snapshot of the daemon's counters.
+    pub fn stats(&self) -> ServeStats {
+        ServeStats {
+            served: self.shared.served.load(Ordering::Relaxed),
+            degraded: self.shared.degraded.load(Ordering::Relaxed),
+            rejected: self.shared.rejected.load(Ordering::Relaxed),
+            skipped: self.shared.skipped.load(Ordering::Relaxed),
+            decode_errors: self.shared.decode_errors.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stops the daemon: wakes the accept loop and the workers, then joins
+    /// them. Jobs still queued are dropped unanswered; connection reader
+    /// threads exit when their clients disconnect.
+    pub fn stop(mut self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        self.shared.queue_cv.notify_all();
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    for stream in listener.incoming() {
+        if shared.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        match stream {
+            Ok(stream) => {
+                let _ = stream.set_nodelay(true);
+                let shared = Arc::clone(shared);
+                // Reader threads are not joined: they exit at client EOF.
+                std::thread::spawn(move || connection_loop(stream, &shared));
+            }
+            Err(err) => {
+                eprintln!("serve: accept failed: {err}");
+            }
+        }
+    }
+}
+
+/// Serves one client connection: decodes frames, answers the handshake,
+/// admits solve requests into the bounded queue, and honours shutdown.
+fn connection_loop(stream: TcpStream, shared: &Arc<Shared>) {
+    let writer = Arc::new(Mutex::new(match stream.try_clone() {
+        Ok(clone) => clone,
+        Err(err) => {
+            eprintln!("serve: cannot clone connection: {err}");
+            return;
+        }
+    }));
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        if shared.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => return,
+            Ok(_) => {}
+            Err(err) => {
+                eprintln!("serve: connection read failed: {err}");
+                return;
+            }
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        match ToServe::decode(line.trim_end()) {
+            Ok(ToServe::Hello { protocol }) => {
+                if protocol != PROTOCOL_VERSION {
+                    let _ = write_frame(
+                        &writer,
+                        &FromServe::Error {
+                            id: 0,
+                            message: format!(
+                                "protocol version skew: daemon speaks {PROTOCOL_VERSION}, \
+                                 client sent {protocol}"
+                            ),
+                        },
+                    );
+                    return;
+                }
+                let _ = write_frame(
+                    &writer,
+                    &FromServe::Ready {
+                        protocol: PROTOCOL_VERSION,
+                    },
+                );
+            }
+            Ok(ToServe::Solve {
+                id,
+                problem,
+                backend,
+                deadline_seconds,
+                warm,
+            }) => {
+                admit(
+                    shared,
+                    &writer,
+                    id,
+                    problem,
+                    backend,
+                    deadline_seconds,
+                    warm,
+                );
+            }
+            Ok(ToServe::Shutdown) => {
+                shared.stop.store(true, Ordering::SeqCst);
+                shared.queue_cv.notify_all();
+                // Unblock the accept loop exactly like `ServeHandle::stop`.
+                if let Ok(Ok(local)) = writer.lock().map(|w| w.local_addr()) {
+                    let _ = TcpStream::connect(local);
+                }
+                return;
+            }
+            Err(err) => {
+                shared.decode_errors.fetch_add(1, Ordering::Relaxed);
+                let _ = write_frame(
+                    &writer,
+                    &FromServe::Error {
+                        id: 0,
+                        message: format!("malformed frame: {err}"),
+                    },
+                );
+                // A stream that desynchronized once cannot be trusted to
+                // frame the next line either.
+                return;
+            }
+        }
+    }
+}
+
+/// Admission control: validates the deadline, then either enqueues the
+/// request or answers [`FromServe::Rejected`] when the queue is full.
+#[allow(clippy::too_many_arguments)]
+fn admit(
+    shared: &Arc<Shared>,
+    writer: &Arc<Mutex<TcpStream>>,
+    id: usize,
+    problem: AllocationProblem,
+    backend: BackendKind,
+    deadline_seconds: Option<f64>,
+    warm: bool,
+) {
+    // The deadline clock starts at admission: queue wait burns budget, which
+    // is exactly what lets the degradation policy fire on queued requests.
+    let deadline = match deadline_seconds.map(Deadline::within_seconds).transpose() {
+        Ok(deadline) => deadline,
+        Err(err) => {
+            let _ = write_frame(
+                writer,
+                &FromServe::Error {
+                    id,
+                    message: err.to_string(),
+                },
+            );
+            return;
+        }
+    };
+    let job = Job {
+        id,
+        problem,
+        backend,
+        deadline,
+        warm,
+        admitted: Instant::now(),
+        writer: Arc::clone(writer),
+    };
+    let rejected = {
+        let mut queue = shared.queue.lock().expect("queue mutex poisoned");
+        if queue.len() >= shared.options.queue_capacity {
+            Some(queue.len())
+        } else {
+            queue.push_back(job);
+            shared.queue_cv.notify_one();
+            None
+        }
+    };
+    if let Some(queue_depth) = rejected {
+        shared.rejected.fetch_add(1, Ordering::Relaxed);
+        let _ = write_frame(
+            writer,
+            &FromServe::Rejected {
+                id,
+                queue_depth,
+                capacity: shared.options.queue_capacity,
+            },
+        );
+    }
+}
+
+/// One solver worker: claims batches off the queue and serves them.
+fn worker_loop(shared: &Arc<Shared>) {
+    loop {
+        let batch = {
+            let mut queue = shared.queue.lock().expect("queue mutex poisoned");
+            while queue.is_empty() && !shared.stop.load(Ordering::SeqCst) {
+                queue = shared.queue_cv.wait(queue).expect("queue mutex poisoned");
+            }
+            if shared.stop.load(Ordering::SeqCst) {
+                return;
+            }
+            let take = shared.options.batch_size.max(1).min(queue.len());
+            queue.drain(..take).collect::<Vec<_>>()
+        };
+        for job in batch {
+            let writer = Arc::clone(&job.writer);
+            let reply = serve_one(shared, job);
+            let _ = write_frame(&writer, &reply);
+        }
+    }
+}
+
+/// Serves one admitted request end to end: degradation decision, cache
+/// lookup, solve, cache update, reply construction.
+fn serve_one(shared: &Arc<Shared>, job: Job) -> FromServe {
+    let requested = job.backend.backend();
+    let requested_label = requested.label().to_owned();
+
+    // Deadline-aware graceful degradation: a request whose remaining budget
+    // cannot plausibly fund the requested backend is downgraded to the
+    // greedy fallback — run *without* the doomed deadline — instead of being
+    // admitted into a solve that would only die to DeadlineExceeded. A
+    // degraded result is still a real allocation; the substitution is
+    // recorded in the report's provenance.
+    let starved = job
+        .deadline
+        .map(|d| d.is_expired() || d.remaining() < shared.options.degrade_margin)
+        .unwrap_or(false);
+    let (served, deadline, degraded_from) = if starved {
+        match requested {
+            Backend::Greedy { .. } => (requested, None, None),
+            _ => (Backend::greedy(), None, Some(requested_label.clone())),
+        }
+    } else {
+        (requested, job.deadline, None)
+    };
+
+    match solve_with(shared, &job, &served, deadline, degraded_from) {
+        Ok(reply) => reply,
+        // Mid-flight exhaustion: the margin was optimistic and the requested
+        // backend ran out of wall-clock anyway. Fall back to greedy with no
+        // deadline so the daemon still returns an allocation.
+        Err(AllocError::DeadlineExceeded { .. }) => {
+            match solve_with(
+                shared,
+                &job,
+                &Backend::greedy(),
+                None,
+                Some(requested_label),
+            ) {
+                Ok(reply) => reply,
+                Err(err) => error_reply(shared, &job, &err),
+            }
+        }
+        Err(err) => error_reply(shared, &job, &err),
+    }
+}
+
+/// Runs one solve on `backend` and builds the reply frame. Returns `Err`
+/// only for failures the caller may want to degrade on; skippable
+/// no-solution outcomes become [`FromServe::Skipped`] directly.
+fn solve_with(
+    shared: &Arc<Shared>,
+    job: &Job,
+    backend: &Backend,
+    deadline: Option<Deadline>,
+    degraded_from: Option<String>,
+) -> Result<FromServe, AllocError> {
+    let family = family_fingerprint(&job.problem, backend.label())
+        .map_err(|err| AllocError::InvalidArgument(err.to_string()))?;
+    let warm_enabled = shared.options.warm_start && job.warm;
+    let hint: Option<WarmStart> = if warm_enabled {
+        shared
+            .cache
+            .lock()
+            .expect("cache mutex poisoned")
+            .lookup(family, job.problem.budget())
+    } else {
+        None
+    };
+    let cache_hit = hint.is_some();
+
+    let mut request = SolveRequest::new(&job.problem)
+        .backend(backend.clone())
+        .skip_policy(SkipPolicy::Lenient);
+    if let Some(hint) = hint {
+        request = request.warm_start(hint);
+    }
+    if let Some(deadline) = deadline {
+        request = request.deadline(deadline);
+    }
+
+    let started = Instant::now();
+    match request.solve() {
+        Ok(mut report) => {
+            let solve_ms = started.elapsed().as_secs_f64() * 1e3;
+            if warm_enabled {
+                shared.cache.lock().expect("cache mutex poisoned").record(
+                    family,
+                    job.problem.budget(),
+                    report.warm_start(),
+                );
+            }
+            report.diagnostics.degraded_from = degraded_from;
+            shared.served.fetch_add(1, Ordering::Relaxed);
+            if report.diagnostics.degraded_from.is_some() {
+                shared.degraded.fetch_add(1, Ordering::Relaxed);
+            }
+            let queue_ms = job.admitted.elapsed().as_secs_f64() * 1e3 - solve_ms;
+            Ok(FromServe::Report {
+                id: job.id,
+                outcome: SolveOutcome {
+                    ii_ms: report.initiation_interval_ms(&job.problem),
+                    backend: report.backend.clone(),
+                    degraded_from: report.diagnostics.degraded_from.clone(),
+                    cu_counts: report.diagnostics.cu_counts.clone(),
+                    warm_start: report.diagnostics.warm_start.provenance().to_owned(),
+                    cache_hit,
+                    fingerprint: family.to_hex(),
+                    barrier_iterations: report.diagnostics.barrier_iterations,
+                    bb_nodes: report.diagnostics.bb_nodes,
+                    solve_ms,
+                    queue_ms: queue_ms.max(0.0),
+                },
+            })
+        }
+        Err(err @ AllocError::DeadlineExceeded { .. }) => Err(err),
+        Err(err) if SkipPolicy::Lenient.is_skippable(&err) => {
+            shared.skipped.fetch_add(1, Ordering::Relaxed);
+            Ok(FromServe::Skipped {
+                id: job.id,
+                reason: err.to_string(),
+            })
+        }
+        Err(err) => Err(err),
+    }
+}
+
+fn error_reply(shared: &Arc<Shared>, job: &Job, err: &AllocError) -> FromServe {
+    // Skippable failures of the *fallback* solve still mean "no solution
+    // here", not "broken request".
+    if SkipPolicy::Lenient.is_skippable(err) {
+        shared.skipped.fetch_add(1, Ordering::Relaxed);
+        FromServe::Skipped {
+            id: job.id,
+            reason: err.to_string(),
+        }
+    } else {
+        FromServe::Error {
+            id: job.id,
+            message: err.to_string(),
+        }
+    }
+}
+
+fn write_frame(writer: &Arc<Mutex<TcpStream>>, frame: &FromServe) -> Result<(), ServeError> {
+    let line = frame.encode()?;
+    let mut stream = writer.lock().expect("writer mutex poisoned");
+    stream.write_all(line.as_bytes())?;
+    stream.write_all(b"\n")?;
+    stream.flush()?;
+    Ok(())
+}

@@ -1,0 +1,222 @@
+//! Open-loop load generator for the `serve` allocation daemon.
+//!
+//! Drives the daemon with a fixed-rate request schedule (arrivals are
+//! pre-assigned, so a slow server cannot throttle the offered load — the
+//! honest way to measure tail latency), cycling over a band of resource
+//! constraints and salting in tight deadlines to exercise the graceful
+//! degradation path. Prints p50/p99 end-to-end latency plus the
+//! served/degraded/rejected/skipped breakdown.
+//!
+//! Run with `cargo run --release --example serve_load -- --quick`
+//! (self-hosts a daemon in-process), or point it at a running daemon with
+//! `--connect ADDR`. Exits nonzero if any reply failed to decode.
+
+use std::process::ExitCode;
+use std::sync::mpsc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use mfa::alloc::cases::PaperCase;
+use mfa::serve::{BackendKind, ServeClient, ServeHandle, ServeOptions, SolveReply};
+
+/// One request's fate, reported back from a client thread.
+enum Fate {
+    Served { degraded: bool },
+    Rejected,
+    Skipped,
+    DecodeError(String),
+}
+
+struct Args {
+    connect: Option<String>,
+    requests: usize,
+    clients: usize,
+    rps: f64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        connect: None,
+        requests: 96,
+        clients: 4,
+        rps: 60.0,
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--connect" => args.connect = Some(iter.next().ok_or("--connect needs an address")?),
+            "--quick" => {
+                args.requests = 24;
+                args.clients = 2;
+            }
+            "--requests" => {
+                args.requests = iter
+                    .next()
+                    .ok_or("--requests needs a count")?
+                    .parse()
+                    .map_err(|_| "--requests needs a positive integer".to_owned())?;
+            }
+            "--clients" => {
+                args.clients = iter
+                    .next()
+                    .ok_or("--clients needs a count")?
+                    .parse()
+                    .map_err(|_| "--clients needs a positive integer".to_owned())?;
+            }
+            "--rps" => {
+                args.rps = iter
+                    .next()
+                    .ok_or("--rps needs a rate")?
+                    .parse()
+                    .map_err(|_| "--rps needs a number".to_owned())?;
+            }
+            other => return Err(format!("unknown flag {other} (see serve_load.rs)")),
+        }
+    }
+    if args.requests == 0 || args.clients == 0 || args.rps.is_nan() || args.rps <= 0.0 {
+        return Err("--requests, --clients, and --rps must be positive".into());
+    }
+    Ok(args)
+}
+
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    let idx = ((sorted_ms.len() - 1) as f64 * p).round() as usize;
+    sorted_ms[idx]
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("serve_load: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    // Without --connect, self-host a daemon so the example runs standalone.
+    let (addr, local) = match &args.connect {
+        Some(addr) => (addr.clone(), None),
+        None => {
+            let handle = match ServeHandle::spawn("127.0.0.1:0", ServeOptions::default()) {
+                Ok(handle) => handle,
+                Err(err) => {
+                    eprintln!("serve_load: cannot start an in-process daemon: {err}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            (handle.local_addr().to_string(), Some(handle))
+        }
+    };
+
+    // The offered load: request i arrives at i/rps seconds, cycling through
+    // a constraint band so the warm-start cache sees near-neighbours rather
+    // than one repeated point. Every fourth request carries a deliberately
+    // hopeless deadline to exercise degradation.
+    const CONSTRAINTS: [f64; 4] = [0.60, 0.65, 0.70, 0.75];
+    let problems: Vec<_> = match CONSTRAINTS
+        .iter()
+        .map(|&c| PaperCase::Alex16OnTwoFpgas.problem(c))
+        .collect()
+    {
+        Ok(problems) => problems,
+        Err(err) => {
+            eprintln!("serve_load: cannot build the paper case: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!(
+        "serve_load: {} requests over {} clients, open-loop at {} req/s -> {addr}",
+        args.requests, args.clients, args.rps
+    );
+
+    let (tx, rx) = mpsc::channel::<(f64, Fate)>();
+    let epoch = Instant::now() + Duration::from_millis(50);
+    let mut client_threads = Vec::new();
+    for client_idx in 0..args.clients {
+        let addr = addr.clone();
+        let tx = tx.clone();
+        let problems = problems.clone();
+        let (requests, clients, rps) = (args.requests, args.clients, args.rps);
+        client_threads.push(thread::spawn(move || {
+            let mut client = match ServeClient::connect(&addr) {
+                Ok(client) => client,
+                Err(err) => {
+                    let fate = Fate::DecodeError(format!("connect failed: {err}"));
+                    let _ = tx.send((0.0, fate));
+                    return;
+                }
+            };
+            // Requests are striped round-robin across clients; each thread
+            // honours the global arrival schedule for its stripe.
+            for i in (client_idx..requests).step_by(clients) {
+                let due = epoch + Duration::from_secs_f64(i as f64 / rps);
+                if let Some(wait) = due.checked_duration_since(Instant::now()) {
+                    thread::sleep(wait);
+                }
+                let problem = &problems[i % problems.len()];
+                let deadline = if i % 4 == 3 { Some(1e-4) } else { Some(5.0) };
+                let sent = Instant::now();
+                let reply = client.solve(problem, BackendKind::Gpa, deadline, true);
+                let latency_ms = sent.elapsed().as_secs_f64() * 1e3;
+                let fate = match reply {
+                    Ok(SolveReply::Report(outcome)) => Fate::Served {
+                        degraded: outcome.degraded_from.is_some(),
+                    },
+                    Ok(SolveReply::Rejected { .. }) => Fate::Rejected,
+                    Ok(SolveReply::Skipped { .. }) => Fate::Skipped,
+                    Err(err) => Fate::DecodeError(err.to_string()),
+                };
+                let _ = tx.send((latency_ms, fate));
+            }
+        }));
+    }
+    drop(tx);
+
+    let mut latencies_ms = Vec::new();
+    let (mut served, mut degraded, mut rejected, mut skipped) = (0usize, 0usize, 0usize, 0usize);
+    let mut decode_errors = Vec::new();
+    for (latency_ms, fate) in rx {
+        match fate {
+            Fate::Served { degraded: d } => {
+                served += 1;
+                degraded += usize::from(d);
+                latencies_ms.push(latency_ms);
+            }
+            Fate::Rejected => rejected += 1,
+            Fate::Skipped => skipped += 1,
+            Fate::DecodeError(msg) => decode_errors.push(msg),
+        }
+    }
+    for thread in client_threads {
+        let _ = thread.join();
+    }
+    if let Some(handle) = local {
+        handle.stop();
+    }
+
+    if latencies_ms.is_empty() {
+        eprintln!("serve_load: no request was served");
+        return ExitCode::FAILURE;
+    }
+    latencies_ms.sort_by(|a, b| a.total_cmp(b));
+    println!(
+        "p50 latency = {:.2} ms   p99 latency = {:.2} ms",
+        percentile(&latencies_ms, 0.50),
+        percentile(&latencies_ms, 0.99),
+    );
+    println!(
+        "served = {served} (degraded = {degraded}, {:.0}%)  rejected = {rejected}  \
+         skipped = {skipped}",
+        100.0 * degraded as f64 / served.max(1) as f64,
+    );
+    println!("decode errors: {}", decode_errors.len());
+    if decode_errors.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        for msg in decode_errors.iter().take(5) {
+            eprintln!("serve_load: {msg}");
+        }
+        ExitCode::FAILURE
+    }
+}

@@ -16,4 +16,5 @@ pub use mfa_linalg as linalg;
 pub use mfa_linprog as linprog;
 pub use mfa_minlp as minlp;
 pub use mfa_platform as platform;
+pub use mfa_serve as serve;
 pub use mfa_sim as sim;
