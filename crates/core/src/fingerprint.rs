@@ -49,6 +49,13 @@ impl Fingerprint {
     pub fn to_hex(self) -> String {
         format!("{:032x}", self.0)
     }
+
+    /// The first 8 hex digits — the human-scale abbreviation log lines and
+    /// progress reports use (collision-sparse enough to scan by eye, never
+    /// a substitute for the full digest as a key).
+    pub fn short_hex(self) -> String {
+        format!("{:08x}", self.0 >> 96)
+    }
 }
 
 impl fmt::Display for Fingerprint {
@@ -174,6 +181,15 @@ mod tests {
         // committed sweep stores depend on it.
         let fp = Fingerprint::of_parts(1, &["alpha", "beta"]);
         assert_eq!(fp.to_hex(), "9a7be84621861e5523aa1fdb34592dd3");
+    }
+
+    #[test]
+    fn short_hex_is_the_leading_eight_digits() {
+        let fp = Fingerprint::of_parts(1, &["alpha", "beta"]);
+        assert_eq!(fp.short_hex(), &fp.to_hex()[..8]);
+        assert_eq!(fp.short_hex().len(), 8);
+        // Zero-padded: a small raw value still renders 8 digits.
+        assert_eq!(Fingerprint::from_raw(0).short_hex(), "00000000");
     }
 
     #[test]

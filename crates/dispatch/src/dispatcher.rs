@@ -28,10 +28,9 @@ use std::sync::mpsc;
 use std::thread;
 use std::time::{Duration, Instant};
 
-use mfa_explore::store::{commit_unit, plan_store, StorePlan};
+use mfa_explore::store::{commit_unit, plan_store, ResultStore, StorePlan};
 use mfa_explore::{
-    assemble_series, plan_units, StoreRunReport, SweepGrid, SweepPoint, SweepSeries, SweepStore,
-    UnitOutput,
+    assemble_series, plan_units, StoreRunReport, SweepGrid, SweepPoint, SweepSeries, UnitOutput,
 };
 
 use crate::protocol::{FromWorker, ToWorker, PROTOCOL_VERSION};
@@ -221,7 +220,9 @@ pub fn run_sweep_sharded(
     run_sharded_impl(grid, workers, options, None).map(|(series, _)| series)
 }
 
-/// Like [`run_sweep_sharded`], but backed by a persistent [`SweepStore`]:
+/// Like [`run_sweep_sharded`], but backed by a persistent [`ResultStore`]
+/// (a local [`mfa_explore::SweepStore`] directory or `mfa_storenet`'s
+/// `RemoteStore`):
 /// units whose points are all stored are replayed without being leased,
 /// freshly computed units are committed as their results arrive, and
 /// store-neighbour warm-start seeds are shipped to the workers. Returns the
@@ -236,7 +237,7 @@ pub fn run_sweep_sharded_stored(
     grid: &SweepGrid,
     workers: &[WorkerSpec],
     options: &DispatchOptions,
-    store: &mut SweepStore,
+    store: &mut dyn ResultStore,
 ) -> Result<(Vec<SweepSeries>, StoreRunReport), DispatchError> {
     run_sharded_impl(grid, workers, options, Some(store))
 }
@@ -245,7 +246,7 @@ fn run_sharded_impl(
     grid: &SweepGrid,
     workers: &[WorkerSpec],
     options: &DispatchOptions,
-    mut store: Option<&mut SweepStore>,
+    mut store: Option<&mut dyn ResultStore>,
 ) -> Result<(Vec<SweepSeries>, StoreRunReport), DispatchError> {
     if workers.is_empty() {
         return Err(DispatchError::NoWorkers);
@@ -275,14 +276,14 @@ fn run_sharded_impl(
     // units are replayed straight into the result table and never leased,
     // and the remaining units get their warm-start seeds fixed up front so
     // every worker (and any resume) computes from identical inputs.
-    let plan: Option<StorePlan> = match store.as_deref() {
+    let plan: Option<StorePlan> = match store.as_deref_mut() {
         Some(st) => Some(plan_store(grid, &units, options.warm_start, st)?),
         None => None,
     };
     let mut report = StoreRunReport::default();
     if let Some(st) = store.as_deref() {
-        report.corrupt_entries = st.corrupt_entries();
-        report.version_mismatches = st.version_mismatches();
+        report.corrupt_entries = st.corrupt_count();
+        report.version_mismatches = st.version_mismatch_count();
     }
     let mut results: Vec<Option<UnitOutcome>> = (0..units.len()).map(|_| None).collect();
     if let Some(plan) = &plan {

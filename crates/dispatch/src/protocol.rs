@@ -34,8 +34,11 @@ use mfa_explore::{SweepGrid, SweepPoint, WorkUnit};
 /// incompatible frame or payload change. v3 added store-neighbour warm-start
 /// seeds to `unit` frames and per-point warm states to `result` frames; v4
 /// introduced the serve-session frame family (`mfa_serve::protocol` —
-/// `solve`/`report`/`rejected`) alongside the unchanged sweep frames.
-pub const PROTOCOL_VERSION: usize = 4;
+/// `solve`/`report`/`rejected`) alongside the unchanged sweep frames; v5
+/// added the shared-store frame family (`mfa_storenet::protocol` —
+/// `store-hello`/`get`/`put`/`stats`/`evict`) and the serve session's
+/// `stats` frame.
+pub const PROTOCOL_VERSION: usize = 5;
 
 /// A frame sent from the dispatcher to a worker.
 #[derive(Debug, Clone, PartialEq)]

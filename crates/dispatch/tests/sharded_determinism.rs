@@ -242,3 +242,56 @@ fn store_backed_sharded_runs_replay_and_reproduce_the_golden_bytes() {
 
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+#[test]
+fn sharded_runs_through_a_remote_store_reproduce_the_golden_bytes() {
+    use mfa_storenet::{RemoteStore, StoreServer};
+
+    let figure = gp_figures()
+        .into_iter()
+        .find(|f| f.name == "fig2")
+        .expect("fig2 is a gp figure");
+    let root = std::env::temp_dir().join(format!("mfa-sharded-remote-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let server = StoreServer::spawn("127.0.0.1:0", root.clone()).expect("store-server spawns");
+    let addr = server.local_addr().to_string();
+    let workers = spawned_workers(worker_bin(), 2);
+    let options = DispatchOptions::default();
+
+    // First sharded run computes everything and commits it over the wire.
+    let mut store = RemoteStore::connect(&addr, "fig2").expect("client connects");
+    let (mut series, report) =
+        run_sweep_sharded_stored(&figure.grid, &workers, &options, &mut store)
+            .expect("populating sharded remote run");
+    assert_eq!(report.units_replayed, 0);
+    assert!(report.units_computed > 0);
+    zero_timing(&mut series);
+    assert_eq!(
+        export::series_to_json(&series),
+        common::golden("fig2", "json")
+    );
+    assert_eq!(
+        export::series_to_csv(&series),
+        common::golden("fig2", "csv")
+    );
+
+    // A second sharded run from a fresh client replays the whole grid out
+    // of the shared store — no unit is leased, the bytes do not move.
+    let mut store = RemoteStore::connect(&addr, "fig2").expect("second client connects");
+    let (mut series, report) =
+        run_sweep_sharded_stored(&figure.grid, &workers, &options, &mut store)
+            .expect("replaying sharded remote run");
+    assert_eq!(report.points_computed, 0, "full replay computes nothing");
+    zero_timing(&mut series);
+    assert_eq!(
+        export::series_to_json(&series),
+        common::golden("fig2", "json")
+    );
+    assert_eq!(
+        export::series_to_csv(&series),
+        common::golden("fig2", "csv")
+    );
+
+    server.stop();
+    let _ = std::fs::remove_dir_all(&root);
+}

@@ -12,7 +12,7 @@ use mfa_alloc::solver::{Deadline, SolveRequest, WarmStart};
 
 use crate::cache::{WarmStartCache, DEFAULT_CACHE_CAPACITY};
 use crate::grid::{SolverSpec, SweepGrid};
-use crate::store::{self, StorePlan, StoreRunReport, SweepStore};
+use crate::store::{self, ResultStore, StorePlan, StoreRunReport};
 use crate::ExploreError;
 
 /// Options of the sweep executor.
@@ -230,7 +230,9 @@ pub fn run_sweep(
     run_sweep_impl(grid, options, None).map(|(series, _)| series)
 }
 
-/// Like [`run_sweep`], but backed by a persistent [`SweepStore`]: units
+/// Like [`run_sweep`], but backed by a persistent [`ResultStore`] — a local
+/// [`SweepStore`](crate::SweepStore) directory or `mfa_storenet`'s
+/// `RemoteStore` client: units
 /// every point of which is already stored replay verbatim without computing
 /// anything, fresh units are persisted atomically *as they complete* (so a
 /// killed run resumes where it stopped), and fresh solves are warm-started
@@ -251,7 +253,7 @@ pub fn run_sweep(
 pub fn run_sweep_stored(
     grid: &SweepGrid,
     options: &ExecutorOptions,
-    store: &mut SweepStore,
+    store: &mut dyn ResultStore,
 ) -> Result<(Vec<SweepSeries>, StoreRunReport), ExploreError> {
     run_sweep_impl(grid, options, Some(store))
         .map(|(series, report)| (series, report.expect("store-backed runs produce a report")))
@@ -260,16 +262,16 @@ pub fn run_sweep_stored(
 fn run_sweep_impl(
     grid: &SweepGrid,
     options: &ExecutorOptions,
-    mut store: Option<&mut SweepStore>,
+    mut store: Option<&mut dyn ResultStore>,
 ) -> Result<(Vec<SweepSeries>, Option<StoreRunReport>), ExploreError> {
     let units = plan_units(grid, options.chunk_size)?;
-    let plan: Option<StorePlan> = match store.as_deref() {
+    let plan: Option<StorePlan> = match store.as_deref_mut() {
         Some(s) => Some(store::plan_store(grid, &units, options.warm_start, s)?),
         None => None,
     };
     let mut report = store.as_deref().map(|s| StoreRunReport {
-        corrupt_entries: s.corrupt_entries(),
-        version_mismatches: s.version_mismatches(),
+        corrupt_entries: s.corrupt_count(),
+        version_mismatches: s.version_mismatch_count(),
         ..StoreRunReport::default()
     });
 
@@ -306,7 +308,7 @@ fn run_sweep_impl(
             .map(|p| p.units[idx].seeds.as_slice())
             .unwrap_or(&[])
     };
-    let mut persist = |store: &mut Option<&mut SweepStore>,
+    let mut persist = |store: &mut Option<&mut dyn ResultStore>,
                        report: &mut Option<StoreRunReport>,
                        idx: usize,
                        out: &UnitOutput|

@@ -86,7 +86,9 @@ pub use frontier::{frontier_to_csv, frontier_to_json, run_frontier, FrontierPoin
 pub use grid::{
     constraint_grid, BudgetSpec, CaseSpec, PlatformSpec, SolverSpec, SweepGrid, SweepGridBuilder,
 };
-pub use store::{StoreRunReport, SweepStore, STORE_VERSION};
+pub use store::{
+    GcReport, ResultStore, StoreEntry, StoreRunReport, StoreStats, SweepStore, STORE_VERSION,
+};
 
 // The point type is shared with the serial sweeps in `mfa_alloc::explore`.
 pub use mfa_alloc::explore::SweepPoint;

@@ -92,8 +92,138 @@ pub struct StoreEntry {
 pub struct SweepStore {
     dir: PathBuf,
     index: HashMap<Fingerprint, StoreEntry>,
+    segments: usize,
+    orphan_tmp: usize,
+    duplicate_entries: usize,
     corrupt_entries: usize,
     version_mismatches: usize,
+}
+
+/// The store surface the executors and the serving layer consume.
+///
+/// Implemented by the on-disk [`SweepStore`] and by `mfa_storenet`'s
+/// `RemoteStore` network client, so the threaded executor, the sharded
+/// dispatcher and the `mfa_serve` warm-cache spill all run against one
+/// logical cache whether it lives in a local directory or behind a
+/// store-server on another host. Methods take `&mut self` because a remote
+/// implementation performs socket I/O per call.
+pub trait ResultStore {
+    /// Batched point lookup: one slot per fingerprint, `None` for misses.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExploreError::Store`] only for transport/directory-level
+    /// failures; absent, corrupt or version-mismatched entries are misses.
+    fn get_many(&mut self, fps: &[Fingerprint]) -> Result<Vec<Option<StoreEntry>>, ExploreError>;
+
+    /// Every stored entry of one series, sorted by fingerprint (used by the
+    /// serving layer to rewarm a whole request family at once).
+    ///
+    /// # Errors
+    ///
+    /// As [`get_many`](Self::get_many).
+    fn get_series(
+        &mut self,
+        series: &Fingerprint,
+    ) -> Result<Vec<(Fingerprint, StoreEntry)>, ExploreError>;
+
+    /// A snapshot of every stored entry, sorted by fingerprint (the seed
+    /// universe [`plan_store`] draws neighbour warm starts from).
+    ///
+    /// # Errors
+    ///
+    /// As [`get_many`](Self::get_many).
+    fn snapshot(&mut self) -> Result<Vec<(Fingerprint, StoreEntry)>, ExploreError>;
+
+    /// Persists a batch of entries atomically (one work unit's points).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExploreError::Store`] on I/O, transport or encoding failure.
+    fn put(&mut self, entries: Vec<(Fingerprint, StoreEntry)>) -> Result<(), ExploreError>;
+
+    /// Lines observed corrupt or truncated when the backing store was
+    /// opened/scanned (server-side damage for a remote store).
+    fn corrupt_count(&self) -> usize;
+
+    /// Entries skipped for a [`STORE_VERSION`] mismatch when the backing
+    /// store was opened/scanned.
+    fn version_mismatch_count(&self) -> usize;
+}
+
+impl ResultStore for SweepStore {
+    fn get_many(&mut self, fps: &[Fingerprint]) -> Result<Vec<Option<StoreEntry>>, ExploreError> {
+        Ok(fps.iter().map(|fp| self.index.get(fp).cloned()).collect())
+    }
+
+    fn get_series(
+        &mut self,
+        series: &Fingerprint,
+    ) -> Result<Vec<(Fingerprint, StoreEntry)>, ExploreError> {
+        let mut entries: Vec<(Fingerprint, StoreEntry)> = self
+            .index
+            .iter()
+            .filter(|(_, entry)| entry.series == *series)
+            .map(|(fp, entry)| (*fp, entry.clone()))
+            .collect();
+        entries.sort_by_key(|(fp, _)| *fp);
+        Ok(entries)
+    }
+
+    fn snapshot(&mut self) -> Result<Vec<(Fingerprint, StoreEntry)>, ExploreError> {
+        let mut entries: Vec<(Fingerprint, StoreEntry)> = self
+            .index
+            .iter()
+            .map(|(fp, entry)| (*fp, entry.clone()))
+            .collect();
+        entries.sort_by_key(|(fp, _)| *fp);
+        Ok(entries)
+    }
+
+    fn put(&mut self, entries: Vec<(Fingerprint, StoreEntry)>) -> Result<(), ExploreError> {
+        self.commit(entries)
+    }
+
+    fn corrupt_count(&self) -> usize {
+        self.corrupt_entries
+    }
+
+    fn version_mismatch_count(&self) -> usize {
+        self.version_mismatches
+    }
+}
+
+/// A point-in-time inventory of a store directory's health, as reported by
+/// [`SweepStore::stats`] (and served over the wire by `mfa_storenet`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Valid entries in the index.
+    pub entries: usize,
+    /// Segment files on disk.
+    pub segments: usize,
+    /// Orphaned `.tmp` files left by killed commits.
+    pub orphan_tmp: usize,
+    /// Stored lines shadowed by a later line with the same fingerprint.
+    pub duplicate_entries: usize,
+    /// Corrupt or truncated lines skipped while opening.
+    pub corrupt_entries: usize,
+    /// Lines skipped for a [`STORE_VERSION`] mismatch while opening.
+    pub version_mismatches: usize,
+}
+
+/// What one [`SweepStore::gc`] compaction pass did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GcReport {
+    /// Old segment files folded into the compacted segment and deleted.
+    pub segments_folded: usize,
+    /// Orphaned `.tmp` files removed.
+    pub orphans_removed: usize,
+    /// Valid entries carried into the compacted segment.
+    pub entries_kept: usize,
+    /// Duplicate fingerprints folded down to their surviving line.
+    pub duplicates_folded: usize,
+    /// Corrupt and version-mismatched lines dropped from disk.
+    pub lines_dropped: usize,
 }
 
 fn io_err(context: &str, path: &Path, err: std::io::Error) -> ExploreError {
@@ -117,19 +247,32 @@ impl SweepStore {
     pub fn open(dir: impl Into<PathBuf>) -> Result<SweepStore, ExploreError> {
         let dir = dir.into();
         fs::create_dir_all(&dir).map_err(|e| io_err("cannot create store directory", &dir, e))?;
-        let mut segments: Vec<PathBuf> = fs::read_dir(&dir)
-            .map_err(|e| io_err("cannot list store directory", &dir, e))?
-            .filter_map(|entry| entry.ok().map(|e| e.path()))
-            .filter(|path| {
-                path.extension().and_then(|e| e.to_str()) == Some("jsonl") && path.is_file()
-            })
-            .collect();
+        let mut segments: Vec<PathBuf> = Vec::new();
+        let mut orphan_tmp = 0usize;
+        for entry in
+            fs::read_dir(&dir).map_err(|e| io_err("cannot list store directory", &dir, e))?
+        {
+            let Ok(path) = entry.map(|e| e.path()) else {
+                continue;
+            };
+            if !path.is_file() {
+                continue;
+            }
+            match path.extension().and_then(|e| e.to_str()) {
+                Some("jsonl") => segments.push(path),
+                Some("tmp") => orphan_tmp += 1,
+                _ => {}
+            }
+        }
         // Deterministic load order (directory iteration order is not).
         segments.sort();
 
         let mut store = SweepStore {
             dir,
             index: HashMap::new(),
+            segments: segments.len(),
+            orphan_tmp,
+            duplicate_entries: 0,
             corrupt_entries: 0,
             version_mismatches: 0,
         };
@@ -145,7 +288,9 @@ impl SweepStore {
                 }
                 match decode_entry(line) {
                     Ok(Some((fp, entry))) => {
-                        store.index.insert(fp, entry);
+                        if store.index.insert(fp, entry).is_some() {
+                            store.duplicate_entries += 1;
+                        }
                     }
                     Ok(None) => store.version_mismatches += 1,
                     Err(_) => store.corrupt_entries += 1,
@@ -208,17 +353,122 @@ impl SweepStore {
         if entries.is_empty() {
             return Ok(());
         }
+        let (_, rewrote_existing) = self.write_segment(&entries)?;
+        if !rewrote_existing {
+            self.segments += 1;
+        }
+        for (fp, entry) in entries {
+            if self.index.insert(fp, entry).is_some() && !rewrote_existing {
+                // A fresh segment restating an already-indexed fingerprint
+                // duplicates that line on disk until the next gc() folds it.
+                self.duplicate_entries += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// A health inventory of the store: entry/segment counts plus every
+    /// damage counter observed when the directory was opened.
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            entries: self.index.len(),
+            segments: self.segments,
+            orphan_tmp: self.orphan_tmp,
+            duplicate_entries: self.duplicate_entries,
+            corrupt_entries: self.corrupt_entries,
+            version_mismatches: self.version_mismatches,
+        }
+    }
+
+    /// Compacts the store in place: removes orphaned `.tmp` files, folds
+    /// every valid indexed entry into one canonical segment (sorted by
+    /// fingerprint, duplicates collapsed), and deletes the old segments —
+    /// dropping corrupt and version-mismatched lines from disk in the
+    /// process. The index is unchanged; the damage counters reset to what a
+    /// fresh open of the compacted directory would observe.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExploreError::Store`] on I/O or encoding failure; a partial
+    /// failure leaves only whole, valid segments behind (the compacted
+    /// segment publishes atomically before any old segment is removed).
+    pub fn gc(&mut self) -> Result<GcReport, ExploreError> {
+        let mut orphans_removed = 0usize;
+        let mut old_segments: Vec<PathBuf> = Vec::new();
+        for entry in fs::read_dir(&self.dir)
+            .map_err(|e| io_err("cannot list store directory", &self.dir, e))?
+        {
+            let Ok(path) = entry.map(|e| e.path()) else {
+                continue;
+            };
+            if !path.is_file() {
+                continue;
+            }
+            match path.extension().and_then(|e| e.to_str()) {
+                Some("tmp") => {
+                    fs::remove_file(&path).map_err(|e| io_err("cannot remove orphan", &path, e))?;
+                    orphans_removed += 1;
+                }
+                Some("jsonl") => old_segments.push(path),
+                _ => {}
+            }
+        }
+
+        let mut entries: Vec<(Fingerprint, StoreEntry)> = self
+            .index
+            .iter()
+            .map(|(fp, entry)| (*fp, entry.clone()))
+            .collect();
+        entries.sort_by_key(|(fp, _)| *fp);
+
+        let keep = if entries.is_empty() {
+            None
+        } else {
+            Some(self.write_segment(&entries)?.0)
+        };
+        let mut segments_folded = 0usize;
+        for segment in old_segments {
+            if Some(&segment) == keep.as_ref() {
+                continue;
+            }
+            fs::remove_file(&segment).map_err(|e| io_err("cannot remove segment", &segment, e))?;
+            segments_folded += 1;
+        }
+
+        let report = GcReport {
+            segments_folded,
+            orphans_removed,
+            entries_kept: entries.len(),
+            duplicates_folded: self.duplicate_entries,
+            lines_dropped: self.corrupt_entries + self.version_mismatches,
+        };
+        self.segments = usize::from(keep.is_some());
+        self.orphan_tmp = 0;
+        self.duplicate_entries = 0;
+        self.corrupt_entries = 0;
+        self.version_mismatches = 0;
+        Ok(report)
+    }
+
+    /// Writes `entries` as one content-addressed segment (tmp + fsync +
+    /// rename) and returns the published path plus whether a segment of the
+    /// same name was already on disk. Does not touch the index.
+    fn write_segment(
+        &self,
+        entries: &[(Fingerprint, StoreEntry)],
+    ) -> Result<(PathBuf, bool), ExploreError> {
         let mut body = String::new();
         let hexes: Vec<String> = entries.iter().map(|(fp, _)| fp.to_hex()).collect();
         let parts: Vec<&str> = hexes.iter().map(String::as_str).collect();
         let name = Fingerprint::of_parts(STORE_VERSION as u64, &parts);
-        for (fp, entry) in &entries {
-            body.push_str(&encode_entry(fp, entry)?.to_string());
+        for (fp, entry) in entries {
+            body.push_str(&entry_to_json(fp, entry)?.to_string());
             body.push('\n');
         }
 
         let final_path = self.dir.join(format!("seg-{}.jsonl", name.to_hex()));
         let tmp_path = self.dir.join(format!("seg-{}.tmp", name.to_hex()));
+        let existed = final_path.exists();
         {
             let mut file = fs::File::create(&tmp_path)
                 .map_err(|e| io_err("cannot create segment", &tmp_path, e))?;
@@ -229,18 +479,22 @@ impl SweepStore {
         }
         fs::rename(&tmp_path, &final_path)
             .map_err(|e| io_err("cannot publish segment", &final_path, e))?;
-
-        for (fp, entry) in entries {
-            self.index.insert(fp, entry);
-        }
-        Ok(())
+        Ok((final_path, existed))
     }
 }
 
 // ---------------------------------------------------------------------------
 // Entry codec.
 
-fn encode_entry(fp: &Fingerprint, entry: &StoreEntry) -> Result<Json, ExploreError> {
+/// Encodes one `(fingerprint, entry)` pair as its canonical store-line JSON
+/// document — the exact bytes a segment file holds, and the entry payload
+/// `mfa_storenet` carries in its `put`/`entries` frames.
+///
+/// # Errors
+///
+/// Returns [`ExploreError::Store`] if the entry holds non-finite floats
+/// (impossible for solver-produced entries).
+pub fn entry_to_json(fp: &Fingerprint, entry: &StoreEntry) -> Result<Json, ExploreError> {
     let point = match &entry.point {
         Some(p) => wire::point_to_json(p).map_err(codec_err)?,
         None => Json::Null,
@@ -267,6 +521,17 @@ fn encode_entry(fp: &Fingerprint, entry: &StoreEntry) -> Result<Json, ExploreErr
 /// corruption. Both are misses for the caller.
 fn decode_entry(line: &str) -> Result<Option<(Fingerprint, StoreEntry)>, WireError> {
     let doc = Json::parse(line).map_err(|e| WireError::Parse(e.to_string()))?;
+    entry_from_json(&doc)
+}
+
+/// Decodes one store-entry document (the inverse of [`entry_to_json`]).
+/// `Ok(None)` is a [`STORE_VERSION`] mismatch; `Err` is corruption. Both are
+/// misses, never fatal, for every caller in the stack.
+///
+/// # Errors
+///
+/// Returns [`WireError`] when the document does not match the entry schema.
+pub fn entry_from_json(doc: &Json) -> Result<Option<(Fingerprint, StoreEntry)>, WireError> {
     let version = doc
         .get("v")
         .and_then(Json::as_usize)
@@ -472,15 +737,21 @@ impl StorePlan {
 /// non-empty warm state; they are ordered tightest-budget-first with the
 /// fingerprint as the final tie-break.
 ///
+/// Lookups go through the [`ResultStore`] trait in two batched calls — one
+/// [`get_many`](ResultStore::get_many) over every point fingerprint and (when
+/// warm starts are on) one [`snapshot`](ResultStore::snapshot) for the seed
+/// universe — so a remote store pays two round trips per plan, not one per
+/// point.
+///
 /// # Errors
 ///
 /// Returns [`ExploreError::Store`] if a grid point cannot be canonically
-/// encoded.
+/// encoded or the store transport fails.
 pub fn plan_store(
     grid: &SweepGrid,
     units: &[WorkUnit],
     warm_start: bool,
-    store: &SweepStore,
+    store: &mut dyn ResultStore,
 ) -> Result<StorePlan, ExploreError> {
     // Fingerprint every point of every unit first: the exclusion set must
     // cover the whole grid before any seed is selected.
@@ -514,15 +785,14 @@ pub fn plan_store(
     let mut seeds_by_series: HashMap<Fingerprint, Vec<(Fingerprint, ResourceBudget, WarmStart)>> =
         HashMap::new();
     if warm_start {
-        for (fp, entry) in store.entries() {
-            if grid_fps.contains(fp) || entry.point.is_none() || entry.warm.is_empty() {
+        for (fp, entry) in store.snapshot()? {
+            if grid_fps.contains(&fp) || entry.point.is_none() || entry.warm.is_empty() {
                 continue;
             }
-            seeds_by_series.entry(entry.series).or_default().push((
-                *fp,
-                entry.budget,
-                entry.warm.clone(),
-            ));
+            seeds_by_series
+                .entry(entry.series)
+                .or_default()
+                .push((fp, entry.budget, entry.warm));
         }
         for seeds in seeds_by_series.values_mut() {
             seeds.sort_by(|(fp_a, a, _), (fp_b, b, _)| {
@@ -537,17 +807,25 @@ pub fn plan_store(
         }
     }
 
-    let plans = units
+    // One batched lookup over every point of every unit.
+    let all_fps: Vec<Fingerprint> = keyed
         .iter()
-        .zip(keyed)
-        .map(|(_, (series_fp, point_fps, budgets))| {
-            let stored: Vec<Option<&StoreEntry>> =
-                point_fps.iter().map(|fp| store.lookup(fp)).collect();
+        .flat_map(|(_, point_fps, _)| point_fps.iter().copied())
+        .collect();
+    let mut looked_up = store.get_many(&all_fps)?.into_iter();
+
+    let plans = keyed
+        .into_iter()
+        .map(|(series_fp, point_fps, budgets)| {
+            let stored: Vec<Option<StoreEntry>> = point_fps
+                .iter()
+                .map(|_| looked_up.next().flatten())
+                .collect();
             let cached = if stored.iter().all(Option::is_some) {
                 Some(
                     stored
                         .iter()
-                        .map(|entry| entry.expect("all present").point)
+                        .map(|entry| entry.as_ref().expect("all present").point)
                         .collect(),
                 )
             } else {
@@ -589,7 +867,7 @@ fn budget_sort_key(b: &ResourceBudget) -> [f64; 5] {
 ///
 /// Returns [`ExploreError::Store`] on I/O or encoding failure.
 pub fn commit_unit(
-    store: &mut SweepStore,
+    store: &mut dyn ResultStore,
     plan: &UnitPlan,
     output: &UnitOutput,
 ) -> Result<(), ExploreError> {
@@ -611,7 +889,7 @@ pub fn commit_unit(
             )
         })
         .collect();
-    store.commit(entries)
+    store.put(entries)
 }
 
 /// Counters of one store-backed sweep run.
@@ -752,7 +1030,7 @@ mod tests {
         }
         // Garbage, a truncated JSON line, a schema-valid line with the wrong
         // version, and a valid-JSON wrong-schema line — all in one segment.
-        let future = encode_entry(
+        let future = entry_to_json(
             &Fingerprint::of_parts(1, &["future"]),
             &sample_entry(series, true),
         )
@@ -769,6 +1047,122 @@ mod tests {
         assert!(store.lookup(&good_fp).is_some());
         assert_eq!(store.corrupt_entries(), 3);
         assert_eq!(store.version_mismatches(), 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stats_inventory_matches_what_a_fresh_open_observes() {
+        let dir = temp_dir("stats");
+        let series = Fingerprint::of_parts(1, &["series"]);
+        let fp_a = Fingerprint::of_parts(1, &["a"]);
+        let fp_b = Fingerprint::of_parts(1, &["b"]);
+        {
+            let mut store = SweepStore::open(&dir).unwrap();
+            // Two overlapping segments: fp_a is stated twice on disk.
+            store
+                .commit(vec![
+                    (fp_a, sample_entry(series, true)),
+                    (fp_b, sample_entry(series, true)),
+                ])
+                .unwrap();
+            store
+                .commit(vec![(fp_a, sample_entry(series, true))])
+                .unwrap();
+        }
+        // A killed commit's orphan and one damaged segment (garbage line plus
+        // a version-mismatched line) complete the inventory.
+        fs::write(dir.join("seg-orphan.tmp"), "{half").unwrap();
+        let future = entry_to_json(
+            &Fingerprint::of_parts(1, &["f"]),
+            &sample_entry(series, true),
+        )
+        .unwrap()
+        .to_string()
+        .replace("\"v\":1", "\"v\":999");
+        fs::write(
+            dir.join("seg-damaged.jsonl"),
+            format!("garbage\n{future}\n"),
+        )
+        .unwrap();
+
+        let store = SweepStore::open(&dir).unwrap();
+        assert_eq!(
+            store.stats(),
+            StoreStats {
+                entries: 2,
+                segments: 3,
+                orphan_tmp: 1,
+                duplicate_entries: 1,
+                corrupt_entries: 1,
+                version_mismatches: 1,
+            }
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn gc_folds_the_store_to_one_clean_segment() {
+        let dir = temp_dir("gc");
+        let series = Fingerprint::of_parts(1, &["series"]);
+        let fp_a = Fingerprint::of_parts(1, &["a"]);
+        let fp_b = Fingerprint::of_parts(1, &["b"]);
+        {
+            let mut store = SweepStore::open(&dir).unwrap();
+            store
+                .commit(vec![
+                    (fp_a, sample_entry(series, false)),
+                    (fp_b, sample_entry(series, true)),
+                ])
+                .unwrap();
+            store
+                .commit(vec![(fp_a, sample_entry(series, false))])
+                .unwrap();
+        }
+        fs::write(dir.join("seg-orphan.tmp"), "{half").unwrap();
+        fs::write(dir.join("seg-damaged.jsonl"), "garbage\n").unwrap();
+
+        let mut store = SweepStore::open(&dir).unwrap();
+        let before = store.stats();
+        let report = store.gc().unwrap();
+        // The canonical folded segment is content-addressed, and here its
+        // sorted content coincides with the first commit's segment — that
+        // file is kept in place, so only the restatement and the damaged
+        // segment fold away.
+        assert_eq!(
+            report,
+            GcReport {
+                segments_folded: 2,
+                orphans_removed: 1,
+                entries_kept: 2,
+                duplicates_folded: before.duplicate_entries,
+                lines_dropped: 1,
+            }
+        );
+        // The in-place counters now match a fresh open of the compacted
+        // directory: one canonical segment, no damage, same entries.
+        assert_eq!(
+            store.stats(),
+            StoreStats {
+                entries: 2,
+                segments: 1,
+                ..StoreStats::default()
+            }
+        );
+        let reopened = SweepStore::open(&dir).unwrap();
+        assert_eq!(reopened.stats(), store.stats());
+        assert_eq!(reopened.lookup(&fp_a), store.lookup(&fp_a));
+        assert_eq!(reopened.lookup(&fp_b), store.lookup(&fp_b));
+
+        // gc is idempotent: a second pass folds nothing and keeps the same
+        // canonical segment in place.
+        let second = store.gc().unwrap();
+        assert_eq!(
+            second,
+            GcReport {
+                entries_kept: 2,
+                ..GcReport::default()
+            }
+        );
         fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -838,7 +1232,7 @@ mod tests {
         let mut store = SweepStore::open(&dir).unwrap();
 
         // Empty store: nothing cached, nothing seeded.
-        let cold = plan_store(&grid, &units, true, &store).unwrap();
+        let cold = plan_store(&grid, &units, true, &mut store).unwrap();
         assert_eq!(cold.units_replayed(), 0);
         assert!(cold.units[0].seeds.is_empty());
 
@@ -848,7 +1242,7 @@ mod tests {
 
         // Re-planning the same grid: the unit replays, and — crucially — its
         // own points never become seeds.
-        let replay = plan_store(&grid, &units, true, &store).unwrap();
+        let replay = plan_store(&grid, &units, true, &mut store).unwrap();
         assert_eq!(replay.units_replayed(), 1);
         assert_eq!(replay.units[0].cached.as_ref().unwrap().len(), 3);
         assert!(replay.units[0].seeds.is_empty());
@@ -863,7 +1257,7 @@ mod tests {
             .build()
             .unwrap();
         let shifted_units = plan_units(&shifted, 8).unwrap();
-        let plan = plan_store(&shifted, &shifted_units, true, &store).unwrap();
+        let plan = plan_store(&shifted, &shifted_units, true, &mut store).unwrap();
         assert_eq!(plan.units_replayed(), 0);
         let seeds = &plan.units[0].seeds;
         assert!(
@@ -883,7 +1277,7 @@ mod tests {
             );
         }
         // With warm starts off no seeds flow at all.
-        let cold_plan = plan_store(&shifted, &shifted_units, false, &store).unwrap();
+        let cold_plan = plan_store(&shifted, &shifted_units, false, &mut store).unwrap();
         assert!(cold_plan.units[0].seeds.is_empty());
         fs::remove_dir_all(&dir).unwrap();
     }

@@ -1,0 +1,89 @@
+//! Byte-identity of sweeps through the network store: `run_sweep_stored`
+//! pointed at `mfa_storenet`'s `RemoteStore` (a live store-server on the
+//! other end) must reproduce the committed golden snapshots exactly — both
+//! the populating run and the full replay — and the directory the server
+//! leaves behind must be a valid *local* `SweepStore` holding the same
+//! bytes, because the wire carries the store's canonical line encoding.
+
+use std::path::PathBuf;
+
+use mfa_explore::{
+    export, figures, run_sweep_stored, zero_timing, ExecutorOptions, SweepSeries, SweepStore,
+};
+use mfa_storenet::{RemoteStore, StoreServer};
+
+fn temp_root(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mfa-remote-store-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn golden(name: &str, ext: &str) -> String {
+    let path = format!(
+        "{}/tests/golden/gp-{name}.{ext}",
+        env!("CARGO_MANIFEST_DIR")
+    );
+    std::fs::read_to_string(&path).expect("committed golden snapshot exists")
+}
+
+/// The quick Fig. 2 grid — the committed `gp-fig2` goldens' input.
+fn fig2_grid() -> mfa_explore::SweepGrid {
+    figures::paper_figures(true, false)
+        .expect("quick grids are well-formed")
+        .into_iter()
+        .find(|f| f.name == "fig2")
+        .expect("fig2 is one of the paper figures")
+        .grid
+}
+
+fn assert_golden_bytes(mut series: Vec<SweepSeries>, label: &str) {
+    zero_timing(&mut series);
+    assert_eq!(
+        export::series_to_json(&series),
+        golden("fig2", "json"),
+        "{label}: JSON diverged from the committed golden"
+    );
+    assert_eq!(
+        export::series_to_csv(&series),
+        golden("fig2", "csv"),
+        "{label}: CSV diverged from the committed golden"
+    );
+}
+
+#[test]
+fn remote_store_sweeps_reproduce_the_golden_bytes() {
+    let root = temp_root("golden");
+    let server = StoreServer::spawn("127.0.0.1:0", root.clone()).expect("store-server spawns");
+    let addr = server.local_addr().to_string();
+    let grid = fig2_grid();
+    let options = ExecutorOptions::default();
+
+    // Populate through the wire: every unit computes, the merged series are
+    // the golden bytes, and every result lands behind the server.
+    let mut store = RemoteStore::connect(&addr, "fig2").expect("client connects");
+    let (series, report) =
+        run_sweep_stored(&grid, &options, &mut store).expect("populating remote run");
+    assert_eq!(report.units_replayed, 0);
+    assert!(report.units_computed > 0);
+    assert_golden_bytes(series, "populating remote run");
+
+    // A second client (another sweep host in the shared-store topology)
+    // replays everything without computing a single point.
+    let mut store = RemoteStore::connect(&addr, "fig2").expect("second client connects");
+    let (series, report) = run_sweep_stored(&grid, &options, &mut store).expect("remote replay");
+    assert_eq!(report.points_computed, 0, "full replay computes nothing");
+    assert_golden_bytes(series, "remote replay");
+
+    // The server's namespace directory is an ordinary local store: opening
+    // it directly replays the same bytes, so local and remote access are
+    // interchangeable views of one cache.
+    server.stop();
+    let mut local = SweepStore::open(root.join("fig2")).expect("server directory opens locally");
+    assert_eq!(local.corrupt_entries(), 0);
+    assert_eq!(local.version_mismatches(), 0);
+    let (series, report) = run_sweep_stored(&grid, &options, &mut local).expect("local replay");
+    assert_eq!(report.points_computed, 0, "local replay computes nothing");
+    assert_golden_bytes(series, "local replay of the server's directory");
+
+    let _ = std::fs::remove_dir_all(&root);
+}

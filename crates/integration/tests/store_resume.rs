@@ -74,7 +74,7 @@ fn commit_partial(grid: &SweepGrid, dir: &PathBuf, keep: impl Fn(usize) -> bool)
     let options = ExecutorOptions::default();
     let units = plan_units(grid, options.chunk_size).expect("grid plans");
     let mut store = SweepStore::open(dir).expect("store opens");
-    let plan = plan_store(grid, &units, options.warm_start, &store).expect("store plans");
+    let plan = plan_store(grid, &units, options.warm_start, &mut store).expect("store plans");
     for (idx, unit) in units.iter().enumerate() {
         if !keep(idx) {
             continue;
@@ -422,9 +422,9 @@ proptest! {
     fn fingerprints_are_invariant_under_chunking(chunk_size in 1usize..6) {
         let grid = fig2_grid();
         let dir = temp_store(&format!("chunking-{chunk_size}"));
-        let store = SweepStore::open(&dir).expect("store opens");
+        let mut store = SweepStore::open(&dir).expect("store opens");
         let units = plan_units(&grid, chunk_size).expect("grid plans");
-        let plan = plan_store(&grid, &units, true, &store).expect("store plans");
+        let plan = plan_store(&grid, &units, true, &mut store).expect("store plans");
         for (unit, unit_plan) in units.iter().zip(&plan.units) {
             let series_fp = series_fingerprint(&grid, unit.series, true).expect("series fp");
             prop_assert_eq!(series_fp, unit_plan.series_fp);

@@ -11,6 +11,10 @@
 //!   --degrade-margin-ms N  remaining-deadline threshold below which requests
 //!                        degrade to the greedy backend (default 50)
 //!   --no-warm-start      disable the fingerprint-keyed warm-start cache
+//!   --read-timeout-ms N  drop connections producing no frame within N ms
+//!                        (default 30000; 0 waits forever)
+//!   --spill SPEC         persist the warm cache: a store directory path, or
+//!                        tcp://host:port for a shared store-server
 //! ```
 
 use std::process::ExitCode;
@@ -46,6 +50,15 @@ fn parse_args() -> Result<Args, String> {
                     Duration::from_millis(count_flag("--degrade-margin-ms")? as u64);
             }
             "--no-warm-start" => options.warm_start = false,
+            "--read-timeout-ms" => {
+                options.read_timeout = match count_flag("--read-timeout-ms")? {
+                    0 => None,
+                    ms => Some(Duration::from_millis(ms as u64)),
+                };
+            }
+            "--spill" => {
+                options.spill = Some(iter.next().ok_or("--spill needs a path or tcp:// URL")?);
+            }
             other => {
                 return Err(format!("unknown flag {other} (see the header of serve.rs)"));
             }
@@ -85,8 +98,13 @@ fn main() -> ExitCode {
     let stats = handle.stats();
     handle.stop();
     println!(
-        "served={} degraded={} rejected={} skipped={} decode_errors={}",
-        stats.served, stats.degraded, stats.rejected, stats.skipped, stats.decode_errors
+        "served={} degraded={} rejected={} skipped={} decode_errors={} read_timeouts={}",
+        stats.served,
+        stats.degraded,
+        stats.rejected,
+        stats.skipped,
+        stats.decode_errors,
+        stats.read_timeouts
     );
     ExitCode::SUCCESS
 }

@@ -8,6 +8,8 @@
 //!   --backend NAME       gpa (default), gpa-fast, greedy, exact
 //!   --deadline-ms F      wall-clock budget in milliseconds (default: none)
 //!   --no-warm            opt this request out of the warm-start cache
+//!   --stats              print the daemon's serving/cache counters instead
+//!                        of solving
 //!   --shutdown           send a shutdown frame instead of a solve request
 //! ```
 
@@ -23,6 +25,7 @@ struct Args {
     backend: BackendKind,
     deadline_ms: Option<f64>,
     warm: bool,
+    stats: bool,
     shutdown: bool,
 }
 
@@ -34,6 +37,7 @@ fn parse_args() -> Result<Args, String> {
         backend: BackendKind::Gpa,
         deadline_ms: None,
         warm: true,
+        stats: false,
         shutdown: false,
     };
     let mut connect = None;
@@ -70,6 +74,7 @@ fn parse_args() -> Result<Args, String> {
                 );
             }
             "--no-warm" => args.warm = false,
+            "--stats" => args.stats = true,
             "--shutdown" => args.shutdown = true,
             other => {
                 return Err(format!(
@@ -97,6 +102,26 @@ fn main() -> ExitCode {
             println!("shutdown sent");
             return Ok(ExitCode::SUCCESS);
         }
+        if args.stats {
+            let stats = client.stats()?;
+            println!(
+                "served={} degraded={} rejected={} skipped={} decode_errors={} \
+                 read_timeouts={} cache_families={} cache_hits={} cache_misses={} \
+                 cache_evictions={} hit_rate={:.3}",
+                stats.served,
+                stats.degraded,
+                stats.rejected,
+                stats.skipped,
+                stats.decode_errors,
+                stats.read_timeouts,
+                stats.cache_families,
+                stats.cache_hits,
+                stats.cache_misses,
+                stats.cache_evictions,
+                stats.hit_rate,
+            );
+            return Ok(ExitCode::SUCCESS);
+        }
         let problem = args.case.problem(args.constraint)?;
         let reply = client.solve(
             &problem,
@@ -110,9 +135,16 @@ fn main() -> ExitCode {
                     Some(from) => format!(" (degraded from {from})"),
                     None => String::new(),
                 };
+                // Abbreviate the warm-family digest for the terminal; the full
+                // 32-digit form stays on the wire for exact comparisons.
+                let family = outcome
+                    .fingerprint
+                    .parse::<mfa_alloc::fingerprint::Fingerprint>()
+                    .map(|fp| fp.short_hex())
+                    .unwrap_or_else(|_| outcome.fingerprint.clone());
                 println!(
                     "II = {:.4} ms  backend = {}{degraded}  warm = {}  cache_hit = {}  \
-                     solve = {:.2} ms  queue = {:.2} ms",
+                     family = {family}  solve = {:.2} ms  queue = {:.2} ms",
                     outcome.ii_ms,
                     outcome.backend,
                     outcome.warm_start,

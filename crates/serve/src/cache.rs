@@ -15,13 +15,27 @@
 //! lands every request in one family, and each solve warms from its nearest
 //! predecessor — including the exact same budget on a repeat request, whose
 //! refreshed entry hands back the solved point's own GP dual state.
+//!
+//! Two policies bound and extend the cache:
+//!
+//! - **LRU family eviction** — once `family_capacity` families exist, the
+//!   least-recently *used* family makes room, so a hot tenant's family
+//!   survives a flood of one-shot requests (FIFO would rotate it out).
+//! - **Spill persistence** — an optional [`ResultStore`] backend (a local
+//!   store directory or `mfa_storenet`'s remote client) receives every
+//!   recorded warm start and re-seeds families on a miss, so a restarted
+//!   daemon warms from its predecessor's work and daemons sharing one
+//!   store-server warm from each other's. The spill is best-effort: a
+//!   broken backend only costs cold solves, never requests.
+
+use std::fmt;
 
 use mfa_alloc::fingerprint::Fingerprint;
 use mfa_alloc::solver::WarmStart;
 use mfa_alloc::AllocationProblem;
 use mfa_explore::json::Json;
-use mfa_explore::wire::{problem_to_json, WireError};
-use mfa_explore::WarmStartCache;
+use mfa_explore::wire::{budget_to_json, problem_to_json, WireError};
+use mfa_explore::{ResultStore, StoreEntry, WarmStartCache, STORE_VERSION};
 use mfa_platform::ResourceBudget;
 
 use crate::protocol::PROTOCOL_VERSION;
@@ -48,65 +62,232 @@ pub fn family_fingerprint(
     ))
 }
 
+/// The store key of one spilled warm start: family plus exact budget, in
+/// the store's version domain (a store-version bump invalidates spilled
+/// state exactly like it invalidates sweep results).
+fn spill_key(family: &Fingerprint, budget: &ResourceBudget) -> Option<Fingerprint> {
+    let budget = budget_to_json(budget).ok()?;
+    Some(Fingerprint::of_parts(
+        STORE_VERSION as u64,
+        &["serve-spill", &family.to_hex(), &budget.to_string()],
+    ))
+}
+
 /// Fingerprint-keyed warm-start store: one bounded [`WarmStartCache`] per
-/// request family, with FIFO eviction of whole families once
-/// `family_capacity` is reached (the same deterministic bounded-growth
-/// policy the per-family caches use for budgets).
-#[derive(Debug)]
+/// request family, LRU eviction of whole families once `family_capacity` is
+/// reached, hit/miss accounting, and optional spill persistence.
 pub struct ServeCache {
-    families: Vec<(Fingerprint, WarmStartCache)>,
+    /// `(family, budgets, last_used)` — `last_used` is a tick of the
+    /// monotonic `clock`, bumped by every lookup and record that touches
+    /// the family.
+    families: Vec<(Fingerprint, WarmStartCache, u64)>,
     family_capacity: usize,
     budget_capacity: usize,
+    clock: u64,
+    hits: usize,
+    misses: usize,
+    evictions: usize,
+    spill_errors: usize,
+    spill: Option<Box<dyn ResultStore + Send>>,
+}
+
+impl fmt::Debug for ServeCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ServeCache")
+            .field("families", &self.families.len())
+            .field("family_capacity", &self.family_capacity)
+            .field("budget_capacity", &self.budget_capacity)
+            .field("hits", &self.hits)
+            .field("misses", &self.misses)
+            .field("evictions", &self.evictions)
+            .field("spill", &self.spill.is_some())
+            .field("spill_errors", &self.spill_errors)
+            .finish()
+    }
 }
 
 impl ServeCache {
-    /// An empty cache holding at most `family_capacity` families of at most
-    /// `budget_capacity` budget entries each. A zero `family_capacity`
-    /// caches nothing.
+    /// An empty in-memory cache holding at most `family_capacity` families
+    /// of at most `budget_capacity` budget entries each. A zero
+    /// `family_capacity` caches nothing.
     pub fn new(family_capacity: usize, budget_capacity: usize) -> Self {
         ServeCache {
             families: Vec::new(),
             family_capacity,
             budget_capacity,
+            clock: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+            spill_errors: 0,
+            spill: None,
         }
     }
 
-    /// Number of families currently cached.
+    /// Like [`new`](Self::new), but backed by a spill store: recorded warm
+    /// starts are persisted to it and family misses re-seed from it.
+    pub fn with_spill(
+        family_capacity: usize,
+        budget_capacity: usize,
+        spill: Box<dyn ResultStore + Send>,
+    ) -> Self {
+        ServeCache {
+            spill: Some(spill),
+            ..ServeCache::new(family_capacity, budget_capacity)
+        }
+    }
+
+    /// Number of families currently cached in memory.
     pub fn len(&self) -> usize {
         self.families.len()
     }
 
-    /// `true` when no family has been recorded yet.
+    /// `true` when no family is held in memory.
     pub fn is_empty(&self) -> bool {
         self.families.is_empty()
     }
 
+    /// Lookups answered with a warm start.
+    pub fn hits(&self) -> usize {
+        self.hits
+    }
+
+    /// Lookups answered empty.
+    pub fn misses(&self) -> usize {
+        self.misses
+    }
+
+    /// Families evicted to make room.
+    pub fn evictions(&self) -> usize {
+        self.evictions
+    }
+
+    /// Best-effort spill operations that failed (the cache keeps serving
+    /// from memory when the backend misbehaves).
+    pub fn spill_errors(&self) -> usize {
+        self.spill_errors
+    }
+
+    /// Fraction of lookups answered with a warm start (`0.0` before any
+    /// lookup).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
     /// The warm-start state of the solved budget nearest to `budget` within
-    /// `family`, if that family has any entries.
-    pub fn lookup(&self, family: Fingerprint, budget: &ResourceBudget) -> Option<WarmStart> {
-        self.families
-            .iter()
-            .find(|(fp, _)| *fp == family)
-            .and_then(|(_, cache)| cache.nearest(budget))
-            .cloned()
+    /// `family`, if that family has any entries — consulting the spill
+    /// store for families not in memory (which is how a restarted daemon
+    /// warms from its predecessor's spilled state).
+    pub fn lookup(&mut self, family: Fingerprint, budget: &ResourceBudget) -> Option<WarmStart> {
+        if self.family_capacity == 0 {
+            self.misses += 1;
+            return None;
+        }
+        self.clock += 1;
+        let mut slot = self.families.iter().position(|(fp, _, _)| *fp == family);
+        if slot.is_none() {
+            if let Some(cache) = self.unspill(&family) {
+                self.insert_family(family, cache);
+                slot = Some(self.families.len() - 1);
+            }
+        }
+        let found = slot.and_then(|at| {
+            let (_, cache, last_used) = &mut self.families[at];
+            *last_used = self.clock;
+            cache.nearest(budget).cloned()
+        });
+        match found.is_some() {
+            true => self.hits += 1,
+            false => self.misses += 1,
+        }
+        found
     }
 
     /// Records the warm-start state a solved request published, creating the
-    /// family (and evicting the oldest one when at capacity) if needed.
+    /// family (and evicting the least-recently-used one when at capacity)
+    /// if needed, and persisting the entry to the spill store when one is
+    /// configured.
     pub fn record(&mut self, family: Fingerprint, budget: &ResourceBudget, warm: WarmStart) {
         if self.family_capacity == 0 {
             return;
         }
-        if let Some((_, cache)) = self.families.iter_mut().find(|(fp, _)| *fp == family) {
+        self.clock += 1;
+        self.persist(&family, budget, &warm);
+        if let Some((_, cache, last_used)) =
+            self.families.iter_mut().find(|(fp, _, _)| *fp == family)
+        {
+            *last_used = self.clock;
             cache.insert(budget, warm);
             return;
         }
-        if self.families.len() == self.family_capacity {
-            self.families.remove(0);
-        }
         let mut cache = WarmStartCache::with_capacity(self.budget_capacity);
         cache.insert(budget, warm);
-        self.families.push((family, cache));
+        self.insert_family(family, cache);
+    }
+
+    /// Inserts a family, evicting the LRU one when at capacity.
+    fn insert_family(&mut self, family: Fingerprint, cache: WarmStartCache) {
+        if self.families.len() == self.family_capacity {
+            let lru = self
+                .families
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, (_, _, last_used))| *last_used)
+                .map(|(at, _)| at)
+                .expect("capacity > 0 means a nonempty full cache");
+            self.families.remove(lru);
+            self.evictions += 1;
+        }
+        self.families.push((family, cache, self.clock));
+    }
+
+    /// Loads a family's spilled budget entries, if a spill store is
+    /// configured and holds any. Entries arrive sorted by store fingerprint,
+    /// so the rebuilt cache is deterministic for a given store content.
+    fn unspill(&mut self, family: &Fingerprint) -> Option<WarmStartCache> {
+        let spill = self.spill.as_mut()?;
+        let entries = match spill.get_series(family) {
+            Ok(entries) => entries,
+            Err(_) => {
+                self.spill_errors += 1;
+                return None;
+            }
+        };
+        let mut cache = WarmStartCache::with_capacity(self.budget_capacity);
+        for (_, entry) in entries {
+            if !entry.warm.is_empty() {
+                cache.insert(&entry.budget, entry.warm);
+            }
+        }
+        (!cache.is_empty()).then_some(cache)
+    }
+
+    /// Best-effort spill of one recorded warm start.
+    fn persist(&mut self, family: &Fingerprint, budget: &ResourceBudget, warm: &WarmStart) {
+        if warm.is_empty() {
+            return;
+        }
+        let Some(spill) = self.spill.as_mut() else {
+            return;
+        };
+        let Some(key) = spill_key(family, budget) else {
+            self.spill_errors += 1;
+            return;
+        };
+        let entry = StoreEntry {
+            series: *family,
+            budget: *budget,
+            point: None,
+            warm: warm.clone(),
+        };
+        if spill.put(vec![(key, entry)]).is_err() {
+            self.spill_errors += 1;
+        }
     }
 }
 
@@ -114,9 +295,15 @@ impl ServeCache {
 mod tests {
     use super::*;
     use mfa_alloc::cases::PaperCase;
+    use mfa_explore::SweepStore;
+    use proptest::prelude::*;
 
     fn warm(ii: f64) -> WarmStart {
         WarmStart::none().with_relaxed_ii(ii)
+    }
+
+    fn fam(name: &str) -> Fingerprint {
+        Fingerprint::of_parts(1, &[name])
     }
 
     #[test]
@@ -142,67 +329,103 @@ mod tests {
     #[test]
     fn lookup_warms_from_the_nearest_budget_in_the_right_family() {
         let mut cache = ServeCache::new(4, 8);
-        let fam_a = Fingerprint::of_parts(1, &["a"]);
-        let fam_b = Fingerprint::of_parts(1, &["b"]);
         assert!(cache.is_empty());
-        cache.record(fam_a, &ResourceBudget::uniform(0.55), warm(2.0));
-        cache.record(fam_a, &ResourceBudget::uniform(0.85), warm(1.0));
-        cache.record(fam_b, &ResourceBudget::uniform(0.60), warm(9.0));
+        cache.record(fam("a"), &ResourceBudget::uniform(0.55), warm(2.0));
+        cache.record(fam("a"), &ResourceBudget::uniform(0.85), warm(1.0));
+        cache.record(fam("b"), &ResourceBudget::uniform(0.60), warm(9.0));
         assert_eq!(cache.len(), 2);
-        let hit = cache.lookup(fam_a, &ResourceBudget::uniform(0.60)).unwrap();
+        let hit = cache
+            .lookup(fam("a"), &ResourceBudget::uniform(0.60))
+            .unwrap();
         assert!((hit.relaxed_ii_ms.unwrap() - 2.0).abs() < 1e-12);
         // The other family's entry at 0.60 exactly never leaks across.
-        let far = cache.lookup(fam_a, &ResourceBudget::uniform(0.80)).unwrap();
+        let far = cache
+            .lookup(fam("a"), &ResourceBudget::uniform(0.80))
+            .unwrap();
         assert!((far.relaxed_ii_ms.unwrap() - 1.0).abs() < 1e-12);
         assert!(cache
-            .lookup(
-                Fingerprint::of_parts(1, &["c"]),
-                &ResourceBudget::uniform(0.6)
-            )
+            .lookup(fam("c"), &ResourceBudget::uniform(0.6))
             .is_none());
+        // 2 hits, 1 miss — the rate the stats frame reports.
+        assert_eq!(cache.hits(), 2);
+        assert_eq!(cache.misses(), 1);
+        assert!((cache.hit_rate() - 2.0 / 3.0).abs() < 1e-12);
     }
 
     #[test]
-    fn family_eviction_is_fifo_and_bounded() {
+    fn family_eviction_is_lru_and_bounded() {
+        let budget = ResourceBudget::uniform(0.5);
         let mut cache = ServeCache::new(2, 8);
-        for (i, name) in ["a", "b", "c"].iter().enumerate() {
-            cache.record(
-                Fingerprint::of_parts(1, &[name]),
-                &ResourceBudget::uniform(0.5),
-                warm(i as f64),
-            );
-        }
+        cache.record(fam("a"), &budget, warm(0.0));
+        cache.record(fam("b"), &budget, warm(1.0));
+        // Touch "a": under LRU the next eviction takes "b"; FIFO would have
+        // taken "a".
+        assert!(cache.lookup(fam("a"), &budget).is_some());
+        cache.record(fam("c"), &budget, warm(2.0));
         assert_eq!(cache.len(), 2);
-        // The oldest family ("a") is gone; "b" and "c" remain.
-        assert!(cache
-            .lookup(
-                Fingerprint::of_parts(1, &["a"]),
-                &ResourceBudget::uniform(0.5)
-            )
-            .is_none());
-        assert!(cache
-            .lookup(
-                Fingerprint::of_parts(1, &["b"]),
-                &ResourceBudget::uniform(0.5)
-            )
-            .is_some());
+        assert_eq!(cache.evictions(), 1);
+        assert!(cache.lookup(fam("b"), &budget).is_none());
+        assert!(cache.lookup(fam("a"), &budget).is_some());
+        assert!(cache.lookup(fam("c"), &budget).is_some());
         // Touching an existing family refreshes it in place, no growth.
-        cache.record(
-            Fingerprint::of_parts(1, &["b"]),
-            &ResourceBudget::uniform(0.5),
-            warm(7.0),
-        );
+        cache.record(fam("a"), &budget, warm(7.0));
         assert_eq!(cache.len(), 2);
     }
 
     #[test]
     fn zero_family_capacity_caches_nothing() {
         let mut cache = ServeCache::new(0, 8);
-        cache.record(
-            Fingerprint::of_parts(1, &["a"]),
-            &ResourceBudget::uniform(0.5),
-            warm(1.0),
-        );
+        cache.record(fam("a"), &ResourceBudget::uniform(0.5), warm(1.0));
         assert!(cache.is_empty());
+        assert!(cache
+            .lookup(fam("a"), &ResourceBudget::uniform(0.5))
+            .is_none());
+        assert_eq!(cache.hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn spilled_state_survives_a_cache_restart() {
+        let dir =
+            std::env::temp_dir().join(format!("mfa-serve-cache-spill-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let budget = ResourceBudget::uniform(0.7);
+        {
+            let spill = Box::new(SweepStore::open(&dir).unwrap());
+            let mut cache = ServeCache::with_spill(4, 8, spill);
+            cache.record(fam("a"), &budget, warm(3.0));
+            // Empty warm starts are not worth persisting.
+            cache.record(fam("b"), &budget, WarmStart::none());
+            assert_eq!(cache.spill_errors(), 0);
+        }
+        // A fresh cache over the same spill dir — the restarted daemon.
+        let spill = Box::new(SweepStore::open(&dir).unwrap());
+        let mut cache = ServeCache::with_spill(4, 8, spill);
+        assert!(cache.is_empty());
+        let hit = cache.lookup(fam("a"), &budget).expect("unspilled hit");
+        assert!((hit.relaxed_ii_ms.unwrap() - 3.0).abs() < 1e-12);
+        assert_eq!(cache.hits(), 1);
+        assert!(cache.lookup(fam("b"), &budget).is_none());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    proptest! {
+        // The LRU guarantee that matters operationally: a family that stays
+        // hot (touched between arrivals) survives any flood of cold
+        // families, whatever their number or order.
+        #[test]
+        fn a_hot_family_survives_a_cold_family_flood(
+            cold in proptest::collection::vec(0usize..=40, 0usize..64),
+            capacity in 2usize..6,
+        ) {
+            let budget = ResourceBudget::uniform(0.5);
+            let mut cache = ServeCache::new(capacity, 4);
+            cache.record(fam("hot"), &budget, warm(1.0));
+            for (i, key) in cold.iter().enumerate() {
+                prop_assert!(cache.lookup(fam("hot"), &budget).is_some());
+                cache.record(fam(&format!("cold-{key}")), &budget, warm(i as f64));
+                prop_assert!(cache.len() <= capacity);
+            }
+            prop_assert!(cache.lookup(fam("hot"), &budget).is_some());
+        }
     }
 }

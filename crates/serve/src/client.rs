@@ -6,7 +6,9 @@ use std::net::TcpStream;
 use mfa_alloc::AllocationProblem;
 
 use crate::error::ServeError;
-use crate::protocol::{BackendKind, FromServe, SolveOutcome, ToServe, PROTOCOL_VERSION};
+use crate::protocol::{
+    BackendKind, FromServe, SolveOutcome, StatsReport, ToServe, PROTOCOL_VERSION,
+};
 
 /// How the daemon answered one solve request (the non-error outcomes; a
 /// daemon-side request failure surfaces as [`ServeError::Server`]).
@@ -105,6 +107,25 @@ impl ServeClient {
             FromServe::Skipped { id: got, reason } if got == id => {
                 Ok(SolveReply::Skipped { reason })
             }
+            FromServe::Error { message, .. } => Err(ServeError::Server(message)),
+            other => Err(ServeError::Protocol(format!(
+                "reply for the wrong request: expected id {id}, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Fetches the daemon's serving and warm-cache counters.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Server`] when the daemon reports a failure; transport
+    /// and protocol errors otherwise.
+    pub fn stats(&mut self) -> Result<StatsReport, ServeError> {
+        self.next_id += 1;
+        let id = self.next_id;
+        self.send(&ToServe::Stats { id })?;
+        match self.read_frame()? {
+            FromServe::Stats { id: got, stats } if got == id => Ok(stats),
             FromServe::Error { message, .. } => Err(ServeError::Server(message)),
             other => Err(ServeError::Protocol(format!(
                 "reply for the wrong request: expected id {id}, got {other:?}"

@@ -1,6 +1,7 @@
 //! Error type of the allocation service.
 
 use std::fmt;
+use std::time::Duration;
 
 use mfa_explore::wire::WireError;
 
@@ -18,6 +19,11 @@ pub enum ServeError {
     /// The daemon reported a request-level failure (invalid deadline,
     /// non-skippable solver error). Carries the daemon's message verbatim.
     Server(String),
+    /// A connection produced no complete frame within the per-request read
+    /// timeout; the daemon dropped it to reclaim the reader thread.
+    ReadTimeout(Duration),
+    /// The warm-cache spill backend could not be opened at startup.
+    Spill(String),
 }
 
 impl fmt::Display for ServeError {
@@ -27,6 +33,10 @@ impl fmt::Display for ServeError {
             ServeError::Wire(err) => write!(f, "wire error: {err}"),
             ServeError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
             ServeError::Server(msg) => write!(f, "server error: {msg}"),
+            ServeError::ReadTimeout(limit) => {
+                write!(f, "read timed out: no complete frame within {:.0?}", limit)
+            }
+            ServeError::Spill(msg) => write!(f, "cannot open spill backend: {msg}"),
         }
     }
 }
@@ -36,7 +46,10 @@ impl std::error::Error for ServeError {
         match self {
             ServeError::Io(err) => Some(err),
             ServeError::Wire(err) => Some(err),
-            ServeError::Protocol(_) | ServeError::Server(_) => None,
+            ServeError::Protocol(_)
+            | ServeError::Server(_)
+            | ServeError::ReadTimeout(_)
+            | ServeError::Spill(_) => None,
         }
     }
 }
@@ -68,5 +81,11 @@ mod tests {
         assert!(ServeError::Wire(WireError::NonFinite("ii_ms"))
             .to_string()
             .contains("ii_ms"));
+        assert!(ServeError::ReadTimeout(Duration::from_millis(250))
+            .to_string()
+            .contains("timed out"));
+        assert!(ServeError::Spill("no such dir".into())
+            .to_string()
+            .contains("spill"));
     }
 }

@@ -14,7 +14,11 @@
 //!   generalized by keying caches on a content [`Fingerprint`] of the
 //!   request family (problem minus budget, plus backend label), so repeat
 //!   and neighbouring requests re-enter the GP barrier path near a solved
-//!   point's endpoint instead of from cold.
+//!   point's endpoint instead of from cold. Families are LRU-bounded, and
+//!   an optional spill backend (a store directory, or a shared
+//!   `mfa_storenet` store-server via `tcp://host:port`) persists the cache
+//!   so a restarted daemon — or a *fleet* of daemons — warms from prior
+//!   work instead of from cold.
 //! * **Bounded admission** — requests queue up to a fixed capacity and are
 //!   answered with a typed `rejected` frame (current depth + capacity) when
 //!   the queue is full, so overload degrades into explicit backpressure
@@ -26,6 +30,9 @@
 //!   substitution is recorded in the report's provenance
 //!   ([`SolveDiagnostics::degraded_from`](mfa_alloc::solver::SolveDiagnostics::degraded_from)),
 //!   so a degraded answer is auditable, never silent.
+//! * **Bounded reads and live stats** — a per-request read timeout reclaims
+//!   reader threads from stalled clients, and a `stats` frame reports the
+//!   serving counters plus the warm cache's hit rate on demand.
 //!
 //! The frame protocol ([`protocol`]) shares its version constant with the
 //! sweep dispatcher ([`mfa_dispatch::protocol::PROTOCOL_VERSION`]); the
@@ -64,7 +71,7 @@ mod server;
 pub use cache::{family_fingerprint, ServeCache};
 pub use client::{ServeClient, SolveReply};
 pub use error::ServeError;
-pub use protocol::{BackendKind, FromServe, SolveOutcome, ToServe, PROTOCOL_VERSION};
+pub use protocol::{BackendKind, FromServe, SolveOutcome, StatsReport, ToServe, PROTOCOL_VERSION};
 pub use server::{ServeHandle, ServeOptions, ServeStats};
 
 // Re-export the fingerprint type the cache keys on, so callers can hold and

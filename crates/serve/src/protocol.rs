@@ -12,8 +12,8 @@
 //! Session shape (the client is always the initiator):
 //!
 //! ```text
-//! client → daemon   {"type":"hello","protocol":4}
-//! daemon → client   {"type":"ready","protocol":4}
+//! client → daemon   {"type":"hello","protocol":5}
+//! daemon → client   {"type":"ready","protocol":5}
 //! client → daemon   {"type":"solve","id":1,"backend":"gpa","warm":true,
 //!                    "deadline_seconds":0.25,"problem":{…}}     (repeated)
 //! daemon → client   {"type":"report","id":1,"outcome":{…}}      (success)
@@ -21,6 +21,8 @@
 //!                    "capacity":64}                             (queue full)
 //!                   {"type":"skipped","id":3,"reason":"…"}      (no solution)
 //!                   {"type":"error","id":4,"message":"…"}       (bad request)
+//! client → daemon   {"type":"stats","id":5}
+//! daemon → client   {"type":"stats","id":5,"served":…,"hit_rate":…}
 //! client → daemon   {"type":"shutdown"}
 //! ```
 //!
@@ -126,6 +128,35 @@ pub struct SolveOutcome {
     pub queue_ms: f64,
 }
 
+/// The payload of a daemon `stats` reply: the serving counters plus the
+/// warm-start cache's effectiveness, so operators can watch the hit rate a
+/// shared spill store buys without scraping the daemon's exit line.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StatsReport {
+    /// Requests answered with a report frame.
+    pub served: usize,
+    /// Served requests that ran on a downgraded backend.
+    pub degraded: usize,
+    /// Requests refused at admission because the queue was full.
+    pub rejected: usize,
+    /// Requests answered as skipped (no solution under the lenient policy).
+    pub skipped: usize,
+    /// Client lines that failed to decode.
+    pub decode_errors: usize,
+    /// Connections dropped by the per-request read timeout.
+    pub read_timeouts: usize,
+    /// Request families currently held by the warm-start cache.
+    pub cache_families: usize,
+    /// Cache lookups answered with a warm start.
+    pub cache_hits: usize,
+    /// Cache lookups answered empty.
+    pub cache_misses: usize,
+    /// Families evicted by the cache's LRU policy.
+    pub cache_evictions: usize,
+    /// `cache_hits / (cache_hits + cache_misses)`, `0.0` before any lookup.
+    pub hit_rate: f64,
+}
+
 /// A frame sent from a client to the daemon.
 //
 // `Solve` dwarfs the other variants because it carries the full problem —
@@ -154,6 +185,11 @@ pub enum ToServe {
         /// Whether the daemon may warm-start this solve from its
         /// fingerprint-keyed cache (and record the result back into it).
         warm: bool,
+    },
+    /// Asks for the daemon's serving and cache counters.
+    Stats {
+        /// Client-chosen request id, echoed on the reply.
+        id: usize,
     },
     /// Stops the daemon (all connections, not just this session).
     Shutdown,
@@ -191,6 +227,13 @@ pub enum FromServe {
         id: usize,
         /// Display form of the underlying solver error.
         reason: String,
+    },
+    /// Answers a [`ToServe::Stats`].
+    Stats {
+        /// Request id being answered.
+        id: usize,
+        /// The counters.
+        stats: StatsReport,
     },
     /// The request itself was broken (malformed deadline, non-skippable
     /// solver failure).
@@ -358,6 +401,10 @@ impl ToServe {
                     ("problem", wire::problem_to_json(problem)?),
                 ])
             }
+            ToServe::Stats { id } => Json::obj(vec![
+                ("type", Json::str("stats")),
+                ("id", Json::Num(*id as f64)),
+            ]),
             ToServe::Shutdown => Json::obj(vec![("type", Json::str("shutdown"))]),
         };
         Ok(doc.to_string())
@@ -400,6 +447,9 @@ impl ToServe {
                     warm: bool_field(&doc, "warm")?,
                 })
             }
+            "stats" => Ok(ToServe::Stats {
+                id: usize_field(&doc, "id")?,
+            }),
             "shutdown" => Ok(ToServe::Shutdown),
             other => Err(WireError::Schema(format!(
                 "unknown client frame type '{other}'"
@@ -441,6 +491,21 @@ impl FromServe {
                 ("id", Json::Num(*id as f64)),
                 ("reason", Json::str(reason.as_str())),
             ]),
+            FromServe::Stats { id, stats } => Json::obj(vec![
+                ("type", Json::str("stats")),
+                ("id", Json::Num(*id as f64)),
+                ("served", Json::Num(stats.served as f64)),
+                ("degraded", Json::Num(stats.degraded as f64)),
+                ("rejected", Json::Num(stats.rejected as f64)),
+                ("skipped", Json::Num(stats.skipped as f64)),
+                ("decode_errors", Json::Num(stats.decode_errors as f64)),
+                ("read_timeouts", Json::Num(stats.read_timeouts as f64)),
+                ("cache_families", Json::Num(stats.cache_families as f64)),
+                ("cache_hits", Json::Num(stats.cache_hits as f64)),
+                ("cache_misses", Json::Num(stats.cache_misses as f64)),
+                ("cache_evictions", Json::Num(stats.cache_evictions as f64)),
+                ("hit_rate", num("hit_rate", stats.hit_rate)?),
+            ]),
             FromServe::Error { id, message } => Json::obj(vec![
                 ("type", Json::str("error")),
                 ("id", Json::Num(*id as f64)),
@@ -478,6 +543,22 @@ impl FromServe {
                 id: usize_field(&doc, "id")?,
                 reason: str_field(&doc, "reason")?.to_owned(),
             }),
+            "stats" => Ok(FromServe::Stats {
+                id: usize_field(&doc, "id")?,
+                stats: StatsReport {
+                    served: usize_field(&doc, "served")?,
+                    degraded: usize_field(&doc, "degraded")?,
+                    rejected: usize_field(&doc, "rejected")?,
+                    skipped: usize_field(&doc, "skipped")?,
+                    decode_errors: usize_field(&doc, "decode_errors")?,
+                    read_timeouts: usize_field(&doc, "read_timeouts")?,
+                    cache_families: usize_field(&doc, "cache_families")?,
+                    cache_hits: usize_field(&doc, "cache_hits")?,
+                    cache_misses: usize_field(&doc, "cache_misses")?,
+                    cache_evictions: usize_field(&doc, "cache_evictions")?,
+                    hit_rate: f64_field(&doc, "hit_rate")?,
+                },
+            }),
             "error" => Ok(FromServe::Error {
                 id: usize_field(&doc, "id")?,
                 message: str_field(&doc, "message")?.to_owned(),
@@ -514,7 +595,7 @@ mod tests {
 
     #[test]
     fn handshake_frames_match_their_goldens_exactly() {
-        // The v4 handshake bytes are the protocol's stable surface: any
+        // The v5 handshake bytes are the protocol's stable surface: any
         // drift here is an incompatible change and must bump the shared
         // PROTOCOL_VERSION.
         assert_eq!(
@@ -523,7 +604,7 @@ mod tests {
             }
             .encode()
             .unwrap(),
-            r#"{"type":"hello","protocol":4}"#
+            r#"{"type":"hello","protocol":5}"#
         );
         assert_eq!(
             FromServe::Ready {
@@ -531,7 +612,7 @@ mod tests {
             }
             .encode()
             .unwrap(),
-            r#"{"type":"ready","protocol":4}"#
+            r#"{"type":"ready","protocol":5}"#
         );
         assert_eq!(
             ToServe::Shutdown.encode().unwrap(),
@@ -559,6 +640,35 @@ mod tests {
             .encode()
             .unwrap(),
             r#"{"type":"skipped","id":3,"reason":"infeasible problem: constraint too tight"}"#
+        );
+        assert_eq!(
+            ToServe::Stats { id: 6 }.encode().unwrap(),
+            r#"{"type":"stats","id":6}"#
+        );
+        assert_eq!(
+            FromServe::Stats {
+                id: 6,
+                stats: StatsReport {
+                    served: 12,
+                    degraded: 1,
+                    rejected: 0,
+                    skipped: 2,
+                    decode_errors: 0,
+                    read_timeouts: 1,
+                    cache_families: 3,
+                    cache_hits: 6,
+                    cache_misses: 6,
+                    cache_evictions: 0,
+                    hit_rate: 0.5,
+                },
+            }
+            .encode()
+            .unwrap(),
+            concat!(
+                r#"{"type":"stats","id":6,"served":12,"degraded":1,"rejected":0,"#,
+                r#""skipped":2,"decode_errors":0,"read_timeouts":1,"cache_families":3,"#,
+                r#""cache_hits":6,"cache_misses":6,"cache_evictions":0,"hit_rate":0.5}"#
+            )
         );
         let report = FromServe::Report {
             id: 1,
@@ -592,6 +702,7 @@ mod tests {
                 deadline_seconds: Some(0.1 + 0.2),
                 warm: true,
             },
+            ToServe::Stats { id: 9 },
             ToServe::Shutdown,
         ];
         for frame in to {
@@ -623,6 +734,14 @@ mod tests {
             FromServe::Skipped {
                 id: 5,
                 reason: "greedy allocation failed".into(),
+            },
+            FromServe::Stats {
+                id: 9,
+                stats: StatsReport {
+                    served: 4,
+                    hit_rate: 0.75,
+                    ..StatsReport::default()
+                },
             },
             FromServe::Error {
                 id: 0,

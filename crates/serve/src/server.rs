@@ -14,7 +14,9 @@ use mfa_alloc::{AllocError, AllocationProblem};
 
 use crate::cache::{family_fingerprint, ServeCache};
 use crate::error::ServeError;
-use crate::protocol::{BackendKind, FromServe, SolveOutcome, ToServe, PROTOCOL_VERSION};
+use crate::protocol::{
+    BackendKind, FromServe, SolveOutcome, StatsReport, ToServe, PROTOCOL_VERSION,
+};
 
 /// Configuration of a [`ServeHandle`].
 #[derive(Debug, Clone)]
@@ -42,6 +44,15 @@ pub struct ServeOptions {
     pub family_capacity: usize,
     /// Bound on budget entries cached per family.
     pub budget_capacity: usize,
+    /// Per-request read timeout of the connection reader: a connection that
+    /// produces no complete frame within this window is dropped (and
+    /// counted), so a stalled client cannot pin a reader thread forever.
+    /// `None` waits indefinitely.
+    pub read_timeout: Option<Duration>,
+    /// Warm-cache spill backend: a store directory path, or `tcp://host:port`
+    /// to share a store-server with other daemons. `None` keeps the cache
+    /// memory-only.
+    pub spill: Option<String>,
 }
 
 impl Default for ServeOptions {
@@ -54,6 +65,8 @@ impl Default for ServeOptions {
             warm_start: true,
             family_capacity: 32,
             budget_capacity: mfa_explore::DEFAULT_CACHE_CAPACITY,
+            read_timeout: Some(Duration::from_secs(30)),
+            spill: None,
         }
     }
 }
@@ -72,6 +85,8 @@ pub struct ServeStats {
     pub skipped: usize,
     /// Client lines that failed to decode.
     pub decode_errors: usize,
+    /// Connections dropped by the per-request read timeout.
+    pub read_timeouts: usize,
 }
 
 /// One admitted request waiting for a solver worker.
@@ -97,6 +112,7 @@ struct Shared {
     rejected: AtomicUsize,
     skipped: AtomicUsize,
     decode_errors: AtomicUsize,
+    read_timeouts: AtomicUsize,
 }
 
 /// A running allocation daemon bound to a TCP address.
@@ -121,12 +137,17 @@ impl ServeHandle {
     pub fn spawn(addr: &str, options: ServeOptions) -> Result<ServeHandle, ServeError> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
-        let shared = Arc::new(Shared {
-            stop: AtomicBool::new(false),
-            cache: Mutex::new(ServeCache::new(
+        let cache = match &options.spill {
+            Some(spec) => ServeCache::with_spill(
                 options.family_capacity,
                 options.budget_capacity,
-            )),
+                open_spill(spec)?,
+            ),
+            None => ServeCache::new(options.family_capacity, options.budget_capacity),
+        };
+        let shared = Arc::new(Shared {
+            stop: AtomicBool::new(false),
+            cache: Mutex::new(cache),
             options,
             queue: Mutex::new(VecDeque::new()),
             queue_cv: Condvar::new(),
@@ -135,6 +156,7 @@ impl ServeHandle {
             rejected: AtomicUsize::new(0),
             skipped: AtomicUsize::new(0),
             decode_errors: AtomicUsize::new(0),
+            read_timeouts: AtomicUsize::new(0),
         });
         let workers = (0..shared.options.workers)
             .map(|_| {
@@ -174,7 +196,14 @@ impl ServeHandle {
             rejected: self.shared.rejected.load(Ordering::Relaxed),
             skipped: self.shared.skipped.load(Ordering::Relaxed),
             decode_errors: self.shared.decode_errors.load(Ordering::Relaxed),
+            read_timeouts: self.shared.read_timeouts.load(Ordering::Relaxed),
         }
+    }
+
+    /// The full stats payload a `stats` frame answers with (serving
+    /// counters plus warm-cache effectiveness).
+    pub fn stats_report(&self) -> StatsReport {
+        stats_report(&self.shared)
     }
 
     /// Stops the daemon: wakes the accept loop and the workers, then joins
@@ -191,6 +220,37 @@ impl ServeHandle {
         for worker in self.workers.drain(..) {
             let _ = worker.join();
         }
+    }
+}
+
+/// Opens the warm-cache spill backend a `--spill` spec names: a
+/// `tcp://host:port` store-server session (namespace `serve-cache`, shared
+/// by every daemon pointing at that server) or a local store directory.
+fn open_spill(spec: &str) -> Result<Box<dyn mfa_explore::ResultStore + Send>, ServeError> {
+    match mfa_storenet::store_url(spec) {
+        Some(addr) => mfa_storenet::RemoteStore::connect(addr, "serve-cache")
+            .map(|store| Box::new(store) as Box<dyn mfa_explore::ResultStore + Send>)
+            .map_err(|err| ServeError::Spill(format!("{spec}: {err}"))),
+        None => mfa_explore::SweepStore::open(spec)
+            .map(|store| Box::new(store) as Box<dyn mfa_explore::ResultStore + Send>)
+            .map_err(|err| ServeError::Spill(format!("{spec}: {err}"))),
+    }
+}
+
+fn stats_report(shared: &Shared) -> StatsReport {
+    let cache = shared.cache.lock().expect("cache mutex poisoned");
+    StatsReport {
+        served: shared.served.load(Ordering::Relaxed),
+        degraded: shared.degraded.load(Ordering::Relaxed),
+        rejected: shared.rejected.load(Ordering::Relaxed),
+        skipped: shared.skipped.load(Ordering::Relaxed),
+        decode_errors: shared.decode_errors.load(Ordering::Relaxed),
+        read_timeouts: shared.read_timeouts.load(Ordering::Relaxed),
+        cache_families: cache.len(),
+        cache_hits: cache.hits(),
+        cache_misses: cache.misses(),
+        cache_evictions: cache.evictions(),
+        hit_rate: cache.hit_rate(),
     }
 }
 
@@ -223,6 +283,10 @@ fn connection_loop(stream: TcpStream, shared: &Arc<Shared>) {
             return;
         }
     }));
+    if let Err(err) = stream.set_read_timeout(shared.options.read_timeout) {
+        eprintln!("serve: cannot arm read timeout: {err}");
+        return;
+    }
     let mut reader = BufReader::new(stream);
     let mut line = String::new();
     loop {
@@ -233,6 +297,29 @@ fn connection_loop(stream: TcpStream, shared: &Arc<Shared>) {
         match reader.read_line(&mut line) {
             Ok(0) => return,
             Ok(_) => {}
+            // A timed-out read surfaces as WouldBlock or TimedOut depending
+            // on the platform; either way the client stalled mid-frame (or
+            // went silent) and the reader thread is reclaimed.
+            Err(err)
+                if matches!(
+                    err.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                shared.read_timeouts.fetch_add(1, Ordering::Relaxed);
+                let limit = shared
+                    .options
+                    .read_timeout
+                    .expect("a read only times out when a timeout is armed");
+                let _ = write_frame(
+                    &writer,
+                    &FromServe::Error {
+                        id: 0,
+                        message: ServeError::ReadTimeout(limit).to_string(),
+                    },
+                );
+                return;
+            }
             Err(err) => {
                 eprintln!("serve: connection read failed: {err}");
                 return;
@@ -278,6 +365,15 @@ fn connection_loop(stream: TcpStream, shared: &Arc<Shared>) {
                     backend,
                     deadline_seconds,
                     warm,
+                );
+            }
+            Ok(ToServe::Stats { id }) => {
+                let _ = write_frame(
+                    &writer,
+                    &FromServe::Stats {
+                        id,
+                        stats: stats_report(shared),
+                    },
                 );
             }
             Ok(ToServe::Shutdown) => {

@@ -235,3 +235,169 @@ fn a_shutdown_frame_stops_the_daemon() {
     assert!(handle.is_stopped());
     handle.stop();
 }
+
+#[test]
+fn stalled_clients_are_timed_out_and_counted() {
+    let (handle, addr) = spawn(ServeOptions {
+        workers: 1,
+        read_timeout: Some(Duration::from_millis(150)),
+        ..ServeOptions::default()
+    });
+    let stream = TcpStream::connect(&addr).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut line = ToServe::Hello {
+        protocol: PROTOCOL_VERSION,
+    }
+    .encode()
+    .unwrap();
+    line.push('\n');
+    (&stream).write_all(line.as_bytes()).unwrap();
+    let mut reply = String::new();
+    reader.read_line(&mut reply).unwrap();
+    assert_eq!(
+        FromServe::decode(reply.trim_end()).unwrap(),
+        FromServe::Ready {
+            protocol: PROTOCOL_VERSION
+        }
+    );
+    // Half a frame, then silence: the daemon must reclaim the reader thread
+    // instead of waiting forever, answering a typed timeout error first.
+    (&stream).write_all(b"{\"type\":\"solve\",\"id\":").unwrap();
+    reply.clear();
+    reader.read_line(&mut reply).unwrap();
+    match FromServe::decode(reply.trim_end()).unwrap() {
+        FromServe::Error { message, .. } => {
+            assert!(message.contains("timed out"), "{message}");
+        }
+        other => panic!("expected a timeout error frame, got {other:?}"),
+    }
+    // The dropped connection is counted, and the daemon still serves others.
+    assert_eq!(handle.stats().read_timeouts, 1);
+    let mut client = ServeClient::connect(&addr).unwrap();
+    let reply = client
+        .solve(&alex16(0.70), BackendKind::Greedy, None, false)
+        .unwrap();
+    assert!(matches!(reply, SolveReply::Report(_)));
+    handle.stop();
+}
+
+#[test]
+fn stats_frames_report_the_cache_hit_rate() {
+    let (handle, addr) = spawn(ServeOptions {
+        workers: 1,
+        ..ServeOptions::default()
+    });
+    let mut client = ServeClient::connect(&addr).unwrap();
+    let solve = |client: &mut ServeClient| match client
+        .solve(&alex16(0.70), BackendKind::Gpa, None, true)
+        .unwrap()
+    {
+        SolveReply::Report(outcome) => outcome,
+        other => panic!("expected a report, got {other:?}"),
+    };
+    assert!(!solve(&mut client).cache_hit);
+    assert!(solve(&mut client).cache_hit);
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.served, 2);
+    assert_eq!(stats.cache_families, 1);
+    assert_eq!(stats.cache_hits, 1);
+    assert_eq!(stats.cache_misses, 1);
+    assert!((stats.hit_rate - 0.5).abs() < 1e-12, "{}", stats.hit_rate);
+    assert_eq!(stats.read_timeouts, 0);
+    // The in-process accessor answers the same payload.
+    assert_eq!(handle.stats_report(), stats);
+    handle.stop();
+}
+
+fn spill_temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("mfa-serve-spill-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn gpa_outcome(client: &mut ServeClient, constraint: f64) -> mfa_serve::SolveOutcome {
+    match client
+        .solve(&alex16(constraint), BackendKind::Gpa, None, true)
+        .unwrap()
+    {
+        SolveReply::Report(outcome) => outcome,
+        other => panic!("expected a report, got {other:?}"),
+    }
+}
+
+#[test]
+fn a_restarted_daemon_warms_from_its_spill_directory() {
+    let dir = spill_temp_dir("restart");
+    let options = || ServeOptions {
+        workers: 1,
+        spill: Some(dir.display().to_string()),
+        ..ServeOptions::default()
+    };
+    // First daemon lifetime: one cold solve, spilled on record.
+    let (handle, addr) = spawn(options());
+    let mut client = ServeClient::connect(&addr).unwrap();
+    let cold = gpa_outcome(&mut client, 0.70);
+    assert!(!cold.cache_hit);
+    assert!(cold.barrier_iterations > 0);
+    handle.stop();
+
+    // Second lifetime, fresh process state, same spill dir: the repeated
+    // request re-enters the barrier from the spilled dual endpoint — a
+    // cache hit with strictly fewer iterations than the cold solve, not a
+    // second cold start. (Barrier iterations are machine-independent effort,
+    // so "strictly fewer" is a stable contract.)
+    let (handle, addr) = spawn(options());
+    let mut client = ServeClient::connect(&addr).unwrap();
+    let warm = gpa_outcome(&mut client, 0.70);
+    assert_eq!(warm.fingerprint, cold.fingerprint);
+    assert!(warm.cache_hit, "restart-warm lookup must hit the spill");
+    assert!(
+        warm.barrier_iterations < cold.barrier_iterations,
+        "warm {} vs cold {}",
+        warm.barrier_iterations,
+        cold.barrier_iterations
+    );
+    assert!((warm.ii_ms - cold.ii_ms).abs() < 1e-9);
+    handle.stop();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn daemons_sharing_a_store_server_see_each_others_families() {
+    let root = spill_temp_dir("shared");
+    let store = mfa_storenet::StoreServer::spawn("127.0.0.1:0", root.clone()).unwrap();
+    let spill = format!("tcp://{}", store.local_addr());
+    let options = || ServeOptions {
+        workers: 1,
+        spill: Some(spill.clone()),
+        ..ServeOptions::default()
+    };
+    let (first, first_addr) = spawn(options());
+    let (second, second_addr) = spawn(options());
+
+    // Daemon one pays the cold solve and spills it to the store-server…
+    let mut client = ServeClient::connect(&first_addr).unwrap();
+    let cold = gpa_outcome(&mut client, 0.70);
+    assert!(!cold.cache_hit);
+
+    // …so daemon two — which never saw this family — warms from it.
+    let mut client = ServeClient::connect(&second_addr).unwrap();
+    let warm = gpa_outcome(&mut client, 0.70);
+    assert_eq!(warm.fingerprint, cold.fingerprint);
+    assert!(
+        warm.cache_hit,
+        "the shared store must seed the second daemon"
+    );
+    assert!(
+        warm.barrier_iterations < cold.barrier_iterations,
+        "warm {} vs cold {}",
+        warm.barrier_iterations,
+        cold.barrier_iterations
+    );
+    assert!((warm.ii_ms - cold.ii_ms).abs() < 1e-9);
+
+    first.stop();
+    second.stop();
+    store.stop();
+    std::fs::remove_dir_all(&root).unwrap();
+}

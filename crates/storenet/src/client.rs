@@ -1,0 +1,306 @@
+//! The [`RemoteStore`] client: the store-server side of the
+//! [`ResultStore`] trait, so executors, `dse` and serve daemons consume a
+//! shared network store through the exact surface a local directory store
+//! offers.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+use mfa_alloc::fingerprint::Fingerprint;
+use mfa_explore::store::{ResultStore, StoreEntry};
+use mfa_explore::{ExploreError, GcReport};
+
+use crate::error::StoreNetError;
+use crate::protocol::{FromStore, GetQuery, StoreServerStats, ToStore, PROTOCOL_VERSION};
+
+/// Extracts the address from a `tcp://host:port` store spec, the form the
+/// CLI surfaces (`dse --store tcp://…`, `serve --spill tcp://…`) use to
+/// pick the remote backend over a local directory.
+pub fn store_url(spec: &str) -> Option<&str> {
+    spec.strip_prefix("tcp://")
+}
+
+/// A [`ResultStore`] served by a remote store-server over one TCP session.
+///
+/// The session is bound to one namespace at the handshake (callers use one
+/// namespace per figure/sweep so seeds never leak across incompatible
+/// grids). All trait calls are synchronous request/reply exchanges; batched
+/// lookups ([`get_many`](ResultStore::get_many)) cross the wire as one
+/// frame, which is what keeps a remote sweep at two round trips per unit
+/// planning pass.
+///
+/// Damage accounting: the server reports its on-disk corrupt/version-skew
+/// counts through a `stats` exchange at connect time, and any entry slot
+/// that arrives version-mismatched decodes as a plain miss — the client
+/// never surfaces a decode error for damaged cached data, it just
+/// recomputes.
+#[derive(Debug)]
+pub struct RemoteStore {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    namespace: String,
+    next_id: usize,
+    corrupt_entries: usize,
+    version_mismatches: usize,
+}
+
+impl RemoteStore {
+    /// Connects to a store-server at `addr` (e.g. `127.0.0.1:7070`), runs
+    /// the v5 handshake binding `namespace`, and snapshots the server's
+    /// damage counters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreNetError`] when the connection, the handshake, or the
+    /// initial stats exchange fails (including a namespace the server
+    /// rejects).
+    pub fn connect(addr: &str, namespace: &str) -> Result<RemoteStore, StoreNetError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        let mut client = RemoteStore {
+            reader: BufReader::new(stream),
+            writer,
+            namespace: namespace.to_owned(),
+            next_id: 0,
+            corrupt_entries: 0,
+            version_mismatches: 0,
+        };
+        client.send(&ToStore::Hello {
+            protocol: PROTOCOL_VERSION,
+            namespace: Some(namespace.to_owned()),
+        })?;
+        match client.read_frame()? {
+            FromStore::Ready { protocol } if protocol == PROTOCOL_VERSION => {}
+            FromStore::Ready { protocol } => {
+                return Err(StoreNetError::Protocol(format!(
+                    "protocol version skew: client speaks {PROTOCOL_VERSION}, \
+                     store-server sent {protocol}"
+                )));
+            }
+            FromStore::Error { message, .. } => return Err(StoreNetError::Server(message)),
+            other => {
+                return Err(StoreNetError::Protocol(format!(
+                    "expected store-ready, got {other:?}"
+                )));
+            }
+        }
+        let stats = client.stats()?;
+        client.corrupt_entries = stats.corrupt_entries;
+        client.version_mismatches = stats.version_mismatches;
+        Ok(client)
+    }
+
+    /// The namespace this session is bound to.
+    pub fn namespace(&self) -> &str {
+        &self.namespace
+    }
+
+    /// Fetches the server's aggregate counters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreNetError`] on transport or protocol failure.
+    pub fn stats(&mut self) -> Result<StoreServerStats, StoreNetError> {
+        let id = self.fresh_id();
+        self.send(&ToStore::Stats { id })?;
+        match self.expect_reply(id)? {
+            FromStore::Stats { stats, .. } => Ok(stats),
+            other => Err(StoreNetError::Protocol(format!(
+                "expected stats, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Runs a GC/compaction pass on this session's namespace and returns
+    /// the server's report.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreNetError`] on transport or protocol failure, or when
+    /// the server's GC pass fails.
+    pub fn evict(&mut self) -> Result<GcReport, StoreNetError> {
+        let id = self.fresh_id();
+        self.send(&ToStore::Evict { id })?;
+        match self.expect_reply(id)? {
+            FromStore::Evicted { report, .. } => Ok(report),
+            other => Err(StoreNetError::Protocol(format!(
+                "expected evicted, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Asks the store-server to shut down (all sessions, not just this
+    /// one), consuming the client.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreNetError`] when the shutdown frame cannot be sent.
+    pub fn shutdown(mut self) -> Result<(), StoreNetError> {
+        self.send(&ToStore::Shutdown)
+    }
+
+    fn fresh_id(&mut self) -> usize {
+        self.next_id += 1;
+        self.next_id
+    }
+
+    fn send(&mut self, frame: &ToStore) -> Result<(), StoreNetError> {
+        let line = frame.encode()?;
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        Ok(())
+    }
+
+    fn read_frame(&mut self) -> Result<FromStore, StoreNetError> {
+        let mut line = String::new();
+        loop {
+            line.clear();
+            if self.reader.read_line(&mut line)? == 0 {
+                return Err(StoreNetError::Protocol(
+                    "store-server closed the session mid-request".into(),
+                ));
+            }
+            if line.trim().is_empty() {
+                continue;
+            }
+            return Ok(FromStore::decode(line.trim_end())?);
+        }
+    }
+
+    /// Reads the reply to request `id`, turning server error frames into
+    /// [`StoreNetError::Server`] and id skew into a protocol error.
+    fn expect_reply(&mut self, id: usize) -> Result<FromStore, StoreNetError> {
+        let frame = self.read_frame()?;
+        let got = match &frame {
+            FromStore::Ready { .. } => None,
+            FromStore::Entries { id, .. }
+            | FromStore::PutOk { id, .. }
+            | FromStore::Stats { id, .. }
+            | FromStore::Evicted { id, .. }
+            | FromStore::Error { id, .. } => Some(*id),
+        };
+        match got {
+            Some(got) if got == id => match frame {
+                FromStore::Error { message, .. } => Err(StoreNetError::Server(message)),
+                frame => Ok(frame),
+            },
+            // Error frames with id 0 are session-level (e.g. version skew
+            // noticed late); surface their message rather than "wrong id".
+            Some(0) => match frame {
+                FromStore::Error { message, .. } => Err(StoreNetError::Server(message)),
+                frame => Err(StoreNetError::Protocol(format!(
+                    "reply for request 0, expected {id}: {frame:?}"
+                ))),
+            },
+            _ => Err(StoreNetError::Protocol(format!(
+                "reply does not match request {id}: {frame:?}"
+            ))),
+        }
+    }
+
+    fn get(
+        &mut self,
+        query: GetQuery,
+    ) -> Result<Vec<Option<(Fingerprint, StoreEntry)>>, StoreNetError> {
+        let id = self.fresh_id();
+        self.send(&ToStore::Get { id, query })?;
+        match self.expect_reply(id)? {
+            FromStore::Entries { entries, .. } => Ok(entries),
+            other => Err(StoreNetError::Protocol(format!(
+                "expected entries, got {other:?}"
+            ))),
+        }
+    }
+}
+
+/// Folds a networked failure into the explore error domain the store trait
+/// speaks.
+fn store_err(err: StoreNetError) -> ExploreError {
+    ExploreError::Store(err.to_string())
+}
+
+impl ResultStore for RemoteStore {
+    fn get_many(&mut self, fps: &[Fingerprint]) -> Result<Vec<Option<StoreEntry>>, ExploreError> {
+        if fps.is_empty() {
+            return Ok(Vec::new());
+        }
+        let slots = self
+            .get(GetQuery::Points(fps.to_vec()))
+            .map_err(store_err)?;
+        if slots.len() != fps.len() {
+            return Err(store_err(StoreNetError::Protocol(format!(
+                "asked for {} points, server answered {} slots",
+                fps.len(),
+                slots.len()
+            ))));
+        }
+        Ok(slots
+            .into_iter()
+            .map(|slot| slot.map(|(_, entry)| entry))
+            .collect())
+    }
+
+    fn get_series(
+        &mut self,
+        series: &Fingerprint,
+    ) -> Result<Vec<(Fingerprint, StoreEntry)>, ExploreError> {
+        Ok(self
+            .get(GetQuery::Series(*series))
+            .map_err(store_err)?
+            .into_iter()
+            .flatten()
+            .collect())
+    }
+
+    fn snapshot(&mut self) -> Result<Vec<(Fingerprint, StoreEntry)>, ExploreError> {
+        Ok(self
+            .get(GetQuery::All)
+            .map_err(store_err)?
+            .into_iter()
+            .flatten()
+            .collect())
+    }
+
+    fn put(&mut self, entries: Vec<(Fingerprint, StoreEntry)>) -> Result<(), ExploreError> {
+        if entries.is_empty() {
+            return Ok(());
+        }
+        let id = self.fresh_id();
+        let count = entries.len();
+        self.send(&ToStore::Put { id, entries })
+            .map_err(store_err)?;
+        match self.expect_reply(id).map_err(store_err)? {
+            FromStore::PutOk { appended, .. } if appended == count => Ok(()),
+            FromStore::PutOk { appended, .. } => Err(store_err(StoreNetError::Protocol(format!(
+                "put {count} entries, server appended {appended}"
+            )))),
+            other => Err(store_err(StoreNetError::Protocol(format!(
+                "expected put-ok, got {other:?}"
+            )))),
+        }
+    }
+
+    fn corrupt_count(&self) -> usize {
+        self.corrupt_entries
+    }
+
+    fn version_mismatch_count(&self) -> usize {
+        self.version_mismatches
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn store_urls_strip_the_tcp_scheme_only() {
+        assert_eq!(store_url("tcp://127.0.0.1:7070"), Some("127.0.0.1:7070"));
+        assert_eq!(store_url("tcp://host:1"), Some("host:1"));
+        assert_eq!(store_url("/tmp/store-dir"), None);
+        assert_eq!(store_url("relative/dir"), None);
+        assert_eq!(store_url("udp://x:1"), None);
+    }
+}

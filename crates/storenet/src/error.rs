@@ -1,0 +1,85 @@
+//! Error type of the networked store layer.
+
+use std::fmt;
+
+use mfa_explore::wire::WireError;
+use mfa_explore::ExploreError;
+
+/// Error returned by the store-server, the [`RemoteStore`](crate::RemoteStore)
+/// client, and the store frame codec.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum StoreNetError {
+    /// A transport-level I/O failure (connect, read, write, bind).
+    Io(std::io::Error),
+    /// A frame failed to encode or decode.
+    Wire(WireError),
+    /// The peer violated the session protocol (version skew, an unexpected
+    /// frame, a reply for the wrong request id).
+    Protocol(String),
+    /// The store-server reported a request-level failure (unknown namespace,
+    /// store I/O on its side). Carries the server's message verbatim.
+    Server(String),
+    /// A local store operation failed (the server's own directory, or a
+    /// local spill dir used through the same client surface).
+    Store(ExploreError),
+}
+
+impl fmt::Display for StoreNetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreNetError::Io(err) => write!(f, "I/O error: {err}"),
+            StoreNetError::Wire(err) => write!(f, "wire error: {err}"),
+            StoreNetError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+            StoreNetError::Server(msg) => write!(f, "store-server error: {msg}"),
+            StoreNetError::Store(err) => write!(f, "store error: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreNetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreNetError::Io(err) => Some(err),
+            StoreNetError::Wire(err) => Some(err),
+            StoreNetError::Store(err) => Some(err),
+            StoreNetError::Protocol(_) | StoreNetError::Server(_) => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StoreNetError {
+    fn from(err: std::io::Error) -> Self {
+        StoreNetError::Io(err)
+    }
+}
+
+impl From<WireError> for StoreNetError {
+    fn from(err: WireError) -> Self {
+        StoreNetError::Wire(err)
+    }
+}
+
+impl From<ExploreError> for StoreNetError {
+    fn from(err: ExploreError) -> Self {
+        StoreNetError::Store(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_their_context() {
+        assert!(StoreNetError::Protocol("get before hello".into())
+            .to_string()
+            .contains("get before hello"));
+        assert!(StoreNetError::Server("unknown namespace".into())
+            .to_string()
+            .contains("namespace"));
+        assert!(StoreNetError::Wire(WireError::NonFinite("budget"))
+            .to_string()
+            .contains("budget"));
+    }
+}

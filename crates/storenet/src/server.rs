@@ -1,0 +1,392 @@
+//! The store-server: accept loop and per-connection sessions serving
+//! namespaced [`SweepStore`] directories over the JSON-lines protocol.
+
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use mfa_explore::store::{ResultStore, SweepStore};
+
+use crate::error::StoreNetError;
+use crate::protocol::{FromStore, GetQuery, StoreServerStats, ToStore, PROTOCOL_VERSION};
+
+/// Longest namespace a client may bind (a directory name under the root).
+const NAMESPACE_MAX_LEN: usize = 64;
+
+/// Validates a client-supplied namespace before it becomes a directory name.
+/// The namespace travels from an untrusted socket straight into a filesystem
+/// path, so everything that could escape the root (`..`, separators, hidden
+/// prefixes) is rejected, not sanitised.
+fn validate_namespace(namespace: &str) -> Result<(), String> {
+    if namespace.is_empty() {
+        return Err("namespace must not be empty".into());
+    }
+    if namespace.len() > NAMESPACE_MAX_LEN {
+        return Err(format!(
+            "namespace longer than {NAMESPACE_MAX_LEN} characters"
+        ));
+    }
+    if namespace.starts_with('.') {
+        return Err(format!("namespace '{namespace}' must not start with '.'"));
+    }
+    if let Some(bad) = namespace
+        .chars()
+        .find(|c| !(c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-')))
+    {
+        return Err(format!(
+            "namespace '{namespace}' has forbidden character '{bad}' \
+             (allowed: ASCII letters, digits, '.', '_', '-')"
+        ));
+    }
+    Ok(())
+}
+
+/// State shared by the accept loop and the connection sessions.
+struct Shared {
+    stop: AtomicBool,
+    root: PathBuf,
+    /// Open namespaces. A `BTreeMap` so stats aggregation walks them in a
+    /// stable order; the map is append-only (stores stay open once bound).
+    stores: Mutex<BTreeMap<String, SweepStore>>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+    puts: AtomicUsize,
+}
+
+impl Shared {
+    fn stats(&self) -> StoreServerStats {
+        let stores = self.stores.lock().expect("stores mutex poisoned");
+        let mut stats = StoreServerStats {
+            namespaces: stores.len(),
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            puts: self.puts.load(Ordering::Relaxed),
+            ..StoreServerStats::default()
+        };
+        for store in stores.values() {
+            let s = store.stats();
+            stats.entries += s.entries;
+            stats.segments += s.segments;
+            stats.orphan_tmp += s.orphan_tmp;
+            stats.duplicate_entries += s.duplicate_entries;
+            stats.corrupt_entries += s.corrupt_entries;
+            stats.version_mismatches += s.version_mismatches;
+        }
+        stats
+    }
+}
+
+/// A running store-server bound to a TCP address, serving the namespaces
+/// under one root directory.
+///
+/// [`spawn`](StoreServer::spawn) binds the listener and starts the accept
+/// loop; each client connection gets its own session thread (exiting at
+/// client EOF). [`stop`](StoreServer::stop) shuts the accept loop down and
+/// joins it — sessions hold no dirty state (every `put` is committed to disk
+/// before `put-ok` is written), so they are simply abandoned.
+pub struct StoreServer {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl StoreServer {
+    /// Binds `addr` (e.g. `127.0.0.1:0`) and starts serving the store
+    /// directories under `root` (created on first use per namespace).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreNetError::Io`] when the address cannot be bound.
+    pub fn spawn(addr: &str, root: impl Into<PathBuf>) -> Result<StoreServer, StoreNetError> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            stop: AtomicBool::new(false),
+            root: root.into(),
+            stores: Mutex::new(BTreeMap::new()),
+            hits: AtomicUsize::new(0),
+            misses: AtomicUsize::new(0),
+            puts: AtomicUsize::new(0),
+        });
+        let accept = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || accept_loop(&listener, &shared))
+        };
+        Ok(StoreServer {
+            addr: local,
+            shared,
+            accept: Some(accept),
+        })
+    }
+
+    /// The bound address (with `:0` resolved to the actual port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// `true` once the server has been asked to stop (by a client's
+    /// shutdown frame or a concurrent [`stop`](Self::stop)); the
+    /// `store-server` binary polls this to know when to exit.
+    pub fn is_stopped(&self) -> bool {
+        self.shared.stop.load(Ordering::SeqCst)
+    }
+
+    /// A snapshot of the server's aggregate counters.
+    pub fn stats(&self) -> StoreServerStats {
+        self.shared.stats()
+    }
+
+    /// Stops the server: wakes the accept loop and joins it. Session
+    /// threads exit when their clients disconnect; committed data is
+    /// already on disk.
+    pub fn stop(mut self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    for stream in listener.incoming() {
+        if shared.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        match stream {
+            Ok(stream) => {
+                let _ = stream.set_nodelay(true);
+                let shared = Arc::clone(shared);
+                // Session threads are not joined: they exit at client EOF.
+                std::thread::spawn(move || session_loop(stream, &shared));
+            }
+            Err(err) => {
+                eprintln!("store-server: accept failed: {err}");
+            }
+        }
+    }
+}
+
+/// Runs `op` against the session's bound namespace, or builds the error
+/// frame when no namespace is bound yet.
+fn with_bound_store<T>(
+    shared: &Shared,
+    bound: &Option<String>,
+    id: usize,
+    op: impl FnOnce(&mut SweepStore) -> Result<T, StoreNetError>,
+) -> Result<T, FromStore> {
+    let Some(namespace) = bound else {
+        return Err(FromStore::Error {
+            id,
+            message: "no namespace bound: open the session with a \
+                      store-hello carrying a namespace"
+                .into(),
+        });
+    };
+    let mut stores = shared.stores.lock().expect("stores mutex poisoned");
+    let store = stores
+        .get_mut(namespace)
+        .expect("bound namespace is always open");
+    op(store).map_err(|err| FromStore::Error {
+        id,
+        message: err.to_string(),
+    })
+}
+
+/// Serves one client session: handshake (which binds the namespace), then
+/// get/put/stats/evict requests until EOF or shutdown.
+fn session_loop(stream: TcpStream, shared: &Arc<Shared>) {
+    let mut writer = match stream.try_clone() {
+        Ok(clone) => clone,
+        Err(err) => {
+            eprintln!("store-server: cannot clone connection: {err}");
+            return;
+        }
+    };
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    let mut bound: Option<String> = None;
+    loop {
+        if shared.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => return,
+            Ok(_) => {}
+            Err(err) => {
+                eprintln!("store-server: connection read failed: {err}");
+                return;
+            }
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let frame = match ToStore::decode(line.trim_end()) {
+            Ok(frame) => frame,
+            Err(err) => {
+                let _ = write_frame(
+                    &mut writer,
+                    &FromStore::Error {
+                        id: 0,
+                        message: format!("malformed frame: {err}"),
+                    },
+                );
+                // A stream that desynchronized once cannot be trusted to
+                // frame the next line either.
+                return;
+            }
+        };
+        let reply = match frame {
+            ToStore::Hello {
+                protocol,
+                namespace,
+            } => {
+                if protocol != PROTOCOL_VERSION {
+                    let _ = write_frame(
+                        &mut writer,
+                        &FromStore::Error {
+                            id: 0,
+                            message: format!(
+                                "protocol version skew: store-server speaks \
+                                 {PROTOCOL_VERSION}, client sent {protocol}"
+                            ),
+                        },
+                    );
+                    return;
+                }
+                match bind_namespace(shared, namespace) {
+                    Ok(ns) => {
+                        bound = ns;
+                        FromStore::Ready {
+                            protocol: PROTOCOL_VERSION,
+                        }
+                    }
+                    Err(message) => {
+                        let _ = write_frame(&mut writer, &FromStore::Error { id: 0, message });
+                        return;
+                    }
+                }
+            }
+            ToStore::Get { id, query } => {
+                match with_bound_store(shared, &bound, id, |store| serve_get(store, &query)) {
+                    Ok(entries) => {
+                        if matches!(query, GetQuery::Points(_)) {
+                            let hits = entries.iter().filter(|slot| slot.is_some()).count();
+                            shared.hits.fetch_add(hits, Ordering::Relaxed);
+                            shared
+                                .misses
+                                .fetch_add(entries.len() - hits, Ordering::Relaxed);
+                        }
+                        FromStore::Entries { id, entries }
+                    }
+                    Err(reply) => reply,
+                }
+            }
+            ToStore::Put { id, entries } => {
+                let appended = entries.len();
+                match with_bound_store(shared, &bound, id, |store| {
+                    store.put(entries).map_err(StoreNetError::from)
+                }) {
+                    Ok(()) => {
+                        shared.puts.fetch_add(appended, Ordering::Relaxed);
+                        FromStore::PutOk { id, appended }
+                    }
+                    Err(reply) => reply,
+                }
+            }
+            ToStore::Stats { id } => FromStore::Stats {
+                id,
+                stats: shared.stats(),
+            },
+            ToStore::Evict { id } => {
+                match with_bound_store(shared, &bound, id, |store| {
+                    store.gc().map_err(StoreNetError::from)
+                }) {
+                    Ok(report) => FromStore::Evicted { id, report },
+                    Err(reply) => reply,
+                }
+            }
+            ToStore::Shutdown => {
+                shared.stop.store(true, Ordering::SeqCst);
+                // Unblock the accept loop exactly like `StoreServer::stop`.
+                if let Ok(local) = writer.local_addr() {
+                    let _ = TcpStream::connect(local);
+                }
+                return;
+            }
+        };
+        if write_frame(&mut writer, &reply).is_err() {
+            return;
+        }
+    }
+}
+
+/// Validates and opens (creating if needed) the namespace a handshake binds.
+fn bind_namespace(shared: &Shared, namespace: Option<String>) -> Result<Option<String>, String> {
+    let Some(namespace) = namespace else {
+        return Ok(None);
+    };
+    validate_namespace(&namespace)?;
+    let mut stores = shared.stores.lock().expect("stores mutex poisoned");
+    if !stores.contains_key(&namespace) {
+        let store = SweepStore::open(shared.root.join(&namespace))
+            .map_err(|err| format!("cannot open namespace '{namespace}': {err}"))?;
+        stores.insert(namespace.clone(), store);
+    }
+    Ok(Some(namespace))
+}
+
+type Slots = Vec<Option<(mfa_alloc::fingerprint::Fingerprint, mfa_explore::StoreEntry)>>;
+
+fn serve_get(store: &mut SweepStore, query: &GetQuery) -> Result<Slots, StoreNetError> {
+    Ok(match query {
+        GetQuery::Points(fps) => store
+            .get_many(fps)?
+            .into_iter()
+            .zip(fps)
+            .map(|(slot, fp)| slot.map(|entry| (*fp, entry)))
+            .collect(),
+        GetQuery::Series(series) => store.get_series(series)?.into_iter().map(Some).collect(),
+        GetQuery::All => store.snapshot()?.into_iter().map(Some).collect(),
+    })
+}
+
+fn write_frame(writer: &mut TcpStream, frame: &FromStore) -> Result<(), StoreNetError> {
+    let line = frame.encode()?;
+    writer.write_all(line.as_bytes())?;
+    writer.write_all(b"\n")?;
+    writer.flush()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn namespace_validation_rejects_path_escapes() {
+        for bad in [
+            "",
+            "..",
+            "../evil",
+            "a/b",
+            "a\\b",
+            ".hidden",
+            "fig 2",
+            "fig\u{e9}",
+        ] {
+            assert!(validate_namespace(bad).is_err(), "{bad:?}");
+        }
+        for good in ["fig2", "quick.zero-timing", "serve-cache", "A_b-c.9"] {
+            assert!(validate_namespace(good).is_ok(), "{good:?}");
+        }
+        assert!(validate_namespace(&"n".repeat(NAMESPACE_MAX_LEN)).is_ok());
+        assert!(validate_namespace(&"n".repeat(NAMESPACE_MAX_LEN + 1)).is_err());
+    }
+}

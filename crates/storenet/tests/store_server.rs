@@ -1,0 +1,202 @@
+//! End-to-end tests of a live store-server: session round trips, namespace
+//! isolation and validation, damage handling, and remote GC.
+
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+use mfa_alloc::fingerprint::Fingerprint;
+use mfa_alloc::solver::WarmStart;
+use mfa_explore::store::{entry_to_json, ResultStore, StoreEntry, SweepStore};
+use mfa_platform::ResourceBudget;
+use mfa_storenet::{RemoteStore, StoreNetError, StoreServer};
+
+fn temp_root(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mfa-storenet-test-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn sample_entry(budget: f64) -> StoreEntry {
+    StoreEntry {
+        series: Fingerprint::of_parts(1, &["series"]),
+        budget: ResourceBudget::uniform(budget),
+        point: None,
+        warm: WarmStart::none()
+            .with_relaxed_ii(0.1 + budget)
+            .with_cu_counts(vec![2, 1]),
+    }
+}
+
+fn spawn(root: &Path) -> (StoreServer, String) {
+    let server = StoreServer::spawn("127.0.0.1:0", root.to_path_buf()).expect("bind store-server");
+    let addr = server.local_addr().to_string();
+    (server, addr)
+}
+
+#[test]
+fn sessions_round_trip_entries_and_namespaces_stay_isolated() {
+    let root = temp_root("roundtrip");
+    let (server, addr) = spawn(&root);
+
+    let fp_a = Fingerprint::of_parts(1, &["a"]);
+    let fp_b = Fingerprint::of_parts(1, &["b"]);
+    let entry_a = sample_entry(0.6);
+    let entry_b = sample_entry(0.8);
+
+    let mut fig2 = RemoteStore::connect(&addr, "fig2").expect("connect fig2");
+    fig2.put(vec![(fp_a, entry_a.clone()), (fp_b, entry_b.clone())])
+        .expect("put");
+
+    // Batched point lookup answers one slot per fingerprint, misses as None.
+    let missing = Fingerprint::of_parts(1, &["missing"]);
+    let slots = fig2.get_many(&[fp_a, missing, fp_b]).expect("get_many");
+    assert_eq!(
+        slots,
+        vec![Some(entry_a.clone()), None, Some(entry_b.clone())]
+    );
+
+    // Series and snapshot queries come back sorted by fingerprint.
+    let mut expected = vec![(fp_a, entry_a.clone()), (fp_b, entry_b.clone())];
+    expected.sort_by_key(|(fp, _)| *fp);
+    assert_eq!(fig2.get_series(&entry_a.series).expect("series"), expected);
+    assert_eq!(fig2.snapshot().expect("snapshot"), expected);
+
+    // A different namespace shares the server but none of the data.
+    let mut fig3 = RemoteStore::connect(&addr, "fig3").expect("connect fig3");
+    assert_eq!(fig3.snapshot().expect("snapshot"), Vec::new());
+    assert_eq!(fig3.get_many(&[fp_a]).expect("get_many"), vec![None]);
+
+    let stats = fig2.stats().expect("stats");
+    assert_eq!(stats.namespaces, 2);
+    assert_eq!(stats.entries, 2);
+    assert_eq!(stats.puts, 2);
+    // fig2's 3-point get scored 2 hits + 1 miss; fig3's 1-point get missed.
+    assert_eq!(stats.hits, 2);
+    assert_eq!(stats.misses, 2);
+
+    server.stop();
+
+    // Committed data survives a server restart on the same root — the whole
+    // point of a shared persistent cache.
+    let (server, addr) = spawn(&root);
+    let mut fig2 = RemoteStore::connect(&addr, "fig2").expect("reconnect fig2");
+    assert_eq!(
+        fig2.get_many(&[fp_a]).expect("get_many"),
+        vec![Some(entry_a)]
+    );
+    server.stop();
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+#[test]
+fn damaged_segments_answer_typed_misses_never_client_errors() {
+    let root = temp_root("damage");
+    let good_fp = Fingerprint::of_parts(1, &["good"]);
+    let good = sample_entry(0.7);
+    {
+        let mut store = SweepStore::open(root.join("fig2")).unwrap();
+        store.put(vec![(good_fp, good.clone())]).unwrap();
+    }
+    // One segment with a garbage line and a version-skewed line next to
+    // nothing valid: damage a remote client must never decode-fail on.
+    let future = entry_to_json(&Fingerprint::of_parts(1, &["future"]), &sample_entry(0.9))
+        .unwrap()
+        .to_string()
+        .replace("\"v\":1", "\"v\":999");
+    std::fs::write(
+        root.join("fig2").join("seg-damaged.jsonl"),
+        format!("not json at all\n{future}\n"),
+    )
+    .unwrap();
+
+    let (server, addr) = spawn(&root);
+    let mut client = RemoteStore::connect(&addr, "fig2").expect("connect");
+
+    // The good entry still serves; the damaged lines are plain misses.
+    let skewed_fp = Fingerprint::of_parts(1, &["future"]);
+    assert_eq!(
+        client.get_many(&[good_fp, skewed_fp]).expect("get_many"),
+        vec![Some(good), None]
+    );
+
+    // The damage is *accounted*, on the server and through the client's
+    // trait surface (the sweep report prints these).
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.corrupt_entries, 1);
+    assert_eq!(stats.version_mismatches, 1);
+    assert_eq!(client.corrupt_count(), 1);
+    assert_eq!(client.version_mismatch_count(), 1);
+
+    server.stop();
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+#[test]
+fn path_escaping_namespaces_are_rejected_at_the_handshake() {
+    let root = temp_root("badns");
+    let (server, addr) = spawn(&root);
+    for bad in ["../evil", "a/b", "", ".hidden"] {
+        match RemoteStore::connect(&addr, bad) {
+            Err(StoreNetError::Server(msg)) => {
+                assert!(msg.contains("namespace"), "{bad:?}: {msg}");
+            }
+            other => panic!("namespace {bad:?} must be rejected, got {other:?}"),
+        }
+    }
+    // The rejected handshakes created nothing — in particular nothing
+    // *outside* the root.
+    assert!(!root.parent().unwrap().join("evil").exists());
+    server.stop();
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn remote_evict_folds_duplicates_and_compacts_segments() {
+    let root = temp_root("evict");
+    let (server, addr) = spawn(&root);
+    let fp_a = Fingerprint::of_parts(1, &["a"]);
+    let fp_b = Fingerprint::of_parts(1, &["b"]);
+    let fp_c = Fingerprint::of_parts(1, &["c"]);
+
+    let mut client = RemoteStore::connect(&addr, "fig2").expect("connect");
+    // Two overlapping batches leave two segments with `a` stored twice.
+    client
+        .put(vec![(fp_a, sample_entry(0.6)), (fp_b, sample_entry(0.7))])
+        .expect("put 1");
+    client
+        .put(vec![(fp_a, sample_entry(0.6)), (fp_c, sample_entry(0.8))])
+        .expect("put 2");
+    let before = client.stats().expect("stats");
+    assert_eq!(before.segments, 2);
+    assert_eq!(before.duplicate_entries, 1);
+
+    let report = client.evict().expect("evict");
+    assert_eq!(report.segments_folded, 2);
+    assert_eq!(report.duplicates_folded, 1);
+    assert_eq!(report.entries_kept, 3);
+
+    let after = client.stats().expect("stats");
+    assert_eq!(after.segments, 1);
+    assert_eq!(after.entries, 3);
+    assert_eq!(after.duplicate_entries, 0);
+
+    // The compacted namespace still answers everything.
+    assert_eq!(client.snapshot().expect("snapshot").len(), 3);
+    server.stop();
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+#[test]
+fn a_client_shutdown_frame_stops_the_whole_server() {
+    let root = temp_root("shutdown");
+    let (server, addr) = spawn(&root);
+    let client = RemoteStore::connect(&addr, "fig2").expect("connect");
+    client.shutdown().expect("shutdown");
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while !server.is_stopped() {
+        assert!(Instant::now() < deadline, "server did not stop");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    server.stop();
+    std::fs::remove_dir_all(&root).unwrap();
+}

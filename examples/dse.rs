@@ -20,11 +20,13 @@
 //!   --no-warm-start  solve every point cold (disable the per-chunk
 //!                    warm-start cache; for effort/wall-clock comparisons)
 //!   --compare-serial also run the Fig. 3 grid serially and report speedup
-//!   --store DIR      persist every figure sweep in a content-addressed
-//!                    store under DIR (one subdirectory per figure) and
-//!                    replay stored points instead of recomputing them; a
-//!                    second identical run computes 0 points and a killed
-//!                    run resumes from the units that finished
+//!   --store SPEC     persist every figure sweep in a content-addressed
+//!                    result store and replay stored points instead of
+//!                    recomputing them; a second identical run computes 0
+//!                    points and a killed run resumes from the units that
+//!                    finished. SPEC is a directory (one subdirectory per
+//!                    figure) or tcp://host:port for a store-server shared
+//!                    across sweep hosts (one namespace per figure)
 //!   --no-store       ignore an existing store (compute everything fresh,
 //!                    persist nothing)
 //! ```
@@ -40,7 +42,7 @@ use mfa::dispatch::{
 };
 use mfa::explore::{
     constraint_grid, export, figures, run_sweep, run_sweep_stored, validate, zero_timing, CaseSpec,
-    ExecutorOptions, SolverSpec, StoreRunReport, SweepGrid, SweepSeries, SweepStore,
+    ExecutorOptions, ResultStore, SolverSpec, StoreRunReport, SweepGrid, SweepSeries, SweepStore,
 };
 use mfa_alloc::cases::PaperCase;
 use mfa_alloc::gpa::GpaOptions;
@@ -92,7 +94,12 @@ fn parse_args() -> Result<Args, String> {
                 .connect
                 .push(iter.next().ok_or("--connect needs host:port")?),
             "--out" => args.out = Some(iter.next().ok_or("--out needs a path prefix")?),
-            "--store" => args.store = Some(iter.next().ok_or("--store needs a directory")?),
+            "--store" => {
+                args.store = Some(
+                    iter.next()
+                        .ok_or("--store needs a directory or tcp:// URL")?,
+                );
+            }
             "--no-store" => args.store = None,
             other => return Err(format!("unknown flag {other} (see the header of dse.rs)")),
         }
@@ -111,7 +118,7 @@ impl Engine {
     fn run(
         &self,
         grid: &SweepGrid,
-        store: Option<&mut SweepStore>,
+        store: Option<&mut (dyn ResultStore + 'static)>,
     ) -> Result<(Vec<SweepSeries>, Option<StoreRunReport>), Box<dyn std::error::Error>> {
         match (self, store) {
             (Engine::Threads(options), None) => Ok((run_sweep(grid, options)?, None)),
@@ -135,20 +142,24 @@ impl Engine {
     }
 }
 
-/// Opens the per-figure store subdirectory when `--store` is active.
+/// Opens the per-figure store when `--store` is active: a subdirectory of a
+/// local store root, or a namespace on a `tcp://host:port` store-server.
 /// Figures share grid points, so each figure gets its own store — a shared
-/// directory would replay one figure's points into another's first run.
+/// one would replay one figure's points into another's first run.
 fn open_store(
     args: &Args,
     figure_name: &str,
-) -> Result<Option<SweepStore>, Box<dyn std::error::Error>> {
-    match &args.store {
-        Some(root) => {
+) -> Result<Option<Box<dyn ResultStore>>, Box<dyn std::error::Error>> {
+    let Some(root) = &args.store else {
+        return Ok(None);
+    };
+    Ok(Some(match mfa::storenet::store_url(root) {
+        Some(addr) => Box::new(mfa::storenet::RemoteStore::connect(addr, figure_name)?),
+        None => {
             let dir = std::path::Path::new(root).join(figure_name);
-            Ok(Some(SweepStore::open(dir)?))
+            Box::new(SweepStore::open(dir)?)
         }
-        None => Ok(None),
-    }
+    }))
 }
 
 fn report_store(figure_name: &str, report: Option<StoreRunReport>, total: &mut StoreRunReport) {
@@ -261,7 +272,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // ---- Figs. 2–5 from the shared presets.
     for figure in figures::paper_figures(args.quick, args.exact)? {
         let mut store = open_store(&args, figure.name)?;
-        let (series, report) = engine.run(&figure.grid, store.as_mut())?;
+        let (series, report) = engine.run(&figure.grid, store.as_deref_mut())?;
         print_series_table(&figure.title, &figure.constraints, &series);
         report_store(figure.name, report, &mut store_total);
         export_figure(&args, figure.name, &series)?;
@@ -272,7 +283,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //      every push).
     let hetero_figure = figures::hetero_smoke()?;
     let mut hetero_store = open_store(&args, hetero_figure.name)?;
-    let (hetero, hetero_report) = engine.run(&hetero_figure.grid, hetero_store.as_mut())?;
+    let (hetero, hetero_report) = engine.run(&hetero_figure.grid, hetero_store.as_deref_mut())?;
     println!();
     println!("=== {}", hetero_figure.title);
     for s in &hetero {

@@ -18,3 +18,4 @@ pub use mfa_minlp as minlp;
 pub use mfa_platform as platform;
 pub use mfa_serve as serve;
 pub use mfa_sim as sim;
+pub use mfa_storenet as storenet;
