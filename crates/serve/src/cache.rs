@@ -26,7 +26,9 @@
 //!   recorded warm start and re-seeds families on a miss, so a restarted
 //!   daemon warms from its predecessor's work and daemons sharing one
 //!   store-server warm from each other's. The spill is best-effort: a
-//!   broken backend only costs cold solves, never requests.
+//!   broken backend only costs cold solves, never requests — and a remote
+//!   backend runs with a socket I/O timeout, so even a hung (not erroring)
+//!   store-server costs a bounded stall that surfaces as a spill error.
 
 use std::fmt;
 

@@ -45,8 +45,11 @@ pub struct ServeOptions {
     /// Bound on budget entries cached per family.
     pub budget_capacity: usize,
     /// Per-request read timeout of the connection reader: a connection that
-    /// produces no complete frame within this window is dropped (and
-    /// counted), so a stalled client cannot pin a reader thread forever.
+    /// produces no complete frame within this window *while no reply is
+    /// pending on it* is dropped (and counted), so a stalled client cannot
+    /// pin a reader thread forever. While the connection has admitted
+    /// requests still awaiting their reply the timeout never fires — the
+    /// client is blocked on the daemon (queue wait plus solve), not stalled.
     /// `None` waits indefinitely.
     pub read_timeout: Option<Duration>,
     /// Warm-cache spill backend: a store directory path, or `tcp://host:port`
@@ -89,6 +92,16 @@ pub struct ServeStats {
     pub read_timeouts: usize,
 }
 
+/// One client connection's state, shared between its reader thread and the
+/// solver workers answering its jobs.
+struct Conn {
+    writer: Mutex<TcpStream>,
+    /// Admitted requests whose reply has not been written yet. While this is
+    /// non-zero the client is legitimately blocked waiting on the daemon, so
+    /// the reader's idle timeout must not drop the connection under it.
+    pending: AtomicUsize,
+}
+
 /// One admitted request waiting for a solver worker.
 struct Job {
     id: usize,
@@ -97,7 +110,7 @@ struct Job {
     deadline: Option<Deadline>,
     warm: bool,
     admitted: Instant,
-    writer: Arc<Mutex<TcpStream>>,
+    conn: Arc<Conn>,
 }
 
 /// State shared by the accept loop, connection readers, and solver workers.
@@ -223,14 +236,24 @@ impl ServeHandle {
     }
 }
 
+/// Bound on any single round trip to a remote spill store. Spill I/O runs
+/// while the cache mutex is held, so a hung (not erroring) store-server
+/// must cost a bounded stall — surfacing as a spill error the cache absorbs
+/// (cold solve), never an indefinitely blocked worker pool.
+const SPILL_IO_TIMEOUT: Duration = Duration::from_secs(5);
+
 /// Opens the warm-cache spill backend a `--spill` spec names: a
 /// `tcp://host:port` store-server session (namespace `serve-cache`, shared
 /// by every daemon pointing at that server) or a local store directory.
 fn open_spill(spec: &str) -> Result<Box<dyn mfa_explore::ResultStore + Send>, ServeError> {
     match mfa_storenet::store_url(spec) {
-        Some(addr) => mfa_storenet::RemoteStore::connect(addr, "serve-cache")
-            .map(|store| Box::new(store) as Box<dyn mfa_explore::ResultStore + Send>)
-            .map_err(|err| ServeError::Spill(format!("{spec}: {err}"))),
+        Some(addr) => mfa_storenet::RemoteStore::connect_with_timeout(
+            addr,
+            "serve-cache",
+            Some(SPILL_IO_TIMEOUT),
+        )
+        .map(|store| Box::new(store) as Box<dyn mfa_explore::ResultStore + Send>)
+        .map_err(|err| ServeError::Spill(format!("{spec}: {err}"))),
         None => mfa_explore::SweepStore::open(spec)
             .map(|store| Box::new(store) as Box<dyn mfa_explore::ResultStore + Send>)
             .map_err(|err| ServeError::Spill(format!("{spec}: {err}"))),
@@ -276,13 +299,16 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
 /// Serves one client connection: decodes frames, answers the handshake,
 /// admits solve requests into the bounded queue, and honours shutdown.
 fn connection_loop(stream: TcpStream, shared: &Arc<Shared>) {
-    let writer = Arc::new(Mutex::new(match stream.try_clone() {
-        Ok(clone) => clone,
+    let conn = match stream.try_clone() {
+        Ok(clone) => Arc::new(Conn {
+            writer: Mutex::new(clone),
+            pending: AtomicUsize::new(0),
+        }),
         Err(err) => {
             eprintln!("serve: cannot clone connection: {err}");
             return;
         }
-    }));
+    };
     if let Err(err) = stream.set_read_timeout(shared.options.read_timeout) {
         eprintln!("serve: cannot arm read timeout: {err}");
         return;
@@ -294,35 +320,50 @@ fn connection_loop(stream: TcpStream, shared: &Arc<Shared>) {
             return;
         }
         line.clear();
-        match reader.read_line(&mut line) {
-            Ok(0) => return,
-            Ok(_) => {}
-            // A timed-out read surfaces as WouldBlock or TimedOut depending
-            // on the platform; either way the client stalled mid-frame (or
-            // went silent) and the reader thread is reclaimed.
-            Err(err)
-                if matches!(
-                    err.kind(),
-                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
-                ) =>
-            {
-                shared.read_timeouts.fetch_add(1, Ordering::Relaxed);
-                let limit = shared
-                    .options
-                    .read_timeout
-                    .expect("a read only times out when a timeout is armed");
-                let _ = write_frame(
-                    &writer,
-                    &FromServe::Error {
-                        id: 0,
-                        message: ServeError::ReadTimeout(limit).to_string(),
-                    },
-                );
-                return;
-            }
-            Err(err) => {
-                eprintln!("serve: connection read failed: {err}");
-                return;
+        // Read one complete frame, riding out timeout windows while this
+        // connection is owed a reply.
+        loop {
+            match reader.read_line(&mut line) {
+                Ok(0) => return,
+                Ok(_) => break,
+                // A timed-out read surfaces as WouldBlock or TimedOut
+                // depending on the platform.
+                Err(err)
+                    if matches!(
+                        err.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    if shared.stop.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    // A client blocked on its own solve reply (queue wait
+                    // plus solve can outlast any timeout window) is waiting
+                    // on us, not stalled: keep listening. Bytes of a partial
+                    // frame read so far stay accumulated in `line`.
+                    if conn.pending.load(Ordering::Acquire) > 0 {
+                        continue;
+                    }
+                    // No reply owed: the client stalled mid-frame (or went
+                    // silent) and the reader thread is reclaimed.
+                    shared.read_timeouts.fetch_add(1, Ordering::Relaxed);
+                    let limit = shared
+                        .options
+                        .read_timeout
+                        .expect("a read only times out when a timeout is armed");
+                    let _ = write_frame(
+                        &conn.writer,
+                        &FromServe::Error {
+                            id: 0,
+                            message: ServeError::ReadTimeout(limit).to_string(),
+                        },
+                    );
+                    return;
+                }
+                Err(err) => {
+                    eprintln!("serve: connection read failed: {err}");
+                    return;
+                }
             }
         }
         if line.trim().is_empty() {
@@ -332,7 +373,7 @@ fn connection_loop(stream: TcpStream, shared: &Arc<Shared>) {
             Ok(ToServe::Hello { protocol }) => {
                 if protocol != PROTOCOL_VERSION {
                     let _ = write_frame(
-                        &writer,
+                        &conn.writer,
                         &FromServe::Error {
                             id: 0,
                             message: format!(
@@ -344,7 +385,7 @@ fn connection_loop(stream: TcpStream, shared: &Arc<Shared>) {
                     return;
                 }
                 let _ = write_frame(
-                    &writer,
+                    &conn.writer,
                     &FromServe::Ready {
                         protocol: PROTOCOL_VERSION,
                     },
@@ -357,19 +398,11 @@ fn connection_loop(stream: TcpStream, shared: &Arc<Shared>) {
                 deadline_seconds,
                 warm,
             }) => {
-                admit(
-                    shared,
-                    &writer,
-                    id,
-                    problem,
-                    backend,
-                    deadline_seconds,
-                    warm,
-                );
+                admit(shared, &conn, id, problem, backend, deadline_seconds, warm);
             }
             Ok(ToServe::Stats { id }) => {
                 let _ = write_frame(
-                    &writer,
+                    &conn.writer,
                     &FromServe::Stats {
                         id,
                         stats: stats_report(shared),
@@ -380,7 +413,7 @@ fn connection_loop(stream: TcpStream, shared: &Arc<Shared>) {
                 shared.stop.store(true, Ordering::SeqCst);
                 shared.queue_cv.notify_all();
                 // Unblock the accept loop exactly like `ServeHandle::stop`.
-                if let Ok(Ok(local)) = writer.lock().map(|w| w.local_addr()) {
+                if let Ok(Ok(local)) = conn.writer.lock().map(|w| w.local_addr()) {
                     let _ = TcpStream::connect(local);
                 }
                 return;
@@ -388,7 +421,7 @@ fn connection_loop(stream: TcpStream, shared: &Arc<Shared>) {
             Err(err) => {
                 shared.decode_errors.fetch_add(1, Ordering::Relaxed);
                 let _ = write_frame(
-                    &writer,
+                    &conn.writer,
                     &FromServe::Error {
                         id: 0,
                         message: format!("malformed frame: {err}"),
@@ -407,7 +440,7 @@ fn connection_loop(stream: TcpStream, shared: &Arc<Shared>) {
 #[allow(clippy::too_many_arguments)]
 fn admit(
     shared: &Arc<Shared>,
-    writer: &Arc<Mutex<TcpStream>>,
+    conn: &Arc<Conn>,
     id: usize,
     problem: AllocationProblem,
     backend: BackendKind,
@@ -420,7 +453,7 @@ fn admit(
         Ok(deadline) => deadline,
         Err(err) => {
             let _ = write_frame(
-                writer,
+                &conn.writer,
                 &FromServe::Error {
                     id,
                     message: err.to_string(),
@@ -436,13 +469,16 @@ fn admit(
         deadline,
         warm,
         admitted: Instant::now(),
-        writer: Arc::clone(writer),
+        conn: Arc::clone(conn),
     };
     let rejected = {
         let mut queue = shared.queue.lock().expect("queue mutex poisoned");
         if queue.len() >= shared.options.queue_capacity {
             Some(queue.len())
         } else {
+            // Raised under the queue lock, so the count is visibly non-zero
+            // before any worker can claim (and answer) the job.
+            conn.pending.fetch_add(1, Ordering::AcqRel);
             queue.push_back(job);
             shared.queue_cv.notify_one();
             None
@@ -451,7 +487,7 @@ fn admit(
     if let Some(queue_depth) = rejected {
         shared.rejected.fetch_add(1, Ordering::Relaxed);
         let _ = write_frame(
-            writer,
+            &conn.writer,
             &FromServe::Rejected {
                 id,
                 queue_depth,
@@ -476,9 +512,10 @@ fn worker_loop(shared: &Arc<Shared>) {
             queue.drain(..take).collect::<Vec<_>>()
         };
         for job in batch {
-            let writer = Arc::clone(&job.writer);
+            let conn = Arc::clone(&job.conn);
             let reply = serve_one(shared, job);
-            let _ = write_frame(&writer, &reply);
+            let _ = write_frame(&conn.writer, &reply);
+            conn.pending.fetch_sub(1, Ordering::AcqRel);
         }
     }
 }
@@ -626,7 +663,7 @@ fn error_reply(shared: &Arc<Shared>, job: &Job, err: &AllocError) -> FromServe {
     }
 }
 
-fn write_frame(writer: &Arc<Mutex<TcpStream>>, frame: &FromServe) -> Result<(), ServeError> {
+fn write_frame(writer: &Mutex<TcpStream>, frame: &FromServe) -> Result<(), ServeError> {
     let line = frame.encode()?;
     let mut stream = writer.lock().expect("writer mutex poisoned");
     stream.write_all(line.as_bytes())?;

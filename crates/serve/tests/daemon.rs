@@ -282,6 +282,59 @@ fn stalled_clients_are_timed_out_and_counted() {
 }
 
 #[test]
+fn pending_replies_hold_off_the_read_timeout() {
+    // Zero workers: the admitted request is never answered, standing in for
+    // a queue-wait + solve that outlasts any number of timeout windows.
+    let (handle, addr) = spawn(ServeOptions {
+        workers: 0,
+        read_timeout: Some(Duration::from_millis(100)),
+        ..ServeOptions::default()
+    });
+    let stream = TcpStream::connect(&addr).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let send = |frame: &ToServe| {
+        let mut line = frame.encode().unwrap();
+        line.push('\n');
+        (&stream).write_all(line.as_bytes()).unwrap();
+    };
+    let mut read = || {
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        FromServe::decode(line.trim_end()).unwrap()
+    };
+    send(&ToServe::Hello {
+        protocol: PROTOCOL_VERSION,
+    });
+    assert_eq!(
+        read(),
+        FromServe::Ready {
+            protocol: PROTOCOL_VERSION
+        }
+    );
+    send(&ToServe::Solve {
+        id: 1,
+        problem: alex16(0.70),
+        backend: BackendKind::Greedy,
+        deadline_seconds: None,
+        warm: false,
+    });
+    // The client now blocks on its own reply for several timeout windows.
+    // The daemon must keep the connection: the reader is waiting on the
+    // solve, not on a stalled client.
+    std::thread::sleep(Duration::from_millis(400));
+    // Proof of life: the same connection still answers frames, and no
+    // timeout drop was counted.
+    send(&ToServe::Stats { id: 2 });
+    match read() {
+        FromServe::Stats { id, .. } => assert_eq!(id, 2),
+        other => panic!("expected a stats reply on the live connection, got {other:?}"),
+    }
+    assert_eq!(handle.stats().read_timeouts, 0);
+    drop(stream);
+    handle.stop();
+}
+
+#[test]
 fn stats_frames_report_the_cache_hit_rate() {
     let (handle, addr) = spawn(ServeOptions {
         workers: 1,

@@ -2,10 +2,11 @@
 //! tooling.
 //!
 //! ```text
-//! store-server --dir DIR --listen ADDR
+//! store-server --dir DIR --listen ADDR [--read-timeout-ms MS]
 //!     bind ADDR (e.g. 127.0.0.1:0), print the bound address to stdout,
 //!     then serve the store namespaces under DIR until a client sends a
-//!     shutdown frame
+//!     shutdown frame; sessions producing no frame within MS milliseconds
+//!     are dropped (default 300000; 0 waits forever)
 //! store-server --dir DIR --stats
 //!     print aggregate stats of the store directories under DIR (DIR itself
 //!     plus its immediate subdirectories) without starting a server
@@ -22,7 +23,7 @@ use std::process::ExitCode;
 use std::time::Duration;
 
 use mfa_explore::{GcReport, SweepStore};
-use mfa_storenet::{RemoteStore, StoreServer, StoreServerStats};
+use mfa_storenet::{RemoteStore, StoreServer, StoreServerOptions, StoreServerStats};
 
 enum Action {
     Listen(String),
@@ -35,6 +36,7 @@ struct Args {
     dir: Option<PathBuf>,
     connect: Option<String>,
     namespace: String,
+    options: StoreServerOptions,
     action: Action,
 }
 
@@ -42,6 +44,7 @@ fn parse_args() -> Result<Args, String> {
     let mut dir = None;
     let mut connect = None;
     let mut namespace = "default".to_owned();
+    let mut options = StoreServerOptions::default();
     let mut action = None;
     let set_action = |next: Action, current: &mut Option<Action>| -> Result<(), String> {
         if current.is_some() {
@@ -64,6 +67,17 @@ fn parse_args() -> Result<Args, String> {
                 let addr = iter.next().ok_or("--listen needs an address")?;
                 set_action(Action::Listen(addr), &mut action)?;
             }
+            "--read-timeout-ms" => {
+                let ms: u64 = iter
+                    .next()
+                    .ok_or("--read-timeout-ms needs a value")?
+                    .parse()
+                    .map_err(|_| "--read-timeout-ms needs a nonnegative integer".to_owned())?;
+                options.read_timeout = match ms {
+                    0 => None,
+                    ms => Some(Duration::from_millis(ms)),
+                };
+            }
             "--stats" => set_action(Action::Stats, &mut action)?,
             "--gc" => set_action(Action::Gc, &mut action)?,
             "--shutdown" => set_action(Action::Shutdown, &mut action)?,
@@ -81,6 +95,7 @@ fn parse_args() -> Result<Args, String> {
         dir,
         connect,
         namespace,
+        options,
         action: action.ok_or("pick an action: --listen/--stats/--gc/--shutdown")?,
     })
 }
@@ -198,9 +213,9 @@ fn run_wire(addr: &str, namespace: &str, action: &Action) -> Result<(), String> 
     Ok(())
 }
 
-fn serve(dir: PathBuf, addr: &str) -> Result<(), String> {
-    let server =
-        StoreServer::spawn(addr, dir).map_err(|err| format!("cannot bind {addr}: {err}"))?;
+fn serve(dir: PathBuf, addr: &str, options: StoreServerOptions) -> Result<(), String> {
+    let server = StoreServer::spawn_with(addr, dir, options)
+        .map_err(|err| format!("cannot bind {addr}: {err}"))?;
     // Print the bound address (resolves :0 to the actual port) so a parent
     // process can point clients at it — same convention as serve and
     // sweep-worker.
@@ -227,7 +242,7 @@ fn main() -> ExitCode {
         }
     };
     let run = match (&args.action, args.dir, args.connect) {
-        (Action::Listen(addr), Some(dir), None) => serve(dir, addr),
+        (Action::Listen(addr), Some(dir), None) => serve(dir, addr, args.options),
         (Action::Listen(_), None, Some(_)) => {
             Err("--listen serves a local --dir, not a --connect peer".into())
         }

@@ -5,6 +5,7 @@
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
+use std::time::Duration;
 
 use mfa_alloc::fingerprint::Fingerprint;
 use mfa_explore::store::{ResultStore, StoreEntry};
@@ -20,131 +21,18 @@ pub fn store_url(spec: &str) -> Option<&str> {
     spec.strip_prefix("tcp://")
 }
 
-/// A [`ResultStore`] served by a remote store-server over one TCP session.
+/// One live TCP session with the store-server: the handshaken socket pair.
 ///
-/// The session is bound to one namespace at the handshake (callers use one
-/// namespace per figure/sweep so seeds never leak across incompatible
-/// grids). All trait calls are synchronous request/reply exchanges; batched
-/// lookups ([`get_many`](ResultStore::get_many)) cross the wire as one
-/// frame, which is what keeps a remote sweep at two round trips per unit
-/// planning pass.
-///
-/// Damage accounting: the server reports its on-disk corrupt/version-skew
-/// counts through a `stats` exchange at connect time, and any entry slot
-/// that arrives version-mismatched decodes as a plain miss — the client
-/// never surfaces a decode error for damaged cached data, it just
-/// recomputes.
+/// A session is disposable — any transport or framing failure tears the
+/// whole session down (a half-read reply cannot be resynchronized), and the
+/// owning [`RemoteStore`] dials a fresh one on the next request.
 #[derive(Debug)]
-pub struct RemoteStore {
+struct Session {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
-    namespace: String,
-    next_id: usize,
-    corrupt_entries: usize,
-    version_mismatches: usize,
 }
 
-impl RemoteStore {
-    /// Connects to a store-server at `addr` (e.g. `127.0.0.1:7070`), runs
-    /// the v5 handshake binding `namespace`, and snapshots the server's
-    /// damage counters.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`StoreNetError`] when the connection, the handshake, or the
-    /// initial stats exchange fails (including a namespace the server
-    /// rejects).
-    pub fn connect(addr: &str, namespace: &str) -> Result<RemoteStore, StoreNetError> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true)?;
-        let writer = stream.try_clone()?;
-        let mut client = RemoteStore {
-            reader: BufReader::new(stream),
-            writer,
-            namespace: namespace.to_owned(),
-            next_id: 0,
-            corrupt_entries: 0,
-            version_mismatches: 0,
-        };
-        client.send(&ToStore::Hello {
-            protocol: PROTOCOL_VERSION,
-            namespace: Some(namespace.to_owned()),
-        })?;
-        match client.read_frame()? {
-            FromStore::Ready { protocol } if protocol == PROTOCOL_VERSION => {}
-            FromStore::Ready { protocol } => {
-                return Err(StoreNetError::Protocol(format!(
-                    "protocol version skew: client speaks {PROTOCOL_VERSION}, \
-                     store-server sent {protocol}"
-                )));
-            }
-            FromStore::Error { message, .. } => return Err(StoreNetError::Server(message)),
-            other => {
-                return Err(StoreNetError::Protocol(format!(
-                    "expected store-ready, got {other:?}"
-                )));
-            }
-        }
-        let stats = client.stats()?;
-        client.corrupt_entries = stats.corrupt_entries;
-        client.version_mismatches = stats.version_mismatches;
-        Ok(client)
-    }
-
-    /// The namespace this session is bound to.
-    pub fn namespace(&self) -> &str {
-        &self.namespace
-    }
-
-    /// Fetches the server's aggregate counters.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`StoreNetError`] on transport or protocol failure.
-    pub fn stats(&mut self) -> Result<StoreServerStats, StoreNetError> {
-        let id = self.fresh_id();
-        self.send(&ToStore::Stats { id })?;
-        match self.expect_reply(id)? {
-            FromStore::Stats { stats, .. } => Ok(stats),
-            other => Err(StoreNetError::Protocol(format!(
-                "expected stats, got {other:?}"
-            ))),
-        }
-    }
-
-    /// Runs a GC/compaction pass on this session's namespace and returns
-    /// the server's report.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`StoreNetError`] on transport or protocol failure, or when
-    /// the server's GC pass fails.
-    pub fn evict(&mut self) -> Result<GcReport, StoreNetError> {
-        let id = self.fresh_id();
-        self.send(&ToStore::Evict { id })?;
-        match self.expect_reply(id)? {
-            FromStore::Evicted { report, .. } => Ok(report),
-            other => Err(StoreNetError::Protocol(format!(
-                "expected evicted, got {other:?}"
-            ))),
-        }
-    }
-
-    /// Asks the store-server to shut down (all sessions, not just this
-    /// one), consuming the client.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`StoreNetError`] when the shutdown frame cannot be sent.
-    pub fn shutdown(mut self) -> Result<(), StoreNetError> {
-        self.send(&ToStore::Shutdown)
-    }
-
-    fn fresh_id(&mut self) -> usize {
-        self.next_id += 1;
-        self.next_id
-    }
-
+impl Session {
     fn send(&mut self, frame: &ToStore) -> Result<(), StoreNetError> {
         let line = frame.encode()?;
         self.writer.write_all(line.as_bytes())?;
@@ -187,7 +75,8 @@ impl RemoteStore {
                 frame => Ok(frame),
             },
             // Error frames with id 0 are session-level (e.g. version skew
-            // noticed late); surface their message rather than "wrong id".
+            // noticed late, or the server's idle timeout dropping the
+            // session); surface their message rather than "wrong id".
             Some(0) => match frame {
                 FromStore::Error { message, .. } => Err(StoreNetError::Server(message)),
                 frame => Err(StoreNetError::Protocol(format!(
@@ -199,14 +88,219 @@ impl RemoteStore {
             ))),
         }
     }
+}
+
+/// A [`ResultStore`] served by a remote store-server over TCP.
+///
+/// The client is bound to one namespace (callers use one namespace per
+/// figure/sweep so seeds never leak across incompatible grids); each
+/// underlying session re-binds it at the handshake. All trait calls are
+/// synchronous request/reply exchanges; batched lookups
+/// ([`get_many`](ResultStore::get_many)) cross the wire as one frame, which
+/// is what keeps a remote sweep at two round trips per unit planning pass.
+///
+/// Resilience: every request is idempotent (the store is content-addressed,
+/// so replaying a `put` at worst re-appends a duplicate the next GC pass
+/// folds), so when a request fails on a session that predates it — the
+/// server restarted, or its idle timeout dropped the session — the client
+/// redials once and replays the request instead of staying broken. An
+/// optional I/O timeout ([`connect_with_timeout`](Self::connect_with_timeout))
+/// bounds how long any single exchange can stall on a hung (not erroring)
+/// server.
+///
+/// Damage accounting: the server reports its on-disk corrupt/version-skew
+/// counts through a `stats` exchange at connect time, and any entry slot
+/// that arrives version-mismatched decodes as a plain miss — the client
+/// never surfaces a decode error for damaged cached data, it just
+/// recomputes.
+#[derive(Debug)]
+pub struct RemoteStore {
+    addr: String,
+    namespace: String,
+    io_timeout: Option<Duration>,
+    session: Option<Session>,
+    next_id: usize,
+    corrupt_entries: usize,
+    version_mismatches: usize,
+}
+
+impl RemoteStore {
+    /// Connects to a store-server at `addr` (e.g. `127.0.0.1:7070`), runs
+    /// the v5 handshake binding `namespace`, and snapshots the server's
+    /// damage counters. The session socket has no I/O timeout; see
+    /// [`connect_with_timeout`](Self::connect_with_timeout) for a bounded
+    /// variant.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreNetError`] when the connection, the handshake, or the
+    /// initial stats exchange fails (including a namespace the server
+    /// rejects).
+    pub fn connect(addr: &str, namespace: &str) -> Result<RemoteStore, StoreNetError> {
+        Self::connect_with_timeout(addr, namespace, None)
+    }
+
+    /// Like [`connect`](Self::connect), but arms `io_timeout` as both the
+    /// read and the write timeout of every session socket, so a hung (not
+    /// erroring) store-server costs a bounded stall and a typed
+    /// [`StoreNetError::Io`] instead of blocking the caller forever. The
+    /// serve daemon's warm-cache spill uses this so a wedged shared store
+    /// can never pin its solver workers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreNetError`] when the connection, the handshake, or the
+    /// initial stats exchange fails.
+    pub fn connect_with_timeout(
+        addr: &str,
+        namespace: &str,
+        io_timeout: Option<Duration>,
+    ) -> Result<RemoteStore, StoreNetError> {
+        let mut client = RemoteStore {
+            addr: addr.to_owned(),
+            namespace: namespace.to_owned(),
+            io_timeout,
+            session: None,
+            next_id: 0,
+            corrupt_entries: 0,
+            version_mismatches: 0,
+        };
+        client.ensure_session()?;
+        let stats = client.stats()?;
+        client.corrupt_entries = stats.corrupt_entries;
+        client.version_mismatches = stats.version_mismatches;
+        Ok(client)
+    }
+
+    /// The namespace this client is bound to.
+    pub fn namespace(&self) -> &str {
+        &self.namespace
+    }
+
+    /// Fetches the server's aggregate counters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreNetError`] on transport or protocol failure.
+    pub fn stats(&mut self) -> Result<StoreServerStats, StoreNetError> {
+        let id = self.fresh_id();
+        match self.exchange(&ToStore::Stats { id }, id)? {
+            FromStore::Stats { stats, .. } => Ok(stats),
+            other => Err(StoreNetError::Protocol(format!(
+                "expected stats, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Runs a GC/compaction pass on this client's namespace and returns
+    /// the server's report.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreNetError`] on transport or protocol failure, or when
+    /// the server's GC pass fails.
+    pub fn evict(&mut self) -> Result<GcReport, StoreNetError> {
+        let id = self.fresh_id();
+        match self.exchange(&ToStore::Evict { id }, id)? {
+            FromStore::Evicted { report, .. } => Ok(report),
+            other => Err(StoreNetError::Protocol(format!(
+                "expected evicted, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Asks the store-server to shut down (all sessions, not just this
+    /// one), consuming the client.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreNetError`] when the shutdown frame cannot be sent.
+    pub fn shutdown(mut self) -> Result<(), StoreNetError> {
+        self.ensure_session()?;
+        self.session
+            .as_mut()
+            .expect("just ensured a session")
+            .send(&ToStore::Shutdown)
+    }
+
+    fn fresh_id(&mut self) -> usize {
+        self.next_id += 1;
+        self.next_id
+    }
+
+    /// Dials, handshakes, and namespace-binds a fresh session.
+    fn dial(&self) -> Result<Session, StoreNetError> {
+        let stream = TcpStream::connect(&self.addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(self.io_timeout)?;
+        stream.set_write_timeout(self.io_timeout)?;
+        let writer = stream.try_clone()?;
+        let mut session = Session {
+            reader: BufReader::new(stream),
+            writer,
+        };
+        session.send(&ToStore::Hello {
+            protocol: PROTOCOL_VERSION,
+            namespace: Some(self.namespace.clone()),
+        })?;
+        match session.read_frame()? {
+            FromStore::Ready { protocol } if protocol == PROTOCOL_VERSION => Ok(session),
+            FromStore::Ready { protocol } => Err(StoreNetError::Protocol(format!(
+                "protocol version skew: client speaks {PROTOCOL_VERSION}, \
+                 store-server sent {protocol}"
+            ))),
+            FromStore::Error { message, .. } => Err(StoreNetError::Server(message)),
+            other => Err(StoreNetError::Protocol(format!(
+                "expected store-ready, got {other:?}"
+            ))),
+        }
+    }
+
+    fn ensure_session(&mut self) -> Result<(), StoreNetError> {
+        if self.session.is_none() {
+            self.session = Some(self.dial()?);
+        }
+        Ok(())
+    }
+
+    /// One request/reply round trip on the current session.
+    fn try_exchange(&mut self, frame: &ToStore, id: usize) -> Result<FromStore, StoreNetError> {
+        self.ensure_session()?;
+        let session = self.session.as_mut().expect("just ensured a session");
+        session.send(frame)?;
+        session.expect_reply(id)
+    }
+
+    /// Runs one exchange, retrying once on a fresh session when the failed
+    /// session predates the request — it may simply have been dropped by a
+    /// server restart or idle timeout, and every store request is
+    /// idempotent, so replaying is always safe. A failure on a session
+    /// dialed for this very request propagates as-is.
+    fn exchange(&mut self, frame: &ToStore, id: usize) -> Result<FromStore, StoreNetError> {
+        let stale = self.session.is_some();
+        match self.try_exchange(frame, id) {
+            Ok(reply) => Ok(reply),
+            Err(err) => {
+                // Whatever failed, the session can no longer be trusted to
+                // be request/reply aligned.
+                self.session = None;
+                if !stale {
+                    return Err(err);
+                }
+                self.try_exchange(frame, id).map_err(|retry_err| {
+                    self.session = None;
+                    retry_err
+                })
+            }
+        }
+    }
 
     fn get(
         &mut self,
         query: GetQuery,
     ) -> Result<Vec<Option<(Fingerprint, StoreEntry)>>, StoreNetError> {
         let id = self.fresh_id();
-        self.send(&ToStore::Get { id, query })?;
-        match self.expect_reply(id)? {
+        match self.exchange(&ToStore::Get { id, query }, id)? {
             FromStore::Entries { entries, .. } => Ok(entries),
             other => Err(StoreNetError::Protocol(format!(
                 "expected entries, got {other:?}"
@@ -269,9 +363,10 @@ impl ResultStore for RemoteStore {
         }
         let id = self.fresh_id();
         let count = entries.len();
-        self.send(&ToStore::Put { id, entries })
-            .map_err(store_err)?;
-        match self.expect_reply(id).map_err(store_err)? {
+        match self
+            .exchange(&ToStore::Put { id, entries }, id)
+            .map_err(store_err)?
+        {
             FromStore::PutOk { appended, .. } if appended == count => Ok(()),
             FromStore::PutOk { appended, .. } => Err(store_err(StoreNetError::Protocol(format!(
                 "put {count} entries, server appended {appended}"

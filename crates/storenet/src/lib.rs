@@ -37,4 +37,4 @@ pub mod server;
 pub use client::{store_url, RemoteStore};
 pub use error::StoreNetError;
 pub use protocol::{FromStore, GetQuery, StoreServerStats, ToStore, PROTOCOL_VERSION};
-pub use server::StoreServer;
+pub use server::{StoreServer, StoreServerOptions};

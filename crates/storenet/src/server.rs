@@ -8,6 +8,7 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 use mfa_explore::store::{ResultStore, SweepStore};
 
@@ -16,6 +17,31 @@ use crate::protocol::{FromStore, GetQuery, StoreServerStats, ToStore, PROTOCOL_V
 
 /// Longest namespace a client may bind (a directory name under the root).
 const NAMESPACE_MAX_LEN: usize = 64;
+
+/// Configuration of a [`StoreServer`].
+#[derive(Debug, Clone)]
+pub struct StoreServerOptions {
+    /// Per-frame read timeout of a session: a connection producing no
+    /// complete frame within this window is answered with a typed error and
+    /// dropped, so a stalled client cannot park a session thread forever
+    /// (mirroring the serve daemon's `ServeOptions::read_timeout`). Store
+    /// sessions are strict request/reply — the server never owes a waiting
+    /// client a reply while it reads — so no in-flight request can be
+    /// timed out under a blocked client; the default is still generous
+    /// because sweep clients legitimately compute between frames, and a
+    /// [`RemoteStore`](crate::RemoteStore) whose idle session was dropped
+    /// transparently redials on its next request anyway. `None` waits
+    /// indefinitely.
+    pub read_timeout: Option<Duration>,
+}
+
+impl Default for StoreServerOptions {
+    fn default() -> Self {
+        StoreServerOptions {
+            read_timeout: Some(Duration::from_secs(300)),
+        }
+    }
+}
 
 /// Validates a client-supplied namespace before it becomes a directory name.
 /// The namespace travels from an untrusted socket straight into a filesystem
@@ -45,13 +71,20 @@ fn validate_namespace(namespace: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// One open namespace's store, individually locked so sessions on
+/// different namespaces never serialize behind one store's disk I/O.
+type SharedStore = Arc<Mutex<SweepStore>>;
+
 /// State shared by the accept loop and the connection sessions.
 struct Shared {
     stop: AtomicBool,
     root: PathBuf,
-    /// Open namespaces. A `BTreeMap` so stats aggregation walks them in a
-    /// stable order; the map is append-only (stores stay open once bound).
-    stores: Mutex<BTreeMap<String, SweepStore>>,
+    options: StoreServerOptions,
+    /// Open namespaces, one lock per store. A `BTreeMap` so stats
+    /// aggregation walks them in a stable order; the map is append-only
+    /// (stores stay open once bound), and its own lock is only held to look
+    /// up or insert handles — never across store I/O.
+    stores: Mutex<BTreeMap<String, SharedStore>>,
     hits: AtomicUsize,
     misses: AtomicUsize,
     puts: AtomicUsize,
@@ -59,7 +92,12 @@ struct Shared {
 
 impl Shared {
     fn stats(&self) -> StoreServerStats {
-        let stores = self.stores.lock().expect("stores mutex poisoned");
+        // Snapshot the handles first so per-store stats (a disk-backed
+        // index walk) never run under the namespace map lock.
+        let stores: Vec<SharedStore> = {
+            let map = self.stores.lock().expect("stores mutex poisoned");
+            map.values().cloned().collect()
+        };
         let mut stats = StoreServerStats {
             namespaces: stores.len(),
             hits: self.hits.load(Ordering::Relaxed),
@@ -67,8 +105,8 @@ impl Shared {
             puts: self.puts.load(Ordering::Relaxed),
             ..StoreServerStats::default()
         };
-        for store in stores.values() {
-            let s = store.stats();
+        for store in stores {
+            let s = store.lock().expect("store mutex poisoned").stats();
             stats.entries += s.entries;
             stats.segments += s.segments;
             stats.orphan_tmp += s.orphan_tmp;
@@ -96,17 +134,32 @@ pub struct StoreServer {
 
 impl StoreServer {
     /// Binds `addr` (e.g. `127.0.0.1:0`) and starts serving the store
-    /// directories under `root` (created on first use per namespace).
+    /// directories under `root` (created on first use per namespace) with
+    /// [`StoreServerOptions::default`].
     ///
     /// # Errors
     ///
     /// Returns [`StoreNetError::Io`] when the address cannot be bound.
     pub fn spawn(addr: &str, root: impl Into<PathBuf>) -> Result<StoreServer, StoreNetError> {
+        Self::spawn_with(addr, root, StoreServerOptions::default())
+    }
+
+    /// Like [`spawn`](Self::spawn) with explicit [`StoreServerOptions`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreNetError::Io`] when the address cannot be bound.
+    pub fn spawn_with(
+        addr: &str,
+        root: impl Into<PathBuf>,
+        options: StoreServerOptions,
+    ) -> Result<StoreServer, StoreNetError> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let shared = Arc::new(Shared {
             stop: AtomicBool::new(false),
             root: root.into(),
+            options,
             stores: Mutex::new(BTreeMap::new()),
             hits: AtomicUsize::new(0),
             misses: AtomicUsize::new(0),
@@ -173,14 +226,14 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
 }
 
 /// Runs `op` against the session's bound namespace, or builds the error
-/// frame when no namespace is bound yet.
+/// frame when no namespace is bound yet. Only the one namespace's store
+/// lock is taken, so sessions on other namespaces proceed concurrently.
 fn with_bound_store<T>(
-    shared: &Shared,
-    bound: &Option<String>,
+    bound: &Option<SharedStore>,
     id: usize,
     op: impl FnOnce(&mut SweepStore) -> Result<T, StoreNetError>,
 ) -> Result<T, FromStore> {
-    let Some(namespace) = bound else {
+    let Some(store) = bound else {
         return Err(FromStore::Error {
             id,
             message: "no namespace bound: open the session with a \
@@ -188,11 +241,8 @@ fn with_bound_store<T>(
                 .into(),
         });
     };
-    let mut stores = shared.stores.lock().expect("stores mutex poisoned");
-    let store = stores
-        .get_mut(namespace)
-        .expect("bound namespace is always open");
-    op(store).map_err(|err| FromStore::Error {
+    let mut store = store.lock().expect("store mutex poisoned");
+    op(&mut store).map_err(|err| FromStore::Error {
         id,
         message: err.to_string(),
     })
@@ -208,9 +258,13 @@ fn session_loop(stream: TcpStream, shared: &Arc<Shared>) {
             return;
         }
     };
+    if let Err(err) = stream.set_read_timeout(shared.options.read_timeout) {
+        eprintln!("store-server: cannot arm read timeout: {err}");
+        return;
+    }
     let mut reader = BufReader::new(stream);
     let mut line = String::new();
-    let mut bound: Option<String> = None;
+    let mut bound: Option<SharedStore> = None;
     loop {
         if shared.stop.load(Ordering::SeqCst) {
             return;
@@ -219,6 +273,31 @@ fn session_loop(stream: TcpStream, shared: &Arc<Shared>) {
         match reader.read_line(&mut line) {
             Ok(0) => return,
             Ok(_) => {}
+            // A timed-out read surfaces as WouldBlock or TimedOut depending
+            // on the platform. Sessions are strict request/reply — the
+            // server never owes this client a reply while it waits here —
+            // so a silent window this long means a stalled (or gone)
+            // client, and the session thread is reclaimed. A RemoteStore
+            // client that was merely idle redials on its next request.
+            Err(err)
+                if matches!(
+                    err.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                let limit = shared
+                    .options
+                    .read_timeout
+                    .expect("a read only times out when a timeout is armed");
+                let _ = write_frame(
+                    &mut writer,
+                    &FromStore::Error {
+                        id: 0,
+                        message: format!("session timed out: no complete frame within {limit:?}"),
+                    },
+                );
+                return;
+            }
             Err(err) => {
                 eprintln!("store-server: connection read failed: {err}");
                 return;
@@ -261,8 +340,8 @@ fn session_loop(stream: TcpStream, shared: &Arc<Shared>) {
                     return;
                 }
                 match bind_namespace(shared, namespace) {
-                    Ok(ns) => {
-                        bound = ns;
+                    Ok(store) => {
+                        bound = store;
                         FromStore::Ready {
                             protocol: PROTOCOL_VERSION,
                         }
@@ -274,7 +353,7 @@ fn session_loop(stream: TcpStream, shared: &Arc<Shared>) {
                 }
             }
             ToStore::Get { id, query } => {
-                match with_bound_store(shared, &bound, id, |store| serve_get(store, &query)) {
+                match with_bound_store(&bound, id, |store| serve_get(store, &query)) {
                     Ok(entries) => {
                         if matches!(query, GetQuery::Points(_)) {
                             let hits = entries.iter().filter(|slot| slot.is_some()).count();
@@ -290,7 +369,7 @@ fn session_loop(stream: TcpStream, shared: &Arc<Shared>) {
             }
             ToStore::Put { id, entries } => {
                 let appended = entries.len();
-                match with_bound_store(shared, &bound, id, |store| {
+                match with_bound_store(&bound, id, |store| {
                     store.put(entries).map_err(StoreNetError::from)
                 }) {
                     Ok(()) => {
@@ -305,9 +384,8 @@ fn session_loop(stream: TcpStream, shared: &Arc<Shared>) {
                 stats: shared.stats(),
             },
             ToStore::Evict { id } => {
-                match with_bound_store(shared, &bound, id, |store| {
-                    store.gc().map_err(StoreNetError::from)
-                }) {
+                match with_bound_store(&bound, id, |store| store.gc().map_err(StoreNetError::from))
+                {
                     Ok(report) => FromStore::Evicted { id, report },
                     Err(reply) => reply,
                 }
@@ -327,19 +405,25 @@ fn session_loop(stream: TcpStream, shared: &Arc<Shared>) {
     }
 }
 
-/// Validates and opens (creating if needed) the namespace a handshake binds.
-fn bind_namespace(shared: &Shared, namespace: Option<String>) -> Result<Option<String>, String> {
+/// Validates and opens (creating if needed) the namespace a handshake
+/// binds, handing the session its per-namespace store lock.
+fn bind_namespace(
+    shared: &Shared,
+    namespace: Option<String>,
+) -> Result<Option<SharedStore>, String> {
     let Some(namespace) = namespace else {
         return Ok(None);
     };
     validate_namespace(&namespace)?;
     let mut stores = shared.stores.lock().expect("stores mutex poisoned");
-    if !stores.contains_key(&namespace) {
-        let store = SweepStore::open(shared.root.join(&namespace))
-            .map_err(|err| format!("cannot open namespace '{namespace}': {err}"))?;
-        stores.insert(namespace.clone(), store);
+    if let Some(store) = stores.get(&namespace) {
+        return Ok(Some(Arc::clone(store)));
     }
-    Ok(Some(namespace))
+    let store = SweepStore::open(shared.root.join(&namespace))
+        .map_err(|err| format!("cannot open namespace '{namespace}': {err}"))?;
+    let store = Arc::new(Mutex::new(store));
+    stores.insert(namespace, Arc::clone(&store));
+    Ok(Some(store))
 }
 
 type Slots = Vec<Option<(mfa_alloc::fingerprint::Fingerprint, mfa_explore::StoreEntry)>>;

@@ -1,6 +1,8 @@
 //! End-to-end tests of a live store-server: session round trips, namespace
 //! isolation and validation, damage handling, and remote GC.
 
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
 use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
@@ -8,7 +10,10 @@ use mfa_alloc::fingerprint::Fingerprint;
 use mfa_alloc::solver::WarmStart;
 use mfa_explore::store::{entry_to_json, ResultStore, StoreEntry, SweepStore};
 use mfa_platform::ResourceBudget;
-use mfa_storenet::{RemoteStore, StoreNetError, StoreServer};
+use mfa_storenet::{
+    FromStore, RemoteStore, StoreNetError, StoreServer, StoreServerOptions, StoreServerStats,
+    ToStore,
+};
 
 fn temp_root(tag: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!("mfa-storenet-test-{tag}-{}", std::process::id()));
@@ -184,6 +189,149 @@ fn remote_evict_folds_duplicates_and_compacts_segments() {
     assert_eq!(client.snapshot().expect("snapshot").len(), 3);
     server.stop();
     std::fs::remove_dir_all(&root).unwrap();
+}
+
+#[test]
+fn stalled_sessions_are_timed_out_and_reclaimed() {
+    let root = temp_root("stall");
+    let server = StoreServer::spawn_with(
+        "127.0.0.1:0",
+        root.clone(),
+        StoreServerOptions {
+            read_timeout: Some(Duration::from_millis(100)),
+        },
+    )
+    .expect("bind store-server");
+    let addr = server.local_addr().to_string();
+
+    let stream = TcpStream::connect(&addr).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut line = ToStore::Hello {
+        protocol: mfa_storenet::PROTOCOL_VERSION,
+        namespace: Some("fig2".into()),
+    }
+    .encode()
+    .unwrap();
+    line.push('\n');
+    (&stream).write_all(line.as_bytes()).unwrap();
+    let mut reply = String::new();
+    reader.read_line(&mut reply).unwrap();
+    assert!(matches!(
+        FromStore::decode(reply.trim_end()).unwrap(),
+        FromStore::Ready { .. }
+    ));
+    // Silence: the server must reclaim the session thread instead of
+    // parking it forever, answering a typed timeout error first.
+    reply.clear();
+    reader.read_line(&mut reply).unwrap();
+    match FromStore::decode(reply.trim_end()).unwrap() {
+        FromStore::Error { id, message } => {
+            assert_eq!(id, 0);
+            assert!(message.contains("timed out"), "{message}");
+        }
+        other => panic!("expected a timeout error frame, got {other:?}"),
+    }
+    // …and then closes the connection.
+    reply.clear();
+    assert_eq!(reader.read_line(&mut reply).unwrap(), 0, "expected EOF");
+
+    // The server itself keeps serving fresh sessions.
+    let mut client = RemoteStore::connect(&addr, "fig2").expect("connect after stall");
+    assert_eq!(client.stats().expect("stats").namespaces, 1);
+    server.stop();
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+#[test]
+fn an_idle_timed_out_session_reconnects_transparently() {
+    let root = temp_root("idle-reconnect");
+    let server = StoreServer::spawn_with(
+        "127.0.0.1:0",
+        root.clone(),
+        StoreServerOptions {
+            read_timeout: Some(Duration::from_millis(100)),
+        },
+    )
+    .expect("bind store-server");
+    let addr = server.local_addr().to_string();
+
+    let fp = Fingerprint::of_parts(1, &["a"]);
+    let entry = sample_entry(0.6);
+    let mut client = RemoteStore::connect(&addr, "fig2").expect("connect");
+    client.put(vec![(fp, entry.clone())]).expect("put");
+
+    // Outlive the server's idle timeout: the session is dropped under the
+    // client (exactly what happens to a long-idle serve daemon's spill).
+    std::thread::sleep(Duration::from_millis(400));
+
+    // The next request must redial and replay instead of failing forever.
+    assert_eq!(
+        client.get_many(&[fp]).expect("get after idle drop"),
+        vec![Some(entry)]
+    );
+    server.stop();
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+#[test]
+fn a_hung_store_server_costs_a_bounded_typed_error_not_a_stall() {
+    // A scripted peer that completes the handshake and the connect-time
+    // stats exchange, then goes silent while keeping the socket open — the
+    // "hung, not erroring" failure mode a spill backend must bound.
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    let peer = std::thread::spawn(move || {
+        // Serve each dial attempt (the client retries once on a fresh
+        // session) with handshake + stats, then hang.
+        for _ in 0..2 {
+            let Ok((stream, _)) = listener.accept() else {
+                return;
+            };
+            let mut reader = BufReader::new(stream.try_clone().unwrap());
+            let mut line = String::new();
+            let answer = |frame: &FromStore| {
+                let mut line = frame.encode().unwrap();
+                line.push('\n');
+                (&stream).write_all(line.as_bytes()).unwrap();
+            };
+            if reader.read_line(&mut line).is_err() {
+                return;
+            }
+            answer(&FromStore::Ready {
+                protocol: mfa_storenet::PROTOCOL_VERSION,
+            });
+            line.clear();
+            if reader.read_line(&mut line).is_err() {
+                return;
+            }
+            if let Ok(ToStore::Stats { id }) = ToStore::decode(line.trim_end()) {
+                answer(&FromStore::Stats {
+                    id,
+                    stats: StoreServerStats::default(),
+                });
+            }
+            // Read the next request and never answer it; hold the socket.
+            line.clear();
+            let _ = reader.read_line(&mut line);
+            std::thread::sleep(Duration::from_millis(800));
+        }
+    });
+
+    let mut client =
+        RemoteStore::connect_with_timeout(&addr, "fig2", Some(Duration::from_millis(150)))
+            .expect("connect");
+    let started = Instant::now();
+    let err = client
+        .get_many(&[Fingerprint::of_parts(1, &["a"])])
+        .expect_err("a hung server must surface a typed error");
+    // Bounded: one timed-out attempt plus one timed-out retry, not forever.
+    assert!(
+        started.elapsed() < Duration::from_secs(3),
+        "took {:?}",
+        started.elapsed()
+    );
+    assert!(!err.to_string().is_empty());
+    peer.join().unwrap();
 }
 
 #[test]
